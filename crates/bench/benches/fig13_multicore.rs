@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 13: the multicore scheduling study
+//! (partition, co-located SIMDization, makespan estimation) end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use macross_benchsuite::by_name;
+use macross_multicore::{figure13_point, CommModel};
+use macross_vm::Machine;
+
+fn bench(c: &mut Criterion) {
+    let machine = Machine::core_i7();
+    let comm = CommModel::default();
+    for name in ["FilterBank", "MatrixMult"] {
+        let b = by_name(name).expect("benchmark exists");
+        let g = (b.build)();
+        let mut group = c.benchmark_group(format!("fig13/{name}"));
+        group.sample_size(10);
+        for cores in [2usize, 4] {
+            group.bench_function(format!("{cores}_cores"), |bch| {
+                bch.iter(|| figure13_point(&g, &machine, cores, &comm, 2).unwrap().multicore_simd)
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Regenerates Figure 10 of the paper: speedup over scalar of
+//! (a) host-compiler auto-vectorization, (b) macro-SIMDization, and
+//! (c) macro-SIMDization followed by auto-vectorization.
+//!
+//! Usage: `fig10 [gcc|icc]` (default: both).
+
+use macross_autovec::AutovecConfig;
+use macross_bench::{figure10_row, geomean, render_table};
+use macross_vm::Machine;
+
+fn run(host_name: &str, host: &AutovecConfig) {
+    let machine = Machine::core_i7();
+    println!("== Figure 10 ({host_name} host compiler model), SW=4, Core-i7-like machine ==");
+    let mut rows = Vec::new();
+    let mut auto_v = Vec::new();
+    let mut macro_v = Vec::new();
+    let mut both_v = Vec::new();
+    for b in macross_benchsuite::all() {
+        let r = figure10_row(&b, &machine, host);
+        auto_v.push(r.autovec);
+        macro_v.push(r.macro_simd);
+        both_v.push(r.macro_plus_auto);
+        rows.push(vec![
+            r.name.to_string(),
+            format!("{:.2}x", r.autovec),
+            format!("{:.2}x", r.macro_simd),
+            format!("{:.2}x", r.macro_plus_auto),
+        ]);
+    }
+    rows.push(vec![
+        "GEOMEAN".into(),
+        format!("{:.2}x", geomean(auto_v.clone())),
+        format!("{:.2}x", geomean(macro_v.clone())),
+        format!("{:.2}x", geomean(both_v.clone())),
+    ]);
+    println!(
+        "{}",
+        render_table(&["benchmark", "auto-vectorize", "macro-SIMD", "macro+auto"], &rows)
+    );
+    let gain = (geomean(macro_v) / geomean(auto_v) - 1.0) * 100.0;
+    println!("macro-SIMD outperforms {host_name} auto-vectorization by {gain:.0}% on average");
+    println!("(paper: +54% vs GCC, +26% vs ICC)\n");
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    if arg.is_empty() || arg == "gcc" {
+        run("GCC-like", &AutovecConfig::gcc_like(4));
+    }
+    if arg.is_empty() || arg == "icc" {
+        run("ICC-like", &AutovecConfig::icc_like(4));
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figure 11: percent speedup of vertical SIMDization over
+//! single-actor-only SIMDization.
+
+use macross_bench::{figure11_row, render_table};
+use macross_vm::Machine;
+
+fn main() {
+    let machine = Machine::core_i7();
+    println!("== Figure 11: benefit of vertical SIMDization (vs single-actor only) ==");
+    let mut rows = Vec::new();
+    let mut sum = 0.0;
+    let mut n = 0;
+    for b in macross_benchsuite::all() {
+        let r = figure11_row(&b, &machine);
+        sum += r.improvement_pct;
+        n += 1;
+        rows.push(vec![r.name.to_string(), format!("{:.1}%", r.improvement_pct)]);
+    }
+    rows.push(vec!["AVERAGE".into(), format!("{:.1}%", sum / n as f64)]);
+    println!("{}", render_table(&["benchmark", "improvement"], &rows));
+    println!("(paper: 40% average; MatrixMultBlock largest at 114%; FilterBank/BeamFormer negligible)");
+}

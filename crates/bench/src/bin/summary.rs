@@ -1,0 +1,84 @@
+//! One-shot summary: regenerates every figure's headline numbers plus the
+//! Equation-1 scaling ablation, in one run. Useful for refreshing
+//! EXPERIMENTS.md.
+
+use macross_autovec::AutovecConfig;
+use macross_bench::{
+    figure10_row, figure11_row, figure12_row, figure13_rows, geomean, render_table, scaling_ablation,
+};
+use macross_vm::Machine;
+
+fn main() {
+    let machine = Machine::core_i7();
+    let suite = macross_benchsuite::all();
+
+    println!("=== MacroSS reproduction: full experiment summary ===\n");
+
+    // Figure 10 geomeans.
+    let mut gcc_auto = Vec::new();
+    let mut icc_auto = Vec::new();
+    let mut macro_v = Vec::new();
+    for b in &suite {
+        gcc_auto.push(figure10_row(b, &machine, &AutovecConfig::gcc_like(4)).autovec);
+        let icc = figure10_row(b, &machine, &AutovecConfig::icc_like(4));
+        icc_auto.push(icc.autovec);
+        macro_v.push(icc.macro_simd);
+    }
+    println!("Figure 10 (geomean speedup over scalar):");
+    println!("  GCC-like autovec   {:.2}x   (paper: 'unimpressive')", geomean(gcc_auto));
+    println!("  ICC-like autovec   {:.2}x   (paper: 1.34x)", geomean(icc_auto));
+    println!("  macro-SIMD         {:.2}x   (paper: 2.07x)\n", geomean(macro_v));
+
+    // Figure 11 average.
+    let f11: Vec<f64> = suite.iter().map(|b| figure11_row(b, &machine).improvement_pct).collect();
+    println!(
+        "Figure 11 (vertical over single-actor): avg {:.1}%  max {:.1}%   (paper: 40% avg, 114% max)\n",
+        f11.iter().sum::<f64>() / f11.len() as f64,
+        f11.iter().cloned().fold(0.0, f64::max)
+    );
+
+    // Figure 12 average.
+    let f12: Vec<f64> = suite.iter().map(|b| figure12_row(b).improvement_pct).collect();
+    println!(
+        "Figure 12 (SAGU benefit): avg {:.1}%   (paper: 8.1%)\n",
+        f12.iter().sum::<f64>() / f12.len() as f64
+    );
+
+    // Figure 13 geomeans.
+    let mut c2 = Vec::new();
+    let mut c4 = Vec::new();
+    let mut c2s = Vec::new();
+    let mut c4s = Vec::new();
+    for b in &suite {
+        let (p2, p4) = figure13_rows(b, &machine);
+        c2.push(p2.multicore);
+        c4.push(p4.multicore);
+        c2s.push(p2.multicore_simd);
+        c4s.push(p4.multicore_simd);
+    }
+    println!("Figure 13 (geomean speedup over 1-core scalar):");
+    println!("  2 cores            {:.2}x   (paper: 1.28x)", geomean(c2));
+    println!("  4 cores            {:.2}x   (paper: 1.85x)", geomean(c4));
+    println!("  2 cores + SIMD     {:.2}x   (paper: 2.03x)", geomean(c2s));
+    println!("  4 cores + SIMD     {:.2}x   (paper: 3.17x)\n", geomean(c4s));
+
+    // Scaling ablation table.
+    println!("Equation-1 scaling ablation (minimal vs naive scale-by-SW):");
+    let rows: Vec<Vec<String>> = suite
+        .iter()
+        .map(|b| {
+            let r = scaling_ablation(b, &machine);
+            vec![
+                b.name.to_string(),
+                format!("x{}", r.minimal_factor),
+                format!("x{}", r.naive_factor),
+                format!("{}", r.minimal_buffer_elems),
+                format!("{}", r.naive_buffer_elems),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["benchmark", "Eq1 factor", "naive", "buf elems (Eq1)", "buf elems (naive)"], &rows)
+    );
+}

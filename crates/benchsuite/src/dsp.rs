@@ -1,0 +1,166 @@
+//! Signal-processing benchmarks: FMRadio, FilterBank, BeamFormer,
+//! ChannelVocoder, AudioBeam.
+
+use crate::util::*;
+use macross_streamir::builder::StreamSpec;
+use macross_streamir::edsl::*;
+use macross_streamir::graph::Graph;
+use macross_streamir::types::{ScalarTy, Ty};
+
+/// FMRadio: low-pass front end, FM demodulation, and a multi-band
+/// equalizer realized as a split-join of isomorphic band-pass filters.
+///
+/// Character (matches the paper's discussion): the demodulator peeks, so
+/// vertical opportunities are small; the equalizer is horizontal-friendly.
+pub fn fm_radio() -> Graph {
+    // FM demodulator: phase difference of consecutive samples.
+    let mut demod = FilterBuilder::new("fm_demod", 2, 1, 1, ScalarTy::F32);
+    let cur = demod.local("cur", Ty::Scalar(ScalarTy::F32));
+    let next = demod.local("next", Ty::Scalar(ScalarTy::F32));
+    demod.work(|b| {
+        b.set(next, peek(1i32));
+        b.set(cur, pop());
+        b.push(atan(v(cur) * v(next)) * 0.5f32);
+    });
+
+    let bands: Vec<StreamSpec> = (0..8)
+        .map(|k| fir(&format!("eq_band{k}"), 16, 0.05 + 0.02 * k as f32, 1.0 / (k + 1) as f32))
+        .collect();
+
+    StreamSpec::pipeline(vec![
+        source_f32("fm_src", 1, 4096, 0.001),
+        fir("lowpass", 32, 0.02, 0.8),
+        demod.build_spec(),
+        StreamSpec::split_join_duplicate(1, bands),
+        adder("eq_sum", 8),
+        amplify("fm_out", 2.0),
+        StreamSpec::Sink,
+    ])
+    .build()
+    .expect("fm_radio builds")
+}
+
+/// FilterBank: 8 analysis/synthesis branches (band-pass, decimate,
+/// expand, band-pass) with a per-branch stateful delay, so the pipelines
+/// cannot collapse — horizontal SIMDization carries the benchmark, as in
+/// the paper.
+pub fn filter_bank() -> Graph {
+    let branch = |k: usize| {
+        StreamSpec::pipeline(vec![
+            fir(&format!("analysis{k}"), 16, 0.03 + 0.01 * k as f32, 0.9),
+            downsample(&format!("dec{k}"), 4),
+            delay(&format!("state{k}"), 8),
+            upsample(&format!("exp{k}"), 4),
+            fir(&format!("synthesis{k}"), 16, 0.04 + 0.01 * k as f32, 1.1),
+        ])
+    };
+    StreamSpec::pipeline(vec![
+        source_f32("fb_src", 8, 2048, 0.002),
+        StreamSpec::split_join_duplicate(1, (0..8).map(branch).collect()),
+        adder("fb_sum", 8),
+        StreamSpec::Sink,
+    ])
+    .build()
+    .expect("filter_bank builds")
+}
+
+/// BeamFormer: duplicate-split beams, each with a stateful calibration
+/// delay, a dot-product beam former, and a magnitude stage; the stateful
+/// calibration blocks vertical fusion, so horizontal SIMDization is the
+/// only option — exactly the paper's account of this benchmark.
+pub fn beamformer() -> Graph {
+    let beam = |k: usize| {
+        // Dot product over a window of 8 with beam-specific weights.
+        let mut bf = FilterBuilder::new(format!("beamform{k}"), 8, 8, 2, ScalarTy::F32);
+        let w = bf.state("w", Ty::Array(ScalarTy::F32, 8));
+        let j = bf.local("j", Ty::Scalar(ScalarTy::I32));
+        let re = bf.local("re", Ty::Scalar(ScalarTy::F32));
+        let im = bf.local("im", Ty::Scalar(ScalarTy::F32));
+        let x = bf.local("x", Ty::Scalar(ScalarTy::F32));
+        let wk = 0.1 + 0.05 * k as f32;
+        bf.init(move |b| {
+            b.for_(j, 8i32, |b| {
+                b.set_idx(w, v(j), sin(cast(ScalarTy::F32, v(j)) * wk));
+            });
+        });
+        bf.work(|b| {
+            b.set(re, 0.0f32);
+            b.set(im, 0.0f32);
+            b.for_(j, 8i32, |b| {
+                b.set(x, pop());
+                b.set(re, v(re) + v(x) * idx(w, v(j)));
+                b.set(im, v(im) + v(x) * idx(w, (v(j) + 1i32) % 8i32));
+            });
+            b.push(v(re));
+            b.push(v(im));
+        });
+
+        let mut mag = FilterBuilder::new(format!("magnitude{k}"), 2, 2, 1, ScalarTy::F32);
+        let r = mag.local("r", Ty::Scalar(ScalarTy::F32));
+        let m = mag.local("m", Ty::Scalar(ScalarTy::F32));
+        mag.work(|b| {
+            b.set(r, pop());
+            b.set(m, pop());
+            b.push(sqrt(v(r) * v(r) + v(m) * v(m)));
+        });
+
+        StreamSpec::pipeline(vec![delay(&format!("calib{k}"), 4), bf.build_spec(), mag.build_spec()])
+    };
+    StreamSpec::pipeline(vec![
+        source_f32("bm_src", 1, 1024, 0.01),
+        StreamSpec::split_join_duplicate(1, (0..4).map(beam).collect()),
+        adder("detect", 4),
+        StreamSpec::Sink,
+    ])
+    .build()
+    .expect("beamformer builds")
+}
+
+/// ChannelVocoder: 16 analysis channels (band-pass FIR + stateful
+/// envelope follower) under a duplicate splitter.
+pub fn channel_vocoder() -> Graph {
+    let chan = |k: usize| {
+        StreamSpec::pipeline(vec![
+            fir(&format!("band{k}"), 16, 0.02 + 0.015 * k as f32, 1.0),
+            envelope(&format!("env{k}"), 0.9),
+        ])
+    };
+    StreamSpec::pipeline(vec![
+        source_f32("cv_src", 1, 3000, 0.003),
+        StreamSpec::split_join_duplicate(1, (0..16).map(chan).collect()),
+        adder("cv_mix", 16),
+        StreamSpec::Sink,
+    ])
+    .build()
+    .expect("channel_vocoder builds")
+}
+
+/// AudioBeam: vectorizable compute actors *isolated* by stateful delay
+/// stages, so vertical SIMDization finds no pipelines — matching the
+/// paper's "most of the vectorizable actors ... are isolated from each
+/// other and do not form a pipeline".
+pub fn audio_beam() -> Graph {
+    let sharpen = |name: &str, k: f32| {
+        let mut fb = FilterBuilder::new(name, 4, 4, 4, ScalarTy::F32);
+        let i = fb.local("i", Ty::Scalar(ScalarTy::I32));
+        let t = fb.local("t", Ty::Scalar(ScalarTy::F32));
+        fb.work(move |b| {
+            b.for_(i, 4i32, |b| {
+                b.set(t, pop());
+                b.push(v(t) * k + sqrt(abs(v(t))) * 0.125f32);
+            });
+        });
+        fb.build_spec()
+    };
+    StreamSpec::pipeline(vec![
+        source_f32("ab_src", 4, 1536, 0.004),
+        sharpen("steer1", 1.5),
+        delay("tap1", 16),
+        sharpen("steer2", 0.75),
+        delay("tap2", 24),
+        sharpen("steer3", 1.25),
+        StreamSpec::Sink,
+    ])
+    .build()
+    .expect("audio_beam builds")
+}

@@ -1,0 +1,183 @@
+//! Matrix multiplication benchmarks: MatrixMult and MatrixMultBlock.
+//! Data-reordering stages around heavy compute make these the paper's
+//! showcase for vertical SIMDization (MatrixMultBlock "benefits the most")
+//! and for the SAGU (MatrixMult improved 22%).
+
+use crate::util::*;
+use macross_streamir::builder::StreamSpec;
+use macross_streamir::edsl::*;
+use macross_streamir::graph::Graph;
+use macross_streamir::types::{ScalarTy, Ty};
+
+/// Transpose a streamed 4x4 tile. Stateless reordering, pop 16, push 16.
+fn transpose4(name: &str) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 16, 16, 16, ScalarTy::F32);
+    let buf = fb.local("buf", Ty::Array(ScalarTy::F32, 16));
+    let r = fb.local("r", Ty::Scalar(ScalarTy::I32));
+    let c = fb.local("c", Ty::Scalar(ScalarTy::I32));
+    fb.work(move |b| {
+        b.for_(r, 16i32, |b| {
+            b.set_idx(buf, v(r), pop());
+        });
+        b.for_(r, 4i32, |b| {
+            b.for_(c, 4i32, |b| {
+                b.push(idx(buf, v(c) * 4i32 + v(r)));
+            });
+        });
+    });
+    fb.build_spec()
+}
+
+/// Multiply a streamed 4x4 tile by a constant matrix held in state.
+fn matmul4(name: &str, seed: f32) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 16, 16, 16, ScalarTy::F32);
+    let bmat = fb.state("bmat", Ty::Array(ScalarTy::F32, 16));
+    let a = fb.local("a", Ty::Array(ScalarTy::F32, 16));
+    let i = fb.local("i", Ty::Scalar(ScalarTy::I32));
+    let r = fb.local("r", Ty::Scalar(ScalarTy::I32));
+    let c = fb.local("c", Ty::Scalar(ScalarTy::I32));
+    let k = fb.local("k", Ty::Scalar(ScalarTy::I32));
+    let acc = fb.local("acc", Ty::Scalar(ScalarTy::F32));
+    fb.init(move |b| {
+        b.for_(i, 16i32, |b| {
+            b.set_idx(bmat, v(i), sin(cast(ScalarTy::F32, v(i)) * seed));
+        });
+    });
+    fb.work(move |b| {
+        b.for_(i, 16i32, |b| {
+            b.set_idx(a, v(i), pop());
+        });
+        b.for_(r, 4i32, |b| {
+            b.for_(c, 4i32, |b| {
+                b.set(acc, 0.0f32);
+                b.for_(k, 4i32, |b| {
+                    b.set(acc, v(acc) + idx(a, v(r) * 4i32 + v(k)) * idx(bmat, v(k) * 4i32 + v(c)));
+                });
+                b.push(v(acc));
+            });
+        });
+    });
+    fb.build_spec()
+}
+
+/// MatrixMult: transpose -> multiply -> transpose back.
+pub fn matrix_mult() -> Graph {
+    StreamSpec::pipeline(vec![
+        source_f32("mm_src", 16, 400, 0.02),
+        transpose4("mm_t_in"),
+        matmul4("mm_mul", 0.37),
+        transpose4("mm_t_out"),
+        StreamSpec::Sink,
+    ])
+    .build()
+    .expect("matrix_mult builds")
+}
+
+/// Split an 8x4 stripe into two 4x4 blocks laid out block-contiguously
+/// (the "block split" stage). Stateless reordering, pop 32, push 32.
+fn block_split(name: &str) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 32, 32, 32, ScalarTy::F32);
+    let buf = fb.local("buf", Ty::Array(ScalarTy::F32, 32));
+    let i = fb.local("i", Ty::Scalar(ScalarTy::I32));
+    let r = fb.local("r", Ty::Scalar(ScalarTy::I32));
+    let c = fb.local("c", Ty::Scalar(ScalarTy::I32));
+    fb.work(move |b| {
+        b.for_(i, 32i32, |b| {
+            b.set_idx(buf, v(i), pop());
+        });
+        // Block 0: columns 0..4 of each row; block 1: columns 4..8.
+        b.for_(i, 2i32, |b| {
+            b.for_(r, 4i32, |b| {
+                b.for_(c, 4i32, |b| {
+                    b.push(idx(buf, v(r) * 8i32 + v(i) * 4i32 + v(c)));
+                });
+            });
+        });
+    });
+    fb.build_spec()
+}
+
+/// Multiply two streamed 4x4 blocks (A then B) into one 4x4 block.
+fn block_multiply(name: &str) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 32, 32, 16, ScalarTy::F32);
+    let a = fb.local("a", Ty::Array(ScalarTy::F32, 16));
+    let bb = fb.local("bb", Ty::Array(ScalarTy::F32, 16));
+    let i = fb.local("i", Ty::Scalar(ScalarTy::I32));
+    let r = fb.local("r", Ty::Scalar(ScalarTy::I32));
+    let c = fb.local("c", Ty::Scalar(ScalarTy::I32));
+    let k = fb.local("k", Ty::Scalar(ScalarTy::I32));
+    let acc = fb.local("acc", Ty::Scalar(ScalarTy::F32));
+    fb.work(move |b| {
+        b.for_(i, 16i32, |b| {
+            b.set_idx(a, v(i), pop());
+        });
+        b.for_(i, 16i32, |b| {
+            b.set_idx(bb, v(i), pop());
+        });
+        b.for_(r, 4i32, |b| {
+            b.for_(c, 4i32, |b| {
+                b.set(acc, 0.0f32);
+                b.for_(k, 4i32, |b| {
+                    b.set(acc, v(acc) + idx(a, v(r) * 4i32 + v(k)) * idx(bb, v(k) * 4i32 + v(c)));
+                });
+                b.push(v(acc));
+            });
+        });
+    });
+    fb.build_spec()
+}
+
+/// Transpose each streamed 4x4 tile (B tiles are consumed transposed by
+/// the blocked multiply). Pure data movement.
+fn tile_transpose(name: &str) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 16, 16, 16, ScalarTy::F32);
+    let buf = fb.local("buf", Ty::Array(ScalarTy::F32, 16));
+    let r = fb.local("r", Ty::Scalar(ScalarTy::I32));
+    let c = fb.local("c", Ty::Scalar(ScalarTy::I32));
+    fb.work(move |b| {
+        b.for_(r, 16i32, |b| {
+            b.set_idx(buf, v(r), pop());
+        });
+        b.for_(r, 4i32, |b| {
+            b.for_(c, 4i32, |b| {
+                b.push(idx(buf, v(c) * 4i32 + v(r)));
+            });
+        });
+    });
+    fb.build_spec()
+}
+
+/// Re-interleave block-contiguous output into row-major order.
+fn block_combine(name: &str) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 16, 16, 16, ScalarTy::F32);
+    let buf = fb.local("buf", Ty::Array(ScalarTy::F32, 16));
+    let i = fb.local("i", Ty::Scalar(ScalarTy::I32));
+    fb.work(move |b| {
+        b.for_(i, 16i32, |b| {
+            b.set_idx(buf, v(i), pop());
+        });
+        b.for_(i, 16i32, |b| {
+            // Swap the 2x2 sub-block order.
+            b.push(idx(buf, ((v(i) & 3i32) << 2i32) | ((v(i) >> 2i32) & 3i32)));
+        });
+    });
+    fb.build_spec()
+}
+
+/// MatrixMultBlock: blocked matrix multiply with explicit data-movement
+/// stages — the pipeline whose pack/unpack elimination gives vertical
+/// SIMDization its biggest win (114% in the paper's Figure 11).
+pub fn matrix_mult_block() -> Graph {
+    StreamSpec::pipeline(vec![
+        source_f32("mmb_src", 32, 800, 0.015),
+        block_split("mmb_split"),
+        tile_transpose("mmb_tpose_a"),
+        tile_transpose("mmb_tpose_b"),
+        block_multiply("mmb_mul"),
+        block_combine("mmb_combine"),
+        tile_transpose("mmb_tpose_out"),
+        StreamSpec::Sink,
+    ])
+    .build()
+    .expect("matrix_mult_block builds")
+}

@@ -1,0 +1,119 @@
+//! MP3Decoder (simplified): a stateful bit-reader front end followed by
+//! compute-heavy dequantization, antialiasing and an IMDCT-like stage.
+//! High computation-to-communication ratio, so pack/unpack overheads —
+//! and therefore the SAGU — barely matter, as the paper observes.
+
+use crate::util::*;
+use macross_streamir::builder::StreamSpec;
+use macross_streamir::edsl::*;
+use macross_streamir::graph::Graph;
+use macross_streamir::types::{ScalarTy, Ty};
+
+/// Stateful "Huffman" front end: accumulates a rolling code value and
+/// emits scaled samples. Not SIMDizable (mutable state), like the real
+/// decoder's bit reader.
+fn decode(name: &str) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 1, 1, 1, ScalarTy::F32);
+    let code = fb.state("code", Ty::Scalar(ScalarTy::I32));
+    let x = fb.local("x", Ty::Scalar(ScalarTy::I32));
+    fb.work(|b| {
+        b.set(x, cast(ScalarTy::I32, pop()));
+        b.set(code, ((v(code) << 3i32) ^ v(x)) & 0xffffi32);
+        b.push(cast(ScalarTy::F32, v(code)) * 0.0001f32);
+    });
+    fb.build_spec()
+}
+
+/// Dequantization: `x * (|x| + 1)^(4/3)`-style power law — expensive
+/// per-element math, an ideal SIMD target.
+fn dequantize(name: &str) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 1, 1, 1, ScalarTy::F32);
+    let x = fb.local("x", Ty::Scalar(ScalarTy::F32));
+    fb.work(|b| {
+        b.set(x, pop());
+        b.push(v(x) * pow(abs(v(x)) + 1.0f32, 1.333333f32));
+    });
+    fb.build_spec()
+}
+
+/// Antialiasing butterflies over 16-sample granules with constant
+/// coefficient tables.
+fn antialias(name: &str) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 16, 16, 16, ScalarTy::F32);
+    let cs = fb.state("cs", Ty::Array(ScalarTy::F32, 8));
+    let ca = fb.state("ca", Ty::Array(ScalarTy::F32, 8));
+    let buf = fb.local("buf", Ty::Array(ScalarTy::F32, 16));
+    let i = fb.local("i", Ty::Scalar(ScalarTy::I32));
+    let lo = fb.local("lo", Ty::Scalar(ScalarTy::F32));
+    let hi = fb.local("hi", Ty::Scalar(ScalarTy::F32));
+    fb.init(|b| {
+        b.for_(i, 8i32, |b| {
+            b.set_idx(cs, v(i), cos(cast(ScalarTy::F32, v(i)) * 0.11f32));
+            b.set_idx(ca, v(i), sin(cast(ScalarTy::F32, v(i)) * 0.07f32));
+        });
+    });
+    fb.work(|b| {
+        b.for_(i, 16i32, |b| {
+            b.set_idx(buf, v(i), pop());
+        });
+        b.for_(i, 8i32, |b| {
+            b.set(lo, idx(buf, 7i32 - v(i)));
+            b.set(hi, idx(buf, 8i32 + v(i)));
+            b.set_idx(buf, 7i32 - v(i), v(lo) * idx(cs, v(i)) - v(hi) * idx(ca, v(i)));
+            b.set_idx(buf, 8i32 + v(i), v(hi) * idx(cs, v(i)) + v(lo) * idx(ca, v(i)));
+        });
+        b.for_(i, 16i32, |b| {
+            b.push(idx(buf, v(i)));
+        });
+    });
+    fb.build_spec()
+}
+
+/// IMDCT-like stage: each of 16 outputs is a weighted sum of 16 inputs
+/// through a cosine table — the dominant compute of the decoder.
+fn imdct(name: &str) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 16, 16, 16, ScalarTy::F32);
+    let table = fb.state("table", Ty::Array(ScalarTy::F32, 256));
+    let input = fb.local("input", Ty::Array(ScalarTy::F32, 16));
+    let u = fb.local("u", Ty::Scalar(ScalarTy::I32));
+    let x = fb.local("x", Ty::Scalar(ScalarTy::I32));
+    let acc = fb.local("acc", Ty::Scalar(ScalarTy::F32));
+    fb.init(|b| {
+        b.for_(u, 16i32, |b| {
+            b.for_(x, 16i32, |b| {
+                b.set_idx(
+                    table,
+                    v(u) * 16i32 + v(x),
+                    cos(cast(ScalarTy::F32, (v(u) * 2i32 + 1i32) * (v(x) * 2i32 + 1i32)) * 0.0490873852f32),
+                );
+            });
+        });
+    });
+    fb.work(|b| {
+        b.for_(x, 16i32, |b| {
+            b.set_idx(input, v(x), pop());
+        });
+        b.for_(u, 16i32, |b| {
+            b.set(acc, 0.0f32);
+            b.for_(x, 16i32, |b| {
+                b.set(acc, v(acc) + idx(input, v(x)) * idx(table, v(u) * 16i32 + v(x)));
+            });
+            b.push(v(acc) * 0.0625f32);
+        });
+    });
+    fb.build_spec()
+}
+
+/// The simplified MP3 decoder pipeline.
+pub fn mp3_decoder() -> Graph {
+    StreamSpec::pipeline(vec![
+        source_f32("mp3_src", 1, 8192, 0.5),
+        decode("huffman"),
+        dequantize("dequant"),
+        antialias("antialias"),
+        imdct("imdct"),
+        StreamSpec::Sink,
+    ])
+    .build()
+    .expect("mp3_decoder builds")
+}

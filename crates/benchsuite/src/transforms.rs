@@ -1,0 +1,277 @@
+//! Transform benchmarks: DCT, FFT, TDE, BitonicSort — deep pipelines of
+//! stateless block actors, the home turf of vertical SIMDization.
+
+use crate::util::*;
+use macross_streamir::builder::StreamSpec;
+use macross_streamir::edsl::*;
+use macross_streamir::graph::Graph;
+use macross_streamir::types::{ScalarTy, Ty};
+
+/// An 8-point transform actor `out[u] = sum_x in[x] * table[u*8+x]` with a
+/// closed-form table filled in `init`. Stateless, pop 8, push 8.
+fn transform8(name: &str, table_of: impl Fn(E, E) -> E + 'static) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 8, 8, 8, ScalarTy::F32);
+    let table = fb.state("table", Ty::Array(ScalarTy::F32, 64));
+    let input = fb.local("input", Ty::Array(ScalarTy::F32, 8));
+    let u = fb.local("u", Ty::Scalar(ScalarTy::I32));
+    let x = fb.local("x", Ty::Scalar(ScalarTy::I32));
+    let acc = fb.local("acc", Ty::Scalar(ScalarTy::F32));
+    fb.init(move |b| {
+        b.for_(u, 8i32, |b| {
+            b.for_(x, 8i32, |b| {
+                b.set_idx(table, v(u) * 8i32 + v(x), table_of(v(u), v(x)));
+            });
+        });
+    });
+    fb.work(move |b| {
+        b.for_(x, 8i32, |b| {
+            b.set_idx(input, v(x), pop());
+        });
+        b.for_(u, 8i32, |b| {
+            b.set(acc, 0.0f32);
+            b.for_(x, 8i32, |b| {
+                b.set(acc, v(acc) + idx(input, v(x)) * idx(table, v(u) * 8i32 + v(x)));
+            });
+            b.push(v(acc));
+        });
+    });
+    fb.build_spec()
+}
+
+/// Element-wise quantization: divide by a position-dependent step and
+/// floor. Stateless, pop 8, push 8.
+fn quantize(name: &str) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 8, 8, 8, ScalarTy::F32);
+    let q = fb.state("q", Ty::Array(ScalarTy::F32, 8));
+    let i = fb.local("i", Ty::Scalar(ScalarTy::I32));
+    fb.init(move |b| {
+        b.for_(i, 8i32, |b| {
+            b.set_idx(q, v(i), cast(ScalarTy::F32, v(i) + 2i32));
+        });
+    });
+    fb.work(move |b| {
+        b.for_(i, 8i32, |b| {
+            b.push(floor(pop() / idx(q, v(i))) * idx(q, v(i)));
+        });
+    });
+    fb.build_spec()
+}
+
+/// DCT: forward 8-point DCT, quantize/dequantize, inverse DCT — a fully
+/// stateless pipeline with power-of-two rates (permute- and SAGU-friendly,
+/// as the paper's Figure 12 notes for DCT).
+pub fn dct() -> Graph {
+    StreamSpec::pipeline(vec![
+        source_f32("dct_src", 8, 1024, 0.03),
+        transform8("fdct", |u, x| cos((u * (x * 2i32 + 1i32)).into_e_f32() * 0.19634954f32)),
+        quantize("quant"),
+        transform8("idct", |u, x| cos((x * (u * 2i32 + 1i32)).into_e_f32() * 0.19634954f32) * 0.25f32),
+        StreamSpec::Sink,
+    ])
+    .build()
+    .expect("dct builds")
+}
+
+/// One radix-2 FFT butterfly stage over frames of 8 complex values
+/// (16 interleaved floats). `span` is the butterfly distance; `inverse`
+/// flips the twiddle sign. Stateless, pop 16, push 16.
+fn fft_stage(name: &str, span: usize, inverse: bool) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 16, 16, 16, ScalarTy::F32);
+    let wre = fb.state("wre", Ty::Array(ScalarTy::F32, 8));
+    let wim = fb.state("wim", Ty::Array(ScalarTy::F32, 8));
+    let re = fb.local("re", Ty::Array(ScalarTy::F32, 8));
+    let im = fb.local("im", Ty::Array(ScalarTy::F32, 8));
+    let i = fb.local("i", Ty::Scalar(ScalarTy::I32));
+    let p = fb.local("p", Ty::Scalar(ScalarTy::I32));
+    let q = fb.local("q", Ty::Scalar(ScalarTy::I32));
+    let tr = fb.local("tr", Ty::Scalar(ScalarTy::F32));
+    let ti = fb.local("ti", Ty::Scalar(ScalarTy::F32));
+    let sign = if inverse { 1.0f32 } else { -1.0f32 };
+    let spn = span as i32;
+    fb.init(move |b| {
+        b.for_(i, 8i32, |b| {
+            // Twiddle for position i within its group of 2*span.
+            let ang = cast(ScalarTy::F32, (v(i) % spn) * (8i32 / spn)) * 0.78539816f32;
+            b.set_idx(wre, v(i), cos(ang.clone()));
+            b.set_idx(wim, v(i), sin(ang) * sign);
+        });
+    });
+    fb.work(move |b| {
+        b.for_(i, 8i32, |b| {
+            b.set_idx(re, v(i), pop());
+            b.set_idx(im, v(i), pop());
+        });
+        b.for_(i, 4i32, |b| {
+            // p = lower index of the i-th butterfly, q = p + span.
+            b.set(p, (v(i) / spn) * (spn * 2i32) + (v(i) % spn));
+            b.set(q, v(p) + spn);
+            b.set(tr, idx(re, v(q)) * idx(wre, v(p) % spn) - idx(im, v(q)) * idx(wim, v(p) % spn));
+            b.set(ti, idx(re, v(q)) * idx(wim, v(p) % spn) + idx(im, v(q)) * idx(wre, v(p) % spn));
+            b.set_idx(re, v(q), idx(re, v(p)) - v(tr));
+            b.set_idx(im, v(q), idx(im, v(p)) - v(ti));
+            b.set_idx(re, v(p), idx(re, v(p)) + v(tr));
+            b.set_idx(im, v(p), idx(im, v(p)) + v(ti));
+        });
+        b.for_(i, 8i32, |b| {
+            b.push(idx(re, v(i)));
+            b.push(idx(im, v(i)));
+        });
+    });
+    fb.build_spec()
+}
+
+/// Bit-reversal reorder over frames of 8 complex values. Stateless.
+fn bit_reverse(name: &str) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 16, 16, 16, ScalarTy::F32);
+    let buf = fb.local("buf", Ty::Array(ScalarTy::F32, 16));
+    let i = fb.local("i", Ty::Scalar(ScalarTy::I32));
+    let r = fb.local("r", Ty::Scalar(ScalarTy::I32));
+    fb.work(move |b| {
+        b.for_(i, 16i32, |b| {
+            b.set_idx(buf, v(i), pop());
+        });
+        b.for_(i, 8i32, |b| {
+            // 3-bit reversal of i.
+            b.set(r, ((v(i) & 1i32) << 2i32) | (v(i) & 2i32) | ((v(i) & 4i32) >> 2i32));
+            b.push(idx(buf, v(r) * 2i32));
+            b.push(idx(buf, v(r) * 2i32 + 1i32));
+        });
+    });
+    fb.build_spec()
+}
+
+/// FFT: interleave real samples into complex frames, bit-reverse, three
+/// butterfly stages.
+pub fn fft() -> Graph {
+    // Pack real samples into interleaved complex (imag = 0.5*x as a
+    // deterministic stand-in for a second channel).
+    let mut pack = FilterBuilder::new("pack_cplx", 8, 8, 16, ScalarTy::F32);
+    let t = pack.local("t", Ty::Scalar(ScalarTy::F32));
+    let i = pack.local("i", Ty::Scalar(ScalarTy::I32));
+    pack.work(|b| {
+        b.for_(i, 8i32, |b| {
+            b.set(t, pop());
+            b.push(v(t));
+            b.push(v(t) * 0.5f32);
+        });
+    });
+    StreamSpec::pipeline(vec![
+        source_f32("fft_src", 8, 512, 0.01),
+        pack.build_spec(),
+        bit_reverse("bitrev"),
+        fft_stage("fft_s1", 1, false),
+        fft_stage("fft_s2", 2, false),
+        fft_stage("fft_s4", 4, false),
+        StreamSpec::Sink,
+    ])
+    .build()
+    .expect("fft builds")
+}
+
+/// TDE (time-delay equalization): forward stages, a per-bin complex
+/// multiply by the channel response, inverse stages — a very deep
+/// stateless pipeline.
+pub fn tde() -> Graph {
+    let mut eqz = FilterBuilder::new("tde_equalize", 16, 16, 16, ScalarTy::F32);
+    let hre = eqz.state("hre", Ty::Array(ScalarTy::F32, 8));
+    let him = eqz.state("him", Ty::Array(ScalarTy::F32, 8));
+    let i = eqz.local("i", Ty::Scalar(ScalarTy::I32));
+    let ar = eqz.local("ar", Ty::Scalar(ScalarTy::F32));
+    let ai = eqz.local("ai", Ty::Scalar(ScalarTy::F32));
+    eqz.init(|b| {
+        b.for_(i, 8i32, |b| {
+            b.set_idx(hre, v(i), cos(cast(ScalarTy::F32, v(i)) * 0.3f32));
+            b.set_idx(him, v(i), sin(cast(ScalarTy::F32, v(i)) * 0.15f32));
+        });
+    });
+    eqz.work(|b| {
+        b.for_(i, 8i32, |b| {
+            b.set(ar, pop());
+            b.set(ai, pop());
+            b.push(v(ar) * idx(hre, v(i)) - v(ai) * idx(him, v(i)));
+            b.push(v(ar) * idx(him, v(i)) + v(ai) * idx(hre, v(i)));
+        });
+    });
+    StreamSpec::pipeline(vec![
+        source_f32("tde_src", 16, 768, 0.005),
+        bit_reverse("tde_rev_f"),
+        fft_stage("tde_f1", 1, false),
+        fft_stage("tde_f2", 2, false),
+        fft_stage("tde_f4", 4, false),
+        eqz.build_spec(),
+        bit_reverse("tde_rev_i"),
+        fft_stage("tde_i1", 1, true),
+        fft_stage("tde_i2", 2, true),
+        fft_stage("tde_i4", 4, true),
+        amplify("tde_scale", 0.125),
+        StreamSpec::Sink,
+    ])
+    .build()
+    .expect("tde builds")
+}
+
+/// One bitonic compare-exchange round: distance `j`, block size `k`.
+fn bitonic_round(name: &str, k: i32, j: i32) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 8, 8, 8, ScalarTy::F32);
+    let arr = fb.local("arr", Ty::Array(ScalarTy::F32, 8));
+    let i = fb.local("i", Ty::Scalar(ScalarTy::I32));
+    let l = fb.local("l", Ty::Scalar(ScalarTy::I32));
+    let a = fb.local("a", Ty::Scalar(ScalarTy::F32));
+    let c = fb.local("c", Ty::Scalar(ScalarTy::F32));
+    fb.work(move |b| {
+        b.for_(i, 8i32, |b| {
+            b.set_idx(arr, v(i), pop());
+        });
+        b.for_(i, 8i32, |b| {
+            b.set(l, v(i) ^ j);
+            b.if_(gt(v(l), v(i)), |b| {
+                b.set(a, idx(arr, v(i)));
+                b.set(c, idx(arr, v(l)));
+                b.if_else(
+                    eq(v(i) & k, 0i32),
+                    |b| {
+                        b.set_idx(arr, v(i), min(v(a), v(c)));
+                        b.set_idx(arr, v(l), max(v(a), v(c)));
+                    },
+                    |b| {
+                        b.set_idx(arr, v(i), max(v(a), v(c)));
+                        b.set_idx(arr, v(l), min(v(a), v(c)));
+                    },
+                );
+            });
+        });
+        b.for_(i, 8i32, |b| {
+            b.push(idx(arr, v(i)));
+        });
+    });
+    fb.build_spec()
+}
+
+/// BitonicSort: the full 8-element bitonic network as a pipeline of six
+/// compare-exchange actors — stateless, min/max only, vertical-friendly.
+pub fn bitonic_sort() -> Graph {
+    StreamSpec::pipeline(vec![
+        source_f32("bs_src", 8, 640, 0.07),
+        bitonic_round("bs_k2_j1", 2, 1),
+        bitonic_round("bs_k4_j2", 4, 2),
+        bitonic_round("bs_k4_j1", 4, 1),
+        bitonic_round("bs_k8_j4", 8, 4),
+        bitonic_round("bs_k8_j2", 8, 2),
+        bitonic_round("bs_k8_j1", 8, 1),
+        StreamSpec::Sink,
+    ])
+    .build()
+    .expect("bitonic_sort builds")
+}
+
+/// Helper: multiply an `i32`-typed [`E`] then cast to `f32` (used by the
+/// DCT table closures).
+trait IntoEF32 {
+    fn into_e_f32(self) -> E;
+}
+
+impl IntoEF32 for E {
+    fn into_e_f32(self) -> E {
+        cast(ScalarTy::F32, self)
+    }
+}

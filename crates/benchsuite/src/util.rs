@@ -1,0 +1,148 @@
+//! Shared building blocks for the benchmark suite: deterministic sources
+//! and common actor shapes.
+
+use macross_streamir::builder::StreamSpec;
+use macross_streamir::edsl::*;
+use macross_streamir::types::{ScalarTy, Ty};
+
+/// A deterministic `f32` source: emits a bounded counter scaled by `step`,
+/// wrapping at `modulus` so every value stays exactly representable.
+/// Stateful, so it is never SIMDized — like the file readers of the
+/// StreamIt benchmarks.
+pub fn source_f32(name: &str, push: usize, modulus: i32, step: f32) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 0, 0, push, ScalarTy::F32);
+    let n = fb.state("n", Ty::Scalar(ScalarTy::I32));
+    fb.work(move |b| {
+        for _ in 0..push {
+            b.push(cast(ScalarTy::F32, v(n)) * step);
+            b.set(n, (v(n) + 1i32) % modulus);
+        }
+    });
+    fb.build_spec()
+}
+
+/// A deterministic `i32` source: linear congruential sequence (wrapping),
+/// masked to keep values in a friendly range.
+pub fn source_i32(name: &str, push: usize, mask: i32) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 0, 0, push, ScalarTy::I32);
+    let n = fb.state("n", Ty::Scalar(ScalarTy::I32));
+    fb.work(move |b| {
+        for _ in 0..push {
+            b.push(v(n) & mask);
+            b.set(n, v(n) * 1103515245i32 + 12345i32);
+        }
+    });
+    fb.build_spec()
+}
+
+/// A sliding-window FIR filter: `taps` coefficients generated in `init`
+/// from the closed form `scale * cos(freq * i)` (so isomorphic copies with
+/// different `freq`/`scale` merge horizontally). Peeks `taps`, pops 1,
+/// pushes 1. Stateless.
+pub fn fir(name: &str, taps: usize, freq: f32, scale: f32) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, taps, 1, 1, ScalarTy::F32);
+    let coef = fb.state("coef", Ty::Array(ScalarTy::F32, taps));
+    let k = fb.local("k", Ty::Scalar(ScalarTy::I32));
+    let i = fb.local("i", Ty::Scalar(ScalarTy::I32));
+    let acc = fb.local("acc", Ty::Scalar(ScalarTy::F32));
+    let junk = fb.local("junk", Ty::Scalar(ScalarTy::F32));
+    fb.init(move |b| {
+        b.for_(k, taps as i32, |b| {
+            b.set_idx(coef, v(k), cos(cast(ScalarTy::F32, v(k)) * freq) * scale);
+        });
+    });
+    fb.work(move |b| {
+        b.set(acc, 0.0f32);
+        b.for_(i, taps as i32, |b| {
+            b.set(acc, v(acc) + peek(v(i)) * idx(coef, v(i)));
+        });
+        b.set(junk, pop());
+        b.push(v(acc));
+    });
+    fb.build_spec()
+}
+
+/// A decimator: pops `factor`, pushes the first sample. Stateless.
+pub fn downsample(name: &str, factor: usize) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, factor, factor, 1, ScalarTy::F32);
+    let x = fb.local("x", Ty::Scalar(ScalarTy::F32));
+    let i = fb.local("i", Ty::Scalar(ScalarTy::I32));
+    let junk = fb.local("junk", Ty::Scalar(ScalarTy::F32));
+    fb.work(move |b| {
+        b.set(x, pop());
+        b.for_(i, (factor - 1) as i32, |b| {
+            b.set(junk, pop());
+        });
+        b.push(v(x));
+    });
+    fb.build_spec()
+}
+
+/// An expander: pops 1, pushes the sample followed by `factor - 1` zeros.
+pub fn upsample(name: &str, factor: usize) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 1, 1, factor, ScalarTy::F32);
+    let x = fb.local("x", Ty::Scalar(ScalarTy::F32));
+    let i = fb.local("i", Ty::Scalar(ScalarTy::I32));
+    fb.work(move |b| {
+        b.set(x, pop());
+        b.push(v(x));
+        b.for_(i, (factor - 1) as i32, |b| {
+            b.push(0.0f32);
+        });
+    });
+    fb.build_spec()
+}
+
+/// Element-wise gain. Stateless, pop 1 push 1.
+pub fn amplify(name: &str, gain: f32) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 1, 1, 1, ScalarTy::F32);
+    fb.work(move |b| {
+        b.push(pop() * gain);
+    });
+    fb.build_spec()
+}
+
+/// A one-pole smoother: `env = a*env + (1-a)*|x|`. **Stateful.**
+pub fn envelope(name: &str, a: f32) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 1, 1, 1, ScalarTy::F32);
+    let env = fb.state("env", Ty::Scalar(ScalarTy::F32));
+    fb.work(move |b| {
+        b.set(env, v(env) * a + abs(pop()) * (1.0 - a));
+        b.push(v(env));
+    });
+    fb.build_spec()
+}
+
+/// An `n`-deep delay line. **Stateful.**
+pub fn delay(name: &str, n: usize) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 1, 1, 1, ScalarTy::F32);
+    let line = fb.state("line", Ty::Array(ScalarTy::F32, n));
+    let ph = fb.state("ph", Ty::Scalar(ScalarTy::I32));
+    let k = fb.local("k", Ty::Scalar(ScalarTy::I32));
+    fb.init(move |b| {
+        b.for_(k, n as i32, |b| {
+            b.set_idx(line, v(k), 0.0f32);
+        });
+    });
+    fb.work(move |b| {
+        b.push(idx(line, v(ph)));
+        b.set_idx(line, v(ph), pop());
+        b.set(ph, (v(ph) + 1i32) % (n as i32));
+    });
+    fb.build_spec()
+}
+
+/// Sum `n` interleaved streams: pops `n`, pushes their sum. Stateless.
+pub fn adder(name: &str, n: usize) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, n, n, 1, ScalarTy::F32);
+    let acc = fb.local("acc", Ty::Scalar(ScalarTy::F32));
+    let i = fb.local("i", Ty::Scalar(ScalarTy::I32));
+    fb.work(move |b| {
+        b.set(acc, 0.0f32);
+        b.for_(i, n as i32, |b| {
+            b.set(acc, v(acc) + pop());
+        });
+        b.push(v(acc));
+    });
+    fb.build_spec()
+}

@@ -1,0 +1,349 @@
+//! The target-specific static cost model (Section 3.5): estimates the
+//! per-firing cycle cost of a work function by abstract interpretation,
+//! mirroring the VM's cost accounting without executing data.
+//!
+//! The SIMDization driver uses it to (a) decide whether vectorizing an
+//! actor is profitable at all and (b) pick the cheapest tape-access mode
+//! (strided scalar vs. permutation-based vs. SAGU/vector-reordered).
+
+use macross_streamir::expr::{BinOp, Expr, LValue, VarId};
+use macross_streamir::filter::Filter;
+use macross_streamir::stmt::Stmt;
+use macross_streamir::types::Value;
+use macross_vm::Machine;
+use std::collections::HashMap;
+
+/// Extra per-access address costs for reordered tapes, passed in by the
+/// tape-mode cost comparison.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AddrCosts {
+    /// Added to every scalar input-tape access.
+    pub input: u64,
+    /// Added to every scalar output-tape access.
+    pub output: u64,
+}
+
+struct CostWalker<'a> {
+    filter: &'a Filter,
+    machine: &'a Machine,
+    env: HashMap<VarId, Value>,
+    addr: AddrCosts,
+    cycles: u64,
+}
+
+/// Estimate the cycle cost of one firing of `filter` on `machine`.
+///
+/// Loops with constant (or loop-var-computable) trip counts are unrolled
+/// abstractly; unknown-trip-count loops make the estimate panic — the
+/// vectorizability analysis guarantees the SIMDizer never sees one.
+pub fn static_firing_cost(filter: &Filter, machine: &Machine, addr: AddrCosts) -> u64 {
+    let mut w = CostWalker { filter, machine, env: HashMap::new(), addr, cycles: machine.cost.firing };
+    w.block(&filter.work);
+    w.cycles
+}
+
+impl<'a> CostWalker<'a> {
+    fn is_vec_var(&self, v: VarId) -> bool {
+        self.filter.var(v).ty.is_vector()
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        let c = &self.machine.cost;
+        match s {
+            Stmt::Assign(lv, e) => {
+                let vec = self.expr(e);
+                match lv {
+                    LValue::Var(v) => {
+                        if let Some(val) = self.const_eval(e) {
+                            self.env.insert(*v, val);
+                        } else {
+                            self.env.remove(v);
+                        }
+                    }
+                    LValue::Index(v, i) => {
+                        self.expr(i);
+                        self.env.remove(v);
+                        self.cycles += if self.is_vec_var(*v) { c.vstore } else { c.store };
+                    }
+                    LValue::VIndex(v, i, _) => {
+                        self.expr(i);
+                        self.env.remove(v);
+                        self.cycles += c.vstore;
+                    }
+                    LValue::LaneVar(_, _) => self.cycles += c.lane_insert,
+                    LValue::LaneIndex(v, i, _) => {
+                        self.expr(i);
+                        self.env.remove(v);
+                        self.cycles += c.lane_insert;
+                    }
+                }
+                let _ = vec;
+            }
+            Stmt::Push(e) => {
+                self.expr(e);
+                self.cycles += c.store + self.addr.output;
+            }
+            Stmt::RPush { value, offset } => {
+                self.expr(value);
+                self.expr(offset);
+                self.cycles += c.store + c.alu;
+            }
+            Stmt::VPush { value, .. } => {
+                self.expr(value);
+                self.cycles += c.vstore;
+            }
+            Stmt::LPush(_, e) => {
+                self.expr(e);
+                self.cycles += c.store;
+            }
+            Stmt::LVPush(_, e, _) => {
+                self.expr(e);
+                self.cycles += c.vstore;
+            }
+            Stmt::For { var, count, body } => {
+                self.expr(count);
+                self.cycles += c.alu;
+                let n = self
+                    .const_eval(count)
+                    .map(|v| v.as_i64())
+                    .expect("static cost model requires constant trip counts");
+                for i in 0..n.max(0) {
+                    self.env.insert(*var, Value::I32(i as i32));
+                    self.cycles += c.loop_iter;
+                    self.block(body);
+                }
+                self.env.remove(var);
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                self.expr(cond);
+                self.cycles += c.alu;
+                match self.const_eval(cond) {
+                    Some(v) if v.is_truthy() => self.block(then_branch),
+                    Some(_) => self.block(else_branch),
+                    None => {
+                        // Unknown branch: cost the more expensive side.
+                        let snapshot = self.cycles;
+                        let env = self.env.clone();
+                        self.block(then_branch);
+                        let then_cost = self.cycles;
+                        self.cycles = snapshot;
+                        self.env = env.clone();
+                        self.block(else_branch);
+                        let else_cost = self.cycles;
+                        self.cycles = then_cost.max(else_cost);
+                        self.env = env;
+                    }
+                }
+            }
+            Stmt::AdvanceRead(_) | Stmt::AdvanceWrite(_) => self.cycles += c.alu,
+        }
+    }
+
+    /// Cost an expression; returns whether it is vector-valued.
+    fn expr(&mut self, e: &Expr) -> bool {
+        let c = &self.machine.cost;
+        match e {
+            Expr::Const(_) => false,
+            Expr::ConstVec(_) => {
+                self.cycles += c.vload;
+                true
+            }
+            Expr::Var(v) => self.is_vec_var(*v),
+            Expr::Index(v, i) => {
+                self.expr(i);
+                let vec = self.is_vec_var(*v);
+                self.cycles += if vec { c.vload } else { c.load };
+                vec
+            }
+            Expr::VIndex(_, i, _) => {
+                self.expr(i);
+                self.cycles += c.vload;
+                true
+            }
+            Expr::Unary(_, a) | Expr::Cast(_, a) => {
+                let vec = self.expr(a);
+                self.cycles += if vec { c.valu } else { c.alu };
+                vec
+            }
+            Expr::Binary(op, a, b) => {
+                let va = self.expr(a);
+                let vb = self.expr(b);
+                let vec = va || vb;
+                self.cycles += match (op, vec) {
+                    (BinOp::Mul, false) => c.mul,
+                    (BinOp::Mul, true) => c.vmul,
+                    (BinOp::Div | BinOp::Rem, false) => c.div,
+                    (BinOp::Div | BinOp::Rem, true) => c.vdiv,
+                    (_, false) => c.alu,
+                    (_, true) => c.valu,
+                };
+                vec
+            }
+            Expr::Call(i, args) => {
+                let vec = args.iter().fold(false, |acc, a| self.expr(a) || acc);
+                self.cycles += if vec {
+                    self.machine.vector_intrinsic_cost(*i)
+                } else {
+                    self.machine.scalar_intrinsic_cost(*i)
+                };
+                vec
+            }
+            Expr::Pop => {
+                self.cycles += c.load + self.addr.input;
+                false
+            }
+            Expr::Peek(off) => {
+                self.expr(off);
+                self.cycles += c.load + self.addr.input;
+                false
+            }
+            Expr::VPop { .. } => {
+                self.cycles += c.vload;
+                true
+            }
+            Expr::VPeek { offset, .. } => {
+                self.expr(offset);
+                self.cycles += c.vload;
+                true
+            }
+            Expr::LPop(_) => {
+                self.cycles += c.load;
+                false
+            }
+            Expr::LVPop(_, _) => {
+                self.cycles += c.vload;
+                true
+            }
+            Expr::Lane(a, _) => {
+                self.expr(a);
+                self.cycles += c.lane_extract;
+                false
+            }
+            Expr::Splat(a, _) => {
+                self.expr(a);
+                self.cycles += c.splat;
+                true
+            }
+            Expr::PermuteEven(a, b) | Expr::PermuteOdd(a, b) => {
+                self.expr(a);
+                self.expr(b);
+                self.cycles += c.permute;
+                true
+            }
+        }
+    }
+
+    fn const_eval(&self, e: &Expr) -> Option<Value> {
+        match e {
+            Expr::Const(v) => Some(*v),
+            Expr::Var(v) => self.env.get(v).copied(),
+            Expr::Unary(op, a) => Some(macross_streamir::expr::eval_unop(*op, self.const_eval(a)?)),
+            Expr::Binary(op, a, b) => {
+                Some(macross_streamir::expr::eval_binop(*op, self.const_eval(a)?, self.const_eval(b)?))
+            }
+            Expr::Cast(t, a) => Some(self.const_eval(a)?.cast(*t)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macross_streamir::edsl::*;
+    use macross_streamir::types::{ScalarTy, Ty};
+    use macross_vm::{run_program, Machine};
+
+    /// The static estimate must exactly match the VM's measured per-firing
+    /// cost for a straight-line actor.
+    #[test]
+    fn matches_vm_for_straightline() {
+        let mut src = FilterBuilder::new("src", 0, 0, 1, ScalarTy::F32);
+        let n = src.state("n", Ty::Scalar(ScalarTy::F32));
+        src.work(|b| {
+            b.push(v(n));
+            b.set(n, v(n) + 1.0f32);
+        });
+        let mut f = FilterBuilder::new("f", 1, 1, 1, ScalarTy::F32);
+        let t = f.local("t", Ty::Scalar(ScalarTy::F32));
+        f.work(|b| {
+            b.set(t, pop() * 2.0f32);
+            b.push(sqrt(v(t)));
+        });
+        let filter = f.build();
+        let machine = Machine::core_i7();
+        let est = static_firing_cost(&filter, &machine, AddrCosts::default());
+
+        let g = macross_streamir::builder::StreamSpec::pipeline(vec![
+            src.build_spec(),
+            macross_streamir::builder::StreamSpec::filter(filter, ScalarTy::F32),
+            macross_streamir::builder::StreamSpec::Sink,
+        ])
+        .build()
+        .unwrap();
+        let res = run_program(&g, &machine, 1).unwrap();
+        // node 1 is the filter (after src).
+        assert_eq!(res.node_cycles[1], est);
+    }
+
+    #[test]
+    fn loops_unrolled() {
+        let mut f = FilterBuilder::new("l", 4, 4, 1, ScalarTy::F32);
+        let i = f.local("i", Ty::Scalar(ScalarTy::I32));
+        let acc = f.local("acc", Ty::Scalar(ScalarTy::F32));
+        f.work(|b| {
+            b.for_(i, 4i32, |b| {
+                b.set(acc, v(acc) + pop());
+            });
+            b.push(v(acc));
+        });
+        let filter = f.build();
+        let machine = Machine::core_i7();
+        let cost = static_firing_cost(&filter, &machine, AddrCosts::default());
+        // firing(3) + loop setup alu(1)+count? count is const: no cost.
+        // per iter: loop_iter(1) + load(2) + add(1) = 4 -> 16; push: store 2.
+        assert_eq!(cost, 3 + 1 + 16 + 2);
+    }
+
+    #[test]
+    fn addr_costs_inflate_scalar_accesses() {
+        let mut f = FilterBuilder::new("p", 1, 1, 1, ScalarTy::F32);
+        f.work(|b| {
+            b.push(pop());
+        });
+        let filter = f.build();
+        let machine = Machine::core_i7();
+        let base = static_firing_cost(&filter, &machine, AddrCosts::default());
+        let reordered = static_firing_cost(&filter, &machine, AddrCosts { input: 6, output: 6 });
+        assert_eq!(reordered, base + 12);
+    }
+
+    #[test]
+    fn unknown_branch_costs_worst_case() {
+        let mut f = FilterBuilder::new("br", 1, 1, 1, ScalarTy::I32);
+        let x = f.local("x", Ty::Scalar(ScalarTy::I32));
+        f.work(|b| {
+            b.set(x, pop());
+            b.if_else(
+                v(x),
+                |b| {
+                    b.push(v(x) * v(x)); // mul: expensive
+                },
+                |b| {
+                    b.push(v(x) + 1i32); // alu: cheap
+                },
+            );
+        });
+        let filter = f.build();
+        let machine = Machine::core_i7();
+        let cost = static_firing_cost(&filter, &machine, AddrCosts::default());
+        // Must include the mul-side cost: firing 3 + load 2 + branch 1 + mul 3 + store 2.
+        assert_eq!(cost, 3 + 2 + 1 + 3 + 2);
+    }
+}

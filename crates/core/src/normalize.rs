@@ -1,0 +1,279 @@
+//! Work-function normalization: hoists every tape read and every push
+//! operand into a fresh local, so the SIMDizer only has to handle the
+//! statement forms `v = pop()`, `v = peek(e)`, `v = lpop(ch)` and
+//! `push(v)` / `lpush(ch, v)`.
+
+use macross_streamir::expr::{Expr, LValue};
+use macross_streamir::filter::{Filter, VarKind};
+use macross_streamir::stmt::Stmt;
+use macross_streamir::types::Ty;
+
+/// Normalize a filter's work body in place.
+///
+/// `in_elem`/`out_elem` are the element types of the input and output
+/// tapes, used to type the hoisted temporaries.
+///
+/// # Panics
+/// Panics if a peek offset or control-flow expression itself reads the
+/// tape — the vectorizability analysis rejects such actors before the
+/// SIMDizer runs.
+pub fn normalize_work(filter: &mut Filter, in_elem: Ty, out_elem: Ty) {
+    let body = std::mem::take(&mut filter.work);
+    let mut n = Normalizer { filter, in_elem, out_elem, counter: 0 };
+    let work = n.block(body);
+    n.filter.work = work;
+}
+
+struct Normalizer<'a> {
+    filter: &'a mut Filter,
+    in_elem: Ty,
+    out_elem: Ty,
+    counter: usize,
+}
+
+impl<'a> Normalizer<'a> {
+    fn fresh(&mut self, ty: Ty) -> macross_streamir::expr::VarId {
+        let name = format!("__t{}", self.counter);
+        self.counter += 1;
+        self.filter.add_var(name, ty, VarKind::Local)
+    }
+
+    fn block(&mut self, stmts: Vec<Stmt>) -> Vec<Stmt> {
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            self.stmt(s, &mut out);
+        }
+        out
+    }
+
+    fn stmt(&mut self, s: Stmt, out: &mut Vec<Stmt>) {
+        match s {
+            // Already-normal tape-read assignments stay put when the target
+            // is a plain variable.
+            Stmt::Assign(lv @ LValue::Var(_), e @ (Expr::Pop | Expr::LPop(_))) => out.push(Stmt::Assign(lv, e)),
+            Stmt::Assign(lv @ LValue::Var(_), Expr::Peek(off)) => {
+                assert!(!off.reads_tape(), "peek offset reads the tape");
+                out.push(Stmt::Assign(lv, Expr::Peek(off)));
+            }
+            Stmt::Assign(lv, e) => {
+                let e = self.hoist(e, out);
+                if let LValue::Index(_, i) | LValue::LaneIndex(_, i, _) | LValue::VIndex(_, i, _) = &lv {
+                    assert!(!i.reads_tape(), "array subscript reads the tape");
+                }
+                out.push(Stmt::Assign(lv, e));
+            }
+            Stmt::Push(e) => {
+                let e = self.hoist(e, out);
+                let var = self.as_var(e, self.out_elem, out);
+                out.push(Stmt::Push(Expr::Var(var)));
+            }
+            Stmt::LPush(c, e) => {
+                let e = self.hoist(e, out);
+                let ty = self.filter.chans[c.0 as usize].ty;
+                let var = self.as_var(e, ty, out);
+                out.push(Stmt::LPush(c, Expr::Var(var)));
+            }
+            Stmt::RPush { value, offset } => {
+                let value = self.hoist(value, out);
+                assert!(!offset.reads_tape(), "rpush offset reads the tape");
+                out.push(Stmt::RPush { value, offset });
+            }
+            Stmt::VPush { value, width } => {
+                let value = self.hoist(value, out);
+                out.push(Stmt::VPush { value, width });
+            }
+            Stmt::LVPush(c, e, w) => {
+                let e = self.hoist(e, out);
+                out.push(Stmt::LVPush(c, e, w));
+            }
+            Stmt::For { var, count, body } => {
+                assert!(!count.reads_tape(), "loop trip count reads the tape");
+                let body = self.block(body);
+                out.push(Stmt::For { var, count, body });
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                assert!(!cond.reads_tape(), "branch condition reads the tape");
+                let then_branch = self.block(then_branch);
+                let else_branch = self.block(else_branch);
+                out.push(Stmt::If { cond, then_branch, else_branch });
+            }
+            s @ (Stmt::AdvanceRead(_) | Stmt::AdvanceWrite(_)) => out.push(s),
+        }
+    }
+
+    /// Ensure an expression is a variable reference, hoisting if needed.
+    fn as_var(
+        &mut self,
+        e: Expr,
+        ty: Ty,
+        out: &mut Vec<Stmt>,
+    ) -> macross_streamir::expr::VarId {
+        if let Expr::Var(v) = e {
+            return v;
+        }
+        let t = self.fresh(ty);
+        out.push(Stmt::Assign(LValue::Var(t), e));
+        t
+    }
+
+    /// Replace tape reads inside `e` with fresh temporaries assigned in
+    /// left-to-right evaluation order.
+    fn hoist(&mut self, e: Expr, out: &mut Vec<Stmt>) -> Expr {
+        match e {
+            Expr::Pop => {
+                let t = self.fresh(self.in_elem);
+                out.push(Stmt::Assign(LValue::Var(t), Expr::Pop));
+                Expr::Var(t)
+            }
+            Expr::Peek(off) => {
+                assert!(!off.reads_tape(), "peek offset reads the tape");
+                let t = self.fresh(self.in_elem);
+                out.push(Stmt::Assign(LValue::Var(t), Expr::Peek(off)));
+                Expr::Var(t)
+            }
+            Expr::LPop(c) => {
+                let ty = self.filter.chans[c.0 as usize].ty;
+                let t = self.fresh(ty);
+                out.push(Stmt::Assign(LValue::Var(t), Expr::LPop(c)));
+                Expr::Var(t)
+            }
+            Expr::VPop { .. } | Expr::VPeek { .. } | Expr::LVPop(_, _) => {
+                panic!("normalizing already-vectorized code")
+            }
+            Expr::Const(_) | Expr::ConstVec(_) | Expr::Var(_) => e,
+            Expr::Index(v, i) => Expr::Index(v, Box::new(self.hoist(*i, out))),
+            Expr::VIndex(v, i, w) => Expr::VIndex(v, Box::new(self.hoist(*i, out)), w),
+            Expr::Unary(op, a) => Expr::Unary(op, Box::new(self.hoist(*a, out))),
+            Expr::Binary(op, a, b) => {
+                let a = self.hoist(*a, out);
+                let b = self.hoist(*b, out);
+                Expr::bin(op, a, b)
+            }
+            Expr::Call(i, args) => Expr::Call(i, args.into_iter().map(|a| self.hoist(a, out)).collect()),
+            Expr::Cast(t, a) => Expr::Cast(t, Box::new(self.hoist(*a, out))),
+            Expr::Lane(a, l) => Expr::Lane(Box::new(self.hoist(*a, out)), l),
+            Expr::Splat(a, w) => Expr::Splat(Box::new(self.hoist(*a, out)), w),
+            Expr::PermuteEven(a, b) => {
+                let a = self.hoist(*a, out);
+                let b = self.hoist(*b, out);
+                Expr::PermuteEven(Box::new(a), Box::new(b))
+            }
+            Expr::PermuteOdd(a, b) => {
+                let a = self.hoist(*a, out);
+                let b = self.hoist(*b, out);
+                Expr::PermuteOdd(Box::new(a), Box::new(b))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macross_streamir::analysis::measure_rates;
+    use macross_streamir::edsl::*;
+    use macross_streamir::types::ScalarTy;
+
+    fn f32_ty() -> Ty {
+        Ty::Scalar(ScalarTy::F32)
+    }
+
+    #[test]
+    fn hoists_pop_out_of_expression() {
+        let mut fb = FilterBuilder::new("x", 2, 2, 1, ScalarTy::F32);
+        fb.work(|b| {
+            b.push(pop() + pop());
+        });
+        let mut f = fb.build();
+        normalize_work(&mut f, f32_ty(), f32_ty());
+        // t0 = pop; t1 = pop; t2 = t0 + t1; push(t2)
+        assert_eq!(f.work.len(), 4);
+        assert!(matches!(&f.work[0], Stmt::Assign(LValue::Var(_), Expr::Pop)));
+        assert!(matches!(&f.work[3], Stmt::Push(Expr::Var(_))));
+        assert_eq!(measure_rates(&f.work).unwrap().pop, 2);
+    }
+
+    #[test]
+    fn preserves_evaluation_order() {
+        // push(peek(1) - pop()): peek must be hoisted before the pop.
+        let mut fb = FilterBuilder::new("x", 2, 1, 1, ScalarTy::F32);
+        fb.work(|b| {
+            b.push(peek(1i32) - pop());
+        });
+        let mut f = fb.build();
+        normalize_work(&mut f, f32_ty(), f32_ty());
+        assert!(matches!(&f.work[0], Stmt::Assign(_, Expr::Peek(_))));
+        assert!(matches!(&f.work[1], Stmt::Assign(_, Expr::Pop)));
+    }
+
+    #[test]
+    fn keeps_normal_forms_untouched() {
+        let mut fb = FilterBuilder::new("x", 1, 1, 1, ScalarTy::F32);
+        let t = fb.local("t", f32_ty());
+        fb.work(|b| {
+            b.set(t, pop());
+            b.push(v(t));
+        });
+        let mut f = fb.build();
+        let before = f.work.clone();
+        normalize_work(&mut f, f32_ty(), f32_ty());
+        assert_eq!(f.work, before);
+    }
+
+    #[test]
+    fn hoists_inside_loops_stay_inside() {
+        let mut fb = FilterBuilder::new("x", 4, 4, 4, ScalarTy::F32);
+        let i = fb.local("i", Ty::Scalar(ScalarTy::I32));
+        fb.work(|b| {
+            b.for_(i, 4i32, |b| {
+                b.push(pop() * 2.0f32);
+            });
+        });
+        let mut f = fb.build();
+        normalize_work(&mut f, f32_ty(), f32_ty());
+        match &f.work[0] {
+            Stmt::For { body, .. } => {
+                assert!(matches!(&body[0], Stmt::Assign(_, Expr::Pop)));
+                assert_eq!(body.len(), 3);
+            }
+            other => panic!("expected loop, got {other:?}"),
+        }
+        assert_eq!(measure_rates(&f.work).unwrap().pop, 4);
+    }
+
+    #[test]
+    fn behaviour_is_preserved_under_vm() {
+        use macross_streamir::builder::StreamSpec;
+        use macross_vm::{run_program, Machine};
+        let mk = |normalized: bool| {
+            let mut src = FilterBuilder::new("src", 0, 0, 2, ScalarTy::F32);
+            let n = src.state("n", f32_ty());
+            src.work(|b| {
+                b.push(v(n));
+                b.set(n, v(n) + 1.0f32);
+                b.push(v(n) * 0.5f32);
+                b.set(n, v(n) + 1.0f32);
+            });
+            let mut fb = FilterBuilder::new("f", 3, 2, 2, ScalarTy::F32);
+            fb.work(|b| {
+                b.push(peek(2i32) - pop());
+                b.push(pop() * 3.0f32);
+            });
+            let mut f = fb.build();
+            if normalized {
+                normalize_work(&mut f, f32_ty(), f32_ty());
+            }
+            StreamSpec::pipeline(vec![
+                src.build_spec(),
+                StreamSpec::filter(f, ScalarTy::F32),
+                StreamSpec::Sink,
+            ])
+            .build()
+            .unwrap()
+        };
+        let machine = Machine::core_i7();
+        let a = run_program(&mk(false), &machine, 5).unwrap();
+        let b = run_program(&mk(true), &machine, 5).unwrap();
+        assert_eq!(a.output, b.output);
+    }
+}

@@ -1,0 +1,197 @@
+//! Permutation-network construction for the permutation-based tape accesses
+//! of Section 3.4 (Figure 7): replacing `SW * X` strided scalar tape
+//! accesses with `X` vector accesses plus `extract_even`/`extract_odd`
+//! permutations.
+//!
+//! The building block is one *round* over `k` vectors of width `SW`:
+//!
+//! ```text
+//! new[i]       = extract_even(old[2i], old[2i+1])   for i in 0..k/2
+//! new[k/2 + i] = extract_odd (old[2i], old[2i+1])   for i in 0..k/2
+//! ```
+//!
+//! One round moves the element at concatenation position `x` to position
+//! `(x >> 1) + (x & 1) * N/2`; composing `m` rounds yields
+//! `(x >> m) + (x mod 2^m) * N/2^m` (each round promotes the next-lowest
+//! bit to the top while previously promoted bits shift down in lockstep,
+//! so their order is preserved). Choosing `m` realizes both layouts the
+//! SIMDizer needs, with no residual reordering:
+//!
+//! - **gather** (input side): `p` vector pops of contiguous tape data
+//!   (`m = log2 p` rounds) become `p` vectors where vector `j` holds lane
+//!   `l`'s `j`-th pop. Cost: `p * log2(p)` permutes — the paper's
+//!   `X_r * lg2(X_r)` formula. Requires `p` to be a power of two.
+//! - **scatter** (output side): `q` result vectors (vector `j` = the lanes'
+//!   `j`-th pushes; `m = log2 SW` rounds) become the contiguous memory
+//!   image. Cost `q * log2(SW)`; requires only that `q` is even (the paper
+//!   states power-of-two push counts, which this generalizes).
+
+/// A permutation plan: `rounds` full even/odd rounds over `k` vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PermPlan {
+    /// Number of vectors flowing through the network.
+    pub k: usize,
+    /// Number of even/odd rounds.
+    pub rounds: usize,
+}
+
+impl PermPlan {
+    /// Total `extract_even`/`extract_odd` operations the plan costs.
+    pub fn op_count(&self) -> usize {
+        self.k * self.rounds
+    }
+
+    /// Apply the plan to concrete vectors (used by tests and the Figure-7
+    /// bench; the SIMDizer instead emits the equivalent IR).
+    ///
+    /// # Panics
+    /// Panics if the number of vectors does not match the plan.
+    pub fn apply<T: Copy>(&self, vecs: &[Vec<T>]) -> Vec<Vec<T>> {
+        assert_eq!(vecs.len(), self.k, "plan expects {} vectors", self.k);
+        let mut cur: Vec<Vec<T>> = vecs.to_vec();
+        for _ in 0..self.rounds {
+            let mut next: Vec<Vec<T>> = Vec::with_capacity(self.k);
+            for i in 0..self.k / 2 {
+                next.push(extract(&cur[2 * i], &cur[2 * i + 1], 0));
+            }
+            for i in 0..self.k / 2 {
+                next.push(extract(&cur[2 * i], &cur[2 * i + 1], 1));
+            }
+            cur = next;
+        }
+        cur
+    }
+}
+
+fn extract<T: Copy>(a: &[T], b: &[T], parity: usize) -> Vec<T> {
+    a.iter().chain(b.iter()).copied().skip(parity).step_by(2).collect()
+}
+
+/// True if the input-side permutation optimization applies: pop count a
+/// power of two (1 is the trivial no-permute case).
+pub fn gather_applicable(pop_rate: usize) -> bool {
+    pop_rate >= 1 && pop_rate.is_power_of_two()
+}
+
+/// True if the output-side permutation optimization applies: any even push
+/// count (or the trivial 1).
+pub fn scatter_applicable(push_rate: usize) -> bool {
+    push_rate == 1 || (push_rate >= 2 && push_rate % 2 == 0)
+}
+
+/// Plan for the input side: given `p` vector loads of contiguous tape data
+/// (`p * sw` elements), produce `p` vectors where vector `j`'s lane `l` is
+/// element `l * p + j` — the data each of the `sw` parallel executions'
+/// `j`-th pop needs.
+///
+/// # Panics
+/// Panics unless `p` is a power of two.
+pub fn gather_plan(p: usize, sw: usize) -> PermPlan {
+    assert!(gather_applicable(p), "gather plan requires a power-of-two pop count");
+    let _ = sw;
+    PermPlan { k: p, rounds: p.trailing_zeros() as usize }
+}
+
+/// Plan for the output side: given `q` result vectors where vector `j`'s
+/// lane `l` is execution `l`'s `j`-th push, produce the `q` vectors of the
+/// contiguous memory image (vector `c` covers elements
+/// `c * sw .. (c+1) * sw`).
+///
+/// # Panics
+/// Panics unless `q` is even or 1.
+pub fn scatter_plan(q: usize, sw: usize) -> PermPlan {
+    assert!(scatter_applicable(q), "scatter plan requires an even push count");
+    if q == 1 {
+        return PermPlan { k: 1, rounds: 0 };
+    }
+    PermPlan { k: q, rounds: sw.trailing_zeros() as usize }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Directly gather stride-`p`: logical vector j lane l = elem l*p+j.
+    fn reference_gather(elems: &[i32], p: usize, sw: usize) -> Vec<Vec<i32>> {
+        (0..p).map(|j| (0..sw).map(|l| elems[l * p + j]).collect()).collect()
+    }
+
+    #[test]
+    fn figure7_example() {
+        // 16 contiguous elements, p = 4, SW = 4: "4 vector pops and then
+        // use 8 permutation operations (4 extract_even and 4 extract_odd)".
+        let p = 4;
+        let sw = 4;
+        let elems: Vec<i32> = (0..16).collect();
+        let loads: Vec<Vec<i32>> = elems.chunks(sw).map(|c| c.to_vec()).collect();
+        let plan = gather_plan(p, sw);
+        assert_eq!(plan.op_count(), 8, "X * lg2(X) = 4 * 2");
+        let got = plan.apply(&loads);
+        assert_eq!(got, reference_gather(&elems, p, sw));
+        // The strided vectors of Figure 7.
+        assert_eq!(got[0], vec![0, 4, 8, 12]);
+        assert_eq!(got[1], vec![1, 5, 9, 13]);
+        assert_eq!(got[3], vec![3, 7, 11, 15]);
+    }
+
+    #[test]
+    fn gather_matches_reference_for_all_powers() {
+        for sw in [2usize, 4, 8, 16] {
+            for p in [1usize, 2, 4, 8, 16, 32] {
+                let elems: Vec<i32> = (0..(p * sw) as i32).collect();
+                let loads: Vec<Vec<i32>> = elems.chunks(sw).map(|c| c.to_vec()).collect();
+                let plan = gather_plan(p, sw);
+                assert_eq!(plan.op_count(), p * (p.trailing_zeros() as usize));
+                assert_eq!(plan.apply(&loads), reference_gather(&elems, p, sw), "p={p} sw={sw}");
+            }
+        }
+    }
+
+    /// Memory image reference: element at position l*q+j is vector j lane l.
+    fn reference_scatter(result_vecs: &[Vec<i32>], q: usize, sw: usize) -> Vec<Vec<i32>> {
+        let n = q * sw;
+        let mut mem = vec![0; n];
+        for (j, vec) in result_vecs.iter().enumerate() {
+            for (l, &v) in vec.iter().enumerate() {
+                mem[l * q + j] = v;
+            }
+        }
+        mem.chunks(sw).map(|c| c.to_vec()).collect()
+    }
+
+    #[test]
+    fn scatter_matches_reference() {
+        for sw in [2usize, 4, 8] {
+            for q in [1usize, 2, 4, 6, 8, 12, 16] {
+                let result_vecs: Vec<Vec<i32>> =
+                    (0..q).map(|j| (0..sw).map(|l| (100 * l + j) as i32).collect()).collect();
+                let plan = scatter_plan(q, sw);
+                assert_eq!(plan.apply(&result_vecs), reference_scatter(&result_vecs, q, sw), "q={q} sw={sw}");
+            }
+        }
+    }
+
+    #[test]
+    fn applicability_conditions() {
+        assert!(gather_applicable(1));
+        assert!(gather_applicable(8));
+        assert!(!gather_applicable(6));
+        assert!(!gather_applicable(0));
+        assert!(scatter_applicable(1));
+        assert!(scatter_applicable(2));
+        assert!(scatter_applicable(6));
+        assert!(!scatter_applicable(3));
+        assert!(!scatter_applicable(0));
+    }
+
+    #[test]
+    fn trivial_plans_are_identity() {
+        let plan = gather_plan(1, 4);
+        assert_eq!(plan.op_count(), 0);
+        let v = vec![vec![1, 2, 3, 4]];
+        assert_eq!(plan.apply(&v), v);
+        let splan = scatter_plan(1, 4);
+        assert_eq!(splan.op_count(), 0);
+        assert_eq!(splan.apply(&v), v);
+    }
+}

@@ -1,0 +1,32 @@
+//! # macross-sdf
+//!
+//! Synchronous-data-flow scheduling for the MacroSS reproduction: the
+//! balance-equation solver producing minimal repetition vectors, the
+//! Figure-1b steady-state schedule with an initialization phase for peeking
+//! filters, and per-tape buffer sizing.
+//!
+//! ```
+//! use macross_streamir::builder::StreamSpec;
+//! use macross_streamir::edsl::FilterBuilder;
+//! use macross_streamir::types::ScalarTy;
+//! use macross_sdf::Schedule;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut src = FilterBuilder::new("src", 0, 0, 2, ScalarTy::F32);
+//! src.work(|b| { b.push(1.0f32); b.push(2.0f32); });
+//! let mut dec = FilterBuilder::new("decimate", 2, 2, 1, ScalarTy::F32);
+//! dec.work(|b| { b.push(macross_streamir::edsl::pop()); b.push(macross_streamir::edsl::pop()); });
+//! # let mut dec = FilterBuilder::new("decimate", 2, 2, 1, ScalarTy::F32);
+//! # dec.work(|b| { use macross_streamir::edsl::*; b.push(pop() + pop()); });
+//! let g = StreamSpec::pipeline(vec![src.build_spec(), dec.build_spec(), StreamSpec::Sink]).build()?;
+//! let sched = Schedule::compute(&g)?;
+//! assert_eq!(sched.reps, vec![1, 1, 1]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod repetition;
+pub mod schedule;
+
+pub use repetition::{gcd, is_balanced, lcm, repetition_vector, RateMatchError};
+pub use schedule::{buffer_requirements, compute_init_reps, BufferReq, Schedule, ScheduleError};

@@ -1,0 +1,637 @@
+//! Static analyses over filters: rate measurement by abstract
+//! interpretation, statefulness, and the vectorizability conditions of
+//! Section 3.1 of the paper.
+
+use crate::expr::{Expr, Intrinsic, LValue, VarId};
+use crate::filter::Filter;
+use crate::stmt::Stmt;
+use crate::types::Value;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// Measured per-firing tape rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rates {
+    /// Elements consumed (read pointer advance).
+    pub pop: usize,
+    /// Elements produced (write pointer advance).
+    pub push: usize,
+    /// Maximum read extent (`>= pop`).
+    pub peek: usize,
+}
+
+/// Errors from rate measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RateError {
+    /// A loop trip count could not be resolved to a compile-time constant.
+    DynamicTripCount(String),
+    /// A peek/rpush offset could not be resolved to a constant.
+    DynamicOffset(String),
+    /// The two branches of an `if` move the tape pointers differently.
+    DivergentBranches(String),
+    /// Measured rates disagree with the filter's declared rates.
+    DeclaredMismatch {
+        /// Actor name.
+        name: String,
+        /// What the body actually does.
+        measured: Rates,
+        /// What the actor declares.
+        declared: Rates,
+    },
+}
+
+impl fmt::Display for RateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RateError::DynamicTripCount(s) => write!(f, "loop trip count is not a compile-time constant: {s}"),
+            RateError::DynamicOffset(s) => write!(f, "tape-access offset is not a compile-time constant: {s}"),
+            RateError::DivergentBranches(s) => write!(f, "if-branches have different tape rates: {s}"),
+            RateError::DeclaredMismatch { name, measured, declared } => write!(
+                f,
+                "filter {name}: measured rates {measured:?} disagree with declared {declared:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RateError {}
+
+/// Abstract machine state for rate measurement.
+struct RateState {
+    /// Integer-constant environment (loop vars and constant locals).
+    env: HashMap<VarId, Value>,
+    /// Elements popped so far this firing.
+    pops: usize,
+    /// Maximum read extent so far.
+    peek_extent: usize,
+    /// Elements pushed (write pointer advance) so far.
+    pushes: usize,
+    /// Maximum write extent so far (rpush can exceed the pointer).
+    push_extent: usize,
+}
+
+impl RateState {
+    fn new() -> RateState {
+        RateState { env: HashMap::new(), pops: 0, peek_extent: 0, pushes: 0, push_extent: 0 }
+    }
+}
+
+/// Measure the per-firing rates of a work function body.
+///
+/// Loops are abstractly unrolled (their trip counts must be compile-time
+/// constants), so loop-variable-dependent peek offsets like `peek(i + j)`
+/// resolve exactly.
+///
+/// # Errors
+/// See [`RateError`].
+pub fn measure_rates(body: &[Stmt]) -> Result<Rates, RateError> {
+    let mut st = RateState::new();
+    exec_block(body, &mut st)?;
+    Ok(Rates { pop: st.pops, push: st.pushes.max(st.push_extent), peek: st.peek_extent.max(st.pops) })
+}
+
+/// Check a filter's declared rates against its measured rates.
+///
+/// # Errors
+/// Returns [`RateError::DeclaredMismatch`] when they disagree, or any
+/// measurement error.
+pub fn check_rates(filter: &Filter) -> Result<Rates, RateError> {
+    let measured = measure_rates(&filter.work)?;
+    let declared = Rates { pop: filter.pop, push: filter.push, peek: filter.peek };
+    if measured != declared {
+        return Err(RateError::DeclaredMismatch { name: filter.name.clone(), measured, declared });
+    }
+    Ok(measured)
+}
+
+fn exec_block(stmts: &[Stmt], st: &mut RateState) -> Result<(), RateError> {
+    for s in stmts {
+        exec_stmt(s, st)?;
+    }
+    Ok(())
+}
+
+fn exec_stmt(s: &Stmt, st: &mut RateState) -> Result<(), RateError> {
+    match s {
+        Stmt::Assign(lv, e) => {
+            count_expr(e, st)?;
+            if let LValue::Index(_, i) | LValue::LaneIndex(_, i, _) | LValue::VIndex(_, i, _) = lv {
+                count_expr(i, st)?;
+            }
+            match lv {
+                LValue::Var(v) => {
+                    if let Some(val) = const_eval(e, st) {
+                        st.env.insert(*v, val);
+                    } else {
+                        st.env.remove(v);
+                    }
+                }
+                _ => {
+                    st.env.remove(&lv.var());
+                }
+            }
+        }
+        Stmt::Push(e) => {
+            count_expr(e, st)?;
+            st.pushes += 1;
+            st.push_extent = st.push_extent.max(st.pushes);
+        }
+        Stmt::RPush { value, offset } => {
+            count_expr(value, st)?;
+            let off = const_eval(offset, st)
+                .map(|v| v.as_i64() as usize)
+                .ok_or_else(|| RateError::DynamicOffset(offset.to_string()))?;
+            st.push_extent = st.push_extent.max(st.pushes + off + 1);
+        }
+        Stmt::VPush { value, width } => {
+            count_expr(value, st)?;
+            st.pushes += width;
+            st.push_extent = st.push_extent.max(st.pushes);
+        }
+        Stmt::LPush(_, e) | Stmt::LVPush(_, e, _) => count_expr(e, st)?,
+        Stmt::For { var, count, body } => {
+            let n = const_eval(count, st)
+                .map(|v| v.as_i64())
+                .ok_or_else(|| RateError::DynamicTripCount(count.to_string()))?;
+            for i in 0..n.max(0) {
+                st.env.insert(*var, Value::I32(i as i32));
+                exec_block(body, st)?;
+            }
+            st.env.remove(var);
+        }
+        Stmt::If { cond, then_branch, else_branch } => {
+            count_expr(cond, st)?;
+            if let Some(c) = const_eval(cond, st) {
+                if c.is_truthy() {
+                    exec_block(then_branch, st)?;
+                } else {
+                    exec_block(else_branch, st)?;
+                }
+            } else {
+                // Unknown condition: both branches must have identical
+                // tape behaviour for the rates to be static.
+                let mut t = snapshot(st);
+                exec_block(then_branch, &mut t)?;
+                let mut e = snapshot(st);
+                exec_block(else_branch, &mut e)?;
+                if (t.pops, t.pushes, t.peek_extent, t.push_extent)
+                    != (e.pops, e.pushes, e.peek_extent, e.push_extent)
+                {
+                    return Err(RateError::DivergentBranches(cond.to_string()));
+                }
+                st.pops = t.pops;
+                st.pushes = t.pushes;
+                st.peek_extent = t.peek_extent;
+                st.push_extent = t.push_extent;
+                // Keep only bindings identical in both branches.
+                st.env.retain(|k, v| t.env.get(k) == Some(v) && e.env.get(k) == Some(v));
+            }
+        }
+        Stmt::AdvanceRead(n) => {
+            st.pops += n;
+            st.peek_extent = st.peek_extent.max(st.pops);
+        }
+        Stmt::AdvanceWrite(n) => {
+            st.pushes += n;
+            st.push_extent = st.push_extent.max(st.pushes);
+        }
+    }
+    Ok(())
+}
+
+fn snapshot(st: &RateState) -> RateState {
+    RateState {
+        env: st.env.clone(),
+        pops: st.pops,
+        peek_extent: st.peek_extent,
+        pushes: st.pushes,
+        push_extent: st.push_extent,
+    }
+}
+
+/// Count tape reads inside an expression (left-to-right evaluation order).
+fn count_expr(e: &Expr, st: &mut RateState) -> Result<(), RateError> {
+    match e {
+        Expr::Pop => {
+            st.pops += 1;
+            st.peek_extent = st.peek_extent.max(st.pops);
+        }
+        Expr::VPop { width } => {
+            st.pops += width;
+            st.peek_extent = st.peek_extent.max(st.pops);
+        }
+        Expr::Peek(off) => {
+            count_expr(off, st)?;
+            let o = const_eval(off, st)
+                .map(|v| v.as_i64() as usize)
+                .ok_or_else(|| RateError::DynamicOffset(off.to_string()))?;
+            st.peek_extent = st.peek_extent.max(st.pops + o + 1);
+        }
+        Expr::VPeek { offset, width } => {
+            count_expr(offset, st)?;
+            let o = const_eval(offset, st)
+                .map(|v| v.as_i64() as usize)
+                .ok_or_else(|| RateError::DynamicOffset(offset.to_string()))?;
+            st.peek_extent = st.peek_extent.max(st.pops + o + width);
+        }
+        Expr::Const(_) | Expr::ConstVec(_) | Expr::Var(_) | Expr::LPop(_) | Expr::LVPop(_, _) => {}
+        Expr::Index(_, i) | Expr::VIndex(_, i, _) => count_expr(i, st)?,
+        Expr::Unary(_, a) | Expr::Cast(_, a) | Expr::Lane(a, _) | Expr::Splat(a, _) => count_expr(a, st)?,
+        Expr::Binary(_, a, b) | Expr::PermuteEven(a, b) | Expr::PermuteOdd(a, b) => {
+            count_expr(a, st)?;
+            count_expr(b, st)?;
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                count_expr(a, st)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Evaluate an expression to a compile-time constant if possible.
+fn const_eval(e: &Expr, st: &RateState) -> Option<Value> {
+    match e {
+        Expr::Const(v) => Some(*v),
+        Expr::Var(v) => st.env.get(v).copied(),
+        Expr::Unary(op, a) => Some(crate::expr::eval_unop(*op, const_eval(a, st)?)),
+        Expr::Binary(op, a, b) => Some(crate::expr::eval_binop(*op, const_eval(a, st)?, const_eval(b, st)?)),
+        Expr::Cast(t, a) => Some(const_eval(a, st)?.cast(*t)),
+        _ => None,
+    }
+}
+
+/// Result of the vectorizability analysis (Section 3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vectorizability {
+    /// The filter mutates persistent state in `work`.
+    pub stateful: bool,
+    /// A loop bound or branch condition depends on popped data.
+    pub tape_dependent_control: bool,
+    /// An array subscript or peek offset depends on popped data.
+    pub tape_dependent_subscript: bool,
+    /// Intrinsics called anywhere in `work` (the target machine decides
+    /// which of these its SIMD engine supports).
+    pub intrinsics: BTreeSet<Intrinsic>,
+    /// The body already uses vector constructs (has been SIMDized).
+    pub vectorized: bool,
+}
+
+impl Vectorizability {
+    /// True if the actor passes every *machine-independent* condition for
+    /// single-actor SIMDization. Intrinsic support must still be checked
+    /// against the target.
+    pub fn simdizable(&self) -> bool {
+        !self.stateful && !self.tape_dependent_control && !self.tape_dependent_subscript && !self.vectorized
+    }
+}
+
+/// Analyze a filter for the vectorizability conditions.
+pub fn analyze_vectorizability(filter: &Filter) -> Vectorizability {
+    let mut out = Vectorizability {
+        stateful: false,
+        tape_dependent_control: false,
+        tape_dependent_subscript: false,
+        intrinsics: BTreeSet::new(),
+        vectorized: false,
+    };
+
+    // Statefulness: state variables written inside work.
+    let state_vars: HashSet<VarId> = filter.state_vars().collect();
+    for s in &filter.work {
+        s.walk(&mut |s| {
+            if let Stmt::Assign(lv, _) = s {
+                if state_vars.contains(&lv.var()) {
+                    out.stateful = true;
+                }
+            }
+        });
+    }
+
+    // Intrinsics and pre-existing vector constructs.
+    for s in &filter.work {
+        s.walk_exprs(&mut |e| match e {
+            Expr::Call(i, _) => {
+                out.intrinsics.insert(*i);
+            }
+            Expr::ConstVec(_)
+            | Expr::VPop { .. }
+            | Expr::VPeek { .. }
+            | Expr::LVPop(_, _)
+            | Expr::VIndex(_, _, _)
+            | Expr::Lane(_, _)
+            | Expr::Splat(_, _)
+            | Expr::PermuteEven(_, _)
+            | Expr::PermuteOdd(_, _) => out.vectorized = true,
+            _ => {}
+        });
+        s.walk(&mut |s| {
+            if matches!(s, Stmt::VPush { .. } | Stmt::LVPush(_, _, _)) {
+                out.vectorized = true;
+            }
+        });
+    }
+    if filter.vars.iter().any(|v| v.ty.is_vector()) {
+        out.vectorized = true;
+    }
+
+    // Taint analysis for tape-dependent control flow / subscripts.
+    // Iterate to a fixpoint so loop-carried taint is caught.
+    let mut tainted: HashSet<VarId> = HashSet::new();
+    loop {
+        let before = tainted.len();
+        taint_block(&filter.work, &mut tainted, &mut out);
+        if tainted.len() == before {
+            break;
+        }
+    }
+    out
+}
+
+fn expr_tainted(e: &Expr, tainted: &HashSet<VarId>) -> bool {
+    let mut hit = false;
+    e.walk(&mut |e| match e {
+        Expr::Pop | Expr::Peek(_) | Expr::VPop { .. } | Expr::VPeek { .. } | Expr::LPop(_) | Expr::LVPop(_, _) => {
+            hit = true
+        }
+        Expr::Var(v) | Expr::Index(v, _) => {
+            if tainted.contains(v) {
+                hit = true;
+            }
+        }
+        _ => {}
+    });
+    hit
+}
+
+fn check_subscripts(e: &Expr, tainted: &HashSet<VarId>, out: &mut Vectorizability) {
+    e.walk(&mut |e| match e {
+        Expr::Index(_, i) => {
+            if expr_tainted(i, tainted) {
+                out.tape_dependent_subscript = true;
+            }
+        }
+        Expr::Peek(off) | Expr::VPeek { offset: off, .. } => {
+            if expr_tainted(off, tainted) {
+                out.tape_dependent_subscript = true;
+            }
+        }
+        _ => {}
+    });
+}
+
+fn taint_block(stmts: &[Stmt], tainted: &mut HashSet<VarId>, out: &mut Vectorizability) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(lv, e) => {
+                check_subscripts(e, tainted, out);
+                if let LValue::Index(_, i) | LValue::LaneIndex(_, i, _) | LValue::VIndex(_, i, _) = lv {
+                    check_subscripts(i, tainted, out);
+                    if expr_tainted(i, tainted) {
+                        out.tape_dependent_subscript = true;
+                    }
+                }
+                let rhs_tainted = expr_tainted(e, tainted);
+                match lv {
+                    LValue::Var(v) => {
+                        if rhs_tainted {
+                            tainted.insert(*v);
+                        }
+                        // Note: we do not untaint on clean assignment; the
+                        // analysis is a conservative may-taint fixpoint.
+                    }
+                    _ => {
+                        if rhs_tainted {
+                            tainted.insert(lv.var());
+                        }
+                    }
+                }
+            }
+            Stmt::Push(e) | Stmt::LPush(_, e) | Stmt::LVPush(_, e, _) => check_subscripts(e, tainted, out),
+            Stmt::RPush { value, offset } => {
+                check_subscripts(value, tainted, out);
+                if expr_tainted(offset, tainted) {
+                    out.tape_dependent_subscript = true;
+                }
+            }
+            Stmt::VPush { value, .. } => check_subscripts(value, tainted, out),
+            Stmt::For { count, body, .. } => {
+                if expr_tainted(count, tainted) {
+                    out.tape_dependent_control = true;
+                }
+                taint_block(body, tainted, out);
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                if expr_tainted(cond, tainted) {
+                    out.tape_dependent_control = true;
+                }
+                taint_block(then_branch, tainted, out);
+                taint_block(else_branch, tainted, out);
+            }
+            Stmt::AdvanceRead(_) | Stmt::AdvanceWrite(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edsl::*;
+    use crate::types::{ScalarTy, Ty};
+
+    #[test]
+    fn measures_simple_rates() {
+        let mut fb = FilterBuilder::new("d", 2, 2, 2, ScalarTy::F32);
+        let i = fb.local("i", Ty::Scalar(ScalarTy::I32));
+        let t = fb.local("t", Ty::Scalar(ScalarTy::F32));
+        fb.work(|b| {
+            b.for_(i, 2i32, |b| {
+                b.set(t, pop());
+                b.push(v(t) * 2.0f32);
+            });
+        });
+        let f = fb.build();
+        assert_eq!(check_rates(&f).unwrap(), Rates { pop: 2, push: 2, peek: 2 });
+    }
+
+    #[test]
+    fn measures_loop_var_peeks() {
+        // FIR-style: peek(i) for i in 0..8, pop 1, push 1.
+        let mut fb = FilterBuilder::new("fir", 8, 1, 1, ScalarTy::F32);
+        let i = fb.local("i", Ty::Scalar(ScalarTy::I32));
+        let acc = fb.local("acc", Ty::Scalar(ScalarTy::F32));
+        let junk = fb.local("junk", Ty::Scalar(ScalarTy::F32));
+        fb.work(|b| {
+            b.set(acc, 0.0f32);
+            b.for_(i, 8i32, |b| {
+                b.set(acc, v(acc) + peek(v(i)));
+            });
+            b.set(junk, pop());
+            b.push(v(acc));
+        });
+        let f = fb.build();
+        assert_eq!(check_rates(&f).unwrap(), Rates { pop: 1, push: 1, peek: 8 });
+    }
+
+    #[test]
+    fn peek_extent_tracks_pops() {
+        // pop then peek(0): the peek reads element 1 of the firing.
+        let mut fb = FilterBuilder::new("p", 2, 2, 1, ScalarTy::F32);
+        let a = fb.local("a", Ty::Scalar(ScalarTy::F32));
+        fb.work(|b| {
+            b.set(a, pop() + peek(0i32));
+            b.push(v(a));
+            b.stmt(Stmt::AdvanceRead(1));
+        });
+        let f = fb.build();
+        assert_eq!(check_rates(&f).unwrap(), Rates { pop: 2, push: 1, peek: 2 });
+    }
+
+    #[test]
+    fn declared_mismatch_detected() {
+        let mut fb = FilterBuilder::new("bad", 1, 1, 2, ScalarTy::F32);
+        fb.work(|b| {
+            b.push(pop());
+        });
+        let f = fb.build();
+        assert!(matches!(check_rates(&f), Err(RateError::DeclaredMismatch { .. })));
+    }
+
+    #[test]
+    fn divergent_branches_detected() {
+        let mut fb = FilterBuilder::new("div", 1, 1, 1, ScalarTy::I32);
+        let x = fb.local("x", Ty::Scalar(ScalarTy::I32));
+        fb.work(|b| {
+            b.set(x, pop());
+            b.if_else(
+                v(x),
+                |b| {
+                    b.push(1i32);
+                },
+                |b| {
+                    b.push(1i32);
+                    b.push(2i32);
+                },
+            );
+        });
+        let f = fb.build();
+        assert!(matches!(measure_rates(&f.work), Err(RateError::DivergentBranches(_))));
+    }
+
+    #[test]
+    fn balanced_dynamic_branches_ok() {
+        let mut fb = FilterBuilder::new("bal", 1, 1, 1, ScalarTy::I32);
+        let x = fb.local("x", Ty::Scalar(ScalarTy::I32));
+        fb.work(|b| {
+            b.set(x, pop());
+            b.if_else(
+                v(x),
+                |b| {
+                    b.push(v(x) + 1i32);
+                },
+                |b| {
+                    b.push(0i32);
+                },
+            );
+        });
+        let f = fb.build();
+        assert_eq!(check_rates(&f).unwrap(), Rates { pop: 1, push: 1, peek: 1 });
+    }
+
+    #[test]
+    fn stateful_detection() {
+        let mut fb = FilterBuilder::new("acc", 1, 1, 1, ScalarTy::F32);
+        let s = fb.state("sum", Ty::Scalar(ScalarTy::F32));
+        fb.work(|b| {
+            b.set(s, v(s) + pop());
+            b.push(v(s));
+        });
+        let f = fb.build();
+        let va = analyze_vectorizability(&f);
+        assert!(va.stateful);
+        assert!(!va.simdizable());
+    }
+
+    #[test]
+    fn readonly_state_is_not_stateful() {
+        let mut fb = FilterBuilder::new("coef", 1, 1, 1, ScalarTy::F32);
+        let cf = fb.state("c", Ty::Array(ScalarTy::F32, 4));
+        let i = fb.local("i", Ty::Scalar(ScalarTy::I32));
+        fb.init(|b| {
+            b.for_(i, 4i32, |b| {
+                b.set_idx(cf, v(i), cast(ScalarTy::F32, v(i)));
+            });
+        });
+        fb.work(|b| {
+            b.push(pop() * idx(cf, 0i32));
+        });
+        let f = fb.build();
+        let va = analyze_vectorizability(&f);
+        assert!(!va.stateful);
+        assert!(va.simdizable());
+    }
+
+    #[test]
+    fn tape_dependent_control_detected() {
+        let mut fb = FilterBuilder::new("tdc", 1, 1, 1, ScalarTy::I32);
+        let x = fb.local("x", Ty::Scalar(ScalarTy::I32));
+        fb.work(|b| {
+            b.set(x, pop());
+            b.if_else(
+                gt(v(x), 0i32),
+                |b| {
+                    b.push(1i32);
+                },
+                |b| {
+                    b.push(0i32);
+                },
+            );
+        });
+        let f = fb.build();
+        let va = analyze_vectorizability(&f);
+        assert!(va.tape_dependent_control);
+        assert!(!va.simdizable());
+    }
+
+    #[test]
+    fn tape_dependent_subscript_detected() {
+        let mut fb = FilterBuilder::new("tds", 1, 1, 1, ScalarTy::I32);
+        let arr = fb.state("lut", Ty::Array(ScalarTy::I32, 16));
+        let x = fb.local("x", Ty::Scalar(ScalarTy::I32));
+        fb.work(|b| {
+            b.set(x, pop());
+            b.push(idx(arr, v(x) & 15i32));
+        });
+        let f = fb.build();
+        let va = analyze_vectorizability(&f);
+        assert!(va.tape_dependent_subscript);
+    }
+
+    #[test]
+    fn intrinsics_collected() {
+        let mut fb = FilterBuilder::new("trig", 1, 1, 1, ScalarTy::F32);
+        fb.work(|b| {
+            b.push(sin(pop()) + cos(c(0.5f32)));
+        });
+        let f = fb.build();
+        let va = analyze_vectorizability(&f);
+        assert!(va.intrinsics.contains(&Intrinsic::Sin));
+        assert!(va.intrinsics.contains(&Intrinsic::Cos));
+        assert!(va.simdizable());
+    }
+
+    #[test]
+    fn vectorized_code_flagged() {
+        let mut fb = FilterBuilder::new("vec", 4, 4, 4, ScalarTy::F32);
+        let tv = fb.local("t_v", Ty::Vector(ScalarTy::F32, 4));
+        fb.work(|b| {
+            b.set(tv, E(Expr::VPop { width: 4 }));
+            b.stmt(Stmt::VPush { value: Expr::Var(tv), width: 4 });
+        });
+        let f = fb.build();
+        let va = analyze_vectorizability(&f);
+        assert!(va.vectorized);
+        assert!(!va.simdizable());
+    }
+}

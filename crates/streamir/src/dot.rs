@@ -1,0 +1,86 @@
+//! Graphviz export of stream graphs (compiler debugging aid).
+
+use crate::graph::{Graph, Node, SplitKind};
+
+/// Render a graph in Graphviz `dot` syntax. Filters show their rates;
+/// vector tapes and reordered (SAGU) tapes are highlighted.
+pub fn to_dot(graph: &Graph) -> String {
+    let mut s = String::from("digraph stream {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for (id, node) in graph.nodes() {
+        let (label, style) = match node {
+            Node::Filter(f) => (
+                format!("{}\\npeek={} pop={} push={}", f.name, f.peek, f.pop, f.push),
+                if f.vars.iter().any(|v| v.ty.is_vector()) {
+                    ", style=filled, fillcolor=lightblue"
+                } else {
+                    ""
+                },
+            ),
+            Node::Splitter(SplitKind::Duplicate) => ("split (duplicate)".into(), ""),
+            Node::Splitter(SplitKind::RoundRobin(w)) => (format!("split {w:?}"), ""),
+            Node::Joiner(w) => (format!("join {w:?}"), ""),
+            Node::HSplitter { width, .. } => {
+                (format!("HSplitter (SW={width})"), ", style=filled, fillcolor=gold")
+            }
+            Node::HJoiner { width, .. } => {
+                (format!("HJoiner (SW={width})"), ", style=filled, fillcolor=gold")
+            }
+            Node::Sink => ("sink".into(), ", shape=doublecircle"),
+        };
+        s.push_str(&format!("  n{} [label=\"{}\"{}];\n", id.0, label, style));
+    }
+    for (_, e) in graph.edges() {
+        let mut attrs = Vec::new();
+        if e.width > 1 {
+            attrs.push(format!("label=\"x{}\", penwidth=2", e.width));
+        }
+        if e.reorder.is_some() {
+            attrs.push("color=red, label=\"SAGU\"".into());
+        }
+        let attr_s = if attrs.is_empty() { String::new() } else { format!(" [{}]", attrs.join(", ")) };
+        s.push_str(&format!("  n{} -> n{}{};\n", e.src.0, e.dst.0, attr_s));
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::Filter;
+    use crate::types::ScalarTy;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g = Graph::new();
+        let a = g.add_node(Node::Filter(Filter::new("src", 0, 0, 1)));
+        let b = g.add_node(Node::Sink);
+        g.connect(a, 0, b, 0, ScalarTy::F32);
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph stream {"));
+        assert!(dot.contains("src\\npeek=0 pop=0 push=1"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn highlights_vector_and_reordered_tapes() {
+        let mut g = Graph::new();
+        let a = g.add_node(Node::Filter(Filter::new("a", 0, 0, 4)));
+        let b = g.add_node(Node::HSplitter { kind: SplitKind::Duplicate, width: 4 });
+        let c = g.add_node(Node::Sink);
+        let e1 = g.connect(a, 0, b, 0, ScalarTy::F32);
+        g.edge_mut(e1).reorder = Some(crate::graph::Reorder {
+            rate: 2,
+            sw: 4,
+            side: crate::graph::ReorderSide::Consumer,
+            addr_gen: crate::graph::AddrGen::Sagu,
+        });
+        let e2 = g.connect(b, 0, c, 0, ScalarTy::F32);
+        g.edge_mut(e2).width = 4;
+        let dot = to_dot(&g);
+        assert!(dot.contains("SAGU"));
+        assert!(dot.contains("HSplitter (SW=4)"));
+        assert!(dot.contains("x4"));
+    }
+}

@@ -1,0 +1,289 @@
+//! Scalar/vector/array types and runtime values for the stream IR.
+
+use std::fmt;
+
+/// Element type of tape items, variables and literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScalarTy {
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// 32-bit IEEE float.
+    F32,
+    /// 64-bit IEEE float.
+    F64,
+}
+
+impl ScalarTy {
+    /// Size of one element in bytes (used by the memory-traffic model).
+    pub fn size_bytes(self) -> usize {
+        match self {
+            ScalarTy::I32 | ScalarTy::F32 => 4,
+            ScalarTy::I64 | ScalarTy::F64 => 8,
+        }
+    }
+
+    /// True for the floating-point types.
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarTy::F32 | ScalarTy::F64)
+    }
+
+    /// The zero value of this type.
+    pub fn zero(self) -> Value {
+        match self {
+            ScalarTy::I32 => Value::I32(0),
+            ScalarTy::I64 => Value::I64(0),
+            ScalarTy::F32 => Value::F32(0.0),
+            ScalarTy::F64 => Value::F64(0.0),
+        }
+    }
+}
+
+impl fmt::Display for ScalarTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScalarTy::I32 => "i32",
+            ScalarTy::I64 => "i64",
+            ScalarTy::F32 => "f32",
+            ScalarTy::F64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Full type of a variable: scalar, SIMD vector, array, or array of vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// A single scalar.
+    Scalar(ScalarTy),
+    /// A SIMD vector of `width` lanes.
+    Vector(ScalarTy, usize),
+    /// A fixed-size array of scalars.
+    Array(ScalarTy, usize),
+    /// A fixed-size array of SIMD vectors (`width` lanes each).
+    VectorArray(ScalarTy, usize, usize),
+}
+
+impl Ty {
+    /// The element type underlying this type.
+    pub fn elem(self) -> ScalarTy {
+        match self {
+            Ty::Scalar(t) | Ty::Vector(t, _) | Ty::Array(t, _) | Ty::VectorArray(t, _, _) => t,
+        }
+    }
+
+    /// SIMD lane count (1 for scalar kinds).
+    pub fn lanes(self) -> usize {
+        match self {
+            Ty::Scalar(_) | Ty::Array(_, _) => 1,
+            Ty::Vector(_, w) | Ty::VectorArray(_, w, _) => w,
+        }
+    }
+
+    /// True if this is a vector or vector-array type.
+    pub fn is_vector(self) -> bool {
+        matches!(self, Ty::Vector(_, _) | Ty::VectorArray(_, _, _))
+    }
+
+    /// Array length, or `None` for non-array types.
+    pub fn array_len(self) -> Option<usize> {
+        match self {
+            Ty::Array(_, n) | Ty::VectorArray(_, _, n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The vectorized counterpart of this type with `width` lanes.
+    ///
+    /// Scalars become vectors and arrays become vector arrays; already
+    /// vectorized types keep their shape but adopt `width`.
+    pub fn vectorized(self, width: usize) -> Ty {
+        match self {
+            Ty::Scalar(t) | Ty::Vector(t, _) => Ty::Vector(t, width),
+            Ty::Array(t, n) | Ty::VectorArray(t, _, n) => Ty::VectorArray(t, width, n),
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Scalar(t) => write!(f, "{t}"),
+            Ty::Vector(t, w) => write!(f, "{t}x{w}"),
+            Ty::Array(t, n) => write!(f, "{t}[{n}]"),
+            Ty::VectorArray(t, w, n) => write!(f, "{t}x{w}[{n}]"),
+        }
+    }
+}
+
+/// A runtime scalar value.
+///
+/// Integer semantics are wrapping; integer division by zero yields 0 so the
+/// interpreter is total (documented substitute for undefined behaviour).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 32-bit signed integer.
+    I32(i32),
+    /// 64-bit signed integer.
+    I64(i64),
+    /// 32-bit float.
+    F32(f32),
+    /// 64-bit float.
+    F64(f64),
+}
+
+impl Value {
+    /// The type of this value.
+    pub fn ty(self) -> ScalarTy {
+        match self {
+            Value::I32(_) => ScalarTy::I32,
+            Value::I64(_) => ScalarTy::I64,
+            Value::F32(_) => ScalarTy::F32,
+            Value::F64(_) => ScalarTy::F64,
+        }
+    }
+
+    /// Interpret as a boolean: nonzero means true.
+    pub fn is_truthy(self) -> bool {
+        match self {
+            Value::I32(v) => v != 0,
+            Value::I64(v) => v != 0,
+            Value::F32(v) => v != 0.0,
+            Value::F64(v) => v != 0.0,
+        }
+    }
+
+    /// Convert to `f64` (for diagnostics and approximate comparisons).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::I32(v) => v as f64,
+            Value::I64(v) => v as f64,
+            Value::F32(v) => v as f64,
+            Value::F64(v) => v,
+        }
+    }
+
+    /// Convert to `i64` with truncation.
+    pub fn as_i64(self) -> i64 {
+        match self {
+            Value::I32(v) => v as i64,
+            Value::I64(v) => v,
+            Value::F32(v) => v as i64,
+            Value::F64(v) => v as i64,
+        }
+    }
+
+    /// Cast to another scalar type with C-like semantics.
+    pub fn cast(self, ty: ScalarTy) -> Value {
+        match ty {
+            ScalarTy::I32 => Value::I32(match self {
+                Value::I32(v) => v,
+                Value::I64(v) => v as i32,
+                Value::F32(v) => v as i32,
+                Value::F64(v) => v as i32,
+            }),
+            ScalarTy::I64 => Value::I64(self.as_i64()),
+            ScalarTy::F32 => Value::F32(match self {
+                Value::I32(v) => v as f32,
+                Value::I64(v) => v as f32,
+                Value::F32(v) => v,
+                Value::F64(v) => v as f32,
+            }),
+            ScalarTy::F64 => Value::F64(self.as_f64()),
+        }
+    }
+
+    /// Exact bit-level equality (NaN-safe, unlike `PartialEq` on floats).
+    pub fn bits_eq(self, other: Value) -> bool {
+        match (self, other) {
+            (Value::I32(a), Value::I32(b)) => a == b,
+            (Value::I64(a), Value::I64(b)) => a == b,
+            (Value::F32(a), Value::F32(b)) => a.to_bits() == b.to_bits(),
+            (Value::F64(a), Value::F64(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I32(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}L"),
+            Value::F32(v) => write!(f, "{v:?}f"),
+            Value::F64(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I32(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F32(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(ScalarTy::I32.size_bytes(), 4);
+        assert_eq!(ScalarTy::F64.size_bytes(), 8);
+        assert!(ScalarTy::F32.is_float());
+        assert!(!ScalarTy::I64.is_float());
+    }
+
+    #[test]
+    fn ty_vectorized_roundtrip() {
+        assert_eq!(Ty::Scalar(ScalarTy::F32).vectorized(4), Ty::Vector(ScalarTy::F32, 4));
+        assert_eq!(
+            Ty::Array(ScalarTy::I32, 8).vectorized(4),
+            Ty::VectorArray(ScalarTy::I32, 4, 8)
+        );
+        assert_eq!(Ty::Vector(ScalarTy::F32, 2).vectorized(8), Ty::Vector(ScalarTy::F32, 8));
+        assert_eq!(Ty::Vector(ScalarTy::F32, 8).lanes(), 8);
+        assert_eq!(Ty::Array(ScalarTy::F32, 3).array_len(), Some(3));
+        assert_eq!(Ty::Scalar(ScalarTy::F32).array_len(), None);
+    }
+
+    #[test]
+    fn value_casts() {
+        assert_eq!(Value::F32(2.9).cast(ScalarTy::I32), Value::I32(2));
+        assert_eq!(Value::I32(-3).cast(ScalarTy::F64), Value::F64(-3.0));
+        assert_eq!(Value::I64(1 << 40).cast(ScalarTy::I32), Value::I32(0));
+        assert_eq!(Value::I32(7).cast(ScalarTy::I64), Value::I64(7));
+    }
+
+    #[test]
+    fn value_truthiness_and_bits() {
+        assert!(Value::I32(5).is_truthy());
+        assert!(!Value::F32(0.0).is_truthy());
+        assert!(Value::F32(f32::NAN).bits_eq(Value::F32(f32::NAN)));
+        assert!(!Value::F32(1.0).bits_eq(Value::F64(1.0)));
+        assert!(Value::I64(4).bits_eq(Value::I64(4)));
+    }
+
+    #[test]
+    fn zero_values() {
+        assert_eq!(ScalarTy::I32.zero(), Value::I32(0));
+        assert_eq!(ScalarTy::F64.zero(), Value::F64(0.0));
+        assert_eq!(ScalarTy::F32.zero().ty(), ScalarTy::F32);
+    }
+}

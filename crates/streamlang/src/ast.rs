@@ -1,0 +1,162 @@
+//! Surface-language AST (pre-elaboration): declarations as written, with
+//! identifiers still unresolved and parameters still symbolic.
+
+/// Scalar surface types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LType {
+    Int,
+    Float,
+}
+
+/// A surface expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LExpr {
+    Int(i64),
+    Float(f64),
+    Ident(String),
+    Index(String, Box<LExpr>),
+    Unary(LUnOp, Box<LExpr>),
+    Binary(LBinOp, Box<LExpr>, Box<LExpr>),
+    /// `name(args...)` — intrinsics (`sin`, `pop`, `peek`, ...).
+    Call(String, Vec<LExpr>),
+    /// `(float) e` style cast.
+    Cast(LType, Box<LExpr>),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LUnOp {
+    Neg,
+    Not,
+    LogNot,
+}
+
+/// Binary operators (C precedence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// A surface statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LStmt {
+    /// `type name = expr;` or `type name;` local declaration.
+    DeclLocal { ty: LType, name: String, init: Option<LExpr> },
+    /// `name = expr;`
+    Assign(String, LExpr),
+    /// `name[idx] = expr;`
+    AssignIndex(String, LExpr, LExpr),
+    /// `push(expr);`
+    Push(LExpr),
+    /// `for (int i = 0; i < bound; i++) { ... }`
+    For { var: String, bound: LExpr, body: Vec<LStmt> },
+    /// `if (cond) { ... } else { ... }`
+    If { cond: LExpr, then_branch: Vec<LStmt>, else_branch: Vec<LStmt> },
+    /// Bare expression statement `pop();` (value discarded).
+    ExprStmt(LExpr),
+}
+
+/// A declared parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LParam {
+    pub ty: LType,
+    pub name: String,
+}
+
+/// A state-variable declaration inside a filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LStateDecl {
+    pub ty: LType,
+    pub name: String,
+    /// Array length, if an array.
+    pub len: Option<usize>,
+    /// Optional scalar initializer (constant expression over params).
+    pub init: Option<LExpr>,
+}
+
+/// A filter declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LFilter {
+    pub in_ty: Option<LType>,
+    pub out_ty: Option<LType>,
+    pub name: String,
+    pub params: Vec<LParam>,
+    pub state: Vec<LStateDecl>,
+    pub init: Vec<LStmt>,
+    pub peek: Option<usize>,
+    pub pop: usize,
+    pub push: usize,
+    pub work: Vec<LStmt>,
+}
+
+/// One `add Child(args);` inside a composite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LAdd {
+    pub name: String,
+    pub args: Vec<LExpr>,
+}
+
+/// A pipeline declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LPipeline {
+    pub name: String,
+    pub params: Vec<LParam>,
+    pub children: Vec<LAdd>,
+}
+
+/// Splitter kinds in the surface syntax.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LSplit {
+    Duplicate,
+    RoundRobin(Vec<LExpr>),
+}
+
+/// A split-join declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LSplitJoin {
+    pub name: String,
+    pub params: Vec<LParam>,
+    pub split: LSplit,
+    pub children: Vec<LAdd>,
+    pub join: Vec<LExpr>,
+}
+
+/// Any top-level declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LDecl {
+    Filter(LFilter),
+    Pipeline(LPipeline),
+    SplitJoin(LSplitJoin),
+}
+
+/// A parsed program: all declarations by order of appearance.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LProgram {
+    pub decls: Vec<LDecl>,
+}
+
+impl LProgram {
+    /// Find a declaration by name.
+    pub fn find(&self, name: &str) -> Option<&LDecl> {
+        self.decls.iter().find(|d| match d {
+            LDecl::Filter(f) => f.name == name,
+            LDecl::Pipeline(p) => p.name == name,
+            LDecl::SplitJoin(s) => s.name == name,
+        })
+    }
+}

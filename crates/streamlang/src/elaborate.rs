@@ -1,0 +1,808 @@
+//! Elaboration: instantiate parsed declarations into the stream IR.
+//!
+//! Parameters are compile-time constants substituted at instantiation —
+//! the "static parameter propagation" prepass the paper notes helps
+//! isomorphic-actor detection (two `Band(0.1)` / `Band(0.2)` instances
+//! elaborate to structurally identical filters differing only in
+//! constants, exactly what horizontal SIMDization wants).
+
+use crate::ast::*;
+use macross_streamir::builder::StreamSpec;
+use macross_streamir::edsl::B;
+use macross_streamir::expr::{BinOp, Expr, Intrinsic, LValue, UnOp, VarId};
+use macross_streamir::filter::{Filter, VarKind};
+use macross_streamir::graph::{Graph, SplitKind};
+use macross_streamir::stmt::Stmt;
+use macross_streamir::types::{ScalarTy, Ty, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Elaboration errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElabError {
+    /// `add Foo(...)` references an unknown declaration.
+    UnknownStream(String),
+    /// Wrong number of instantiation arguments.
+    Arity { name: String, expected: usize, got: usize },
+    /// An instantiation argument is not a compile-time constant.
+    NonConstArg(String),
+    /// Identifier not in scope.
+    UnknownIdent(String),
+    /// Name declared twice in the same scope.
+    Duplicate(String),
+    /// Type error (with explanation).
+    Type(String),
+    /// Unknown function call.
+    UnknownCall(String),
+    /// Structural problem (recursion, rates, graph building).
+    Structure(String),
+}
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElabError::UnknownStream(s) => write!(f, "unknown stream `{s}`"),
+            ElabError::Arity { name, expected, got } => {
+                write!(f, "`{name}` expects {expected} arguments, got {got}")
+            }
+            ElabError::NonConstArg(s) => write!(f, "argument to `{s}` is not a compile-time constant"),
+            ElabError::UnknownIdent(s) => write!(f, "unknown identifier `{s}`"),
+            ElabError::Duplicate(s) => write!(f, "`{s}` declared twice"),
+            ElabError::Type(s) => write!(f, "type error: {s}"),
+            ElabError::UnknownCall(s) => write!(f, "unknown function `{s}`"),
+            ElabError::Structure(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for ElabError {}
+
+fn scalar_of(t: LType) -> ScalarTy {
+    match t {
+        LType::Int => ScalarTy::I32,
+        LType::Float => ScalarTy::F32,
+    }
+}
+
+/// Elaborate `top` (usually `Main`) into a flattened graph.
+///
+/// # Errors
+/// See [`ElabError`].
+pub fn elaborate(program: &LProgram, top: &str) -> Result<Graph, ElabError> {
+    let spec = instantiate(program, top, &[], &mut Vec::new())?;
+    spec.build().map_err(|e| ElabError::Structure(e.to_string()))
+}
+
+/// Instantiate a declaration with constant arguments into a [`StreamSpec`].
+pub fn instantiate(
+    program: &LProgram,
+    name: &str,
+    args: &[Value],
+    stack: &mut Vec<String>,
+) -> Result<StreamSpec, ElabError> {
+    if name == "Sink" {
+        return Ok(StreamSpec::Sink);
+    }
+    if stack.iter().any(|s| s == name) {
+        return Err(ElabError::Structure(format!("recursive stream `{name}`")));
+    }
+    let decl = program.find(name).ok_or_else(|| ElabError::UnknownStream(name.into()))?;
+    stack.push(name.to_string());
+    let result = match decl {
+        LDecl::Filter(f) => elaborate_filter(f, args),
+        LDecl::Pipeline(p) => {
+            let env = bind_params(&p.params, args, &p.name)?;
+            let mut children = Vec::new();
+            for add in &p.children {
+                let child_args = eval_args(&add.args, &env, &add.name)?;
+                children.push(instantiate(program, &add.name, &child_args, stack)?);
+            }
+            Ok(StreamSpec::Pipeline(children))
+        }
+        LDecl::SplitJoin(sj) => {
+            let env = bind_params(&sj.params, args, &sj.name)?;
+            let split = match &sj.split {
+                LSplit::Duplicate => SplitKind::Duplicate,
+                LSplit::RoundRobin(ws) => SplitKind::RoundRobin(eval_weights(ws, &env)?),
+            };
+            let join = eval_weights(&sj.join, &env)?;
+            let mut children = Vec::new();
+            for add in &sj.children {
+                let child_args = eval_args(&add.args, &env, &add.name)?;
+                children.push(instantiate(program, &add.name, &child_args, stack)?);
+            }
+            Ok(StreamSpec::SplitJoin { split, branches: children, join })
+        }
+    };
+    stack.pop();
+    result
+}
+
+fn bind_params(params: &[LParam], args: &[Value], name: &str) -> Result<HashMap<String, Value>, ElabError> {
+    if params.len() != args.len() {
+        return Err(ElabError::Arity { name: name.into(), expected: params.len(), got: args.len() });
+    }
+    let mut env = HashMap::new();
+    for (p, a) in params.iter().zip(args) {
+        let v = a.cast(scalar_of(p.ty));
+        if env.insert(p.name.clone(), v).is_some() {
+            return Err(ElabError::Duplicate(p.name.clone()));
+        }
+    }
+    Ok(env)
+}
+
+fn eval_args(args: &[LExpr], env: &HashMap<String, Value>, callee: &str) -> Result<Vec<Value>, ElabError> {
+    args.iter()
+        .map(|a| const_eval(a, env).ok_or_else(|| ElabError::NonConstArg(callee.into())))
+        .collect()
+}
+
+fn eval_weights(ws: &[LExpr], env: &HashMap<String, Value>) -> Result<Vec<usize>, ElabError> {
+    ws.iter()
+        .map(|w| {
+            const_eval(w, env)
+                .map(|v| v.as_i64().max(0) as usize)
+                .ok_or_else(|| ElabError::NonConstArg("splitter/joiner weight".into()))
+        })
+        .collect()
+}
+
+/// Fold a constant expression over the parameter environment.
+fn const_eval(e: &LExpr, env: &HashMap<String, Value>) -> Option<Value> {
+    match e {
+        LExpr::Int(v) => Some(Value::I32(*v as i32)),
+        LExpr::Float(v) => Some(Value::F32(*v as f32)),
+        LExpr::Ident(name) => env.get(name).copied(),
+        LExpr::Unary(LUnOp::Neg, a) => {
+            Some(macross_streamir::expr::eval_unop(UnOp::Neg, const_eval(a, env)?))
+        }
+        LExpr::Binary(op, a, b) => {
+            let (a, b) = (const_eval(a, env)?, const_eval(b, env)?);
+            let (a, b) = promote(a, b);
+            Some(macross_streamir::expr::eval_binop(lower_binop(*op), a, b))
+        }
+        LExpr::Cast(t, a) => Some(const_eval(a, env)?.cast(scalar_of(*t))),
+        _ => None,
+    }
+}
+
+fn promote(a: Value, b: Value) -> (Value, Value) {
+    match (a.ty().is_float(), b.ty().is_float()) {
+        (true, false) => (a, b.cast(a.ty())),
+        (false, true) => (a.cast(b.ty()), b),
+        _ => (a, b),
+    }
+}
+
+fn lower_binop(op: LBinOp) -> BinOp {
+    match op {
+        LBinOp::Add => BinOp::Add,
+        LBinOp::Sub => BinOp::Sub,
+        LBinOp::Mul => BinOp::Mul,
+        LBinOp::Div => BinOp::Div,
+        LBinOp::Rem => BinOp::Rem,
+        LBinOp::And => BinOp::And,
+        LBinOp::Or => BinOp::Or,
+        LBinOp::Xor => BinOp::Xor,
+        LBinOp::Shl => BinOp::Shl,
+        LBinOp::Shr => BinOp::Shr,
+        LBinOp::Eq => BinOp::Eq,
+        LBinOp::Ne => BinOp::Ne,
+        LBinOp::Lt => BinOp::Lt,
+        LBinOp::Le => BinOp::Le,
+        LBinOp::Gt => BinOp::Gt,
+        LBinOp::Ge => BinOp::Ge,
+    }
+}
+
+struct FilterCtx<'a> {
+    filter: Filter,
+    params: HashMap<String, Value>,
+    /// Scope stack: name -> (var, type).
+    scopes: Vec<HashMap<String, (VarId, LType)>>,
+    in_ty: LType,
+    out_ty: LType,
+    decl: &'a LFilter,
+    discard: Option<VarId>,
+}
+
+fn elaborate_filter(decl: &LFilter, args: &[Value]) -> Result<StreamSpec, ElabError> {
+    let params = bind_params(&decl.params, args, &decl.name)?;
+    let in_ty = decl.in_ty.unwrap_or(LType::Float);
+    let out_ty = decl.out_ty.unwrap_or(LType::Float);
+    let peek = decl.peek.unwrap_or(decl.pop);
+    if peek < decl.pop {
+        return Err(ElabError::Structure(format!("filter {}: peek < pop", decl.name)));
+    }
+    let filter = Filter::new(decl.name.clone(), peek, decl.pop, decl.push);
+    let mut ctx = FilterCtx {
+        filter,
+        params,
+        scopes: vec![HashMap::new()],
+        in_ty,
+        out_ty,
+        decl,
+        discard: None,
+    };
+
+    // State declarations.
+    let mut state_inits: Vec<Stmt> = Vec::new();
+    for s in &decl.state {
+        let ty = match s.len {
+            Some(n) => Ty::Array(scalar_of(s.ty), n),
+            None => Ty::Scalar(scalar_of(s.ty)),
+        };
+        let id = ctx.filter.add_var(s.name.clone(), ty, VarKind::State);
+        if ctx.scopes[0].insert(s.name.clone(), (id, s.ty)).is_some() {
+            return Err(ElabError::Duplicate(s.name.clone()));
+        }
+        if let Some(init) = &s.init {
+            if s.len.is_some() {
+                return Err(ElabError::Type(format!("array state `{}` cannot have a scalar initializer", s.name)));
+            }
+            let (e, t) = ctx.expr(init)?;
+            let e = ctx.coerce(e, t, s.ty)?;
+            state_inits.push(Stmt::Assign(LValue::Var(id), e));
+        }
+    }
+
+    // Init function.
+    let mut init_block = B::new();
+    for s in state_inits {
+        init_block.stmt(s);
+    }
+    let init_body = ctx.block(&decl.init)?;
+    let mut init = init_block.build();
+    init.extend(init_body);
+    ctx.filter.init = init;
+
+    // Work function.
+    ctx.filter.work = ctx.block(&decl.work)?;
+
+    let out_elem = scalar_of(out_ty);
+    macross_streamir::analysis::check_rates(&ctx.filter)
+        .map_err(|e| ElabError::Structure(e.to_string()))?;
+    Ok(StreamSpec::Filter { filter: ctx.filter, out_elem })
+}
+
+impl<'a> FilterCtx<'a> {
+    fn lookup(&self, name: &str) -> Option<(VarId, LType)> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&hit) = scope.get(name) {
+                return Some(hit);
+            }
+        }
+        None
+    }
+
+    fn declare(&mut self, name: &str, ty: LType, kind: VarKind) -> Result<VarId, ElabError> {
+        if self.scopes.last().unwrap().contains_key(name) {
+            return Err(ElabError::Duplicate(name.into()));
+        }
+        let id = self.filter.add_var(name, Ty::Scalar(scalar_of(ty)), kind);
+        self.scopes.last_mut().unwrap().insert(name.into(), (id, ty));
+        Ok(id)
+    }
+
+    fn coerce(&self, e: Expr, from: LType, to: LType) -> Result<Expr, ElabError> {
+        match (from, to) {
+            (a, b) if a == b => Ok(e),
+            (LType::Int, LType::Float) => Ok(Expr::Cast(ScalarTy::F32, Box::new(e))),
+            (LType::Float, LType::Int) => {
+                Err(ElabError::Type("implicit float->int narrowing; use an explicit (int) cast".into()))
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn block(&mut self, stmts: &[LStmt]) -> Result<Vec<Stmt>, ElabError> {
+        self.scopes.push(HashMap::new());
+        let mut out = Vec::new();
+        for s in stmts {
+            self.stmt(s, &mut out)?;
+        }
+        self.scopes.pop();
+        Ok(out)
+    }
+
+    fn stmt(&mut self, s: &LStmt, out: &mut Vec<Stmt>) -> Result<(), ElabError> {
+        match s {
+            LStmt::DeclLocal { ty, name, init } => {
+                let id = self.declare(name, *ty, VarKind::Local)?;
+                if let Some(e) = init {
+                    let (e, t) = self.expr(e)?;
+                    let e = self.coerce(e, t, *ty)?;
+                    out.push(Stmt::Assign(LValue::Var(id), e));
+                }
+            }
+            LStmt::Assign(name, e) => {
+                let (id, ty) = self.lookup(name).ok_or_else(|| ElabError::UnknownIdent(name.clone()))?;
+                let (e, t) = self.expr(e)?;
+                let e = self.coerce(e, t, ty)?;
+                out.push(Stmt::Assign(LValue::Var(id), e));
+            }
+            LStmt::AssignIndex(name, idx, e) => {
+                let (id, ty) = self.lookup(name).ok_or_else(|| ElabError::UnknownIdent(name.clone()))?;
+                let (idx, it) = self.expr(idx)?;
+                if it != LType::Int {
+                    return Err(ElabError::Type(format!("subscript of `{name}` must be int")));
+                }
+                let (e, t) = self.expr(e)?;
+                let e = self.coerce(e, t, ty)?;
+                out.push(Stmt::Assign(LValue::Index(id, idx), e));
+            }
+            LStmt::Push(e) => {
+                let (e, t) = self.expr(e)?;
+                let e = self.coerce(e, t, self.out_ty)?;
+                out.push(Stmt::Push(e));
+            }
+            LStmt::For { var, bound, body } => {
+                self.scopes.push(HashMap::new());
+                let id = self.declare(var, LType::Int, VarKind::Local)?;
+                let (bound, bt) = self.expr(bound)?;
+                if bt != LType::Int {
+                    return Err(ElabError::Type("loop bound must be int".into()));
+                }
+                let mut inner = Vec::new();
+                for s in body {
+                    self.stmt(s, &mut inner)?;
+                }
+                self.scopes.pop();
+                out.push(Stmt::For { var: id, count: bound, body: inner });
+            }
+            LStmt::If { cond, then_branch, else_branch } => {
+                let (cond, ct) = self.expr(cond)?;
+                if ct != LType::Int {
+                    return Err(ElabError::Type("condition must be int (comparisons yield int)".into()));
+                }
+                let t = self.block(then_branch)?;
+                let e = self.block(else_branch)?;
+                out.push(Stmt::If { cond, then_branch: t, else_branch: e });
+            }
+            LStmt::ExprStmt(e) => {
+                // Only useful for its tape effect: `pop();`.
+                let (e, t) = self.expr(e)?;
+                let discard = match self.discard {
+                    Some(d) => d,
+                    None => {
+                        let d = self.filter.add_var(
+                            "__discard",
+                            Ty::Scalar(scalar_of(t)),
+                            VarKind::Local,
+                        );
+                        self.discard = Some(d);
+                        d
+                    }
+                };
+                out.push(Stmt::Assign(LValue::Var(discard), e));
+            }
+        }
+        Ok(())
+    }
+
+    /// Lower an expression, returning its type.
+    fn expr(&mut self, e: &LExpr) -> Result<(Expr, LType), ElabError> {
+        match e {
+            LExpr::Int(v) => Ok((Expr::Const(Value::I32(*v as i32)), LType::Int)),
+            LExpr::Float(v) => Ok((Expr::Const(Value::F32(*v as f32)), LType::Float)),
+            LExpr::Ident(name) => {
+                if let Some((id, ty)) = self.lookup(name) {
+                    Ok((Expr::Var(id), ty))
+                } else if let Some(v) = self.params.get(name) {
+                    let ty = if v.ty().is_float() { LType::Float } else { LType::Int };
+                    Ok((Expr::Const(*v), ty))
+                } else {
+                    Err(ElabError::UnknownIdent(name.clone()))
+                }
+            }
+            LExpr::Index(name, idx) => {
+                let (id, ty) = self.lookup(name).ok_or_else(|| ElabError::UnknownIdent(name.clone()))?;
+                let (idx, it) = self.expr(idx)?;
+                if it != LType::Int {
+                    return Err(ElabError::Type(format!("subscript of `{name}` must be int")));
+                }
+                Ok((Expr::Index(id, Box::new(idx)), ty))
+            }
+            LExpr::Unary(op, a) => {
+                let (a, t) = self.expr(a)?;
+                let op = match op {
+                    LUnOp::Neg => UnOp::Neg,
+                    LUnOp::Not => {
+                        if t != LType::Int {
+                            return Err(ElabError::Type("~ requires int".into()));
+                        }
+                        UnOp::Not
+                    }
+                    LUnOp::LogNot => UnOp::LogNot,
+                };
+                let rt = if op == UnOp::LogNot { LType::Int } else { t };
+                Ok((Expr::Unary(op, Box::new(a)), rt))
+            }
+            LExpr::Binary(op, a, b) => {
+                let (a, ta) = self.expr(a)?;
+                let (b, tb) = self.expr(b)?;
+                let lop = lower_binop(*op);
+                // Promote int -> float when mixed.
+                let (a, b, t) = match (ta, tb) {
+                    (LType::Int, LType::Float) => {
+                        (Expr::Cast(ScalarTy::F32, Box::new(a)), b, LType::Float)
+                    }
+                    (LType::Float, LType::Int) => {
+                        (a, Expr::Cast(ScalarTy::F32, Box::new(b)), LType::Float)
+                    }
+                    (t, _) => (a, b, t),
+                };
+                if lop.is_integer_only() && t != LType::Int {
+                    return Err(ElabError::Type(format!("operator `{}` requires int operands", lop.symbol())));
+                }
+                let rt = if lop.is_comparison() { LType::Int } else { t };
+                Ok((Expr::bin(lop, a, b), rt))
+            }
+            LExpr::Cast(t, a) => {
+                let (a, _) = self.expr(a)?;
+                Ok((Expr::Cast(scalar_of(*t), Box::new(a)), *t))
+            }
+            LExpr::Call(name, args) => self.call(name, args),
+        }
+    }
+
+    fn call(&mut self, name: &str, args: &[LExpr]) -> Result<(Expr, LType), ElabError> {
+        let arity = |n: usize| -> Result<(), ElabError> {
+            if args.len() != n {
+                Err(ElabError::Arity { name: name.into(), expected: n, got: args.len() })
+            } else {
+                Ok(())
+            }
+        };
+        match name {
+            "pop" => {
+                arity(0)?;
+                Ok((Expr::Pop, self.in_ty))
+            }
+            "peek" => {
+                arity(1)?;
+                let (off, t) = self.expr(&args[0])?;
+                if t != LType::Int {
+                    return Err(ElabError::Type("peek offset must be int".into()));
+                }
+                Ok((Expr::Peek(Box::new(off)), self.in_ty))
+            }
+            _ => {
+                let intr = match name {
+                    "sin" => Intrinsic::Sin,
+                    "cos" => Intrinsic::Cos,
+                    "atan" => Intrinsic::Atan,
+                    "sqrt" => Intrinsic::Sqrt,
+                    "exp" => Intrinsic::Exp,
+                    "log" => Intrinsic::Log,
+                    "floor" => Intrinsic::Floor,
+                    "abs" => Intrinsic::Abs,
+                    "min" => Intrinsic::Min,
+                    "max" => Intrinsic::Max,
+                    "pow" => Intrinsic::Pow,
+                    _ => return Err(ElabError::UnknownCall(name.into())),
+                };
+                arity(intr.arity())?;
+                let mut parts = Vec::new();
+                for a in args {
+                    parts.push(self.expr(a)?);
+                }
+                // Float intrinsics promote int args; abs/min/max keep ints.
+                let keep_int = matches!(intr, Intrinsic::Abs | Intrinsic::Min | Intrinsic::Max)
+                    && parts.iter().all(|(_, t)| *t == LType::Int);
+                let rt = if keep_int { LType::Int } else { LType::Float };
+                let lowered = parts
+                    .into_iter()
+                    .map(|(e, t)| {
+                        if rt == LType::Float && t == LType::Int {
+                            Expr::Cast(ScalarTy::F32, Box::new(e))
+                        } else {
+                            e
+                        }
+                    })
+                    .collect();
+                Ok((Expr::Call(intr, lowered), rt))
+            }
+        }
+    }
+}
+
+// Silence an unused-field warning: `decl` is kept for richer diagnostics.
+impl<'a> FilterCtx<'a> {
+    #[allow(dead_code)]
+    fn name(&self) -> &str {
+        &self.decl.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn compile(src: &str) -> Result<Graph, ElabError> {
+        let p = parse(src).expect("parses");
+        elaborate(&p, "Main")
+    }
+
+    const PROGRAM: &str = r#"
+        void->float filter Ramp(int modulus) {
+            int n = 0;
+            work push 1 {
+                push((float) n * 0.5);
+                n = (n + 1) % modulus;
+            }
+        }
+        float->float filter Scale(float k) {
+            work pop 1 push 1 {
+                push(pop() * k);
+            }
+        }
+        void->void pipeline Main() {
+            add Ramp(100);
+            add Scale(2.0);
+            add Sink();
+        }
+    "#;
+
+    #[test]
+    fn compiles_and_runs() {
+        let g = compile(PROGRAM).unwrap();
+        assert_eq!(g.node_count(), 3);
+        let sched = macross_sdf::Schedule::compute(&g).unwrap();
+        let res = macross_vm::run_scheduled(&g, &sched, &macross_vm::Machine::core_i7(), 4);
+        assert_eq!(res.output.len(), 4);
+        assert_eq!(res.output[2], Value::F32(2.0)); // (2 * 0.5) * 2.0
+    }
+
+    #[test]
+    fn parameters_fold_to_constants() {
+        let g = compile(PROGRAM).unwrap();
+        let scale = g
+            .nodes()
+            .find_map(|(_, n)| n.as_filter().filter(|f| f.name == "Scale"))
+            .unwrap();
+        let text = scale.work.iter().map(|s| s.to_string()).collect::<String>();
+        assert!(text.contains("2.0f"), "param must be a folded constant: {text}");
+    }
+
+    #[test]
+    fn splitjoin_elaborates_isomorphic_branches() {
+        let src = r#"
+            void->float filter Ramp() {
+                int n = 0;
+                work push 1 { push((float) n); n = (n + 1) % 64; }
+            }
+            float->float filter Band(float w) {
+                work pop 1 push 1 { push(pop() * w); }
+            }
+            float->float splitjoin Eq() {
+                split duplicate;
+                add Band(0.1);
+                add Band(0.2);
+                add Band(0.3);
+                add Band(0.4);
+                join roundrobin(1, 1, 1, 1);
+            }
+            float->float filter Sum() {
+                work pop 4 push 1 {
+                    push(pop() + pop() + pop() + pop());
+                }
+            }
+            void->void pipeline Main() {
+                add Ramp();
+                add Eq();
+                add Sum();
+                add Sink();
+            }
+        "#;
+        let g = compile(src).unwrap();
+        // Horizontal SIMDization should find and merge the four bands.
+        let simd = macross::driver::macro_simdize(
+            &g,
+            &macross_vm::Machine::core_i7(),
+            &macross::driver::SimdizeOptions::all(),
+        )
+        .unwrap();
+        assert!(!simd.report.horizontal_groups.is_empty(), "{:?}", simd.report);
+    }
+
+    #[test]
+    fn stateful_filter_from_source() {
+        let src = r#"
+            void->float filter Ramp() {
+                int n = 0;
+                work push 1 { push((float) n); n = n + 1; }
+            }
+            float->float filter Acc() {
+                float total = 0.0;
+                work pop 1 push 1 {
+                    total = total + pop();
+                    push(total);
+                }
+            }
+            void->void pipeline Main() {
+                add Ramp();
+                add Acc();
+                add Sink();
+            }
+        "#;
+        let g = compile(src).unwrap();
+        let sched = macross_sdf::Schedule::compute(&g).unwrap();
+        let res = macross_vm::run_scheduled(&g, &sched, &macross_vm::Machine::core_i7(), 4);
+        assert_eq!(res.output, vec![Value::F32(0.0), Value::F32(1.0), Value::F32(3.0), Value::F32(6.0)]);
+    }
+
+    #[test]
+    fn fir_with_peek_and_discard() {
+        let src = r#"
+            void->float filter Ramp() {
+                int n = 0;
+                work push 1 { push((float) n); n = (n + 1) % 32; }
+            }
+            float->float filter MovingSum() {
+                work peek 3 pop 1 push 1 {
+                    push(peek(0) + peek(1) + peek(2));
+                    pop();
+                }
+            }
+            void->void pipeline Main() {
+                add Ramp();
+                add MovingSum();
+                add Sink();
+            }
+        "#;
+        let g = compile(src).unwrap();
+        let sched = macross_sdf::Schedule::compute(&g).unwrap();
+        let res = macross_vm::run_scheduled(&g, &sched, &macross_vm::Machine::core_i7(), 3);
+        assert_eq!(res.output, vec![Value::F32(3.0), Value::F32(6.0), Value::F32(9.0)]);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let bad_ident = r#"
+            void->float filter F() { work push 1 { push(x); } }
+            void->void pipeline Main() { add F(); add Sink(); }
+        "#;
+        assert!(matches!(compile(bad_ident), Err(ElabError::UnknownIdent(_))));
+
+        let bad_arity = r#"
+            float->float filter G(float k) { work pop 1 push 1 { push(pop() * k); } }
+            void->void pipeline Main() { add G(); add Sink(); }
+        "#;
+        assert!(matches!(compile(bad_arity), Err(ElabError::Arity { .. })));
+
+        let narrowing = r#"
+            void->int filter H() { int n = 0; work push 1 { n = 1.5; push(n); } }
+            void->void pipeline Main() { add H(); add Sink(); }
+        "#;
+        assert!(matches!(compile(narrowing), Err(ElabError::Type(_))));
+    }
+
+    #[test]
+    fn declared_rates_are_verified() {
+        let src = r#"
+            void->float filter Liar() {
+                work push 2 { push(1.0); }
+            }
+            void->void pipeline Main() { add Liar(); add Sink(); }
+        "#;
+        assert!(matches!(compile(src), Err(ElabError::Structure(_))));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn compile(src: &str) -> Result<Graph, ElabError> {
+        elaborate(&parse(src).expect("parses"), "Main")
+    }
+
+    #[test]
+    fn if_else_and_int_streams() {
+        let src = r#"
+            void->int filter Count() {
+                int n = 0;
+                work push 1 { push(n); n = (n + 1) % 17; }
+            }
+            int->int filter Clamp(int lo, int hi) {
+                work pop 1 push 1 {
+                    int x = pop();
+                    if (x < lo) {
+                        push(lo);
+                    } else {
+                        if (x > hi) { push(hi); } else { push(x); }
+                    }
+                }
+            }
+            void->void pipeline Main() {
+                add Count();
+                add Clamp(3, 12);
+                add Sink();
+            }
+        "#;
+        let g = compile(src).unwrap();
+        let sched = macross_sdf::Schedule::compute(&g).unwrap();
+        let res = macross_vm::run_scheduled(&g, &sched, &macross_vm::Machine::core_i7(), 17);
+        let vals: Vec<i64> = res.output.iter().map(|v| v.as_i64()).collect();
+        assert_eq!(vals[0], 3); // clamped up
+        assert_eq!(vals[5], 5);
+        assert_eq!(vals[16], 12); // clamped down
+    }
+
+    #[test]
+    fn nested_composites_and_param_weights() {
+        let src = r#"
+            void->float filter Ramp() {
+                int n = 0;
+                work push 2 {
+                    push((float) n);
+                    push((float) n + 0.5);
+                    n = (n + 1) % 40;
+                }
+            }
+            float->float filter Half() {
+                work pop 1 push 1 { push(pop() * 0.5); }
+            }
+            float->float pipeline TwoHalves() {
+                add Half();
+                add Half();
+            }
+            float->float splitjoin Fan(int w) {
+                split roundrobin(w, w);
+                add TwoHalves();
+                add Half();
+                join roundrobin(w, w);
+            }
+            void->void pipeline Main() {
+                add Ramp();
+                add Fan(1);
+                add Sink();
+            }
+        "#;
+        let g = compile(src).unwrap();
+        let sched = macross_sdf::Schedule::compute(&g).unwrap();
+        let res = macross_vm::run_scheduled(&g, &sched, &macross_vm::Machine::core_i7(), 2);
+        let vals: Vec<f64> = res.output.iter().map(|v| v.as_f64()).collect();
+        // Branch 0 halves twice (x0.25), branch 1 once (x0.5), round-robin.
+        assert_eq!(vals[0], 0.0);
+        assert_eq!(vals[1], 0.25);
+        assert_eq!(vals[2], 0.25);
+        assert_eq!(vals[3], 0.75);
+    }
+
+    #[test]
+    fn integer_bitops_language_level() {
+        let src = r#"
+            void->int filter Lcg() {
+                int n = 1;
+                work push 1 { push(n & 255); n = n * 75 + 74; }
+            }
+            int->int filter Mix() {
+                work pop 2 push 1 {
+                    int a = pop();
+                    int b = pop();
+                    push((a ^ (b << 3)) | (a >> 2));
+                }
+            }
+            void->void pipeline Main() {
+                add Lcg();
+                add Mix();
+                add Sink();
+            }
+        "#;
+        let g = compile(src).unwrap();
+        // Full SIMDization of the language-built graph stays bit-exact.
+        let machine = macross_vm::Machine::core_i7();
+        let simd = macross::driver::macro_simdize(&g, &machine, &Default::default()).unwrap();
+        let mut ssched = macross_sdf::Schedule::compute(&g).unwrap();
+        ssched.scale(simd.report.scale_factor.max(1));
+        let a = macross_vm::run_scheduled(&g, &ssched, &machine, 6);
+        let b = macross_vm::run_scheduled(&simd.graph, &simd.schedule, &machine, 6);
+        assert_eq!(a.output, b.output);
+        assert!(!simd.report.single_actors.is_empty() || !simd.report.vertical_chains.is_empty());
+    }
+}

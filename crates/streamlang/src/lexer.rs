@@ -1,0 +1,317 @@
+//! Lexer for the StreamIt-like surface language.
+
+use std::fmt;
+
+/// A token with its source position (for diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    // Punctuation / operators.
+    Arrow,     // ->
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Assign,    // =
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,       // <<
+    Shr,       // >>
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    PlusPlus,  // ++
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            other => {
+                let s = match other {
+                    Tok::Arrow => "->",
+                    Tok::LBrace => "{",
+                    Tok::RBrace => "}",
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::LBracket => "[",
+                    Tok::RBracket => "]",
+                    Tok::Semi => ";",
+                    Tok::Comma => ",",
+                    Tok::Assign => "=",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::Star => "*",
+                    Tok::Slash => "/",
+                    Tok::Percent => "%",
+                    Tok::Amp => "&",
+                    Tok::Pipe => "|",
+                    Tok::Caret => "^",
+                    Tok::Tilde => "~",
+                    Tok::Bang => "!",
+                    Tok::Shl => "<<",
+                    Tok::Shr => ">>",
+                    Tok::EqEq => "==",
+                    Tok::NotEq => "!=",
+                    Tok::Lt => "<",
+                    Tok::Le => "<=",
+                    Tok::Gt => ">",
+                    Tok::Ge => ">=",
+                    Tok::AndAnd => "&&",
+                    Tok::OrOr => "||",
+                    Tok::PlusPlus => "++",
+                    Tok::Eof => "<eof>",
+                    _ => unreachable!(),
+                };
+                f.write_str(s)
+            }
+        }
+    }
+}
+
+/// A lexical error with position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a source string. Supports `//` line and `/* */` block
+/// comments.
+///
+/// # Errors
+/// Returns the first lexical error (unknown character, malformed number,
+/// unterminated comment).
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+    let err = |msg: &str, line: usize, col: usize| LexError { message: msg.into(), line, col };
+
+    macro_rules! push {
+        ($kind:expr, $n:expr) => {{
+            out.push(Token { kind: $kind, line, col });
+            i += $n;
+            col += $n;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let c2 = chars.get(i + 1).copied().unwrap_or('\0');
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if c2 == '/' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if c2 == '*' => {
+                let (sl, sc) = (line, col);
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= chars.len() {
+                        return Err(err("unterminated block comment", sl, sc));
+                    }
+                    if chars[i] == '*' && chars[i + 1] == '/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if chars[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '-' if c2 == '>' => push!(Tok::Arrow, 2),
+            '+' if c2 == '+' => push!(Tok::PlusPlus, 2),
+            '<' if c2 == '<' => push!(Tok::Shl, 2),
+            '>' if c2 == '>' => push!(Tok::Shr, 2),
+            '=' if c2 == '=' => push!(Tok::EqEq, 2),
+            '!' if c2 == '=' => push!(Tok::NotEq, 2),
+            '<' if c2 == '=' => push!(Tok::Le, 2),
+            '>' if c2 == '=' => push!(Tok::Ge, 2),
+            '&' if c2 == '&' => push!(Tok::AndAnd, 2),
+            '|' if c2 == '|' => push!(Tok::OrOr, 2),
+            '{' => push!(Tok::LBrace, 1),
+            '}' => push!(Tok::RBrace, 1),
+            '(' => push!(Tok::LParen, 1),
+            ')' => push!(Tok::RParen, 1),
+            '[' => push!(Tok::LBracket, 1),
+            ']' => push!(Tok::RBracket, 1),
+            ';' => push!(Tok::Semi, 1),
+            ',' => push!(Tok::Comma, 1),
+            '=' => push!(Tok::Assign, 1),
+            '+' => push!(Tok::Plus, 1),
+            '-' => push!(Tok::Minus, 1),
+            '*' => push!(Tok::Star, 1),
+            '/' => push!(Tok::Slash, 1),
+            '%' => push!(Tok::Percent, 1),
+            '&' => push!(Tok::Amp, 1),
+            '|' => push!(Tok::Pipe, 1),
+            '^' => push!(Tok::Caret, 1),
+            '~' => push!(Tok::Tilde, 1),
+            '!' => push!(Tok::Bang, 1),
+            '<' => push!(Tok::Lt, 1),
+            '>' => push!(Tok::Gt, 1),
+            '0'..='9' => {
+                let start = i;
+                let scol = col;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+                let is_float = i < chars.len() && chars[i] == '.';
+                if is_float {
+                    i += 1;
+                    col += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                        col += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                let kind = if is_float {
+                    Tok::Float(text.parse().map_err(|_| err("malformed float literal", line, scol))?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| err("malformed integer literal", line, scol))?)
+                };
+                out.push(Token { kind, line, col: scol });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let scol = col;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                    col += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.push(Token { kind: Tok::Ident(text), line, col: scol });
+            }
+            other => return Err(err(&format!("unexpected character {other:?}"), line, col)),
+        }
+    }
+    out.push(Token { kind: Tok::Eof, line, col });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_filter_header() {
+        let ks = kinds("float->float filter Scale(float k)");
+        assert_eq!(
+            ks,
+            vec![
+                Tok::Ident("float".into()),
+                Tok::Arrow,
+                Tok::Ident("float".into()),
+                Tok::Ident("filter".into()),
+                Tok::Ident("Scale".into()),
+                Tok::LParen,
+                Tok::Ident("float".into()),
+                Tok::Ident("k".into()),
+                Tok::RParen,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_operators() {
+        let ks = kinds("x = 3 + 4.5 * (1 << 2);");
+        assert!(ks.contains(&Tok::Int(3)));
+        assert!(ks.contains(&Tok::Float(4.5)));
+        assert!(ks.contains(&Tok::Shl));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a // comment\n /* multi\nline */ b");
+        assert_eq!(ks, vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn bad_character_reports_position() {
+        let e = lex("a @").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 3));
+    }
+
+    #[test]
+    fn unterminated_comment_rejected() {
+        assert!(lex("/* nope").is_err());
+    }
+}

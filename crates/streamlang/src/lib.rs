@@ -1,0 +1,70 @@
+//! # macross-streamlang
+//!
+//! A StreamIt-like textual front end for the MacroSS reproduction: parse a
+//! stream program, elaborate it into the stream IR, and hand it to the
+//! macro-SIMDizer — the same pipeline the paper's compiler implements on
+//! top of the StreamIt infrastructure.
+//!
+//! The language supports `filter` (with `init`, state variables, and a
+//! rate-annotated `work` function), `pipeline`, and `splitjoin`
+//! declarations with compile-time-constant parameters, which elaboration
+//! substitutes ("static parameter propagation") so isomorphic instances
+//! differ only in constants — exactly what horizontal SIMDization needs.
+//!
+//! ```
+//! use macross_streamlang::compile;
+//!
+//! let graph = compile(r#"
+//!     void->float filter Ramp() {
+//!         int n = 0;
+//!         work push 1 { push((float) n); n = (n + 1) % 100; }
+//!     }
+//!     float->float filter Scale(float k) {
+//!         work pop 1 push 1 { push(pop() * k); }
+//!     }
+//!     void->void pipeline Main() {
+//!         add Ramp();
+//!         add Scale(3.0);
+//!         add Sink();
+//!     }
+//! "#, "Main").unwrap();
+//! assert_eq!(graph.node_count(), 3);
+//! ```
+
+pub mod ast;
+pub mod elaborate;
+pub mod lexer;
+pub mod parser;
+
+use macross_streamir::graph::Graph;
+use std::fmt;
+
+/// A front-end error: lexing/parsing or elaboration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Syntax error with position.
+    Parse(parser::ParseError),
+    /// Semantic error.
+    Elab(elaborate::ElabError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => e.fmt(f),
+            CompileError::Elab(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Parse and elaborate `src`, returning the flattened graph rooted at the
+/// stream named `top`.
+///
+/// # Errors
+/// Returns the first syntax or semantic error.
+pub fn compile(src: &str, top: &str) -> Result<Graph, CompileError> {
+    let program = parser::parse(src).map_err(CompileError::Parse)?;
+    elaborate::elaborate(&program, top).map_err(CompileError::Elab)
+}

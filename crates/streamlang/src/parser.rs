@@ -1,0 +1,673 @@
+//! Recursive-descent parser for the StreamIt-like surface language.
+//!
+//! Grammar sketch (see the crate docs for a full example program):
+//!
+//! ```text
+//! program   := decl*
+//! decl      := [type '->' type] ('filter'|'pipeline'|'splitjoin') IDENT
+//!              '(' params? ')' body
+//! filter    := '{' (state ';' | 'init' block | 'work' rates block)* '}'
+//! rates     := (('push'|'pop'|'peek') INT)*
+//! pipeline  := '{' ('add' IDENT '(' args? ')' ';')* '}'
+//! splitjoin := '{' 'split' ('duplicate' | 'roundrobin' '(' args ')') ';'
+//!              adds 'join' 'roundrobin' '(' args ')' ';' '}'
+//! ```
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Tok, Token};
+use std::fmt;
+
+/// A parse error with position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, line: e.line, col: e.col }
+    }
+}
+
+/// Parse a whole program.
+///
+/// # Errors
+/// Returns the first lexical or syntactic error with its position.
+pub fn parse(src: &str) -> Result<LProgram, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut decls = Vec::new();
+    while !p.at_eof() {
+        decls.push(p.decl()?);
+    }
+    Ok(LProgram { decls })
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)]
+    }
+
+    fn at_eof(&self) -> bool {
+        self.peek().kind == Tok::Eof
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        let t = self.peek();
+        Err(ParseError { message: msg.into(), line: t.line, col: t.col })
+    }
+
+    fn expect(&mut self, kind: &Tok) -> Result<Token, ParseError> {
+        if &self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            self.err(format!("expected `{kind}`, found `{}`", self.peek().kind))
+        }
+    }
+
+    fn eat(&mut self, kind: &Tok) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().kind.clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek().kind.clone() {
+            Tok::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => self.err(format!("expected `{kw}`, found `{other}`")),
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, Tok::Ident(s) if s == kw)
+    }
+
+    fn ty_opt(&mut self) -> Option<LType> {
+        match &self.peek().kind {
+            Tok::Ident(s) if s == "int" => {
+                self.bump();
+                Some(LType::Int)
+            }
+            Tok::Ident(s) if s == "float" => {
+                self.bump();
+                Some(LType::Float)
+            }
+            _ => None,
+        }
+    }
+
+    fn ty(&mut self) -> Result<LType, ParseError> {
+        match self.ty_opt() {
+            Some(t) => Ok(t),
+            None => self.err("expected a type (`int` or `float`)"),
+        }
+    }
+
+    fn decl(&mut self) -> Result<LDecl, ParseError> {
+        // Optional `T -> T` signature.
+        let (mut in_ty, mut out_ty) = (None, None);
+        if matches!(&self.peek().kind, Tok::Ident(s) if s == "int" || s == "float" || s == "void") {
+            if let Tok::Ident(s) = self.peek().kind.clone() {
+                self.bump();
+                in_ty = match s.as_str() {
+                    "int" => Some(LType::Int),
+                    "float" => Some(LType::Float),
+                    _ => None,
+                };
+            }
+            self.expect(&Tok::Arrow)?;
+            if let Tok::Ident(s) = self.peek().kind.clone() {
+                self.bump();
+                out_ty = match s.as_str() {
+                    "int" => Some(LType::Int),
+                    "float" => Some(LType::Float),
+                    "void" => None,
+                    _ => return self.err("expected output type"),
+                };
+            }
+        }
+        if self.is_kw("filter") {
+            self.bump();
+            self.filter(in_ty, out_ty).map(LDecl::Filter)
+        } else if self.is_kw("pipeline") {
+            self.bump();
+            self.pipeline().map(LDecl::Pipeline)
+        } else if self.is_kw("splitjoin") {
+            self.bump();
+            self.splitjoin().map(LDecl::SplitJoin)
+        } else {
+            self.err("expected `filter`, `pipeline`, or `splitjoin`")
+        }
+    }
+
+    fn params(&mut self) -> Result<Vec<LParam>, ParseError> {
+        self.expect(&Tok::LParen)?;
+        let mut out = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                let ty = self.ty()?;
+                let name = self.ident()?;
+                out.push(LParam { ty, name });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen)?;
+        }
+        Ok(out)
+    }
+
+    fn filter(&mut self, in_ty: Option<LType>, out_ty: Option<LType>) -> Result<LFilter, ParseError> {
+        let name = self.ident()?;
+        let params = self.params()?;
+        self.expect(&Tok::LBrace)?;
+        let mut f = LFilter {
+            in_ty,
+            out_ty,
+            name,
+            params,
+            state: Vec::new(),
+            init: Vec::new(),
+            peek: None,
+            pop: 0,
+            push: 0,
+            work: Vec::new(),
+        };
+        let mut saw_work = false;
+        while !self.eat(&Tok::RBrace) {
+            if self.is_kw("init") {
+                self.bump();
+                f.init = self.block()?;
+            } else if self.is_kw("work") {
+                self.bump();
+                saw_work = true;
+                loop {
+                    if self.is_kw("push") {
+                        self.bump();
+                        f.push = self.usize_lit()?;
+                    } else if self.is_kw("pop") {
+                        self.bump();
+                        f.pop = self.usize_lit()?;
+                    } else if self.is_kw("peek") {
+                        self.bump();
+                        f.peek = Some(self.usize_lit()?);
+                    } else {
+                        break;
+                    }
+                }
+                f.work = self.block()?;
+            } else {
+                // State declaration.
+                let ty = self.ty()?;
+                let name = self.ident()?;
+                let len = if self.eat(&Tok::LBracket) {
+                    let n = self.usize_lit()?;
+                    self.expect(&Tok::RBracket)?;
+                    Some(n)
+                } else {
+                    None
+                };
+                let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+                self.expect(&Tok::Semi)?;
+                f.state.push(LStateDecl { ty, name, len, init });
+            }
+        }
+        if !saw_work {
+            return self.err(format!("filter {} has no work function", f.name));
+        }
+        Ok(f)
+    }
+
+    fn usize_lit(&mut self) -> Result<usize, ParseError> {
+        match self.peek().kind.clone() {
+            Tok::Int(v) if v >= 0 => {
+                self.bump();
+                Ok(v as usize)
+            }
+            other => self.err(format!("expected a non-negative integer, found `{other}`")),
+        }
+    }
+
+    fn adds(&mut self) -> Result<Vec<LAdd>, ParseError> {
+        let mut out = Vec::new();
+        while self.is_kw("add") {
+            self.bump();
+            let name = self.ident()?;
+            self.expect(&Tok::LParen)?;
+            let mut args = Vec::new();
+            if !self.eat(&Tok::RParen) {
+                loop {
+                    args.push(self.expr()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RParen)?;
+            }
+            self.expect(&Tok::Semi)?;
+            out.push(LAdd { name, args });
+        }
+        Ok(out)
+    }
+
+    fn pipeline(&mut self) -> Result<LPipeline, ParseError> {
+        let name = self.ident()?;
+        let params = self.params()?;
+        self.expect(&Tok::LBrace)?;
+        let children = self.adds()?;
+        self.expect(&Tok::RBrace)?;
+        if children.is_empty() {
+            return self.err(format!("pipeline {name} has no children"));
+        }
+        Ok(LPipeline { name, params, children })
+    }
+
+    fn splitjoin(&mut self) -> Result<LSplitJoin, ParseError> {
+        let name = self.ident()?;
+        let params = self.params()?;
+        self.expect(&Tok::LBrace)?;
+        self.keyword("split")?;
+        let split = if self.is_kw("duplicate") {
+            self.bump();
+            LSplit::Duplicate
+        } else {
+            self.keyword("roundrobin")?;
+            self.expect(&Tok::LParen)?;
+            let mut ws = Vec::new();
+            if !self.eat(&Tok::RParen) {
+                loop {
+                    ws.push(self.expr()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RParen)?;
+            }
+            LSplit::RoundRobin(ws)
+        };
+        self.expect(&Tok::Semi)?;
+        let children = self.adds()?;
+        self.keyword("join")?;
+        self.keyword("roundrobin")?;
+        self.expect(&Tok::LParen)?;
+        let mut join = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                join.push(self.expr()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen)?;
+        }
+        self.expect(&Tok::Semi)?;
+        self.expect(&Tok::RBrace)?;
+        if children.is_empty() {
+            return self.err(format!("splitjoin {name} has no children"));
+        }
+        Ok(LSplitJoin { name, params, split, children, join })
+    }
+
+    fn block(&mut self) -> Result<Vec<LStmt>, ParseError> {
+        self.expect(&Tok::LBrace)?;
+        let mut out = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<LStmt, ParseError> {
+        if self.is_kw("for") {
+            self.bump();
+            self.expect(&Tok::LParen)?;
+            self.keyword("int")?;
+            let var = self.ident()?;
+            self.expect(&Tok::Assign)?;
+            match self.bump().kind {
+                Tok::Int(0) => {}
+                _ => return self.err("for loops must start at 0"),
+            }
+            self.expect(&Tok::Semi)?;
+            let v2 = self.ident()?;
+            if v2 != var {
+                return self.err("for-loop condition must test the loop variable");
+            }
+            self.expect(&Tok::Lt)?;
+            let bound = self.expr()?;
+            self.expect(&Tok::Semi)?;
+            let v3 = self.ident()?;
+            if v3 != var {
+                return self.err("for-loop increment must update the loop variable");
+            }
+            self.expect(&Tok::PlusPlus)?;
+            self.expect(&Tok::RParen)?;
+            let body = self.block()?;
+            return Ok(LStmt::For { var, bound, body });
+        }
+        if self.is_kw("if") {
+            self.bump();
+            self.expect(&Tok::LParen)?;
+            let cond = self.expr()?;
+            self.expect(&Tok::RParen)?;
+            let then_branch = self.block()?;
+            let else_branch = if self.is_kw("else") {
+                self.bump();
+                self.block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(LStmt::If { cond, then_branch, else_branch });
+        }
+        if self.is_kw("push") {
+            self.bump();
+            self.expect(&Tok::LParen)?;
+            let e = self.expr()?;
+            self.expect(&Tok::RParen)?;
+            self.expect(&Tok::Semi)?;
+            return Ok(LStmt::Push(e));
+        }
+        // Local declaration?
+        if (self.is_kw("int") || self.is_kw("float")) && matches!(&self.peek2().kind, Tok::Ident(_)) {
+            let ty = self.ty()?;
+            let name = self.ident()?;
+            let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+            self.expect(&Tok::Semi)?;
+            return Ok(LStmt::DeclLocal { ty, name, init });
+        }
+        // Assignment or expression statement.
+        if let Tok::Ident(name) = self.peek().kind.clone() {
+            match &self.peek2().kind {
+                Tok::Assign => {
+                    self.bump();
+                    self.bump();
+                    let e = self.expr()?;
+                    self.expect(&Tok::Semi)?;
+                    return Ok(LStmt::Assign(name, e));
+                }
+                Tok::LBracket => {
+                    // Could be `a[i] = e;` — parse the index then check.
+                    let save = self.pos;
+                    self.bump();
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    if self.eat(&Tok::Assign) {
+                        let e = self.expr()?;
+                        self.expect(&Tok::Semi)?;
+                        return Ok(LStmt::AssignIndex(name, idx, e));
+                    }
+                    self.pos = save;
+                }
+                _ => {}
+            }
+        }
+        let e = self.expr()?;
+        self.expect(&Tok::Semi)?;
+        Ok(LStmt::ExprStmt(e))
+    }
+
+    fn expr(&mut self) -> Result<LExpr, ParseError> {
+        self.bin_expr(0)
+    }
+
+    fn bin_expr(&mut self, min_prec: u8) -> Result<LExpr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek().kind {
+                Tok::OrOr => (LBinOp::Or, 1),   // logical or -> bitwise on 0/1
+                Tok::AndAnd => (LBinOp::And, 2),
+                Tok::Pipe => (LBinOp::Or, 3),
+                Tok::Caret => (LBinOp::Xor, 4),
+                Tok::Amp => (LBinOp::And, 5),
+                Tok::EqEq => (LBinOp::Eq, 6),
+                Tok::NotEq => (LBinOp::Ne, 6),
+                Tok::Lt => (LBinOp::Lt, 7),
+                Tok::Le => (LBinOp::Le, 7),
+                Tok::Gt => (LBinOp::Gt, 7),
+                Tok::Ge => (LBinOp::Ge, 7),
+                Tok::Shl => (LBinOp::Shl, 8),
+                Tok::Shr => (LBinOp::Shr, 8),
+                Tok::Plus => (LBinOp::Add, 9),
+                Tok::Minus => (LBinOp::Sub, 9),
+                Tok::Star => (LBinOp::Mul, 10),
+                Tok::Slash => (LBinOp::Div, 10),
+                Tok::Percent => (LBinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.bin_expr(prec + 1)?;
+            lhs = LExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<LExpr, ParseError> {
+        match self.peek().kind {
+            Tok::Minus => {
+                self.bump();
+                Ok(LExpr::Unary(LUnOp::Neg, Box::new(self.unary()?)))
+            }
+            Tok::Tilde => {
+                self.bump();
+                Ok(LExpr::Unary(LUnOp::Not, Box::new(self.unary()?)))
+            }
+            Tok::Bang => {
+                self.bump();
+                Ok(LExpr::Unary(LUnOp::LogNot, Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<LExpr, ParseError> {
+        match self.peek().kind.clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(LExpr::Int(v))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(LExpr::Float(v))
+            }
+            Tok::LParen => {
+                // Cast `(int) e` / `(float) e` vs. parenthesized expression.
+                if let Tok::Ident(s) = &self.peek2().kind {
+                    if (s == "int" || s == "float")
+                        && self.toks.get(self.pos + 2).map(|t| &t.kind) == Some(&Tok::RParen)
+                    {
+                        self.bump();
+                        let ty = self.ty()?;
+                        self.expect(&Tok::RParen)?;
+                        return Ok(LExpr::Cast(ty, Box::new(self.unary()?)));
+                    }
+                }
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Tok::RParen)?;
+                    }
+                    Ok(LExpr::Call(name, args))
+                } else if self.eat(&Tok::LBracket) {
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    Ok(LExpr::Index(name, Box::new(idx)))
+                } else {
+                    Ok(LExpr::Ident(name))
+                }
+            }
+            other => self.err(format!("expected expression, found `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALE: &str = r#"
+        float->float filter Scale(float k) {
+            work pop 1 push 1 {
+                push(pop() * k);
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_simple_filter() {
+        let p = parse(SCALE).unwrap();
+        assert_eq!(p.decls.len(), 1);
+        let LDecl::Filter(f) = &p.decls[0] else { panic!() };
+        assert_eq!(f.name, "Scale");
+        assert_eq!((f.pop, f.push, f.peek), (1, 1, None));
+        assert_eq!(f.params.len(), 1);
+        assert_eq!(f.work.len(), 1);
+    }
+
+    #[test]
+    fn parses_state_and_init() {
+        let src = r#"
+            float->float filter Fir() {
+                float coef[8];
+                int warm = 0;
+                init {
+                    for (int i = 0; i < 8; i++) {
+                        coef[i] = cos((float) i);
+                    }
+                }
+                work peek 8 pop 1 push 1 {
+                    float acc = 0.0;
+                    for (int i = 0; i < 8; i++) {
+                        acc = acc + peek(i) * coef[i];
+                    }
+                    pop();
+                    push(acc);
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let LDecl::Filter(f) = &p.decls[0] else { panic!() };
+        assert_eq!(f.state.len(), 2);
+        assert_eq!(f.state[0].len, Some(8));
+        assert_eq!(f.peek, Some(8));
+        assert!(matches!(f.work[1], LStmt::For { .. }));
+        assert!(matches!(f.work[2], LStmt::ExprStmt(_)));
+    }
+
+    #[test]
+    fn parses_pipeline_and_splitjoin() {
+        let src = r#"
+            void->void pipeline Main() {
+                add Source();
+                add Eq(4);
+                add Sink();
+            }
+            float->float splitjoin Eq(int n) {
+                split duplicate;
+                add Band(0.1);
+                add Band(0.2);
+                join roundrobin(1, 1);
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.decls.len(), 2);
+        let LDecl::SplitJoin(sj) = p.find("Eq").unwrap() else { panic!() };
+        assert_eq!(sj.children.len(), 2);
+        assert_eq!(sj.join.len(), 2);
+        assert!(matches!(sj.split, LSplit::Duplicate));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let src = "int->int filter F() { work pop 1 push 1 { push(1 + 2 * 3 << 1); } }";
+        let p = parse(src).unwrap();
+        let LDecl::Filter(f) = &p.decls[0] else { panic!() };
+        let LStmt::Push(e) = &f.work[0] else { panic!() };
+        // ((1 + (2*3)) << 1)
+        assert!(matches!(e, LExpr::Binary(LBinOp::Shl, _, _)));
+    }
+
+    #[test]
+    fn cast_vs_parenthesized() {
+        let src = "int->int filter F() { work pop 2 push 2 { push((int) pop()); push((pop())); } }";
+        let p = parse(src).unwrap();
+        let LDecl::Filter(f) = &p.decls[0] else { panic!() };
+        assert!(matches!(&f.work[0], LStmt::Push(LExpr::Cast(LType::Int, _))));
+        assert!(matches!(&f.work[1], LStmt::Push(LExpr::Call(_, _))));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = parse("float->float filter F() { work pop 1 push 1 { push( } }").unwrap_err();
+        assert!(e.line >= 1);
+        assert!(e.message.contains("expected expression"));
+    }
+
+    #[test]
+    fn missing_work_rejected() {
+        let e = parse("float->float filter F() { }").unwrap_err();
+        assert!(e.message.contains("no work function"));
+    }
+}

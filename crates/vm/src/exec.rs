@@ -1,0 +1,645 @@
+//! Whole-program execution: fires nodes per the SDF schedule, manages
+//! tapes and persistent actor state, runs splitters/joiners/sinks natively,
+//! and accounts cycles per node.
+
+use crate::interp::{reset_locals, zero_slots, FiringCtx, Slot};
+use crate::machine::{CycleCounters, Machine};
+use crate::tape::Tape;
+use macross_sdf::Schedule;
+use macross_streamir::graph::{EdgeId, Graph, Node, NodeId, ReorderSide, SplitKind};
+use macross_streamir::types::Value;
+use macross_streamir::AddrGen;
+use std::collections::VecDeque;
+
+/// Executes a scheduled stream graph on a modelled machine.
+pub struct Executor<'a> {
+    graph: &'a Graph,
+    schedule: &'a Schedule,
+    machine: &'a Machine,
+    tapes: Vec<Tape>,
+    /// Persistent variable slots per node (filters only).
+    slots: Vec<Vec<Slot>>,
+    /// Persistent channel storage per node (drained every firing).
+    chans: Vec<Vec<VecDeque<Value>>>,
+    counters: CycleCounters,
+    node_cycles: Vec<u64>,
+    outputs: Vec<Vec<Value>>,
+}
+
+impl<'a> Executor<'a> {
+    /// Set up tapes and state, and run every filter's `init` function.
+    ///
+    /// Cycles spent in `init` functions are *not* counted: the paper's
+    /// measurements are steady-state.
+    pub fn new(graph: &'a Graph, schedule: &'a Schedule, machine: &'a Machine) -> Executor<'a> {
+        let mut tapes: Vec<Tape> = graph.edges().map(|(_, e)| Tape::new(e.elem)).collect();
+        for (i, (_, e)) in graph.edges().enumerate() {
+            if let Some(r) = e.reorder {
+                match r.side {
+                    ReorderSide::Consumer => tapes[i].set_read_reorder(r.rate, r.sw),
+                    ReorderSide::Producer => tapes[i].set_write_reorder(r.rate, r.sw),
+                }
+            }
+        }
+        let mut slots = Vec::with_capacity(graph.node_count());
+        let mut chans = Vec::with_capacity(graph.node_count());
+        for (_, node) in graph.nodes() {
+            match node {
+                Node::Filter(f) => {
+                    slots.push(zero_slots(f));
+                    chans.push(vec![VecDeque::new(); f.chans.len()]);
+                }
+                _ => {
+                    slots.push(Vec::new());
+                    chans.push(Vec::new());
+                }
+            }
+        }
+        let outputs = vec![Vec::new(); graph.node_count()];
+        let node_cycles = vec![0; graph.node_count()];
+        let mut ex = Executor {
+            graph,
+            schedule,
+            machine,
+            tapes,
+            slots,
+            chans,
+            counters: CycleCounters::default(),
+            node_cycles,
+            outputs,
+        };
+        ex.run_init_functions();
+        ex
+    }
+
+    fn run_init_functions(&mut self) {
+        let mut scratch = CycleCounters::default();
+        for (id, node) in self.graph.nodes() {
+            if let Node::Filter(f) = node {
+                if f.init.is_empty() {
+                    continue;
+                }
+                let mut slots = std::mem::take(&mut self.slots[id.0 as usize]);
+                let mut chans = std::mem::take(&mut self.chans[id.0 as usize]);
+                {
+                    let mut ctx = FiringCtx {
+                        filter: f,
+                        slots: &mut slots,
+                        chans: &mut chans,
+                        input: None,
+                        output: None,
+                        machine: self.machine,
+                        counters: &mut scratch,
+                        input_addr_cost: 0,
+                        output_addr_cost: 0,
+                    };
+                    ctx.exec_block(&f.init);
+                }
+                self.slots[id.0 as usize] = slots;
+                self.chans[id.0 as usize] = chans;
+            }
+        }
+    }
+
+    /// Run the initialization schedule (primes peeking filters).
+    pub fn run_init(&mut self) {
+        let order = self.schedule.order.clone();
+        for id in order {
+            for _ in 0..self.schedule.init_reps[id.0 as usize] {
+                self.fire(id);
+            }
+        }
+    }
+
+    /// Run `iters` steady-state iterations.
+    pub fn run_steady(&mut self, iters: u64) {
+        let order = self.schedule.order.clone();
+        for _ in 0..iters {
+            for &id in &order {
+                for _ in 0..self.schedule.reps[id.0 as usize] {
+                    self.fire(id);
+                }
+            }
+        }
+    }
+
+    /// Convenience: init schedule followed by `iters` steady iterations.
+    pub fn run(&mut self, iters: u64) {
+        self.run_init();
+        self.run_steady(iters);
+    }
+
+    /// Zero the cycle counters (e.g. after warm-up or the init schedule).
+    pub fn reset_counters(&mut self) {
+        self.counters = CycleCounters::default();
+        self.node_cycles.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Aggregate counters.
+    pub fn counters(&self) -> &CycleCounters {
+        &self.counters
+    }
+
+    /// Total modelled cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.counters.total()
+    }
+
+    /// Cycles attributed to each node.
+    pub fn node_cycles(&self) -> &[u64] {
+        &self.node_cycles
+    }
+
+    /// Values captured by each sink node (indexed by node id).
+    pub fn outputs(&self) -> &[Vec<Value>] {
+        &self.outputs
+    }
+
+    /// All sink outputs concatenated in node order (for differential
+    /// comparisons).
+    pub fn output_flat(&self) -> Vec<Value> {
+        self.outputs.iter().flatten().copied().collect()
+    }
+
+    fn addr_cost(&self, gen: AddrGen) -> u64 {
+        match gen {
+            AddrGen::Sagu => self.machine.cost.sagu_access,
+            AddrGen::Software => self.machine.cost.addr_software_reorder,
+        }
+    }
+
+    /// Fire one node once.
+    pub fn fire(&mut self, id: NodeId) {
+        let before = self.counters.total();
+        self.counters.firing_overhead += self.machine.cost.firing;
+        match self.graph.node(id) {
+            Node::Filter(_) => self.fire_filter(id),
+            Node::Splitter(kind) => {
+                let kind = kind.clone();
+                self.fire_splitter(id, &kind);
+            }
+            Node::Joiner(w) => {
+                let w = w.clone();
+                self.fire_joiner(id, &w);
+            }
+            Node::HSplitter { kind, width } => {
+                let (kind, width) = (kind.clone(), *width);
+                self.fire_hsplitter(id, &kind, width);
+            }
+            Node::HJoiner { weights, width } => {
+                let (w, width) = (weights.clone(), *width);
+                self.fire_hjoiner(id, &w, width);
+            }
+            Node::Sink => self.fire_sink(id),
+        }
+        self.node_cycles[id.0 as usize] += self.counters.total() - before;
+    }
+
+    fn fire_filter(&mut self, id: NodeId) {
+        let node = self.graph.node(id);
+        let f = node.as_filter().expect("fire_filter on non-filter");
+        let in_edge = self.graph.single_in_edge(id);
+        let out_edge = self.graph.single_out_edge(id);
+
+        // Reorder address costs apply to the *scalar* side of a reordered
+        // tape: the consumer side when the edge reorders reads, the
+        // producer side when it reorders writes.
+        let input_addr_cost = in_edge
+            .and_then(|e| self.graph.edge(e).reorder)
+            .filter(|r| r.side == ReorderSide::Consumer)
+            .map(|r| self.addr_cost(r.addr_gen))
+            .unwrap_or(0);
+        let output_addr_cost = out_edge
+            .and_then(|e| self.graph.edge(e).reorder)
+            .filter(|r| r.side == ReorderSide::Producer)
+            .map(|r| self.addr_cost(r.addr_gen))
+            .unwrap_or(0);
+
+        let mut slots = std::mem::take(&mut self.slots[id.0 as usize]);
+        let mut chans = std::mem::take(&mut self.chans[id.0 as usize]);
+        reset_locals(f, &mut slots);
+
+        let mut in_tape = in_edge.map(|e| std::mem::take(&mut self.tapes[e.0 as usize]));
+        let mut out_tape = out_edge.map(|e| std::mem::take(&mut self.tapes[e.0 as usize]));
+        {
+            let mut ctx = FiringCtx {
+                filter: f,
+                slots: &mut slots,
+                chans: &mut chans,
+                input: in_tape.as_mut(),
+                output: out_tape.as_mut(),
+                machine: self.machine,
+                counters: &mut self.counters,
+                input_addr_cost,
+                output_addr_cost,
+            };
+            ctx.exec_block(&f.work);
+        }
+        if let (Some(e), Some(t)) = (in_edge, in_tape) {
+            self.tapes[e.0 as usize] = t;
+        }
+        if let (Some(e), Some(t)) = (out_edge, out_tape) {
+            self.tapes[e.0 as usize] = t;
+        }
+        debug_assert!(
+            chans.iter().all(|c| c.is_empty()),
+            "filter {} left data in an internal channel after firing",
+            f.name
+        );
+        self.slots[id.0 as usize] = slots;
+        self.chans[id.0 as usize] = chans;
+    }
+
+    /// Reorder address-generation cost a scalar access on `edge` pays at
+    /// this node (SAGU or Figure-8 software), if the edge is reordered on
+    /// this node's side.
+    fn edge_addr_cost(&self, edge: EdgeId, consuming: bool) -> u64 {
+        self.graph
+            .edge(edge)
+            .reorder
+            .filter(|r| {
+                (consuming && r.side == ReorderSide::Consumer)
+                    || (!consuming && r.side == ReorderSide::Producer)
+            })
+            .map(|r| self.addr_cost(r.addr_gen))
+            .unwrap_or(0)
+    }
+
+    fn fire_splitter(&mut self, id: NodeId, kind: &SplitKind) {
+        let in_edge = self.graph.single_in_edge(id).expect("splitter needs an input");
+        let outs = self.graph.out_edges(id);
+        let in_cost = self.edge_addr_cost(in_edge, true);
+        match kind {
+            SplitKind::Duplicate => {
+                self.counters.mem_scalar += self.machine.cost.load;
+                self.counters.addr_overhead += in_cost;
+                let v = self.tapes[in_edge.0 as usize].pop();
+                for e in outs {
+                    self.counters.mem_scalar += self.machine.cost.store;
+                    self.counters.addr_overhead += self.edge_addr_cost(e, false);
+                    self.tapes[e.0 as usize].push(v);
+                }
+            }
+            SplitKind::RoundRobin(weights) => {
+                for (i, e) in outs.iter().enumerate() {
+                    let out_cost = self.edge_addr_cost(*e, false);
+                    for _ in 0..weights[i] {
+                        self.counters.mem_scalar += self.machine.cost.load + self.machine.cost.store;
+                        self.counters.addr_overhead += in_cost + out_cost;
+                        let v = self.tapes[in_edge.0 as usize].pop();
+                        self.tapes[e.0 as usize].push(v);
+                    }
+                }
+            }
+        }
+    }
+
+    fn fire_joiner(&mut self, id: NodeId, weights: &[usize]) {
+        let ins = self.graph.in_edges(id);
+        let out = self.graph.single_out_edge(id).expect("joiner needs an output");
+        let out_cost = self.edge_addr_cost(out, false);
+        for (i, e) in ins.iter().enumerate() {
+            let in_cost = self.edge_addr_cost(*e, true);
+            for _ in 0..weights[i] {
+                self.counters.mem_scalar += self.machine.cost.load + self.machine.cost.store;
+                self.counters.addr_overhead += in_cost + out_cost;
+                let v = self.tapes[e.0 as usize].pop();
+                self.tapes[out.0 as usize].push(v);
+            }
+        }
+    }
+
+    /// Horizontal splitter: pops the original splitter's worth of scalars,
+    /// packs them into vectors (one lane per fused branch), and vector-
+    /// pushes to each group's vector tape.
+    fn fire_hsplitter(&mut self, id: NodeId, kind: &SplitKind, width: usize) {
+        let in_edge = self.graph.single_in_edge(id).expect("hsplitter needs an input");
+        let outs = self.graph.out_edges(id);
+        let groups = outs.len();
+        match kind {
+            SplitKind::Duplicate => {
+                self.counters.mem_scalar += self.machine.cost.load;
+                let v = self.tapes[in_edge.0 as usize].pop();
+                for e in outs {
+                    self.counters.pack_unpack += self.machine.cost.splat;
+                    self.counters.mem_vector += self.machine.cost.vstore;
+                    self.tapes[e.0 as usize].vpush(&vec![v; width]);
+                }
+            }
+            SplitKind::RoundRobin(weights) => {
+                let w = weights[0];
+                debug_assert!(weights.iter().all(|&x| x == w), "hsplitter weights must be uniform");
+                let n = groups * width;
+                let mut vals = Vec::with_capacity(n * w);
+                for _ in 0..n * w {
+                    self.counters.mem_scalar += self.machine.cost.load;
+                    vals.push(self.tapes[in_edge.0 as usize].pop());
+                }
+                for (g, e) in outs.iter().enumerate() {
+                    for k in 0..w {
+                        let mut vec = Vec::with_capacity(width);
+                        for j in 0..width {
+                            self.counters.pack_unpack += self.machine.cost.lane_insert;
+                            vec.push(vals[w * (g * width + j) + k]);
+                        }
+                        self.counters.mem_vector += self.machine.cost.vstore;
+                        self.tapes[e.0 as usize].vpush(&vec);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Horizontal joiner: vector-pops from each group, unpacks lanes, and
+    /// pushes scalars in the original joiner's round-robin order.
+    fn fire_hjoiner(&mut self, id: NodeId, weights: &[usize], width: usize) {
+        let ins = self.graph.in_edges(id);
+        let out = self.graph.single_out_edge(id).expect("hjoiner needs an output");
+        let w = weights[0];
+        debug_assert!(weights.iter().all(|&x| x == w), "hjoiner weights must be uniform");
+        let groups = ins.len();
+        // rows[g][k] = k-th vector popped from group g this firing.
+        let mut rows: Vec<Vec<Vec<Value>>> = Vec::with_capacity(groups);
+        for e in &ins {
+            let mut group_rows = Vec::with_capacity(w);
+            for _ in 0..w {
+                self.counters.mem_vector += self.machine.cost.vload;
+                group_rows.push(self.tapes[e.0 as usize].vpop(width));
+            }
+            rows.push(group_rows);
+        }
+        let n = groups * width;
+        for b in 0..n {
+            for k in 0..w {
+                self.counters.pack_unpack += self.machine.cost.lane_extract;
+                self.counters.mem_scalar += self.machine.cost.store;
+                let v = rows[b / width][k][b % width];
+                self.tapes[out.0 as usize].push(v);
+            }
+        }
+    }
+
+    fn fire_sink(&mut self, id: NodeId) {
+        let in_edge = self.graph.single_in_edge(id).expect("sink needs an input");
+        let in_reorder_cost = self
+            .graph
+            .edge(in_edge)
+            .reorder
+            .filter(|r| r.side == ReorderSide::Consumer)
+            .map(|r| self.addr_cost(r.addr_gen))
+            .unwrap_or(0);
+        self.counters.mem_scalar += self.machine.cost.load;
+        self.counters.addr_overhead += in_reorder_cost;
+        let v = self.tapes[in_edge.0 as usize].pop();
+        self.outputs[id.0 as usize].push(v);
+    }
+}
+
+/// Result of a convenience whole-program run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Concatenated sink outputs.
+    pub output: Vec<Value>,
+    /// Aggregate cycle counters for the measured steady iterations.
+    pub counters: CycleCounters,
+    /// Per-node cycles.
+    pub node_cycles: Vec<u64>,
+}
+
+impl RunResult {
+    /// Total modelled cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.counters.total()
+    }
+}
+
+/// Schedule and execute a graph for `iters` steady-state iterations on
+/// `machine`, excluding initialization from the cycle counts.
+///
+/// # Errors
+/// Propagates scheduling failures.
+pub fn run_program(graph: &Graph, machine: &Machine, iters: u64) -> Result<RunResult, macross_sdf::ScheduleError> {
+    let schedule = Schedule::compute(graph)?;
+    Ok(run_scheduled(graph, &schedule, machine, iters))
+}
+
+/// Execute a graph with a pre-computed (possibly SIMD-adjusted) schedule.
+pub fn run_scheduled(graph: &Graph, schedule: &Schedule, machine: &Machine, iters: u64) -> RunResult {
+    let mut ex = Executor::new(graph, schedule, machine);
+    ex.run_init();
+    ex.reset_counters();
+    ex.run_steady(iters);
+    RunResult {
+        output: ex.output_flat(),
+        counters: *ex.counters(),
+        node_cycles: ex.node_cycles().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macross_streamir::builder::StreamSpec;
+    use macross_streamir::edsl::*;
+    use macross_streamir::types::{ScalarTy, Ty};
+
+    fn counting_source(name: &str, push: usize) -> StreamSpec {
+        let mut fb = FilterBuilder::new(name, 0, 0, push, ScalarTy::I32);
+        let n = fb.state("n", Ty::Scalar(ScalarTy::I32));
+        fb.work(|b| {
+            for _ in 0..push {
+                b.push(v(n));
+                b.set(n, v(n) + 1i32);
+            }
+        });
+        fb.build_spec()
+    }
+
+    #[test]
+    fn end_to_end_identity_pipeline() {
+        let mut scale = FilterBuilder::new("scale", 1, 1, 1, ScalarTy::I32);
+        scale.work(|b| {
+            b.push(pop() * 3i32);
+        });
+        let g = StreamSpec::pipeline(vec![counting_source("src", 2), scale.build_spec(), StreamSpec::Sink])
+            .build()
+            .unwrap();
+        let machine = Machine::core_i7();
+        let res = run_program(&g, &machine, 3).unwrap();
+        // 3 iterations x src rep 1 x push 2 = 6 outputs.
+        assert_eq!(res.output, (0..6).map(|x| Value::I32(x * 3)).collect::<Vec<_>>());
+        assert!(res.total_cycles() > 0);
+    }
+
+    #[test]
+    fn split_join_round_robin_order_preserved() {
+        let mk_add = |name: &str, add: i32| {
+            let mut fb = FilterBuilder::new(name, 1, 1, 1, ScalarTy::I32);
+            fb.work(move |b| {
+                b.push(pop() + add);
+            });
+            fb.build_spec()
+        };
+        let g = StreamSpec::pipeline(vec![
+            counting_source("src", 4),
+            StreamSpec::split_join_uniform(1, 1, vec![mk_add("a", 1000), mk_add("b", 2000), mk_add("c", 3000), mk_add("d", 4000)]),
+            StreamSpec::Sink,
+        ])
+        .build()
+        .unwrap();
+        let res = run_program(&g, &Machine::core_i7(), 1).unwrap();
+        assert_eq!(
+            res.output,
+            vec![Value::I32(1000), Value::I32(2001), Value::I32(3002), Value::I32(4003)]
+        );
+    }
+
+    #[test]
+    fn duplicate_splitter_copies() {
+        let id_f = |name: &str| {
+            let mut fb = FilterBuilder::new(name, 1, 1, 1, ScalarTy::I32);
+            fb.work(|b| {
+                b.push(pop());
+            });
+            fb.build_spec()
+        };
+        let g = StreamSpec::pipeline(vec![
+            counting_source("src", 1),
+            StreamSpec::split_join_duplicate(1, vec![id_f("l"), id_f("r")]),
+            StreamSpec::Sink,
+        ])
+        .build()
+        .unwrap();
+        let res = run_program(&g, &Machine::core_i7(), 2).unwrap();
+        assert_eq!(res.output, vec![Value::I32(0), Value::I32(0), Value::I32(1), Value::I32(1)]);
+    }
+
+    #[test]
+    fn peeking_filter_sliding_window() {
+        // Moving sum of a 3-window over the counting stream.
+        let mut fir = FilterBuilder::new("fir", 3, 1, 1, ScalarTy::I32);
+        fir.work(|b| {
+            b.push(peek(0i32) + peek(1i32) + peek(2i32));
+            b.stmt(macross_streamir::stmt::Stmt::AdvanceRead(1));
+        });
+        let g = StreamSpec::pipeline(vec![counting_source("src", 1), fir.build_spec(), StreamSpec::Sink])
+            .build()
+            .unwrap();
+        let res = run_program(&g, &Machine::core_i7(), 4).unwrap();
+        // Windows start at 0: 0+1+2, 1+2+3, ...
+        assert_eq!(
+            res.output,
+            vec![Value::I32(3), Value::I32(6), Value::I32(9), Value::I32(12)]
+        );
+    }
+
+    #[test]
+    fn stateful_accumulator_persists() {
+        let mut acc = FilterBuilder::new("acc", 1, 1, 1, ScalarTy::I32);
+        let s = acc.state("sum", Ty::Scalar(ScalarTy::I32));
+        acc.work(|b| {
+            b.set(s, v(s) + pop());
+            b.push(v(s));
+        });
+        let g = StreamSpec::pipeline(vec![counting_source("src", 1), acc.build_spec(), StreamSpec::Sink])
+            .build()
+            .unwrap();
+        let res = run_program(&g, &Machine::core_i7(), 4).unwrap();
+        assert_eq!(res.output, vec![Value::I32(0), Value::I32(1), Value::I32(3), Value::I32(6)]);
+    }
+
+    #[test]
+    fn init_function_fills_state() {
+        let mut lut = FilterBuilder::new("lut", 1, 1, 1, ScalarTy::I32);
+        let table = lut.state("table", Ty::Array(ScalarTy::I32, 4));
+        let i = lut.local("i", Ty::Scalar(ScalarTy::I32));
+        let x = lut.local("x", Ty::Scalar(ScalarTy::I32));
+        lut.init(|b| {
+            b.for_(i, 4i32, |b| {
+                b.set_idx(table, v(i), v(i) * 100i32);
+            });
+        });
+        lut.work(|b| {
+            b.set(x, pop() & 3i32);
+            b.push(idx(table, v(x)) * 0i32 + idx(table, 2i32));
+        });
+        let g = StreamSpec::pipeline(vec![counting_source("src", 1), lut.build_spec(), StreamSpec::Sink])
+            .build()
+            .unwrap();
+        let res = run_program(&g, &Machine::core_i7(), 1).unwrap();
+        assert_eq!(res.output, vec![Value::I32(200)]);
+    }
+
+    #[test]
+    fn node_cycles_sum_to_total() {
+        let mut f = FilterBuilder::new("f", 1, 1, 1, ScalarTy::I32);
+        f.work(|b| {
+            b.push(pop() + 1i32);
+        });
+        let g = StreamSpec::pipeline(vec![counting_source("src", 1), f.build_spec(), StreamSpec::Sink])
+            .build()
+            .unwrap();
+        let res = run_program(&g, &Machine::core_i7(), 5).unwrap();
+        assert_eq!(res.node_cycles.iter().sum::<u64>(), res.total_cycles());
+    }
+}
+
+#[cfg(test)]
+mod reorder_cost_tests {
+    use super::*;
+    use macross_sdf::Schedule;
+    use macross_streamir::edsl::*;
+    use macross_streamir::expr::Expr;
+    use macross_streamir::graph::{AddrGen, Reorder};
+    use macross_streamir::stmt::Stmt;
+    use macross_streamir::types::{ScalarTy, Ty};
+
+    /// A joiner writing into a write-reordered tape (vectorized consumer)
+    /// must pay the address-generation overhead — SAGU free, software 6
+    /// cycles per access.
+    #[test]
+    fn joiner_pays_reorder_addr_cost() {
+        let build = |addr_gen: AddrGen| {
+            let mut g = Graph::new();
+            let mut s1 = macross_streamir::Filter::new("s1", 0, 0, 2);
+            s1.work = {
+                let mut b = B::new();
+                b.push(1i32).push(2i32);
+                b.build()
+            };
+            let mut s2 = s1.clone();
+            s2.name = "s2".into();
+            let a = g.add_node(Node::Filter(s1));
+            let c = g.add_node(Node::Filter(s2));
+            let j = g.add_node(Node::Joiner(vec![2, 2]));
+            // Vectorized consumer doing vector pops of width 4, rate 1.
+            let mut vf = macross_streamir::Filter::new("v", 4, 4, 4);
+            let tv = vf.add_var("t", Ty::Vector(ScalarTy::I32, 4), macross_streamir::VarKind::Local);
+            vf.work = vec![
+                Stmt::Assign(macross_streamir::LValue::Var(tv), Expr::VPop { width: 4 }),
+                Stmt::VPush { value: Expr::Var(tv), width: 4 },
+            ];
+            let vnode = g.add_node(Node::Filter(vf));
+            let k = g.add_node(Node::Sink);
+            g.connect(a, 0, j, 0, ScalarTy::I32);
+            g.connect(c, 0, j, 1, ScalarTy::I32);
+            let e = g.connect(j, 0, vnode, 0, ScalarTy::I32);
+            g.edge_mut(e).reorder =
+                Some(Reorder { rate: 1, sw: 4, side: ReorderSide::Producer, addr_gen });
+            g.connect(vnode, 0, k, 0, ScalarTy::I32);
+            g
+        };
+        let machine = Machine::core_i7_with_sagu();
+        let g_sagu = build(AddrGen::Sagu);
+        let g_soft = build(AddrGen::Software);
+        let sched = Schedule::compute(&g_sagu).unwrap();
+        let r_sagu = crate::exec::run_scheduled(&g_sagu, &sched, &machine, 2);
+        let r_soft = crate::exec::run_scheduled(&g_soft, &sched, &machine, 2);
+        assert_eq!(r_sagu.output, r_soft.output, "functionally identical");
+        // 4 joiner pushes per iteration x 2 iterations x 6 cycles.
+        assert_eq!(
+            r_soft.counters.addr_overhead - r_sagu.counters.addr_overhead,
+            4 * 2 * machine.cost.addr_software_reorder
+        );
+    }
+}

@@ -1,0 +1,591 @@
+//! The work-function interpreter: executes scalar *and* vectorized actor
+//! bodies with per-operation cycle accounting.
+
+use crate::machine::{CycleCounters, Machine};
+use crate::tape::Tape;
+use macross_streamir::expr::{eval_binop, eval_intrinsic, eval_unop, BinOp, Expr, LValue};
+use macross_streamir::filter::{Filter, VarKind};
+use macross_streamir::stmt::Stmt;
+use macross_streamir::types::{Ty, Value};
+use std::collections::VecDeque;
+
+/// A runtime value: scalar or vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtVal {
+    /// Scalar.
+    S(Value),
+    /// Vector of lane values.
+    V(Vec<Value>),
+}
+
+impl RtVal {
+    /// Unwrap a scalar.
+    ///
+    /// # Panics
+    /// Panics if the value is a vector.
+    pub fn scalar(self) -> Value {
+        match self {
+            RtVal::S(v) => v,
+            RtVal::V(_) => panic!("expected scalar, got vector"),
+        }
+    }
+
+    /// Unwrap a vector.
+    ///
+    /// # Panics
+    /// Panics if the value is a scalar.
+    pub fn vector(self) -> Vec<Value> {
+        match self {
+            RtVal::V(v) => v,
+            RtVal::S(_) => panic!("expected vector, got scalar"),
+        }
+    }
+}
+
+/// Storage for one declared variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Slot {
+    /// Scalar variable.
+    S(Value),
+    /// Vector variable.
+    V(Vec<Value>),
+    /// Scalar array.
+    A(Vec<Value>),
+    /// Vector array.
+    VA(Vec<Vec<Value>>),
+}
+
+impl Slot {
+    /// Zero-initialized storage for a type.
+    pub fn zero_of(ty: Ty) -> Slot {
+        match ty {
+            Ty::Scalar(t) => Slot::S(t.zero()),
+            Ty::Vector(t, w) => Slot::V(vec![t.zero(); w]),
+            Ty::Array(t, n) => Slot::A(vec![t.zero(); n]),
+            Ty::VectorArray(t, w, n) => Slot::VA(vec![vec![t.zero(); w]; n]),
+        }
+    }
+}
+
+/// Everything one firing of a filter needs.
+pub struct FiringCtx<'a> {
+    /// The filter being fired.
+    pub filter: &'a Filter,
+    /// Variable storage (indexed by `VarId`), state slots pre-loaded.
+    pub slots: &'a mut Vec<Slot>,
+    /// Internal channel storage (indexed by `ChanId`), flattened to scalars.
+    pub chans: &'a mut Vec<VecDeque<Value>>,
+    /// Input tape, if the filter has one.
+    pub input: Option<&'a mut Tape>,
+    /// Output tape, if the filter has one.
+    pub output: Option<&'a mut Tape>,
+    /// Target machine (cost table).
+    pub machine: &'a Machine,
+    /// Cycle accumulator.
+    pub counters: &'a mut CycleCounters,
+    /// Extra address-generation cycles per scalar access on the input tape
+    /// (nonzero when the input is read-reordered; SAGU vs. Figure-8 cost).
+    pub input_addr_cost: u64,
+    /// Same for the output tape.
+    pub output_addr_cost: u64,
+}
+
+impl<'a> FiringCtx<'a> {
+    /// Execute a statement block (a `work` or `init` body).
+    pub fn exec_block(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.exec_stmt(s);
+        }
+    }
+
+    fn input(&mut self) -> &mut Tape {
+        self.input.as_deref_mut().unwrap_or_else(|| panic!("filter {} reads without an input tape", panic_name()))
+    }
+
+    fn output(&mut self) -> &mut Tape {
+        self.output.as_deref_mut().unwrap_or_else(|| panic!("filter {} writes without an output tape", panic_name()))
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Assign(lv, e) => {
+                let val = self.eval(e);
+                self.write_lvalue(lv, val);
+            }
+            Stmt::Push(e) => {
+                let v = self.eval(e).scalar();
+                self.counters.mem_scalar += self.machine.cost.store;
+                self.counters.addr_overhead += self.output_addr_cost;
+                self.output().push(v);
+            }
+            Stmt::RPush { value, offset } => {
+                let v = self.eval(value).scalar();
+                let off = self.eval(offset).scalar().as_i64() as usize;
+                self.counters.mem_scalar += self.machine.cost.store;
+                self.counters.addr_overhead += self.machine.cost.alu;
+                self.output().rpush(v, off);
+            }
+            Stmt::VPush { value, width } => {
+                let v = self.eval(value).vector();
+                debug_assert_eq!(v.len(), *width, "vpush width mismatch");
+                self.counters.mem_vector += self.machine.cost.vstore;
+                self.output().vpush(&v);
+            }
+            Stmt::LPush(c, e) => {
+                let v = self.eval(e).scalar();
+                self.counters.mem_scalar += self.machine.cost.store;
+                self.chans[c.0 as usize].push_back(v);
+            }
+            Stmt::LVPush(c, e, width) => {
+                let v = self.eval(e).vector();
+                debug_assert_eq!(v.len(), *width, "lvpush width mismatch");
+                self.counters.mem_vector += self.machine.cost.vstore;
+                self.chans[c.0 as usize].extend(v);
+            }
+            Stmt::For { var, count, body } => {
+                let n = self.eval(count).scalar().as_i64();
+                self.counters.compute_scalar += self.machine.cost.alu; // loop setup
+                for i in 0..n.max(0) {
+                    self.counters.loop_overhead += self.machine.cost.loop_iter;
+                    self.slots[var.0 as usize] = Slot::S(Value::I32(i as i32));
+                    self.exec_block(body);
+                }
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                let c = self.eval(cond).scalar();
+                self.counters.compute_scalar += self.machine.cost.alu; // branch
+                if c.is_truthy() {
+                    self.exec_block(then_branch);
+                } else {
+                    self.exec_block(else_branch);
+                }
+            }
+            Stmt::AdvanceRead(n) => {
+                self.counters.addr_overhead += self.machine.cost.alu;
+                self.input().advance_read(*n);
+            }
+            Stmt::AdvanceWrite(n) => {
+                self.counters.addr_overhead += self.machine.cost.alu;
+                self.output().advance_write(*n);
+            }
+        }
+    }
+
+    fn write_lvalue(&mut self, lv: &LValue, val: RtVal) {
+        match lv {
+            LValue::Var(v) => {
+                // Register move: free in the cost model.
+                match (&mut self.slots[v.0 as usize], val) {
+                    (Slot::S(s), RtVal::S(x)) => *s = x,
+                    (slot @ Slot::V(_), RtVal::V(x)) => *slot = Slot::V(x),
+                    (slot, val) => panic!("type mismatch assigning {val:?} to {slot:?}"),
+                }
+            }
+            LValue::Index(v, i) => {
+                let idx = self.eval(i).scalar().as_i64() as usize;
+                match (&mut self.slots[v.0 as usize], val) {
+                    (Slot::A(arr), RtVal::S(x)) => {
+                        self.counters.mem_scalar += self.machine.cost.store;
+                        arr[idx] = x;
+                    }
+                    (Slot::VA(arr), RtVal::V(x)) => {
+                        self.counters.mem_vector += self.machine.cost.vstore;
+                        arr[idx] = x;
+                    }
+                    (slot, val) => panic!("type mismatch assigning {val:?} to element of {slot:?}"),
+                }
+            }
+            LValue::VIndex(v, i, _) => {
+                let idx = self.eval(i).scalar().as_i64() as usize;
+                let vals = val.vector();
+                self.counters.mem_vector += self.machine.cost.vstore;
+                match &mut self.slots[v.0 as usize] {
+                    Slot::A(arr) => arr[idx..idx + vals.len()].copy_from_slice(&vals),
+                    slot => panic!("vector store to non-scalar-array {slot:?}"),
+                }
+            }
+            LValue::LaneVar(v, lane) => {
+                let x = val.scalar();
+                self.counters.pack_unpack += self.machine.cost.lane_insert;
+                match &mut self.slots[v.0 as usize] {
+                    Slot::V(lanes) => lanes[*lane] = x,
+                    slot => panic!("lane assignment to non-vector {slot:?}"),
+                }
+            }
+            LValue::LaneIndex(v, i, lane) => {
+                let idx = self.eval(i).scalar().as_i64() as usize;
+                let x = val.scalar();
+                self.counters.pack_unpack += self.machine.cost.lane_insert;
+                match &mut self.slots[v.0 as usize] {
+                    Slot::VA(arr) => arr[idx][*lane] = x,
+                    slot => panic!("lane assignment to non-vector-array {slot:?}"),
+                }
+            }
+        }
+    }
+
+    /// Evaluate an expression.
+    pub fn eval(&mut self, e: &Expr) -> RtVal {
+        match e {
+            Expr::Const(v) => RtVal::S(*v),
+            Expr::ConstVec(vs) => {
+                // Constant-pool vector load.
+                self.counters.mem_vector += self.machine.cost.vload;
+                RtVal::V(vs.clone())
+            }
+            Expr::Var(v) => match &self.slots[v.0 as usize] {
+                Slot::S(x) => RtVal::S(*x),
+                Slot::V(x) => RtVal::V(x.clone()),
+                slot => panic!("reading aggregate {slot:?} as a value"),
+            },
+            Expr::Index(v, i) => {
+                let idx = self.eval(i).scalar().as_i64() as usize;
+                match &self.slots[v.0 as usize] {
+                    Slot::A(arr) => {
+                        self.counters.mem_scalar += self.machine.cost.load;
+                        RtVal::S(arr[idx])
+                    }
+                    Slot::VA(arr) => {
+                        self.counters.mem_vector += self.machine.cost.vload;
+                        RtVal::V(arr[idx].clone())
+                    }
+                    slot => panic!("indexing non-array {slot:?}"),
+                }
+            }
+            Expr::VIndex(v, i, w) => {
+                let idx = self.eval(i).scalar().as_i64() as usize;
+                self.counters.mem_vector += self.machine.cost.vload;
+                match &self.slots[v.0 as usize] {
+                    Slot::A(arr) => RtVal::V(arr[idx..idx + w].to_vec()),
+                    slot => panic!("vector-indexing non-scalar-array {slot:?}"),
+                }
+            }
+            Expr::Unary(op, a) => {
+                let a = self.eval(a);
+                match a {
+                    RtVal::S(x) => {
+                        self.counters.compute_scalar += self.machine.cost.alu;
+                        RtVal::S(eval_unop(*op, x))
+                    }
+                    RtVal::V(xs) => {
+                        self.counters.compute_vector += self.machine.cost.valu;
+                        RtVal::V(xs.into_iter().map(|x| eval_unop(*op, x)).collect())
+                    }
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let a = self.eval(a);
+                let b = self.eval(b);
+                match (a, b) {
+                    (RtVal::S(x), RtVal::S(y)) => {
+                        self.counters.compute_scalar += self.scalar_binop_cost(*op);
+                        RtVal::S(eval_binop(*op, x, y))
+                    }
+                    (RtVal::V(xs), RtVal::V(ys)) => {
+                        assert_eq!(xs.len(), ys.len(), "vector width mismatch in {op:?}");
+                        self.counters.compute_vector += self.vector_binop_cost(*op);
+                        RtVal::V(xs.into_iter().zip(ys).map(|(x, y)| eval_binop(*op, x, y)).collect())
+                    }
+                    _ => panic!("mixed scalar/vector operands in {op:?} (SIMDizer must splat)"),
+                }
+            }
+            Expr::Call(i, args) => {
+                let vals: Vec<RtVal> = args.iter().map(|a| self.eval(a)).collect();
+                if vals.iter().any(|v| matches!(v, RtVal::V(_))) {
+                    let vecs: Vec<Vec<Value>> = vals.into_iter().map(|v| v.vector()).collect();
+                    let w = vecs[0].len();
+                    assert!(vecs.iter().all(|v| v.len() == w), "vector width mismatch in {}", i.name());
+                    self.counters.compute_vector += self.machine.vector_intrinsic_cost(*i);
+                    let lanes = (0..w)
+                        .map(|l| {
+                            let lane_args: Vec<Value> = vecs.iter().map(|v| v[l]).collect();
+                            eval_intrinsic(*i, &lane_args)
+                        })
+                        .collect();
+                    RtVal::V(lanes)
+                } else {
+                    let scalars: Vec<Value> = vals.into_iter().map(|v| v.scalar()).collect();
+                    self.counters.compute_scalar += self.machine.scalar_intrinsic_cost(*i);
+                    RtVal::S(eval_intrinsic(*i, &scalars))
+                }
+            }
+            Expr::Cast(t, a) => match self.eval(a) {
+                RtVal::S(x) => {
+                    self.counters.compute_scalar += self.machine.cost.alu;
+                    RtVal::S(x.cast(*t))
+                }
+                RtVal::V(xs) => {
+                    self.counters.compute_vector += self.machine.cost.valu;
+                    RtVal::V(xs.into_iter().map(|x| x.cast(*t)).collect())
+                }
+            },
+            Expr::Pop => {
+                self.counters.mem_scalar += self.machine.cost.load;
+                self.counters.addr_overhead += self.input_addr_cost;
+                RtVal::S(self.input().pop())
+            }
+            Expr::Peek(off) => {
+                let o = self.eval(off).scalar().as_i64() as usize;
+                self.counters.mem_scalar += self.machine.cost.load;
+                self.counters.addr_overhead += self.input_addr_cost;
+                RtVal::S(self.input().peek(o))
+            }
+            Expr::VPop { width } => {
+                self.counters.mem_vector += self.machine.cost.vload;
+                let w = *width;
+                RtVal::V(self.input().vpop(w))
+            }
+            Expr::VPeek { offset, width } => {
+                let o = self.eval(offset).scalar().as_i64() as usize;
+                self.counters.mem_vector += self.machine.cost.vload;
+                let w = *width;
+                RtVal::V(self.input().vpeek(o, w))
+            }
+            Expr::LPop(c) => {
+                self.counters.mem_scalar += self.machine.cost.load;
+                RtVal::S(
+                    self.chans[c.0 as usize]
+                        .pop_front()
+                        .unwrap_or_else(|| panic!("internal channel {c} underflow")),
+                )
+            }
+            Expr::LVPop(c, w) => {
+                self.counters.mem_vector += self.machine.cost.vload;
+                let ch = &mut self.chans[c.0 as usize];
+                assert!(ch.len() >= *w, "internal channel {c} underflow (vector)");
+                RtVal::V(ch.drain(..*w).collect())
+            }
+            Expr::Lane(e, lane) => {
+                let v = self.eval(e).vector();
+                self.counters.pack_unpack += self.machine.cost.lane_extract;
+                RtVal::S(v[*lane])
+            }
+            Expr::Splat(e, w) => {
+                let x = self.eval(e).scalar();
+                self.counters.pack_unpack += self.machine.cost.splat;
+                RtVal::V(vec![x; *w])
+            }
+            Expr::PermuteEven(a, b) => {
+                let (a, b) = (self.eval(a).vector(), self.eval(b).vector());
+                self.counters.permute += self.machine.cost.permute;
+                RtVal::V(extract_positions(&a, &b, 0))
+            }
+            Expr::PermuteOdd(a, b) => {
+                let (a, b) = (self.eval(a).vector(), self.eval(b).vector());
+                self.counters.permute += self.machine.cost.permute;
+                RtVal::V(extract_positions(&a, &b, 1))
+            }
+        }
+    }
+
+    fn scalar_binop_cost(&self, op: BinOp) -> u64 {
+        match op {
+            BinOp::Mul => self.machine.cost.mul,
+            BinOp::Div | BinOp::Rem => self.machine.cost.div,
+            _ => self.machine.cost.alu,
+        }
+    }
+
+    fn vector_binop_cost(&self, op: BinOp) -> u64 {
+        match op {
+            BinOp::Mul => self.machine.cost.vmul,
+            BinOp::Div | BinOp::Rem => self.machine.cost.vdiv,
+            _ => self.machine.cost.valu,
+        }
+    }
+}
+
+/// `extract_even` (parity 0) / `extract_odd` (parity 1) of the
+/// concatenation of two equal-width vectors.
+fn extract_positions(a: &[Value], b: &[Value], parity: usize) -> Vec<Value> {
+    assert_eq!(a.len(), b.len(), "permute operands must have equal width");
+    let concat = a.iter().chain(b.iter()).copied().collect::<Vec<_>>();
+    concat.into_iter().skip(parity).step_by(2).collect()
+}
+
+fn panic_name() -> &'static str {
+    "<unknown>"
+}
+
+/// Build the initial slot vector for a filter (all zeros).
+pub fn zero_slots(filter: &Filter) -> Vec<Slot> {
+    filter.vars.iter().map(|v| Slot::zero_of(v.ty)).collect()
+}
+
+/// Reset all `Local` slots of a filter to zero (between firings), leaving
+/// `State` slots untouched.
+pub fn reset_locals(filter: &Filter, slots: &mut [Slot]) {
+    for (i, decl) in filter.vars.iter().enumerate() {
+        if decl.kind == VarKind::Local {
+            slots[i] = Slot::zero_of(decl.ty);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use macross_streamir::edsl::*;
+    use macross_streamir::types::{ScalarTy, Ty};
+
+    fn fire_once(filter: &Filter, input: Option<&mut Tape>, output: Option<&mut Tape>) -> CycleCounters {
+        let machine = Machine::core_i7();
+        let mut counters = CycleCounters::default();
+        let mut slots = zero_slots(filter);
+        let mut chans = vec![VecDeque::new(); filter.chans.len()];
+        let mut ctx = FiringCtx {
+            filter,
+            slots: &mut slots,
+            chans: &mut chans,
+            input,
+            output,
+            machine: &machine,
+            counters: &mut counters,
+            input_addr_cost: 0,
+            output_addr_cost: 0,
+        };
+        ctx.exec_block(&filter.work);
+        counters
+    }
+
+    #[test]
+    fn scalar_pipeline_step() {
+        let mut fb = FilterBuilder::new("scale", 1, 1, 1, ScalarTy::F32);
+        fb.work(|b| {
+            b.push(pop() * 2.0f32);
+        });
+        let f = fb.build();
+        let mut inp = Tape::new(ScalarTy::F32);
+        inp.push(Value::F32(3.0));
+        let mut out = Tape::new(ScalarTy::F32);
+        let counters = fire_once(&f, Some(&mut inp), Some(&mut out));
+        assert_eq!(out.pop(), Value::F32(6.0));
+        // load(2) + mul(3) + store(2)
+        assert_eq!(counters.mem_scalar, 4);
+        assert_eq!(counters.compute_scalar, 3);
+    }
+
+    #[test]
+    fn vector_ops_execute_lanewise() {
+        use macross_streamir::expr::Expr;
+        use macross_streamir::stmt::Stmt;
+        let mut fb = FilterBuilder::new("v", 4, 4, 4, ScalarTy::I32);
+        let tv = fb.local("t_v", Ty::Vector(ScalarTy::I32, 4));
+        fb.work(|b| {
+            b.set(tv, E(Expr::VPop { width: 4 }));
+            b.stmt(Stmt::VPush {
+                value: Expr::bin(
+                    macross_streamir::expr::BinOp::Add,
+                    Expr::Var(tv),
+                    Expr::ConstVec(vec![Value::I32(10), Value::I32(20), Value::I32(30), Value::I32(40)]),
+                ),
+                width: 4,
+            });
+        });
+        let f = fb.build();
+        let mut inp = Tape::new(ScalarTy::I32);
+        inp.vpush(&[Value::I32(1), Value::I32(2), Value::I32(3), Value::I32(4)]);
+        let mut out = Tape::new(ScalarTy::I32);
+        let counters = fire_once(&f, Some(&mut inp), Some(&mut out));
+        assert_eq!(out.vpop(4), vec![Value::I32(11), Value::I32(22), Value::I32(33), Value::I32(44)]);
+        assert!(counters.compute_vector > 0);
+        assert_eq!(counters.compute_scalar, 0);
+    }
+
+    #[test]
+    fn lane_pack_unpack_costs_tracked() {
+        use macross_streamir::expr::Expr;
+        let mut fb = FilterBuilder::new("pk", 2, 2, 2, ScalarTy::I32);
+        let tv = fb.local("t_v", Ty::Vector(ScalarTy::I32, 2));
+        fb.work(|b| {
+            b.assign(macross_streamir::expr::LValue::LaneVar(tv, 1), peek(1i32));
+            b.assign(macross_streamir::expr::LValue::LaneVar(tv, 0), pop());
+            b.push(E(Expr::Lane(Box::new(Expr::Var(tv)), 0)));
+            b.push(E(Expr::Lane(Box::new(Expr::Var(tv)), 1)));
+            b.stmt(macross_streamir::stmt::Stmt::AdvanceRead(1));
+        });
+        let f = fb.build();
+        let mut inp = Tape::new(ScalarTy::I32);
+        inp.push(Value::I32(7));
+        inp.push(Value::I32(8));
+        let mut out = Tape::new(ScalarTy::I32);
+        let counters = fire_once(&f, Some(&mut inp), Some(&mut out));
+        assert_eq!(out.pop(), Value::I32(7));
+        assert_eq!(out.pop(), Value::I32(8));
+        // 2 inserts + 2 extracts at cost 1 each.
+        assert_eq!(counters.pack_unpack, 4);
+        assert!(inp.is_empty());
+    }
+
+    #[test]
+    fn permutes_deinterleave() {
+        use macross_streamir::expr::Expr;
+        let a = Expr::ConstVec((0..4).map(Value::I32).collect());
+        let b = Expr::ConstVec((4..8).map(Value::I32).collect());
+        let mut fb = FilterBuilder::new("perm", 0, 0, 8, ScalarTy::I32);
+        fb.work(|bld| {
+            bld.stmt(Stmt::VPush { value: Expr::PermuteEven(Box::new(a.clone()), Box::new(b.clone())), width: 4 });
+            bld.stmt(Stmt::VPush { value: Expr::PermuteOdd(Box::new(a), Box::new(b)), width: 4 });
+        });
+        let f = fb.build();
+        let mut out = Tape::new(ScalarTy::I32);
+        let counters = fire_once(&f, None, Some(&mut out));
+        let even = out.vpop(4);
+        let odd = out.vpop(4);
+        assert_eq!(even, vec![Value::I32(0), Value::I32(2), Value::I32(4), Value::I32(6)]);
+        assert_eq!(odd, vec![Value::I32(1), Value::I32(3), Value::I32(5), Value::I32(7)]);
+        assert_eq!(counters.permute, 2);
+    }
+
+    #[test]
+    fn loop_overhead_charged_per_iteration() {
+        let mut fb = FilterBuilder::new("l", 0, 0, 4, ScalarTy::I32);
+        let i = fb.local("i", Ty::Scalar(ScalarTy::I32));
+        fb.work(|b| {
+            b.for_(i, 4i32, |b| {
+                b.push(v(i));
+            });
+        });
+        let f = fb.build();
+        let mut out = Tape::new(ScalarTy::I32);
+        let counters = fire_once(&f, None, Some(&mut out));
+        assert_eq!(counters.loop_overhead, 4);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn local_channels_roundtrip() {
+        use macross_streamir::expr::Expr;
+        let fb = FilterBuilder::new("fused", 1, 1, 1, ScalarTy::I32);
+        let f = {
+            let mut f = fb.build();
+            let c = f.add_chan("buf", Ty::Scalar(ScalarTy::I32));
+            f.work = {
+                let mut b = B::new();
+                b.lpush(c, pop() + 1i32);
+                b.push(E(Expr::LPop(c)) + 10i32);
+                b.build()
+            };
+            f
+        };
+        let mut inp = Tape::new(ScalarTy::I32);
+        inp.push(Value::I32(5));
+        let mut out = Tape::new(ScalarTy::I32);
+        let _ = fire_once(&f, Some(&mut inp), Some(&mut out));
+        assert_eq!(out.pop(), Value::I32(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed scalar/vector")]
+    fn mixed_operands_rejected() {
+        use macross_streamir::expr::Expr;
+        let mut fb = FilterBuilder::new("bad", 0, 0, 0, ScalarTy::I32);
+        let tv = fb.local("t", Ty::Vector(ScalarTy::I32, 4));
+        fb.work(|b| {
+            b.set(tv, E(Expr::Var(tv)) + 1i32);
+        });
+        let f = fb.build();
+        let _ = fire_once(&f, None, None);
+    }
+}

@@ -1,0 +1,382 @@
+//! FIFO tapes with random-access pushes, pointer adjustment, and the
+//! column-major reorder modes used by the SAGU tape optimization.
+
+use macross_sagu::column_major_index;
+use macross_streamir::types::{ScalarTy, Value};
+use std::collections::VecDeque;
+
+/// A tape (FIFO channel) between two actors.
+///
+/// Beyond plain push/pop the tape supports the paper's access repertoire:
+///
+/// - `peek(k)`: non-destructive read `k` elements past the read pointer;
+/// - `rpush(v, off)`: write `off` elements past the write pointer without
+///   advancing it;
+/// - `advance_read`/`advance_write`: bulk pointer adjustment emitted by the
+///   SIMDizer;
+/// - vector push/pop of `w` contiguous elements;
+/// - **reorder modes**: when one end is vectorized and uses whole-vector
+///   accesses while the other end stays scalar, the scalar end accesses the
+///   tape in column-major block order (resolved by a SAGU or the Figure-8
+///   software sequence — the *cost* of which is charged by the executor;
+///   this type implements the functional remapping).
+#[derive(Debug, Clone)]
+pub struct Tape {
+    /// Readable (committed) elements start at index 0.
+    buf: VecDeque<Value>,
+    /// Number of committed elements (write pointer - read pointer).
+    committed: usize,
+    /// Element type (for zero-fill of rpush gaps).
+    elem: ScalarTy,
+    /// Column-major read remapping: (rate, simd width).
+    read_reorder: Option<(usize, usize)>,
+    /// Logical position within the current read block.
+    read_block_pos: usize,
+    /// Column-major write remapping: (rate, simd width).
+    write_reorder: Option<(usize, usize)>,
+    /// Staging buffer for one write block.
+    write_stage: Vec<Value>,
+    /// Logical position within the current write block.
+    write_block_pos: usize,
+    /// Lifetime statistics.
+    total_pushed: u64,
+    total_popped: u64,
+}
+
+impl Default for Tape {
+    /// An empty `f32` tape (used when temporarily moving tapes out of the
+    /// executor's storage).
+    fn default() -> Tape {
+        Tape::new(ScalarTy::F32)
+    }
+}
+
+impl Tape {
+    /// Create an empty tape carrying elements of type `elem`.
+    pub fn new(elem: ScalarTy) -> Tape {
+        Tape {
+            buf: VecDeque::new(),
+            committed: 0,
+            elem,
+            read_reorder: None,
+            read_block_pos: 0,
+            write_reorder: None,
+            write_stage: Vec::new(),
+            write_block_pos: 0,
+            total_pushed: 0,
+            total_popped: 0,
+        }
+    }
+
+    /// Enable column-major *read* remapping (vectorized producer, scalar
+    /// consumer): logical read `k` resolves to physical slot
+    /// `column_major_index(k, rate, sw)` within the current block.
+    ///
+    /// # Panics
+    /// Panics if a write reorder is already set (a tape reorders one end).
+    pub fn set_read_reorder(&mut self, rate: usize, sw: usize) {
+        assert!(self.write_reorder.is_none(), "tape cannot reorder both ends");
+        self.read_reorder = Some((rate, sw));
+    }
+
+    /// Enable column-major *write* remapping (scalar producer, vectorized
+    /// consumer): logical writes are staged and committed one block at a
+    /// time in the layout the consumer's vector pops expect.
+    ///
+    /// # Panics
+    /// Panics if a read reorder is already set.
+    pub fn set_write_reorder(&mut self, rate: usize, sw: usize) {
+        assert!(self.read_reorder.is_none(), "tape cannot reorder both ends");
+        self.write_reorder = Some((rate, sw));
+        self.write_stage = vec![self.elem.zero(); rate * sw];
+    }
+
+    /// Committed (readable) element count.
+    pub fn len(&self) -> usize {
+        self.committed
+    }
+
+    /// True when no committed elements remain.
+    pub fn is_empty(&self) -> bool {
+        self.committed == 0
+    }
+
+    /// Lifetime totals `(pushed, popped)`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.total_pushed, self.total_popped)
+    }
+
+    fn ensure_slot(&mut self, idx: usize) {
+        while self.buf.len() <= idx {
+            self.buf.push_back(self.elem.zero());
+        }
+    }
+
+    /// Push one element, advancing the write pointer.
+    pub fn push(&mut self, v: Value) {
+        self.total_pushed += 1;
+        if let Some((rate, sw)) = self.write_reorder {
+            let block = rate * sw;
+            let phys = column_major_index(self.write_block_pos, rate, sw);
+            self.write_stage[phys] = v;
+            self.write_block_pos += 1;
+            if self.write_block_pos == block {
+                self.write_block_pos = 0;
+                let stage = std::mem::take(&mut self.write_stage);
+                for &val in &stage {
+                    let idx = self.committed;
+                    self.ensure_slot(idx);
+                    self.buf[idx] = val;
+                    self.committed += 1;
+                }
+                self.write_stage = stage;
+            }
+            return;
+        }
+        let idx = self.committed;
+        self.ensure_slot(idx);
+        self.buf[idx] = v;
+        self.committed += 1;
+    }
+
+    /// Random-access push `off` elements past the write pointer (does not
+    /// advance it). Not available on write-reordered tapes.
+    ///
+    /// # Panics
+    /// Panics on a write-reordered tape.
+    pub fn rpush(&mut self, v: Value, off: usize) {
+        assert!(self.write_reorder.is_none(), "rpush on a write-reordered tape");
+        self.total_pushed += 1;
+        let idx = self.committed + off;
+        self.ensure_slot(idx);
+        self.buf[idx] = v;
+    }
+
+    /// Advance the write pointer over `n` slots previously filled by
+    /// `rpush`.
+    pub fn advance_write(&mut self, n: usize) {
+        self.ensure_slot(self.committed + n - 1);
+        self.committed += n;
+    }
+
+    /// Push `w` contiguous elements (a vector push).
+    pub fn vpush(&mut self, vals: &[Value]) {
+        assert!(self.write_reorder.is_none(), "vpush on a write-reordered tape");
+        for &v in vals {
+            self.total_pushed += 1;
+            let idx = self.committed;
+            self.ensure_slot(idx);
+            self.buf[idx] = v;
+            self.committed += 1;
+        }
+    }
+
+    /// Pop one element.
+    ///
+    /// # Panics
+    /// Panics if the tape is empty (the schedule guarantees availability).
+    pub fn pop(&mut self) -> Value {
+        self.total_popped += 1;
+        if let Some((rate, sw)) = self.read_reorder {
+            let block = rate * sw;
+            let phys = column_major_index(self.read_block_pos, rate, sw);
+            let v = self.buf[phys];
+            self.read_block_pos += 1;
+            if self.read_block_pos == block {
+                self.read_block_pos = 0;
+                self.buf.drain(..block);
+                self.committed -= block;
+            }
+            return v;
+        }
+        assert!(self.committed > 0, "pop from empty tape");
+        self.committed -= 1;
+        self.buf.pop_front().expect("committed implies non-empty")
+    }
+
+    /// Non-destructive read `off` elements past the read pointer.
+    pub fn peek(&self, off: usize) -> Value {
+        if let Some((rate, sw)) = self.read_reorder {
+            let phys = column_major_index(self.read_block_pos + off, rate, sw);
+            return self.buf[phys];
+        }
+        assert!(off < self.committed, "peek({off}) beyond committed {}", self.committed);
+        self.buf[off]
+    }
+
+    /// Advance the read pointer by `n` (elements were consumed logically by
+    /// strided peeks).
+    pub fn advance_read(&mut self, n: usize) {
+        self.total_popped += n as u64;
+        if let Some((rate, sw)) = self.read_reorder {
+            let block = rate * sw;
+            self.read_block_pos += n;
+            while self.read_block_pos >= block {
+                self.read_block_pos -= block;
+                self.buf.drain(..block);
+                self.committed -= block;
+            }
+            return;
+        }
+        assert!(n <= self.committed, "advance_read({n}) beyond committed {}", self.committed);
+        self.buf.drain(..n);
+        self.committed -= n;
+    }
+
+    /// Pop `w` contiguous elements as a vector.
+    pub fn vpop(&mut self, w: usize) -> Vec<Value> {
+        assert!(self.read_reorder.is_none(), "vpop on a read-reordered tape");
+        assert!(w <= self.committed, "vpop({w}) beyond committed {}", self.committed);
+        self.total_popped += w as u64;
+        self.committed -= w;
+        self.buf.drain(..w).collect()
+    }
+
+    /// Non-destructive read of `w` contiguous elements at scalar offset
+    /// `off`.
+    pub fn vpeek(&self, off: usize, w: usize) -> Vec<Value> {
+        assert!(self.read_reorder.is_none(), "vpeek on a read-reordered tape");
+        assert!(off + w <= self.buf.len(), "vpeek beyond buffer");
+        (off..off + w).map(|i| self.buf[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(x: i32) -> Value {
+        Value::I32(x)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut t = Tape::new(ScalarTy::I32);
+        for i in 0..5 {
+            t.push(iv(i));
+        }
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.peek(3), iv(3));
+        for i in 0..5 {
+            assert_eq!(t.pop(), iv(i));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.stats(), (5, 5));
+    }
+
+    #[test]
+    fn rpush_then_advance() {
+        // The SIMDized-actor pattern: 3 rpushes + 1 push per lane set,
+        // then advance_write over the strided region.
+        let mut t = Tape::new(ScalarTy::I32);
+        // Writes of Figure 3b for q=2, SW=4: r0 lanes at offsets 6,4,2,push;
+        // r1 lanes at offsets 6,4,2,push; then advance 6.
+        t.rpush(iv(6), 6);
+        t.rpush(iv(4), 4);
+        t.rpush(iv(2), 2);
+        t.push(iv(0));
+        t.rpush(iv(7), 6);
+        t.rpush(iv(5), 4);
+        t.rpush(iv(3), 2);
+        t.push(iv(1));
+        t.advance_write(6);
+        assert_eq!(t.len(), 8);
+        let got: Vec<Value> = (0..8).map(|_| t.pop()).collect();
+        assert_eq!(got, (0..8).map(iv).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vector_ops_roundtrip() {
+        let mut t = Tape::new(ScalarTy::I32);
+        t.vpush(&[iv(1), iv(2), iv(3), iv(4)]);
+        assert_eq!(t.vpeek(1, 2), vec![iv(2), iv(3)]);
+        assert_eq!(t.vpop(4), vec![iv(1), iv(2), iv(3), iv(4)]);
+    }
+
+    #[test]
+    fn read_reorder_recovers_logical_order() {
+        // Producer is vectorized with rate 3, SW 4: its 4 parallel firings
+        // push rows [e0 e3 e6 e9][e1 e4 e7 e10][e2 e5 e8 e11] — i.e. vector
+        // i holds lanes' i-th pushes. Consumer must read e0..e11.
+        let mut t = Tape::new(ScalarTy::I32);
+        t.set_read_reorder(3, 4);
+        // Physical layout written by 3 vpushes: row i lane j = element j*3+i.
+        for i in 0..3 {
+            let row: Vec<Value> = (0..4).map(|j| iv(j * 3 + i)).collect();
+            t.vpush(&row);
+        }
+        let got: Vec<Value> = (0..12).map(|_| t.pop()).collect();
+        assert_eq!(got, (0..12).map(iv).collect::<Vec<_>>());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn read_reorder_peek() {
+        let mut t = Tape::new(ScalarTy::I32);
+        t.set_read_reorder(2, 4);
+        for i in 0..2 {
+            let row: Vec<Value> = (0..4).map(|j| iv(j * 2 + i)).collect();
+            t.vpush(&row);
+        }
+        assert_eq!(t.peek(0), iv(0));
+        assert_eq!(t.peek(5), iv(5));
+        assert_eq!(t.pop(), iv(0));
+        assert_eq!(t.peek(0), iv(1));
+    }
+
+    #[test]
+    fn write_reorder_produces_vector_layout() {
+        // Scalar producer pushes e0..e11; vectorized consumer with rate 3,
+        // SW 4 vpops rows whose lane j is element j*3+i.
+        let mut t = Tape::new(ScalarTy::I32);
+        t.set_write_reorder(3, 4);
+        for k in 0..12 {
+            t.push(iv(k));
+        }
+        for i in 0..3 {
+            let want: Vec<Value> = (0..4).map(|j| iv(j * 3 + i)).collect();
+            assert_eq!(t.vpop(4), want, "row {i}");
+        }
+    }
+
+    #[test]
+    fn write_reorder_commits_only_full_blocks() {
+        let mut t = Tape::new(ScalarTy::I32);
+        t.set_write_reorder(2, 4);
+        for k in 0..7 {
+            t.push(iv(k));
+        }
+        assert_eq!(t.len(), 0, "partial block must not be visible");
+        t.push(iv(7));
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn advance_read_under_reorder() {
+        let mut t = Tape::new(ScalarTy::I32);
+        t.set_read_reorder(2, 4);
+        for i in 0..2 {
+            let row: Vec<Value> = (0..4).map(|j| iv(j * 2 + i)).collect();
+            t.vpush(&row);
+        }
+        // Strided-peek consumption: peek ahead, then advance.
+        assert_eq!(t.peek(2), iv(2));
+        t.advance_read(8);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "pop from empty tape")]
+    fn pop_empty_panics() {
+        let mut t = Tape::new(ScalarTy::F32);
+        let _ = t.pop();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reorder both ends")]
+    fn double_reorder_rejected() {
+        let mut t = Tape::new(ScalarTy::F32);
+        t.set_read_reorder(2, 4);
+        t.set_write_reorder(2, 4);
+    }
+}

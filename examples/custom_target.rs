@@ -1,0 +1,48 @@
+//! Retarget the same stream program to different SIMD machines — the
+//! retargetability argument of the paper's introduction. Sweeps SIMD
+//! widths, tries a Neon-like engine without vector transcendentals, and
+//! compares a SAGU-equipped target.
+//!
+//! Run with: `cargo run --example custom_target`
+
+use macross_repro::benchsuite::by_name;
+use macross_repro::macross::driver::{macro_simdize, SimdizeOptions};
+use macross_repro::sdf::Schedule;
+use macross_repro::vm::{run_scheduled, Machine};
+
+fn speedup_on(machine: &Machine, name: &str) -> f64 {
+    let b = by_name(name).expect("benchmark");
+    let g = (b.build)();
+    let simd = macro_simdize(&g, machine, &SimdizeOptions::all()).expect("simdize");
+    let mut ssched = Schedule::compute(&g).expect("schedule");
+    ssched.scale(simd.report.scale_factor.max(1));
+    let scalar = run_scheduled(&g, &ssched, machine, 4);
+    let vector = run_scheduled(&simd.graph, &simd.schedule, machine, 4);
+    assert_eq!(scalar.output, vector.output);
+    scalar.total_cycles() as f64 / vector.total_cycles() as f64
+}
+
+fn main() {
+    println!("macro-SIMDization speedups per target machine\n");
+    println!("{:<22} {:>10} {:>10} {:>10}", "machine", "DCT", "Serpent", "MP3Decoder");
+    let targets: Vec<Machine> = vec![
+        Machine::wide(2),
+        Machine::core_i7(),
+        Machine::core_i7_with_sagu(),
+        Machine::wide(8),
+        Machine::wide(16),
+        Machine::neon_like(),
+    ];
+    for m in targets {
+        println!(
+            "{:<22} {:>9.2}x {:>9.2}x {:>9.2}x",
+            m.name,
+            speedup_on(&m, "DCT"),
+            speedup_on(&m, "Serpent"),
+            speedup_on(&m, "MP3Decoder"),
+        );
+    }
+    println!("\nNote the width sweep: wider SIMD keeps paying off because the");
+    println!("graph-level transforms keep the lanes busy, while the Neon-like");
+    println!("target (no vector sin/cos/pow) loses the transcendental-heavy actors.");
+}

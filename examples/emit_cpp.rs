@@ -1,0 +1,25 @@
+//! Generate the intermediate C++ (with SSE intrinsics) that MacroSS's
+//! final phase emits, for a macro-SIMDized benchmark, and print it.
+//!
+//! Run with: `cargo run --example emit_cpp [benchmark]` (default DCT).
+
+use macross_repro::benchsuite::by_name;
+use macross_repro::codegen::{emit_program, CodegenOptions};
+use macross_repro::macross::driver::{macro_simdize, SimdizeOptions};
+use macross_repro::vm::Machine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "DCT".into());
+    let b = by_name(&name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let g = (b.build)();
+    let machine = Machine::core_i7();
+    let simd = macro_simdize(&g, &machine, &SimdizeOptions::all())?;
+    let code = emit_program(&simd.graph, &simd.schedule, &CodegenOptions::default());
+    println!("{code}");
+    eprintln!(
+        "// {} lines of intermediate C++ for {name} (vectorized actors: {})",
+        code.lines().count(),
+        simd.report.single_actors.len() + simd.report.horizontal_groups.iter().map(|g| g.len()).sum::<usize>()
+    );
+    Ok(())
+}

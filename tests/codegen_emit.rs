@@ -1,0 +1,68 @@
+//! Code-generation integration tests: the C++ emitter must produce
+//! structurally sound output for every benchmark, scalar and SIMDized,
+//! deterministically.
+
+use macross_repro::benchsuite::all;
+use macross_repro::codegen::{emit_program, CodegenOptions, CxxTarget};
+use macross_repro::macross::driver::{macro_simdize, SimdizeOptions};
+use macross_repro::sdf::Schedule;
+use macross_repro::vm::Machine;
+
+#[test]
+fn every_benchmark_emits_scalar_cxx() {
+    for b in all() {
+        let g = (b.build)();
+        let sched = Schedule::compute(&g).unwrap();
+        let code = emit_program(&g, &sched, &CodegenOptions::default());
+        assert!(code.contains("int main()"), "{}", b.name);
+        assert!(code.contains("steady state"), "{}", b.name);
+        assert!(code.len() > 1000, "{}: suspiciously short output", b.name);
+        // Braces balance.
+        let open = code.matches('{').count();
+        let close = code.matches('}').count();
+        assert_eq!(open, close, "{}: unbalanced braces", b.name);
+    }
+}
+
+#[test]
+fn every_benchmark_emits_simdized_cxx_with_intrinsics() {
+    let machine = Machine::core_i7();
+    for b in all() {
+        let g = (b.build)();
+        let simd = macro_simdize(&g, &machine, &SimdizeOptions::all()).unwrap();
+        let code = emit_program(&simd.graph, &simd.schedule, &CodegenOptions::default());
+        let vectorized_something = !simd.report.single_actors.is_empty()
+            || !simd.report.horizontal_groups.is_empty();
+        if vectorized_something {
+            assert!(
+                code.contains("__m128"),
+                "{}: SIMDized code should use SSE vector types",
+                b.name
+            );
+        }
+        let open = code.matches('{').count();
+        let close = code.matches('}').count();
+        assert_eq!(open, close, "{}: unbalanced braces", b.name);
+    }
+}
+
+#[test]
+fn emission_is_deterministic() {
+    let b = &all()[0];
+    let g = (b.build)();
+    let sched = Schedule::compute(&g).unwrap();
+    let a = emit_program(&g, &sched, &CodegenOptions::default());
+    let c = emit_program(&g, &sched, &CodegenOptions::default());
+    assert_eq!(a, c);
+}
+
+#[test]
+fn generic_target_supports_any_width() {
+    let machine = Machine::wide(8);
+    let b = macross_repro::benchsuite::by_name("Serpent").unwrap();
+    let g = (b.build)();
+    let simd = macro_simdize(&g, &machine, &SimdizeOptions::all()).unwrap();
+    let code = emit_program(&simd.graph, &simd.schedule, &CodegenOptions { target: CxxTarget::Generic, sw: 8 });
+    assert!(code.contains("vec<int32_t, 8>"), "expected 8-wide generic vectors");
+    assert!(!code.contains("__m128"));
+}

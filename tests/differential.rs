@@ -1,0 +1,160 @@
+//! Cross-crate differential tests: every benchmark, under every
+//! SIMDization configuration and both auto-vectorizer presets, must
+//! preserve program output (bit-exactly, except for the ICC preset's
+//! documented FP-reduction reassociation).
+
+use macross_repro::autovec::{autovectorize_graph, AutovecConfig};
+use macross_repro::benchsuite;
+use macross_repro::macross::driver::{macro_simdize, SimdizeOptions};
+use macross_repro::sdf::Schedule;
+use macross_repro::streamir::graph::Graph;
+use macross_repro::vm::{run_scheduled, Machine, RunResult};
+
+fn source_of(g: &Graph) -> macross_repro::streamir::NodeId {
+    g.node_ids().find(|&id| g.in_edges(id).is_empty()).expect("graph has a source")
+}
+
+fn run_aligned(g1: &Graph, s1: &Schedule, g2: &Graph, s2: &Schedule, m: &Machine, iters: u64) -> (RunResult, RunResult) {
+    let (src1, src2) = (source_of(g1), source_of(g2));
+    let (r1, r2) = (s1.reps[src1.0 as usize], s2.reps[src2.0 as usize]);
+    let l = macross_repro::sdf::lcm(r1, r2);
+    let mut s1 = s1.clone();
+    let mut s2 = s2.clone();
+    s1.scale(l / r1);
+    s2.scale(l / r2);
+    (run_scheduled(g1, &s1, m, iters), run_scheduled(g2, &s2, m, iters))
+}
+
+fn assert_exact(name: &str, cfg: &str, a: &RunResult, b: &RunResult) {
+    assert_eq!(a.output.len(), b.output.len(), "{name}/{cfg}: throughput mismatch");
+    assert!(!a.output.is_empty(), "{name}/{cfg}: empty output");
+    for (i, (x, y)) in a.output.iter().zip(&b.output).enumerate() {
+        assert!(x.bits_eq(*y), "{name}/{cfg}: output {i} differs: {x:?} vs {y:?}");
+    }
+}
+
+fn check_options(machine: &Machine, opts: &SimdizeOptions, cfg: &str) {
+    for b in benchsuite::all() {
+        let g = (b.build)();
+        let sched = Schedule::compute(&g).unwrap();
+        let simd = macro_simdize(&g, machine, opts).unwrap_or_else(|e| panic!("{}/{cfg}: {e}", b.name));
+        let (a, c) = run_aligned(&g, &sched, &simd.graph, &simd.schedule, machine, 2);
+        assert_exact(b.name, cfg, &a, &c);
+    }
+}
+
+#[test]
+fn all_benchmarks_all_transforms() {
+    check_options(&Machine::core_i7(), &SimdizeOptions::all(), "all");
+}
+
+#[test]
+fn all_benchmarks_single_only() {
+    check_options(&Machine::core_i7(), &SimdizeOptions::single_only(), "single_only");
+}
+
+#[test]
+fn all_benchmarks_no_reorder() {
+    check_options(&Machine::core_i7(), &SimdizeOptions::no_reorder(), "no_reorder");
+}
+
+#[test]
+fn all_benchmarks_vertical_only() {
+    let opts = SimdizeOptions { horizontal: false, ..SimdizeOptions::all() };
+    check_options(&Machine::core_i7(), &opts, "vertical_only");
+}
+
+#[test]
+fn all_benchmarks_horizontal_only() {
+    let opts = SimdizeOptions {
+        single: false,
+        vertical: false,
+        permute_opt: false,
+        reorder_opt: false,
+        ..SimdizeOptions::all()
+    };
+    check_options(&Machine::core_i7(), &opts, "horizontal_only");
+}
+
+#[test]
+fn all_benchmarks_with_sagu_machine() {
+    check_options(&Machine::core_i7_with_sagu(), &SimdizeOptions::all(), "sagu");
+}
+
+#[test]
+fn all_benchmarks_wide_simd() {
+    for sw in [2usize, 8] {
+        check_options(&Machine::wide(sw), &SimdizeOptions::all(), &format!("wide{sw}"));
+    }
+}
+
+#[test]
+fn all_benchmarks_neon_like() {
+    // The Neon-like target lacks vector transcendentals; actors using them
+    // must be skipped, and the result still correct.
+    check_options(&Machine::neon_like(), &SimdizeOptions::all(), "neon");
+}
+
+#[test]
+fn gcc_autovec_is_bit_exact() {
+    let machine = Machine::core_i7();
+    for b in benchsuite::all() {
+        let g = (b.build)();
+        let sched = Schedule::compute(&g).unwrap();
+        let a = run_scheduled(&g, &sched, &machine, 2);
+        let mut vg = g.clone();
+        autovectorize_graph(&mut vg, &AutovecConfig::gcc_like(4));
+        let c = run_scheduled(&vg, &sched, &machine, 2);
+        assert_exact(b.name, "gcc_autovec", &a, &c);
+    }
+}
+
+#[test]
+fn icc_autovec_is_approximately_exact() {
+    // ICC's default fast-FP model reassociates reductions; outputs may
+    // differ in low-order bits but must stay numerically close.
+    let machine = Machine::core_i7();
+    for b in benchsuite::all() {
+        let g = (b.build)();
+        let sched = Schedule::compute(&g).unwrap();
+        let a = run_scheduled(&g, &sched, &machine, 2);
+        let mut vg = g.clone();
+        autovectorize_graph(&mut vg, &AutovecConfig::icc_like(4));
+        let c = run_scheduled(&vg, &sched, &machine, 2);
+        assert_eq!(a.output.len(), c.output.len(), "{}", b.name);
+        for (i, (x, y)) in a.output.iter().zip(&c.output).enumerate() {
+            let (x, y) = (x.as_f64(), y.as_f64());
+            let tol = 1e-3 * x.abs().max(1.0);
+            assert!((x - y).abs() <= tol, "{}: output {i}: {x} vs {y}", b.name);
+        }
+    }
+}
+
+#[test]
+fn macro_simd_then_autovec_is_bit_exact_with_gcc() {
+    // The Figure-10 "Macro SIMD + Autovectorize" configuration.
+    let machine = Machine::core_i7();
+    for b in benchsuite::all() {
+        let g = (b.build)();
+        let sched = Schedule::compute(&g).unwrap();
+        let simd = macro_simdize(&g, &machine, &SimdizeOptions::all()).unwrap();
+        let mut both = simd.graph.clone();
+        autovectorize_graph(&mut both, &AutovecConfig::gcc_like(4));
+        let (a, c) = run_aligned(&g, &sched, &both, &simd.schedule, &machine, 2);
+        assert_exact(b.name, "macro+gcc", &a, &c);
+    }
+}
+
+#[test]
+fn simdization_is_idempotent_protection() {
+    // Running the driver on an already-SIMDized graph must not vectorize
+    // anything twice (vectorized actors are detected and skipped).
+    let machine = Machine::core_i7();
+    let b = benchsuite::by_name("DCT").unwrap();
+    let g = (b.build)();
+    let once = macro_simdize(&g, &machine, &SimdizeOptions::all()).unwrap();
+    let twice = macro_simdize(&once.graph, &machine, &SimdizeOptions::all()).unwrap();
+    assert!(twice.report.single_actors.is_empty(), "{:?}", twice.report.single_actors);
+    assert!(twice.report.vertical_chains.is_empty());
+    assert!(twice.report.horizontal_groups.is_empty());
+}

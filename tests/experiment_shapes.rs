@@ -1,0 +1,117 @@
+//! Guards for the paper-vs-measured claims recorded in EXPERIMENTS.md:
+//! these tests assert the qualitative *shapes* of every figure, so a
+//! regression in any pass shows up as a failed claim, not just a changed
+//! number.
+
+use macross_repro::autovec::AutovecConfig;
+use macross_repro::benchsuite::{all, by_name};
+use macross_repro::vm::Machine;
+use macross_bench::{figure10_row, figure11_row, figure12_row, figure13_rows, geomean};
+
+#[test]
+fn figure10_macro_beats_both_autovectorizers() {
+    let machine = Machine::core_i7();
+    let mut auto_gcc = Vec::new();
+    let mut auto_icc = Vec::new();
+    let mut macro_v = Vec::new();
+    for b in all() {
+        let g = figure10_row(&b, &machine, &AutovecConfig::gcc_like(4));
+        let i = figure10_row(&b, &machine, &AutovecConfig::icc_like(4));
+        auto_gcc.push(g.autovec);
+        auto_icc.push(i.autovec);
+        macro_v.push(g.macro_simd);
+        // Macro + auto never loses to macro alone.
+        assert!(g.macro_plus_auto >= g.macro_simd * 0.99, "{}", b.name);
+    }
+    let (gg, gi, gm) = (geomean(auto_gcc), geomean(auto_icc), geomean(macro_v));
+    // Paper: ICC autovec 1.34x, GCC unimpressive, MacroSS 2.07x.
+    assert!(gi > gg, "ICC ({gi:.2}) must beat GCC ({gg:.2})");
+    assert!(gm > gi, "macro ({gm:.2}) must beat ICC autovec ({gi:.2})");
+    assert!(gm > 1.8, "macro geomean {gm:.2} out of the paper's ballpark");
+    assert!(gi > 1.05 && gi < 1.8, "ICC geomean {gi:.2} out of the paper's ballpark");
+}
+
+#[test]
+fn figure11_vertical_shape() {
+    let machine = Machine::core_i7();
+    let rows: Vec<_> = all().iter().map(|b| figure11_row(b, &machine)).collect();
+    let get = |name: &str| rows.iter().find(|r| r.name == name).unwrap().improvement_pct;
+    // Negligible where the paper says so.
+    for name in ["AudioBeam", "FilterBank", "BeamFormer", "FMRadio", "ChannelVocoder"] {
+        assert!(get(name) < 10.0, "{name}: {}", get(name));
+    }
+    // Large where fusion eliminates reordering overhead.
+    for name in ["MatrixMultBlock", "Serpent", "TDE", "BitonicSort", "FFT"] {
+        assert!(get(name) > 20.0, "{name}: {}", get(name));
+    }
+    let avg = rows.iter().map(|r| r.improvement_pct).sum::<f64>() / rows.len() as f64;
+    assert!(avg > 10.0 && avg < 60.0, "average {avg:.1}% vs paper's 40%");
+}
+
+#[test]
+fn figure12_sagu_shape() {
+    let rows: Vec<_> = all().iter().map(figure12_row).collect();
+    let get = |name: &str| rows.iter().find(|r| r.name == name).unwrap().improvement_pct;
+    // The SAGU never hurts...
+    for r in &rows {
+        assert!(r.improvement_pct > -1.0, "{}: {}", r.name, r.improvement_pct);
+    }
+    // ...helps the reordering-heavy kernels...
+    assert!(get("MatrixMult") > 2.0);
+    assert!(get("DCT") > 2.0);
+    // ...and does nothing for the horizontal-only / compute-bound ones.
+    assert!(get("BeamFormer") < 2.0);
+    assert!(get("FilterBank") < 2.0);
+    assert!(get("MP3Decoder") < get("MatrixMult"));
+    let avg = rows.iter().map(|r| r.improvement_pct).sum::<f64>() / rows.len() as f64;
+    assert!(avg > 2.0 && avg < 15.0, "average {avg:.1}% vs paper's 8.1%");
+}
+
+#[test]
+fn figure13_two_cores_plus_simd_competitive_with_four() {
+    let machine = Machine::core_i7();
+    let mut c2 = Vec::new();
+    let mut c4 = Vec::new();
+    let mut c2s = Vec::new();
+    let mut c4s = Vec::new();
+    for b in all() {
+        let (p2, p4) = figure13_rows(&b, &machine);
+        c2.push(p2.multicore);
+        c4.push(p4.multicore);
+        c2s.push(p2.multicore_simd);
+        c4s.push(p4.multicore_simd);
+    }
+    let (g2, g4, g2s, g4s) = (geomean(c2), geomean(c4), geomean(c2s), geomean(c4s));
+    assert!(g4 >= g2, "4-core {g4:.2} vs 2-core {g2:.2}");
+    assert!(g2s > g2, "SIMD must add to 2-core: {g2s:.2} vs {g2:.2}");
+    assert!(g4s > g4, "SIMD must add to 4-core: {g4s:.2} vs {g4:.2}");
+    // The paper's headline: 2 cores + SIMD >= plain 4 cores (within 5%).
+    assert!(g2s > g4 * 0.95, "2c+SIMD {g2s:.2} vs 4c {g4:.2}");
+}
+
+#[test]
+fn sagu_area_claim_is_modelled_small() {
+    // The paper synthesizes the SAGU at < 1% of a core. Our model keeps it
+    // to two 16-bit counters, one 16-bit adder chain and a 64-bit add —
+    // assert the datapath constants the model exposes stay tiny.
+    assert_eq!(macross_repro::sagu::Sagu::CYCLES_PER_ACCESS, 0);
+    assert!(macross_repro::sagu::Sagu::SETUP_CYCLES <= 4);
+    assert_eq!(macross_repro::sagu::SoftwareAddrGen::CYCLES_PER_ACCESS, 6);
+}
+
+#[test]
+fn fmradio_equalizer_is_horizontal() {
+    // Paper: BeamFormer and FilterBank speedups come mainly from
+    // horizontal vectorization; FMRadio's equalizer bands merge too.
+    let machine = Machine::core_i7();
+    let b = by_name("FMRadio").unwrap();
+    let simd =
+        macross_repro::macross::driver::macro_simdize(&(b.build)(), &machine, &Default::default());
+    let simd = simd.unwrap();
+    assert!(simd
+        .report
+        .horizontal_groups
+        .iter()
+        .flatten()
+        .any(|n| n.contains("eq_band")));
+}

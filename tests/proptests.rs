@@ -1,0 +1,460 @@
+//! Property-based tests over the core invariants:
+//!
+//! - random stateless actors survive single-actor SIMDization (all tape
+//!   modes) with bit-identical output;
+//! - the repetition-vector solver balances arbitrary pipelines and
+//!   split-joins, minimally;
+//! - tapes behave like a FIFO oracle under arbitrary operation sequences;
+//! - the SAGU model, the Figure-8 software model, and the pure mapping
+//!   agree for arbitrary configurations;
+//! - permutation-network plans invert strided layouts for every legal
+//!   size.
+
+use proptest::prelude::*;
+
+use macross_repro::macross::permnet::{gather_plan, scatter_plan};
+use macross_repro::macross::single::{simdize_single_actor, SingleActorConfig, TapeMode};
+use macross_repro::sagu::{column_major_index, Sagu, SoftwareAddrGen};
+use macross_repro::sdf::{is_balanced, repetition_vector, Schedule};
+use macross_repro::streamir::builder::StreamSpec;
+use macross_repro::streamir::edsl::*;
+use macross_repro::streamir::expr::{BinOp, Expr, VarId};
+use macross_repro::streamir::filter::{Filter, VarKind};
+use macross_repro::streamir::graph::{Graph, Node};
+use macross_repro::streamir::types::{ScalarTy, Ty, Value};
+use macross_repro::vm::{run_scheduled, Machine, Tape};
+
+// ---------------------------------------------------------------------
+// Random stateless actors -> single-actor SIMDization differential.
+// ---------------------------------------------------------------------
+
+/// A compact description of a random straight-line integer actor.
+#[derive(Debug, Clone)]
+struct ActorSpec {
+    pop: usize,
+    /// One expression tree per push, encoded over leaf/op choices.
+    pushes: Vec<ExprSpec>,
+}
+
+#[derive(Debug, Clone)]
+enum ExprSpec {
+    /// Reference to input temp `i % pop`.
+    Temp(usize),
+    Const(i32),
+    Bin(u8, Box<ExprSpec>, Box<ExprSpec>),
+}
+
+fn expr_spec() -> impl Strategy<Value = ExprSpec> {
+    let leaf = prop_oneof![
+        (0usize..8).prop_map(ExprSpec::Temp),
+        (-50i32..50).prop_map(ExprSpec::Const),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (0u8..6, inner.clone(), inner).prop_map(|(op, a, b)| ExprSpec::Bin(op, Box::new(a), Box::new(b)))
+    })
+}
+
+fn actor_spec() -> impl Strategy<Value = ActorSpec> {
+    (1usize..=4, proptest::collection::vec(expr_spec(), 1..=4))
+        .prop_map(|(pop, pushes)| ActorSpec { pop, pushes })
+}
+
+fn build_expr(spec: &ExprSpec, temps: &[VarId]) -> Expr {
+    match spec {
+        ExprSpec::Temp(i) => Expr::Var(temps[i % temps.len()]),
+        ExprSpec::Const(c) => Expr::Const(Value::I32(*c)),
+        ExprSpec::Bin(op, a, b) => {
+            let op = match op % 6 {
+                0 => BinOp::Add,
+                1 => BinOp::Sub,
+                2 => BinOp::Mul,
+                3 => BinOp::Xor,
+                4 => BinOp::And,
+                _ => BinOp::Or,
+            };
+            Expr::bin(op, build_expr(a, temps), build_expr(b, temps))
+        }
+    }
+}
+
+fn build_actor(spec: &ActorSpec) -> Filter {
+    let mut f = Filter::new("rand_actor", spec.pop, spec.pop, spec.pushes.len());
+    let temps: Vec<VarId> = (0..spec.pop)
+        .map(|i| f.add_var(format!("t{i}"), Ty::Scalar(ScalarTy::I32), VarKind::Local))
+        .collect();
+    let mut b = B::new();
+    for &t in &temps {
+        b.stmt(macross_repro::streamir::Stmt::Assign(
+            macross_repro::streamir::LValue::Var(t),
+            Expr::Pop,
+        ));
+    }
+    for p in &spec.pushes {
+        b.push(E(build_expr(p, &temps)));
+    }
+    f.work = b.build();
+    f
+}
+
+fn i32_source() -> StreamSpec {
+    let mut fb = FilterBuilder::new("src", 0, 0, 1, ScalarTy::I32);
+    let n = fb.state("n", Ty::Scalar(ScalarTy::I32));
+    fb.work(|b| {
+        b.push(v(n));
+        b.set(n, v(n) * 75i32 + 74i32);
+    });
+    fb.build_spec()
+}
+
+fn differential(actor: Filter, cfg: SingleActorConfig) {
+    let build = |mid: Filter| {
+        StreamSpec::pipeline(vec![i32_source(), StreamSpec::filter(mid, ScalarTy::I32), StreamSpec::Sink])
+            .build()
+            .unwrap()
+    };
+    let scalar_graph = build(actor.clone());
+    let vf = simdize_single_actor(&actor, &cfg).unwrap();
+    let mut vec_graph = build(vf);
+    let mut ssched = Schedule::compute(&scalar_graph).unwrap();
+    ssched.scale(cfg.sw as u64);
+    let mut vsched = ssched.clone();
+    vsched.reps[1] /= cfg.sw as u64;
+    let actor_id = macross_repro::streamir::NodeId(1);
+    if cfg.input == TapeMode::VectorReorder {
+        let e = vec_graph.single_in_edge(actor_id).unwrap();
+        vec_graph.edge_mut(e).reorder = Some(macross_repro::streamir::Reorder {
+            rate: actor.pop,
+            sw: cfg.sw,
+            side: macross_repro::streamir::ReorderSide::Producer,
+            addr_gen: macross_repro::streamir::AddrGen::Sagu,
+        });
+    }
+    if cfg.output == TapeMode::VectorReorder {
+        let e = vec_graph.single_out_edge(actor_id).unwrap();
+        vec_graph.edge_mut(e).reorder = Some(macross_repro::streamir::Reorder {
+            rate: actor.push,
+            sw: cfg.sw,
+            side: macross_repro::streamir::ReorderSide::Consumer,
+            addr_gen: macross_repro::streamir::AddrGen::Sagu,
+        });
+    }
+    let machine = Machine::core_i7_with_sagu();
+    let a = run_scheduled(&scalar_graph, &ssched, &machine, 3);
+    let b = run_scheduled(&vec_graph, &vsched, &machine, 3);
+    assert_eq!(a.output, b.output);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_actor_strided(spec in actor_spec()) {
+        let actor = build_actor(&spec);
+        let cfg = SingleActorConfig::strided(4, ScalarTy::I32, ScalarTy::I32);
+        differential(actor, cfg);
+    }
+
+    #[test]
+    fn random_actor_vector_reorder(spec in actor_spec()) {
+        let actor = build_actor(&spec);
+        let cfg = SingleActorConfig {
+            sw: 4,
+            input: TapeMode::VectorReorder,
+            output: TapeMode::VectorReorder,
+            in_elem: ScalarTy::I32,
+            out_elem: ScalarTy::I32,
+        };
+        differential(actor, cfg);
+    }
+
+    #[test]
+    fn random_actor_permute_when_legal(spec in actor_spec()) {
+        let actor = build_actor(&spec);
+        let input = if actor.pop.is_power_of_two() { TapeMode::Permute } else { TapeMode::Strided };
+        let output = if actor.push == 1 || actor.push % 2 == 0 { TapeMode::Permute } else { TapeMode::Strided };
+        let cfg = SingleActorConfig { sw: 4, input, output, in_elem: ScalarTy::I32, out_elem: ScalarTy::I32 };
+        differential(actor, cfg);
+    }
+
+    #[test]
+    fn random_actor_width_8(spec in actor_spec()) {
+        let actor = build_actor(&spec);
+        let cfg = SingleActorConfig::strided(8, ScalarTy::I32, ScalarTy::I32);
+        differential(actor, cfg);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Repetition vector properties.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random pipelines: the solver's vector balances every edge and is
+    /// minimal (componentwise gcd 1).
+    #[test]
+    fn repetition_vector_balances_pipelines(rates in proptest::collection::vec((1usize..6, 1usize..6), 1..6)) {
+        let mut g = Graph::new();
+        let first_push = rates[0].0;
+        let src = g.add_node(Node::Filter(Filter::new("src", 0, 0, first_push)));
+        let mut prev = src;
+        for (i, &(pop, push)) in rates.iter().enumerate() {
+            // Give each filter the pop of the previous push-rate domain.
+            let f = g.add_node(Node::Filter(Filter::new(format!("f{i}"), pop, pop, push)));
+            g.connect(prev, 0, f, 0, ScalarTy::I32);
+            prev = f;
+        }
+        let sink = g.add_node(Node::Sink);
+        g.connect(prev, 0, sink, 0, ScalarTy::I32);
+        // Source must produce what f0 consumes; fix by rebuilding the rates:
+        // instead of fighting the generator, just check solver consistency.
+        let reps = repetition_vector(&g).unwrap();
+        prop_assert!(is_balanced(&g, &reps));
+        let gcd_all = reps.iter().copied().fold(0u64, macross_repro::sdf::gcd);
+        prop_assert_eq!(gcd_all, 1);
+        prop_assert!(reps.iter().all(|&r| r > 0));
+    }
+
+    /// Uniform split-joins have equal branch repetitions.
+    #[test]
+    fn split_join_reps_uniform(branches in 2usize..6, w in 1usize..4) {
+        let mut g = Graph::new();
+        let src = g.add_node(Node::Filter(Filter::new("src", 0, 0, branches * w)));
+        let sp = g.add_node(Node::Splitter(macross_repro::streamir::SplitKind::RoundRobin(vec![w; branches])));
+        let j = g.add_node(Node::Joiner(vec![w; branches]));
+        let sink = g.add_node(Node::Sink);
+        g.connect(src, 0, sp, 0, ScalarTy::I32);
+        let mut ids = Vec::new();
+        for i in 0..branches {
+            let f = g.add_node(Node::Filter(Filter::new(format!("b{i}"), w, w, w)));
+            g.connect(sp, i, f, 0, ScalarTy::I32);
+            g.connect(f, 0, j, i, ScalarTy::I32);
+            ids.push(f);
+        }
+        g.connect(j, 0, sink, 0, ScalarTy::I32);
+        let reps = repetition_vector(&g).unwrap();
+        let r0 = reps[ids[0].0 as usize];
+        prop_assert!(ids.iter().all(|id| reps[id.0 as usize] == r0));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tape vs. FIFO oracle.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum TapeOp {
+    Push(i32),
+    Pop,
+    Peek(usize),
+    VPush(Vec<i32>),
+    VPop(usize),
+}
+
+fn tape_ops() -> impl Strategy<Value = Vec<TapeOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (-100i32..100).prop_map(TapeOp::Push),
+            Just(TapeOp::Pop),
+            (0usize..4).prop_map(TapeOp::Peek),
+            proptest::collection::vec(-100i32..100, 1..5).prop_map(TapeOp::VPush),
+            (1usize..5).prop_map(TapeOp::VPop),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tape_matches_fifo_oracle(ops in tape_ops()) {
+        let mut tape = Tape::new(ScalarTy::I32);
+        let mut oracle: std::collections::VecDeque<i32> = Default::default();
+        for op in ops {
+            match op {
+                TapeOp::Push(x) => {
+                    tape.push(Value::I32(x));
+                    oracle.push_back(x);
+                }
+                TapeOp::Pop => {
+                    if !oracle.is_empty() {
+                        prop_assert_eq!(tape.pop(), Value::I32(oracle.pop_front().unwrap()));
+                    }
+                }
+                TapeOp::Peek(k) => {
+                    if k < oracle.len() {
+                        prop_assert_eq!(tape.peek(k), Value::I32(oracle[k]));
+                    }
+                }
+                TapeOp::VPush(vs) => {
+                    tape.vpush(&vs.iter().map(|&x| Value::I32(x)).collect::<Vec<_>>());
+                    oracle.extend(vs);
+                }
+                TapeOp::VPop(w) => {
+                    if w <= oracle.len() {
+                        let got = tape.vpop(w);
+                        let want: Vec<Value> = (0..w).map(|_| Value::I32(oracle.pop_front().unwrap())).collect();
+                        prop_assert_eq!(got, want);
+                    }
+                }
+            }
+            prop_assert_eq!(tape.len(), oracle.len());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SAGU / permutation-network agreement.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sagu_models_agree(rate in 1u16..200, logw in 1u32..5, steps in 1usize..400) {
+        let sw = 1u16 << logw;
+        let mut hw = Sagu::new(rate, sw);
+        let mut sw_model = SoftwareAddrGen::new(rate as u64, sw as u64);
+        for k in 0..steps {
+            let a = hw.next_address();
+            let b = sw_model.next_address();
+            let c = column_major_index(k, rate as usize, sw as usize) as u64;
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(a, c);
+        }
+    }
+
+    #[test]
+    fn gather_plan_is_stride_permutation(logp in 0u32..5, logw in 1u32..5) {
+        let p = 1usize << logp;
+        let sw = 1usize << logw;
+        let elems: Vec<i32> = (0..(p * sw) as i32).collect();
+        let loads: Vec<Vec<i32>> = elems.chunks(sw).map(|c| c.to_vec()).collect();
+        let got = gather_plan(p, sw).apply(&loads);
+        for (j, vec) in got.iter().enumerate() {
+            for (l, &x) in vec.iter().enumerate() {
+                prop_assert_eq!(x as usize, l * p + j);
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_plan_inverts_lane_major(q2 in 1usize..9, logw in 1u32..4) {
+        let q = q2 * 2;
+        let sw = 1usize << logw;
+        let vecs: Vec<Vec<i32>> = (0..q).map(|j| (0..sw).map(|l| (l * q + j) as i32).collect()).collect();
+        let got = scatter_plan(q, sw).apply(&vecs);
+        let flat: Vec<i32> = got.into_iter().flatten().collect();
+        for (pos, &x) in flat.iter().enumerate() {
+            prop_assert_eq!(x as usize, pos);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random pipelines through the FULL macro-SIMDization driver.
+// ---------------------------------------------------------------------
+
+/// Random pipeline: 1..4 random actors chained between a source and sink,
+/// run through `macro_simdize` with all transforms enabled — vertical
+/// fusion, Equation-1 scaling, cost-model tape modes, the lot — and
+/// checked bit-exact at matched throughput.
+fn pipeline_spec() -> impl Strategy<Value = Vec<ActorSpec>> {
+    proptest::collection::vec(actor_spec(), 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_pipeline_full_driver(specs in pipeline_spec()) {
+        use macross_repro::macross::driver::{macro_simdize, SimdizeOptions};
+
+        let mut stages = vec![i32_source()];
+        for (i, spec) in specs.iter().enumerate() {
+            let mut f = build_actor(spec);
+            f.name = format!("actor{i}");
+            stages.push(StreamSpec::filter(f, ScalarTy::I32));
+        }
+        stages.push(StreamSpec::Sink);
+        let g = StreamSpec::pipeline(stages).build().unwrap();
+
+        for machine in [Machine::core_i7(), Machine::core_i7_with_sagu()] {
+            let simd = macro_simdize(&g, &machine, &SimdizeOptions::all()).unwrap();
+            let mut ssched = Schedule::compute(&g).unwrap();
+            let src = g.node_ids().find(|&id| g.in_edges(id).is_empty()).unwrap();
+            let l = macross_repro::sdf::lcm(ssched.rep(src), simd.schedule.reps[src.0 as usize]);
+            let m1 = l / ssched.rep(src);
+            ssched.scale(m1);
+            let mut vsched = simd.schedule.clone();
+            vsched.scale(l / vsched.reps[src.0 as usize]);
+            let a = run_scheduled(&g, &ssched, &machine, 2);
+            let b = run_scheduled(&simd.graph, &vsched, &machine, 2);
+            prop_assert_eq!(&a.output, &b.output);
+        }
+    }
+
+    /// Random isomorphic split-joins through the full driver (horizontal).
+    #[test]
+    fn random_splitjoin_full_driver(spec in actor_spec(), consts in proptest::collection::vec(-20i32..20, 4)) {
+        use macross_repro::macross::driver::{macro_simdize, SimdizeOptions};
+
+        // Four branches: same structure, one differing constant appended.
+        let branches: Vec<StreamSpec> = consts
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let mut f = build_actor(&spec);
+                f.name = format!("iso{i}");
+                // Append a branch-specific constant to the last push.
+                if let Some(macross_repro::streamir::Stmt::Push(e)) = f.work.pop() {
+                    f.work.push(macross_repro::streamir::Stmt::Push(Expr::bin(
+                        BinOp::Xor,
+                        e,
+                        Expr::Const(Value::I32(k)),
+                    )));
+                }
+                StreamSpec::filter(f, ScalarTy::I32)
+            })
+            .collect();
+
+        let actor = build_actor(&spec);
+        let n = actor.pop.max(1);
+        let mut src = FilterBuilder::new("src", 0, 0, 4 * n, ScalarTy::I32);
+        let s = src.state("n", Ty::Scalar(ScalarTy::I32));
+        src.work(|b| {
+            for _ in 0..4 * n {
+                b.push(v(s));
+                b.set(s, v(s) * 75i32 + 74i32);
+            }
+        });
+        let g = StreamSpec::pipeline(vec![
+            src.build_spec(),
+            StreamSpec::SplitJoin {
+                split: macross_repro::streamir::SplitKind::RoundRobin(vec![actor.pop; 4]),
+                branches,
+                join: vec![actor.push.max(1); 4],
+            },
+            StreamSpec::Sink,
+        ])
+        .build()
+        .unwrap();
+
+        let machine = Machine::core_i7();
+        let simd = macro_simdize(&g, &machine, &SimdizeOptions::all()).unwrap();
+        let mut ssched = Schedule::compute(&g).unwrap();
+        let src_id = g.node_ids().find(|&id| g.in_edges(id).is_empty()).unwrap();
+        let l = macross_repro::sdf::lcm(ssched.rep(src_id), simd.schedule.reps[src_id.0 as usize]);
+        let m1 = l / ssched.rep(src_id);
+        ssched.scale(m1);
+        let mut vsched = simd.schedule.clone();
+        vsched.scale(l / vsched.reps[src_id.0 as usize]);
+        let a = run_scheduled(&g, &ssched, &machine, 2);
+        let b = run_scheduled(&simd.graph, &vsched, &machine, 2);
+        prop_assert_eq!(&a.output, &b.output);
+        // Four identical-shape branches must merge horizontally.
+        prop_assert!(!simd.report.horizontal_groups.is_empty());
+    }
+}
