@@ -52,12 +52,24 @@ pub struct AutovecConfig {
 impl AutovecConfig {
     /// GCC-4.3-like defaults: conservative.
     pub fn gcc_like(sw: usize) -> AutovecConfig {
-        AutovecConfig { name: "gcc_like".into(), sw, vector_math: false, fp_reductions: false, int_reductions: true }
+        AutovecConfig {
+            name: "gcc_like".into(),
+            sw,
+            vector_math: false,
+            fp_reductions: false,
+            int_reductions: true,
+        }
     }
 
     /// ICC-11-like defaults: vector math library, fast-FP reductions.
     pub fn icc_like(sw: usize) -> AutovecConfig {
-        AutovecConfig { name: "icc_like".into(), sw, vector_math: true, fp_reductions: true, int_reductions: true }
+        AutovecConfig {
+            name: "icc_like".into(),
+            sw,
+            vector_math: true,
+            fp_reductions: true,
+            int_reductions: true,
+        }
     }
 }
 
@@ -82,7 +94,12 @@ pub fn autovectorize_graph(graph: &mut Graph, cfg: &AutovecConfig) -> AutovecRep
     for id in graph.node_ids().collect::<Vec<_>>() {
         if let Node::Filter(f) = graph.node_mut(id) {
             let mut count = 0;
-            let mut pass = LoopVectorizer { cfg, filter_vars: f.vars.clone(), new_vars: Vec::new(), report: &mut report };
+            let mut pass = LoopVectorizer {
+                cfg,
+                filter_vars: f.vars.clone(),
+                new_vars: Vec::new(),
+                report: &mut report,
+            };
             let body = std::mem::take(&mut f.work);
             let body = pass.block(body, &mut count);
             let new_vars = std::mem::take(&mut pass.new_vars);
@@ -153,7 +170,8 @@ impl<'a> LoopVectorizer<'a> {
             ty,
             kind: VarKind::Local,
         });
-        self.new_vars.push((format!("{name}{}", self.new_vars.len()), ty));
+        self.new_vars
+            .push((format!("{name}{}", self.new_vars.len()), ty));
         id
     }
 
@@ -165,13 +183,22 @@ impl<'a> LoopVectorizer<'a> {
         let mut out = Vec::with_capacity(stmts.len());
         for s in stmts {
             match s {
-                Stmt::For { var, count: c, body } => {
-                    let inner_has_control =
-                        body.iter().any(|s| matches!(s, Stmt::For { .. } | Stmt::If { .. }));
+                Stmt::For {
+                    var,
+                    count: c,
+                    body,
+                } => {
+                    let inner_has_control = body
+                        .iter()
+                        .any(|s| matches!(s, Stmt::For { .. } | Stmt::If { .. }));
                     if inner_has_control {
                         // Not innermost: recurse, then leave this loop scalar.
                         let body = self.block(body, count);
-                        out.push(Stmt::For { var, count: c, body });
+                        out.push(Stmt::For {
+                            var,
+                            count: c,
+                            body,
+                        });
                         continue;
                     }
                     self.report.loops_seen += 1;
@@ -182,14 +209,26 @@ impl<'a> LoopVectorizer<'a> {
                         }
                         None => {
                             self.report.loops_rejected += 1;
-                            out.push(Stmt::For { var, count: c, body });
+                            out.push(Stmt::For {
+                                var,
+                                count: c,
+                                body,
+                            });
                         }
                     }
                 }
-                Stmt::If { cond, then_branch, else_branch } => {
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
                     let then_branch = self.block(then_branch, count);
                     let else_branch = self.block(else_branch, count);
-                    out.push(Stmt::If { cond, then_branch, else_branch });
+                    out.push(Stmt::If {
+                        cond,
+                        then_branch,
+                        else_branch,
+                    });
                 }
                 other => out.push(other),
             }
@@ -200,7 +239,12 @@ impl<'a> LoopVectorizer<'a> {
     /// Legality scan. `prefix` is the code emitted before the loop in the
     /// same block (used only for diagnostics).
     fn scan(&self, i: VarId, body: &[Stmt]) -> Option<BodyInfo> {
-        let mut info = BodyInfo { private: HashSet::new(), reductions: HashSet::new(), pops: 0, pushes: 0 };
+        let mut info = BodyInfo {
+            private: HashSet::new(),
+            reductions: HashSet::new(),
+            pops: 0,
+            pushes: 0,
+        };
         let mut defined: HashSet<VarId> = HashSet::new();
         for s in body {
             match s {
@@ -268,14 +312,13 @@ impl<'a> LoopVectorizer<'a> {
         let mut pops = 0usize;
         e.walk(&mut |e| match e {
             Expr::Pop => pops += 1,
-            Expr::Peek(off) => {
+            Expr::Peek(off)
                 // Legal iff the loop has no pops (affine offsets) or the
                 // offset is loop-invariant and the peek precedes all pops —
                 // we conservatively require no pops anywhere in the loop.
-                if affine_in(off, i).is_none() {
+                if affine_in(off, i).is_none() => {
                     ok = false;
                 }
-            }
             Expr::Index(v, idx) => {
                 if self.var_ty(*v).is_vector() {
                     ok = false;
@@ -290,12 +333,11 @@ impl<'a> LoopVectorizer<'a> {
                     }
                 }
             }
-            Expr::Call(_, _) => {
-                if !self.cfg.vector_math {
+            Expr::Call(_, _)
+                if !self.cfg.vector_math => {
                     // Calls force scalar libm: reject the loop (GCC).
                     ok = false;
                 }
-            }
             Expr::VPop { .. }
             | Expr::VPeek { .. }
             | Expr::VIndex(_, _, _)
@@ -328,7 +370,13 @@ impl<'a> LoopVectorizer<'a> {
         ok.then_some(())
     }
 
-    fn try_vectorize(&mut self, i: VarId, count: &Expr, body: &[Stmt], _prefix: &[Stmt]) -> Option<Vec<Stmt>> {
+    fn try_vectorize(
+        &mut self,
+        i: VarId,
+        count: &Expr,
+        body: &[Stmt],
+        _prefix: &[Stmt],
+    ) -> Option<Vec<Stmt>> {
         let sw = self.cfg.sw;
         let n = count.as_const_usize()?;
         if n < sw {
@@ -365,12 +413,20 @@ impl<'a> LoopVectorizer<'a> {
         let ibase = self.fresh("__ib", Ty::Scalar(ScalarTy::I32));
         let mut vbody = vec![Stmt::Assign(
             LValue::Var(ibase),
-            Expr::bin(BinOp::Mul, Expr::Var(ivec), Expr::Const(Value::I32(sw as i32))),
+            Expr::bin(
+                BinOp::Mul,
+                Expr::Var(ivec),
+                Expr::Const(Value::I32(sw as i32)),
+            ),
         )];
         for s in body {
             vbody.push(self.rewrite_stmt(s, i, ibase, &vec_map, &info)?);
         }
-        out.push(Stmt::For { var: ivec, count: Expr::Const(Value::I32((n_vec / sw) as i32)), body: vbody });
+        out.push(Stmt::For {
+            var: ivec,
+            count: Expr::Const(Value::I32((n_vec / sw) as i32)),
+            body: vbody,
+        });
 
         // Reduction epilogue: acc += lane sums.
         for &v in &info.reductions {
@@ -379,7 +435,10 @@ impl<'a> LoopVectorizer<'a> {
             for l in 1..sw {
                 sum = Expr::bin(BinOp::Add, sum, Expr::Lane(Box::new(Expr::Var(nv)), l));
             }
-            out.push(Stmt::Assign(LValue::Var(v), Expr::bin(BinOp::Add, Expr::Var(v), sum)));
+            out.push(Stmt::Assign(
+                LValue::Var(v),
+                Expr::bin(BinOp::Add, Expr::Var(v), sum),
+            ));
         }
 
         // Remainder loop with the original body, offset by n_vec.
@@ -387,10 +446,18 @@ impl<'a> LoopVectorizer<'a> {
             let r = self.fresh("__rem", Ty::Scalar(ScalarTy::I32));
             let mut rbody = vec![Stmt::Assign(
                 LValue::Var(i),
-                Expr::bin(BinOp::Add, Expr::Var(r), Expr::Const(Value::I32(n_vec as i32))),
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::Var(r),
+                    Expr::Const(Value::I32(n_vec as i32)),
+                ),
             )];
             rbody.extend(body.iter().cloned());
-            out.push(Stmt::For { var: r, count: Expr::Const(Value::I32((n - n_vec) as i32)), body: rbody });
+            out.push(Stmt::For {
+                var: r,
+                count: Expr::Const(Value::I32((n - n_vec) as i32)),
+                body: rbody,
+            });
         }
         Some(out)
     }
@@ -425,11 +492,17 @@ impl<'a> LoopVectorizer<'a> {
                 debug_assert!(has_i);
                 let base = Expr::bin(BinOp::Add, Expr::Var(ibase), Expr::Const(Value::I32(c)));
                 let (e2, ev) = self.rewrite_expr(e, i, ibase, vec_map)?;
-                Some(Stmt::Assign(LValue::VIndex(*v, base, self.cfg.sw), self.ensure_vec(e2, ev)))
+                Some(Stmt::Assign(
+                    LValue::VIndex(*v, base, self.cfg.sw),
+                    self.ensure_vec(e2, ev),
+                ))
             }
             Stmt::Push(e) => {
                 let (e2, ev) = self.rewrite_expr(e, i, ibase, vec_map)?;
-                Some(Stmt::VPush { value: self.ensure_vec(e2, ev), width: self.cfg.sw })
+                Some(Stmt::VPush {
+                    value: self.ensure_vec(e2, ev),
+                    width: self.cfg.sw,
+                })
             }
             _ => None,
         }
@@ -444,7 +517,13 @@ impl<'a> LoopVectorizer<'a> {
     }
 
     /// Returns `(expr, is_vector)`.
-    fn rewrite_expr(&mut self, e: &Expr, i: VarId, ibase: VarId, vec_map: &[Option<VarId>]) -> Option<(Expr, bool)> {
+    fn rewrite_expr(
+        &mut self,
+        e: &Expr,
+        i: VarId,
+        ibase: VarId,
+        vec_map: &[Option<VarId>],
+    ) -> Option<(Expr, bool)> {
         let sw = self.cfg.sw;
         Some(match e {
             Expr::Const(v) => (Expr::Const(*v), false),
@@ -452,7 +531,11 @@ impl<'a> LoopVectorizer<'a> {
                 // iota: ibase + {0,1,..,sw-1}
                 let iota = Expr::ConstVec((0..sw as i32).map(Value::I32).collect());
                 (
-                    Expr::bin(BinOp::Add, Expr::Splat(Box::new(Expr::Var(ibase)), sw), iota),
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::Splat(Box::new(Expr::Var(ibase)), sw),
+                        iota,
+                    ),
                     true,
                 )
             }
@@ -474,7 +557,13 @@ impl<'a> LoopVectorizer<'a> {
                 let (has_i, c) = affine_in(off, i)?;
                 if has_i {
                     let base = Expr::bin(BinOp::Add, Expr::Var(ibase), Expr::Const(Value::I32(c)));
-                    (Expr::VPeek { offset: Box::new(base), width: sw }, true)
+                    (
+                        Expr::VPeek {
+                            offset: Box::new(base),
+                            width: sw,
+                        },
+                        true,
+                    )
                 } else {
                     // Loop-invariant peek with no pops in the loop: same
                     // value every iteration.
@@ -494,17 +583,33 @@ impl<'a> LoopVectorizer<'a> {
                 let (a2, av) = self.rewrite_expr(a, i, ibase, vec_map)?;
                 let (b2, bv) = self.rewrite_expr(b, i, ibase, vec_map)?;
                 let vec = av || bv;
-                let a3 = if vec && !av { self.ensure_vec(a2, false) } else { a2 };
-                let b3 = if vec && !bv { self.ensure_vec(b2, false) } else { b2 };
+                let a3 = if vec && !av {
+                    self.ensure_vec(a2, false)
+                } else {
+                    a2
+                };
+                let b3 = if vec && !bv {
+                    self.ensure_vec(b2, false)
+                } else {
+                    b2
+                };
                 (Expr::bin(*op, a3, b3), vec)
             }
             Expr::Call(f, args) => {
-                let parts: Vec<(Expr, bool)> =
-                    args.iter().map(|a| self.rewrite_expr(a, i, ibase, vec_map)).collect::<Option<_>>()?;
+                let parts: Vec<(Expr, bool)> = args
+                    .iter()
+                    .map(|a| self.rewrite_expr(a, i, ibase, vec_map))
+                    .collect::<Option<_>>()?;
                 let vec = parts.iter().any(|(_, v)| *v);
                 let args2 = parts
                     .into_iter()
-                    .map(|(a, av)| if vec && !av { self.ensure_vec(a, false) } else { a })
+                    .map(|(a, av)| {
+                        if vec && !av {
+                            self.ensure_vec(a, false)
+                        } else {
+                            a
+                        }
+                    })
                     .collect();
                 (Expr::Call(*f, args2), vec)
             }
@@ -538,18 +643,25 @@ mod tests {
         let n = src.state("n", Ty::Scalar(ScalarTy::F32));
         src.work(|b| {
             b.push(v(n) * 0.5f32);
-            b.set(n, cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 313i32));
+            b.set(
+                n,
+                cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 313i32),
+            );
         });
         src.build_spec()
     }
 
-    fn run_pair(graph: &Graph, cfg: &AutovecConfig, iters: u64) -> (RunResult, RunResult, AutovecReport) {
+    fn run_pair(
+        graph: &Graph,
+        cfg: &AutovecConfig,
+        iters: u64,
+    ) -> (RunResult, RunResult, AutovecReport) {
         let sched = Schedule::compute(graph).unwrap();
         let machine = Machine::core_i7();
-        let a = run_scheduled(graph, &sched, &machine, iters);
+        let a = run_scheduled(graph, &sched, &machine, iters).unwrap();
         let mut vg = graph.clone();
         let report = autovectorize_graph(&mut vg, cfg);
-        let b = run_scheduled(&vg, &sched, &machine, iters);
+        let b = run_scheduled(&vg, &sched, &machine, iters).unwrap();
         assert_eq!(a.output.len(), b.output.len());
         (a, b, report)
     }
@@ -569,7 +681,9 @@ mod tests {
                 b.push(idx(arr, v(j)));
             });
         });
-        let g = StreamSpec::pipeline(vec![f32_source(), fb.build_spec(), StreamSpec::Sink]).build().unwrap();
+        let g = StreamSpec::pipeline(vec![f32_source(), fb.build_spec(), StreamSpec::Sink])
+            .build()
+            .unwrap();
         let (a, b, report) = run_pair(&g, &AutovecConfig::gcc_like(4), 6);
         for (x, y) in a.output.iter().zip(&b.output) {
             assert!(x.bits_eq(*y));
@@ -596,7 +710,9 @@ mod tests {
             });
             b.push(v(acc));
         });
-        let g = StreamSpec::pipeline(vec![f32_source(), fb.build_spec(), StreamSpec::Sink]).build().unwrap();
+        let g = StreamSpec::pipeline(vec![f32_source(), fb.build_spec(), StreamSpec::Sink])
+            .build()
+            .unwrap();
 
         let (_, _, gcc_rep) = run_pair(&g, &AutovecConfig::gcc_like(4), 4);
         // GCC vectorizes the fill loop but not the FP reduction.
@@ -630,7 +746,9 @@ mod tests {
             b.push(v(n));
             b.set(n, (v(n) + 7i32) % 1000i32);
         });
-        let g = StreamSpec::pipeline(vec![src.build_spec(), fb.build_spec(), StreamSpec::Sink]).build().unwrap();
+        let g = StreamSpec::pipeline(vec![src.build_spec(), fb.build_spec(), StreamSpec::Sink])
+            .build()
+            .unwrap();
         let (a, b, rep) = run_pair(&g, &AutovecConfig::gcc_like(4), 6);
         assert_eq!(a.output, b.output);
         assert_eq!(rep.vectorized.len(), 1);
@@ -646,7 +764,9 @@ mod tests {
                 b.push(sin(pop()));
             });
         });
-        let g = StreamSpec::pipeline(vec![f32_source(), fb.build_spec(), StreamSpec::Sink]).build().unwrap();
+        let g = StreamSpec::pipeline(vec![f32_source(), fb.build_spec(), StreamSpec::Sink])
+            .build()
+            .unwrap();
         let (_, _, gcc_rep) = run_pair(&g, &AutovecConfig::gcc_like(4), 4);
         assert!(gcc_rep.vectorized.is_empty());
         let (a, b, icc_rep) = run_pair(&g, &AutovecConfig::icc_like(4), 4);
@@ -678,7 +798,9 @@ mod tests {
             b.set(junk, pop());
             b.push(v(acc));
         });
-        let g = StreamSpec::pipeline(vec![f32_source(), fb.build_spec(), StreamSpec::Sink]).build().unwrap();
+        let g = StreamSpec::pipeline(vec![f32_source(), fb.build_spec(), StreamSpec::Sink])
+            .build()
+            .unwrap();
         let (a, b, rep) = run_pair(&g, &AutovecConfig::icc_like(4), 6);
         assert_eq!(rep.vectorized.len(), 1);
         assert!(b.total_cycles() < a.total_cycles());
@@ -706,7 +828,9 @@ mod tests {
             b.push(v(n));
             b.set(n, v(n) + 1i32);
         });
-        let g = StreamSpec::pipeline(vec![src.build_spec(), fb.build_spec(), StreamSpec::Sink]).build().unwrap();
+        let g = StreamSpec::pipeline(vec![src.build_spec(), fb.build_spec(), StreamSpec::Sink])
+            .build()
+            .unwrap();
         let (a, b, rep) = run_pair(&g, &AutovecConfig::icc_like(4), 4);
         assert!(rep.vectorized.is_empty());
         assert_eq!(rep.loops_rejected, 1);
@@ -729,7 +853,9 @@ mod tests {
             b.push(v(n));
             b.set(n, v(n) + 1i32);
         });
-        let g = StreamSpec::pipeline(vec![src.build_spec(), fb.build_spec(), StreamSpec::Sink]).build().unwrap();
+        let g = StreamSpec::pipeline(vec![src.build_spec(), fb.build_spec(), StreamSpec::Sink])
+            .build()
+            .unwrap();
         let (a, b, rep) = run_pair(&g, &AutovecConfig::icc_like(4), 4);
         assert!(rep.vectorized.is_empty());
         assert_eq!(a.output, b.output);
@@ -752,7 +878,9 @@ mod tests {
             b.push(v(n));
             b.set(n, v(n) + 1i32);
         });
-        let g = StreamSpec::pipeline(vec![src.build_spec(), fb.build_spec(), StreamSpec::Sink]).build().unwrap();
+        let g = StreamSpec::pipeline(vec![src.build_spec(), fb.build_spec(), StreamSpec::Sink])
+            .build()
+            .unwrap();
         let (a, b, rep) = run_pair(&g, &AutovecConfig::gcc_like(4), 5);
         assert_eq!(rep.vectorized.len(), 1);
         assert_eq!(a.output, b.output);

@@ -1,106 +1,111 @@
 //! Ablation benches for the design choices DESIGN.md calls out:
-//! horizontal on/off, permutation-based tape accesses on/off, and a SIMD
+//! horizontal on/off, permutation-based tape accesses on/off, a SIMD
 //! width sweep (the paper's motivation that wider SIMD magnifies
-//! under-utilization).
+//! under-utilization), the Equation-1 scaling policy, and the SIMD-aware
+//! partitioner.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use macross::driver::{macro_simdize, SimdizeOptions};
+use macross_bench::{scaling_ablation, time_case};
 use macross_benchsuite::by_name;
+use macross_multicore::{figure13_point, figure13_point_simd_aware, CommModel};
 use macross_vm::{run_scheduled, Machine};
 
-fn ablate_horizontal(c: &mut Criterion) {
+fn ablate_horizontal() {
     let machine = Machine::core_i7();
     let b = by_name("FilterBank").unwrap();
     let g = (b.build)();
     let with = macro_simdize(&g, &machine, &SimdizeOptions::all()).unwrap();
-    let without =
-        macro_simdize(&g, &machine, &SimdizeOptions { horizontal: false, ..SimdizeOptions::all() }).unwrap();
-    let mut group = c.benchmark_group("ablate_horizontal/FilterBank");
-    group.sample_size(10);
-    group.bench_function("with_horizontal", |bch| {
-        bch.iter(|| run_scheduled(&with.graph, &with.schedule, &machine, 2).total_cycles())
+    let without = macro_simdize(
+        &g,
+        &machine,
+        &SimdizeOptions {
+            horizontal: false,
+            ..SimdizeOptions::all()
+        },
+    )
+    .unwrap();
+    time_case("ablate_horizontal/FilterBank/with", 10, || {
+        run_scheduled(&with.graph, &with.schedule, &machine, 2)
+            .unwrap()
+            .total_cycles()
     });
-    group.bench_function("without_horizontal", |bch| {
-        bch.iter(|| run_scheduled(&without.graph, &without.schedule, &machine, 2).total_cycles())
+    time_case("ablate_horizontal/FilterBank/without", 10, || {
+        run_scheduled(&without.graph, &without.schedule, &machine, 2)
+            .unwrap()
+            .total_cycles()
     });
-    group.finish();
 }
 
-fn ablate_permnet(c: &mut Criterion) {
+fn ablate_permnet() {
     let machine = Machine::core_i7();
     let b = by_name("DCT").unwrap();
     let g = (b.build)();
     let with = macro_simdize(&g, &machine, &SimdizeOptions::all()).unwrap();
-    let without =
-        macro_simdize(&g, &machine, &SimdizeOptions { permute_opt: false, ..SimdizeOptions::all() }).unwrap();
-    let mut group = c.benchmark_group("ablate_permnet/DCT");
-    group.sample_size(10);
-    group.bench_function("with_permute_opt", |bch| {
-        bch.iter(|| run_scheduled(&with.graph, &with.schedule, &machine, 2).total_cycles())
+    let without = macro_simdize(
+        &g,
+        &machine,
+        &SimdizeOptions {
+            permute_opt: false,
+            ..SimdizeOptions::all()
+        },
+    )
+    .unwrap();
+    time_case("ablate_permnet/DCT/with", 10, || {
+        run_scheduled(&with.graph, &with.schedule, &machine, 2)
+            .unwrap()
+            .total_cycles()
     });
-    group.bench_function("without_permute_opt", |bch| {
-        bch.iter(|| run_scheduled(&without.graph, &without.schedule, &machine, 2).total_cycles())
+    time_case("ablate_permnet/DCT/without", 10, || {
+        run_scheduled(&without.graph, &without.schedule, &machine, 2)
+            .unwrap()
+            .total_cycles()
     });
-    group.finish();
 }
 
-fn ablate_simd_width(c: &mut Criterion) {
+fn ablate_simd_width() {
     let b = by_name("Serpent").unwrap();
     let g = (b.build)();
-    let mut group = c.benchmark_group("ablate_simd_width/Serpent");
-    group.sample_size(10);
     for sw in [2usize, 4, 8, 16] {
-        let machine = macross_vm::Machine::wide(sw);
+        let machine = Machine::wide(sw);
         let simd = macro_simdize(&g, &machine, &SimdizeOptions::all()).unwrap();
-        group.bench_function(format!("sw{sw}"), |bch| {
-            bch.iter(|| run_scheduled(&simd.graph, &simd.schedule, &machine, 2).total_cycles())
+        time_case(&format!("ablate_simd_width/Serpent/sw{sw}"), 10, || {
+            run_scheduled(&simd.graph, &simd.schedule, &machine, 2)
+                .unwrap()
+                .total_cycles()
         });
-    }
-    group.finish();
-}
-
-criterion_group!(benches, ablate_horizontal, ablate_permnet, ablate_simd_width);
-
-// Appended ablations: Equation-1 scaling policy and the SIMD-aware
-// partitioner (the paper's future-work extension).
-
-mod extra {
-    use criterion::Criterion;
-    use macross_bench::scaling_ablation;
-    use macross_benchsuite::by_name;
-    use macross_multicore::{figure13_point, figure13_point_simd_aware, CommModel};
-    use macross_vm::Machine;
-
-    pub fn ablate_scaling(c: &mut Criterion) {
-        let machine = Machine::core_i7();
-        let b = by_name("FMRadio").unwrap();
-        let mut group = c.benchmark_group("ablate_scaling/FMRadio");
-        group.sample_size(10);
-        group.bench_function("equation1_vs_naive", |bch| {
-            bch.iter(|| {
-                let r = scaling_ablation(&b, &machine);
-                (r.minimal_buffer_elems, r.naive_buffer_elems)
-            })
-        });
-        group.finish();
-    }
-
-    pub fn ablate_partitioner(c: &mut Criterion) {
-        let machine = Machine::core_i7();
-        let comm = CommModel::default();
-        let b = by_name("TDE").unwrap();
-        let g = (b.build)();
-        let mut group = c.benchmark_group("ablate_partitioner/TDE");
-        group.sample_size(10);
-        group.bench_function("naive_lpt", |bch| {
-            bch.iter(|| figure13_point(&g, &machine, 2, &comm, 2).unwrap().multicore_simd)
-        });
-        group.bench_function("simd_aware", |bch| {
-            bch.iter(|| figure13_point_simd_aware(&g, &machine, 2, &comm, 2).unwrap().multicore_simd)
-        });
-        group.finish();
     }
 }
 
-criterion_group!(extra_benches, extra::ablate_scaling, extra::ablate_partitioner);
-criterion_main!(benches, extra_benches);
+fn ablate_scaling() {
+    let machine = Machine::core_i7();
+    let b = by_name("FMRadio").unwrap();
+    time_case("ablate_scaling/FMRadio/equation1_vs_naive", 10, || {
+        let r = scaling_ablation(&b, &machine);
+        (r.minimal_buffer_elems, r.naive_buffer_elems)
+    });
+}
+
+fn ablate_partitioner() {
+    let machine = Machine::core_i7();
+    let comm = CommModel::default();
+    let b = by_name("TDE").unwrap();
+    let g = (b.build)();
+    time_case("ablate_partitioner/TDE/naive_lpt", 10, || {
+        figure13_point(&g, &machine, 2, &comm, 2)
+            .unwrap()
+            .multicore_simd
+    });
+    time_case("ablate_partitioner/TDE/simd_aware", 10, || {
+        figure13_point_simd_aware(&g, &machine, 2, &comm, 2)
+            .unwrap()
+            .multicore_simd
+    });
+}
+
+fn main() {
+    ablate_horizontal();
+    ablate_permnet();
+    ablate_simd_width();
+    ablate_scaling();
+    ablate_partitioner();
+}

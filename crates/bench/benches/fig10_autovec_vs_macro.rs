@@ -1,48 +1,49 @@
-//! Criterion bench for Figure 10: wall-clock of executing a benchmark's
-//! scalar, auto-vectorized (GCC-like and ICC-like), and macro-SIMDized
-//! variants on the VM. The vectorized variants genuinely run faster in
-//! wall-clock too, because one vector operation replaces `SW` interpreter
-//! dispatches.
+//! Wall-clock bench for Figure 10: executing a benchmark's scalar,
+//! auto-vectorized (GCC-like and ICC-like), and macro-SIMDized variants
+//! on the VM. The vectorized variants genuinely run faster in wall-clock
+//! too, because one vector operation replaces `SW` interpreter dispatches.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use macross::driver::{macro_simdize, SimdizeOptions};
 use macross_autovec::{autovectorize_graph, AutovecConfig};
+use macross_bench::time_case;
 use macross_benchsuite::by_name;
 use macross_sdf::Schedule;
 use macross_vm::{run_scheduled, Machine};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let machine = Machine::core_i7();
     for name in ["DCT", "Serpent", "FilterBank"] {
         let b = by_name(name).expect("benchmark exists");
         let g = (b.build)();
         let sched = Schedule::compute(&g).expect("schedule");
-        let mut group = c.benchmark_group(format!("fig10/{name}"));
-        group.sample_size(10);
 
-        group.bench_function("scalar", |bch| {
-            bch.iter(|| run_scheduled(&g, &sched, &machine, 2).total_cycles())
+        time_case(&format!("fig10/{name}/scalar"), 10, || {
+            run_scheduled(&g, &sched, &machine, 2)
+                .unwrap()
+                .total_cycles()
         });
 
         let mut gcc_graph = g.clone();
         autovectorize_graph(&mut gcc_graph, &AutovecConfig::gcc_like(4));
-        group.bench_function("autovec_gcc", |bch| {
-            bch.iter(|| run_scheduled(&gcc_graph, &sched, &machine, 2).total_cycles())
+        time_case(&format!("fig10/{name}/autovec_gcc"), 10, || {
+            run_scheduled(&gcc_graph, &sched, &machine, 2)
+                .unwrap()
+                .total_cycles()
         });
 
         let mut icc_graph = g.clone();
         autovectorize_graph(&mut icc_graph, &AutovecConfig::icc_like(4));
-        group.bench_function("autovec_icc", |bch| {
-            bch.iter(|| run_scheduled(&icc_graph, &sched, &machine, 2).total_cycles())
+        time_case(&format!("fig10/{name}/autovec_icc"), 10, || {
+            run_scheduled(&icc_graph, &sched, &machine, 2)
+                .unwrap()
+                .total_cycles()
         });
 
         let simd = macro_simdize(&g, &machine, &SimdizeOptions::all()).expect("simdize");
-        group.bench_function("macro_simd", |bch| {
-            bch.iter(|| run_scheduled(&simd.graph, &simd.schedule, &machine, 2).total_cycles())
+        time_case(&format!("fig10/{name}/macro_simd"), 10, || {
+            run_scheduled(&simd.graph, &simd.schedule, &machine, 2)
+                .unwrap()
+                .total_cycles()
         });
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

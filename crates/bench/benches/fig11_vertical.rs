@@ -1,30 +1,33 @@
-//! Criterion bench for Figure 11: single-actor-only vs. full vertical
+//! Wall-clock bench for Figure 11: single-actor-only vs. full vertical
 //! SIMDization, executing the transformed graphs on the VM.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use macross::driver::{macro_simdize, SimdizeOptions};
+use macross_bench::time_case;
 use macross_benchsuite::by_name;
 use macross_vm::{run_scheduled, Machine};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let machine = Machine::core_i7();
     for name in ["MatrixMultBlock", "Serpent", "TDE"] {
         let b = by_name(name).expect("benchmark exists");
         let g = (b.build)();
         let single = macro_simdize(&g, &machine, &SimdizeOptions::single_only()).expect("single");
-        let vopts = SimdizeOptions { horizontal: false, permute_opt: false, reorder_opt: false, ..SimdizeOptions::all() };
+        let vopts = SimdizeOptions {
+            horizontal: false,
+            permute_opt: false,
+            reorder_opt: false,
+            ..SimdizeOptions::all()
+        };
         let vertical = macro_simdize(&g, &machine, &vopts).expect("vertical");
-        let mut group = c.benchmark_group(format!("fig11/{name}"));
-        group.sample_size(10);
-        group.bench_function("single_actor_only", |bch| {
-            bch.iter(|| run_scheduled(&single.graph, &single.schedule, &machine, 2).total_cycles())
+        time_case(&format!("fig11/{name}/single_actor_only"), 10, || {
+            run_scheduled(&single.graph, &single.schedule, &machine, 2)
+                .unwrap()
+                .total_cycles()
         });
-        group.bench_function("vertical", |bch| {
-            bch.iter(|| run_scheduled(&vertical.graph, &vertical.schedule, &machine, 2).total_cycles())
+        time_case(&format!("fig11/{name}/vertical"), 10, || {
+            run_scheduled(&vertical.graph, &vertical.schedule, &machine, 2)
+                .unwrap()
+                .total_cycles()
         });
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,12 +1,12 @@
-//! Criterion bench for Figure 12: macro-SIMDized code without and with
+//! Wall-clock bench for Figure 12: macro-SIMDized code without and with
 //! the SAGU tape optimization.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use macross::driver::{macro_simdize, SimdizeOptions};
+use macross_bench::time_case;
 use macross_benchsuite::by_name;
 use macross_vm::{run_scheduled, Machine};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let base = Machine::core_i7();
     let sagu = Machine::core_i7_with_sagu();
     for name in ["MatrixMult", "DCT", "DES"] {
@@ -14,17 +14,15 @@ fn bench(c: &mut Criterion) {
         let g = (b.build)();
         let no_sagu = macro_simdize(&g, &base, &SimdizeOptions::all()).expect("base");
         let with_sagu = macro_simdize(&g, &sagu, &SimdizeOptions::all()).expect("sagu");
-        let mut group = c.benchmark_group(format!("fig12/{name}"));
-        group.sample_size(10);
-        group.bench_function("macro_simd", |bch| {
-            bch.iter(|| run_scheduled(&no_sagu.graph, &no_sagu.schedule, &base, 2).total_cycles())
+        time_case(&format!("fig12/{name}/macro_simd"), 10, || {
+            run_scheduled(&no_sagu.graph, &no_sagu.schedule, &base, 2)
+                .unwrap()
+                .total_cycles()
         });
-        group.bench_function("macro_simd_sagu", |bch| {
-            bch.iter(|| run_scheduled(&with_sagu.graph, &with_sagu.schedule, &sagu, 2).total_cycles())
+        time_case(&format!("fig12/{name}/macro_simd_sagu"), 10, || {
+            run_scheduled(&with_sagu.graph, &with_sagu.schedule, &sagu, 2)
+                .unwrap()
+                .total_cycles()
         });
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

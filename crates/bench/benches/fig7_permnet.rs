@@ -1,27 +1,28 @@
-//! Criterion bench for the Figure-7 mechanism: the permutation network
+//! Wall-clock bench for the Figure-7 mechanism: the permutation network
 //! (X vector loads + X*lg2(X) extract even/odd) vs. the equivalent
 //! strided scalar gather, at several pop counts and SIMD widths.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use macross::permnet::gather_plan;
+use macross_bench::time_case;
 
 fn strided_gather(elems: &[i32], p: usize, sw: usize) -> Vec<Vec<i32>> {
-    (0..p).map(|j| (0..sw).map(|l| elems[l * p + j]).collect()).collect()
+    (0..p)
+        .map(|j| (0..sw).map(|l| elems[l * p + j]).collect())
+        .collect()
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     for sw in [4usize, 16] {
         for p in [2usize, 4, 8, 16] {
             let elems: Vec<i32> = (0..(p * sw) as i32).collect();
             let loads: Vec<Vec<i32>> = elems.chunks(sw).map(|c| c.to_vec()).collect();
             let plan = gather_plan(p, sw);
-            let mut group = c.benchmark_group(format!("fig7/p{p}_sw{sw}"));
-            group.bench_function("permute_network", |bch| bch.iter(|| plan.apply(&loads)));
-            group.bench_function("strided_scalar", |bch| bch.iter(|| strided_gather(&elems, p, sw)));
-            group.finish();
+            time_case(&format!("fig7/p{p}_sw{sw}/permute_network"), 50, || {
+                plan.apply(&loads)
+            });
+            time_case(&format!("fig7/p{p}_sw{sw}/strided_scalar"), 50, || {
+                strided_gather(&elems, p, sw)
+            });
         }
     }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,25 +1,16 @@
-//! Criterion bench for the Figure-8/9 mechanism: SAGU hardware address
+//! Wall-clock bench for the Figure-8/9 mechanism: SAGU hardware address
 //! generation vs. the software sequence, over a long access stream.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use macross_bench::time_case;
 use macross_sagu::{Sagu, SoftwareAddrGen};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_addr_gen");
-    group.bench_function("sagu_hw_model", |bch| {
-        bch.iter(|| {
-            let mut s = Sagu::new(12, 4);
-            (0..4096).map(|_| s.next_address()).sum::<u64>()
-        })
+fn main() {
+    time_case("fig8_addr_gen/sagu_hw_model", 50, || {
+        let mut s = Sagu::new(12, 4);
+        (0..4096).map(|_| s.next_address()).sum::<u64>()
     });
-    group.bench_function("software_fig8", |bch| {
-        bch.iter(|| {
-            let mut s = SoftwareAddrGen::new(12, 4);
-            (0..4096).map(|_| s.next_address()).sum::<u64>()
-        })
+    time_case("fig8_addr_gen/software_fig8", 50, || {
+        let mut s = SoftwareAddrGen::new(12, 4);
+        (0..4096).map(|_| s.next_address()).sum::<u64>()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

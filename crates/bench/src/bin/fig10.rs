@@ -35,7 +35,10 @@ fn run(host_name: &str, host: &AutovecConfig) {
     ]);
     println!(
         "{}",
-        render_table(&["benchmark", "auto-vectorize", "macro-SIMD", "macro+auto"], &rows)
+        render_table(
+            &["benchmark", "auto-vectorize", "macro-SIMD", "macro+auto"],
+            &rows
+        )
     );
     let gain = (geomean(macro_v) / geomean(auto_v) - 1.0) * 100.0;
     println!("macro-SIMD outperforms {host_name} auto-vectorization by {gain:.0}% on average");

@@ -14,9 +14,14 @@ fn main() {
         let r = figure11_row(&b, &machine);
         sum += r.improvement_pct;
         n += 1;
-        rows.push(vec![r.name.to_string(), format!("{:.1}%", r.improvement_pct)]);
+        rows.push(vec![
+            r.name.to_string(),
+            format!("{:.1}%", r.improvement_pct),
+        ]);
     }
     rows.push(vec!["AVERAGE".into(), format!("{:.1}%", sum / n as f64)]);
     println!("{}", render_table(&["benchmark", "improvement"], &rows));
-    println!("(paper: 40% average; MatrixMultBlock largest at 114%; FilterBank/BeamFormer negligible)");
+    println!(
+        "(paper: 40% average; MatrixMultBlock largest at 114%; FilterBank/BeamFormer negligible)"
+    );
 }

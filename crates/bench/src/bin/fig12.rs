@@ -12,7 +12,10 @@ fn main() {
         let r = figure12_row(&b);
         sum += r.improvement_pct;
         n += 1;
-        rows.push(vec![r.name.to_string(), format!("{:.1}%", r.improvement_pct)]);
+        rows.push(vec![
+            r.name.to_string(),
+            format!("{:.1}%", r.improvement_pct),
+        ]);
     }
     rows.push(vec!["AVERAGE".into(), format!("{:.1}%", sum / n as f64)]);
     println!("{}", render_table(&["benchmark", "improvement"], &rows));

@@ -33,7 +33,10 @@ fn main() {
     ]);
     println!(
         "{}",
-        render_table(&["benchmark", "2 cores", "4 cores", "2c + SIMD", "4c + SIMD"], &rows)
+        render_table(
+            &["benchmark", "2 cores", "4 cores", "2c + SIMD", "4c + SIMD"],
+            &rows
+        )
     );
     println!(
         "2-core+SIMD geomean {:.2}x vs plain 4-core {:.2}x",

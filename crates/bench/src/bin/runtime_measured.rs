@@ -1,0 +1,103 @@
+//! Measured vs. modeled: run benchmarks on the threaded runtime at 1, 2,
+//! and 4 worker threads and print the observed wall-clock next to the
+//! analytic multicore makespan estimate for the same LPT placement.
+//!
+//! The modeled column is cycles of the abstract machine; the measured
+//! column is host nanoseconds of the interpreter — the two are different
+//! units, so compare *scaling trends*, not magnitudes.
+
+use macross_bench::{measured_vs_modeled, render_table};
+use macross_sdf::Schedule;
+use macross_vm::Machine;
+
+const BENCHES: [&str; 5] = ["FMRadio", "FilterBank", "DCT", "MatrixMult", "Serpent"];
+const CORES: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    let machine = Machine::core_i7();
+    let iters = 50;
+    println!(
+        "== Threaded runtime: measured wall-clock vs. analytic makespan (LPT, {iters} iters) =="
+    );
+    let mut rows = Vec::new();
+    for name in BENCHES {
+        let b = macross_benchsuite::by_name(name).expect("benchmark exists");
+        let g = (b.build)();
+        let sched = Schedule::compute(&g).expect("schedule");
+        let mut base_ns = 0.0;
+        for cores in CORES {
+            let m = measured_vs_modeled(name, &g, &sched, &machine, cores, iters);
+            let ns_iter = m.report.nanos_per_iter();
+            if cores == 1 {
+                base_ns = ns_iter;
+            }
+            rows.push(vec![
+                name.to_string(),
+                cores.to_string(),
+                m.modeled.makespan.to_string(),
+                format!("{:.0}", ns_iter),
+                format!("{:.2}x", base_ns / ns_iter),
+                m.report.cut_edges.to_string(),
+                m.report.ring_traffic().to_string(),
+                m.report.total_stalls().to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "cores",
+                "modeled cyc/iter",
+                "measured ns/iter",
+                "speedup",
+                "cut edges",
+                "ring elems",
+                "stalls",
+            ],
+            &rows,
+        )
+    );
+
+    // Per-stage detail for one benchmark, to show the counters exist and
+    // attribute work plausibly.
+    let b = macross_benchsuite::by_name("FilterBank").unwrap();
+    let g = (b.build)();
+    let sched = Schedule::compute(&g).unwrap();
+    let m = measured_vs_modeled("FilterBank", &g, &sched, &machine, 4, iters);
+    println!("== FilterBank @ 4 workers: per-stage counters ==");
+    let rows: Vec<Vec<String>> = m
+        .report
+        .stages
+        .iter()
+        .map(|s| {
+            vec![
+                s.node.to_string(),
+                s.name.clone(),
+                s.core.to_string(),
+                s.firings.to_string(),
+                s.ring_in.to_string(),
+                s.ring_out.to_string(),
+                s.full_stalls.to_string(),
+                s.empty_stalls.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "node",
+                "stage",
+                "core",
+                "firings",
+                "ring in",
+                "ring out",
+                "full stalls",
+                "empty stalls"
+            ],
+            &rows,
+        )
+    );
+}

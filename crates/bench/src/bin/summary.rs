@@ -4,7 +4,8 @@
 
 use macross_autovec::AutovecConfig;
 use macross_bench::{
-    figure10_row, figure11_row, figure12_row, figure13_rows, geomean, render_table, scaling_ablation,
+    figure10_row, figure11_row, figure12_row, figure13_rows, geomean, render_table,
+    scaling_ablation,
 };
 use macross_vm::Machine;
 
@@ -25,12 +26,24 @@ fn main() {
         macro_v.push(icc.macro_simd);
     }
     println!("Figure 10 (geomean speedup over scalar):");
-    println!("  GCC-like autovec   {:.2}x   (paper: 'unimpressive')", geomean(gcc_auto));
-    println!("  ICC-like autovec   {:.2}x   (paper: 1.34x)", geomean(icc_auto));
-    println!("  macro-SIMD         {:.2}x   (paper: 2.07x)\n", geomean(macro_v));
+    println!(
+        "  GCC-like autovec   {:.2}x   (paper: 'unimpressive')",
+        geomean(gcc_auto)
+    );
+    println!(
+        "  ICC-like autovec   {:.2}x   (paper: 1.34x)",
+        geomean(icc_auto)
+    );
+    println!(
+        "  macro-SIMD         {:.2}x   (paper: 2.07x)\n",
+        geomean(macro_v)
+    );
 
     // Figure 11 average.
-    let f11: Vec<f64> = suite.iter().map(|b| figure11_row(b, &machine).improvement_pct).collect();
+    let f11: Vec<f64> = suite
+        .iter()
+        .map(|b| figure11_row(b, &machine).improvement_pct)
+        .collect();
     println!(
         "Figure 11 (vertical over single-actor): avg {:.1}%  max {:.1}%   (paper: 40% avg, 114% max)\n",
         f11.iter().sum::<f64>() / f11.len() as f64,
@@ -38,7 +51,10 @@ fn main() {
     );
 
     // Figure 12 average.
-    let f12: Vec<f64> = suite.iter().map(|b| figure12_row(b).improvement_pct).collect();
+    let f12: Vec<f64> = suite
+        .iter()
+        .map(|b| figure12_row(b).improvement_pct)
+        .collect();
     println!(
         "Figure 12 (SAGU benefit): avg {:.1}%   (paper: 8.1%)\n",
         f12.iter().sum::<f64>() / f12.len() as f64
@@ -60,7 +76,10 @@ fn main() {
     println!("  2 cores            {:.2}x   (paper: 1.28x)", geomean(c2));
     println!("  4 cores            {:.2}x   (paper: 1.85x)", geomean(c4));
     println!("  2 cores + SIMD     {:.2}x   (paper: 2.03x)", geomean(c2s));
-    println!("  4 cores + SIMD     {:.2}x   (paper: 3.17x)\n", geomean(c4s));
+    println!(
+        "  4 cores + SIMD     {:.2}x   (paper: 3.17x)\n",
+        geomean(c4s)
+    );
 
     // Scaling ablation table.
     println!("Equation-1 scaling ablation (minimal vs naive scale-by-SW):");
@@ -79,6 +98,15 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["benchmark", "Eq1 factor", "naive", "buf elems (Eq1)", "buf elems (naive)"], &rows)
+        render_table(
+            &[
+                "benchmark",
+                "Eq1 factor",
+                "naive",
+                "buf elems (Eq1)",
+                "buf elems (naive)"
+            ],
+            &rows
+        )
     );
 }

@@ -20,15 +20,24 @@ pub fn run_aligned(
     (g2, s2, m2): (&Graph, &Schedule, &Machine),
     iters: u64,
 ) -> (RunResult, RunResult) {
-    let src1 = g1.node_ids().find(|&id| g1.in_edges(id).is_empty()).expect("source");
-    let src2 = g2.node_ids().find(|&id| g2.in_edges(id).is_empty()).expect("source");
+    let src1 = g1
+        .node_ids()
+        .find(|&id| g1.in_edges(id).is_empty())
+        .expect("source");
+    let src2 = g2
+        .node_ids()
+        .find(|&id| g2.in_edges(id).is_empty())
+        .expect("source");
     let (r1, r2) = (s1.reps[src1.0 as usize], s2.reps[src2.0 as usize]);
     let l = macross_sdf::lcm(r1, r2);
     let mut s1 = s1.clone();
     let mut s2 = s2.clone();
     s1.scale(l / r1);
     s2.scale(l / r2);
-    (run_scheduled(g1, &s1, m1, iters), run_scheduled(g2, &s2, m2, iters))
+    (
+        run_scheduled(g1, &s1, m1, iters).expect("run failed"),
+        run_scheduled(g2, &s2, m2, iters).expect("run failed"),
+    )
 }
 
 /// One benchmark's row of Figure 10.
@@ -62,8 +71,16 @@ pub fn figure10_row(b: &Benchmark, machine: &Machine, host: &AutovecConfig) -> F
 
     let m = (machine, machine);
     let (scalar, auto) = run_aligned((&g, &sched, m.0), (&av, &sched, m.1), b.iters);
-    let (scalar2, macro_run) = run_aligned((&g, &sched, m.0), (&simd.graph, &simd.schedule, m.1), b.iters);
-    let (scalar3, both_run) = run_aligned((&g, &sched, m.0), (&both_graph, &simd.schedule, m.1), b.iters);
+    let (scalar2, macro_run) = run_aligned(
+        (&g, &sched, m.0),
+        (&simd.graph, &simd.schedule, m.1),
+        b.iters,
+    );
+    let (scalar3, both_run) = run_aligned(
+        (&g, &sched, m.0),
+        (&both_graph, &simd.schedule, m.1),
+        b.iters,
+    );
 
     // Each pair is throughput-aligned internally; normalize per scalar run.
     Fig10Row {
@@ -173,7 +190,10 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    out.push_str(&fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &widths));
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
     out.push('\n');
@@ -194,7 +214,12 @@ mod tests {
         let b = by_name("Serpent").unwrap();
         let machine = Machine::core_i7();
         let gcc = figure10_row(&b, &machine, &AutovecConfig::gcc_like(4));
-        assert!(gcc.macro_simd > gcc.autovec, "macro {} vs auto {}", gcc.macro_simd, gcc.autovec);
+        assert!(
+            gcc.macro_simd > gcc.autovec,
+            "macro {} vs auto {}",
+            gcc.macro_simd,
+            gcc.autovec
+        );
         assert!(gcc.macro_simd > 1.0);
     }
 
@@ -288,7 +313,10 @@ mod scaling_tests {
             let r = scaling_ablation(&by_name(name).unwrap(), &machine);
             assert!(r.minimal_factor <= r.naive_factor, "{name}: {r:?}");
             assert!(r.minimal_firings <= r.naive_firings, "{name}: {r:?}");
-            assert!(r.minimal_buffer_elems <= r.naive_buffer_elems, "{name}: {r:?}");
+            assert!(
+                r.minimal_buffer_elems <= r.naive_buffer_elems,
+                "{name}: {r:?}"
+            );
         }
     }
 
@@ -303,5 +331,120 @@ mod scaling_tests {
             r.minimal_factor < r.naive_factor && r.minimal_buffer_elems < r.naive_buffer_elems
         });
         assert!(better, "no benchmark profits from minimal scaling");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock timing harness for the `harness = false` benches.
+
+/// Format a nanosecond count with a human unit.
+pub fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Run `f` twice for warm-up, then `samples` timed rounds, and print the
+/// median and minimum wall-clock time under `label`. The return value is
+/// passed through [`std::hint::black_box`] so the work is not elided.
+pub fn time_case<T>(label: &str, samples: usize, mut f: impl FnMut() -> T) {
+    for _ in 0..2 {
+        std::hint::black_box(f());
+    }
+    let mut ns: Vec<u128> = (0..samples.max(1))
+        .map(|_| {
+            let t = std::time::Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    ns.sort_unstable();
+    println!(
+        "{label:<48} median {:>10}  min {:>10}  ({} samples)",
+        fmt_ns(ns[ns.len() / 2]),
+        fmt_ns(ns[0]),
+        ns.len()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Measured (threaded runtime) vs. modeled (analytic makespan) comparison.
+
+/// One benchmark at one core count: the analytic multicore estimate next
+/// to what the threaded runtime actually measured.
+#[derive(Debug)]
+pub struct MeasuredVsModeled {
+    /// Benchmark name.
+    pub name: String,
+    /// Worker-thread count.
+    pub cores: usize,
+    /// The LPT partition used for both columns.
+    pub partition: macross_multicore::Partition,
+    /// Analytic per-iteration makespan (compute + communication model).
+    pub modeled: macross_multicore::CoreEstimate,
+    /// What the threaded runtime observed.
+    pub report: macross_runtime::RuntimeReport,
+}
+
+/// Partition `graph` over `cores` with LPT, run `iters` steady iterations
+/// on the threaded runtime, and pair the measurement with the analytic
+/// estimate for the same placement.
+pub fn measured_vs_modeled(
+    name: &str,
+    graph: &Graph,
+    schedule: &Schedule,
+    machine: &Machine,
+    cores: usize,
+    iters: u64,
+) -> MeasuredVsModeled {
+    let seq = run_scheduled(graph, schedule, machine, iters.min(2)).expect("sequential profile");
+    let partition = macross_multicore::Partition::lpt(graph, schedule, &seq.node_cycles, cores);
+    let modeled = macross_multicore::estimate(
+        graph,
+        schedule,
+        &seq.node_cycles,
+        &partition.assignment,
+        cores,
+        &CommModel::default(),
+    );
+    let run = macross_runtime::run_threaded(graph, schedule, machine, &partition.assignment, iters)
+        .expect("threaded run");
+    MeasuredVsModeled {
+        name: name.to_string(),
+        cores,
+        partition,
+        modeled,
+        report: run.report,
+    }
+}
+
+#[cfg(test)]
+mod measured_tests {
+    use super::*;
+    use macross_benchsuite::by_name;
+
+    #[test]
+    fn measured_vs_modeled_is_consistent() {
+        let machine = Machine::core_i7();
+        let b = by_name("FMRadio").unwrap();
+        let g = (b.build)();
+        let sched = Schedule::compute(&g).unwrap();
+        for cores in [1usize, 2, 4] {
+            let m = measured_vs_modeled(b.name, &g, &sched, &machine, cores, 4);
+            assert_eq!(m.report.cores, cores.min(m.report.cores).max(1));
+            assert_eq!(m.report.cut_edges, m.partition.cut_edges.len());
+            assert!(m.report.wall_nanos > 0);
+            assert!(m.modeled.makespan > 0);
+            if cores == 1 {
+                assert_eq!(m.report.cut_edges, 0);
+                assert_eq!(m.report.ring_traffic(), 0);
+            }
+        }
     }
 }

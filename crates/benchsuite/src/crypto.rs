@@ -44,7 +44,10 @@ fn des_sbox(name: &str) -> StreamSpec {
         b.set(l, pop());
         b.set(r, pop());
         b.set(e, pop());
-        b.set(f, idx(sbox, v(e) & 63i32) ^ idx(sbox, (v(e) >> 6i32) & 63i32));
+        b.set(
+            f,
+            idx(sbox, v(e) & 63i32) ^ idx(sbox, (v(e) >> 6i32) & 63i32),
+        );
         // Feistel swap: L' = R, R' = L ^ F.
         b.push(v(r));
         b.push(v(l) ^ v(f));
@@ -157,5 +160,7 @@ pub fn serpent() -> Graph {
         stages.push(serpent_lt(&format!("sp_lt{round}")));
     }
     stages.push(StreamSpec::Sink);
-    StreamSpec::pipeline(stages).build().expect("serpent builds")
+    StreamSpec::pipeline(stages)
+        .build()
+        .expect("serpent builds")
 }

@@ -24,7 +24,14 @@ pub fn fm_radio() -> Graph {
     });
 
     let bands: Vec<StreamSpec> = (0..8)
-        .map(|k| fir(&format!("eq_band{k}"), 16, 0.05 + 0.02 * k as f32, 1.0 / (k + 1) as f32))
+        .map(|k| {
+            fir(
+                &format!("eq_band{k}"),
+                16,
+                0.05 + 0.02 * k as f32,
+                1.0 / (k + 1) as f32,
+            )
+        })
         .collect();
 
     StreamSpec::pipeline(vec![
@@ -104,7 +111,11 @@ pub fn beamformer() -> Graph {
             b.push(sqrt(v(r) * v(r) + v(m) * v(m)));
         });
 
-        StreamSpec::pipeline(vec![delay(&format!("calib{k}"), 4), bf.build_spec(), mag.build_spec()])
+        StreamSpec::pipeline(vec![
+            delay(&format!("calib{k}"), 4),
+            bf.build_spec(),
+            mag.build_spec(),
+        ])
     };
     StreamSpec::pipeline(vec![
         source_f32("bm_src", 1, 1024, 0.01),

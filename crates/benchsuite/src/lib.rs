@@ -41,26 +41,84 @@ pub struct Benchmark {
 /// Every benchmark, in the order the paper's figures list them.
 pub fn all() -> Vec<Benchmark> {
     vec![
-        Benchmark { name: "AudioBeam", build: dsp::audio_beam, iters: 32 },
-        Benchmark { name: "BeamFormer", build: dsp::beamformer, iters: 16 },
-        Benchmark { name: "BitonicSort", build: transforms::bitonic_sort, iters: 32 },
-        Benchmark { name: "ChannelVocoder", build: dsp::channel_vocoder, iters: 16 },
-        Benchmark { name: "DCT", build: transforms::dct, iters: 32 },
-        Benchmark { name: "DES", build: crypto::des, iters: 32 },
-        Benchmark { name: "FFT", build: transforms::fft, iters: 16 },
-        Benchmark { name: "FilterBank", build: dsp::filter_bank, iters: 8 },
-        Benchmark { name: "FMRadio", build: dsp::fm_radio, iters: 16 },
-        Benchmark { name: "MatrixMult", build: matrix::matrix_mult, iters: 16 },
-        Benchmark { name: "MatrixMultBlock", build: matrix::matrix_mult_block, iters: 16 },
-        Benchmark { name: "MP3Decoder", build: media::mp3_decoder, iters: 8 },
-        Benchmark { name: "Serpent", build: crypto::serpent, iters: 32 },
-        Benchmark { name: "TDE", build: transforms::tde, iters: 8 },
+        Benchmark {
+            name: "AudioBeam",
+            build: dsp::audio_beam,
+            iters: 32,
+        },
+        Benchmark {
+            name: "BeamFormer",
+            build: dsp::beamformer,
+            iters: 16,
+        },
+        Benchmark {
+            name: "BitonicSort",
+            build: transforms::bitonic_sort,
+            iters: 32,
+        },
+        Benchmark {
+            name: "ChannelVocoder",
+            build: dsp::channel_vocoder,
+            iters: 16,
+        },
+        Benchmark {
+            name: "DCT",
+            build: transforms::dct,
+            iters: 32,
+        },
+        Benchmark {
+            name: "DES",
+            build: crypto::des,
+            iters: 32,
+        },
+        Benchmark {
+            name: "FFT",
+            build: transforms::fft,
+            iters: 16,
+        },
+        Benchmark {
+            name: "FilterBank",
+            build: dsp::filter_bank,
+            iters: 8,
+        },
+        Benchmark {
+            name: "FMRadio",
+            build: dsp::fm_radio,
+            iters: 16,
+        },
+        Benchmark {
+            name: "MatrixMult",
+            build: matrix::matrix_mult,
+            iters: 16,
+        },
+        Benchmark {
+            name: "MatrixMultBlock",
+            build: matrix::matrix_mult_block,
+            iters: 16,
+        },
+        Benchmark {
+            name: "MP3Decoder",
+            build: media::mp3_decoder,
+            iters: 8,
+        },
+        Benchmark {
+            name: "Serpent",
+            build: crypto::serpent,
+            iters: 32,
+        },
+        Benchmark {
+            name: "TDE",
+            build: transforms::tde,
+            iters: 8,
+        },
     ]
 }
 
 /// Look up a benchmark by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<Benchmark> {
-    all().into_iter().find(|b| b.name.eq_ignore_ascii_case(name))
+    all()
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -86,8 +144,8 @@ mod tests {
             }
             let sched = Schedule::compute(&g).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             let machine = Machine::core_i7();
-            let r1 = run_scheduled(&g, &sched, &machine, 2);
-            let r2 = run_scheduled(&g, &sched, &machine, 2);
+            let r1 = run_scheduled(&g, &sched, &machine, 2).unwrap();
+            let r2 = run_scheduled(&g, &sched, &machine, 2).unwrap();
             assert!(!r1.output.is_empty(), "{}: no output", b.name);
             assert_eq!(r1.output.len(), r2.output.len());
             for (x, y) in r1.output.iter().zip(&r2.output) {
@@ -112,11 +170,20 @@ mod tests {
             ssched.scale(m1);
             let mut vsched = simd.schedule.clone();
             vsched.scale(l / vsched.reps[src.0 as usize]);
-            let a = run_scheduled(&g, &ssched, &machine, 2);
-            let c = run_scheduled(&simd.graph, &vsched, &machine, 2);
-            assert_eq!(a.output.len(), c.output.len(), "{}: throughput mismatch", b.name);
+            let a = run_scheduled(&g, &ssched, &machine, 2).unwrap();
+            let c = run_scheduled(&simd.graph, &vsched, &machine, 2).unwrap();
+            assert_eq!(
+                a.output.len(),
+                c.output.len(),
+                "{}: throughput mismatch",
+                b.name
+            );
             for (i, (x, y)) in a.output.iter().zip(&c.output).enumerate() {
-                assert!(x.bits_eq(*y), "{}: output {i} differs: {x:?} vs {y:?}", b.name);
+                assert!(
+                    x.bits_eq(*y),
+                    "{}: output {i} differs: {x:?} vs {y:?}",
+                    b.name
+                );
             }
         }
     }
@@ -128,16 +195,28 @@ mod tests {
         let machine = Machine::core_i7();
         let report_of = |name: &str| {
             let b = by_name(name).unwrap();
-            macro_simdize(&(b.build)(), &machine, &SimdizeOptions::all()).unwrap().report
+            macro_simdize(&(b.build)(), &machine, &SimdizeOptions::all())
+                .unwrap()
+                .report
         };
 
         // Horizontal-dominated benchmarks.
         for name in ["FilterBank", "BeamFormer", "ChannelVocoder", "FMRadio"] {
             let r = report_of(name);
-            assert!(!r.horizontal_groups.is_empty(), "{name} should horizontalize: {r:?}");
+            assert!(
+                !r.horizontal_groups.is_empty(),
+                "{name} should horizontalize: {r:?}"
+            );
         }
         // Vertical-dominated benchmarks: at least one multi-actor chain.
-        for name in ["MatrixMultBlock", "Serpent", "BitonicSort", "TDE", "DCT", "FFT"] {
+        for name in [
+            "MatrixMultBlock",
+            "Serpent",
+            "BitonicSort",
+            "TDE",
+            "DCT",
+            "FFT",
+        ] {
             let r = report_of(name);
             assert!(
                 r.vertical_chains.iter().any(|c| c.len() >= 2),
@@ -146,11 +225,17 @@ mod tests {
         }
         // AudioBeam: isolated actors, no vertical chains.
         let r = report_of("AudioBeam");
-        assert!(r.vertical_chains.iter().all(|c| c.len() < 2), "AudioBeam chains: {r:?}");
+        assert!(
+            r.vertical_chains.iter().all(|c| c.len() < 2),
+            "AudioBeam chains: {r:?}"
+        );
         assert!(!r.single_actors.is_empty());
         // DES: s-box actors must NOT be vectorized.
         let r = report_of("DES");
-        assert!(r.single_actors.iter().all(|n| !n.contains("sbox")), "DES sboxes vectorized: {r:?}");
+        assert!(
+            r.single_actors.iter().all(|n| !n.contains("sbox")),
+            "DES sboxes vectorized: {r:?}"
+        );
     }
 
     /// Macro-SIMDization speeds up the suite on the modelled machine
@@ -169,13 +254,16 @@ mod tests {
             ssched.scale(l / ssched.rep(src));
             let mut vsched = simd.schedule.clone();
             vsched.scale(l / vsched.reps[src.0 as usize]);
-            let a = run_scheduled(&g, &ssched, &machine, 2);
-            let c = run_scheduled(&simd.graph, &vsched, &machine, 2);
+            let a = run_scheduled(&g, &ssched, &machine, 2).unwrap();
+            let c = run_scheduled(&simd.graph, &vsched, &machine, 2).unwrap();
             let speedup = a.total_cycles() as f64 / c.total_cycles() as f64;
             log_sum += speedup.ln();
             n += 1;
         }
         let geomean = (log_sum / n as f64).exp();
-        assert!(geomean > 1.2, "macro-SIMD geomean speedup {geomean:.2}x too small");
+        assert!(
+            geomean > 1.2,
+            "macro-SIMD geomean speedup {geomean:.2}x too small"
+        );
     }
 }

@@ -51,7 +51,10 @@ fn matmul4(name: &str, seed: f32) -> StreamSpec {
             b.for_(c, 4i32, |b| {
                 b.set(acc, 0.0f32);
                 b.for_(k, 4i32, |b| {
-                    b.set(acc, v(acc) + idx(a, v(r) * 4i32 + v(k)) * idx(bmat, v(k) * 4i32 + v(c)));
+                    b.set(
+                        acc,
+                        v(acc) + idx(a, v(r) * 4i32 + v(k)) * idx(bmat, v(k) * 4i32 + v(c)),
+                    );
                 });
                 b.push(v(acc));
             });
@@ -118,7 +121,10 @@ fn block_multiply(name: &str) -> StreamSpec {
             b.for_(c, 4i32, |b| {
                 b.set(acc, 0.0f32);
                 b.for_(k, 4i32, |b| {
-                    b.set(acc, v(acc) + idx(a, v(r) * 4i32 + v(k)) * idx(bb, v(k) * 4i32 + v(c)));
+                    b.set(
+                        acc,
+                        v(acc) + idx(a, v(r) * 4i32 + v(k)) * idx(bb, v(k) * 4i32 + v(c)),
+                    );
                 });
                 b.push(v(acc));
             });

@@ -59,8 +59,16 @@ fn antialias(name: &str) -> StreamSpec {
         b.for_(i, 8i32, |b| {
             b.set(lo, idx(buf, 7i32 - v(i)));
             b.set(hi, idx(buf, 8i32 + v(i)));
-            b.set_idx(buf, 7i32 - v(i), v(lo) * idx(cs, v(i)) - v(hi) * idx(ca, v(i)));
-            b.set_idx(buf, 8i32 + v(i), v(hi) * idx(cs, v(i)) + v(lo) * idx(ca, v(i)));
+            b.set_idx(
+                buf,
+                7i32 - v(i),
+                v(lo) * idx(cs, v(i)) - v(hi) * idx(ca, v(i)),
+            );
+            b.set_idx(
+                buf,
+                8i32 + v(i),
+                v(hi) * idx(cs, v(i)) + v(lo) * idx(ca, v(i)),
+            );
         });
         b.for_(i, 16i32, |b| {
             b.push(idx(buf, v(i)));
@@ -84,7 +92,10 @@ fn imdct(name: &str) -> StreamSpec {
                 b.set_idx(
                     table,
                     v(u) * 16i32 + v(x),
-                    cos(cast(ScalarTy::F32, (v(u) * 2i32 + 1i32) * (v(x) * 2i32 + 1i32)) * 0.0490873852f32),
+                    cos(
+                        cast(ScalarTy::F32, (v(u) * 2i32 + 1i32) * (v(x) * 2i32 + 1i32))
+                            * 0.049_087_387_f32,
+                    ),
                 );
             });
         });
@@ -96,7 +107,10 @@ fn imdct(name: &str) -> StreamSpec {
         b.for_(u, 16i32, |b| {
             b.set(acc, 0.0f32);
             b.for_(x, 16i32, |b| {
-                b.set(acc, v(acc) + idx(input, v(x)) * idx(table, v(u) * 16i32 + v(x)));
+                b.set(
+                    acc,
+                    v(acc) + idx(input, v(x)) * idx(table, v(u) * 16i32 + v(x)),
+                );
             });
             b.push(v(acc) * 0.0625f32);
         });

@@ -30,7 +30,10 @@ fn transform8(name: &str, table_of: impl Fn(E, E) -> E + 'static) -> StreamSpec 
         b.for_(u, 8i32, |b| {
             b.set(acc, 0.0f32);
             b.for_(x, 8i32, |b| {
-                b.set(acc, v(acc) + idx(input, v(x)) * idx(table, v(u) * 8i32 + v(x)));
+                b.set(
+                    acc,
+                    v(acc) + idx(input, v(x)) * idx(table, v(u) * 8i32 + v(x)),
+                );
             });
             b.push(v(acc));
         });
@@ -63,9 +66,13 @@ fn quantize(name: &str) -> StreamSpec {
 pub fn dct() -> Graph {
     StreamSpec::pipeline(vec![
         source_f32("dct_src", 8, 1024, 0.03),
-        transform8("fdct", |u, x| cos((u * (x * 2i32 + 1i32)).into_e_f32() * 0.19634954f32)),
+        transform8("fdct", |u, x| {
+            cos((u * (x * 2i32 + 1i32)).into_e_f32() * 0.19634954f32)
+        }),
         quantize("quant"),
-        transform8("idct", |u, x| cos((x * (u * 2i32 + 1i32)).into_e_f32() * 0.19634954f32) * 0.25f32),
+        transform8("idct", |u, x| {
+            cos((x * (u * 2i32 + 1i32)).into_e_f32() * 0.19634954f32) * 0.25f32
+        }),
         StreamSpec::Sink,
     ])
     .build()
@@ -91,7 +98,8 @@ fn fft_stage(name: &str, span: usize, inverse: bool) -> StreamSpec {
     fb.init(move |b| {
         b.for_(i, 8i32, |b| {
             // Twiddle for position i within its group of 2*span.
-            let ang = cast(ScalarTy::F32, (v(i) % spn) * (8i32 / spn)) * 0.78539816f32;
+            let ang =
+                cast(ScalarTy::F32, (v(i) % spn) * (8i32 / spn)) * std::f32::consts::FRAC_PI_4;
             b.set_idx(wre, v(i), cos(ang.clone()));
             b.set_idx(wim, v(i), sin(ang) * sign);
         });
@@ -105,8 +113,14 @@ fn fft_stage(name: &str, span: usize, inverse: bool) -> StreamSpec {
             // p = lower index of the i-th butterfly, q = p + span.
             b.set(p, (v(i) / spn) * (spn * 2i32) + (v(i) % spn));
             b.set(q, v(p) + spn);
-            b.set(tr, idx(re, v(q)) * idx(wre, v(p) % spn) - idx(im, v(q)) * idx(wim, v(p) % spn));
-            b.set(ti, idx(re, v(q)) * idx(wim, v(p) % spn) + idx(im, v(q)) * idx(wre, v(p) % spn));
+            b.set(
+                tr,
+                idx(re, v(q)) * idx(wre, v(p) % spn) - idx(im, v(q)) * idx(wim, v(p) % spn),
+            );
+            b.set(
+                ti,
+                idx(re, v(q)) * idx(wim, v(p) % spn) + idx(im, v(q)) * idx(wre, v(p) % spn),
+            );
             b.set_idx(re, v(q), idx(re, v(p)) - v(tr));
             b.set_idx(im, v(q), idx(im, v(p)) - v(ti));
             b.set_idx(re, v(p), idx(re, v(p)) + v(tr));
@@ -132,7 +146,10 @@ fn bit_reverse(name: &str) -> StreamSpec {
         });
         b.for_(i, 8i32, |b| {
             // 3-bit reversal of i.
-            b.set(r, ((v(i) & 1i32) << 2i32) | (v(i) & 2i32) | ((v(i) & 4i32) >> 2i32));
+            b.set(
+                r,
+                ((v(i) & 1i32) << 2i32) | (v(i) & 2i32) | ((v(i) & 4i32) >> 2i32),
+            );
             b.push(idx(buf, v(r) * 2i32));
             b.push(idx(buf, v(r) * 2i32 + 1i32));
         });

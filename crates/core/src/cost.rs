@@ -37,7 +37,13 @@ struct CostWalker<'a> {
 /// abstractly; unknown-trip-count loops make the estimate panic — the
 /// vectorizability analysis guarantees the SIMDizer never sees one.
 pub fn static_firing_cost(filter: &Filter, machine: &Machine, addr: AddrCosts) -> u64 {
-    let mut w = CostWalker { filter, machine, env: HashMap::new(), addr, cycles: machine.cost.firing };
+    let mut w = CostWalker {
+        filter,
+        machine,
+        env: HashMap::new(),
+        addr,
+        cycles: machine.cost.firing,
+    };
     w.block(&filter.work);
     w.cycles
 }
@@ -69,7 +75,11 @@ impl<'a> CostWalker<'a> {
                     LValue::Index(v, i) => {
                         self.expr(i);
                         self.env.remove(v);
-                        self.cycles += if self.is_vec_var(*v) { c.vstore } else { c.store };
+                        self.cycles += if self.is_vec_var(*v) {
+                            c.vstore
+                        } else {
+                            c.store
+                        };
                     }
                     LValue::VIndex(v, i, _) => {
                         self.expr(i);
@@ -120,7 +130,11 @@ impl<'a> CostWalker<'a> {
                 }
                 self.env.remove(var);
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.expr(cond);
                 self.cycles += c.alu;
                 match self.const_eval(cond) {
@@ -186,7 +200,12 @@ impl<'a> CostWalker<'a> {
                 vec
             }
             Expr::Call(i, args) => {
-                let vec = args.iter().fold(false, |acc, a| self.expr(a) || acc);
+                // Not `any()`: every argument must be walked so its
+                // cycles are charged, even after a vector one is seen.
+                let mut vec = false;
+                for a in args {
+                    vec |= self.expr(a);
+                }
                 self.cycles += if vec {
                     self.machine.vector_intrinsic_cost(*i)
                 } else {
@@ -244,9 +263,11 @@ impl<'a> CostWalker<'a> {
             Expr::Const(v) => Some(*v),
             Expr::Var(v) => self.env.get(v).copied(),
             Expr::Unary(op, a) => Some(macross_streamir::expr::eval_unop(*op, self.const_eval(a)?)),
-            Expr::Binary(op, a, b) => {
-                Some(macross_streamir::expr::eval_binop(*op, self.const_eval(a)?, self.const_eval(b)?))
-            }
+            Expr::Binary(op, a, b) => Some(macross_streamir::expr::eval_binop(
+                *op,
+                self.const_eval(a)?,
+                self.const_eval(b)?,
+            )),
             Expr::Cast(t, a) => Some(self.const_eval(a)?.cast(*t)),
             _ => None,
         }
@@ -320,7 +341,14 @@ mod tests {
         let filter = f.build();
         let machine = Machine::core_i7();
         let base = static_firing_cost(&filter, &machine, AddrCosts::default());
-        let reordered = static_firing_cost(&filter, &machine, AddrCosts { input: 6, output: 6 });
+        let reordered = static_firing_cost(
+            &filter,
+            &machine,
+            AddrCosts {
+                input: 6,
+                output: 6,
+            },
+        );
         assert_eq!(reordered, base + 12);
     }
 

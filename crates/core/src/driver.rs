@@ -76,7 +76,10 @@ impl SimdizeOptions {
     /// Everything except the SAGU/reorder tape optimization (the Figure 12
     /// baseline).
     pub fn no_reorder() -> SimdizeOptions {
-        SimdizeOptions { reorder_opt: false, ..SimdizeOptions::default() }
+        SimdizeOptions {
+            reorder_opt: false,
+            ..SimdizeOptions::default()
+        }
     }
 }
 
@@ -123,7 +126,9 @@ pub struct Simdized {
 
 /// Is this filter eligible for single/vertical SIMDization on `machine`?
 fn eligible(graph: &Graph, id: NodeId, machine: &Machine) -> bool {
-    let Some(f) = graph.node(id).as_filter() else { return false };
+    let Some(f) = graph.node(id).as_filter() else {
+        return false;
+    };
     let va = analyze_vectorizability(f);
     va.simdizable() && machine.supports_all(&va.intrinsics)
 }
@@ -133,7 +138,11 @@ fn eligible(graph: &Graph, id: NodeId, machine: &Machine) -> bool {
 /// # Errors
 /// Fails if the graph is invalid, any filter's declared rates disagree
 /// with its body, or an internal transform self-check fails.
-pub fn macro_simdize(graph: &Graph, machine: &Machine, opts: &SimdizeOptions) -> Result<Simdized, SimdizeError> {
+pub fn macro_simdize(
+    graph: &Graph,
+    machine: &Machine,
+    opts: &SimdizeOptions,
+) -> Result<Simdized, SimdizeError> {
     let colors = vec![0u32; graph.node_count()];
     macro_simdize_colocated(graph, machine, opts, &colors).map(|(s, _)| s)
 }
@@ -160,16 +169,20 @@ pub fn macro_simdize_colocated(
 ) -> Result<(Simdized, Vec<u32>), SimdizeError> {
     assert_eq!(colors.len(), graph.node_count(), "one color per node");
     let mut colors: Vec<u32> = colors.to_vec();
-    graph.validate().map_err(|e| SimdizeError::Graph(e.to_string()))?;
+    graph
+        .validate()
+        .map_err(|e| SimdizeError::Graph(e.to_string()))?;
     for (_, node) in graph.nodes() {
         if let Node::Filter(f) = node {
             check_rates(f).map_err(|e| SimdizeError::RateCheck(e.to_string()))?;
         }
     }
     let sw = machine.simd_width;
-    let mut report = SimdizeReport { scale_factor: 1, ..Default::default() };
+    let mut report = SimdizeReport {
+        scale_factor: 1,
+        ..Default::default()
+    };
     let mut g = graph.clone();
-
 
     // --- Horizontal SIMDization of eligible split-joins. Done before
     // vertical so isomorphic branches are not partially fused away; the
@@ -195,13 +208,20 @@ pub fn macro_simdize_colocated(
                 }
                 // Co-location: all branch actors must share a color.
                 let group_color = colors[cand.splitter.0 as usize];
-                if cand.branches.iter().flatten().any(|id| colors[id.0 as usize] != group_color) {
+                if cand
+                    .branches
+                    .iter()
+                    .flatten()
+                    .any(|id| colors[id.0 as usize] != group_color)
+                {
                     continue;
                 }
                 match horizontalize(&g, &cand, sw) {
                     Ok(h) => {
                         let added = 2 + h.merged_names.iter().map(|r| r.len()).sum::<usize>();
-                        report.horizontal_groups.push(h.merged_names.into_iter().flatten().collect());
+                        report
+                            .horizontal_groups
+                            .push(h.merged_names.into_iter().flatten().collect());
                         let mut new_colors = vec![0u32; h.graph.node_count()];
                         for (old, new) in h.node_map.iter().enumerate() {
                             if let Some(n) = new {
@@ -238,7 +258,9 @@ pub fn macro_simdize_colocated(
     if opts.vertical {
         loop {
             let sched = Schedule::compute(&g)?;
-            let order = g.topo_order().map_err(|e| SimdizeError::Graph(e.to_string()))?;
+            let order = g
+                .topo_order()
+                .map_err(|e| SimdizeError::Graph(e.to_string()))?;
             let mut taken: HashSet<NodeId> = HashSet::new();
             let mut chain: Option<Vec<NodeId>> = None;
             'outer: for &id in &order {
@@ -313,9 +335,19 @@ pub fn macro_simdize_colocated(
     // --- Tape-mode selection and profitability per actor.
     let mut plans: Vec<(NodeId, SingleActorConfig)> = Vec::new();
     for &id in &selected {
-        let f = g.node(id).as_filter().expect("selected actors are filters").clone();
-        let in_elem = g.single_in_edge(id).map(|e| g.edge(e).elem).unwrap_or(ScalarTy::F32);
-        let out_elem = g.single_out_edge(id).map(|e| g.edge(e).elem).unwrap_or(ScalarTy::F32);
+        let f = g
+            .node(id)
+            .as_filter()
+            .expect("selected actors are filters")
+            .clone();
+        let in_elem = g
+            .single_in_edge(id)
+            .map(|e| g.edge(e).elem)
+            .unwrap_or(ScalarTy::F32);
+        let out_elem = g
+            .single_out_edge(id)
+            .map(|e| g.edge(e).elem)
+            .unwrap_or(ScalarTy::F32);
         let peeking = f.peek > f.pop || uses_peek(&f);
 
         let mut input_modes = vec![TapeMode::Strided];
@@ -337,12 +369,24 @@ pub fn macro_simdize_colocated(
             }
         }
 
-        let addr_unit = if machine.has_sagu { machine.cost.sagu_access } else { machine.cost.addr_software_reorder };
+        let addr_unit = if machine.has_sagu {
+            machine.cost.sagu_access
+        } else {
+            machine.cost.addr_software_reorder
+        };
         let mut best: Option<(u64, SingleActorConfig)> = None;
         for &im in &input_modes {
             for &om in &output_modes {
-                let cfg = SingleActorConfig { sw, input: im, output: om, in_elem, out_elem };
-                let Ok(vf) = simdize_single_actor(&f, &cfg) else { continue };
+                let cfg = SingleActorConfig {
+                    sw,
+                    input: im,
+                    output: om,
+                    in_elem,
+                    out_elem,
+                };
+                let Ok(vf) = simdize_single_actor(&f, &cfg) else {
+                    continue;
+                };
                 let mut cost = static_firing_cost(&vf, machine, AddrCosts::default());
                 // Charge the neighbour's extra address generation.
                 if im == TapeMode::VectorReorder {
@@ -387,28 +431,49 @@ pub fn macro_simdize_colocated(
     for (id, cfg) in &plans {
         let f = g.node(*id).as_filter().expect("filter").clone();
         let vf = simdize_single_actor(&f, cfg)?;
-        report.tape_decisions.push(TapeDecision { actor: vf.name.clone(), input: cfg.input, output: cfg.output });
+        report.tape_decisions.push(TapeDecision {
+            actor: vf.name.clone(),
+            input: cfg.input,
+            output: cfg.output,
+        });
         report.single_actors.push(vf.name.clone());
         g.replace_node(*id, Node::Filter(vf));
         let r = &mut schedule.reps[id.0 as usize];
-        debug_assert_eq!(*r % sw as u64, 0, "Equation 1 must make reps divisible by SW");
+        debug_assert_eq!(
+            *r % sw as u64,
+            0,
+            "Equation 1 must make reps divisible by SW"
+        );
         *r /= sw as u64;
 
-        let addr_gen = if machine.has_sagu { AddrGen::Sagu } else { AddrGen::Software };
+        let addr_gen = if machine.has_sagu {
+            AddrGen::Sagu
+        } else {
+            AddrGen::Software
+        };
         if cfg.input == TapeMode::VectorReorder {
             let e = g.single_in_edge(*id).expect("input edge");
-            g.edge_mut(e).reorder =
-                Some(Reorder { rate: f.pop, sw, side: ReorderSide::Producer, addr_gen });
+            g.edge_mut(e).reorder = Some(Reorder {
+                rate: f.pop,
+                sw,
+                side: ReorderSide::Producer,
+                addr_gen,
+            });
         }
         if cfg.output == TapeMode::VectorReorder {
             let e = g.single_out_edge(*id).expect("output edge");
-            g.edge_mut(e).reorder =
-                Some(Reorder { rate: f.push, sw, side: ReorderSide::Consumer, addr_gen });
+            g.edge_mut(e).reorder = Some(Reorder {
+                rate: f.push,
+                sw,
+                side: ReorderSide::Consumer,
+                addr_gen,
+            });
         }
     }
 
     // --- Final validation and init-schedule refresh.
-    g.validate().map_err(|e| SimdizeError::Graph(e.to_string()))?;
+    g.validate()
+        .map_err(|e| SimdizeError::Graph(e.to_string()))?;
     schedule.init_reps = compute_init_reps(&g, &schedule.order);
     debug_assert!(
         g.edges().all(|(_, e)| {
@@ -418,16 +483,129 @@ pub fn macro_simdize_colocated(
         }),
         "adjusted schedule must still balance every tape"
     );
-    Ok((Simdized { graph: g, schedule, report }, colors))
+    Ok((
+        Simdized {
+            graph: g,
+            schedule,
+            report,
+        },
+        colors,
+    ))
+}
+
+/// Error from [`run_threaded`]: SIMDization or threaded execution failed.
+#[derive(Debug)]
+pub enum ThreadedError {
+    /// Macro-SIMDization rejected the graph.
+    Simdize(SimdizeError),
+    /// The threaded runtime failed.
+    Runtime(macross_runtime::RuntimeError),
+}
+
+impl std::fmt::Display for ThreadedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThreadedError::Simdize(e) => write!(f, "simdize: {e}"),
+            ThreadedError::Runtime(e) => write!(f, "runtime: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ThreadedError {}
+
+impl From<SimdizeError> for ThreadedError {
+    fn from(e: SimdizeError) -> Self {
+        ThreadedError::Simdize(e)
+    }
+}
+
+impl From<macross_runtime::RuntimeError> for ThreadedError {
+    fn from(e: macross_runtime::RuntimeError) -> Self {
+        ThreadedError::Runtime(e)
+    }
+}
+
+/// Greedy LPT placement over statically modelled per-node steady-state
+/// work: `reps * firing_cost`, where a filter's firing cost comes from the
+/// static cost model and a switch node's from the elements it moves.
+fn lpt_placement(graph: &Graph, schedule: &Schedule, machine: &Machine, cores: usize) -> Vec<u32> {
+    let weights: Vec<u64> = graph
+        .node_ids()
+        .map(|id| {
+            let per_firing = match graph.node(id) {
+                Node::Filter(f) => static_firing_cost(f, machine, AddrCosts::default()),
+                node => {
+                    let moved: u64 = graph
+                        .edges()
+                        .map(|(_, e)| {
+                            let mut m = 0u64;
+                            if e.src == id {
+                                m += node.push_rate(e.src_port) as u64;
+                            }
+                            if e.dst == id {
+                                m += node.pop_rate(e.dst_port) as u64;
+                            }
+                            m
+                        })
+                        .sum();
+                    machine.cost.firing + moved
+                }
+            };
+            schedule.reps[id.0 as usize] * per_firing
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
+    let mut load = vec![0u64; cores.max(1)];
+    let mut assign = vec![0u32; weights.len()];
+    for i in order {
+        let core = (0..load.len()).min_by_key(|&c| load[c]).unwrap();
+        load[core] += weights[i];
+        assign[i] = core as u32;
+    }
+    assign
+}
+
+/// One-call convenience: macro-SIMDize `graph`, place the transformed
+/// actors on `cores` worker threads with a greedy LPT over the static
+/// cost model, and execute `iters` steady iterations on the threaded
+/// runtime ([`macross_runtime::run_threaded`]).
+///
+/// The sink output is bit-identical to `run_scheduled` on the SIMDized
+/// graph (and therefore, by the differential guarantee, to the scalar
+/// graph at aligned throughput).
+///
+/// # Errors
+/// Fails if SIMDization rejects the graph or the threaded run fails.
+pub fn run_threaded(
+    graph: &Graph,
+    machine: &Machine,
+    opts: &SimdizeOptions,
+    cores: usize,
+    iters: u64,
+) -> Result<(macross_runtime::ThreadedRun, Simdized), ThreadedError> {
+    let simd = macro_simdize(graph, machine, opts)?;
+    let assignment = lpt_placement(&simd.graph, &simd.schedule, machine, cores);
+    let run =
+        macross_runtime::run_threaded(&simd.graph, &simd.schedule, machine, &assignment, iters)?;
+    Ok((run, simd))
 }
 
 /// True if the neighbour on the given side is a scalar consumer/producer
 /// that can absorb reordered accesses: a sink, splitter, joiner, or a
 /// filter that will *not* itself be vectorized.
 fn scalar_neighbor(g: &Graph, id: NodeId, input_side: bool, selected: &[NodeId]) -> bool {
-    let edge = if input_side { g.single_in_edge(id) } else { g.single_out_edge(id) };
+    let edge = if input_side {
+        g.single_in_edge(id)
+    } else {
+        g.single_out_edge(id)
+    };
     let Some(e) = edge else { return false };
-    let other = if input_side { g.edge(e).src } else { g.edge(e).dst };
+    let other = if input_side {
+        g.edge(e).src
+    } else {
+        g.edge(e).dst
+    };
     if g.edge(e).reorder.is_some() || g.edge(e).width != 1 {
         return false;
     }
@@ -450,7 +628,11 @@ fn scalar_neighbor(g: &Graph, id: NodeId, input_side: bool, selected: &[NodeId])
                 let mut has_rpush = false;
                 for s in &f.work {
                     s.walk(&mut |s| {
-                        if matches!(s, macross_streamir::stmt::Stmt::RPush { .. } | macross_streamir::stmt::Stmt::VPush { .. }) {
+                        if matches!(
+                            s,
+                            macross_streamir::stmt::Stmt::RPush { .. }
+                                | macross_streamir::stmt::Stmt::VPush { .. }
+                        ) {
                             has_rpush = true;
                         }
                     });
@@ -477,7 +659,10 @@ mod tests {
         let n = src.state("n", Ty::Scalar(ScalarTy::F32));
         src.work(|b| {
             b.push(v(n) * 0.5f32);
-            b.set(n, cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 777i32));
+            b.set(
+                n,
+                cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 777i32),
+            );
         });
         src.build_spec()
     }
@@ -497,7 +682,12 @@ mod tests {
 
     /// Run scalar and SIMDized versions over aligned schedules; check
     /// bit-exact outputs and return (scalar, simd) results.
-    pub(crate) fn differential(graph: &Graph, machine: &Machine, opts: &SimdizeOptions, iters: u64) -> (RunResult, RunResult, SimdizeReport) {
+    pub(crate) fn differential(
+        graph: &Graph,
+        machine: &Machine,
+        opts: &SimdizeOptions,
+        iters: u64,
+    ) -> (RunResult, RunResult, SimdizeReport) {
         let simd = macro_simdize(graph, machine, opts).unwrap();
         let mut ssched = Schedule::compute(graph).unwrap();
         // Align throughput on the first source (node with no inputs).
@@ -511,8 +701,8 @@ mod tests {
         ssched.scale(l / a_rep);
         let mut vsched = simd.schedule.clone();
         vsched.scale(l / b_rep);
-        let a = run_scheduled(graph, &ssched, machine, iters);
-        let b = run_scheduled(&simd.graph, &vsched, machine, iters);
+        let a = run_scheduled(graph, &ssched, machine, iters).unwrap();
+        let b = run_scheduled(&simd.graph, &vsched, machine, iters).unwrap();
         assert_eq!(a.output.len(), b.output.len(), "throughput mismatch");
         assert!(!a.output.is_empty());
         for (i, (x, y)) in a.output.iter().zip(&b.output).enumerate() {
@@ -536,7 +726,12 @@ mod tests {
         let (a, b, report) = differential(&g, &machine, &SimdizeOptions::all(), 8);
         assert_eq!(report.vertical_chains.len(), 1);
         assert_eq!(report.vertical_chains[0], vec!["f1", "f2", "f3"]);
-        assert!(b.total_cycles() < a.total_cycles(), "simd {} vs scalar {}", b.total_cycles(), a.total_cycles());
+        assert!(
+            b.total_cycles() < a.total_cycles(),
+            "simd {} vs scalar {}",
+            b.total_cycles(),
+            a.total_cycles()
+        );
     }
 
     #[test]
@@ -674,15 +869,40 @@ mod tests {
         down.work(|b| {
             b.push(pop() + pop() + pop());
         });
-        let g = StreamSpec::pipeline(vec![f32_source("src"), up.build_spec(), down.build_spec(), StreamSpec::Sink])
-            .build()
-            .unwrap();
+        let g = StreamSpec::pipeline(vec![
+            f32_source("src"),
+            up.build_spec(),
+            down.build_spec(),
+            StreamSpec::Sink,
+        ])
+        .build()
+        .unwrap();
         let machine = Machine::core_i7();
         let simd = macro_simdize(&g, &machine, &SimdizeOptions::all()).unwrap();
         // up and down fuse into 1up_1down? reps: src 2, up 1, down 1. After
         // fusion rep 1 -> M = 4.
         assert_eq!(simd.report.scale_factor, 4);
         let _ = Value::I32(0);
+    }
+
+    #[test]
+    fn run_threaded_matches_interpreter() {
+        let g = StreamSpec::pipeline(vec![
+            f32_source("src"),
+            scale_filter("f1", 2.0),
+            scale_filter("f2", 3.0),
+            StreamSpec::Sink,
+        ])
+        .build()
+        .unwrap();
+        let machine = Machine::core_i7();
+        let (thr, simd) = run_threaded(&g, &machine, &SimdizeOptions::all(), 2, 5).unwrap();
+        let seq = run_scheduled(&simd.graph, &simd.schedule, &machine, 5).unwrap();
+        assert_eq!(thr.output.len(), seq.output.len());
+        for (a, b) in seq.output.iter().zip(&thr.output) {
+            assert!(a.bits_eq(*b), "threaded output diverged: {a:?} vs {b:?}");
+        }
+        assert_eq!(thr.report.cores, 2);
     }
 
     #[test]

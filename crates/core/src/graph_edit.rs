@@ -43,7 +43,11 @@ pub fn rebuild_without(old: &Graph, remove: &HashSet<NodeId>) -> Rebuilt {
             _ => dropped_edges.push(e.clone()),
         }
     }
-    Rebuilt { graph, node_map, dropped_edges }
+    Rebuilt {
+        graph,
+        node_map,
+        dropped_edges,
+    }
 }
 
 #[cfg(test)]

@@ -86,7 +86,11 @@ pub fn find_split_joins(graph: &Graph) -> Vec<SplitJoinCandidate> {
             branches.push(chain);
         }
         if ok && branches.len() >= 2 && branches.iter().all(|b| b.len() == branches[0].len()) {
-            out.push(SplitJoinCandidate { splitter: id, joiner: joiner.expect("joiner found"), branches });
+            out.push(SplitJoinCandidate {
+                splitter: id,
+                joiner: joiner.expect("joiner found"),
+                branches,
+            });
         }
     }
     out
@@ -101,15 +105,27 @@ pub fn find_split_joins(graph: &Graph) -> Vec<SplitJoinCandidate> {
 pub fn merge_isomorphic(actors: &[&Filter], sw: usize) -> Result<Filter, SimdizeError> {
     assert_eq!(actors.len(), sw, "merge needs exactly SW actors");
     let first = actors[0];
-    let err = |reason: String| SimdizeError::NotVectorizable { actor: first.name.clone(), reason };
+    let err = |reason: String| SimdizeError::NotVectorizable {
+        actor: first.name.clone(),
+        reason,
+    };
     for a in actors {
         if (a.pop, a.push, a.peek) != (first.pop, first.push, first.peek) {
-            return Err(err(format!("rates differ between {} and {}", first.name, a.name)));
+            return Err(err(format!(
+                "rates differ between {} and {}",
+                first.name, a.name
+            )));
         }
         if a.vars.len() != first.vars.len()
-            || a.vars.iter().zip(&first.vars).any(|(x, y)| x.ty != y.ty || x.kind != y.kind)
+            || a.vars
+                .iter()
+                .zip(&first.vars)
+                .any(|(x, y)| x.ty != y.ty || x.kind != y.kind)
         {
-            return Err(err(format!("variable declarations differ between {} and {}", first.name, a.name)));
+            return Err(err(format!(
+                "variable declarations differ between {} and {}",
+                first.name, a.name
+            )));
         }
         if !a.chans.is_empty() {
             return Err(err(format!("{} has internal channels", a.name)));
@@ -129,7 +145,9 @@ fn merge_blocks(blocks: &[&[Stmt]]) -> Result<Vec<Stmt>, String> {
     if blocks.iter().any(|b| b.len() != n) {
         return Err("statement counts differ".into());
     }
-    (0..n).map(|i| merge_stmts(&blocks.iter().map(|b| &b[i]).collect::<Vec<_>>())).collect()
+    (0..n)
+        .map(|i| merge_stmts(&blocks.iter().map(|b| &b[i]).collect::<Vec<_>>()))
+        .collect()
 }
 
 fn merge_stmts(ss: &[&Stmt]) -> Result<Stmt, String> {
@@ -161,7 +179,9 @@ fn merge_stmts(ss: &[&Stmt]) -> Result<Stmt, String> {
             })?;
             Ok(Push(merge_exprs(&es)?))
         }
-        LPush(_, _) | LVPush(_, _, _) | VPush { .. } | RPush { .. } => Err("vector/channel ops in horizontal input".into()),
+        LPush(_, _) | LVPush(_, _, _) | VPush { .. } | RPush { .. } => {
+            Err("vector/channel ops in horizontal input".into())
+        }
         For { var, count, body } => {
             let counts = collect(ss, |s| match s {
                 For { var: v2, count, .. } if v2 == var => Some(count),
@@ -173,7 +193,11 @@ fn merge_stmts(ss: &[&Stmt]) -> Result<Stmt, String> {
                 _ => None,
             })?;
             let _ = (count, body);
-            Ok(For { var: *var, count: count2, body: merge_blocks(&bodies)? })
+            Ok(For {
+                var: *var,
+                count: count2,
+                body: merge_blocks(&bodies)?,
+            })
         }
         If { .. } => {
             let conds = collect(ss, |s| match s {
@@ -215,7 +239,9 @@ fn collect<'a, T: ?Sized>(
     ss: &[&'a Stmt],
     f: impl Fn(&'a Stmt) -> Option<&'a T>,
 ) -> Result<Vec<&'a T>, String> {
-    ss.iter().map(|s| f(s).ok_or_else(|| "statement kinds differ".to_string())).collect()
+    ss.iter()
+        .map(|s| f(s).ok_or_else(|| "statement kinds differ".to_string()))
+        .collect()
 }
 
 fn merge_lvalues(lvs: &[&LValue]) -> Result<LValue, String> {
@@ -360,33 +386,23 @@ fn check_uniform_control(f: &Filter) -> Result<(), SimdizeError> {
     let mut visit = |stmts: &[Stmt]| {
         for s in stmts {
             s.walk(&mut |s| match s {
-                Stmt::For { count, .. } => {
-                    if expr_vecish(count, &vec) {
-                        bad = Some(format!("divergent loop bound: {count}"));
-                    }
+                Stmt::For { count, .. } if expr_vecish(count, &vec) => {
+                    bad = Some(format!("divergent loop bound: {count}"));
                 }
-                Stmt::If { cond, .. } => {
-                    if expr_vecish(cond, &vec) {
-                        bad = Some(format!("divergent branch condition: {cond}"));
-                    }
+                Stmt::If { cond, .. } if expr_vecish(cond, &vec) => {
+                    bad = Some(format!("divergent branch condition: {cond}"));
                 }
-                Stmt::Assign(LValue::Index(_, i), _) => {
-                    if expr_vecish(i, &vec) {
-                        bad = Some(format!("divergent subscript: {i}"));
-                    }
+                Stmt::Assign(LValue::Index(_, i), _) if expr_vecish(i, &vec) => {
+                    bad = Some(format!("divergent subscript: {i}"));
                 }
                 _ => {}
             });
             s.walk_exprs(&mut |e| match e {
-                Expr::Index(_, i) => {
-                    if expr_vecish(i, &vec) {
-                        bad = Some(format!("divergent subscript: {i}"));
-                    }
+                Expr::Index(_, i) if expr_vecish(i, &vec) => {
+                    bad = Some(format!("divergent subscript: {i}"));
                 }
-                Expr::Peek(o) => {
-                    if expr_vecish(o, &vec) {
-                        bad = Some(format!("divergent peek offset: {o}"));
-                    }
+                Expr::Peek(o) if expr_vecish(o, &vec) => {
+                    bad = Some(format!("divergent peek offset: {o}"));
                 }
                 _ => {}
             });
@@ -395,7 +411,10 @@ fn check_uniform_control(f: &Filter) -> Result<(), SimdizeError> {
     visit(&f.init);
     visit(&f.work);
     match bad {
-        Some(reason) => Err(SimdizeError::NotVectorizable { actor: f.name.clone(), reason }),
+        Some(reason) => Err(SimdizeError::NotVectorizable {
+            actor: f.name.clone(),
+            reason,
+        }),
         None => Ok(()),
     }
 }
@@ -417,9 +436,13 @@ pub struct Horizontalized {
 /// Fails when the branch count is not a multiple of `sw`, splitter/joiner
 /// weights are non-uniform, any level's actors are not isomorphic, or the
 /// merged template has divergent control flow.
-pub fn horizontalize(graph: &Graph, cand: &SplitJoinCandidate, sw: usize) -> Result<Horizontalized, SimdizeError> {
+pub fn horizontalize(
+    graph: &Graph,
+    cand: &SplitJoinCandidate,
+    sw: usize,
+) -> Result<Horizontalized, SimdizeError> {
     let n = cand.branches.len();
-    if n % sw != 0 {
+    if !n.is_multiple_of(sw) {
         return Err(SimdizeError::Graph(format!(
             "split-join has {n} branches, not a multiple of SIMD width {sw}"
         )));
@@ -427,16 +450,26 @@ pub fn horizontalize(graph: &Graph, cand: &SplitJoinCandidate, sw: usize) -> Res
     let groups = n / sw;
     let split_kind = match graph.node(cand.splitter) {
         Node::Splitter(k) => k.clone(),
-        _ => return Err(SimdizeError::Graph("candidate splitter is not a splitter".into())),
+        _ => {
+            return Err(SimdizeError::Graph(
+                "candidate splitter is not a splitter".into(),
+            ))
+        }
     };
     if let SplitKind::RoundRobin(w) = &split_kind {
         if w.iter().any(|&x| x != w[0]) {
-            return Err(SimdizeError::Graph("splitter weights are not uniform".into()));
+            return Err(SimdizeError::Graph(
+                "splitter weights are not uniform".into(),
+            ));
         }
     }
     let join_weights = match graph.node(cand.joiner) {
         Node::Joiner(w) => w.clone(),
-        _ => return Err(SimdizeError::Graph("candidate joiner is not a joiner".into())),
+        _ => {
+            return Err(SimdizeError::Graph(
+                "candidate joiner is not a joiner".into(),
+            ))
+        }
     };
     if join_weights.iter().any(|&x| x != join_weights[0]) {
         return Err(SimdizeError::Graph("joiner weights are not uniform".into()));
@@ -465,11 +498,20 @@ pub fn horizontalize(graph: &Graph, cand: &SplitJoinCandidate, sw: usize) -> Res
         let mut names = Vec::with_capacity(groups);
         for g in 0..groups {
             let actors: Vec<&Filter> = (0..sw)
-                .map(|j| graph.node(cand.branches[g * sw + j][l]).as_filter().expect("filter"))
+                .map(|j| {
+                    graph
+                        .node(cand.branches[g * sw + j][l])
+                        .as_filter()
+                        .expect("filter")
+                })
                 .collect();
             let mut m = merge_isomorphic(&actors, sw)?;
             check_uniform_control(&m)?;
-            let out_elem = if l + 1 < levels { elem_in[l + 1] } else { elem_out_last };
+            let out_elem = if l + 1 < levels {
+                elem_in[l + 1]
+            } else {
+                elem_out_last
+            };
             let cfg = SingleActorConfig {
                 sw,
                 input: TapeMode::Vector,
@@ -493,20 +535,37 @@ pub fn horizontalize(graph: &Graph, cand: &SplitJoinCandidate, sw: usize) -> Res
         remove.extend(b.iter().copied());
     }
     let mut r = rebuild_without(graph, &remove);
-    let hsplit = r.graph.add_node(Node::HSplitter { kind: split_kind, width: sw });
-    let hjoin = r.graph.add_node(Node::HJoiner { weights: join_weights, width: sw });
+    let hsplit = r.graph.add_node(Node::HSplitter {
+        kind: split_kind,
+        width: sw,
+    });
+    let hjoin = r.graph.add_node(Node::HJoiner {
+        weights: join_weights,
+        width: sw,
+    });
     let mut level_ids: Vec<Vec<NodeId>> = Vec::with_capacity(levels);
     for row in merged {
-        level_ids.push(row.into_iter().map(|f| r.graph.add_node(Node::Filter(f))).collect());
+        level_ids.push(
+            row.into_iter()
+                .map(|f| r.graph.add_node(Node::Filter(f)))
+                .collect(),
+        );
     }
+    // `g` is simultaneously the splitter/joiner port number and the
+    // branch index, so a plain range reads better than enumerate().
+    #[allow(clippy::needless_range_loop)]
     for g in 0..groups {
         let e0 = r.graph.connect(hsplit, g, level_ids[0][g], 0, elem_in[0]);
         r.graph.edge_mut(e0).width = sw;
         for l in 0..levels - 1 {
-            let e = r.graph.connect(level_ids[l][g], 0, level_ids[l + 1][g], 0, elem_in[l + 1]);
+            let e = r
+                .graph
+                .connect(level_ids[l][g], 0, level_ids[l + 1][g], 0, elem_in[l + 1]);
             r.graph.edge_mut(e).width = sw;
         }
-        let el = r.graph.connect(level_ids[levels - 1][g], 0, hjoin, g, elem_out_last);
+        let el = r
+            .graph
+            .connect(level_ids[levels - 1][g], 0, hjoin, g, elem_out_last);
         r.graph.edge_mut(el).width = sw;
     }
     // Reconnect external edges.
@@ -521,7 +580,11 @@ pub fn horizontalize(graph: &Graph, cand: &SplitJoinCandidate, sw: usize) -> Res
             }
         }
     }
-    Ok(Horizontalized { graph: r.graph, node_map: r.node_map, merged_names })
+    Ok(Horizontalized {
+        graph: r.graph,
+        node_map: r.node_map,
+        merged_names,
+    })
 }
 
 #[cfg(test)]
@@ -578,7 +641,10 @@ mod tests {
         let n = src.state("n", Ty::Scalar(ScalarTy::F32));
         src.work(|b| {
             b.push(v(n) * 0.25f32);
-            b.set(n, cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 256i32));
+            b.set(
+                n,
+                cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 256i32),
+            );
         });
         let branches = (0..4)
             .map(|k| {
@@ -619,7 +685,10 @@ mod tests {
         let b3 = actor_b(8.0);
         let m = merge_isomorphic(&[&b0, &b1, &b2, &b3], 4).unwrap();
         let text = m.work.iter().map(|s| s.to_string()).collect::<String>();
-        assert!(text.contains("{5.0f, 6.0f, 7.0f, 8.0f}"), "merged constants:\n{text}");
+        assert!(
+            text.contains("{5.0f, 6.0f, 7.0f, 8.0f}"),
+            "merged constants:\n{text}"
+        );
     }
 
     #[test]
@@ -650,8 +719,8 @@ mod tests {
         s2.scale(l / s2.reps[0]);
 
         let machine = Machine::core_i7();
-        let a = run_scheduled(&g, &s1, &machine, 6);
-        let b = run_scheduled(&h.graph, &s2, &machine, 6);
+        let a = run_scheduled(&g, &s1, &machine, 6).unwrap();
+        let b = run_scheduled(&h.graph, &s2, &machine, 6).unwrap();
         assert_eq!(a.output.len(), b.output.len());
         assert!(!a.output.is_empty());
         for (i, (x, y)) in a.output.iter().zip(&b.output).enumerate() {
@@ -659,7 +728,12 @@ mod tests {
         }
         // Stateful C actors were vectorized; the horizontal version must be
         // faster and shift scalar memory traffic to vector accesses.
-        assert!(b.total_cycles() < a.total_cycles(), "horizontal {} vs scalar {}", b.total_cycles(), a.total_cycles());
+        assert!(
+            b.total_cycles() < a.total_cycles(),
+            "horizontal {} vs scalar {}",
+            b.total_cycles(),
+            a.total_cycles()
+        );
         assert!(b.counters.mem_vector > 0);
         assert!(b.counters.mem_scalar < a.counters.mem_scalar);
     }
@@ -668,7 +742,10 @@ mod tests {
     fn branch_count_must_be_multiple_of_width() {
         let g = figure6_graph();
         let cand = find_split_joins(&g).remove(0);
-        assert!(matches!(horizontalize(&g, &cand, 8), Err(SimdizeError::Graph(_))));
+        assert!(matches!(
+            horizontalize(&g, &cand, 8),
+            Err(SimdizeError::Graph(_))
+        ));
     }
 
     #[test]
@@ -677,7 +754,10 @@ mod tests {
         let n = src.state("n", Ty::Scalar(ScalarTy::F32));
         src.work(|b| {
             b.push(v(n));
-            b.set(n, cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 64i32));
+            b.set(
+                n,
+                cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 64i32),
+            );
         });
         let mk = |gain: f32| {
             let mut fb = FilterBuilder::new("amp", 1, 1, 1, ScalarTy::F32);
@@ -698,8 +778,8 @@ mod tests {
         let sched = Schedule::compute(&g).unwrap();
         let hsched = Schedule::compute(&h.graph).unwrap();
         let machine = Machine::core_i7();
-        let a = run_scheduled(&g, &sched, &machine, 8);
-        let b = run_scheduled(&h.graph, &hsched, &machine, 8);
+        let a = run_scheduled(&g, &sched, &machine, 8).unwrap();
+        let b = run_scheduled(&h.graph, &hsched, &machine, 8).unwrap();
         assert_eq!(a.output, b.output);
     }
 
@@ -710,7 +790,10 @@ mod tests {
         src.work(|b| {
             for _ in 0..8 {
                 b.push(v(n));
-                b.set(n, cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 128i32));
+                b.set(
+                    n,
+                    cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 128i32),
+                );
             }
         });
         let mk = |ofs: f32| {
@@ -734,8 +817,8 @@ mod tests {
         let sched = Schedule::compute(&g).unwrap();
         let hsched = Schedule::compute(&h.graph).unwrap();
         let machine = Machine::core_i7();
-        let a = run_scheduled(&g, &sched, &machine, 5);
-        let b = run_scheduled(&h.graph, &hsched, &machine, 5);
+        let a = run_scheduled(&g, &sched, &machine, 5).unwrap();
+        let b = run_scheduled(&h.graph, &hsched, &machine, 5).unwrap();
         assert_eq!(a.output, b.output);
     }
 }

@@ -65,6 +65,9 @@ pub mod permnet;
 pub mod single;
 pub mod vertical;
 
-pub use driver::{macro_simdize, macro_simdize_colocated, Simdized, SimdizeOptions, SimdizeReport, TapeDecision};
+pub use driver::{
+    macro_simdize, macro_simdize_colocated, run_threaded, SimdizeOptions, SimdizeReport, Simdized,
+    TapeDecision, ThreadedError,
+};
 pub use error::SimdizeError;
 pub use single::{simdize_single_actor, SingleActorConfig, TapeMode};

@@ -19,7 +19,12 @@ use macross_streamir::types::Ty;
 /// SIMDizer runs.
 pub fn normalize_work(filter: &mut Filter, in_elem: Ty, out_elem: Ty) {
     let body = std::mem::take(&mut filter.work);
-    let mut n = Normalizer { filter, in_elem, out_elem, counter: 0 };
+    let mut n = Normalizer {
+        filter,
+        in_elem,
+        out_elem,
+        counter: 0,
+    };
     let work = n.block(body);
     n.filter.work = work;
 }
@@ -50,14 +55,18 @@ impl<'a> Normalizer<'a> {
         match s {
             // Already-normal tape-read assignments stay put when the target
             // is a plain variable.
-            Stmt::Assign(lv @ LValue::Var(_), e @ (Expr::Pop | Expr::LPop(_))) => out.push(Stmt::Assign(lv, e)),
+            Stmt::Assign(lv @ LValue::Var(_), e @ (Expr::Pop | Expr::LPop(_))) => {
+                out.push(Stmt::Assign(lv, e))
+            }
             Stmt::Assign(lv @ LValue::Var(_), Expr::Peek(off)) => {
                 assert!(!off.reads_tape(), "peek offset reads the tape");
                 out.push(Stmt::Assign(lv, Expr::Peek(off)));
             }
             Stmt::Assign(lv, e) => {
                 let e = self.hoist(e, out);
-                if let LValue::Index(_, i) | LValue::LaneIndex(_, i, _) | LValue::VIndex(_, i, _) = &lv {
+                if let LValue::Index(_, i) | LValue::LaneIndex(_, i, _) | LValue::VIndex(_, i, _) =
+                    &lv
+                {
                     assert!(!i.reads_tape(), "array subscript reads the tape");
                 }
                 out.push(Stmt::Assign(lv, e));
@@ -91,23 +100,26 @@ impl<'a> Normalizer<'a> {
                 let body = self.block(body);
                 out.push(Stmt::For { var, count, body });
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 assert!(!cond.reads_tape(), "branch condition reads the tape");
                 let then_branch = self.block(then_branch);
                 let else_branch = self.block(else_branch);
-                out.push(Stmt::If { cond, then_branch, else_branch });
+                out.push(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                });
             }
             s @ (Stmt::AdvanceRead(_) | Stmt::AdvanceWrite(_)) => out.push(s),
         }
     }
 
     /// Ensure an expression is a variable reference, hoisting if needed.
-    fn as_var(
-        &mut self,
-        e: Expr,
-        ty: Ty,
-        out: &mut Vec<Stmt>,
-    ) -> macross_streamir::expr::VarId {
+    fn as_var(&mut self, e: Expr, ty: Ty, out: &mut Vec<Stmt>) -> macross_streamir::expr::VarId {
         if let Expr::Var(v) = e {
             return v;
         }
@@ -149,7 +161,9 @@ impl<'a> Normalizer<'a> {
                 let b = self.hoist(*b, out);
                 Expr::bin(op, a, b)
             }
-            Expr::Call(i, args) => Expr::Call(i, args.into_iter().map(|a| self.hoist(a, out)).collect()),
+            Expr::Call(i, args) => {
+                Expr::Call(i, args.into_iter().map(|a| self.hoist(a, out)).collect())
+            }
             Expr::Cast(t, a) => Expr::Cast(t, Box::new(self.hoist(*a, out))),
             Expr::Lane(a, l) => Expr::Lane(Box::new(self.hoist(*a, out)), l),
             Expr::Splat(a, w) => Expr::Splat(Box::new(self.hoist(*a, out)), w),
@@ -188,7 +202,10 @@ mod tests {
         normalize_work(&mut f, f32_ty(), f32_ty());
         // t0 = pop; t1 = pop; t2 = t0 + t1; push(t2)
         assert_eq!(f.work.len(), 4);
-        assert!(matches!(&f.work[0], Stmt::Assign(LValue::Var(_), Expr::Pop)));
+        assert!(matches!(
+            &f.work[0],
+            Stmt::Assign(LValue::Var(_), Expr::Pop)
+        ));
         assert!(matches!(&f.work[3], Stmt::Push(Expr::Var(_))));
         assert_eq!(measure_rates(&f.work).unwrap().pop, 2);
     }

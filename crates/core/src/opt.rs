@@ -37,7 +37,11 @@ pub struct OptStats {
 impl OptStats {
     /// Total rewrites.
     pub fn total(&self) -> usize {
-        self.folded + self.identities + self.branches_resolved + self.loops_simplified + self.dead_stores
+        self.folded
+            + self.identities
+            + self.branches_resolved
+            + self.loops_simplified
+            + self.dead_stores
     }
 
     fn absorb(&mut self, o: OptStats) {
@@ -93,10 +97,14 @@ fn opt_block(stmts: Vec<Stmt>, stats: &mut OptStats) -> Vec<Stmt> {
                 out.push(Stmt::Assign(lv, opt_expr(e, stats)));
             }
             Stmt::Push(e) => out.push(Stmt::Push(opt_expr(e, stats))),
-            Stmt::RPush { value, offset } => {
-                out.push(Stmt::RPush { value: opt_expr(value, stats), offset: opt_expr(offset, stats) })
-            }
-            Stmt::VPush { value, width } => out.push(Stmt::VPush { value: opt_expr(value, stats), width }),
+            Stmt::RPush { value, offset } => out.push(Stmt::RPush {
+                value: opt_expr(value, stats),
+                offset: opt_expr(offset, stats),
+            }),
+            Stmt::VPush { value, width } => out.push(Stmt::VPush {
+                value: opt_expr(value, stats),
+                width,
+            }),
             Stmt::LPush(c, e) => out.push(Stmt::LPush(c, opt_expr(e, stats))),
             Stmt::LVPush(c, e, w) => out.push(Stmt::LVPush(c, opt_expr(e, stats), w)),
             Stmt::For { var, count, body } => {
@@ -115,7 +123,11 @@ fn opt_block(stmts: Vec<Stmt>, stats: &mut OptStats) -> Vec<Stmt> {
                     _ => out.push(Stmt::For { var, count, body }),
                 }
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let cond = opt_expr(cond, stats);
                 let then_branch = opt_block(then_branch, stats);
                 let else_branch = opt_block(else_branch, stats);
@@ -129,7 +141,11 @@ fn opt_block(stmts: Vec<Stmt>, stats: &mut OptStats) -> Vec<Stmt> {
                 } else if then_branch.is_empty() && else_branch.is_empty() && !cond.reads_tape() {
                     stats.branches_resolved += 1;
                 } else {
-                    out.push(Stmt::If { cond, then_branch, else_branch });
+                    out.push(Stmt::If {
+                        cond,
+                        then_branch,
+                        else_branch,
+                    });
                 }
             }
             other => out.push(other),
@@ -221,7 +237,10 @@ fn opt_expr(e: Expr, stats: &mut OptStats) -> Expr {
         Expr::Index(v, i) => Expr::Index(v, Box::new(opt_expr(*i, stats))),
         Expr::VIndex(v, i, w) => Expr::VIndex(v, Box::new(opt_expr(*i, stats)), w),
         Expr::Peek(o) => Expr::Peek(Box::new(opt_expr(*o, stats))),
-        Expr::VPeek { offset, width } => Expr::VPeek { offset: Box::new(opt_expr(*offset, stats)), width },
+        Expr::VPeek { offset, width } => Expr::VPeek {
+            offset: Box::new(opt_expr(*offset, stats)),
+            width,
+        },
         Expr::Lane(a, l) => Expr::Lane(Box::new(opt_expr(*a, stats)), l),
         Expr::Splat(a, w) => Expr::Splat(Box::new(opt_expr(*a, stats)), w),
         Expr::PermuteEven(a, b) => {
@@ -300,12 +319,11 @@ fn eliminate_dead_stores(f: &mut Filter) -> usize {
                 Stmt::For { var, .. } => {
                     loop_vars.insert(*var);
                 }
-                Stmt::Assign(lv, _) => {
+                Stmt::Assign(lv, _)
                     // Partial writes keep the variable alive as a read.
-                    if !matches!(lv, LValue::Var(_)) {
+                    if !matches!(lv, LValue::Var(_)) => {
                         read.insert(lv.var());
                     }
-                }
                 _ => {}
             });
         }
@@ -321,11 +339,12 @@ fn eliminate_dead_stores(f: &mut Filter) -> usize {
             false
         }
     };
+    type DeadCheck<'a> = &'a dyn Fn(&LValue, &Expr, &Filter, &HashSet<VarId>) -> bool;
     fn sweep(
         stmts: Vec<Stmt>,
         f: &Filter,
         read: &HashSet<VarId>,
-        dead: &dyn Fn(&LValue, &Expr, &Filter, &HashSet<VarId>) -> bool,
+        dead: DeadCheck<'_>,
         removed: &mut usize,
     ) -> Vec<Stmt> {
         stmts
@@ -340,7 +359,11 @@ fn eliminate_dead_stores(f: &mut Filter) -> usize {
                     count,
                     body: sweep(body, f, read, dead, removed),
                 }),
-                Stmt::If { cond, then_branch, else_branch } => Some(Stmt::If {
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => Some(Stmt::If {
                     cond,
                     then_branch: sweep(then_branch, f, read, dead, removed),
                     else_branch: sweep(else_branch, f, read, dead, removed),
@@ -485,7 +508,10 @@ mod tests {
         let n = src.state("n", Ty::Scalar(ScalarTy::F32));
         src.work(|b| {
             b.push(v(n));
-            b.set(n, cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 100i32));
+            b.set(
+                n,
+                cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 100i32),
+            );
         });
         let g = macross_streamir::builder::StreamSpec::pipeline(vec![
             src.build_spec(),
@@ -499,8 +525,8 @@ mod tests {
         assert!(stats.total() > 0);
         let sched = Schedule::compute(&g).unwrap();
         let machine = Machine::core_i7();
-        let a = run_scheduled(&g, &sched, &machine, 5);
-        let b = run_scheduled(&og, &sched, &machine, 5);
+        let a = run_scheduled(&g, &sched, &machine, 5).unwrap();
+        let b = run_scheduled(&og, &sched, &machine, 5).unwrap();
         assert_eq!(a.output, b.output);
         assert!(b.total_cycles() <= a.total_cycles());
     }

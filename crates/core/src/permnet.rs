@@ -64,7 +64,12 @@ impl PermPlan {
 }
 
 fn extract<T: Copy>(a: &[T], b: &[T], parity: usize) -> Vec<T> {
-    a.iter().chain(b.iter()).copied().skip(parity).step_by(2).collect()
+    a.iter()
+        .chain(b.iter())
+        .copied()
+        .skip(parity)
+        .step_by(2)
+        .collect()
 }
 
 /// True if the input-side permutation optimization applies: pop count a
@@ -76,7 +81,7 @@ pub fn gather_applicable(pop_rate: usize) -> bool {
 /// True if the output-side permutation optimization applies: any even push
 /// count (or the trivial 1).
 pub fn scatter_applicable(push_rate: usize) -> bool {
-    push_rate == 1 || (push_rate >= 2 && push_rate % 2 == 0)
+    push_rate == 1 || (push_rate >= 2 && push_rate.is_multiple_of(2))
 }
 
 /// Plan for the input side: given `p` vector loads of contiguous tape data
@@ -87,9 +92,15 @@ pub fn scatter_applicable(push_rate: usize) -> bool {
 /// # Panics
 /// Panics unless `p` is a power of two.
 pub fn gather_plan(p: usize, sw: usize) -> PermPlan {
-    assert!(gather_applicable(p), "gather plan requires a power-of-two pop count");
+    assert!(
+        gather_applicable(p),
+        "gather plan requires a power-of-two pop count"
+    );
     let _ = sw;
-    PermPlan { k: p, rounds: p.trailing_zeros() as usize }
+    PermPlan {
+        k: p,
+        rounds: p.trailing_zeros() as usize,
+    }
 }
 
 /// Plan for the output side: given `q` result vectors where vector `j`'s
@@ -100,11 +111,17 @@ pub fn gather_plan(p: usize, sw: usize) -> PermPlan {
 /// # Panics
 /// Panics unless `q` is even or 1.
 pub fn scatter_plan(q: usize, sw: usize) -> PermPlan {
-    assert!(scatter_applicable(q), "scatter plan requires an even push count");
+    assert!(
+        scatter_applicable(q),
+        "scatter plan requires an even push count"
+    );
     if q == 1 {
         return PermPlan { k: 1, rounds: 0 };
     }
-    PermPlan { k: q, rounds: sw.trailing_zeros() as usize }
+    PermPlan {
+        k: q,
+        rounds: sw.trailing_zeros() as usize,
+    }
 }
 
 #[cfg(test)]
@@ -113,7 +130,9 @@ mod tests {
 
     /// Directly gather stride-`p`: logical vector j lane l = elem l*p+j.
     fn reference_gather(elems: &[i32], p: usize, sw: usize) -> Vec<Vec<i32>> {
-        (0..p).map(|j| (0..sw).map(|l| elems[l * p + j]).collect()).collect()
+        (0..p)
+            .map(|j| (0..sw).map(|l| elems[l * p + j]).collect())
+            .collect()
     }
 
     #[test]
@@ -142,7 +161,11 @@ mod tests {
                 let loads: Vec<Vec<i32>> = elems.chunks(sw).map(|c| c.to_vec()).collect();
                 let plan = gather_plan(p, sw);
                 assert_eq!(plan.op_count(), p * (p.trailing_zeros() as usize));
-                assert_eq!(plan.apply(&loads), reference_gather(&elems, p, sw), "p={p} sw={sw}");
+                assert_eq!(
+                    plan.apply(&loads),
+                    reference_gather(&elems, p, sw),
+                    "p={p} sw={sw}"
+                );
             }
         }
     }
@@ -163,10 +186,15 @@ mod tests {
     fn scatter_matches_reference() {
         for sw in [2usize, 4, 8] {
             for q in [1usize, 2, 4, 6, 8, 12, 16] {
-                let result_vecs: Vec<Vec<i32>> =
-                    (0..q).map(|j| (0..sw).map(|l| (100 * l + j) as i32).collect()).collect();
+                let result_vecs: Vec<Vec<i32>> = (0..q)
+                    .map(|j| (0..sw).map(|l| (100 * l + j) as i32).collect())
+                    .collect();
                 let plan = scatter_plan(q, sw);
-                assert_eq!(plan.apply(&result_vecs), reference_scatter(&result_vecs, q, sw), "q={q} sw={sw}");
+                assert_eq!(
+                    plan.apply(&result_vecs),
+                    reference_scatter(&result_vecs, q, sw),
+                    "q={q} sw={sw}"
+                );
             }
         }
     }

@@ -59,7 +59,13 @@ pub struct SingleActorConfig {
 impl SingleActorConfig {
     /// The paper's baseline configuration: strided tapes on both sides.
     pub fn strided(sw: usize, in_elem: ScalarTy, out_elem: ScalarTy) -> SingleActorConfig {
-        SingleActorConfig { sw, input: TapeMode::Strided, output: TapeMode::Strided, in_elem, out_elem }
+        SingleActorConfig {
+            sw,
+            input: TapeMode::Strided,
+            output: TapeMode::Strided,
+            in_elem,
+            out_elem,
+        }
     }
 }
 
@@ -90,7 +96,10 @@ pub fn uses_peek(filter: &Filter) -> bool {
 /// while peeking, or requests a permute mode its rates don't admit. The
 /// result is self-checked: its measured rates must match its declared
 /// rates.
-pub fn simdize_single_actor(orig: &Filter, cfg: &SingleActorConfig) -> Result<Filter, SimdizeError> {
+pub fn simdize_single_actor(
+    orig: &Filter,
+    cfg: &SingleActorConfig,
+) -> Result<Filter, SimdizeError> {
     let va = analyze_vectorizability(orig);
     if !va.simdizable() {
         return Err(SimdizeError::NotVectorizable {
@@ -122,7 +131,10 @@ pub(crate) fn vectorize_filter(
     rewrite_init: bool,
 ) -> Result<(), SimdizeError> {
     let sw = cfg.sw;
-    assert!(sw.is_power_of_two() && sw >= 2, "SIMD width must be a power of two >= 2");
+    assert!(
+        sw.is_power_of_two() && sw >= 2,
+        "SIMD width must be a power of two >= 2"
+    );
     let orig_pop = f.pop;
     let orig_push = f.push;
     let orig_peek = f.peek;
@@ -180,22 +192,36 @@ pub(crate) fn vectorize_filter(
     // Input permute preamble: p vector pops + gather network into an array
     // indexed by a running pop counter.
     if cfg.input == TapeMode::Permute && p > 0 {
-        let arr = rw.alloc(format!("__in_perm"), Ty::VectorArray(cfg.in_elem, sw, p));
-        let cnt = rw.alloc(format!("__in_cnt"), Ty::Scalar(ScalarTy::I32));
+        let arr = rw.alloc("__in_perm".to_string(), Ty::VectorArray(cfg.in_elem, sw, p));
+        let cnt = rw.alloc("__in_cnt".to_string(), Ty::Scalar(ScalarTy::I32));
         rw.in_perm = Some((arr, cnt));
-        let loads: Vec<VarId> =
-            (0..p).map(|i| rw.alloc(format!("__ld{i}"), Ty::Vector(cfg.in_elem, sw))).collect();
+        let loads: Vec<VarId> = (0..p)
+            .map(|i| rw.alloc(format!("__ld{i}"), Ty::Vector(cfg.in_elem, sw)))
+            .collect();
         for &t in &loads {
             body.push(Stmt::Assign(LValue::Var(t), Expr::VPop { width: sw }));
         }
-        let finals = emit_rounds(&loads, gather_plan(p, sw).rounds, cfg.in_elem, sw, &mut rw, &mut body);
+        let finals = emit_rounds(
+            &loads,
+            gather_plan(p, sw).rounds,
+            cfg.in_elem,
+            sw,
+            &mut rw,
+            &mut body,
+        );
         for (i, &t) in finals.iter().enumerate() {
-            body.push(Stmt::Assign(LValue::Index(arr, Expr::Const(Value::I32(i as i32))), Expr::Var(t)));
+            body.push(Stmt::Assign(
+                LValue::Index(arr, Expr::Const(Value::I32(i as i32))),
+                Expr::Var(t),
+            ));
         }
     }
     if cfg.output == TapeMode::Permute && q > 0 {
-        let arr = rw.alloc(format!("__out_perm"), Ty::VectorArray(cfg.out_elem, sw, q));
-        let cnt = rw.alloc(format!("__out_cnt"), Ty::Scalar(ScalarTy::I32));
+        let arr = rw.alloc(
+            "__out_perm".to_string(),
+            Ty::VectorArray(cfg.out_elem, sw, q),
+        );
+        let cnt = rw.alloc("__out_cnt".to_string(), Ty::Scalar(ScalarTy::I32));
         rw.out_perm = Some((arr, cnt));
     }
 
@@ -206,14 +232,28 @@ pub(crate) fn vectorize_filter(
     // Output permute postamble: scatter network + q vector pushes.
     if cfg.output == TapeMode::Permute && q > 0 {
         let (arr, _) = rw.out_perm.unwrap();
-        let loads: Vec<VarId> =
-            (0..q).map(|i| rw.alloc(format!("__st{i}"), Ty::Vector(cfg.out_elem, sw))).collect();
+        let loads: Vec<VarId> = (0..q)
+            .map(|i| rw.alloc(format!("__st{i}"), Ty::Vector(cfg.out_elem, sw)))
+            .collect();
         for (i, &t) in loads.iter().enumerate() {
-            body.push(Stmt::Assign(LValue::Var(t), Expr::Index(arr, Box::new(Expr::Const(Value::I32(i as i32))))));
+            body.push(Stmt::Assign(
+                LValue::Var(t),
+                Expr::Index(arr, Box::new(Expr::Const(Value::I32(i as i32)))),
+            ));
         }
-        let finals = emit_rounds(&loads, scatter_plan(q, sw).rounds, cfg.out_elem, sw, &mut rw, &mut body);
+        let finals = emit_rounds(
+            &loads,
+            scatter_plan(q, sw).rounds,
+            cfg.out_elem,
+            sw,
+            &mut rw,
+            &mut body,
+        );
         for &t in &finals {
-            body.push(Stmt::VPush { value: Expr::Var(t), width: sw });
+            body.push(Stmt::VPush {
+                value: Expr::Var(t),
+                width: sw,
+            });
         }
     }
 
@@ -267,11 +307,17 @@ fn emit_rounds(
         for i in 0..k / 2 {
             body.push(Stmt::Assign(
                 LValue::Var(next[i]),
-                Expr::PermuteEven(Box::new(Expr::Var(cur[2 * i])), Box::new(Expr::Var(cur[2 * i + 1]))),
+                Expr::PermuteEven(
+                    Box::new(Expr::Var(cur[2 * i])),
+                    Box::new(Expr::Var(cur[2 * i + 1])),
+                ),
             ));
             body.push(Stmt::Assign(
                 LValue::Var(next[k / 2 + i]),
-                Expr::PermuteOdd(Box::new(Expr::Var(cur[2 * i])), Box::new(Expr::Var(cur[2 * i + 1]))),
+                Expr::PermuteOdd(
+                    Box::new(Expr::Var(cur[2 * i])),
+                    Box::new(Expr::Var(cur[2 * i + 1])),
+                ),
             ));
         }
         cur = next;
@@ -307,10 +353,8 @@ pub(crate) fn expr_vecish(e: &Expr, vec: &HashSet<VarId>) -> bool {
     let mut hit = false;
     e.walk(&mut |e| match e {
         Expr::Pop | Expr::Peek(_) | Expr::LPop(_) | Expr::ConstVec(_) => hit = true,
-        Expr::Var(v) | Expr::Index(v, _) => {
-            if vec.contains(v) {
-                hit = true;
-            }
+        Expr::Var(v) | Expr::Index(v, _) if vec.contains(v) => {
+            hit = true;
         }
         _ => {}
     });
@@ -320,13 +364,15 @@ pub(crate) fn expr_vecish(e: &Expr, vec: &HashSet<VarId>) -> bool {
 fn mark_block(stmts: &[Stmt], vec: &mut HashSet<VarId>) {
     for s in stmts {
         match s {
-            Stmt::Assign(lv, e) => {
-                if expr_vecish(e, vec) {
-                    vec.insert(lv.var());
-                }
+            Stmt::Assign(lv, e) if expr_vecish(e, vec) => {
+                vec.insert(lv.var());
             }
             Stmt::For { body, .. } => mark_block(body, vec),
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 mark_block(then_branch, vec);
                 mark_block(else_branch, vec);
             }
@@ -373,7 +419,10 @@ impl Rewriter {
     fn stmt(&mut self, s: &Stmt, out: &mut Vec<Stmt>) -> Result<(), SimdizeError> {
         match s {
             Stmt::Assign(LValue::Var(v), Expr::Pop) => {
-                debug_assert!(self.vec_vars.contains(v), "pop target must be marked vector");
+                debug_assert!(
+                    self.vec_vars.contains(v),
+                    "pop target must be marked vector"
+                );
                 match self.input {
                     TapeMode::Strided => {
                         for l in (1..self.sw).rev() {
@@ -386,7 +435,10 @@ impl Rewriter {
                     }
                     TapeMode::Permute => {
                         let (arr, cnt) = self.in_perm.expect("permute input state");
-                        out.push(Stmt::Assign(LValue::Var(*v), Expr::Index(arr, Box::new(Expr::Var(cnt)))));
+                        out.push(Stmt::Assign(
+                            LValue::Var(*v),
+                            Expr::Index(arr, Box::new(Expr::Var(cnt))),
+                        ));
                         out.push(Stmt::Assign(
                             LValue::Var(cnt),
                             Expr::bin(BinOp::Add, Expr::Var(cnt), Expr::Const(Value::I32(1))),
@@ -398,7 +450,10 @@ impl Rewriter {
                 }
             }
             Stmt::Assign(LValue::Var(v), Expr::Peek(off)) => {
-                debug_assert!(self.vec_vars.contains(v), "peek target must be marked vector");
+                debug_assert!(
+                    self.vec_vars.contains(v),
+                    "peek target must be marked vector"
+                );
                 let (off_rw, off_vec) = self.expr(off)?;
                 assert!(!off_vec, "peek offset must be uniform");
                 match self.input {
@@ -413,7 +468,10 @@ impl Rewriter {
                                 ))),
                             ));
                         }
-                        out.push(Stmt::Assign(LValue::LaneVar(*v, 0), Expr::Peek(Box::new(off_rw))));
+                        out.push(Stmt::Assign(
+                            LValue::LaneVar(*v, 0),
+                            Expr::Peek(Box::new(off_rw)),
+                        ));
                     }
                     TapeMode::Vector => {
                         // Vector tape: logical vector index `off` lives at
@@ -421,7 +479,10 @@ impl Rewriter {
                         let scaled = scale_offset(off_rw, self.sw);
                         out.push(Stmt::Assign(
                             LValue::Var(*v),
-                            Expr::VPeek { offset: Box::new(scaled), width: self.sw },
+                            Expr::VPeek {
+                                offset: Box::new(scaled),
+                                width: self.sw,
+                            },
                         ));
                     }
                     other => panic!("peek unsupported in {other:?} mode"),
@@ -446,7 +507,9 @@ impl Rewriter {
                         assert!(!ivec, "array subscript must be uniform");
                         LValue::Index(*v, i2)
                     }
-                    LValue::LaneVar(_, _) | LValue::LaneIndex(_, _, _) | LValue::VIndex(_, _, _) => {
+                    LValue::LaneVar(_, _)
+                    | LValue::LaneIndex(_, _, _)
+                    | LValue::VIndex(_, _, _) => {
                         panic!("vector lvalue in scalar input code")
                     }
                 };
@@ -466,15 +529,25 @@ impl Rewriter {
                             } else {
                                 Expr::Var(var)
                             };
-                            out.push(Stmt::RPush { value, offset: Expr::Const(Value::I32((l * self.q) as i32)) });
+                            out.push(Stmt::RPush {
+                                value,
+                                offset: Expr::Const(Value::I32((l * self.q) as i32)),
+                            });
                         }
-                        let value = if is_vec { Expr::Lane(Box::new(Expr::Var(var)), 0) } else { Expr::Var(var) };
+                        let value = if is_vec {
+                            Expr::Lane(Box::new(Expr::Var(var)), 0)
+                        } else {
+                            Expr::Var(var)
+                        };
                         out.push(Stmt::Push(value));
                     }
                     TapeMode::Permute => {
                         let (arr, cnt) = self.out_perm.expect("permute output state");
-                        let value =
-                            if is_vec { Expr::Var(var) } else { self.splat(Expr::Var(var)) };
+                        let value = if is_vec {
+                            Expr::Var(var)
+                        } else {
+                            self.splat(Expr::Var(var))
+                        };
                         out.push(Stmt::Assign(LValue::Index(arr, Expr::Var(cnt)), value));
                         out.push(Stmt::Assign(
                             LValue::Var(cnt),
@@ -482,9 +555,15 @@ impl Rewriter {
                         ));
                     }
                     TapeMode::VectorReorder | TapeMode::Vector => {
-                        let value =
-                            if is_vec { Expr::Var(var) } else { self.splat(Expr::Var(var)) };
-                        out.push(Stmt::VPush { value, width: self.sw });
+                        let value = if is_vec {
+                            Expr::Var(var)
+                        } else {
+                            self.splat(Expr::Var(var))
+                        };
+                        out.push(Stmt::VPush {
+                            value,
+                            width: self.sw,
+                        });
                     }
                 }
             }
@@ -497,21 +576,36 @@ impl Rewriter {
                 let (count2, cvec) = self.expr(count)?;
                 assert!(!cvec, "loop trip count must be uniform");
                 let body2 = self.block(body)?;
-                out.push(Stmt::For { var: *var, count: count2, body: body2 });
+                out.push(Stmt::For {
+                    var: *var,
+                    count: count2,
+                    body: body2,
+                });
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let (cond2, cvec) = self.expr(cond)?;
                 assert!(!cvec, "branch condition must be uniform");
                 let then2 = self.block(then_branch)?;
                 let else2 = self.block(else_branch)?;
-                out.push(Stmt::If { cond: cond2, then_branch: then2, else_branch: else2 });
+                out.push(Stmt::If {
+                    cond: cond2,
+                    then_branch: then2,
+                    else_branch: else2,
+                });
             }
             Stmt::AdvanceRead(n) => match self.input {
                 TapeMode::Strided => out.push(Stmt::AdvanceRead(*n)),
                 TapeMode::Vector => out.push(Stmt::AdvanceRead(*n * self.sw)),
                 other => panic!("advance_read unsupported in {other:?} mode"),
             },
-            Stmt::AdvanceWrite(_) | Stmt::RPush { .. } | Stmt::VPush { .. } | Stmt::LVPush(_, _, _) => {
+            Stmt::AdvanceWrite(_)
+            | Stmt::RPush { .. }
+            | Stmt::VPush { .. }
+            | Stmt::LVPush(_, _, _) => {
                 panic!("vector/random-access tape ops in scalar input code")
             }
         }
@@ -545,8 +639,10 @@ impl Rewriter {
                 (Expr::bin(*op, a3, b3), vec)
             }
             Expr::Call(i, args) => {
-                let parts: Vec<(Expr, bool)> =
-                    args.iter().map(|a| self.expr(a)).collect::<Result<_, _>>()?;
+                let parts: Vec<(Expr, bool)> = args
+                    .iter()
+                    .map(|a| self.expr(a))
+                    .collect::<Result<_, _>>()?;
                 let vec = parts.iter().any(|(_, v)| *v);
                 let args2 = parts
                     .into_iter()
@@ -575,7 +671,12 @@ mod tests {
     /// Helper: build src -> actor -> sink, SIMDize the middle actor with
     /// the given modes, and check differential output over `iters`
     /// steady-state iterations of the *scaled* schedule.
-    fn differential(actor: Filter, in_elem: ScalarTy, cfg: SingleActorConfig, iters: u64) -> (u64, u64) {
+    fn differential(
+        actor: Filter,
+        in_elem: ScalarTy,
+        cfg: SingleActorConfig,
+        iters: u64,
+    ) -> (u64, u64) {
         let mut src = FilterBuilder::new("src", 0, 0, 1, in_elem);
         let n = src.state("n", Ty::Scalar(in_elem));
         src.work(|b| {
@@ -585,7 +686,11 @@ mod tests {
                 n,
                 E(Expr::bin(
                     BinOp::Rem,
-                    Expr::bin(BinOp::Add, Expr::Cast(ScalarTy::I32, Box::new(Expr::Var(n))), Expr::Const(Value::I32(1))),
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::Cast(ScalarTy::I32, Box::new(Expr::Var(n))),
+                        Expr::Const(Value::I32(1)),
+                    ),
                     Expr::Const(Value::I32(1000)),
                 ))
                 .0,
@@ -597,7 +702,10 @@ mod tests {
             srcf.work = {
                 let mut b = B::new();
                 b.push(v(n));
-                b.set(n, cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 1000i32));
+                b.set(
+                    n,
+                    cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 1000i32),
+                );
                 b.build()
             };
         }
@@ -648,12 +756,15 @@ mod tests {
         }
 
         let machine = Machine::core_i7_with_sagu();
-        let a = run_scheduled(&scalar_graph, &ssched, &machine, iters);
-        let b = run_scheduled(&vec_graph, &vsched, &machine, iters);
+        let a = run_scheduled(&scalar_graph, &ssched, &machine, iters).unwrap();
+        let b = run_scheduled(&vec_graph, &vsched, &machine, iters).unwrap();
         assert_eq!(a.output.len(), b.output.len(), "output lengths differ");
         assert!(!a.output.is_empty());
         for (i, (x, y)) in a.output.iter().zip(&b.output).enumerate() {
-            assert!(x.bits_eq(*y), "output {i} differs: scalar {x:?} vs simd {y:?}");
+            assert!(
+                x.bits_eq(*y),
+                "output {i} differs: scalar {x:?} vs simd {y:?}"
+            );
         }
         (a.total_cycles(), b.total_cycles())
     }

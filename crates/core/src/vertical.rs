@@ -72,7 +72,10 @@ pub fn fuse_chain(graph: &Graph, chain: &[NodeId], reps: &[u64]) -> Result<Filte
 
     let g = reps.iter().copied().fold(0, gcd).max(1);
     let inner_reps: Vec<u64> = reps.iter().map(|r| r / g).collect();
-    let filters: Vec<&Filter> = chain.iter().map(|&id| graph.node(id).as_filter().expect("filters")).collect();
+    let filters: Vec<&Filter> = chain
+        .iter()
+        .map(|&id| graph.node(id).as_filter().expect("filters"))
+        .collect();
 
     // Name in the paper's style: 3D_2E.
     let name = filters
@@ -111,7 +114,11 @@ pub fn fuse_chain(graph: &Graph, chain: &[NodeId], reps: &[u64]) -> Result<Filte
             fused.vars.push(v.clone());
         }
         let in_chan = if i > 0 { Some(chans[i - 1]) } else { None };
-        let out_chan = if i < filters.len() - 1 { Some(chans[i]) } else { None };
+        let out_chan = if i < filters.len() - 1 {
+            Some(chans[i])
+        } else {
+            None
+        };
 
         let init = remap_block(&f.init, base, in_chan, out_chan);
         fused.init.extend(init);
@@ -121,7 +128,11 @@ pub fn fuse_chain(graph: &Graph, chain: &[NodeId], reps: &[u64]) -> Result<Filte
         if r == 1 {
             fused.work.extend(body);
         } else {
-            let wc = fused.add_var(format!("work_counter{i}"), Ty::Scalar(ScalarTy::I32), VarKind::Local);
+            let wc = fused.add_var(
+                format!("work_counter{i}"),
+                Ty::Scalar(ScalarTy::I32),
+                VarKind::Local,
+            );
             fused.work.push(Stmt::For {
                 var: wc,
                 count: Expr::Const(macross_streamir::types::Value::I32(r as i32)),
@@ -134,8 +145,16 @@ pub fn fuse_chain(graph: &Graph, chain: &[NodeId], reps: &[u64]) -> Result<Filte
 
 /// Remap variable ids by `base` and redirect tape accesses to internal
 /// channels where the actor is not at the fused boundary.
-fn remap_block(stmts: &[Stmt], base: u32, in_chan: Option<ChanId>, out_chan: Option<ChanId>) -> Vec<Stmt> {
-    stmts.iter().map(|s| remap_stmt(s, base, in_chan, out_chan)).collect()
+fn remap_block(
+    stmts: &[Stmt],
+    base: u32,
+    in_chan: Option<ChanId>,
+    out_chan: Option<ChanId>,
+) -> Vec<Stmt> {
+    stmts
+        .iter()
+        .map(|s| remap_stmt(s, base, in_chan, out_chan))
+        .collect()
 }
 
 fn remap_stmt(s: &Stmt, base: u32, ic: Option<ChanId>, oc: Option<ChanId>) -> Stmt {
@@ -148,7 +167,10 @@ fn remap_stmt(s: &Stmt, base: u32, ic: Option<ChanId>, oc: Option<ChanId>) -> St
         },
         Stmt::RPush { value, offset } => {
             assert!(oc.is_none(), "rpush inside a fused inner actor");
-            Stmt::RPush { value: e(value), offset: e(offset) }
+            Stmt::RPush {
+                value: e(value),
+                offset: e(offset),
+            }
         }
         Stmt::VPush { .. } | Stmt::LVPush(_, _, _) => panic!("vector ops in scalar fusion input"),
         Stmt::LPush(_, _) => panic!("inner actor already has channels"),
@@ -157,13 +179,20 @@ fn remap_stmt(s: &Stmt, base: u32, ic: Option<ChanId>, oc: Option<ChanId>) -> St
             count: e(count),
             body: remap_block(body, base, ic, oc),
         },
-        Stmt::If { cond, then_branch, else_branch } => Stmt::If {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::If {
             cond: e(cond),
             then_branch: remap_block(then_branch, base, ic, oc),
             else_branch: remap_block(else_branch, base, ic, oc),
         },
         Stmt::AdvanceRead(n) => {
-            assert!(ic.is_none(), "peeking consumption inside a fused inner actor");
+            assert!(
+                ic.is_none(),
+                "peeking consumption inside a fused inner actor"
+            );
             Stmt::AdvanceRead(*n)
         }
         Stmt::AdvanceWrite(n) => Stmt::AdvanceWrite(*n),
@@ -175,7 +204,9 @@ fn remap_lvalue(lv: &LValue, base: u32, ic: Option<ChanId>) -> LValue {
         LValue::Var(v) => LValue::Var(VarId(v.0 + base)),
         LValue::Index(v, i) => LValue::Index(VarId(v.0 + base), remap_expr(i, base, ic)),
         LValue::LaneVar(v, l) => LValue::LaneVar(VarId(v.0 + base), *l),
-        LValue::LaneIndex(v, i, l) => LValue::LaneIndex(VarId(v.0 + base), remap_expr(i, base, ic), *l),
+        LValue::LaneIndex(v, i, l) => {
+            LValue::LaneIndex(VarId(v.0 + base), remap_expr(i, base, ic), *l)
+        }
         LValue::VIndex(_, _, _) => panic!("vector lvalue in scalar fusion input"),
     }
 }
@@ -290,7 +321,10 @@ mod tests {
         let n = src.state("n", Ty::Scalar(ScalarTy::F32));
         src.work(|b| {
             b.push(v(n) * 0.125f32);
-            b.set(n, cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 512i32));
+            b.set(
+                n,
+                cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 512i32),
+            );
         });
         src.build_spec()
     }
@@ -305,7 +339,7 @@ mod tests {
     }
 
     fn run(graph: &Graph, sched: &Schedule, iters: u64) -> RunResult {
-        run_scheduled(graph, sched, &Machine::core_i7(), iters)
+        run_scheduled(graph, sched, &Machine::core_i7(), iters).unwrap()
     }
 
     #[test]
@@ -393,19 +427,23 @@ mod tests {
             let m = l / s.reps[0];
             s.scale(m);
         };
-        let mut ssched = ssched;
         scale_for(&mut ssched);
         scale_for(&mut sa);
         scale_for(&mut sb);
 
         let machine = Machine::core_i7();
-        let r_scalar = run_scheduled(&scalar_graph, &ssched, &machine, 4);
-        let r_single = run_scheduled(&ga, &sa, &machine, 4);
-        let r_vert = run_scheduled(&gb, &sb, &machine, 4);
+        let r_scalar = run_scheduled(&scalar_graph, &ssched, &machine, 4).unwrap();
+        let r_single = run_scheduled(&ga, &sa, &machine, 4).unwrap();
+        let r_vert = run_scheduled(&gb, &sb, &machine, 4).unwrap();
 
         assert_eq!(r_scalar.output.len(), r_single.output.len());
         assert_eq!(r_scalar.output.len(), r_vert.output.len());
-        for ((x, y), z) in r_scalar.output.iter().zip(&r_single.output).zip(&r_vert.output) {
+        for ((x, y), z) in r_scalar
+            .output
+            .iter()
+            .zip(&r_single.output)
+            .zip(&r_vert.output)
+        {
             assert!(x.bits_eq(*y), "single-actor mismatch");
             assert!(x.bits_eq(*z), "vertical mismatch");
         }
@@ -448,7 +486,10 @@ mod tests {
             b.set(junk, pop());
         });
         let g = pipeline_graph(vec![actor_d(), fir.build()]);
-        assert!(matches!(link_fusable(&g, NodeId(1), NodeId(2)), Err(FuseBlocker::InnerPeek(_))));
+        assert!(matches!(
+            link_fusable(&g, NodeId(1), NodeId(2)),
+            Err(FuseBlocker::InnerPeek(_))
+        ));
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub struct CommModel {
 
 impl Default for CommModel {
     fn default() -> Self {
-        CommModel { cycles_per_element: 3, sync_per_edge: 40 }
+        CommModel {
+            cycles_per_element: 3,
+            sync_per_edge: 40,
+        }
     }
 }
 
@@ -45,11 +48,96 @@ pub fn partition_lpt(node_cycles: &[u64], cores: usize) -> Vec<u32> {
     let mut load = vec![0u64; cores];
     let mut assign = vec![0u32; node_cycles.len()];
     for i in order {
-        let core = (0..cores).min_by_key(|&c| load[c]).expect("at least one core");
+        let core = (0..cores)
+            .min_by_key(|&c| load[c])
+            .expect("at least one core");
         assign[i] = core as u32;
         load[core] += node_cycles[i];
     }
     assign
+}
+
+/// One graph edge crossing a core boundary under a partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CutEdge {
+    /// The crossing edge.
+    pub edge: macross_streamir::EdgeId,
+    /// Producing node.
+    pub src: macross_streamir::NodeId,
+    /// Consuming node.
+    pub dst: macross_streamir::NodeId,
+    /// Core the producer runs on.
+    pub src_core: u32,
+    /// Core the consumer runs on.
+    pub dst_core: u32,
+    /// Tokens crossing per steady iteration (`reps[src] * push`).
+    pub tokens_per_iter: u64,
+}
+
+/// A core assignment plus the metadata consumers need beyond the raw
+/// `Vec<u32>`: per-core compute loads and the cut edges the threaded
+/// runtime must bridge with inter-core rings (and that [`CommModel`]
+/// charges for).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Core count the assignment targets.
+    pub cores: usize,
+    /// Core index per node.
+    pub assignment: Vec<u32>,
+    /// Compute cycles per core (sum of assigned nodes' cycles).
+    pub per_core_load: Vec<u64>,
+    /// Edges whose endpoints land on different cores.
+    pub cut_edges: Vec<CutEdge>,
+}
+
+impl Partition {
+    /// Partition with the naive LPT heuristic and derive the metadata.
+    pub fn lpt(graph: &Graph, schedule: &Schedule, node_cycles: &[u64], cores: usize) -> Partition {
+        let assignment = partition_lpt(node_cycles, cores);
+        Partition::from_assignment(graph, schedule, node_cycles, assignment, cores)
+    }
+
+    /// Derive per-core loads and cut edges for an existing assignment
+    /// (e.g. from [`partition_simd_aware`] or a hand-written placement).
+    pub fn from_assignment(
+        graph: &Graph,
+        schedule: &Schedule,
+        node_cycles: &[u64],
+        assignment: Vec<u32>,
+        cores: usize,
+    ) -> Partition {
+        assert_eq!(assignment.len(), graph.node_count());
+        let mut per_core_load = vec![0u64; cores];
+        for (i, &core) in assignment.iter().enumerate() {
+            per_core_load[core as usize] += node_cycles.get(i).copied().unwrap_or(0);
+        }
+        let mut cut_edges = Vec::new();
+        for (id, e) in graph.edges() {
+            let (sc, dc) = (assignment[e.src.0 as usize], assignment[e.dst.0 as usize]);
+            if sc != dc {
+                let push = graph.node(e.src).push_rate(e.src_port) as u64;
+                cut_edges.push(CutEdge {
+                    edge: id,
+                    src: e.src,
+                    dst: e.dst,
+                    src_core: sc,
+                    dst_core: dc,
+                    tokens_per_iter: schedule.reps[e.src.0 as usize] * push,
+                });
+            }
+        }
+        Partition {
+            cores,
+            assignment,
+            per_core_load,
+            cut_edges,
+        }
+    }
+
+    /// Load of the bottleneck core.
+    pub fn max_load(&self) -> u64 {
+        self.per_core_load.iter().copied().max().unwrap_or(0)
+    }
 }
 
 /// Per-core estimate for one steady iteration.
@@ -86,7 +174,11 @@ pub fn estimate(
         }
     }
     let makespan = per_core.iter().copied().max().unwrap_or(0) + comm_cycles;
-    CoreEstimate { per_core, comm_cycles, makespan }
+    CoreEstimate {
+        per_core,
+        comm_cycles,
+        makespan,
+    }
 }
 
 /// One configuration's modelled performance, normalized per source firing
@@ -135,7 +227,7 @@ pub fn figure13_point(
     iters: u64,
 ) -> Result<Figure13Point, SimdizeError> {
     let schedule = Schedule::compute(graph)?;
-    let scalar = run_scheduled(graph, &schedule, machine, iters);
+    let scalar = run_scheduled(graph, &schedule, machine, iters).expect("scalar run failed");
     let per_iter: Vec<u64> = scalar.node_cycles.iter().map(|c| c / iters).collect();
     let src = graph
         .node_ids()
@@ -149,18 +241,30 @@ pub fn figure13_point(
 
     let assignment = partition_lpt(&per_iter, cores);
     let mc = estimate(graph, &schedule, &per_iter, &assignment, cores, comm);
-    let multicore = Throughput { cycles_per_iteration: mc.makespan, source_reps: schedule.rep(src) };
+    let multicore = Throughput {
+        cycles_per_iteration: mc.makespan,
+        source_reps: schedule.rep(src),
+    };
 
     // Partition-first macro-SIMDization.
-    let (simd, colors) = macro_simdize_colocated(graph, machine, &SimdizeOptions::all(), &assignment)?;
-    let simd_run = run_scheduled(&simd.graph, &simd.schedule, machine, iters);
+    let (simd, colors) =
+        macro_simdize_colocated(graph, machine, &SimdizeOptions::all(), &assignment)?;
+    let simd_run =
+        run_scheduled(&simd.graph, &simd.schedule, machine, iters).expect("simd run failed");
     let simd_per_iter: Vec<u64> = simd_run.node_cycles.iter().map(|c| c / iters).collect();
     let simd_src = simd
         .graph
         .node_ids()
         .find(|&id| simd.graph.in_edges(id).is_empty())
         .expect("simd graph has a source");
-    let mcs = estimate(&simd.graph, &simd.schedule, &simd_per_iter, &colors, cores, comm);
+    let mcs = estimate(
+        &simd.graph,
+        &simd.schedule,
+        &simd_per_iter,
+        &colors,
+        cores,
+        comm,
+    );
     let multicore_simd = Throughput {
         cycles_per_iteration: mcs.makespan,
         source_reps: simd.schedule.reps[simd_src.0 as usize],
@@ -205,7 +309,10 @@ mod tests {
         src.work(|b| {
             for _ in 0..4 {
                 b.push(v(n) * 0.5f32);
-                b.set(n, cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 199i32));
+                b.set(
+                    n,
+                    cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 199i32),
+                );
             }
         });
         let heavy = |name: &str, k: f32| {
@@ -232,6 +339,120 @@ mod tests {
         .unwrap()
     }
 
+    /// xorshift64* — deterministic stand-in for `proptest` (offline build).
+    struct Rng(u64);
+    impl Rng {
+        fn new(seed: u64) -> Rng {
+            Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+        }
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+        fn range(&mut self, lo: u64, hi: u64) -> u64 {
+            lo + self.next_u64() % (hi - lo)
+        }
+    }
+
+    #[test]
+    fn more_cores_than_nodes() {
+        let cycles = vec![7, 3];
+        let assign = partition_lpt(&cycles, 8);
+        assert_eq!(assign.len(), 2);
+        // Every node lands on a valid core, and no core hosts two nodes
+        // while another sits idle.
+        assert!(assign.iter().all(|&a| (a as usize) < 8));
+        assert_ne!(assign[0], assign[1]);
+    }
+
+    #[test]
+    fn zero_nodes() {
+        assert!(partition_lpt(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn all_zero_costs_still_assign_valid_cores() {
+        let cycles = vec![0u64; 13];
+        for cores in 1..6 {
+            let assign = partition_lpt(&cycles, cores);
+            assert_eq!(assign.len(), 13);
+            assert!(assign.iter().all(|&a| (a as usize) < cores));
+        }
+    }
+
+    /// Randomized: every node gets a valid core; for uniform costs the
+    /// greedy placement is optimal, and in general LPT's makespan is
+    /// within the classic `4/3 - 1/(3m)` factor of the perfect split
+    /// (a lower bound on OPT), which the bound certainly permits.
+    #[test]
+    fn lpt_property_valid_and_bounded() {
+        for seed in 0..64u64 {
+            let mut rng = Rng::new(seed);
+            let n = rng.range(1, 24) as usize;
+            let cores = rng.range(1, 9) as usize;
+            let uniform = seed % 2 == 0;
+            let c = rng.range(1, 100);
+            let cycles: Vec<u64> = (0..n)
+                .map(|_| if uniform { c } else { rng.range(1, 1000) })
+                .collect();
+            let assign = partition_lpt(&cycles, cores);
+            assert_eq!(assign.len(), n);
+            assert!(assign.iter().all(|&a| (a as usize) < cores), "seed {seed}");
+            let mut load = vec![0u64; cores];
+            for (i, &a) in assign.iter().enumerate() {
+                load[a as usize] += cycles[i];
+            }
+            let makespan = *load.iter().max().unwrap();
+            if uniform {
+                // Uniform jobs: LPT is exactly optimal — ceil(n/m) jobs on
+                // the fullest core.
+                assert_eq!(makespan, n.div_ceil(cores) as u64 * c, "seed {seed}");
+            }
+            // Graham's bound vs. the fractional lower bound on OPT:
+            // OPT >= max(mean load, max job).
+            let total: u64 = cycles.iter().sum();
+            let opt_lb = (total as f64 / cores as f64).max(*cycles.iter().max().unwrap() as f64);
+            let bound = (4.0 / 3.0 - 1.0 / (3.0 * cores as f64)) * opt_lb;
+            // Graham's guarantee is relative to true OPT >= opt_lb; allow
+            // the fractional relaxation plus one max job of slack.
+            assert!(
+                makespan as f64 <= bound + *cycles.iter().max().unwrap() as f64,
+                "seed {seed}: makespan {makespan} vs bound {bound} (loads {load:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_metadata_matches_estimate() {
+        let g = bench_graph();
+        let sched = Schedule::compute(&g).unwrap();
+        let cycles = vec![100u64; g.node_count()];
+        let part = Partition::lpt(&g, &sched, &cycles, 2);
+        assert_eq!(part.assignment, partition_lpt(&cycles, 2));
+        assert_eq!(
+            part.per_core_load.iter().sum::<u64>(),
+            100 * g.node_count() as u64
+        );
+        let comm = CommModel::default();
+        let est = estimate(&g, &sched, &cycles, &part.assignment, 2, &comm);
+        let modeled: u64 = part
+            .cut_edges
+            .iter()
+            .map(|c| c.tokens_per_iter * comm.cycles_per_element + comm.sync_per_edge)
+            .sum();
+        assert_eq!(est.comm_cycles, modeled);
+        assert_eq!(est.makespan, part.max_load() + modeled);
+        for c in &part.cut_edges {
+            assert_ne!(c.src_core, c.dst_core);
+            assert_eq!(part.assignment[c.src.0 as usize], c.src_core);
+            assert_eq!(part.assignment[c.dst.0 as usize], c.dst_core);
+        }
+    }
+
     #[test]
     fn estimate_counts_cut_edges() {
         let g = bench_graph();
@@ -245,7 +466,10 @@ mod tests {
         split[2] = 1; // one actor on core 1: two cut edges
         let e2 = estimate(&g, &sched, &cycles, &split, 2, &comm);
         // Two cut edges, 4 tokens each per steady iteration.
-        assert_eq!(e2.comm_cycles, 2 * (4 * comm.cycles_per_element + comm.sync_per_edge));
+        assert_eq!(
+            e2.comm_cycles,
+            2 * (4 * comm.cycles_per_element + comm.sync_per_edge)
+        );
         assert_eq!(e2.makespan, 500 + e2.comm_cycles);
     }
 
@@ -277,16 +501,33 @@ mod tests {
         let machine = Machine::core_i7();
         // All on one core: the whole h1..h4 chain fuses.
         let one = vec![0u32; g.node_count()];
-        let (all_fused, _) = macro_simdize_colocated(&g, &machine, &SimdizeOptions::all(), &one).unwrap();
+        let (all_fused, _) =
+            macro_simdize_colocated(&g, &machine, &SimdizeOptions::all(), &one).unwrap();
         // Split the chain across cores: fusion is cut at the boundary.
         let mut split = vec![0u32; g.node_count()];
         split[3] = 1;
         split[4] = 1;
         split[5] = 1;
-        let (partial, _) = macro_simdize_colocated(&g, &machine, &SimdizeOptions::all(), &split).unwrap();
-        let full_len: usize = all_fused.report.vertical_chains.iter().map(|c| c.len()).max().unwrap_or(0);
-        let part_len: usize = partial.report.vertical_chains.iter().map(|c| c.len()).max().unwrap_or(0);
-        assert!(full_len > part_len, "full {full_len} vs partitioned {part_len}");
+        let (partial, _) =
+            macro_simdize_colocated(&g, &machine, &SimdizeOptions::all(), &split).unwrap();
+        let full_len: usize = all_fused
+            .report
+            .vertical_chains
+            .iter()
+            .map(|c| c.len())
+            .max()
+            .unwrap_or(0);
+        let part_len: usize = partial
+            .report
+            .vertical_chains
+            .iter()
+            .map(|c| c.len())
+            .max()
+            .unwrap_or(0);
+        assert!(
+            full_len > part_len,
+            "full {full_len} vs partitioned {part_len}"
+        );
     }
 }
 
@@ -360,7 +601,11 @@ pub fn partition_simd_aware(
         union(&mut parent, sp, cand.joiner.0 as usize);
     }
     // Splitters/joiners that did not form candidates stay free.
-    let _ = graph.nodes().map(|(_, n)| n).filter(|n| matches!(n, Node::Splitter(_))).count();
+    let _ = graph
+        .nodes()
+        .map(|(_, n)| n)
+        .filter(|n| matches!(n, Node::Splitter(_)))
+        .count();
 
     // Cluster loads, then LPT over clusters.
     let mut cluster_nodes: std::collections::HashMap<usize, Vec<usize>> = Default::default();
@@ -376,7 +621,9 @@ pub fn partition_simd_aware(
     let mut core_load = vec![0u64; cores];
     let mut assign = vec![0u32; n];
     for (load, nodes) in clusters {
-        let core = (0..cores).min_by_key(|&c| core_load[c]).expect("at least one core");
+        let core = (0..cores)
+            .min_by_key(|&c| core_load[c])
+            .expect("at least one core");
         core_load[core] += load;
         for i in nodes {
             assign[i] = core as u32;
@@ -398,9 +645,12 @@ pub fn figure13_point_simd_aware(
     iters: u64,
 ) -> Result<Figure13Point, SimdizeError> {
     let schedule = Schedule::compute(graph)?;
-    let scalar = run_scheduled(graph, &schedule, machine, iters);
+    let scalar = run_scheduled(graph, &schedule, machine, iters).expect("scalar run failed");
     let per_iter: Vec<u64> = scalar.node_cycles.iter().map(|c| c / iters).collect();
-    let src = graph.node_ids().find(|&id| graph.in_edges(id).is_empty()).expect("source");
+    let src = graph
+        .node_ids()
+        .find(|&id| graph.in_edges(id).is_empty())
+        .expect("source");
     let single = per_iter.iter().sum::<u64>() as f64 / schedule.rep(src) as f64;
 
     let assignment = partition_simd_aware(graph, &per_iter, cores, machine);
@@ -409,17 +659,29 @@ pub fn figure13_point_simd_aware(
 
     let (simd, colors) =
         macro_simdize_colocated(graph, machine, &SimdizeOptions::all(), &assignment)?;
-    let simd_run = run_scheduled(&simd.graph, &simd.schedule, machine, iters);
+    let simd_run =
+        run_scheduled(&simd.graph, &simd.schedule, machine, iters).expect("simd run failed");
     let simd_per_iter: Vec<u64> = simd_run.node_cycles.iter().map(|c| c / iters).collect();
     let simd_src = simd
         .graph
         .node_ids()
         .find(|&id| simd.graph.in_edges(id).is_empty())
         .expect("simd graph has a source");
-    let mcs = estimate(&simd.graph, &simd.schedule, &simd_per_iter, &colors, cores, comm);
+    let mcs = estimate(
+        &simd.graph,
+        &simd.schedule,
+        &simd_per_iter,
+        &colors,
+        cores,
+        comm,
+    );
     let multicore_simd = mcs.makespan as f64 / simd.schedule.reps[simd_src.0 as usize] as f64;
 
-    Ok(Figure13Point { cores, multicore: single / multicore, multicore_simd: single / multicore_simd })
+    Ok(Figure13Point {
+        cores,
+        multicore: single / multicore,
+        multicore_simd: single / multicore_simd,
+    })
 }
 
 #[cfg(test)]
@@ -440,7 +702,10 @@ mod simd_aware_tests {
             src.work(|b| {
                 for _ in 0..4 {
                     b.push(v(n) * 0.25f32);
-                    b.set(n, cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 99i32));
+                    b.set(
+                        n,
+                        cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 99i32),
+                    );
                 }
             });
             let stage = |name: &str, k: f32| {
@@ -479,8 +744,7 @@ mod simd_aware_tests {
         let aware = partition_simd_aware(&g, &cycles, 2, &machine);
         // The six fusable stages must share one core under the aware
         // partitioner; naive LPT scatters them.
-        let stage_cores: std::collections::HashSet<u32> =
-            (1..7).map(|i| aware[i]).collect();
+        let stage_cores: std::collections::HashSet<u32> = (1..7).map(|i| aware[i]).collect();
         assert_eq!(stage_cores.len(), 1, "aware: {aware:?}");
         let naive_cores: std::collections::HashSet<u32> = (1..7).map(|i| naive[i]).collect();
         assert!(naive_cores.len() > 1, "naive: {naive:?}");

@@ -1,0 +1,487 @@
+//! Threaded steady-state runtime for scheduled stream graphs.
+//!
+//! Where `macross_vm::run_scheduled` interprets the whole graph on one
+//! thread, this crate executes the *same* schedule pipeline-parallel: one
+//! worker thread per core of a partition (e.g. from
+//! `macross_multicore::Partition::lpt`), with every cross-core tape edge
+//! bridged by a bounded lock-free SPSC ring ([`ring::Ring`]).
+//!
+//! The execution model is a Kahn process network specialization: each
+//! worker fires its nodes in the global schedule order restricted to its
+//! core, blocking on ring reads until enough tokens are visible and on
+//! ring writes until space frees. Because every worker preserves its
+//! local firing order and rings preserve element order, the threaded run
+//! is deterministic and bit-identical to the single-threaded executor —
+//! the property the differential test suite pins down for every
+//! benchmark graph, scalar and macro-SIMDized.
+//!
+//! Alongside the outputs, a run produces a [`RuntimeReport`]: per-stage
+//! firing and ring-traffic counters, per-edge stall counts, and measured
+//! wall-clock per steady iteration, for comparison against the analytic
+//! `macross_multicore::CoreEstimate` model.
+
+pub mod ring;
+mod worker;
+
+use macross_sdf::{buffer_requirements, Schedule};
+use macross_streamir::graph::{Graph, Node};
+use macross_streamir::types::Value;
+use macross_vm::machine::{CycleCounters, Machine};
+use macross_vm::VmError;
+use ring::{Aborted, Ring};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use worker::{Worker, WorkerFail};
+
+/// Errors from a threaded run.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// A filter body failed on some worker.
+    Vm(VmError),
+    /// `assignment.len()` does not match the graph's node count.
+    BadAssignment {
+        /// Nodes in the graph.
+        expected: usize,
+        /// Entries in the assignment.
+        got: usize,
+    },
+    /// A worker thread panicked (runtime bug, not a guest-program error).
+    WorkerPanicked(String),
+    /// The run aborted without a recorded cause.
+    Aborted,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Vm(e) => write!(f, "worker failed: {e}"),
+            RuntimeError::BadAssignment { expected, got } => {
+                write!(
+                    f,
+                    "assignment has {got} entries for a graph of {expected} nodes"
+                )
+            }
+            RuntimeError::WorkerPanicked(msg) => write!(f, "worker thread panicked: {msg}"),
+            RuntimeError::Aborted => write!(f, "run aborted"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Vm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VmError> for RuntimeError {
+    fn from(e: VmError) -> Self {
+        RuntimeError::Vm(e)
+    }
+}
+
+/// Live per-stage counters, shared between the workers and the
+/// coordinator. One entry per node, indexed by node id; each node is
+/// updated by exactly one worker, so the relaxed atomics are contention
+/// free — they exist so the counters can be observed while running.
+#[derive(Debug, Default)]
+pub struct Stage {
+    /// Completed firings.
+    pub firings: AtomicU64,
+    /// Tokens pulled from cross-core rings into this node's input tapes.
+    pub ring_in: AtomicU64,
+    /// Tokens flushed from this node's output tapes into cross-core rings.
+    pub ring_out: AtomicU64,
+}
+
+/// Spin barrier between the init schedule and the timed steady phase.
+/// Abort-aware so a worker that failed during init cannot strand the
+/// others (a `std::sync::Barrier` would).
+pub(crate) struct StartGate {
+    arrived: AtomicUsize,
+    total: usize,
+}
+
+impl StartGate {
+    pub(crate) fn new(total: usize) -> StartGate {
+        StartGate {
+            arrived: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    pub(crate) fn wait(&self, abort: &AtomicBool) -> Result<(), Aborted> {
+        self.arrived.fetch_add(1, Ordering::AcqRel);
+        while self.arrived.load(Ordering::Acquire) < self.total {
+            if abort.load(Ordering::Relaxed) {
+                return Err(Aborted);
+            }
+            std::thread::yield_now();
+        }
+        Ok(())
+    }
+}
+
+/// Final per-stage numbers in a [`RuntimeReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStats {
+    /// Node id in the graph.
+    pub node: usize,
+    /// Human-readable stage name (filter name or node kind).
+    pub name: String,
+    /// Core the stage ran on.
+    pub core: u32,
+    /// Completed firings (init + steady).
+    pub firings: u64,
+    /// Tokens pulled from cross-core rings.
+    pub ring_in: u64,
+    /// Tokens pushed to cross-core rings.
+    pub ring_out: u64,
+    /// Times this stage blocked pushing into a full ring.
+    pub full_stalls: u64,
+    /// Times this stage blocked pulling from an empty ring.
+    pub empty_stalls: u64,
+}
+
+/// Measured counters from a threaded run, the empirical counterpart of
+/// the analytic `CoreEstimate`.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// Worker threads (cores in the assignment).
+    pub cores: usize,
+    /// Steady iterations executed.
+    pub iters: u64,
+    /// Cross-core (cut) edges bridged by rings.
+    pub cut_edges: usize,
+    /// Per-stage counters, indexed by node id.
+    pub stages: Vec<StageStats>,
+    /// Steady-loop wall nanoseconds per core (0 for cores with no nodes).
+    pub core_nanos: Vec<u64>,
+    /// Slowest core's steady-loop nanoseconds — the measured makespan.
+    pub wall_nanos: u64,
+    /// Modelled cycles per core (steady phase), from the interpreter's
+    /// cost accounting.
+    pub core_modelled: Vec<CycleCounters>,
+}
+
+impl RuntimeReport {
+    /// Measured wall nanoseconds per steady iteration.
+    pub fn nanos_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            0.0
+        } else {
+            self.wall_nanos as f64 / self.iters as f64
+        }
+    }
+
+    /// Modelled cycles of the slowest core — the analytic makespan this
+    /// run should be compared against.
+    pub fn modelled_makespan(&self) -> u64 {
+        self.core_modelled
+            .iter()
+            .map(CycleCounters::total)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total tokens that crossed core boundaries.
+    pub fn ring_traffic(&self) -> u64 {
+        self.stages.iter().map(|s| s.ring_out).sum()
+    }
+
+    /// Total ring stall events (full + empty) across all stages.
+    pub fn total_stalls(&self) -> u64 {
+        self.stages
+            .iter()
+            .map(|s| s.full_stalls + s.empty_stalls)
+            .sum()
+    }
+}
+
+/// Result of a threaded run.
+#[derive(Debug, Clone)]
+pub struct ThreadedRun {
+    /// All sink outputs concatenated in node-id order — the same order as
+    /// `macross_vm::RunResult::output`, so the two are directly
+    /// comparable.
+    pub output: Vec<Value>,
+    /// Per-sink outputs, indexed by node id (empty for non-sinks).
+    pub outputs: Vec<Vec<Value>>,
+    /// Measured counters.
+    pub report: RuntimeReport,
+}
+
+fn stage_name(node: &Node) -> String {
+    match node {
+        Node::Filter(f) => f.name.clone(),
+        Node::Splitter(_) => "splitter".to_string(),
+        Node::Joiner(_) => "joiner".to_string(),
+        Node::HSplitter { .. } => "hsplitter".to_string(),
+        Node::HJoiner { .. } => "hjoiner".to_string(),
+        Node::Sink => "sink".to_string(),
+    }
+}
+
+/// Execute `iters` steady iterations of a scheduled graph across worker
+/// threads, one per core of `assignment` (node id -> core).
+///
+/// Within a core, nodes fire in the global schedule order via the same
+/// interpreter primitives as the single-threaded executor; cross-core
+/// edges stream through bounded SPSC rings sized from the schedule's
+/// [`buffer_requirements`]. The init schedule runs before timing starts;
+/// sink outputs and modelled cycle counters cover the steady phase
+/// exactly like `run_scheduled`.
+///
+/// # Errors
+/// [`RuntimeError::BadAssignment`] for a malformed assignment, and any
+/// [`VmError`] a filter raises on a worker (the other workers are aborted
+/// and joined).
+pub fn run_threaded(
+    graph: &Graph,
+    schedule: &Schedule,
+    machine: &Machine,
+    assignment: &[u32],
+    iters: u64,
+) -> Result<ThreadedRun, RuntimeError> {
+    if assignment.len() != graph.node_count() {
+        return Err(RuntimeError::BadAssignment {
+            expected: graph.node_count(),
+            got: assignment.len(),
+        });
+    }
+    let cores = assignment
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(1);
+    // Rings bridge cut edges, sized to the sequential schedule's peak so
+    // a producer can run a full iteration ahead before backpressure. The
+    // peak is the larger of the steady-iteration capacity and the
+    // init-phase resident count: the node-major init schedule has a
+    // producer complete ALL init firings before its consumer's first, so
+    // init_reps[src] * push tokens are simultaneously live — possibly
+    // more than the steady capacity (deep peeking pipelines do this), and
+    // undersized rings can deadlock a cyclic cross-core wait.
+    let reqs = buffer_requirements(graph, schedule);
+    let rings: Vec<Option<Arc<Ring>>> = graph
+        .edges()
+        .map(|(eid, e)| {
+            (assignment[e.src.0 as usize] != assignment[e.dst.0 as usize]).then(|| {
+                let init_peak = schedule.init_reps[e.src.0 as usize]
+                    * graph.node(e.src).push_rate(e.src_port) as u64;
+                let cap = reqs[eid.0 as usize].capacity.max(init_peak);
+                Arc::new(Ring::with_capacity(cap as usize, e.elem.zero()))
+            })
+        })
+        .collect();
+    let cut_edges = rings.iter().flatten().count();
+    let stages: Arc<Vec<Stage>> =
+        Arc::new((0..graph.node_count()).map(|_| Stage::default()).collect());
+    let worker_cores: Vec<u32> = {
+        let mut seen = vec![false; cores];
+        for &c in assignment {
+            seen[c as usize] = true;
+        }
+        (0..cores as u32).filter(|&c| seen[c as usize]).collect()
+    };
+    let abort = AtomicBool::new(false);
+    let gate = StartGate::new(worker_cores.len());
+
+    let mut results: Vec<(u32, Result<worker::WorkerOut, RuntimeError>)> =
+        Vec::with_capacity(worker_cores.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = worker_cores
+            .iter()
+            .map(|&core| {
+                let stages = Arc::clone(&stages);
+                let (rings, abort, gate) = (&rings, &abort, &gate);
+                let h = s.spawn(move || {
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        let w =
+                            Worker::new(graph, schedule, machine, assignment, core, rings, stages);
+                        w.run(iters, gate, abort)
+                    }));
+                    match run {
+                        Ok(Ok(out)) => Ok(out),
+                        Ok(Err(fail)) => {
+                            abort.store(true, Ordering::Relaxed);
+                            Err(match fail {
+                                WorkerFail::Vm(e) => RuntimeError::Vm(e),
+                                WorkerFail::Aborted => RuntimeError::Aborted,
+                            })
+                        }
+                        Err(payload) => {
+                            abort.store(true, Ordering::Relaxed);
+                            let msg = payload
+                                .downcast_ref::<String>()
+                                .cloned()
+                                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                                .unwrap_or_else(|| "unknown panic".to_string());
+                            Err(RuntimeError::WorkerPanicked(msg))
+                        }
+                    }
+                });
+                (core, h)
+            })
+            .collect();
+        for (core, h) in handles {
+            // The spawned closure never panics: the body is wrapped in
+            // catch_unwind, so join() only fails on harness bugs.
+            results.push((core, h.join().expect("worker wrapper panicked")));
+        }
+    });
+
+    // Surface the root cause, not the Aborted echoes it caused elsewhere.
+    let mut vm_err: Option<RuntimeError> = None;
+    let mut panic_err: Option<RuntimeError> = None;
+    let mut aborted = false;
+    let mut finished: Vec<(u32, worker::WorkerOut)> = Vec::with_capacity(results.len());
+    for (core, r) in results {
+        match r {
+            Ok(out) => finished.push((core, out)),
+            Err(e @ RuntimeError::Vm(_)) if vm_err.is_none() => vm_err = Some(e),
+            Err(e @ RuntimeError::WorkerPanicked(_)) if panic_err.is_none() => {
+                panic_err = Some(e);
+            }
+            Err(_) => aborted = true,
+        }
+    }
+    if let Some(e) = vm_err {
+        return Err(e);
+    }
+    if let Some(e) = panic_err {
+        return Err(e);
+    }
+    if aborted {
+        return Err(RuntimeError::Aborted);
+    }
+
+    let mut outputs: Vec<Vec<Value>> = vec![Vec::new(); graph.node_count()];
+    let mut core_nanos = vec![0u64; cores];
+    let mut core_modelled = vec![CycleCounters::default(); cores];
+    for (core, out) in finished {
+        for (node, vals) in out.sink_outputs {
+            outputs[node] = vals;
+        }
+        core_nanos[core as usize] = out.steady_nanos;
+        core_modelled[core as usize] = out.modelled;
+    }
+    let wall_nanos = core_nanos.iter().copied().max().unwrap_or(0);
+
+    let mut stage_stats: Vec<StageStats> = graph
+        .nodes()
+        .map(|(id, node)| {
+            let i = id.0 as usize;
+            StageStats {
+                node: i,
+                name: stage_name(node),
+                core: assignment[i],
+                firings: stages[i].firings.load(Ordering::Relaxed),
+                ring_in: stages[i].ring_in.load(Ordering::Relaxed),
+                ring_out: stages[i].ring_out.load(Ordering::Relaxed),
+                full_stalls: 0,
+                empty_stalls: 0,
+            }
+        })
+        .collect();
+    for (eid, e) in graph.edges() {
+        if let Some(ring) = &rings[eid.0 as usize] {
+            stage_stats[e.src.0 as usize].full_stalls += ring.full_stalls();
+            stage_stats[e.dst.0 as usize].empty_stalls += ring.empty_stalls();
+        }
+    }
+
+    let output = outputs.iter().flatten().copied().collect();
+    Ok(ThreadedRun {
+        output,
+        outputs,
+        report: RuntimeReport {
+            cores,
+            iters,
+            cut_edges,
+            stages: stage_stats,
+            core_nanos,
+            wall_nanos,
+            core_modelled,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macross_streamir::builder::StreamSpec;
+    use macross_streamir::edsl::*;
+    use macross_streamir::types::{ScalarTy, Ty};
+
+    /// counter -> tripler -> sink, for splitting across cores.
+    fn chain() -> Graph {
+        let mut src = FilterBuilder::new("src", 0, 0, 1, ScalarTy::I32);
+        let n = src.state("n", Ty::Scalar(ScalarTy::I32));
+        src.work(|b| {
+            b.push(v(n));
+            b.set(n, v(n) + 1i32);
+        });
+        let mut scale = FilterBuilder::new("scale", 1, 1, 1, ScalarTy::I32);
+        scale.work(|b| {
+            b.push(pop() * 3i32);
+        });
+        StreamSpec::pipeline(vec![src.build_spec(), scale.build_spec(), StreamSpec::Sink])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn bad_assignment_is_rejected() {
+        let g = chain();
+        let sched = Schedule::compute(&g).unwrap();
+        let err = run_threaded(&g, &sched, &Machine::core_i7(), &[0, 1], 4).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::BadAssignment {
+                expected: 3,
+                got: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn two_core_chain_matches_single_threaded() {
+        let g = chain();
+        let sched = Schedule::compute(&g).unwrap();
+        let m = Machine::core_i7();
+        let seq = macross_vm::run_scheduled(&g, &sched, &m, 8).unwrap();
+        let thr = run_threaded(&g, &sched, &m, &[0, 1, 1], 8).unwrap();
+        assert_eq!(thr.output, seq.output);
+        assert_eq!(thr.report.cores, 2);
+        assert_eq!(thr.report.cut_edges, 1);
+        // src fired 8 steady times and shipped every token cross-core.
+        assert_eq!(thr.report.stages[0].firings, 8);
+        assert_eq!(thr.report.stages[0].ring_out, 8);
+        assert_eq!(thr.report.stages[1].ring_in, 8);
+        // Modelled cycles are partitioned, not duplicated.
+        let total: u64 = thr
+            .report
+            .core_modelled
+            .iter()
+            .map(CycleCounters::total)
+            .sum();
+        assert_eq!(total, seq.counters.total());
+    }
+
+    #[test]
+    fn single_core_threaded_matches_single_threaded() {
+        let g = chain();
+        let sched = Schedule::compute(&g).unwrap();
+        let m = Machine::core_i7();
+        let seq = macross_vm::run_scheduled(&g, &sched, &m, 5).unwrap();
+        let thr = run_threaded(&g, &sched, &m, &[0, 0, 0], 5).unwrap();
+        assert_eq!(thr.output, seq.output);
+        assert_eq!(thr.report.cut_edges, 0);
+        assert_eq!(thr.report.ring_traffic(), 0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Bounded lock-free SPSC ring buffer: the inter-core tape segment.
+//!
+//! One producer worker and one consumer worker share a ring per cut edge.
+//! The data path is wait-free on both sides — a single release store of
+//! the head or tail index publishes a whole batch (one firing's worth of
+//! elements). Head and tail live on separate cache lines so the producer
+//! and consumer don't false-share. When the ring is full (producer) or
+//! empty (consumer), the stalled side spins briefly, then parks; the peer
+//! unparks it on the next batch. Parks use a timeout so an abort raised by
+//! a failing worker is always noticed.
+
+use macross_streamir::types::Value;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread::Thread;
+use std::time::Duration;
+
+/// The run was aborted by another worker while this one was blocked on a
+/// ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Aborted;
+
+/// Pad to a cache line so head and tail never share one.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+/// Iterations of `spin_loop` before a stalled side parks.
+const SPIN_BUDGET: u32 = 256;
+/// Park timeout — bounds abort-detection latency if an unpark is lost.
+const PARK_TIMEOUT: Duration = Duration::from_micros(200);
+
+/// Bounded single-producer single-consumer ring of tape elements.
+pub struct Ring {
+    buf: Box<[UnsafeCell<Value>]>,
+    mask: usize,
+    /// Next slot the consumer reads. Written only by the consumer.
+    head: CachePadded<AtomicUsize>,
+    /// Next slot the producer writes. Written only by the producer.
+    tail: CachePadded<AtomicUsize>,
+    /// Times the producer found the ring full and had to wait.
+    full_stalls: AtomicU64,
+    /// Times the consumer found the ring empty and had to wait.
+    empty_stalls: AtomicU64,
+    producer_parked: AtomicBool,
+    consumer_parked: AtomicBool,
+    producer: Mutex<Option<Thread>>,
+    consumer: Mutex<Option<Thread>>,
+}
+
+// SAFETY: slots are only written by the producer between `tail` publication
+// points and only read by the consumer below the published `tail`; the
+// acquire/release pair on head/tail orders the accesses.
+unsafe impl Send for Ring {}
+unsafe impl Sync for Ring {}
+
+impl Ring {
+    /// A ring with at least `capacity` slots (rounded up to a power of
+    /// two, minimum 8), zero-filled with `fill`.
+    pub fn with_capacity(capacity: usize, fill: Value) -> Ring {
+        let cap = capacity.max(8).next_power_of_two();
+        let buf: Vec<UnsafeCell<Value>> = (0..cap).map(|_| UnsafeCell::new(fill)).collect();
+        Ring {
+            buf: buf.into_boxed_slice(),
+            mask: cap - 1,
+            head: CachePadded(AtomicUsize::new(0)),
+            tail: CachePadded(AtomicUsize::new(0)),
+            full_stalls: AtomicU64::new(0),
+            empty_stalls: AtomicU64::new(0),
+            producer_parked: AtomicBool::new(false),
+            consumer_parked: AtomicBool::new(false),
+            producer: Mutex::new(None),
+            consumer: Mutex::new(None),
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Register the calling thread as the producer (for unpark).
+    pub fn register_producer(&self) {
+        *self.producer.lock().unwrap() = Some(std::thread::current());
+    }
+
+    /// Register the calling thread as the consumer (for unpark).
+    pub fn register_consumer(&self) {
+        *self.consumer.lock().unwrap() = Some(std::thread::current());
+    }
+
+    /// Times the producer found the ring full.
+    pub fn full_stalls(&self) -> u64 {
+        self.full_stalls.load(Ordering::Relaxed)
+    }
+
+    /// Times the consumer found the ring empty.
+    pub fn empty_stalls(&self) -> u64 {
+        self.empty_stalls.load(Ordering::Relaxed)
+    }
+
+    fn wake_consumer(&self) {
+        if self.consumer_parked.swap(false, Ordering::AcqRel) {
+            if let Some(t) = self.consumer.lock().unwrap().as_ref() {
+                t.unpark();
+            }
+        }
+    }
+
+    fn wake_producer(&self) {
+        if self.producer_parked.swap(false, Ordering::AcqRel) {
+            if let Some(t) = self.producer.lock().unwrap().as_ref() {
+                t.unpark();
+            }
+        }
+    }
+
+    /// Producer: append all of `vals`, in chunks as space frees up.
+    /// Deadlock-free for any capacity — the consumer always drains what is
+    /// visible before it waits, so space eventually appears.
+    ///
+    /// # Errors
+    /// Returns [`Aborted`] if `abort` is raised while waiting for space.
+    pub fn push_batch(&self, vals: &[Value], abort: &AtomicBool) -> Result<(), Aborted> {
+        let mut written = 0;
+        while written < vals.len() {
+            let tail = self.tail.0.load(Ordering::Relaxed);
+            let head = self.head.0.load(Ordering::Acquire);
+            let free = self.capacity() - (tail - head);
+            if free == 0 {
+                self.full_stalls.fetch_add(1, Ordering::Relaxed);
+                self.wait_for_space(tail, abort)?;
+                continue;
+            }
+            let n = free.min(vals.len() - written);
+            for i in 0..n {
+                // SAFETY: slots in [tail, tail+n) are unpublished; only the
+                // producer writes them.
+                unsafe {
+                    *self.buf[(tail + i) & self.mask].get() = vals[written + i];
+                }
+            }
+            self.tail.0.store(tail + n, Ordering::Release);
+            written += n;
+            self.wake_consumer();
+        }
+        Ok(())
+    }
+
+    fn wait_for_space(&self, tail: usize, abort: &AtomicBool) -> Result<(), Aborted> {
+        let full = |s: &Ring| s.capacity() - (tail - s.head.0.load(Ordering::Acquire)) == 0;
+        for _ in 0..SPIN_BUDGET {
+            if !full(self) {
+                return Ok(());
+            }
+            if abort.load(Ordering::Relaxed) {
+                return Err(Aborted);
+            }
+            std::hint::spin_loop();
+        }
+        loop {
+            self.producer_parked.store(true, Ordering::Release);
+            if !full(self) {
+                self.producer_parked.store(false, Ordering::Release);
+                return Ok(());
+            }
+            if abort.load(Ordering::Relaxed) {
+                self.producer_parked.store(false, Ordering::Release);
+                return Err(Aborted);
+            }
+            std::thread::park_timeout(PARK_TIMEOUT);
+        }
+    }
+
+    /// Consumer: drain up to `max` available elements into `sink` without
+    /// blocking. Returns how many were taken.
+    pub fn pop_avail(&self, mut sink: impl FnMut(Value), max: usize) -> usize {
+        let tail = self.tail.0.load(Ordering::Acquire);
+        let head = self.head.0.load(Ordering::Relaxed);
+        let avail = (tail - head).min(max);
+        for i in 0..avail {
+            // SAFETY: slots in [head, tail) are published and not written
+            // again until the head advances past them.
+            sink(unsafe { *self.buf[(head + i) & self.mask].get() });
+        }
+        if avail > 0 {
+            self.head.0.store(head + avail, Ordering::Release);
+            self.wake_producer();
+        }
+        avail
+    }
+
+    /// Consumer: block until at least one element is visible.
+    ///
+    /// # Errors
+    /// Returns [`Aborted`] if `abort` is raised while waiting.
+    pub fn wait_nonempty(&self, abort: &AtomicBool) -> Result<(), Aborted> {
+        self.empty_stalls.fetch_add(1, Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Relaxed);
+        let empty = |s: &Ring| s.tail.0.load(Ordering::Acquire) == head;
+        for _ in 0..SPIN_BUDGET {
+            if !empty(self) {
+                return Ok(());
+            }
+            if abort.load(Ordering::Relaxed) {
+                return Err(Aborted);
+            }
+            std::hint::spin_loop();
+        }
+        loop {
+            self.consumer_parked.store(true, Ordering::Release);
+            if !empty(self) {
+                self.consumer_parked.store(false, Ordering::Release);
+                return Ok(());
+            }
+            if abort.load(Ordering::Relaxed) {
+                self.consumer_parked.store(false, Ordering::Release);
+                return Err(Aborted);
+            }
+            std::thread::park_timeout(PARK_TIMEOUT);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn iv(x: i32) -> Value {
+        Value::I32(x)
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let r = Ring::with_capacity(13, iv(0));
+        assert_eq!(r.capacity(), 16);
+        assert_eq!(Ring::with_capacity(0, iv(0)).capacity(), 8);
+    }
+
+    #[test]
+    fn batch_roundtrip_single_thread() {
+        let r = Ring::with_capacity(8, iv(0));
+        let abort = AtomicBool::new(false);
+        r.push_batch(&(0..6).map(iv).collect::<Vec<_>>(), &abort)
+            .unwrap();
+        let mut got = Vec::new();
+        assert_eq!(r.pop_avail(|v| got.push(v), 100), 6);
+        assert_eq!(got, (0..6).map(iv).collect::<Vec<_>>());
+        assert_eq!(r.pop_avail(|v| got.push(v), 100), 0);
+    }
+
+    #[test]
+    fn oversized_batch_flows_in_chunks() {
+        // Batch larger than capacity: requires a concurrent consumer.
+        let r = Arc::new(Ring::with_capacity(8, iv(0)));
+        let abort = Arc::new(AtomicBool::new(false));
+        let vals: Vec<Value> = (0..1000).map(iv).collect();
+        let rc = Arc::clone(&r);
+        let ac = Arc::clone(&abort);
+        let consumer = std::thread::spawn(move || {
+            rc.register_consumer();
+            let mut got = Vec::new();
+            while got.len() < 1000 {
+                if rc.pop_avail(|v| got.push(v), 64) == 0 {
+                    rc.wait_nonempty(&ac).unwrap();
+                }
+            }
+            got
+        });
+        r.register_producer();
+        r.push_batch(&vals, &abort).unwrap();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, vals);
+        // 1000 elements through 8 slots: the producer must have stalled.
+        assert!(r.full_stalls() > 0);
+    }
+
+    #[test]
+    fn spsc_stress_preserves_order() {
+        let r = Arc::new(Ring::with_capacity(32, iv(0)));
+        let abort = Arc::new(AtomicBool::new(false));
+        const N: i32 = 100_000;
+        let rc = Arc::clone(&r);
+        let ac = Arc::clone(&abort);
+        let consumer = std::thread::spawn(move || {
+            rc.register_consumer();
+            let mut next = 0i32;
+            while next < N {
+                let got = rc.pop_avail(
+                    |v| {
+                        assert_eq!(v, iv(next));
+                        next += 1;
+                    },
+                    usize::MAX,
+                );
+                if got == 0 {
+                    rc.wait_nonempty(&ac).unwrap();
+                }
+            }
+        });
+        r.register_producer();
+        let mut k = 0i32;
+        while k < N {
+            let n = (1 + (k % 17)) as usize;
+            let batch: Vec<Value> = (k..(k + n as i32).min(N)).map(iv).collect();
+            r.push_batch(&batch, &abort).unwrap();
+            k += batch.len() as i32;
+        }
+        consumer.join().unwrap();
+    }
+
+    #[test]
+    fn abort_unblocks_waiters() {
+        let r = Arc::new(Ring::with_capacity(8, iv(0)));
+        let abort = Arc::new(AtomicBool::new(false));
+        let rc = Arc::clone(&r);
+        let ac = Arc::clone(&abort);
+        let consumer = std::thread::spawn(move || {
+            rc.register_consumer();
+            rc.wait_nonempty(&ac)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        abort.store(true, Ordering::Relaxed);
+        assert_eq!(consumer.join().unwrap(), Err(Aborted));
+        assert!(r.empty_stalls() > 0);
+    }
+}

@@ -1,0 +1,436 @@
+//! Per-core worker: executes one core's slice of the global SDF schedule
+//! against thread-local tapes, bridging cut edges through SPSC rings.
+//!
+//! Each worker owns a full `Vec<Tape>` indexed by edge id but only touches
+//! the edges incident to its own nodes. A cut edge is represented twice —
+//! a producer-side tape half on the producing core and a consumer-side
+//! half on the consuming core — with the physical [`crate::ring::Ring`]
+//! in between. Reorder semantics stay in the local halves: a
+//! producer-side reorder (`ReorderSide::Producer`) stages and commits on
+//! the producing core, a consumer-side reorder (`ReorderSide::Consumer`)
+//! remaps reads on the consuming core, and the ring always carries
+//! elements in committed physical order. Draining a tape front-first
+//! therefore preserves exactly the layout the single-threaded executor
+//! would have seen, which is what makes the differential tests exact.
+
+use crate::ring::{Aborted, Ring};
+use crate::{Stage, StartGate};
+use macross_sdf::Schedule;
+use macross_streamir::graph::{Graph, Node, NodeId};
+use macross_streamir::types::Value;
+use macross_vm::firing::{self, FilterState};
+use macross_vm::machine::{CycleCounters, Machine};
+use macross_vm::tape::Tape;
+use macross_vm::VmError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A worker failure, before mapping to `RuntimeError`.
+#[derive(Debug)]
+pub(crate) enum WorkerFail {
+    /// A filter body failed on this core.
+    Vm(VmError),
+    /// Another core failed; this one was unblocked by the abort flag.
+    Aborted,
+}
+
+impl From<Aborted> for WorkerFail {
+    fn from(_: Aborted) -> Self {
+        WorkerFail::Aborted
+    }
+}
+
+impl From<VmError> for WorkerFail {
+    fn from(e: VmError) -> Self {
+        WorkerFail::Vm(e)
+    }
+}
+
+/// What a worker hands back to the coordinator.
+pub(crate) struct WorkerOut {
+    /// `(sink node id, values captured)` for sinks hosted on this core.
+    pub sink_outputs: Vec<(usize, Vec<Value>)>,
+    /// Wall-clock nanoseconds spent in the steady loop.
+    pub steady_nanos: u64,
+    /// Modelled cycles accumulated by this core's firings (steady only).
+    pub modelled: CycleCounters,
+}
+
+/// One cut in-edge the worker must pull tokens for before firing.
+struct Pull {
+    edge: usize,
+    ring: Arc<Ring>,
+    /// Physical tokens one firing must be able to address:
+    /// `max(pop, peek)` for filters, the exact pop rate otherwise.
+    need: usize,
+    /// Logical tokens one firing consumes (advances the block position).
+    pop: usize,
+    /// Read-reorder block of the local consumer tape half (1 if plain).
+    /// Column-major remapping addresses anywhere inside the current
+    /// block, so availability is rounded up to whole blocks.
+    block: usize,
+    /// Total tokens consumed so far — `consumed % block` is the position
+    /// inside the current block.
+    consumed: usize,
+}
+
+/// One cut out-edge the worker must flush after firing.
+struct Push {
+    edge: usize,
+    ring: Arc<Ring>,
+}
+
+/// Per-node firing plan for one core.
+struct NodePlan {
+    id: NodeId,
+    reps: u64,
+    init_reps: u64,
+    pulls: Vec<Pull>,
+    pushes: Vec<Push>,
+}
+
+pub(crate) struct Worker<'g> {
+    graph: &'g Graph,
+    machine: &'g Machine,
+    tapes: Vec<Tape>,
+    states: Vec<FilterState>,
+    plans: Vec<NodePlan>,
+    stages: Arc<Vec<Stage>>,
+    counters: CycleCounters,
+    sink_outputs: Vec<(usize, Vec<Value>)>,
+    scratch: Vec<Value>,
+}
+
+impl<'g> Worker<'g> {
+    /// Build the worker for `core`: local tapes (with reorder halves for
+    /// cut edges), filter states for its own nodes, and the pull/push
+    /// plan per node. Registers this thread on its rings for unpark.
+    pub(crate) fn new(
+        graph: &'g Graph,
+        schedule: &'g Schedule,
+        machine: &'g Machine,
+        assignment: &[u32],
+        core: u32,
+        rings: &[Option<Arc<Ring>>],
+        stages: Arc<Vec<Stage>>,
+    ) -> Worker<'g> {
+        let mut tapes: Vec<Tape> = graph.edges().map(|(_, e)| Tape::new(e.elem)).collect();
+        for (i, (_, e)) in graph.edges().enumerate() {
+            let Some(r) = e.reorder else { continue };
+            let (src_core, dst_core) = (assignment[e.src.0 as usize], assignment[e.dst.0 as usize]);
+            match r.side {
+                // Consumer-side remap lives on the consuming core's half.
+                macross_streamir::graph::ReorderSide::Consumer if dst_core == core => {
+                    tapes[i].set_read_reorder(r.rate, r.sw);
+                }
+                // Producer-side staging lives on the producing core's half.
+                macross_streamir::graph::ReorderSide::Producer if src_core == core => {
+                    tapes[i].set_write_reorder(r.rate, r.sw);
+                }
+                _ => {}
+            }
+        }
+        let states: Vec<FilterState> = graph
+            .nodes()
+            .map(|(id, node)| match node {
+                Node::Filter(f) if assignment[id.0 as usize] == core => FilterState::new(f),
+                _ => FilterState::default(),
+            })
+            .collect();
+        let mut plans = Vec::new();
+        for &id in &schedule.order {
+            if assignment[id.0 as usize] != core {
+                continue;
+            }
+            let node = graph.node(id);
+            let mut pulls = Vec::new();
+            for eid in graph.in_edges(id) {
+                let Some(ring) = &rings[eid.0 as usize] else {
+                    continue;
+                };
+                ring.register_consumer();
+                let e = graph.edge(eid);
+                let pop = node.pop_rate(e.dst_port);
+                let need = match node {
+                    Node::Filter(f) => f.pop.max(f.peek),
+                    _ => pop,
+                };
+                let block = e
+                    .reorder
+                    .filter(|r| r.side == macross_streamir::graph::ReorderSide::Consumer)
+                    .map(|r| r.block())
+                    .unwrap_or(1);
+                pulls.push(Pull {
+                    edge: eid.0 as usize,
+                    ring: Arc::clone(ring),
+                    need,
+                    pop,
+                    block,
+                    consumed: 0,
+                });
+            }
+            let mut pushes = Vec::new();
+            for eid in graph.out_edges(id) {
+                let Some(ring) = &rings[eid.0 as usize] else {
+                    continue;
+                };
+                ring.register_producer();
+                pushes.push(Push {
+                    edge: eid.0 as usize,
+                    ring: Arc::clone(ring),
+                });
+            }
+            plans.push(NodePlan {
+                id,
+                reps: schedule.reps[id.0 as usize],
+                init_reps: schedule.init_reps[id.0 as usize],
+                pulls,
+                pushes,
+            });
+        }
+        Worker {
+            graph,
+            machine,
+            tapes,
+            states,
+            plans,
+            stages,
+            counters: CycleCounters::default(),
+            sink_outputs: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Run this core: filter init functions, the init schedule, the start
+    /// gate, then `iters` timed steady iterations.
+    pub(crate) fn run(
+        mut self,
+        iters: u64,
+        gate: &StartGate,
+        abort: &AtomicBool,
+    ) -> Result<WorkerOut, WorkerFail> {
+        for p in 0..self.plans.len() {
+            let id = self.plans[p].id;
+            if let Node::Filter(f) = self.graph.node(id) {
+                self.states[id.0 as usize].run_init_fn(f, self.machine)?;
+            }
+        }
+        // Init schedule (primes peek slack), in global-order restriction.
+        for p in 0..self.plans.len() {
+            for _ in 0..self.plans[p].init_reps {
+                self.fire_plan(p, abort)?;
+            }
+        }
+        // Don't let fast cores start the clock while others still prime.
+        gate.wait(abort)?;
+        self.counters = CycleCounters::default();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            for p in 0..self.plans.len() {
+                for _ in 0..self.plans[p].reps {
+                    self.fire_plan(p, abort)?;
+                }
+            }
+        }
+        let steady_nanos = t0.elapsed().as_nanos() as u64;
+        Ok(WorkerOut {
+            sink_outputs: self.sink_outputs,
+            steady_nanos,
+            modelled: self.counters,
+        })
+    }
+
+    /// One firing of plan `p`: pull cut-edge inputs, fire, flush cut-edge
+    /// outputs.
+    fn fire_plan(&mut self, p: usize, abort: &AtomicBool) -> Result<(), WorkerFail> {
+        self.ensure_inputs(p, abort)?;
+        let id = self.plans[p].id;
+        self.fire_node(id)?;
+        self.stages[id.0 as usize]
+            .firings
+            .fetch_add(1, Ordering::Relaxed);
+        self.flush_outputs(p, abort)
+    }
+
+    /// Pull from each cut in-edge until the local tape half holds every
+    /// physical token this firing can address.
+    fn ensure_inputs(&mut self, p: usize, abort: &AtomicBool) -> Result<(), WorkerFail> {
+        let plan = &mut self.plans[p];
+        let node_idx = plan.id.0 as usize;
+        for pull in &mut plan.pulls {
+            let needed_phys = if pull.block > 1 {
+                let pos = pull.consumed % pull.block;
+                (pos + pull.need).div_ceil(pull.block) * pull.block
+            } else {
+                pull.need
+            };
+            let tape = &mut self.tapes[pull.edge];
+            let mut got = 0u64;
+            while tape.len() < needed_phys {
+                let missing = needed_phys - tape.len();
+                let n = pull.ring.pop_avail(|v| tape.push(v), missing);
+                if n == 0 {
+                    pull.ring.wait_nonempty(abort)?;
+                }
+                got += n as u64;
+            }
+            pull.consumed += pull.pop;
+            if got > 0 {
+                self.stages[node_idx]
+                    .ring_in
+                    .fetch_add(got, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drain every committed element of each cut out-edge's local tape
+    /// half into its ring, in physical order.
+    fn flush_outputs(&mut self, p: usize, abort: &AtomicBool) -> Result<(), WorkerFail> {
+        let plan = &self.plans[p];
+        let node_idx = plan.id.0 as usize;
+        for push in &plan.pushes {
+            let tape = &mut self.tapes[push.edge];
+            let n = tape.len();
+            if n == 0 {
+                continue;
+            }
+            self.scratch.clear();
+            for _ in 0..n {
+                self.scratch.push(tape.pop());
+            }
+            push.ring.push_batch(&self.scratch, abort)?;
+            self.stages[node_idx]
+                .ring_out
+                .fetch_add(n as u64, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Fire one node once against the local tapes — the same dispatch as
+    /// `Executor::fire`, built on the shared [`firing`] primitives.
+    fn fire_node(&mut self, id: NodeId) -> Result<(), VmError> {
+        self.counters.firing_overhead += self.machine.cost.firing;
+        let in_edge = self.graph.single_in_edge(id);
+        let out_edge = self.graph.single_out_edge(id);
+        match self.graph.node(id) {
+            Node::Filter(f) => {
+                let in_cost = in_edge
+                    .map(|e| firing::edge_addr_cost(self.graph, e, true, self.machine))
+                    .unwrap_or(0);
+                let out_cost = out_edge
+                    .map(|e| firing::edge_addr_cost(self.graph, e, false, self.machine))
+                    .unwrap_or(0);
+                firing::fire_filter(
+                    f,
+                    &mut self.states[id.0 as usize],
+                    &mut self.tapes,
+                    in_edge.map(|e| e.0 as usize),
+                    out_edge.map(|e| e.0 as usize),
+                    in_cost,
+                    out_cost,
+                    self.machine,
+                    &mut self.counters,
+                )?;
+            }
+            Node::Splitter(kind) => {
+                let kind = kind.clone();
+                let in_edge = in_edge.expect("splitter needs an input");
+                let outs = self.graph.out_edges(id);
+                let in_cost = firing::edge_addr_cost(self.graph, in_edge, true, self.machine);
+                let out_costs: Vec<u64> = outs
+                    .iter()
+                    .map(|&e| firing::edge_addr_cost(self.graph, e, false, self.machine))
+                    .collect();
+                let out_idx: Vec<usize> = outs.iter().map(|e| e.0 as usize).collect();
+                firing::fire_splitter(
+                    &kind,
+                    &mut self.tapes,
+                    in_edge.0 as usize,
+                    &out_idx,
+                    in_cost,
+                    &out_costs,
+                    self.machine,
+                    &mut self.counters,
+                );
+            }
+            Node::Joiner(weights) => {
+                let weights = weights.clone();
+                let ins = self.graph.in_edges(id);
+                let out = out_edge.expect("joiner needs an output");
+                let in_costs: Vec<u64> = ins
+                    .iter()
+                    .map(|&e| firing::edge_addr_cost(self.graph, e, true, self.machine))
+                    .collect();
+                let out_cost = firing::edge_addr_cost(self.graph, out, false, self.machine);
+                let in_idx: Vec<usize> = ins.iter().map(|e| e.0 as usize).collect();
+                firing::fire_joiner(
+                    &weights,
+                    &mut self.tapes,
+                    &in_idx,
+                    out.0 as usize,
+                    &in_costs,
+                    out_cost,
+                    self.machine,
+                    &mut self.counters,
+                );
+            }
+            Node::HSplitter { kind, width } => {
+                let (kind, width) = (kind.clone(), *width);
+                let in_edge = in_edge.expect("hsplitter needs an input");
+                let out_idx: Vec<usize> = self
+                    .graph
+                    .out_edges(id)
+                    .iter()
+                    .map(|e| e.0 as usize)
+                    .collect();
+                firing::fire_hsplitter(
+                    &kind,
+                    width,
+                    &mut self.tapes,
+                    in_edge.0 as usize,
+                    &out_idx,
+                    self.machine,
+                    &mut self.counters,
+                );
+            }
+            Node::HJoiner { weights, width } => {
+                let (weights, width) = (weights.clone(), *width);
+                let out = out_edge.expect("hjoiner needs an output");
+                let in_idx: Vec<usize> = self
+                    .graph
+                    .in_edges(id)
+                    .iter()
+                    .map(|e| e.0 as usize)
+                    .collect();
+                firing::fire_hjoiner(
+                    &weights,
+                    width,
+                    &mut self.tapes,
+                    &in_idx,
+                    out.0 as usize,
+                    self.machine,
+                    &mut self.counters,
+                );
+            }
+            Node::Sink => {
+                let in_edge = in_edge.expect("sink needs an input");
+                let in_cost = firing::edge_addr_cost(self.graph, in_edge, true, self.machine);
+                let v = firing::fire_sink(
+                    &mut self.tapes,
+                    in_edge.0 as usize,
+                    in_cost,
+                    self.machine,
+                    &mut self.counters,
+                );
+                let idx = id.0 as usize;
+                match self.sink_outputs.iter_mut().find(|(i, _)| *i == idx) {
+                    Some((_, vals)) => vals.push(v),
+                    None => self.sink_outputs.push((idx, vec![v])),
+                }
+            }
+        }
+        Ok(())
+    }
+}

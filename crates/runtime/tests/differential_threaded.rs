@@ -1,0 +1,116 @@
+//! Differential suite: for every benchsuite graph, the threaded runtime
+//! (1, 2, and 4 workers) must produce bit-identical output to the
+//! single-threaded `run_scheduled` interpreter — for the scalar graph and
+//! for the macro-SIMDized graph.
+//!
+//! LPT partitions place the cut edges where the naive multi-core
+//! scheduler would; an extra round-robin placement per benchmark cuts
+//! *every* edge, stressing the ring path on edges LPT happens to keep
+//! local (including reordered tapes split across cores).
+
+use macross::driver::{macro_simdize, SimdizeOptions};
+use macross_multicore::Partition;
+use macross_runtime::run_threaded;
+use macross_sdf::Schedule;
+use macross_streamir::graph::Graph;
+use macross_streamir::types::Value;
+use macross_vm::{run_scheduled, Machine};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn assert_bits_eq(ctx: &str, seq: &[Value], thr: &[Value]) {
+    assert_eq!(seq.len(), thr.len(), "{ctx}: output length mismatch");
+    assert!(!seq.is_empty(), "{ctx}: produced no output");
+    for (i, (a, b)) in seq.iter().zip(thr).enumerate() {
+        assert!(
+            a.bits_eq(*b),
+            "{ctx}: output {i}: sequential {a:?} vs threaded {b:?}"
+        );
+    }
+}
+
+/// Compare threaded against sequential for one (graph, schedule) pair
+/// under LPT partitions at each worker count plus a round-robin placement
+/// that cuts every edge.
+fn check_graph(name: &str, graph: &Graph, schedule: &Schedule, machine: &Machine, iters: u64) {
+    let seq = run_scheduled(graph, schedule, machine, iters).expect("sequential run failed");
+    for &cores in &WORKER_COUNTS {
+        eprintln!("[diff] {name} x{cores}");
+        let part = Partition::lpt(graph, schedule, &seq.node_cycles, cores);
+        let thr = run_threaded(graph, schedule, machine, &part.assignment, iters)
+            .unwrap_or_else(|e| panic!("{name} x{cores}: threaded run failed: {e}"));
+        assert_bits_eq(&format!("{name} x{cores} (lpt)"), &seq.output, &thr.output);
+        assert_eq!(
+            thr.report.cut_edges,
+            part.cut_edges.len(),
+            "{name} x{cores}: cut edge count"
+        );
+        // Every steady firing happened exactly iters * reps times (plus init).
+        for (i, stage) in thr.report.stages.iter().enumerate() {
+            let expected = schedule.init_reps[i] + iters * schedule.reps[i];
+            assert_eq!(
+                stage.firings, expected,
+                "{name} x{cores}: firings of stage {i}"
+            );
+        }
+    }
+    eprintln!("[diff] {name} round-robin");
+    let rr: Vec<u32> = (0..graph.node_count() as u32).map(|i| i % 4).collect();
+    let thr = run_threaded(graph, schedule, machine, &rr, iters)
+        .unwrap_or_else(|e| panic!("{name} round-robin: threaded run failed: {e}"));
+    assert_bits_eq(&format!("{name} (round-robin)"), &seq.output, &thr.output);
+}
+
+fn bench_iters(iters: u64) -> u64 {
+    iters.min(6)
+}
+
+#[test]
+fn scalar_graphs_threaded_matches_sequential() {
+    let machine = Machine::core_i7();
+    for b in macross_benchsuite::all() {
+        let graph = (b.build)();
+        let schedule = Schedule::compute(&graph).expect("benchsuite graph must schedule");
+        check_graph(b.name, &graph, &schedule, &machine, bench_iters(b.iters));
+    }
+}
+
+#[test]
+fn simdized_graphs_threaded_matches_sequential() {
+    // The SAGU machine maximizes VectorReorder tape decisions, so cut
+    // edges with producer- and consumer-side reorder halves get exercised.
+    let machine = Machine::core_i7_with_sagu();
+    for b in macross_benchsuite::all() {
+        let graph = (b.build)();
+        let simd = macro_simdize(&graph, &machine, &SimdizeOptions::all())
+            .unwrap_or_else(|e| panic!("{}: simdize failed: {e}", b.name));
+        let name = format!("{}-simd", b.name);
+        check_graph(
+            &name,
+            &simd.graph,
+            &simd.schedule,
+            &machine,
+            bench_iters(b.iters),
+        );
+    }
+}
+
+#[test]
+fn simdized_no_sagu_variant_also_matches() {
+    // Software-reordered tapes (AddrGen::Software) take a different cost
+    // path; run a few benchmarks on the plain machine too.
+    let machine = Machine::core_i7();
+    for name in ["FMRadio", "DCT", "MatrixMult"] {
+        let b = macross_benchsuite::by_name(name).expect("known benchmark");
+        let graph = (b.build)();
+        let simd = macro_simdize(&graph, &machine, &SimdizeOptions::all())
+            .unwrap_or_else(|e| panic!("{name}: simdize failed: {e}"));
+        check_graph(
+            &format!("{name}-simd-sw"),
+            &simd.graph,
+            &simd.schedule,
+            &machine,
+            bench_iters(b.iters),
+        );
+    }
+}

@@ -118,8 +118,9 @@ impl Sagu {
     pub fn next_address(&mut self) -> u64 {
         // Address composition: all 16-bit operations in parallel in
         // hardware, plus the 64-bit base add.
-        let offset_value =
-            ((self.base_counter as u64) << self.log2_simd) + self.stride_counter as u64 + self.offset_address;
+        let offset_value = ((self.base_counter as u64) << self.log2_simd)
+            + self.stride_counter as u64
+            + self.offset_address;
         let result = offset_value + self.base_address;
 
         // Counter update (the muxes and zero-detects of Figure 9).
@@ -293,7 +294,10 @@ mod tests {
         // Second block is the first shifted by block size.
         let block = 3 * 4;
         for k in 0..block {
-            assert_eq!(column_major_index(k + block, 3, 4), column_major_index(k, 3, 4) + block);
+            assert_eq!(
+                column_major_index(k + block, 3, 4),
+                column_major_index(k, 3, 4) + block
+            );
         }
     }
 
@@ -301,7 +305,11 @@ mod tests {
     fn sagu_matches_pure_mapping() {
         let mut sagu = Sagu::new(3, 4);
         for k in 0..60 {
-            assert_eq!(sagu.next_address(), column_major_index(k, 3, 4) as u64, "at k={k}");
+            assert_eq!(
+                sagu.next_address(),
+                column_major_index(k, 3, 4) as u64,
+                "at k={k}"
+            );
         }
     }
 

@@ -76,7 +76,10 @@ impl Ratio {
             return None;
         }
         let g = gcd(num, den).max(1);
-        Some(Ratio { num: num / g, den: den / g })
+        Some(Ratio {
+            num: num / g,
+            den: den / g,
+        })
     }
 
     fn mul(self, num: u64, den: u64) -> Option<Ratio> {
@@ -101,7 +104,10 @@ pub fn repetition_vector(graph: &Graph) -> Result<Vec<u64>, RateMatchError> {
         let push = graph.node(e.src).push_rate(e.src_port);
         let pop = graph.node(e.dst).pop_rate(e.dst_port);
         if push == 0 || pop == 0 {
-            return Err(RateMatchError::ZeroRate { src: e.src.0, dst: e.dst.0 });
+            return Err(RateMatchError::ZeroRate {
+                src: e.src.0,
+                dst: e.dst.0,
+            });
         }
     }
 
@@ -125,7 +131,10 @@ pub fn repetition_vector(graph: &Graph) -> Result<Vec<u64>, RateMatchError> {
                         }
                         Some(existing) => {
                             if existing != next {
-                                return Err(RateMatchError::Inconsistent { src: e.src.0, dst: e.dst.0 });
+                                return Err(RateMatchError::Inconsistent {
+                                    src: e.src.0,
+                                    dst: e.dst.0,
+                                });
                             }
                         }
                     }
@@ -140,7 +149,10 @@ pub fn repetition_vector(graph: &Graph) -> Result<Vec<u64>, RateMatchError> {
                         }
                         Some(existing) => {
                             if existing != next {
-                                return Err(RateMatchError::Inconsistent { src: e.src.0, dst: e.dst.0 });
+                                return Err(RateMatchError::Inconsistent {
+                                    src: e.src.0,
+                                    dst: e.dst.0,
+                                });
                             }
                         }
                     }
@@ -286,7 +298,10 @@ mod tests {
         g.connect(x1, 0, j, 0, ScalarTy::F32);
         g.connect(x2, 0, j, 1, ScalarTy::F32);
         g.connect(j, 0, k, 0, ScalarTy::F32);
-        assert!(matches!(repetition_vector(&g), Err(RateMatchError::Inconsistent { .. })));
+        assert!(matches!(
+            repetition_vector(&g),
+            Err(RateMatchError::Inconsistent { .. })
+        ));
     }
 
     #[test]
@@ -298,7 +313,10 @@ mod tests {
         let k = g.add_node(Node::Sink);
         g.connect(s, 0, f, 0, ScalarTy::F32);
         g.connect(f, 0, k, 0, ScalarTy::F32);
-        assert!(matches!(repetition_vector(&g), Err(RateMatchError::ZeroRate { .. })));
+        assert!(matches!(
+            repetition_vector(&g),
+            Err(RateMatchError::ZeroRate { .. })
+        ));
     }
 
     #[test]

@@ -64,7 +64,11 @@ impl Schedule {
         let order = graph.topo_order()?;
         let reps = repetition_vector(graph)?;
         let init_reps = compute_init_reps(graph, &order);
-        Ok(Schedule { order, reps, init_reps })
+        Ok(Schedule {
+            order,
+            reps,
+            init_reps,
+        })
     }
 
     /// Repetition number of a node.
@@ -138,7 +142,10 @@ pub fn buffer_requirements(graph: &Graph, sched: &Schedule) -> Vec<BufferReq> {
             let init_tokens =
                 sched.init_reps[e.src.0 as usize] * push - sched.init_reps[e.dst.0 as usize] * pop;
             let capacity = init_tokens + sched.reps[e.src.0 as usize] * push;
-            BufferReq { init_tokens, capacity }
+            BufferReq {
+                init_tokens,
+                capacity,
+            }
         })
         .collect()
 }

@@ -43,10 +43,20 @@ pub enum RateError {
 impl fmt::Display for RateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RateError::DynamicTripCount(s) => write!(f, "loop trip count is not a compile-time constant: {s}"),
-            RateError::DynamicOffset(s) => write!(f, "tape-access offset is not a compile-time constant: {s}"),
-            RateError::DivergentBranches(s) => write!(f, "if-branches have different tape rates: {s}"),
-            RateError::DeclaredMismatch { name, measured, declared } => write!(
+            RateError::DynamicTripCount(s) => {
+                write!(f, "loop trip count is not a compile-time constant: {s}")
+            }
+            RateError::DynamicOffset(s) => {
+                write!(f, "tape-access offset is not a compile-time constant: {s}")
+            }
+            RateError::DivergentBranches(s) => {
+                write!(f, "if-branches have different tape rates: {s}")
+            }
+            RateError::DeclaredMismatch {
+                name,
+                measured,
+                declared,
+            } => write!(
                 f,
                 "filter {name}: measured rates {measured:?} disagree with declared {declared:?}"
             ),
@@ -72,7 +82,13 @@ struct RateState {
 
 impl RateState {
     fn new() -> RateState {
-        RateState { env: HashMap::new(), pops: 0, peek_extent: 0, pushes: 0, push_extent: 0 }
+        RateState {
+            env: HashMap::new(),
+            pops: 0,
+            peek_extent: 0,
+            pushes: 0,
+            push_extent: 0,
+        }
     }
 }
 
@@ -87,7 +103,11 @@ impl RateState {
 pub fn measure_rates(body: &[Stmt]) -> Result<Rates, RateError> {
     let mut st = RateState::new();
     exec_block(body, &mut st)?;
-    Ok(Rates { pop: st.pops, push: st.pushes.max(st.push_extent), peek: st.peek_extent.max(st.pops) })
+    Ok(Rates {
+        pop: st.pops,
+        push: st.pushes.max(st.push_extent),
+        peek: st.peek_extent.max(st.pops),
+    })
 }
 
 /// Check a filter's declared rates against its measured rates.
@@ -97,9 +117,17 @@ pub fn measure_rates(body: &[Stmt]) -> Result<Rates, RateError> {
 /// measurement error.
 pub fn check_rates(filter: &Filter) -> Result<Rates, RateError> {
     let measured = measure_rates(&filter.work)?;
-    let declared = Rates { pop: filter.pop, push: filter.push, peek: filter.peek };
+    let declared = Rates {
+        pop: filter.pop,
+        push: filter.push,
+        peek: filter.peek,
+    };
     if measured != declared {
-        return Err(RateError::DeclaredMismatch { name: filter.name.clone(), measured, declared });
+        return Err(RateError::DeclaredMismatch {
+            name: filter.name.clone(),
+            measured,
+            declared,
+        });
     }
     Ok(measured)
 }
@@ -159,7 +187,11 @@ fn exec_stmt(s: &Stmt, st: &mut RateState) -> Result<(), RateError> {
             }
             st.env.remove(var);
         }
-        Stmt::If { cond, then_branch, else_branch } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             count_expr(cond, st)?;
             if let Some(c) = const_eval(cond, st) {
                 if c.is_truthy() {
@@ -184,7 +216,8 @@ fn exec_stmt(s: &Stmt, st: &mut RateState) -> Result<(), RateError> {
                 st.peek_extent = t.peek_extent;
                 st.push_extent = t.push_extent;
                 // Keep only bindings identical in both branches.
-                st.env.retain(|k, v| t.env.get(k) == Some(v) && e.env.get(k) == Some(v));
+                st.env
+                    .retain(|k, v| t.env.get(k) == Some(v) && e.env.get(k) == Some(v));
             }
         }
         Stmt::AdvanceRead(n) => {
@@ -236,7 +269,9 @@ fn count_expr(e: &Expr, st: &mut RateState) -> Result<(), RateError> {
         }
         Expr::Const(_) | Expr::ConstVec(_) | Expr::Var(_) | Expr::LPop(_) | Expr::LVPop(_, _) => {}
         Expr::Index(_, i) | Expr::VIndex(_, i, _) => count_expr(i, st)?,
-        Expr::Unary(_, a) | Expr::Cast(_, a) | Expr::Lane(a, _) | Expr::Splat(a, _) => count_expr(a, st)?,
+        Expr::Unary(_, a) | Expr::Cast(_, a) | Expr::Lane(a, _) | Expr::Splat(a, _) => {
+            count_expr(a, st)?
+        }
         Expr::Binary(_, a, b) | Expr::PermuteEven(a, b) | Expr::PermuteOdd(a, b) => {
             count_expr(a, st)?;
             count_expr(b, st)?;
@@ -256,7 +291,11 @@ fn const_eval(e: &Expr, st: &RateState) -> Option<Value> {
         Expr::Const(v) => Some(*v),
         Expr::Var(v) => st.env.get(v).copied(),
         Expr::Unary(op, a) => Some(crate::expr::eval_unop(*op, const_eval(a, st)?)),
-        Expr::Binary(op, a, b) => Some(crate::expr::eval_binop(*op, const_eval(a, st)?, const_eval(b, st)?)),
+        Expr::Binary(op, a, b) => Some(crate::expr::eval_binop(
+            *op,
+            const_eval(a, st)?,
+            const_eval(b, st)?,
+        )),
         Expr::Cast(t, a) => Some(const_eval(a, st)?.cast(*t)),
         _ => None,
     }
@@ -283,7 +322,10 @@ impl Vectorizability {
     /// single-actor SIMDization. Intrinsic support must still be checked
     /// against the target.
     pub fn simdizable(&self) -> bool {
-        !self.stateful && !self.tape_dependent_control && !self.tape_dependent_subscript && !self.vectorized
+        !self.stateful
+            && !self.tape_dependent_control
+            && !self.tape_dependent_subscript
+            && !self.vectorized
     }
 }
 
@@ -352,13 +394,14 @@ pub fn analyze_vectorizability(filter: &Filter) -> Vectorizability {
 fn expr_tainted(e: &Expr, tainted: &HashSet<VarId>) -> bool {
     let mut hit = false;
     e.walk(&mut |e| match e {
-        Expr::Pop | Expr::Peek(_) | Expr::VPop { .. } | Expr::VPeek { .. } | Expr::LPop(_) | Expr::LVPop(_, _) => {
-            hit = true
-        }
-        Expr::Var(v) | Expr::Index(v, _) => {
-            if tainted.contains(v) {
-                hit = true;
-            }
+        Expr::Pop
+        | Expr::Peek(_)
+        | Expr::VPop { .. }
+        | Expr::VPeek { .. }
+        | Expr::LPop(_)
+        | Expr::LVPop(_, _) => hit = true,
+        Expr::Var(v) | Expr::Index(v, _) if tainted.contains(v) => {
+            hit = true;
         }
         _ => {}
     });
@@ -367,15 +410,11 @@ fn expr_tainted(e: &Expr, tainted: &HashSet<VarId>) -> bool {
 
 fn check_subscripts(e: &Expr, tainted: &HashSet<VarId>, out: &mut Vectorizability) {
     e.walk(&mut |e| match e {
-        Expr::Index(_, i) => {
-            if expr_tainted(i, tainted) {
-                out.tape_dependent_subscript = true;
-            }
+        Expr::Index(_, i) if expr_tainted(i, tainted) => {
+            out.tape_dependent_subscript = true;
         }
-        Expr::Peek(off) | Expr::VPeek { offset: off, .. } => {
-            if expr_tainted(off, tainted) {
-                out.tape_dependent_subscript = true;
-            }
+        Expr::Peek(off) | Expr::VPeek { offset: off, .. } if expr_tainted(off, tainted) => {
+            out.tape_dependent_subscript = true;
         }
         _ => {}
     });
@@ -386,7 +425,9 @@ fn taint_block(stmts: &[Stmt], tainted: &mut HashSet<VarId>, out: &mut Vectoriza
         match s {
             Stmt::Assign(lv, e) => {
                 check_subscripts(e, tainted, out);
-                if let LValue::Index(_, i) | LValue::LaneIndex(_, i, _) | LValue::VIndex(_, i, _) = lv {
+                if let LValue::Index(_, i) | LValue::LaneIndex(_, i, _) | LValue::VIndex(_, i, _) =
+                    lv
+                {
                     check_subscripts(i, tainted, out);
                     if expr_tainted(i, tainted) {
                         out.tape_dependent_subscript = true;
@@ -408,7 +449,9 @@ fn taint_block(stmts: &[Stmt], tainted: &mut HashSet<VarId>, out: &mut Vectoriza
                     }
                 }
             }
-            Stmt::Push(e) | Stmt::LPush(_, e) | Stmt::LVPush(_, e, _) => check_subscripts(e, tainted, out),
+            Stmt::Push(e) | Stmt::LPush(_, e) | Stmt::LVPush(_, e, _) => {
+                check_subscripts(e, tainted, out)
+            }
             Stmt::RPush { value, offset } => {
                 check_subscripts(value, tainted, out);
                 if expr_tainted(offset, tainted) {
@@ -422,7 +465,11 @@ fn taint_block(stmts: &[Stmt], tainted: &mut HashSet<VarId>, out: &mut Vectoriza
                 }
                 taint_block(body, tainted, out);
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 if expr_tainted(cond, tainted) {
                     out.tape_dependent_control = true;
                 }
@@ -452,7 +499,14 @@ mod tests {
             });
         });
         let f = fb.build();
-        assert_eq!(check_rates(&f).unwrap(), Rates { pop: 2, push: 2, peek: 2 });
+        assert_eq!(
+            check_rates(&f).unwrap(),
+            Rates {
+                pop: 2,
+                push: 2,
+                peek: 2
+            }
+        );
     }
 
     #[test]
@@ -471,7 +525,14 @@ mod tests {
             b.push(v(acc));
         });
         let f = fb.build();
-        assert_eq!(check_rates(&f).unwrap(), Rates { pop: 1, push: 1, peek: 8 });
+        assert_eq!(
+            check_rates(&f).unwrap(),
+            Rates {
+                pop: 1,
+                push: 1,
+                peek: 8
+            }
+        );
     }
 
     #[test]
@@ -485,7 +546,14 @@ mod tests {
             b.stmt(Stmt::AdvanceRead(1));
         });
         let f = fb.build();
-        assert_eq!(check_rates(&f).unwrap(), Rates { pop: 2, push: 1, peek: 2 });
+        assert_eq!(
+            check_rates(&f).unwrap(),
+            Rates {
+                pop: 2,
+                push: 1,
+                peek: 2
+            }
+        );
     }
 
     #[test]
@@ -495,7 +563,10 @@ mod tests {
             b.push(pop());
         });
         let f = fb.build();
-        assert!(matches!(check_rates(&f), Err(RateError::DeclaredMismatch { .. })));
+        assert!(matches!(
+            check_rates(&f),
+            Err(RateError::DeclaredMismatch { .. })
+        ));
     }
 
     #[test]
@@ -516,7 +587,10 @@ mod tests {
             );
         });
         let f = fb.build();
-        assert!(matches!(measure_rates(&f.work), Err(RateError::DivergentBranches(_))));
+        assert!(matches!(
+            measure_rates(&f.work),
+            Err(RateError::DivergentBranches(_))
+        ));
     }
 
     #[test]
@@ -536,7 +610,14 @@ mod tests {
             );
         });
         let f = fb.build();
-        assert_eq!(check_rates(&f).unwrap(), Rates { pop: 1, push: 1, peek: 1 });
+        assert_eq!(
+            check_rates(&f).unwrap(),
+            Rates {
+                pop: 1,
+                push: 1,
+                peek: 1
+            }
+        );
     }
 
     #[test]
@@ -627,7 +708,10 @@ mod tests {
         let tv = fb.local("t_v", Ty::Vector(ScalarTy::F32, 4));
         fb.work(|b| {
             b.set(tv, E(Expr::VPop { width: 4 }));
-            b.stmt(Stmt::VPush { value: Expr::Var(tv), width: 4 });
+            b.stmt(Stmt::VPush {
+                value: Expr::Var(tv),
+                width: 4,
+            });
         });
         let f = fb.build();
         let va = analyze_vectorizability(&f);

@@ -58,7 +58,11 @@ impl StreamSpec {
     /// uniform weight `jw`.
     pub fn split_join_duplicate(jw: usize, branches: Vec<StreamSpec>) -> StreamSpec {
         let n = branches.len();
-        StreamSpec::SplitJoin { split: SplitKind::Duplicate, branches, join: vec![jw; n] }
+        StreamSpec::SplitJoin {
+            split: SplitKind::Duplicate,
+            branches,
+            join: vec![jw; n],
+        }
     }
 
     /// Flatten into a graph.
@@ -72,7 +76,8 @@ impl StreamSpec {
         if let Some((_, _)) = ends.exit {
             return Err(BuildError::DanglingOutput);
         }
-        g.validate().map_err(|e| BuildError::Invalid(e.to_string()))?;
+        g.validate()
+            .map_err(|e| BuildError::Invalid(e.to_string()))?;
         Ok(g)
     }
 }
@@ -99,10 +104,15 @@ impl fmt::Display for BuildError {
         match self {
             BuildError::Empty => write!(f, "empty pipeline or split-join"),
             BuildError::BranchMismatch { branches, weights } => {
-                write!(f, "split-join has {branches} branches but {weights} joiner weights")
+                write!(
+                    f,
+                    "split-join has {branches} branches but {weights} joiner weights"
+                )
             }
             BuildError::InteriorSink => write!(f, "sink must be the final stage of the program"),
-            BuildError::DanglingOutput => write!(f, "program output is not consumed (missing sink?)"),
+            BuildError::DanglingOutput => {
+                write!(f, "program output is not consumed (missing sink?)")
+            }
             BuildError::DanglingInput => write!(f, "stage consumes input but none is produced"),
             BuildError::Invalid(s) => write!(f, "flattened graph invalid: {s}"),
         }
@@ -132,7 +142,10 @@ fn flatten(g: &mut Graph, spec: StreamSpec, in_elem: ScalarTy) -> Result<Ends, B
         }
         StreamSpec::Sink => {
             let id = g.add_node(Node::Sink);
-            Ok(Ends { entry: Some(id), exit: None })
+            Ok(Ends {
+                entry: Some(id),
+                exit: None,
+            })
         }
         StreamSpec::Pipeline(stages) => {
             if stages.is_empty() {
@@ -149,7 +162,9 @@ fn flatten(g: &mut Graph, spec: StreamSpec, in_elem: ScalarTy) -> Result<Ends, B
                     (Some((src, elem)), Some(dst)) => {
                         g.connect(src, next_out_port(g, src), dst, next_in_port(g, dst), elem);
                     }
-                    (Some(_), None) => return Err(BuildError::Invalid("stage ignores its input".into())),
+                    (Some(_), None) => {
+                        return Err(BuildError::Invalid("stage ignores its input".into()))
+                    }
                     (None, Some(_)) if seen_any => return Err(BuildError::DanglingInput),
                     _ => {}
                 }
@@ -162,18 +177,31 @@ fn flatten(g: &mut Graph, spec: StreamSpec, in_elem: ScalarTy) -> Result<Ends, B
                 prev_exit = ends.exit;
                 seen_any = true;
             }
-            Ok(Ends { entry: first_entry, exit: prev_exit })
+            Ok(Ends {
+                entry: first_entry,
+                exit: prev_exit,
+            })
         }
-        StreamSpec::SplitJoin { split, branches, join } => {
+        StreamSpec::SplitJoin {
+            split,
+            branches,
+            join,
+        } => {
             if branches.is_empty() {
                 return Err(BuildError::Empty);
             }
             if branches.len() != join.len() {
-                return Err(BuildError::BranchMismatch { branches: branches.len(), weights: join.len() });
+                return Err(BuildError::BranchMismatch {
+                    branches: branches.len(),
+                    weights: join.len(),
+                });
             }
             if let SplitKind::RoundRobin(w) = &split {
                 if w.len() != branches.len() {
-                    return Err(BuildError::BranchMismatch { branches: branches.len(), weights: w.len() });
+                    return Err(BuildError::BranchMismatch {
+                        branches: branches.len(),
+                        weights: w.len(),
+                    });
                 }
             }
             let sp = g.add_node(Node::Splitter(split));
@@ -187,7 +215,10 @@ fn flatten(g: &mut Graph, spec: StreamSpec, in_elem: ScalarTy) -> Result<Ends, B
                 g.connect(exit, next_out_port(g, exit), jn, i, elem);
                 out_elem = elem;
             }
-            Ok(Ends { entry: Some(sp), exit: Some((jn, out_elem)) })
+            Ok(Ends {
+                entry: Some(sp),
+                exit: Some((jn, out_elem)),
+            })
         }
     }
 }
@@ -215,7 +246,9 @@ mod tests {
 
     #[test]
     fn simple_pipeline_builds() {
-        let g = StreamSpec::pipeline(vec![src(1), id_filter("f"), StreamSpec::Sink]).build().unwrap();
+        let g = StreamSpec::pipeline(vec![src(1), id_filter("f"), StreamSpec::Sink])
+            .build()
+            .unwrap();
         assert_eq!(g.node_count(), 3);
         assert_eq!(g.edge_count(), 2);
     }
@@ -224,14 +257,26 @@ mod tests {
     fn split_join_builds() {
         let g = StreamSpec::pipeline(vec![
             src(4),
-            StreamSpec::split_join_uniform(1, 1, vec![id_filter("b0"), id_filter("b1"), id_filter("b2"), id_filter("b3")]),
+            StreamSpec::split_join_uniform(
+                1,
+                1,
+                vec![
+                    id_filter("b0"),
+                    id_filter("b1"),
+                    id_filter("b2"),
+                    id_filter("b3"),
+                ],
+            ),
             StreamSpec::Sink,
         ])
         .build()
         .unwrap();
         // src, splitter, 4 branches, joiner, sink
         assert_eq!(g.node_count(), 8);
-        let splitters = g.nodes().filter(|(_, n)| matches!(n, Node::Splitter(_))).count();
+        let splitters = g
+            .nodes()
+            .filter(|(_, n)| matches!(n, Node::Splitter(_)))
+            .count();
         assert_eq!(splitters, 1);
     }
 
@@ -250,15 +295,22 @@ mod tests {
 
     #[test]
     fn missing_sink_rejected() {
-        let err = StreamSpec::pipeline(vec![src(1), id_filter("f")]).build().unwrap_err();
+        let err = StreamSpec::pipeline(vec![src(1), id_filter("f")])
+            .build()
+            .unwrap_err();
         assert_eq!(err, BuildError::DanglingOutput);
     }
 
     #[test]
     fn interior_sink_rejected() {
-        let err = StreamSpec::pipeline(vec![src(1), StreamSpec::Sink, id_filter("f"), StreamSpec::Sink])
-            .build()
-            .unwrap_err();
+        let err = StreamSpec::pipeline(vec![
+            src(1),
+            StreamSpec::Sink,
+            id_filter("f"),
+            StreamSpec::Sink,
+        ])
+        .build()
+        .unwrap_err();
         assert_eq!(err, BuildError::InteriorSink);
     }
 
@@ -280,6 +332,9 @@ mod tests {
 
     #[test]
     fn empty_pipeline_rejected() {
-        assert_eq!(StreamSpec::pipeline(vec![]).build().unwrap_err(), BuildError::Empty);
+        assert_eq!(
+            StreamSpec::pipeline(vec![]).build().unwrap_err(),
+            BuildError::Empty
+        );
     }
 }

@@ -5,7 +5,9 @@ use crate::graph::{Graph, Node, SplitKind};
 /// Render a graph in Graphviz `dot` syntax. Filters show their rates;
 /// vector tapes and reordered (SAGU) tapes are highlighted.
 pub fn to_dot(graph: &Graph) -> String {
-    let mut s = String::from("digraph stream {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut s = String::from(
+        "digraph stream {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n",
+    );
     for (id, node) in graph.nodes() {
         let (label, style) = match node {
             Node::Filter(f) => (
@@ -19,12 +21,14 @@ pub fn to_dot(graph: &Graph) -> String {
             Node::Splitter(SplitKind::Duplicate) => ("split (duplicate)".into(), ""),
             Node::Splitter(SplitKind::RoundRobin(w)) => (format!("split {w:?}"), ""),
             Node::Joiner(w) => (format!("join {w:?}"), ""),
-            Node::HSplitter { width, .. } => {
-                (format!("HSplitter (SW={width})"), ", style=filled, fillcolor=gold")
-            }
-            Node::HJoiner { width, .. } => {
-                (format!("HJoiner (SW={width})"), ", style=filled, fillcolor=gold")
-            }
+            Node::HSplitter { width, .. } => (
+                format!("HSplitter (SW={width})"),
+                ", style=filled, fillcolor=gold",
+            ),
+            Node::HJoiner { width, .. } => (
+                format!("HJoiner (SW={width})"),
+                ", style=filled, fillcolor=gold",
+            ),
             Node::Sink => ("sink".into(), ", shape=doublecircle"),
         };
         s.push_str(&format!("  n{} [label=\"{}\"{}];\n", id.0, label, style));
@@ -37,7 +41,11 @@ pub fn to_dot(graph: &Graph) -> String {
         if e.reorder.is_some() {
             attrs.push("color=red, label=\"SAGU\"".into());
         }
-        let attr_s = if attrs.is_empty() { String::new() } else { format!(" [{}]", attrs.join(", ")) };
+        let attr_s = if attrs.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", attrs.join(", "))
+        };
         s.push_str(&format!("  n{} -> n{}{};\n", e.src.0, e.dst.0, attr_s));
     }
     s.push_str("}\n");
@@ -67,7 +75,10 @@ mod tests {
     fn highlights_vector_and_reordered_tapes() {
         let mut g = Graph::new();
         let a = g.add_node(Node::Filter(Filter::new("a", 0, 0, 4)));
-        let b = g.add_node(Node::HSplitter { kind: SplitKind::Duplicate, width: 4 });
+        let b = g.add_node(Node::HSplitter {
+            kind: SplitKind::Duplicate,
+            width: 4,
+        });
         let c = g.add_node(Node::Sink);
         let e1 = g.connect(a, 0, b, 0, ScalarTy::F32);
         g.edge_mut(e1).reorder = Some(crate::graph::Reorder {

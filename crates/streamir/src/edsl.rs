@@ -261,7 +261,8 @@ impl B {
 
     /// `lhs = rhs`.
     pub fn assign(&mut self, lhs: impl IntoLValue, rhs: impl IntoE) -> &mut B {
-        self.stmts.push(Stmt::Assign(lhs.into_lvalue(), rhs.into_e().0));
+        self.stmts
+            .push(Stmt::Assign(lhs.into_lvalue(), rhs.into_e().0));
         self
     }
 
@@ -291,7 +292,11 @@ impl B {
     pub fn for_(&mut self, var: VarId, count: impl IntoE, body: impl FnOnce(&mut B)) -> &mut B {
         let mut inner = B::new();
         body(&mut inner);
-        self.stmts.push(Stmt::For { var, count: count.into_e().0, body: inner.stmts });
+        self.stmts.push(Stmt::For {
+            var,
+            count: count.into_e().0,
+            body: inner.stmts,
+        });
         self
     }
 
@@ -299,7 +304,11 @@ impl B {
     pub fn if_(&mut self, cond: impl IntoE, then_branch: impl FnOnce(&mut B)) -> &mut B {
         let mut t = B::new();
         then_branch(&mut t);
-        self.stmts.push(Stmt::If { cond: cond.into_e().0, then_branch: t.stmts, else_branch: vec![] });
+        self.stmts.push(Stmt::If {
+            cond: cond.into_e().0,
+            then_branch: t.stmts,
+            else_branch: vec![],
+        });
         self
     }
 
@@ -314,7 +323,11 @@ impl B {
         then_branch(&mut t);
         let mut e = B::new();
         else_branch(&mut e);
-        self.stmts.push(Stmt::If { cond: cond.into_e().0, then_branch: t.stmts, else_branch: e.stmts });
+        self.stmts.push(Stmt::If {
+            cond: cond.into_e().0,
+            then_branch: t.stmts,
+            else_branch: e.stmts,
+        });
         self
     }
 
@@ -334,8 +347,17 @@ pub struct FilterBuilder {
 
 impl FilterBuilder {
     /// Start a filter with the given name, rates, and output element type.
-    pub fn new(name: impl Into<String>, peek: usize, pop: usize, push: usize, out_elem: ScalarTy) -> FilterBuilder {
-        FilterBuilder { filter: Filter::new(name, peek, pop, push), out_elem }
+    pub fn new(
+        name: impl Into<String>,
+        peek: usize,
+        pop: usize,
+        push: usize,
+        out_elem: ScalarTy,
+    ) -> FilterBuilder {
+        FilterBuilder {
+            filter: Filter::new(name, peek, pop, push),
+            out_elem,
+        }
     }
 
     /// Declare a per-firing local variable.
@@ -377,7 +399,10 @@ impl FilterBuilder {
     /// Finish, yielding the filter together with its output element type
     /// (for [`crate::builder::StreamSpec::filter`]).
     pub fn build_spec(self) -> crate::builder::StreamSpec {
-        crate::builder::StreamSpec::Filter { filter: self.filter, out_elem: self.out_elem }
+        crate::builder::StreamSpec::Filter {
+            filter: self.filter,
+            out_elem: self.out_elem,
+        }
     }
 }
 

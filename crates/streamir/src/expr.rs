@@ -47,12 +47,18 @@ pub enum BinOp {
 impl BinOp {
     /// True for the comparison operators (result type is `i32`).
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     /// True for the integer-only bitwise/shift operators.
     pub fn is_integer_only(self) -> bool {
-        matches!(self, BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr)
+        matches!(
+            self,
+            BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr
+        )
     }
 
     /// C-style spelling (used by the code generator and `Display`).
@@ -198,7 +204,10 @@ impl Expr {
     pub fn reads_tape(&self) -> bool {
         let mut found = false;
         self.walk(&mut |e| {
-            if matches!(e, Expr::Pop | Expr::Peek(_) | Expr::VPop { .. } | Expr::VPeek { .. }) {
+            if matches!(
+                e,
+                Expr::Pop | Expr::Peek(_) | Expr::VPop { .. } | Expr::VPeek { .. }
+            ) {
                 found = true;
             }
         });
@@ -209,7 +218,13 @@ impl Expr {
     pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
         f(self);
         match self {
-            Expr::Const(_) | Expr::ConstVec(_) | Expr::Var(_) | Expr::Pop | Expr::LPop(_) | Expr::LVPop(_, _) | Expr::VPop { .. } => {}
+            Expr::Const(_)
+            | Expr::ConstVec(_)
+            | Expr::Var(_)
+            | Expr::Pop
+            | Expr::LPop(_)
+            | Expr::LVPop(_, _)
+            | Expr::VPop { .. } => {}
             Expr::Index(_, e)
             | Expr::VIndex(_, e, _)
             | Expr::Unary(_, e)
@@ -463,7 +478,13 @@ pub fn eval_unop(op: UnOp, a: Value) -> Value {
 /// Evaluate an intrinsic on scalar arguments.
 pub fn eval_intrinsic(i: Intrinsic, args: &[Value]) -> Value {
     use Value::*;
-    assert_eq!(args.len(), i.arity(), "{} expects {} args", i.name(), i.arity());
+    assert_eq!(
+        args.len(),
+        i.arity(),
+        "{} expects {} args",
+        i.name(),
+        i.arity()
+    );
     match i {
         Intrinsic::Min => match (args[0], args[1]) {
             (I32(a), I32(b)) => I32(a.min(b)),
@@ -519,10 +540,22 @@ mod tests {
 
     #[test]
     fn binop_arithmetic() {
-        assert_eq!(eval_binop(BinOp::Add, Value::I32(2), Value::I32(3)), Value::I32(5));
-        assert_eq!(eval_binop(BinOp::Mul, Value::F32(2.0), Value::F32(1.5)), Value::F32(3.0));
-        assert_eq!(eval_binop(BinOp::Div, Value::I32(7), Value::I32(0)), Value::I32(0));
-        assert_eq!(eval_binop(BinOp::Rem, Value::I64(9), Value::I64(4)), Value::I64(1));
+        assert_eq!(
+            eval_binop(BinOp::Add, Value::I32(2), Value::I32(3)),
+            Value::I32(5)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Mul, Value::F32(2.0), Value::F32(1.5)),
+            Value::F32(3.0)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Div, Value::I32(7), Value::I32(0)),
+            Value::I32(0)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Rem, Value::I64(9), Value::I64(4)),
+            Value::I64(1)
+        );
         assert_eq!(
             eval_binop(BinOp::Add, Value::I32(i32::MAX), Value::I32(1)),
             Value::I32(i32::MIN)
@@ -531,17 +564,38 @@ mod tests {
 
     #[test]
     fn binop_comparisons_yield_i32() {
-        assert_eq!(eval_binop(BinOp::Lt, Value::F32(1.0), Value::F32(2.0)), Value::I32(1));
-        assert_eq!(eval_binop(BinOp::Ge, Value::I32(1), Value::I32(2)), Value::I32(0));
-        assert_eq!(eval_binop(BinOp::Eq, Value::I64(4), Value::I64(4)), Value::I32(1));
-        assert_eq!(eval_binop(BinOp::Ne, Value::F64(0.5), Value::F64(0.5)), Value::I32(0));
+        assert_eq!(
+            eval_binop(BinOp::Lt, Value::F32(1.0), Value::F32(2.0)),
+            Value::I32(1)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Ge, Value::I32(1), Value::I32(2)),
+            Value::I32(0)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Eq, Value::I64(4), Value::I64(4)),
+            Value::I32(1)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Ne, Value::F64(0.5), Value::F64(0.5)),
+            Value::I32(0)
+        );
     }
 
     #[test]
     fn binop_bitwise() {
-        assert_eq!(eval_binop(BinOp::Xor, Value::I32(0b1100), Value::I32(0b1010)), Value::I32(0b0110));
-        assert_eq!(eval_binop(BinOp::Shl, Value::I32(1), Value::I32(4)), Value::I32(16));
-        assert_eq!(eval_binop(BinOp::Shr, Value::I32(-8), Value::I32(1)), Value::I32(-4));
+        assert_eq!(
+            eval_binop(BinOp::Xor, Value::I32(0b1100), Value::I32(0b1010)),
+            Value::I32(0b0110)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Shl, Value::I32(1), Value::I32(4)),
+            Value::I32(16)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Shr, Value::I32(-8), Value::I32(1)),
+            Value::I32(-4)
+        );
     }
 
     #[test]
@@ -554,11 +608,26 @@ mod tests {
 
     #[test]
     fn intrinsic_eval() {
-        assert_eq!(eval_intrinsic(Intrinsic::Sqrt, &[Value::F32(4.0)]), Value::F32(2.0));
-        assert_eq!(eval_intrinsic(Intrinsic::Min, &[Value::I32(3), Value::I32(-1)]), Value::I32(-1));
-        assert_eq!(eval_intrinsic(Intrinsic::Max, &[Value::F64(3.0), Value::F64(9.0)]), Value::F64(9.0));
-        assert_eq!(eval_intrinsic(Intrinsic::Abs, &[Value::I32(-5)]), Value::I32(5));
-        assert_eq!(eval_intrinsic(Intrinsic::Floor, &[Value::F32(2.7)]), Value::F32(2.0));
+        assert_eq!(
+            eval_intrinsic(Intrinsic::Sqrt, &[Value::F32(4.0)]),
+            Value::F32(2.0)
+        );
+        assert_eq!(
+            eval_intrinsic(Intrinsic::Min, &[Value::I32(3), Value::I32(-1)]),
+            Value::I32(-1)
+        );
+        assert_eq!(
+            eval_intrinsic(Intrinsic::Max, &[Value::F64(3.0), Value::F64(9.0)]),
+            Value::F64(9.0)
+        );
+        assert_eq!(
+            eval_intrinsic(Intrinsic::Abs, &[Value::I32(-5)]),
+            Value::I32(5)
+        );
+        assert_eq!(
+            eval_intrinsic(Intrinsic::Floor, &[Value::F32(2.7)]),
+            Value::F32(2.0)
+        );
     }
 
     #[test]
@@ -567,7 +636,10 @@ mod tests {
         assert!(e.reads_tape());
         let e2 = Expr::bin(BinOp::Add, Expr::Var(VarId(0)), Expr::Const(Value::I32(1)));
         assert!(!e2.reads_tape());
-        let e3 = Expr::Call(Intrinsic::Sin, vec![Expr::Peek(Box::new(Expr::Const(Value::I32(0))))]);
+        let e3 = Expr::Call(
+            Intrinsic::Sin,
+            vec![Expr::Peek(Box::new(Expr::Const(Value::I32(0))))],
+        );
         assert!(e3.reads_tape());
     }
 

@@ -83,13 +83,20 @@ impl Filter {
 
     /// Declare a variable, returning its id.
     pub fn add_var(&mut self, name: impl Into<String>, ty: Ty, kind: VarKind) -> VarId {
-        self.vars.push(VarDecl { name: name.into(), ty, kind });
+        self.vars.push(VarDecl {
+            name: name.into(),
+            ty,
+            kind,
+        });
         VarId((self.vars.len() - 1) as u32)
     }
 
     /// Declare an internal channel, returning its id.
     pub fn add_chan(&mut self, name: impl Into<String>, ty: Ty) -> ChanId {
-        self.chans.push(LocalChan { name: name.into(), ty });
+        self.chans.push(LocalChan {
+            name: name.into(),
+            ty,
+        });
         ChanId((self.chans.len() - 1) as u32)
     }
 

@@ -239,7 +239,9 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::BadArity { node, detail } => write!(f, "node n{node}: {detail}"),
             GraphError::BadPorts { node, detail } => write!(f, "node n{node}: {detail}"),
-            GraphError::Cyclic => write!(f, "graph contains a cycle (feedback loops are unsupported)"),
+            GraphError::Cyclic => {
+                write!(f, "graph contains a cycle (feedback loops are unsupported)")
+            }
             GraphError::RateMismatch { node, detail } => write!(f, "node n{node}: {detail}"),
         }
     }
@@ -268,14 +270,32 @@ impl Graph {
 
     /// Connect `src`'s output `src_port` to `dst`'s input `dst_port` with a
     /// scalar tape of element type `elem`, returning the edge id.
-    pub fn connect(&mut self, src: NodeId, src_port: usize, dst: NodeId, dst_port: usize, elem: ScalarTy) -> EdgeId {
-        self.edges.push(Edge { src, src_port, dst, dst_port, elem, width: 1, reorder: None });
+    pub fn connect(
+        &mut self,
+        src: NodeId,
+        src_port: usize,
+        dst: NodeId,
+        dst_port: usize,
+        elem: ScalarTy,
+    ) -> EdgeId {
+        self.edges.push(Edge {
+            src,
+            src_port,
+            dst,
+            dst_port,
+            elem,
+            width: 1,
+            reorder: None,
+        });
         EdgeId((self.edges.len() - 1) as u32)
     }
 
     /// All nodes with their ids.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
     }
 
     /// Node ids only.
@@ -285,7 +305,10 @@ impl Graph {
 
     /// All edges with their ids.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> {
-        self.edges.iter().enumerate().map(|(i, e)| (EdgeId(i as u32), e))
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId(i as u32), e))
     }
 
     /// Number of nodes.
@@ -379,7 +402,10 @@ impl Graph {
         for e in &self.edges {
             indeg[e.dst.0 as usize] += 1;
         }
-        let mut queue: Vec<NodeId> = (0..n as u32).map(NodeId).filter(|id| indeg[id.0 as usize] == 0).collect();
+        let mut queue: Vec<NodeId> = (0..n as u32)
+            .map(NodeId)
+            .filter(|id| indeg[id.0 as usize] == 0)
+            .collect();
         // Keep deterministic order: process smallest id first.
         queue.sort();
         let mut order = Vec::with_capacity(n);
@@ -435,13 +461,23 @@ impl Graph {
             if ins.len() > max_in || (matches!(node, Node::Joiner(_)) && ins.len() != max_in) {
                 return Err(GraphError::BadArity {
                     node: id.0,
-                    detail: format!("{} has {} inputs (expected <= {})", node.name(), ins.len(), max_in),
+                    detail: format!(
+                        "{} has {} inputs (expected <= {})",
+                        node.name(),
+                        ins.len(),
+                        max_in
+                    ),
                 });
             }
             if max_out != usize::MAX && outs.len() > max_out {
                 return Err(GraphError::BadArity {
                     node: id.0,
-                    detail: format!("{} has {} outputs (expected <= {})", node.name(), outs.len(), max_out),
+                    detail: format!(
+                        "{} has {} outputs (expected <= {})",
+                        node.name(),
+                        outs.len(),
+                        max_out
+                    ),
                 });
             }
             for (want, &e) in ins.iter().enumerate() {
@@ -464,7 +500,10 @@ impl Graph {
                 if ins.is_empty() && f.pop != 0 {
                     return Err(GraphError::RateMismatch {
                         node: id.0,
-                        detail: format!("filter {} has no input tape but pop rate {}", f.name, f.pop),
+                        detail: format!(
+                            "filter {} has no input tape but pop rate {}",
+                            f.name, f.pop
+                        ),
                     });
                 }
                 if !ins.is_empty() && f.pop == 0 && f.peek == 0 {
@@ -476,7 +515,10 @@ impl Graph {
                 if outs.is_empty() && f.push != 0 {
                     return Err(GraphError::RateMismatch {
                         node: id.0,
-                        detail: format!("filter {} has no output tape but push rate {}", f.name, f.push),
+                        detail: format!(
+                            "filter {} has no output tape but push rate {}",
+                            f.name, f.push
+                        ),
                     });
                 }
             }
@@ -526,10 +568,16 @@ mod tests {
 
     #[test]
     fn hsplitter_hjoiner_rates() {
-        let hs = Node::HSplitter { kind: SplitKind::RoundRobin(vec![4, 4, 4, 4]), width: 4 };
+        let hs = Node::HSplitter {
+            kind: SplitKind::RoundRobin(vec![4, 4, 4, 4]),
+            width: 4,
+        };
         assert_eq!(hs.pop_rate(0), 16);
         assert_eq!(hs.push_rate(0), 16); // 4 vectors of width 4
-        let hj = Node::HJoiner { weights: vec![1, 1, 1, 1], width: 4 };
+        let hj = Node::HJoiner {
+            weights: vec![1, 1, 1, 1],
+            width: 4,
+        };
         assert_eq!(hj.pop_rate(0), 4);
         assert_eq!(hj.push_rate(0), 4);
     }
@@ -591,7 +639,12 @@ mod tests {
 
     #[test]
     fn reorder_block_size() {
-        let r = Reorder { rate: 3, sw: 4, side: ReorderSide::Consumer, addr_gen: AddrGen::Sagu };
+        let r = Reorder {
+            rate: 3,
+            sw: 4,
+            side: ReorderSide::Consumer,
+            addr_gen: AddrGen::Sagu,
+        };
         assert_eq!(r.block(), 12);
     }
 }

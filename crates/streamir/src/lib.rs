@@ -56,6 +56,8 @@ pub mod types;
 
 pub use expr::{BinOp, ChanId, Expr, Intrinsic, LValue, UnOp, VarId};
 pub use filter::{Filter, LocalChan, VarDecl, VarKind};
-pub use graph::{AddrGen, Edge, EdgeId, Graph, GraphError, Node, NodeId, Reorder, ReorderSide, SplitKind};
+pub use graph::{
+    AddrGen, Edge, EdgeId, Graph, GraphError, Node, NodeId, Reorder, ReorderSide, SplitKind,
+};
 pub use stmt::Stmt;
 pub use types::{ScalarTy, Ty, Value};

@@ -21,9 +21,17 @@ pub enum Stmt {
     /// Vector push to an internal channel of a fused actor.
     LVPush(ChanId, Expr, usize),
     /// Counted loop: `var` ranges over `0..count`.
-    For { var: VarId, count: Expr, body: Vec<Stmt> },
+    For {
+        var: VarId,
+        count: Expr,
+        body: Vec<Stmt>,
+    },
     /// Conditional.
-    If { cond: Expr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt> },
+    If {
+        cond: Expr,
+        then_branch: Vec<Stmt>,
+        else_branch: Vec<Stmt>,
+    },
     /// Advance the input-tape read pointer by `n` elements without reading.
     ///
     /// Emitted by the SIMDizer at the end of a vectorized work function: the
@@ -45,7 +53,11 @@ impl Stmt {
                     s.walk(f);
                 }
             }
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 for s in then_branch {
                     s.walk(f);
                 }
@@ -62,7 +74,9 @@ impl Stmt {
         self.walk(&mut |s| match s {
             Stmt::Assign(lv, e) => {
                 match lv {
-                    LValue::Index(_, i) | LValue::LaneIndex(_, i, _) | LValue::VIndex(_, i, _) => i.walk(f),
+                    LValue::Index(_, i) | LValue::LaneIndex(_, i, _) | LValue::VIndex(_, i, _) => {
+                        i.walk(f)
+                    }
                     _ => {}
                 }
                 e.walk(f);
@@ -102,7 +116,11 @@ impl Stmt {
                 write_block(f, body, indent + 1)?;
                 writeln!(f, "{pad}}}")
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 writeln!(f, "{pad}if ({cond}) {{")?;
                 write_block(f, then_branch, indent + 1)?;
                 if !else_branch.is_empty() {
@@ -135,7 +153,11 @@ mod tests {
             count: Expr::Const(Value::I32(4)),
             body: vec![
                 Stmt::Assign(LValue::Var(VarId(1)), Expr::Pop),
-                Stmt::Push(Expr::bin(BinOp::Mul, Expr::Var(VarId(1)), Expr::Const(Value::F32(2.0)))),
+                Stmt::Push(Expr::bin(
+                    BinOp::Mul,
+                    Expr::Var(VarId(1)),
+                    Expr::Const(Value::F32(2.0)),
+                )),
             ],
         }
     }

@@ -252,12 +252,18 @@ mod tests {
 
     #[test]
     fn ty_vectorized_roundtrip() {
-        assert_eq!(Ty::Scalar(ScalarTy::F32).vectorized(4), Ty::Vector(ScalarTy::F32, 4));
+        assert_eq!(
+            Ty::Scalar(ScalarTy::F32).vectorized(4),
+            Ty::Vector(ScalarTy::F32, 4)
+        );
         assert_eq!(
             Ty::Array(ScalarTy::I32, 8).vectorized(4),
             Ty::VectorArray(ScalarTy::I32, 4, 8)
         );
-        assert_eq!(Ty::Vector(ScalarTy::F32, 2).vectorized(8), Ty::Vector(ScalarTy::F32, 8));
+        assert_eq!(
+            Ty::Vector(ScalarTy::F32, 2).vectorized(8),
+            Ty::Vector(ScalarTy::F32, 8)
+        );
         assert_eq!(Ty::Vector(ScalarTy::F32, 8).lanes(), 8);
         assert_eq!(Ty::Array(ScalarTy::F32, 3).array_len(), Some(3));
         assert_eq!(Ty::Scalar(ScalarTy::F32).array_len(), None);

@@ -56,7 +56,11 @@ pub enum LBinOp {
 #[derive(Debug, Clone, PartialEq)]
 pub enum LStmt {
     /// `type name = expr;` or `type name;` local declaration.
-    DeclLocal { ty: LType, name: String, init: Option<LExpr> },
+    DeclLocal {
+        ty: LType,
+        name: String,
+        init: Option<LExpr>,
+    },
     /// `name = expr;`
     Assign(String, LExpr),
     /// `name[idx] = expr;`
@@ -64,9 +68,17 @@ pub enum LStmt {
     /// `push(expr);`
     Push(LExpr),
     /// `for (int i = 0; i < bound; i++) { ... }`
-    For { var: String, bound: LExpr, body: Vec<LStmt> },
+    For {
+        var: String,
+        bound: LExpr,
+        body: Vec<LStmt>,
+    },
     /// `if (cond) { ... } else { ... }`
-    If { cond: LExpr, then_branch: Vec<LStmt>, else_branch: Vec<LStmt> },
+    If {
+        cond: LExpr,
+        then_branch: Vec<LStmt>,
+        else_branch: Vec<LStmt>,
+    },
     /// Bare expression statement `pop();` (value discarded).
     ExprStmt(LExpr),
 }

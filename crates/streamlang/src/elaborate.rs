@@ -23,7 +23,11 @@ pub enum ElabError {
     /// `add Foo(...)` references an unknown declaration.
     UnknownStream(String),
     /// Wrong number of instantiation arguments.
-    Arity { name: String, expected: usize, got: usize },
+    Arity {
+        name: String,
+        expected: usize,
+        got: usize,
+    },
     /// An instantiation argument is not a compile-time constant.
     NonConstArg(String),
     /// Identifier not in scope.
@@ -42,10 +46,16 @@ impl fmt::Display for ElabError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ElabError::UnknownStream(s) => write!(f, "unknown stream `{s}`"),
-            ElabError::Arity { name, expected, got } => {
+            ElabError::Arity {
+                name,
+                expected,
+                got,
+            } => {
                 write!(f, "`{name}` expects {expected} arguments, got {got}")
             }
-            ElabError::NonConstArg(s) => write!(f, "argument to `{s}` is not a compile-time constant"),
+            ElabError::NonConstArg(s) => {
+                write!(f, "argument to `{s}` is not a compile-time constant")
+            }
             ElabError::UnknownIdent(s) => write!(f, "unknown identifier `{s}`"),
             ElabError::Duplicate(s) => write!(f, "`{s}` declared twice"),
             ElabError::Type(s) => write!(f, "type error: {s}"),
@@ -70,7 +80,8 @@ fn scalar_of(t: LType) -> ScalarTy {
 /// See [`ElabError`].
 pub fn elaborate(program: &LProgram, top: &str) -> Result<Graph, ElabError> {
     let spec = instantiate(program, top, &[], &mut Vec::new())?;
-    spec.build().map_err(|e| ElabError::Structure(e.to_string()))
+    spec.build()
+        .map_err(|e| ElabError::Structure(e.to_string()))
 }
 
 /// Instantiate a declaration with constant arguments into a [`StreamSpec`].
@@ -86,7 +97,9 @@ pub fn instantiate(
     if stack.iter().any(|s| s == name) {
         return Err(ElabError::Structure(format!("recursive stream `{name}`")));
     }
-    let decl = program.find(name).ok_or_else(|| ElabError::UnknownStream(name.into()))?;
+    let decl = program
+        .find(name)
+        .ok_or_else(|| ElabError::UnknownStream(name.into()))?;
     stack.push(name.to_string());
     let result = match decl {
         LDecl::Filter(f) => elaborate_filter(f, args),
@@ -111,16 +124,28 @@ pub fn instantiate(
                 let child_args = eval_args(&add.args, &env, &add.name)?;
                 children.push(instantiate(program, &add.name, &child_args, stack)?);
             }
-            Ok(StreamSpec::SplitJoin { split, branches: children, join })
+            Ok(StreamSpec::SplitJoin {
+                split,
+                branches: children,
+                join,
+            })
         }
     };
     stack.pop();
     result
 }
 
-fn bind_params(params: &[LParam], args: &[Value], name: &str) -> Result<HashMap<String, Value>, ElabError> {
+fn bind_params(
+    params: &[LParam],
+    args: &[Value],
+    name: &str,
+) -> Result<HashMap<String, Value>, ElabError> {
     if params.len() != args.len() {
-        return Err(ElabError::Arity { name: name.into(), expected: params.len(), got: args.len() });
+        return Err(ElabError::Arity {
+            name: name.into(),
+            expected: params.len(),
+            got: args.len(),
+        });
     }
     let mut env = HashMap::new();
     for (p, a) in params.iter().zip(args) {
@@ -132,7 +157,11 @@ fn bind_params(params: &[LParam], args: &[Value], name: &str) -> Result<HashMap<
     Ok(env)
 }
 
-fn eval_args(args: &[LExpr], env: &HashMap<String, Value>, callee: &str) -> Result<Vec<Value>, ElabError> {
+fn eval_args(
+    args: &[LExpr],
+    env: &HashMap<String, Value>,
+    callee: &str,
+) -> Result<Vec<Value>, ElabError> {
     args.iter()
         .map(|a| const_eval(a, env).ok_or_else(|| ElabError::NonConstArg(callee.into())))
         .collect()
@@ -154,9 +183,10 @@ fn const_eval(e: &LExpr, env: &HashMap<String, Value>) -> Option<Value> {
         LExpr::Int(v) => Some(Value::I32(*v as i32)),
         LExpr::Float(v) => Some(Value::F32(*v as f32)),
         LExpr::Ident(name) => env.get(name).copied(),
-        LExpr::Unary(LUnOp::Neg, a) => {
-            Some(macross_streamir::expr::eval_unop(UnOp::Neg, const_eval(a, env)?))
-        }
+        LExpr::Unary(LUnOp::Neg, a) => Some(macross_streamir::expr::eval_unop(
+            UnOp::Neg,
+            const_eval(a, env)?,
+        )),
         LExpr::Binary(op, a, b) => {
             let (a, b) = (const_eval(a, env)?, const_eval(b, env)?);
             let (a, b) = promote(a, b);
@@ -213,7 +243,10 @@ fn elaborate_filter(decl: &LFilter, args: &[Value]) -> Result<StreamSpec, ElabEr
     let out_ty = decl.out_ty.unwrap_or(LType::Float);
     let peek = decl.peek.unwrap_or(decl.pop);
     if peek < decl.pop {
-        return Err(ElabError::Structure(format!("filter {}: peek < pop", decl.name)));
+        return Err(ElabError::Structure(format!(
+            "filter {}: peek < pop",
+            decl.name
+        )));
     }
     let filter = Filter::new(decl.name.clone(), peek, decl.pop, decl.push);
     let mut ctx = FilterCtx {
@@ -239,7 +272,10 @@ fn elaborate_filter(decl: &LFilter, args: &[Value]) -> Result<StreamSpec, ElabEr
         }
         if let Some(init) = &s.init {
             if s.len.is_some() {
-                return Err(ElabError::Type(format!("array state `{}` cannot have a scalar initializer", s.name)));
+                return Err(ElabError::Type(format!(
+                    "array state `{}` cannot have a scalar initializer",
+                    s.name
+                )));
             }
             let (e, t) = ctx.expr(init)?;
             let e = ctx.coerce(e, t, s.ty)?;
@@ -263,7 +299,10 @@ fn elaborate_filter(decl: &LFilter, args: &[Value]) -> Result<StreamSpec, ElabEr
     let out_elem = scalar_of(out_ty);
     macross_streamir::analysis::check_rates(&ctx.filter)
         .map_err(|e| ElabError::Structure(e.to_string()))?;
-    Ok(StreamSpec::Filter { filter: ctx.filter, out_elem })
+    Ok(StreamSpec::Filter {
+        filter: ctx.filter,
+        out_elem,
+    })
 }
 
 impl<'a> FilterCtx<'a> {
@@ -281,7 +320,10 @@ impl<'a> FilterCtx<'a> {
             return Err(ElabError::Duplicate(name.into()));
         }
         let id = self.filter.add_var(name, Ty::Scalar(scalar_of(ty)), kind);
-        self.scopes.last_mut().unwrap().insert(name.into(), (id, ty));
+        self.scopes
+            .last_mut()
+            .unwrap()
+            .insert(name.into(), (id, ty));
         Ok(id)
     }
 
@@ -289,9 +331,9 @@ impl<'a> FilterCtx<'a> {
         match (from, to) {
             (a, b) if a == b => Ok(e),
             (LType::Int, LType::Float) => Ok(Expr::Cast(ScalarTy::F32, Box::new(e))),
-            (LType::Float, LType::Int) => {
-                Err(ElabError::Type("implicit float->int narrowing; use an explicit (int) cast".into()))
-            }
+            (LType::Float, LType::Int) => Err(ElabError::Type(
+                "implicit float->int narrowing; use an explicit (int) cast".into(),
+            )),
             _ => unreachable!(),
         }
     }
@@ -317,16 +359,22 @@ impl<'a> FilterCtx<'a> {
                 }
             }
             LStmt::Assign(name, e) => {
-                let (id, ty) = self.lookup(name).ok_or_else(|| ElabError::UnknownIdent(name.clone()))?;
+                let (id, ty) = self
+                    .lookup(name)
+                    .ok_or_else(|| ElabError::UnknownIdent(name.clone()))?;
                 let (e, t) = self.expr(e)?;
                 let e = self.coerce(e, t, ty)?;
                 out.push(Stmt::Assign(LValue::Var(id), e));
             }
             LStmt::AssignIndex(name, idx, e) => {
-                let (id, ty) = self.lookup(name).ok_or_else(|| ElabError::UnknownIdent(name.clone()))?;
+                let (id, ty) = self
+                    .lookup(name)
+                    .ok_or_else(|| ElabError::UnknownIdent(name.clone()))?;
                 let (idx, it) = self.expr(idx)?;
                 if it != LType::Int {
-                    return Err(ElabError::Type(format!("subscript of `{name}` must be int")));
+                    return Err(ElabError::Type(format!(
+                        "subscript of `{name}` must be int"
+                    )));
                 }
                 let (e, t) = self.expr(e)?;
                 let e = self.coerce(e, t, ty)?;
@@ -349,16 +397,30 @@ impl<'a> FilterCtx<'a> {
                     self.stmt(s, &mut inner)?;
                 }
                 self.scopes.pop();
-                out.push(Stmt::For { var: id, count: bound, body: inner });
+                out.push(Stmt::For {
+                    var: id,
+                    count: bound,
+                    body: inner,
+                });
             }
-            LStmt::If { cond, then_branch, else_branch } => {
+            LStmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let (cond, ct) = self.expr(cond)?;
                 if ct != LType::Int {
-                    return Err(ElabError::Type("condition must be int (comparisons yield int)".into()));
+                    return Err(ElabError::Type(
+                        "condition must be int (comparisons yield int)".into(),
+                    ));
                 }
                 let t = self.block(then_branch)?;
                 let e = self.block(else_branch)?;
-                out.push(Stmt::If { cond, then_branch: t, else_branch: e });
+                out.push(Stmt::If {
+                    cond,
+                    then_branch: t,
+                    else_branch: e,
+                });
             }
             LStmt::ExprStmt(e) => {
                 // Only useful for its tape effect: `pop();`.
@@ -390,17 +452,25 @@ impl<'a> FilterCtx<'a> {
                 if let Some((id, ty)) = self.lookup(name) {
                     Ok((Expr::Var(id), ty))
                 } else if let Some(v) = self.params.get(name) {
-                    let ty = if v.ty().is_float() { LType::Float } else { LType::Int };
+                    let ty = if v.ty().is_float() {
+                        LType::Float
+                    } else {
+                        LType::Int
+                    };
                     Ok((Expr::Const(*v), ty))
                 } else {
                     Err(ElabError::UnknownIdent(name.clone()))
                 }
             }
             LExpr::Index(name, idx) => {
-                let (id, ty) = self.lookup(name).ok_or_else(|| ElabError::UnknownIdent(name.clone()))?;
+                let (id, ty) = self
+                    .lookup(name)
+                    .ok_or_else(|| ElabError::UnknownIdent(name.clone()))?;
                 let (idx, it) = self.expr(idx)?;
                 if it != LType::Int {
-                    return Err(ElabError::Type(format!("subscript of `{name}` must be int")));
+                    return Err(ElabError::Type(format!(
+                        "subscript of `{name}` must be int"
+                    )));
                 }
                 Ok((Expr::Index(id, Box::new(idx)), ty))
             }
@@ -434,7 +504,10 @@ impl<'a> FilterCtx<'a> {
                     (t, _) => (a, b, t),
                 };
                 if lop.is_integer_only() && t != LType::Int {
-                    return Err(ElabError::Type(format!("operator `{}` requires int operands", lop.symbol())));
+                    return Err(ElabError::Type(format!(
+                        "operator `{}` requires int operands",
+                        lop.symbol()
+                    )));
                 }
                 let rt = if lop.is_comparison() { LType::Int } else { t };
                 Ok((Expr::bin(lop, a, b), rt))
@@ -450,7 +523,11 @@ impl<'a> FilterCtx<'a> {
     fn call(&mut self, name: &str, args: &[LExpr]) -> Result<(Expr, LType), ElabError> {
         let arity = |n: usize| -> Result<(), ElabError> {
             if args.len() != n {
-                Err(ElabError::Arity { name: name.into(), expected: n, got: args.len() })
+                Err(ElabError::Arity {
+                    name: name.into(),
+                    expected: n,
+                    got: args.len(),
+                })
             } else {
                 Ok(())
             }
@@ -551,7 +628,8 @@ mod tests {
         let g = compile(PROGRAM).unwrap();
         assert_eq!(g.node_count(), 3);
         let sched = macross_sdf::Schedule::compute(&g).unwrap();
-        let res = macross_vm::run_scheduled(&g, &sched, &macross_vm::Machine::core_i7(), 4);
+        let res =
+            macross_vm::run_scheduled(&g, &sched, &macross_vm::Machine::core_i7(), 4).unwrap();
         assert_eq!(res.output.len(), 4);
         assert_eq!(res.output[2], Value::F32(2.0)); // (2 * 0.5) * 2.0
     }
@@ -564,7 +642,10 @@ mod tests {
             .find_map(|(_, n)| n.as_filter().filter(|f| f.name == "Scale"))
             .unwrap();
         let text = scale.work.iter().map(|s| s.to_string()).collect::<String>();
-        assert!(text.contains("2.0f"), "param must be a folded constant: {text}");
+        assert!(
+            text.contains("2.0f"),
+            "param must be a folded constant: {text}"
+        );
     }
 
     #[test]
@@ -605,7 +686,11 @@ mod tests {
             &macross::driver::SimdizeOptions::all(),
         )
         .unwrap();
-        assert!(!simd.report.horizontal_groups.is_empty(), "{:?}", simd.report);
+        assert!(
+            !simd.report.horizontal_groups.is_empty(),
+            "{:?}",
+            simd.report
+        );
     }
 
     #[test]
@@ -630,8 +715,17 @@ mod tests {
         "#;
         let g = compile(src).unwrap();
         let sched = macross_sdf::Schedule::compute(&g).unwrap();
-        let res = macross_vm::run_scheduled(&g, &sched, &macross_vm::Machine::core_i7(), 4);
-        assert_eq!(res.output, vec![Value::F32(0.0), Value::F32(1.0), Value::F32(3.0), Value::F32(6.0)]);
+        let res =
+            macross_vm::run_scheduled(&g, &sched, &macross_vm::Machine::core_i7(), 4).unwrap();
+        assert_eq!(
+            res.output,
+            vec![
+                Value::F32(0.0),
+                Value::F32(1.0),
+                Value::F32(3.0),
+                Value::F32(6.0)
+            ]
+        );
     }
 
     #[test]
@@ -655,8 +749,12 @@ mod tests {
         "#;
         let g = compile(src).unwrap();
         let sched = macross_sdf::Schedule::compute(&g).unwrap();
-        let res = macross_vm::run_scheduled(&g, &sched, &macross_vm::Machine::core_i7(), 3);
-        assert_eq!(res.output, vec![Value::F32(3.0), Value::F32(6.0), Value::F32(9.0)]);
+        let res =
+            macross_vm::run_scheduled(&g, &sched, &macross_vm::Machine::core_i7(), 3).unwrap();
+        assert_eq!(
+            res.output,
+            vec![Value::F32(3.0), Value::F32(6.0), Value::F32(9.0)]
+        );
     }
 
     #[test]
@@ -665,7 +763,10 @@ mod tests {
             void->float filter F() { work push 1 { push(x); } }
             void->void pipeline Main() { add F(); add Sink(); }
         "#;
-        assert!(matches!(compile(bad_ident), Err(ElabError::UnknownIdent(_))));
+        assert!(matches!(
+            compile(bad_ident),
+            Err(ElabError::UnknownIdent(_))
+        ));
 
         let bad_arity = r#"
             float->float filter G(float k) { work pop 1 push 1 { push(pop() * k); } }
@@ -726,7 +827,8 @@ mod more_tests {
         "#;
         let g = compile(src).unwrap();
         let sched = macross_sdf::Schedule::compute(&g).unwrap();
-        let res = macross_vm::run_scheduled(&g, &sched, &macross_vm::Machine::core_i7(), 17);
+        let res =
+            macross_vm::run_scheduled(&g, &sched, &macross_vm::Machine::core_i7(), 17).unwrap();
         let vals: Vec<i64> = res.output.iter().map(|v| v.as_i64()).collect();
         assert_eq!(vals[0], 3); // clamped up
         assert_eq!(vals[5], 5);
@@ -765,7 +867,8 @@ mod more_tests {
         "#;
         let g = compile(src).unwrap();
         let sched = macross_sdf::Schedule::compute(&g).unwrap();
-        let res = macross_vm::run_scheduled(&g, &sched, &macross_vm::Machine::core_i7(), 2);
+        let res =
+            macross_vm::run_scheduled(&g, &sched, &macross_vm::Machine::core_i7(), 2).unwrap();
         let vals: Vec<f64> = res.output.iter().map(|v| v.as_f64()).collect();
         // Branch 0 halves twice (x0.25), branch 1 once (x0.5), round-robin.
         assert_eq!(vals[0], 0.0);
@@ -800,8 +903,8 @@ mod more_tests {
         let simd = macross::driver::macro_simdize(&g, &machine, &Default::default()).unwrap();
         let mut ssched = macross_sdf::Schedule::compute(&g).unwrap();
         ssched.scale(simd.report.scale_factor.max(1));
-        let a = macross_vm::run_scheduled(&g, &ssched, &machine, 6);
-        let b = macross_vm::run_scheduled(&simd.graph, &simd.schedule, &machine, 6);
+        let a = macross_vm::run_scheduled(&g, &ssched, &machine, 6).unwrap();
+        let b = macross_vm::run_scheduled(&simd.graph, &simd.schedule, &machine, 6).unwrap();
         assert_eq!(a.output, b.output);
         assert!(!simd.report.single_actors.is_empty() || !simd.report.vertical_chains.is_empty());
     }

@@ -20,7 +20,7 @@ pub enum Tok {
     Int(i64),
     Float(f64),
     // Punctuation / operators.
-    Arrow,     // ->
+    Arrow, // ->
     LBrace,
     RBrace,
     LParen,
@@ -29,7 +29,7 @@ pub enum Tok {
     RBracket,
     Semi,
     Comma,
-    Assign,    // =
+    Assign, // =
     Plus,
     Minus,
     Star,
@@ -40,8 +40,8 @@ pub enum Tok {
     Caret,
     Tilde,
     Bang,
-    Shl,       // <<
-    Shr,       // >>
+    Shl, // <<
+    Shr, // >>
     EqEq,
     NotEq,
     Lt,
@@ -50,7 +50,7 @@ pub enum Tok {
     Ge,
     AndAnd,
     OrOr,
-    PlusPlus,  // ++
+    PlusPlus, // ++
     Eof,
 }
 
@@ -133,11 +133,19 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
     let mut i = 0;
     let mut line = 1;
     let mut col = 1;
-    let err = |msg: &str, line: usize, col: usize| LexError { message: msg.into(), line, col };
+    let err = |msg: &str, line: usize, col: usize| LexError {
+        message: msg.into(),
+        line,
+        col,
+    };
 
     macro_rules! push {
         ($kind:expr, $n:expr) => {{
-            out.push(Token { kind: $kind, line, col });
+            out.push(Token {
+                kind: $kind,
+                line,
+                col,
+            });
             i += $n;
             col += $n;
         }};
@@ -232,11 +240,21 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 }
                 let text: String = chars[start..i].iter().collect();
                 let kind = if is_float {
-                    Tok::Float(text.parse().map_err(|_| err("malformed float literal", line, scol))?)
+                    Tok::Float(
+                        text.parse()
+                            .map_err(|_| err("malformed float literal", line, scol))?,
+                    )
                 } else {
-                    Tok::Int(text.parse().map_err(|_| err("malformed integer literal", line, scol))?)
+                    Tok::Int(
+                        text.parse()
+                            .map_err(|_| err("malformed integer literal", line, scol))?,
+                    )
                 };
-                out.push(Token { kind, line, col: scol });
+                out.push(Token {
+                    kind,
+                    line,
+                    col: scol,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -246,12 +264,20 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     col += 1;
                 }
                 let text: String = chars[start..i].iter().collect();
-                out.push(Token { kind: Tok::Ident(text), line, col: scol });
+                out.push(Token {
+                    kind: Tok::Ident(text),
+                    line,
+                    col: scol,
+                });
             }
             other => return Err(err(&format!("unexpected character {other:?}"), line, col)),
         }
     }
-    out.push(Token { kind: Tok::Eof, line, col });
+    out.push(Token {
+        kind: Tok::Eof,
+        line,
+        col,
+    });
     Ok(out)
 }
 
@@ -294,7 +320,10 @@ mod tests {
     #[test]
     fn comments_are_skipped() {
         let ks = kinds("a // comment\n /* multi\nline */ b");
-        assert_eq!(ks, vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]);
+        assert_eq!(
+            ks,
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
     }
 
     #[test]

@@ -30,7 +30,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -38,7 +42,11 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, line: e.line, col: e.col }
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
     }
 }
 
@@ -84,7 +92,11 @@ impl Parser {
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
         let t = self.peek();
-        Err(ParseError { message: msg.into(), line: t.line, col: t.col })
+        Err(ParseError {
+            message: msg.into(),
+            line: t.line,
+            col: t.col,
+        })
     }
 
     fn expect(&mut self, kind: &Tok) -> Result<Token, ParseError> {
@@ -203,7 +215,11 @@ impl Parser {
         Ok(out)
     }
 
-    fn filter(&mut self, in_ty: Option<LType>, out_ty: Option<LType>) -> Result<LFilter, ParseError> {
+    fn filter(
+        &mut self,
+        in_ty: Option<LType>,
+        out_ty: Option<LType>,
+    ) -> Result<LFilter, ParseError> {
         let name = self.ident()?;
         let params = self.params()?;
         self.expect(&Tok::LBrace)?;
@@ -253,9 +269,18 @@ impl Parser {
                 } else {
                     None
                 };
-                let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+                let init = if self.eat(&Tok::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
                 self.expect(&Tok::Semi)?;
-                f.state.push(LStateDecl { ty, name, len, init });
+                f.state.push(LStateDecl {
+                    ty,
+                    name,
+                    len,
+                    init,
+                });
             }
         }
         if !saw_work {
@@ -305,7 +330,11 @@ impl Parser {
         if children.is_empty() {
             return self.err(format!("pipeline {name} has no children"));
         }
-        Ok(LPipeline { name, params, children })
+        Ok(LPipeline {
+            name,
+            params,
+            children,
+        })
     }
 
     fn splitjoin(&mut self) -> Result<LSplitJoin, ParseError> {
@@ -351,7 +380,13 @@ impl Parser {
         if children.is_empty() {
             return self.err(format!("splitjoin {name} has no children"));
         }
-        Ok(LSplitJoin { name, params, split, children, join })
+        Ok(LSplitJoin {
+            name,
+            params,
+            split,
+            children,
+            join,
+        })
     }
 
     fn block(&mut self) -> Result<Vec<LStmt>, ParseError> {
@@ -403,7 +438,11 @@ impl Parser {
             } else {
                 Vec::new()
             };
-            return Ok(LStmt::If { cond, then_branch, else_branch });
+            return Ok(LStmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            });
         }
         if self.is_kw("push") {
             self.bump();
@@ -414,10 +453,15 @@ impl Parser {
             return Ok(LStmt::Push(e));
         }
         // Local declaration?
-        if (self.is_kw("int") || self.is_kw("float")) && matches!(&self.peek2().kind, Tok::Ident(_)) {
+        if (self.is_kw("int") || self.is_kw("float")) && matches!(&self.peek2().kind, Tok::Ident(_))
+        {
             let ty = self.ty()?;
             let name = self.ident()?;
-            let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+            let init = if self.eat(&Tok::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
             self.expect(&Tok::Semi)?;
             return Ok(LStmt::DeclLocal { ty, name, init });
         }
@@ -461,7 +505,7 @@ impl Parser {
         let mut lhs = self.unary()?;
         loop {
             let (op, prec) = match self.peek().kind {
-                Tok::OrOr => (LBinOp::Or, 1),   // logical or -> bitwise on 0/1
+                Tok::OrOr => (LBinOp::Or, 1), // logical or -> bitwise on 0/1
                 Tok::AndAnd => (LBinOp::And, 2),
                 Tok::Pipe => (LBinOp::Or, 3),
                 Tok::Caret => (LBinOp::Xor, 4),
@@ -579,7 +623,9 @@ mod tests {
     fn parses_simple_filter() {
         let p = parse(SCALE).unwrap();
         assert_eq!(p.decls.len(), 1);
-        let LDecl::Filter(f) = &p.decls[0] else { panic!() };
+        let LDecl::Filter(f) = &p.decls[0] else {
+            panic!()
+        };
         assert_eq!(f.name, "Scale");
         assert_eq!((f.pop, f.push, f.peek), (1, 1, None));
         assert_eq!(f.params.len(), 1);
@@ -608,7 +654,9 @@ mod tests {
             }
         "#;
         let p = parse(src).unwrap();
-        let LDecl::Filter(f) = &p.decls[0] else { panic!() };
+        let LDecl::Filter(f) = &p.decls[0] else {
+            panic!()
+        };
         assert_eq!(f.state.len(), 2);
         assert_eq!(f.state[0].len, Some(8));
         assert_eq!(f.peek, Some(8));
@@ -633,7 +681,9 @@ mod tests {
         "#;
         let p = parse(src).unwrap();
         assert_eq!(p.decls.len(), 2);
-        let LDecl::SplitJoin(sj) = p.find("Eq").unwrap() else { panic!() };
+        let LDecl::SplitJoin(sj) = p.find("Eq").unwrap() else {
+            panic!()
+        };
         assert_eq!(sj.children.len(), 2);
         assert_eq!(sj.join.len(), 2);
         assert!(matches!(sj.split, LSplit::Duplicate));
@@ -643,7 +693,9 @@ mod tests {
     fn operator_precedence() {
         let src = "int->int filter F() { work pop 1 push 1 { push(1 + 2 * 3 << 1); } }";
         let p = parse(src).unwrap();
-        let LDecl::Filter(f) = &p.decls[0] else { panic!() };
+        let LDecl::Filter(f) = &p.decls[0] else {
+            panic!()
+        };
         let LStmt::Push(e) = &f.work[0] else { panic!() };
         // ((1 + (2*3)) << 1)
         assert!(matches!(e, LExpr::Binary(LBinOp::Shl, _, _)));
@@ -653,8 +705,13 @@ mod tests {
     fn cast_vs_parenthesized() {
         let src = "int->int filter F() { work pop 2 push 2 { push((int) pop()); push((pop())); } }";
         let p = parse(src).unwrap();
-        let LDecl::Filter(f) = &p.decls[0] else { panic!() };
-        assert!(matches!(&f.work[0], LStmt::Push(LExpr::Cast(LType::Int, _))));
+        let LDecl::Filter(f) = &p.decls[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            &f.work[0],
+            LStmt::Push(LExpr::Cast(LType::Int, _))
+        ));
         assert!(matches!(&f.work[1], LStmt::Push(LExpr::Call(_, _))));
     }
 

@@ -1,0 +1,91 @@
+//! Typed execution errors.
+//!
+//! The interpreter used to panic on malformed programs (scalar/vector slot
+//! mismatches, tape accesses without a tape). Panics poison a whole
+//! process; the threaded runtime needs a worker to be able to fail one run
+//! gracefully and report the failure across a thread boundary, so every
+//! such condition is now a [`VmError`] propagated through
+//! [`crate::exec::run_program`] / [`crate::exec::run_scheduled`].
+
+use macross_sdf::ScheduleError;
+use std::fmt;
+
+/// Which end of a filter a missing tape was expected on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapeSide {
+    /// The filter's input tape.
+    Input,
+    /// The filter's output tape.
+    Output,
+}
+
+impl fmt::Display for TapeSide {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TapeSide::Input => write!(f, "input"),
+            TapeSide::Output => write!(f, "output"),
+        }
+    }
+}
+
+/// An execution failure. All variants are plain data (`Send + Sync`) so a
+/// worker thread can hand one back to the coordinating thread.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// A filter popped/pushed/peeked without the corresponding tape.
+    MissingTape {
+        /// Filter name.
+        filter: String,
+        /// Which side was missing.
+        side: TapeSide,
+    },
+    /// A value's scalar/vector/aggregate shape disagreed with the slot or
+    /// operation it was used in (the SIMDizer must splat scalars, etc.).
+    TypeMismatch {
+        /// Filter name.
+        filter: String,
+        /// What was being executed when the mismatch surfaced.
+        context: String,
+    },
+    /// An internal (fused-actor) channel was read while empty.
+    ChannelUnderflow {
+        /// Filter name.
+        filter: String,
+        /// Channel display name.
+        chan: String,
+    },
+    /// Scheduling failed before execution began ([`crate::exec::run_program`] only).
+    Schedule(ScheduleError),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::MissingTape { filter, side } => {
+                write!(f, "filter {filter} accessed its {side} tape but has none")
+            }
+            VmError::TypeMismatch { filter, context } => {
+                write!(f, "type mismatch in filter {filter}: {context}")
+            }
+            VmError::ChannelUnderflow { filter, chan } => {
+                write!(f, "internal channel {chan} of filter {filter} underflowed")
+            }
+            VmError::Schedule(e) => write!(f, "scheduling failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VmError::Schedule(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScheduleError> for VmError {
+    fn from(e: ScheduleError) -> Self {
+        VmError::Schedule(e)
+    }
+}

@@ -1,15 +1,17 @@
 //! Whole-program execution: fires nodes per the SDF schedule, manages
 //! tapes and persistent actor state, runs splitters/joiners/sinks natively,
 //! and accounts cycles per node.
+//!
+//! The per-node firing logic itself lives in [`crate::firing`] so the
+//! threaded runtime can reuse it against thread-local tapes.
 
-use crate::interp::{reset_locals, zero_slots, FiringCtx, Slot};
+use crate::error::VmError;
+use crate::firing::{self, FilterState};
 use crate::machine::{CycleCounters, Machine};
 use crate::tape::Tape;
 use macross_sdf::Schedule;
-use macross_streamir::graph::{EdgeId, Graph, Node, NodeId, ReorderSide, SplitKind};
+use macross_streamir::graph::{Graph, Node, NodeId, ReorderSide};
 use macross_streamir::types::Value;
-use macross_streamir::AddrGen;
-use std::collections::VecDeque;
 
 /// Executes a scheduled stream graph on a modelled machine.
 pub struct Executor<'a> {
@@ -17,20 +19,17 @@ pub struct Executor<'a> {
     schedule: &'a Schedule,
     machine: &'a Machine,
     tapes: Vec<Tape>,
-    /// Persistent variable slots per node (filters only).
-    slots: Vec<Vec<Slot>>,
-    /// Persistent channel storage per node (drained every firing).
-    chans: Vec<Vec<VecDeque<Value>>>,
+    /// Persistent state per node (non-empty for filters only).
+    states: Vec<FilterState>,
     counters: CycleCounters,
     node_cycles: Vec<u64>,
     outputs: Vec<Vec<Value>>,
+    inits_done: bool,
 }
 
 impl<'a> Executor<'a> {
-    /// Set up tapes and state, and run every filter's `init` function.
-    ///
-    /// Cycles spent in `init` functions are *not* counted: the paper's
-    /// measurements are steady-state.
+    /// Set up tapes and state. Filter `init` functions run lazily before
+    /// the first [`Executor::run_init`] / [`Executor::run_steady`] call.
     pub fn new(graph: &'a Graph, schedule: &'a Schedule, machine: &'a Machine) -> Executor<'a> {
         let mut tapes: Vec<Tape> = graph.edges().map(|(_, e)| Tape::new(e.elem)).collect();
         for (i, (_, e)) in graph.edges().enumerate() {
@@ -41,92 +40,80 @@ impl<'a> Executor<'a> {
                 }
             }
         }
-        let mut slots = Vec::with_capacity(graph.node_count());
-        let mut chans = Vec::with_capacity(graph.node_count());
-        for (_, node) in graph.nodes() {
-            match node {
-                Node::Filter(f) => {
-                    slots.push(zero_slots(f));
-                    chans.push(vec![VecDeque::new(); f.chans.len()]);
-                }
-                _ => {
-                    slots.push(Vec::new());
-                    chans.push(Vec::new());
-                }
-            }
-        }
+        let states = graph
+            .nodes()
+            .map(|(_, node)| match node {
+                Node::Filter(f) => FilterState::new(f),
+                _ => FilterState::default(),
+            })
+            .collect();
         let outputs = vec![Vec::new(); graph.node_count()];
         let node_cycles = vec![0; graph.node_count()];
-        let mut ex = Executor {
+        Executor {
             graph,
             schedule,
             machine,
             tapes,
-            slots,
-            chans,
+            states,
             counters: CycleCounters::default(),
             node_cycles,
             outputs,
-        };
-        ex.run_init_functions();
-        ex
+            inits_done: false,
+        }
     }
 
-    fn run_init_functions(&mut self) {
-        let mut scratch = CycleCounters::default();
+    fn run_init_functions(&mut self) -> Result<(), VmError> {
+        if self.inits_done {
+            return Ok(());
+        }
+        self.inits_done = true;
         for (id, node) in self.graph.nodes() {
             if let Node::Filter(f) = node {
-                if f.init.is_empty() {
-                    continue;
-                }
-                let mut slots = std::mem::take(&mut self.slots[id.0 as usize]);
-                let mut chans = std::mem::take(&mut self.chans[id.0 as usize]);
-                {
-                    let mut ctx = FiringCtx {
-                        filter: f,
-                        slots: &mut slots,
-                        chans: &mut chans,
-                        input: None,
-                        output: None,
-                        machine: self.machine,
-                        counters: &mut scratch,
-                        input_addr_cost: 0,
-                        output_addr_cost: 0,
-                    };
-                    ctx.exec_block(&f.init);
-                }
-                self.slots[id.0 as usize] = slots;
-                self.chans[id.0 as usize] = chans;
+                self.states[id.0 as usize].run_init_fn(f, self.machine)?;
             }
         }
+        Ok(())
     }
 
     /// Run the initialization schedule (primes peeking filters).
-    pub fn run_init(&mut self) {
+    ///
+    /// # Errors
+    /// Propagates interpreter failures.
+    pub fn run_init(&mut self) -> Result<(), VmError> {
+        self.run_init_functions()?;
         let order = self.schedule.order.clone();
         for id in order {
             for _ in 0..self.schedule.init_reps[id.0 as usize] {
-                self.fire(id);
+                self.fire(id)?;
             }
         }
+        Ok(())
     }
 
     /// Run `iters` steady-state iterations.
-    pub fn run_steady(&mut self, iters: u64) {
+    ///
+    /// # Errors
+    /// Propagates interpreter failures.
+    pub fn run_steady(&mut self, iters: u64) -> Result<(), VmError> {
+        self.run_init_functions()?;
         let order = self.schedule.order.clone();
         for _ in 0..iters {
             for &id in &order {
                 for _ in 0..self.schedule.reps[id.0 as usize] {
-                    self.fire(id);
+                    self.fire(id)?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Convenience: init schedule followed by `iters` steady iterations.
-    pub fn run(&mut self, iters: u64) {
-        self.run_init();
-        self.run_steady(iters);
+    ///
+    /// # Errors
+    /// Propagates interpreter failures.
+    pub fn run(&mut self, iters: u64) -> Result<(), VmError> {
+        self.run_init()?;
+        self.run_steady(iters)
     }
 
     /// Zero the cycle counters (e.g. after warm-up or the init schedule).
@@ -161,237 +148,134 @@ impl<'a> Executor<'a> {
         self.outputs.iter().flatten().copied().collect()
     }
 
-    fn addr_cost(&self, gen: AddrGen) -> u64 {
-        match gen {
-            AddrGen::Sagu => self.machine.cost.sagu_access,
-            AddrGen::Software => self.machine.cost.addr_software_reorder,
-        }
-    }
-
     /// Fire one node once.
-    pub fn fire(&mut self, id: NodeId) {
+    ///
+    /// # Errors
+    /// Propagates interpreter failures (filters only; the native nodes
+    /// cannot fail).
+    pub fn fire(&mut self, id: NodeId) -> Result<(), VmError> {
         let before = self.counters.total();
         self.counters.firing_overhead += self.machine.cost.firing;
+        let in_edge = self.graph.single_in_edge(id);
+        let out_edge = self.graph.single_out_edge(id);
         match self.graph.node(id) {
-            Node::Filter(_) => self.fire_filter(id),
+            Node::Filter(f) => {
+                // Reorder address costs apply to the *scalar* side of a
+                // reordered tape: the consumer side when the edge reorders
+                // reads, the producer side when it reorders writes.
+                let in_cost = in_edge
+                    .map(|e| firing::edge_addr_cost(self.graph, e, true, self.machine))
+                    .unwrap_or(0);
+                let out_cost = out_edge
+                    .map(|e| firing::edge_addr_cost(self.graph, e, false, self.machine))
+                    .unwrap_or(0);
+                firing::fire_filter(
+                    f,
+                    &mut self.states[id.0 as usize],
+                    &mut self.tapes,
+                    in_edge.map(|e| e.0 as usize),
+                    out_edge.map(|e| e.0 as usize),
+                    in_cost,
+                    out_cost,
+                    self.machine,
+                    &mut self.counters,
+                )?;
+            }
             Node::Splitter(kind) => {
                 let kind = kind.clone();
-                self.fire_splitter(id, &kind);
+                let in_edge = in_edge.expect("splitter needs an input");
+                let outs = self.graph.out_edges(id);
+                let in_cost = firing::edge_addr_cost(self.graph, in_edge, true, self.machine);
+                let out_costs: Vec<u64> = outs
+                    .iter()
+                    .map(|&e| firing::edge_addr_cost(self.graph, e, false, self.machine))
+                    .collect();
+                let out_idx: Vec<usize> = outs.iter().map(|e| e.0 as usize).collect();
+                firing::fire_splitter(
+                    &kind,
+                    &mut self.tapes,
+                    in_edge.0 as usize,
+                    &out_idx,
+                    in_cost,
+                    &out_costs,
+                    self.machine,
+                    &mut self.counters,
+                );
             }
-            Node::Joiner(w) => {
-                let w = w.clone();
-                self.fire_joiner(id, &w);
+            Node::Joiner(weights) => {
+                let weights = weights.clone();
+                let ins = self.graph.in_edges(id);
+                let out = out_edge.expect("joiner needs an output");
+                let in_costs: Vec<u64> = ins
+                    .iter()
+                    .map(|&e| firing::edge_addr_cost(self.graph, e, true, self.machine))
+                    .collect();
+                let out_cost = firing::edge_addr_cost(self.graph, out, false, self.machine);
+                let in_idx: Vec<usize> = ins.iter().map(|e| e.0 as usize).collect();
+                firing::fire_joiner(
+                    &weights,
+                    &mut self.tapes,
+                    &in_idx,
+                    out.0 as usize,
+                    &in_costs,
+                    out_cost,
+                    self.machine,
+                    &mut self.counters,
+                );
             }
             Node::HSplitter { kind, width } => {
                 let (kind, width) = (kind.clone(), *width);
-                self.fire_hsplitter(id, &kind, width);
+                let in_edge = in_edge.expect("hsplitter needs an input");
+                let out_idx: Vec<usize> = self
+                    .graph
+                    .out_edges(id)
+                    .iter()
+                    .map(|e| e.0 as usize)
+                    .collect();
+                firing::fire_hsplitter(
+                    &kind,
+                    width,
+                    &mut self.tapes,
+                    in_edge.0 as usize,
+                    &out_idx,
+                    self.machine,
+                    &mut self.counters,
+                );
             }
             Node::HJoiner { weights, width } => {
-                let (w, width) = (weights.clone(), *width);
-                self.fire_hjoiner(id, &w, width);
+                let (weights, width) = (weights.clone(), *width);
+                let out = out_edge.expect("hjoiner needs an output");
+                let in_idx: Vec<usize> = self
+                    .graph
+                    .in_edges(id)
+                    .iter()
+                    .map(|e| e.0 as usize)
+                    .collect();
+                firing::fire_hjoiner(
+                    &weights,
+                    width,
+                    &mut self.tapes,
+                    &in_idx,
+                    out.0 as usize,
+                    self.machine,
+                    &mut self.counters,
+                );
             }
-            Node::Sink => self.fire_sink(id),
+            Node::Sink => {
+                let in_edge = in_edge.expect("sink needs an input");
+                let in_cost = firing::edge_addr_cost(self.graph, in_edge, true, self.machine);
+                let v = firing::fire_sink(
+                    &mut self.tapes,
+                    in_edge.0 as usize,
+                    in_cost,
+                    self.machine,
+                    &mut self.counters,
+                );
+                self.outputs[id.0 as usize].push(v);
+            }
         }
         self.node_cycles[id.0 as usize] += self.counters.total() - before;
-    }
-
-    fn fire_filter(&mut self, id: NodeId) {
-        let node = self.graph.node(id);
-        let f = node.as_filter().expect("fire_filter on non-filter");
-        let in_edge = self.graph.single_in_edge(id);
-        let out_edge = self.graph.single_out_edge(id);
-
-        // Reorder address costs apply to the *scalar* side of a reordered
-        // tape: the consumer side when the edge reorders reads, the
-        // producer side when it reorders writes.
-        let input_addr_cost = in_edge
-            .and_then(|e| self.graph.edge(e).reorder)
-            .filter(|r| r.side == ReorderSide::Consumer)
-            .map(|r| self.addr_cost(r.addr_gen))
-            .unwrap_or(0);
-        let output_addr_cost = out_edge
-            .and_then(|e| self.graph.edge(e).reorder)
-            .filter(|r| r.side == ReorderSide::Producer)
-            .map(|r| self.addr_cost(r.addr_gen))
-            .unwrap_or(0);
-
-        let mut slots = std::mem::take(&mut self.slots[id.0 as usize]);
-        let mut chans = std::mem::take(&mut self.chans[id.0 as usize]);
-        reset_locals(f, &mut slots);
-
-        let mut in_tape = in_edge.map(|e| std::mem::take(&mut self.tapes[e.0 as usize]));
-        let mut out_tape = out_edge.map(|e| std::mem::take(&mut self.tapes[e.0 as usize]));
-        {
-            let mut ctx = FiringCtx {
-                filter: f,
-                slots: &mut slots,
-                chans: &mut chans,
-                input: in_tape.as_mut(),
-                output: out_tape.as_mut(),
-                machine: self.machine,
-                counters: &mut self.counters,
-                input_addr_cost,
-                output_addr_cost,
-            };
-            ctx.exec_block(&f.work);
-        }
-        if let (Some(e), Some(t)) = (in_edge, in_tape) {
-            self.tapes[e.0 as usize] = t;
-        }
-        if let (Some(e), Some(t)) = (out_edge, out_tape) {
-            self.tapes[e.0 as usize] = t;
-        }
-        debug_assert!(
-            chans.iter().all(|c| c.is_empty()),
-            "filter {} left data in an internal channel after firing",
-            f.name
-        );
-        self.slots[id.0 as usize] = slots;
-        self.chans[id.0 as usize] = chans;
-    }
-
-    /// Reorder address-generation cost a scalar access on `edge` pays at
-    /// this node (SAGU or Figure-8 software), if the edge is reordered on
-    /// this node's side.
-    fn edge_addr_cost(&self, edge: EdgeId, consuming: bool) -> u64 {
-        self.graph
-            .edge(edge)
-            .reorder
-            .filter(|r| {
-                (consuming && r.side == ReorderSide::Consumer)
-                    || (!consuming && r.side == ReorderSide::Producer)
-            })
-            .map(|r| self.addr_cost(r.addr_gen))
-            .unwrap_or(0)
-    }
-
-    fn fire_splitter(&mut self, id: NodeId, kind: &SplitKind) {
-        let in_edge = self.graph.single_in_edge(id).expect("splitter needs an input");
-        let outs = self.graph.out_edges(id);
-        let in_cost = self.edge_addr_cost(in_edge, true);
-        match kind {
-            SplitKind::Duplicate => {
-                self.counters.mem_scalar += self.machine.cost.load;
-                self.counters.addr_overhead += in_cost;
-                let v = self.tapes[in_edge.0 as usize].pop();
-                for e in outs {
-                    self.counters.mem_scalar += self.machine.cost.store;
-                    self.counters.addr_overhead += self.edge_addr_cost(e, false);
-                    self.tapes[e.0 as usize].push(v);
-                }
-            }
-            SplitKind::RoundRobin(weights) => {
-                for (i, e) in outs.iter().enumerate() {
-                    let out_cost = self.edge_addr_cost(*e, false);
-                    for _ in 0..weights[i] {
-                        self.counters.mem_scalar += self.machine.cost.load + self.machine.cost.store;
-                        self.counters.addr_overhead += in_cost + out_cost;
-                        let v = self.tapes[in_edge.0 as usize].pop();
-                        self.tapes[e.0 as usize].push(v);
-                    }
-                }
-            }
-        }
-    }
-
-    fn fire_joiner(&mut self, id: NodeId, weights: &[usize]) {
-        let ins = self.graph.in_edges(id);
-        let out = self.graph.single_out_edge(id).expect("joiner needs an output");
-        let out_cost = self.edge_addr_cost(out, false);
-        for (i, e) in ins.iter().enumerate() {
-            let in_cost = self.edge_addr_cost(*e, true);
-            for _ in 0..weights[i] {
-                self.counters.mem_scalar += self.machine.cost.load + self.machine.cost.store;
-                self.counters.addr_overhead += in_cost + out_cost;
-                let v = self.tapes[e.0 as usize].pop();
-                self.tapes[out.0 as usize].push(v);
-            }
-        }
-    }
-
-    /// Horizontal splitter: pops the original splitter's worth of scalars,
-    /// packs them into vectors (one lane per fused branch), and vector-
-    /// pushes to each group's vector tape.
-    fn fire_hsplitter(&mut self, id: NodeId, kind: &SplitKind, width: usize) {
-        let in_edge = self.graph.single_in_edge(id).expect("hsplitter needs an input");
-        let outs = self.graph.out_edges(id);
-        let groups = outs.len();
-        match kind {
-            SplitKind::Duplicate => {
-                self.counters.mem_scalar += self.machine.cost.load;
-                let v = self.tapes[in_edge.0 as usize].pop();
-                for e in outs {
-                    self.counters.pack_unpack += self.machine.cost.splat;
-                    self.counters.mem_vector += self.machine.cost.vstore;
-                    self.tapes[e.0 as usize].vpush(&vec![v; width]);
-                }
-            }
-            SplitKind::RoundRobin(weights) => {
-                let w = weights[0];
-                debug_assert!(weights.iter().all(|&x| x == w), "hsplitter weights must be uniform");
-                let n = groups * width;
-                let mut vals = Vec::with_capacity(n * w);
-                for _ in 0..n * w {
-                    self.counters.mem_scalar += self.machine.cost.load;
-                    vals.push(self.tapes[in_edge.0 as usize].pop());
-                }
-                for (g, e) in outs.iter().enumerate() {
-                    for k in 0..w {
-                        let mut vec = Vec::with_capacity(width);
-                        for j in 0..width {
-                            self.counters.pack_unpack += self.machine.cost.lane_insert;
-                            vec.push(vals[w * (g * width + j) + k]);
-                        }
-                        self.counters.mem_vector += self.machine.cost.vstore;
-                        self.tapes[e.0 as usize].vpush(&vec);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Horizontal joiner: vector-pops from each group, unpacks lanes, and
-    /// pushes scalars in the original joiner's round-robin order.
-    fn fire_hjoiner(&mut self, id: NodeId, weights: &[usize], width: usize) {
-        let ins = self.graph.in_edges(id);
-        let out = self.graph.single_out_edge(id).expect("hjoiner needs an output");
-        let w = weights[0];
-        debug_assert!(weights.iter().all(|&x| x == w), "hjoiner weights must be uniform");
-        let groups = ins.len();
-        // rows[g][k] = k-th vector popped from group g this firing.
-        let mut rows: Vec<Vec<Vec<Value>>> = Vec::with_capacity(groups);
-        for e in &ins {
-            let mut group_rows = Vec::with_capacity(w);
-            for _ in 0..w {
-                self.counters.mem_vector += self.machine.cost.vload;
-                group_rows.push(self.tapes[e.0 as usize].vpop(width));
-            }
-            rows.push(group_rows);
-        }
-        let n = groups * width;
-        for b in 0..n {
-            for k in 0..w {
-                self.counters.pack_unpack += self.machine.cost.lane_extract;
-                self.counters.mem_scalar += self.machine.cost.store;
-                let v = rows[b / width][k][b % width];
-                self.tapes[out.0 as usize].push(v);
-            }
-        }
-    }
-
-    fn fire_sink(&mut self, id: NodeId) {
-        let in_edge = self.graph.single_in_edge(id).expect("sink needs an input");
-        let in_reorder_cost = self
-            .graph
-            .edge(in_edge)
-            .reorder
-            .filter(|r| r.side == ReorderSide::Consumer)
-            .map(|r| self.addr_cost(r.addr_gen))
-            .unwrap_or(0);
-        self.counters.mem_scalar += self.machine.cost.load;
-        self.counters.addr_overhead += in_reorder_cost;
-        let v = self.tapes[in_edge.0 as usize].pop();
-        self.outputs[id.0 as usize].push(v);
+        Ok(())
     }
 }
 
@@ -417,23 +301,31 @@ impl RunResult {
 /// `machine`, excluding initialization from the cycle counts.
 ///
 /// # Errors
-/// Propagates scheduling failures.
-pub fn run_program(graph: &Graph, machine: &Machine, iters: u64) -> Result<RunResult, macross_sdf::ScheduleError> {
+/// Propagates scheduling failures and interpreter failures.
+pub fn run_program(graph: &Graph, machine: &Machine, iters: u64) -> Result<RunResult, VmError> {
     let schedule = Schedule::compute(graph)?;
-    Ok(run_scheduled(graph, &schedule, machine, iters))
+    run_scheduled(graph, &schedule, machine, iters)
 }
 
 /// Execute a graph with a pre-computed (possibly SIMD-adjusted) schedule.
-pub fn run_scheduled(graph: &Graph, schedule: &Schedule, machine: &Machine, iters: u64) -> RunResult {
+///
+/// # Errors
+/// Propagates interpreter failures.
+pub fn run_scheduled(
+    graph: &Graph,
+    schedule: &Schedule,
+    machine: &Machine,
+    iters: u64,
+) -> Result<RunResult, VmError> {
     let mut ex = Executor::new(graph, schedule, machine);
-    ex.run_init();
+    ex.run_init()?;
     ex.reset_counters();
-    ex.run_steady(iters);
-    RunResult {
+    ex.run_steady(iters)?;
+    Ok(RunResult {
         output: ex.output_flat(),
         counters: *ex.counters(),
         node_cycles: ex.node_cycles().to_vec(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -461,13 +353,20 @@ mod tests {
         scale.work(|b| {
             b.push(pop() * 3i32);
         });
-        let g = StreamSpec::pipeline(vec![counting_source("src", 2), scale.build_spec(), StreamSpec::Sink])
-            .build()
-            .unwrap();
+        let g = StreamSpec::pipeline(vec![
+            counting_source("src", 2),
+            scale.build_spec(),
+            StreamSpec::Sink,
+        ])
+        .build()
+        .unwrap();
         let machine = Machine::core_i7();
         let res = run_program(&g, &machine, 3).unwrap();
         // 3 iterations x src rep 1 x push 2 = 6 outputs.
-        assert_eq!(res.output, (0..6).map(|x| Value::I32(x * 3)).collect::<Vec<_>>());
+        assert_eq!(
+            res.output,
+            (0..6).map(|x| Value::I32(x * 3)).collect::<Vec<_>>()
+        );
         assert!(res.total_cycles() > 0);
     }
 
@@ -482,7 +381,16 @@ mod tests {
         };
         let g = StreamSpec::pipeline(vec![
             counting_source("src", 4),
-            StreamSpec::split_join_uniform(1, 1, vec![mk_add("a", 1000), mk_add("b", 2000), mk_add("c", 3000), mk_add("d", 4000)]),
+            StreamSpec::split_join_uniform(
+                1,
+                1,
+                vec![
+                    mk_add("a", 1000),
+                    mk_add("b", 2000),
+                    mk_add("c", 3000),
+                    mk_add("d", 4000),
+                ],
+            ),
             StreamSpec::Sink,
         ])
         .build()
@@ -490,7 +398,12 @@ mod tests {
         let res = run_program(&g, &Machine::core_i7(), 1).unwrap();
         assert_eq!(
             res.output,
-            vec![Value::I32(1000), Value::I32(2001), Value::I32(3002), Value::I32(4003)]
+            vec![
+                Value::I32(1000),
+                Value::I32(2001),
+                Value::I32(3002),
+                Value::I32(4003)
+            ]
         );
     }
 
@@ -511,7 +424,10 @@ mod tests {
         .build()
         .unwrap();
         let res = run_program(&g, &Machine::core_i7(), 2).unwrap();
-        assert_eq!(res.output, vec![Value::I32(0), Value::I32(0), Value::I32(1), Value::I32(1)]);
+        assert_eq!(
+            res.output,
+            vec![Value::I32(0), Value::I32(0), Value::I32(1), Value::I32(1)]
+        );
     }
 
     #[test]
@@ -522,9 +438,13 @@ mod tests {
             b.push(peek(0i32) + peek(1i32) + peek(2i32));
             b.stmt(macross_streamir::stmt::Stmt::AdvanceRead(1));
         });
-        let g = StreamSpec::pipeline(vec![counting_source("src", 1), fir.build_spec(), StreamSpec::Sink])
-            .build()
-            .unwrap();
+        let g = StreamSpec::pipeline(vec![
+            counting_source("src", 1),
+            fir.build_spec(),
+            StreamSpec::Sink,
+        ])
+        .build()
+        .unwrap();
         let res = run_program(&g, &Machine::core_i7(), 4).unwrap();
         // Windows start at 0: 0+1+2, 1+2+3, ...
         assert_eq!(
@@ -541,11 +461,18 @@ mod tests {
             b.set(s, v(s) + pop());
             b.push(v(s));
         });
-        let g = StreamSpec::pipeline(vec![counting_source("src", 1), acc.build_spec(), StreamSpec::Sink])
-            .build()
-            .unwrap();
+        let g = StreamSpec::pipeline(vec![
+            counting_source("src", 1),
+            acc.build_spec(),
+            StreamSpec::Sink,
+        ])
+        .build()
+        .unwrap();
         let res = run_program(&g, &Machine::core_i7(), 4).unwrap();
-        assert_eq!(res.output, vec![Value::I32(0), Value::I32(1), Value::I32(3), Value::I32(6)]);
+        assert_eq!(
+            res.output,
+            vec![Value::I32(0), Value::I32(1), Value::I32(3), Value::I32(6)]
+        );
     }
 
     #[test]
@@ -561,11 +488,18 @@ mod tests {
         });
         lut.work(|b| {
             b.set(x, pop() & 3i32);
+            // Builds an EDSL AST; the `* 0` term exists to exercise the
+            // interpreter, not host arithmetic.
+            #[allow(clippy::erasing_op)]
             b.push(idx(table, v(x)) * 0i32 + idx(table, 2i32));
         });
-        let g = StreamSpec::pipeline(vec![counting_source("src", 1), lut.build_spec(), StreamSpec::Sink])
-            .build()
-            .unwrap();
+        let g = StreamSpec::pipeline(vec![
+            counting_source("src", 1),
+            lut.build_spec(),
+            StreamSpec::Sink,
+        ])
+        .build()
+        .unwrap();
         let res = run_program(&g, &Machine::core_i7(), 1).unwrap();
         assert_eq!(res.output, vec![Value::I32(200)]);
     }
@@ -576,9 +510,13 @@ mod tests {
         f.work(|b| {
             b.push(pop() + 1i32);
         });
-        let g = StreamSpec::pipeline(vec![counting_source("src", 1), f.build_spec(), StreamSpec::Sink])
-            .build()
-            .unwrap();
+        let g = StreamSpec::pipeline(vec![
+            counting_source("src", 1),
+            f.build_spec(),
+            StreamSpec::Sink,
+        ])
+        .build()
+        .unwrap();
         let res = run_program(&g, &Machine::core_i7(), 5).unwrap();
         assert_eq!(res.node_cycles.iter().sum::<u64>(), res.total_cycles());
     }
@@ -614,18 +552,29 @@ mod reorder_cost_tests {
             let j = g.add_node(Node::Joiner(vec![2, 2]));
             // Vectorized consumer doing vector pops of width 4, rate 1.
             let mut vf = macross_streamir::Filter::new("v", 4, 4, 4);
-            let tv = vf.add_var("t", Ty::Vector(ScalarTy::I32, 4), macross_streamir::VarKind::Local);
+            let tv = vf.add_var(
+                "t",
+                Ty::Vector(ScalarTy::I32, 4),
+                macross_streamir::VarKind::Local,
+            );
             vf.work = vec![
                 Stmt::Assign(macross_streamir::LValue::Var(tv), Expr::VPop { width: 4 }),
-                Stmt::VPush { value: Expr::Var(tv), width: 4 },
+                Stmt::VPush {
+                    value: Expr::Var(tv),
+                    width: 4,
+                },
             ];
             let vnode = g.add_node(Node::Filter(vf));
             let k = g.add_node(Node::Sink);
             g.connect(a, 0, j, 0, ScalarTy::I32);
             g.connect(c, 0, j, 1, ScalarTy::I32);
             let e = g.connect(j, 0, vnode, 0, ScalarTy::I32);
-            g.edge_mut(e).reorder =
-                Some(Reorder { rate: 1, sw: 4, side: ReorderSide::Producer, addr_gen });
+            g.edge_mut(e).reorder = Some(Reorder {
+                rate: 1,
+                sw: 4,
+                side: ReorderSide::Producer,
+                addr_gen,
+            });
             g.connect(vnode, 0, k, 0, ScalarTy::I32);
             g
         };
@@ -633,8 +582,8 @@ mod reorder_cost_tests {
         let g_sagu = build(AddrGen::Sagu);
         let g_soft = build(AddrGen::Software);
         let sched = Schedule::compute(&g_sagu).unwrap();
-        let r_sagu = crate::exec::run_scheduled(&g_sagu, &sched, &machine, 2);
-        let r_soft = crate::exec::run_scheduled(&g_soft, &sched, &machine, 2);
+        let r_sagu = crate::exec::run_scheduled(&g_sagu, &sched, &machine, 2).unwrap();
+        let r_soft = crate::exec::run_scheduled(&g_soft, &sched, &machine, 2).unwrap();
         assert_eq!(r_sagu.output, r_soft.output, "functionally identical");
         // 4 joiner pushes per iteration x 2 iterations x 6 cycles.
         assert_eq!(

@@ -1,0 +1,299 @@
+//! Reentrant firing primitives.
+//!
+//! Free functions that fire one node once against a caller-supplied tape
+//! slice, shared by the single-threaded [`crate::exec::Executor`] and the
+//! worker threads of `macross-runtime`. All state is passed in explicitly
+//! ([`FilterState`] is plain owned data and therefore `Send`), so a worker
+//! thread can own the states of exactly the filters assigned to its core
+//! and fire them against thread-local tapes.
+
+use crate::error::VmError;
+use crate::interp::{reset_locals, zero_slots, FiringCtx, Slot};
+use crate::machine::{CycleCounters, Machine};
+use crate::tape::Tape;
+use macross_streamir::filter::Filter;
+use macross_streamir::graph::{EdgeId, Graph, ReorderSide, SplitKind};
+use macross_streamir::types::Value;
+use macross_streamir::AddrGen;
+use std::collections::VecDeque;
+
+/// Persistent per-filter execution state: variable slots and internal
+/// (fused-actor) channels. Owned data — `Send` — so it can migrate to the
+/// worker thread that hosts the filter.
+#[derive(Debug, Clone, Default)]
+pub struct FilterState {
+    /// Variable storage, indexed by `VarId`.
+    pub slots: Vec<Slot>,
+    /// Internal channel storage, indexed by `ChanId`.
+    pub chans: Vec<VecDeque<Value>>,
+}
+
+impl FilterState {
+    /// Zero-initialized state for a filter.
+    pub fn new(filter: &Filter) -> FilterState {
+        FilterState {
+            slots: zero_slots(filter),
+            chans: vec![VecDeque::new(); filter.chans.len()],
+        }
+    }
+
+    /// Run the filter's `init` function, if any. Cycles are *not*
+    /// counted: the paper's measurements are steady-state.
+    ///
+    /// # Errors
+    /// Propagates interpreter failures from the `init` body.
+    pub fn run_init_fn(&mut self, filter: &Filter, machine: &Machine) -> Result<(), VmError> {
+        if filter.init.is_empty() {
+            return Ok(());
+        }
+        let mut scratch = CycleCounters::default();
+        let mut ctx = FiringCtx {
+            filter,
+            slots: &mut self.slots,
+            chans: &mut self.chans,
+            input: None,
+            output: None,
+            machine,
+            counters: &mut scratch,
+            input_addr_cost: 0,
+            output_addr_cost: 0,
+        };
+        ctx.exec_block(&filter.init)
+    }
+}
+
+/// Address-generation cost of one scalar access through a reorder unit.
+pub fn addr_cost(machine: &Machine, gen: AddrGen) -> u64 {
+    match gen {
+        AddrGen::Sagu => machine.cost.sagu_access,
+        AddrGen::Software => machine.cost.addr_software_reorder,
+    }
+}
+
+/// Reorder address-generation cost a scalar access on `edge` pays at the
+/// consuming (`consuming = true`) or producing end, if the edge is
+/// reordered on that side.
+pub fn edge_addr_cost(graph: &Graph, edge: EdgeId, consuming: bool, machine: &Machine) -> u64 {
+    graph
+        .edge(edge)
+        .reorder
+        .filter(|r| {
+            (consuming && r.side == ReorderSide::Consumer)
+                || (!consuming && r.side == ReorderSide::Producer)
+        })
+        .map(|r| addr_cost(machine, r.addr_gen))
+        .unwrap_or(0)
+}
+
+/// Fire a filter once: reset locals, run `work` against the tapes at
+/// `in_edge` / `out_edge` in `tapes` (indices into the caller's tape
+/// slice).
+///
+/// The tapes are moved out and back with `mem::take`, so `in_edge` and
+/// `out_edge` may alias other slots only if distinct from each other.
+///
+/// # Errors
+/// Propagates interpreter failures; the tapes are restored either way.
+#[allow(clippy::too_many_arguments)]
+pub fn fire_filter(
+    filter: &Filter,
+    state: &mut FilterState,
+    tapes: &mut [Tape],
+    in_edge: Option<usize>,
+    out_edge: Option<usize>,
+    input_addr_cost: u64,
+    output_addr_cost: u64,
+    machine: &Machine,
+    counters: &mut CycleCounters,
+) -> Result<(), VmError> {
+    reset_locals(filter, &mut state.slots);
+    let mut in_tape = in_edge.map(|e| std::mem::take(&mut tapes[e]));
+    let mut out_tape = out_edge.map(|e| std::mem::take(&mut tapes[e]));
+    let result = {
+        let mut ctx = FiringCtx {
+            filter,
+            slots: &mut state.slots,
+            chans: &mut state.chans,
+            input: in_tape.as_mut(),
+            output: out_tape.as_mut(),
+            machine,
+            counters,
+            input_addr_cost,
+            output_addr_cost,
+        };
+        ctx.exec_block(&filter.work)
+    };
+    if let (Some(e), Some(t)) = (in_edge, in_tape) {
+        tapes[e] = t;
+    }
+    if let (Some(e), Some(t)) = (out_edge, out_tape) {
+        tapes[e] = t;
+    }
+    result?;
+    debug_assert!(
+        state.chans.iter().all(|c| c.is_empty()),
+        "filter {} left data in an internal channel after firing",
+        filter.name
+    );
+    Ok(())
+}
+
+/// Fire a splitter once. `in_cost` / `out_costs` are the per-access
+/// reorder address costs of the input edge and each output edge.
+#[allow(clippy::too_many_arguments)]
+pub fn fire_splitter(
+    kind: &SplitKind,
+    tapes: &mut [Tape],
+    in_edge: usize,
+    out_edges: &[usize],
+    in_cost: u64,
+    out_costs: &[u64],
+    machine: &Machine,
+    counters: &mut CycleCounters,
+) {
+    match kind {
+        SplitKind::Duplicate => {
+            counters.mem_scalar += machine.cost.load;
+            counters.addr_overhead += in_cost;
+            let v = tapes[in_edge].pop();
+            for (i, &e) in out_edges.iter().enumerate() {
+                counters.mem_scalar += machine.cost.store;
+                counters.addr_overhead += out_costs[i];
+                tapes[e].push(v);
+            }
+        }
+        SplitKind::RoundRobin(weights) => {
+            for (i, &e) in out_edges.iter().enumerate() {
+                for _ in 0..weights[i] {
+                    counters.mem_scalar += machine.cost.load + machine.cost.store;
+                    counters.addr_overhead += in_cost + out_costs[i];
+                    let v = tapes[in_edge].pop();
+                    tapes[e].push(v);
+                }
+            }
+        }
+    }
+}
+
+/// Fire a round-robin joiner once.
+#[allow(clippy::too_many_arguments)]
+pub fn fire_joiner(
+    weights: &[usize],
+    tapes: &mut [Tape],
+    in_edges: &[usize],
+    out_edge: usize,
+    in_costs: &[u64],
+    out_cost: u64,
+    machine: &Machine,
+    counters: &mut CycleCounters,
+) {
+    for (i, &e) in in_edges.iter().enumerate() {
+        for _ in 0..weights[i] {
+            counters.mem_scalar += machine.cost.load + machine.cost.store;
+            counters.addr_overhead += in_costs[i] + out_cost;
+            let v = tapes[e].pop();
+            tapes[out_edge].push(v);
+        }
+    }
+}
+
+/// Fire a horizontal splitter once: pops the original splitter's worth of
+/// scalars, packs them into vectors (one lane per fused branch), and
+/// vector-pushes to each group's vector tape.
+pub fn fire_hsplitter(
+    kind: &SplitKind,
+    width: usize,
+    tapes: &mut [Tape],
+    in_edge: usize,
+    out_edges: &[usize],
+    machine: &Machine,
+    counters: &mut CycleCounters,
+) {
+    let groups = out_edges.len();
+    match kind {
+        SplitKind::Duplicate => {
+            counters.mem_scalar += machine.cost.load;
+            let v = tapes[in_edge].pop();
+            for &e in out_edges {
+                counters.pack_unpack += machine.cost.splat;
+                counters.mem_vector += machine.cost.vstore;
+                tapes[e].vpush(&vec![v; width]);
+            }
+        }
+        SplitKind::RoundRobin(weights) => {
+            let w = weights[0];
+            debug_assert!(
+                weights.iter().all(|&x| x == w),
+                "hsplitter weights must be uniform"
+            );
+            let n = groups * width;
+            let mut vals = Vec::with_capacity(n * w);
+            for _ in 0..n * w {
+                counters.mem_scalar += machine.cost.load;
+                vals.push(tapes[in_edge].pop());
+            }
+            for (g, &e) in out_edges.iter().enumerate() {
+                for k in 0..w {
+                    let mut vec = Vec::with_capacity(width);
+                    for j in 0..width {
+                        counters.pack_unpack += machine.cost.lane_insert;
+                        vec.push(vals[w * (g * width + j) + k]);
+                    }
+                    counters.mem_vector += machine.cost.vstore;
+                    tapes[e].vpush(&vec);
+                }
+            }
+        }
+    }
+}
+
+/// Fire a horizontal joiner once: vector-pops from each group, unpacks
+/// lanes, and pushes scalars in the original joiner's round-robin order.
+pub fn fire_hjoiner(
+    weights: &[usize],
+    width: usize,
+    tapes: &mut [Tape],
+    in_edges: &[usize],
+    out_edge: usize,
+    machine: &Machine,
+    counters: &mut CycleCounters,
+) {
+    let w = weights[0];
+    debug_assert!(
+        weights.iter().all(|&x| x == w),
+        "hjoiner weights must be uniform"
+    );
+    let groups = in_edges.len();
+    // rows[g][k] = k-th vector popped from group g this firing.
+    let mut rows: Vec<Vec<Vec<Value>>> = Vec::with_capacity(groups);
+    for &e in in_edges {
+        let mut group_rows = Vec::with_capacity(w);
+        for _ in 0..w {
+            counters.mem_vector += machine.cost.vload;
+            group_rows.push(tapes[e].vpop(width));
+        }
+        rows.push(group_rows);
+    }
+    let n = groups * width;
+    for b in 0..n {
+        for row in &rows[b / width] {
+            counters.pack_unpack += machine.cost.lane_extract;
+            counters.mem_scalar += machine.cost.store;
+            tapes[out_edge].push(row[b % width]);
+        }
+    }
+}
+
+/// Fire a sink once: pop one value from its input tape and return it for
+/// the caller to record.
+pub fn fire_sink(
+    tapes: &mut [Tape],
+    in_edge: usize,
+    in_cost: u64,
+    machine: &Machine,
+    counters: &mut CycleCounters,
+) -> Value {
+    counters.mem_scalar += machine.cost.load;
+    counters.addr_overhead += in_cost;
+    tapes[in_edge].pop()
+}

@@ -1,6 +1,12 @@
 //! The work-function interpreter: executes scalar *and* vectorized actor
 //! bodies with per-operation cycle accounting.
+//!
+//! Malformed programs (shape mismatches, missing tapes, channel
+//! underflows) surface as [`VmError`] values rather than panics, so an
+//! embedding runtime — in particular a worker thread of
+//! `macross-runtime` — can fail one run without poisoning the process.
 
+use crate::error::{TapeSide, VmError};
 use crate::machine::{CycleCounters, Machine};
 use crate::tape::Tape;
 use macross_streamir::expr::{eval_binop, eval_intrinsic, eval_unop, BinOp, Expr, LValue};
@@ -92,97 +98,154 @@ pub struct FiringCtx<'a> {
 
 impl<'a> FiringCtx<'a> {
     /// Execute a statement block (a `work` or `init` body).
-    pub fn exec_block(&mut self, stmts: &[Stmt]) {
+    ///
+    /// # Errors
+    /// Returns a [`VmError`] on shape mismatches, missing tapes, or
+    /// internal-channel underflow.
+    pub fn exec_block(&mut self, stmts: &[Stmt]) -> Result<(), VmError> {
         for s in stmts {
-            self.exec_stmt(s);
+            self.exec_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn type_err(&self, context: impl Into<String>) -> VmError {
+        VmError::TypeMismatch {
+            filter: self.filter.name.clone(),
+            context: context.into(),
         }
     }
 
-    fn input(&mut self) -> &mut Tape {
-        self.input.as_deref_mut().unwrap_or_else(|| panic!("filter {} reads without an input tape", panic_name()))
+    fn want_scalar(&self, v: RtVal, context: &str) -> Result<Value, VmError> {
+        match v {
+            RtVal::S(x) => Ok(x),
+            RtVal::V(_) => Err(self.type_err(format!("expected scalar in {context}, got vector"))),
+        }
     }
 
-    fn output(&mut self) -> &mut Tape {
-        self.output.as_deref_mut().unwrap_or_else(|| panic!("filter {} writes without an output tape", panic_name()))
+    fn want_vector(&self, v: RtVal, context: &str) -> Result<Vec<Value>, VmError> {
+        match v {
+            RtVal::V(x) => Ok(x),
+            RtVal::S(_) => Err(self.type_err(format!("expected vector in {context}, got scalar"))),
+        }
     }
 
-    fn exec_stmt(&mut self, s: &Stmt) {
+    fn input(&mut self) -> Result<&mut Tape, VmError> {
+        let name = &self.filter.name;
+        match self.input.as_deref_mut() {
+            Some(t) => Ok(t),
+            None => Err(VmError::MissingTape {
+                filter: name.clone(),
+                side: TapeSide::Input,
+            }),
+        }
+    }
+
+    fn output(&mut self) -> Result<&mut Tape, VmError> {
+        let name = &self.filter.name;
+        match self.output.as_deref_mut() {
+            Some(t) => Ok(t),
+            None => Err(VmError::MissingTape {
+                filter: name.clone(),
+                side: TapeSide::Output,
+            }),
+        }
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt) -> Result<(), VmError> {
         match s {
             Stmt::Assign(lv, e) => {
-                let val = self.eval(e);
-                self.write_lvalue(lv, val);
+                let val = self.eval(e)?;
+                self.write_lvalue(lv, val)?;
             }
             Stmt::Push(e) => {
-                let v = self.eval(e).scalar();
+                let v = self.eval(e)?;
+                let v = self.want_scalar(v, "push")?;
                 self.counters.mem_scalar += self.machine.cost.store;
                 self.counters.addr_overhead += self.output_addr_cost;
-                self.output().push(v);
+                self.output()?.push(v);
             }
             Stmt::RPush { value, offset } => {
-                let v = self.eval(value).scalar();
-                let off = self.eval(offset).scalar().as_i64() as usize;
+                let v = self.eval(value)?;
+                let v = self.want_scalar(v, "rpush value")?;
+                let off = self.eval(offset)?;
+                let off = self.want_scalar(off, "rpush offset")?.as_i64() as usize;
                 self.counters.mem_scalar += self.machine.cost.store;
                 self.counters.addr_overhead += self.machine.cost.alu;
-                self.output().rpush(v, off);
+                self.output()?.rpush(v, off);
             }
             Stmt::VPush { value, width } => {
-                let v = self.eval(value).vector();
+                let v = self.eval(value)?;
+                let v = self.want_vector(v, "vpush")?;
                 debug_assert_eq!(v.len(), *width, "vpush width mismatch");
                 self.counters.mem_vector += self.machine.cost.vstore;
-                self.output().vpush(&v);
+                self.output()?.vpush(&v);
             }
             Stmt::LPush(c, e) => {
-                let v = self.eval(e).scalar();
+                let v = self.eval(e)?;
+                let v = self.want_scalar(v, "lpush")?;
                 self.counters.mem_scalar += self.machine.cost.store;
                 self.chans[c.0 as usize].push_back(v);
             }
             Stmt::LVPush(c, e, width) => {
-                let v = self.eval(e).vector();
+                let v = self.eval(e)?;
+                let v = self.want_vector(v, "lvpush")?;
                 debug_assert_eq!(v.len(), *width, "lvpush width mismatch");
                 self.counters.mem_vector += self.machine.cost.vstore;
                 self.chans[c.0 as usize].extend(v);
             }
             Stmt::For { var, count, body } => {
-                let n = self.eval(count).scalar().as_i64();
+                let n = self.eval(count)?;
+                let n = self.want_scalar(n, "loop count")?.as_i64();
                 self.counters.compute_scalar += self.machine.cost.alu; // loop setup
                 for i in 0..n.max(0) {
                     self.counters.loop_overhead += self.machine.cost.loop_iter;
                     self.slots[var.0 as usize] = Slot::S(Value::I32(i as i32));
-                    self.exec_block(body);
+                    self.exec_block(body)?;
                 }
             }
-            Stmt::If { cond, then_branch, else_branch } => {
-                let c = self.eval(cond).scalar();
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let c = self.eval(cond)?;
+                let c = self.want_scalar(c, "branch condition")?;
                 self.counters.compute_scalar += self.machine.cost.alu; // branch
                 if c.is_truthy() {
-                    self.exec_block(then_branch);
+                    self.exec_block(then_branch)?;
                 } else {
-                    self.exec_block(else_branch);
+                    self.exec_block(else_branch)?;
                 }
             }
             Stmt::AdvanceRead(n) => {
                 self.counters.addr_overhead += self.machine.cost.alu;
-                self.input().advance_read(*n);
+                self.input()?.advance_read(*n);
             }
             Stmt::AdvanceWrite(n) => {
                 self.counters.addr_overhead += self.machine.cost.alu;
-                self.output().advance_write(*n);
+                self.output()?.advance_write(*n);
             }
         }
+        Ok(())
     }
 
-    fn write_lvalue(&mut self, lv: &LValue, val: RtVal) {
+    fn write_lvalue(&mut self, lv: &LValue, val: RtVal) -> Result<(), VmError> {
         match lv {
             LValue::Var(v) => {
                 // Register move: free in the cost model.
                 match (&mut self.slots[v.0 as usize], val) {
                     (Slot::S(s), RtVal::S(x)) => *s = x,
                     (slot @ Slot::V(_), RtVal::V(x)) => *slot = Slot::V(x),
-                    (slot, val) => panic!("type mismatch assigning {val:?} to {slot:?}"),
+                    (slot, val) => {
+                        let msg = format!("assigning {val:?} to {slot:?}");
+                        return Err(self.type_err(msg));
+                    }
                 }
             }
             LValue::Index(v, i) => {
-                let idx = self.eval(i).scalar().as_i64() as usize;
+                let idx = self.eval(i)?;
+                let idx = self.want_scalar(idx, "array index")?.as_i64() as usize;
                 match (&mut self.slots[v.0 as usize], val) {
                     (Slot::A(arr), RtVal::S(x)) => {
                         self.counters.mem_scalar += self.machine.cost.store;
@@ -192,109 +255,162 @@ impl<'a> FiringCtx<'a> {
                         self.counters.mem_vector += self.machine.cost.vstore;
                         arr[idx] = x;
                     }
-                    (slot, val) => panic!("type mismatch assigning {val:?} to element of {slot:?}"),
+                    (slot, val) => {
+                        let msg = format!("assigning {val:?} to element of {slot:?}");
+                        return Err(self.type_err(msg));
+                    }
                 }
             }
             LValue::VIndex(v, i, _) => {
-                let idx = self.eval(i).scalar().as_i64() as usize;
-                let vals = val.vector();
+                let idx = self.eval(i)?;
+                let idx = self.want_scalar(idx, "vector-store index")?.as_i64() as usize;
+                let vals = self.want_vector(val, "vector store")?;
                 self.counters.mem_vector += self.machine.cost.vstore;
                 match &mut self.slots[v.0 as usize] {
                     Slot::A(arr) => arr[idx..idx + vals.len()].copy_from_slice(&vals),
-                    slot => panic!("vector store to non-scalar-array {slot:?}"),
+                    slot => {
+                        let msg = format!("vector store to non-scalar-array {slot:?}");
+                        return Err(self.type_err(msg));
+                    }
                 }
             }
             LValue::LaneVar(v, lane) => {
-                let x = val.scalar();
+                let x = self.want_scalar(val, "lane assignment")?;
                 self.counters.pack_unpack += self.machine.cost.lane_insert;
                 match &mut self.slots[v.0 as usize] {
                     Slot::V(lanes) => lanes[*lane] = x,
-                    slot => panic!("lane assignment to non-vector {slot:?}"),
+                    slot => {
+                        let msg = format!("lane assignment to non-vector {slot:?}");
+                        return Err(self.type_err(msg));
+                    }
                 }
             }
             LValue::LaneIndex(v, i, lane) => {
-                let idx = self.eval(i).scalar().as_i64() as usize;
-                let x = val.scalar();
+                let idx = self.eval(i)?;
+                let idx = self.want_scalar(idx, "lane-store index")?.as_i64() as usize;
+                let x = self.want_scalar(val, "lane assignment")?;
                 self.counters.pack_unpack += self.machine.cost.lane_insert;
                 match &mut self.slots[v.0 as usize] {
                     Slot::VA(arr) => arr[idx][*lane] = x,
-                    slot => panic!("lane assignment to non-vector-array {slot:?}"),
+                    slot => {
+                        let msg = format!("lane assignment to non-vector-array {slot:?}");
+                        return Err(self.type_err(msg));
+                    }
                 }
             }
         }
+        Ok(())
     }
 
     /// Evaluate an expression.
-    pub fn eval(&mut self, e: &Expr) -> RtVal {
+    ///
+    /// # Errors
+    /// Returns a [`VmError`] on shape mismatches, missing tapes, or
+    /// internal-channel underflow.
+    pub fn eval(&mut self, e: &Expr) -> Result<RtVal, VmError> {
         match e {
-            Expr::Const(v) => RtVal::S(*v),
+            Expr::Const(v) => Ok(RtVal::S(*v)),
             Expr::ConstVec(vs) => {
                 // Constant-pool vector load.
                 self.counters.mem_vector += self.machine.cost.vload;
-                RtVal::V(vs.clone())
+                Ok(RtVal::V(vs.clone()))
             }
             Expr::Var(v) => match &self.slots[v.0 as usize] {
-                Slot::S(x) => RtVal::S(*x),
-                Slot::V(x) => RtVal::V(x.clone()),
-                slot => panic!("reading aggregate {slot:?} as a value"),
+                Slot::S(x) => Ok(RtVal::S(*x)),
+                Slot::V(x) => Ok(RtVal::V(x.clone())),
+                slot => {
+                    let msg = format!("reading aggregate {slot:?} as a value");
+                    Err(self.type_err(msg))
+                }
             },
             Expr::Index(v, i) => {
-                let idx = self.eval(i).scalar().as_i64() as usize;
+                let idx = self.eval(i)?;
+                let idx = self.want_scalar(idx, "array index")?.as_i64() as usize;
                 match &self.slots[v.0 as usize] {
                     Slot::A(arr) => {
                         self.counters.mem_scalar += self.machine.cost.load;
-                        RtVal::S(arr[idx])
+                        Ok(RtVal::S(arr[idx]))
                     }
                     Slot::VA(arr) => {
                         self.counters.mem_vector += self.machine.cost.vload;
-                        RtVal::V(arr[idx].clone())
+                        Ok(RtVal::V(arr[idx].clone()))
                     }
-                    slot => panic!("indexing non-array {slot:?}"),
+                    slot => {
+                        let msg = format!("indexing non-array {slot:?}");
+                        Err(self.type_err(msg))
+                    }
                 }
             }
             Expr::VIndex(v, i, w) => {
-                let idx = self.eval(i).scalar().as_i64() as usize;
+                let idx = self.eval(i)?;
+                let idx = self.want_scalar(idx, "vector-load index")?.as_i64() as usize;
                 self.counters.mem_vector += self.machine.cost.vload;
                 match &self.slots[v.0 as usize] {
-                    Slot::A(arr) => RtVal::V(arr[idx..idx + w].to_vec()),
-                    slot => panic!("vector-indexing non-scalar-array {slot:?}"),
+                    Slot::A(arr) => Ok(RtVal::V(arr[idx..idx + w].to_vec())),
+                    slot => {
+                        let msg = format!("vector-indexing non-scalar-array {slot:?}");
+                        Err(self.type_err(msg))
+                    }
                 }
             }
             Expr::Unary(op, a) => {
-                let a = self.eval(a);
+                let a = self.eval(a)?;
                 match a {
                     RtVal::S(x) => {
                         self.counters.compute_scalar += self.machine.cost.alu;
-                        RtVal::S(eval_unop(*op, x))
+                        Ok(RtVal::S(eval_unop(*op, x)))
                     }
                     RtVal::V(xs) => {
                         self.counters.compute_vector += self.machine.cost.valu;
-                        RtVal::V(xs.into_iter().map(|x| eval_unop(*op, x)).collect())
+                        Ok(RtVal::V(
+                            xs.into_iter().map(|x| eval_unop(*op, x)).collect(),
+                        ))
                     }
                 }
             }
             Expr::Binary(op, a, b) => {
-                let a = self.eval(a);
-                let b = self.eval(b);
+                let a = self.eval(a)?;
+                let b = self.eval(b)?;
                 match (a, b) {
                     (RtVal::S(x), RtVal::S(y)) => {
                         self.counters.compute_scalar += self.scalar_binop_cost(*op);
-                        RtVal::S(eval_binop(*op, x, y))
+                        Ok(RtVal::S(eval_binop(*op, x, y)))
                     }
                     (RtVal::V(xs), RtVal::V(ys)) => {
-                        assert_eq!(xs.len(), ys.len(), "vector width mismatch in {op:?}");
+                        if xs.len() != ys.len() {
+                            let msg = format!("vector width mismatch in {op:?}");
+                            return Err(self.type_err(msg));
+                        }
                         self.counters.compute_vector += self.vector_binop_cost(*op);
-                        RtVal::V(xs.into_iter().zip(ys).map(|(x, y)| eval_binop(*op, x, y)).collect())
+                        Ok(RtVal::V(
+                            xs.into_iter()
+                                .zip(ys)
+                                .map(|(x, y)| eval_binop(*op, x, y))
+                                .collect(),
+                        ))
                     }
-                    _ => panic!("mixed scalar/vector operands in {op:?} (SIMDizer must splat)"),
+                    _ => {
+                        let msg =
+                            format!("mixed scalar/vector operands in {op:?} (SIMDizer must splat)");
+                        Err(self.type_err(msg))
+                    }
                 }
             }
             Expr::Call(i, args) => {
-                let vals: Vec<RtVal> = args.iter().map(|a| self.eval(a)).collect();
+                let mut vals: Vec<RtVal> = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a)?);
+                }
                 if vals.iter().any(|v| matches!(v, RtVal::V(_))) {
-                    let vecs: Vec<Vec<Value>> = vals.into_iter().map(|v| v.vector()).collect();
+                    let mut vecs: Vec<Vec<Value>> = Vec::with_capacity(vals.len());
+                    for v in vals {
+                        vecs.push(self.want_vector(v, i.name())?);
+                    }
                     let w = vecs[0].len();
-                    assert!(vecs.iter().all(|v| v.len() == w), "vector width mismatch in {}", i.name());
+                    if !vecs.iter().all(|v| v.len() == w) {
+                        let msg = format!("vector width mismatch in {}", i.name());
+                        return Err(self.type_err(msg));
+                    }
                     self.counters.compute_vector += self.machine.vector_intrinsic_cost(*i);
                     let lanes = (0..w)
                         .map(|l| {
@@ -302,80 +418,109 @@ impl<'a> FiringCtx<'a> {
                             eval_intrinsic(*i, &lane_args)
                         })
                         .collect();
-                    RtVal::V(lanes)
+                    Ok(RtVal::V(lanes))
                 } else {
                     let scalars: Vec<Value> = vals.into_iter().map(|v| v.scalar()).collect();
                     self.counters.compute_scalar += self.machine.scalar_intrinsic_cost(*i);
-                    RtVal::S(eval_intrinsic(*i, &scalars))
+                    Ok(RtVal::S(eval_intrinsic(*i, &scalars)))
                 }
             }
-            Expr::Cast(t, a) => match self.eval(a) {
+            Expr::Cast(t, a) => match self.eval(a)? {
                 RtVal::S(x) => {
                     self.counters.compute_scalar += self.machine.cost.alu;
-                    RtVal::S(x.cast(*t))
+                    Ok(RtVal::S(x.cast(*t)))
                 }
                 RtVal::V(xs) => {
                     self.counters.compute_vector += self.machine.cost.valu;
-                    RtVal::V(xs.into_iter().map(|x| x.cast(*t)).collect())
+                    Ok(RtVal::V(xs.into_iter().map(|x| x.cast(*t)).collect()))
                 }
             },
             Expr::Pop => {
                 self.counters.mem_scalar += self.machine.cost.load;
                 self.counters.addr_overhead += self.input_addr_cost;
-                RtVal::S(self.input().pop())
+                Ok(RtVal::S(self.input()?.pop()))
             }
             Expr::Peek(off) => {
-                let o = self.eval(off).scalar().as_i64() as usize;
+                let o = self.eval(off)?;
+                let o = self.want_scalar(o, "peek offset")?.as_i64() as usize;
                 self.counters.mem_scalar += self.machine.cost.load;
                 self.counters.addr_overhead += self.input_addr_cost;
-                RtVal::S(self.input().peek(o))
+                Ok(RtVal::S(self.input()?.peek(o)))
             }
             Expr::VPop { width } => {
                 self.counters.mem_vector += self.machine.cost.vload;
                 let w = *width;
-                RtVal::V(self.input().vpop(w))
+                Ok(RtVal::V(self.input()?.vpop(w)))
             }
             Expr::VPeek { offset, width } => {
-                let o = self.eval(offset).scalar().as_i64() as usize;
+                let o = self.eval(offset)?;
+                let o = self.want_scalar(o, "vpeek offset")?.as_i64() as usize;
                 self.counters.mem_vector += self.machine.cost.vload;
                 let w = *width;
-                RtVal::V(self.input().vpeek(o, w))
+                Ok(RtVal::V(self.input()?.vpeek(o, w)))
             }
             Expr::LPop(c) => {
                 self.counters.mem_scalar += self.machine.cost.load;
-                RtVal::S(
-                    self.chans[c.0 as usize]
-                        .pop_front()
-                        .unwrap_or_else(|| panic!("internal channel {c} underflow")),
-                )
+                match self.chans[c.0 as usize].pop_front() {
+                    Some(v) => Ok(RtVal::S(v)),
+                    None => Err(VmError::ChannelUnderflow {
+                        filter: self.filter.name.clone(),
+                        chan: c.to_string(),
+                    }),
+                }
             }
             Expr::LVPop(c, w) => {
                 self.counters.mem_vector += self.machine.cost.vload;
                 let ch = &mut self.chans[c.0 as usize];
-                assert!(ch.len() >= *w, "internal channel {c} underflow (vector)");
-                RtVal::V(ch.drain(..*w).collect())
+                if ch.len() < *w {
+                    return Err(VmError::ChannelUnderflow {
+                        filter: self.filter.name.clone(),
+                        chan: format!("{c} (vector)"),
+                    });
+                }
+                Ok(RtVal::V(ch.drain(..*w).collect()))
             }
             Expr::Lane(e, lane) => {
-                let v = self.eval(e).vector();
+                let v = self.eval(e)?;
+                let v = self.want_vector(v, "lane extract")?;
                 self.counters.pack_unpack += self.machine.cost.lane_extract;
-                RtVal::S(v[*lane])
+                Ok(RtVal::S(v[*lane]))
             }
             Expr::Splat(e, w) => {
-                let x = self.eval(e).scalar();
+                let x = self.eval(e)?;
+                let x = self.want_scalar(x, "splat")?;
                 self.counters.pack_unpack += self.machine.cost.splat;
-                RtVal::V(vec![x; *w])
+                Ok(RtVal::V(vec![x; *w]))
             }
             Expr::PermuteEven(a, b) => {
-                let (a, b) = (self.eval(a).vector(), self.eval(b).vector());
+                let a = self.eval(a)?;
+                let a = self.want_vector(a, "permute")?;
+                let b = self.eval(b)?;
+                let b = self.want_vector(b, "permute")?;
                 self.counters.permute += self.machine.cost.permute;
-                RtVal::V(extract_positions(&a, &b, 0))
+                self.extract_positions(&a, &b, 0)
             }
             Expr::PermuteOdd(a, b) => {
-                let (a, b) = (self.eval(a).vector(), self.eval(b).vector());
+                let a = self.eval(a)?;
+                let a = self.want_vector(a, "permute")?;
+                let b = self.eval(b)?;
+                let b = self.want_vector(b, "permute")?;
                 self.counters.permute += self.machine.cost.permute;
-                RtVal::V(extract_positions(&a, &b, 1))
+                self.extract_positions(&a, &b, 1)
             }
         }
+    }
+
+    /// `extract_even` (parity 0) / `extract_odd` (parity 1) of the
+    /// concatenation of two equal-width vectors.
+    fn extract_positions(&self, a: &[Value], b: &[Value], parity: usize) -> Result<RtVal, VmError> {
+        if a.len() != b.len() {
+            return Err(self.type_err("permute operands must have equal width"));
+        }
+        let concat = a.iter().chain(b.iter()).copied().collect::<Vec<_>>();
+        Ok(RtVal::V(
+            concat.into_iter().skip(parity).step_by(2).collect(),
+        ))
     }
 
     fn scalar_binop_cost(&self, op: BinOp) -> u64 {
@@ -393,18 +538,6 @@ impl<'a> FiringCtx<'a> {
             _ => self.machine.cost.valu,
         }
     }
-}
-
-/// `extract_even` (parity 0) / `extract_odd` (parity 1) of the
-/// concatenation of two equal-width vectors.
-fn extract_positions(a: &[Value], b: &[Value], parity: usize) -> Vec<Value> {
-    assert_eq!(a.len(), b.len(), "permute operands must have equal width");
-    let concat = a.iter().chain(b.iter()).copied().collect::<Vec<_>>();
-    concat.into_iter().skip(parity).step_by(2).collect()
-}
-
-fn panic_name() -> &'static str {
-    "<unknown>"
 }
 
 /// Build the initial slot vector for a filter (all zeros).
@@ -429,7 +562,11 @@ mod tests {
     use macross_streamir::edsl::*;
     use macross_streamir::types::{ScalarTy, Ty};
 
-    fn fire_once(filter: &Filter, input: Option<&mut Tape>, output: Option<&mut Tape>) -> CycleCounters {
+    fn fire_once(
+        filter: &Filter,
+        input: Option<&mut Tape>,
+        output: Option<&mut Tape>,
+    ) -> Result<CycleCounters, VmError> {
         let machine = Machine::core_i7();
         let mut counters = CycleCounters::default();
         let mut slots = zero_slots(filter);
@@ -445,8 +582,8 @@ mod tests {
             input_addr_cost: 0,
             output_addr_cost: 0,
         };
-        ctx.exec_block(&filter.work);
-        counters
+        ctx.exec_block(&filter.work)?;
+        Ok(counters)
     }
 
     #[test]
@@ -459,7 +596,7 @@ mod tests {
         let mut inp = Tape::new(ScalarTy::F32);
         inp.push(Value::F32(3.0));
         let mut out = Tape::new(ScalarTy::F32);
-        let counters = fire_once(&f, Some(&mut inp), Some(&mut out));
+        let counters = fire_once(&f, Some(&mut inp), Some(&mut out)).unwrap();
         assert_eq!(out.pop(), Value::F32(6.0));
         // load(2) + mul(3) + store(2)
         assert_eq!(counters.mem_scalar, 4);
@@ -478,7 +615,12 @@ mod tests {
                 value: Expr::bin(
                     macross_streamir::expr::BinOp::Add,
                     Expr::Var(tv),
-                    Expr::ConstVec(vec![Value::I32(10), Value::I32(20), Value::I32(30), Value::I32(40)]),
+                    Expr::ConstVec(vec![
+                        Value::I32(10),
+                        Value::I32(20),
+                        Value::I32(30),
+                        Value::I32(40),
+                    ]),
                 ),
                 width: 4,
             });
@@ -487,8 +629,16 @@ mod tests {
         let mut inp = Tape::new(ScalarTy::I32);
         inp.vpush(&[Value::I32(1), Value::I32(2), Value::I32(3), Value::I32(4)]);
         let mut out = Tape::new(ScalarTy::I32);
-        let counters = fire_once(&f, Some(&mut inp), Some(&mut out));
-        assert_eq!(out.vpop(4), vec![Value::I32(11), Value::I32(22), Value::I32(33), Value::I32(44)]);
+        let counters = fire_once(&f, Some(&mut inp), Some(&mut out)).unwrap();
+        assert_eq!(
+            out.vpop(4),
+            vec![
+                Value::I32(11),
+                Value::I32(22),
+                Value::I32(33),
+                Value::I32(44)
+            ]
+        );
         assert!(counters.compute_vector > 0);
         assert_eq!(counters.compute_scalar, 0);
     }
@@ -510,7 +660,7 @@ mod tests {
         inp.push(Value::I32(7));
         inp.push(Value::I32(8));
         let mut out = Tape::new(ScalarTy::I32);
-        let counters = fire_once(&f, Some(&mut inp), Some(&mut out));
+        let counters = fire_once(&f, Some(&mut inp), Some(&mut out)).unwrap();
         assert_eq!(out.pop(), Value::I32(7));
         assert_eq!(out.pop(), Value::I32(8));
         // 2 inserts + 2 extracts at cost 1 each.
@@ -525,16 +675,28 @@ mod tests {
         let b = Expr::ConstVec((4..8).map(Value::I32).collect());
         let mut fb = FilterBuilder::new("perm", 0, 0, 8, ScalarTy::I32);
         fb.work(|bld| {
-            bld.stmt(Stmt::VPush { value: Expr::PermuteEven(Box::new(a.clone()), Box::new(b.clone())), width: 4 });
-            bld.stmt(Stmt::VPush { value: Expr::PermuteOdd(Box::new(a), Box::new(b)), width: 4 });
+            bld.stmt(Stmt::VPush {
+                value: Expr::PermuteEven(Box::new(a.clone()), Box::new(b.clone())),
+                width: 4,
+            });
+            bld.stmt(Stmt::VPush {
+                value: Expr::PermuteOdd(Box::new(a), Box::new(b)),
+                width: 4,
+            });
         });
         let f = fb.build();
         let mut out = Tape::new(ScalarTy::I32);
-        let counters = fire_once(&f, None, Some(&mut out));
+        let counters = fire_once(&f, None, Some(&mut out)).unwrap();
         let even = out.vpop(4);
         let odd = out.vpop(4);
-        assert_eq!(even, vec![Value::I32(0), Value::I32(2), Value::I32(4), Value::I32(6)]);
-        assert_eq!(odd, vec![Value::I32(1), Value::I32(3), Value::I32(5), Value::I32(7)]);
+        assert_eq!(
+            even,
+            vec![Value::I32(0), Value::I32(2), Value::I32(4), Value::I32(6)]
+        );
+        assert_eq!(
+            odd,
+            vec![Value::I32(1), Value::I32(3), Value::I32(5), Value::I32(7)]
+        );
         assert_eq!(counters.permute, 2);
     }
 
@@ -549,7 +711,7 @@ mod tests {
         });
         let f = fb.build();
         let mut out = Tape::new(ScalarTy::I32);
-        let counters = fire_once(&f, None, Some(&mut out));
+        let counters = fire_once(&f, None, Some(&mut out)).unwrap();
         assert_eq!(counters.loop_overhead, 4);
         assert_eq!(out.len(), 4);
     }
@@ -572,12 +734,11 @@ mod tests {
         let mut inp = Tape::new(ScalarTy::I32);
         inp.push(Value::I32(5));
         let mut out = Tape::new(ScalarTy::I32);
-        let _ = fire_once(&f, Some(&mut inp), Some(&mut out));
+        let _ = fire_once(&f, Some(&mut inp), Some(&mut out)).unwrap();
         assert_eq!(out.pop(), Value::I32(16));
     }
 
     #[test]
-    #[should_panic(expected = "mixed scalar/vector")]
     fn mixed_operands_rejected() {
         use macross_streamir::expr::Expr;
         let mut fb = FilterBuilder::new("bad", 0, 0, 0, ScalarTy::I32);
@@ -586,6 +747,52 @@ mod tests {
             b.set(tv, E(Expr::Var(tv)) + 1i32);
         });
         let f = fb.build();
-        let _ = fire_once(&f, None, None);
+        let err = fire_once(&f, None, None).unwrap_err();
+        match err {
+            VmError::TypeMismatch {
+                ref filter,
+                ref context,
+            } => {
+                assert_eq!(filter, "bad");
+                assert!(context.contains("mixed scalar/vector"), "{context}");
+            }
+            other => panic!("expected TypeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_tape_reported() {
+        let mut fb = FilterBuilder::new("no_tape", 0, 0, 1, ScalarTy::I32);
+        fb.work(|b| {
+            b.push(pop());
+        });
+        let f = fb.build();
+        let err = fire_once(&f, None, None).unwrap_err();
+        assert_eq!(
+            err,
+            VmError::MissingTape {
+                filter: "no_tape".into(),
+                side: TapeSide::Input
+            }
+        );
+    }
+
+    #[test]
+    fn channel_underflow_reported() {
+        use macross_streamir::expr::Expr;
+        let fb = FilterBuilder::new("under", 0, 0, 1, ScalarTy::I32);
+        let f = {
+            let mut f = fb.build();
+            let c = f.add_chan("buf", Ty::Scalar(ScalarTy::I32));
+            f.work = {
+                let mut b = B::new();
+                b.push(E(Expr::LPop(c)));
+                b.build()
+            };
+            f
+        };
+        let mut out = Tape::new(ScalarTy::I32);
+        let err = fire_once(&f, None, Some(&mut out)).unwrap_err();
+        assert!(matches!(err, VmError::ChannelUnderflow { .. }), "{err:?}");
     }
 }

@@ -30,12 +30,16 @@
 //! # }
 //! ```
 
+pub mod error;
 pub mod exec;
+pub mod firing;
 pub mod interp;
 pub mod machine;
 pub mod tape;
 
+pub use error::{TapeSide, VmError};
 pub use exec::{run_program, run_scheduled, Executor, RunResult};
+pub use firing::FilterState;
 pub use interp::{FiringCtx, RtVal, Slot};
 pub use machine::{CostTable, CycleCounters, Machine};
 pub use tape::Tape;

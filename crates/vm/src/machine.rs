@@ -106,14 +106,20 @@ impl Machine {
             simd_width: 4,
             has_sagu: false,
             has_permute: true,
-            vector_intrinsics: [Sin, Cos, Atan, Sqrt, Exp, Log, Floor, Abs, Min, Max, Pow].into_iter().collect(),
+            vector_intrinsics: [Sin, Cos, Atan, Sqrt, Exp, Log, Floor, Abs, Min, Max, Pow]
+                .into_iter()
+                .collect(),
             cost: CostTable::core_i7(),
         }
     }
 
     /// The Core-i7-like target extended with the paper's SAGU.
     pub fn core_i7_with_sagu() -> Machine {
-        Machine { name: "core_i7_sse4_sagu".into(), has_sagu: true, ..Machine::core_i7() }
+        Machine {
+            name: "core_i7_sse4_sagu".into(),
+            has_sagu: true,
+            ..Machine::core_i7()
+        }
     }
 
     /// A hypothetical wider-SIMD target (e.g. Larrabee-like 16-wide),
@@ -122,8 +128,15 @@ impl Machine {
     /// # Panics
     /// Panics if `width` is not a power of two greater than 1.
     pub fn wide(width: usize) -> Machine {
-        assert!(width.is_power_of_two() && width > 1, "SIMD width must be a power of two > 1");
-        Machine { name: format!("wide_simd_{width}"), simd_width: width, ..Machine::core_i7() }
+        assert!(
+            width.is_power_of_two() && width > 1,
+            "SIMD width must be a power of two > 1"
+        );
+        Machine {
+            name: format!("wide_simd_{width}"),
+            simd_width: width,
+            ..Machine::core_i7()
+        }
     }
 
     /// A Neon-like embedded target: 4 lanes, no vector transcendentals and
@@ -258,8 +271,16 @@ mod tests {
 
     #[test]
     fn counters_total_and_absorb() {
-        let mut a = CycleCounters { compute_scalar: 5, mem_scalar: 3, ..Default::default() };
-        let b = CycleCounters { compute_vector: 2, permute: 1, ..Default::default() };
+        let mut a = CycleCounters {
+            compute_scalar: 5,
+            mem_scalar: 3,
+            ..Default::default()
+        };
+        let b = CycleCounters {
+            compute_vector: 2,
+            permute: 1,
+            ..Default::default()
+        };
         a.absorb(&b);
         assert_eq!(a.total(), 11);
     }

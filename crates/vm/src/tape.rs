@@ -75,7 +75,10 @@ impl Tape {
     /// # Panics
     /// Panics if a write reorder is already set (a tape reorders one end).
     pub fn set_read_reorder(&mut self, rate: usize, sw: usize) {
-        assert!(self.write_reorder.is_none(), "tape cannot reorder both ends");
+        assert!(
+            self.write_reorder.is_none(),
+            "tape cannot reorder both ends"
+        );
         self.read_reorder = Some((rate, sw));
     }
 
@@ -145,7 +148,10 @@ impl Tape {
     /// # Panics
     /// Panics on a write-reordered tape.
     pub fn rpush(&mut self, v: Value, off: usize) {
-        assert!(self.write_reorder.is_none(), "rpush on a write-reordered tape");
+        assert!(
+            self.write_reorder.is_none(),
+            "rpush on a write-reordered tape"
+        );
         self.total_pushed += 1;
         let idx = self.committed + off;
         self.ensure_slot(idx);
@@ -161,7 +167,10 @@ impl Tape {
 
     /// Push `w` contiguous elements (a vector push).
     pub fn vpush(&mut self, vals: &[Value]) {
-        assert!(self.write_reorder.is_none(), "vpush on a write-reordered tape");
+        assert!(
+            self.write_reorder.is_none(),
+            "vpush on a write-reordered tape"
+        );
         for &v in vals {
             self.total_pushed += 1;
             let idx = self.committed;
@@ -200,7 +209,11 @@ impl Tape {
             let phys = column_major_index(self.read_block_pos + off, rate, sw);
             return self.buf[phys];
         }
-        assert!(off < self.committed, "peek({off}) beyond committed {}", self.committed);
+        assert!(
+            off < self.committed,
+            "peek({off}) beyond committed {}",
+            self.committed
+        );
         self.buf[off]
     }
 
@@ -218,7 +231,11 @@ impl Tape {
             }
             return;
         }
-        assert!(n <= self.committed, "advance_read({n}) beyond committed {}", self.committed);
+        assert!(
+            n <= self.committed,
+            "advance_read({n}) beyond committed {}",
+            self.committed
+        );
         self.buf.drain(..n);
         self.committed -= n;
     }
@@ -226,7 +243,11 @@ impl Tape {
     /// Pop `w` contiguous elements as a vector.
     pub fn vpop(&mut self, w: usize) -> Vec<Value> {
         assert!(self.read_reorder.is_none(), "vpop on a read-reordered tape");
-        assert!(w <= self.committed, "vpop({w}) beyond committed {}", self.committed);
+        assert!(
+            w <= self.committed,
+            "vpop({w}) beyond committed {}",
+            self.committed
+        );
         self.total_popped += w as u64;
         self.committed -= w;
         self.buf.drain(..w).collect()
@@ -235,7 +256,10 @@ impl Tape {
     /// Non-destructive read of `w` contiguous elements at scalar offset
     /// `off`.
     pub fn vpeek(&self, off: usize, w: usize) -> Vec<Value> {
-        assert!(self.read_reorder.is_none(), "vpeek on a read-reordered tape");
+        assert!(
+            self.read_reorder.is_none(),
+            "vpeek on a read-reordered tape"
+        );
         assert!(off + w <= self.buf.len(), "vpeek beyond buffer");
         (off..off + w).map(|i| self.buf[i]).collect()
     }

@@ -16,15 +16,18 @@ fn speedup_on(machine: &Machine, name: &str) -> f64 {
     let simd = macro_simdize(&g, machine, &SimdizeOptions::all()).expect("simdize");
     let mut ssched = Schedule::compute(&g).expect("schedule");
     ssched.scale(simd.report.scale_factor.max(1));
-    let scalar = run_scheduled(&g, &ssched, machine, 4);
-    let vector = run_scheduled(&simd.graph, &simd.schedule, machine, 4);
+    let scalar = run_scheduled(&g, &ssched, machine, 4).expect("scalar run");
+    let vector = run_scheduled(&simd.graph, &simd.schedule, machine, 4).expect("vector run");
     assert_eq!(scalar.output, vector.output);
     scalar.total_cycles() as f64 / vector.total_cycles() as f64
 }
 
 fn main() {
     println!("macro-SIMDization speedups per target machine\n");
-    println!("{:<22} {:>10} {:>10} {:>10}", "machine", "DCT", "Serpent", "MP3Decoder");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "machine", "DCT", "Serpent", "MP3Decoder"
+    );
     let targets: Vec<Machine> = vec![
         Machine::wide(2),
         Machine::core_i7(),

@@ -19,7 +19,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     eprintln!(
         "// {} lines of intermediate C++ for {name} (vectorized actors: {})",
         code.lines().count(),
-        simd.report.single_actors.len() + simd.report.horizontal_groups.iter().map(|g| g.len()).sum::<usize>()
+        simd.report.single_actors.len()
+            + simd
+                .report
+                .horizontal_groups
+                .iter()
+                .map(|g| g.len())
+                .sum::<usize>()
     );
     Ok(())
 }

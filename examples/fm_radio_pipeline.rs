@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = benchsuite::dsp::fm_radio();
     let machine = Machine::core_i7();
 
-    println!("FMRadio graph: {} actors, {} tapes", graph.node_count(), graph.edge_count());
+    println!(
+        "FMRadio graph: {} actors, {} tapes",
+        graph.node_count(),
+        graph.edge_count()
+    );
     let simd = macro_simdize(&graph, &machine, &SimdizeOptions::all())?;
 
     println!("\n-- what MacroSS did --");
@@ -25,29 +29,67 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("vertical:   fused {chain:?}");
     }
     for d in &simd.report.tape_decisions {
-        println!("tape modes: {} in={:?} out={:?}", d.actor, d.input, d.output);
+        println!(
+            "tape modes: {} in={:?} out={:?}",
+            d.actor, d.input, d.output
+        );
     }
     if !simd.report.skipped_unprofitable.is_empty() {
-        println!("skipped (cost model): {:?}", simd.report.skipped_unprofitable);
+        println!(
+            "skipped (cost model): {:?}",
+            simd.report.skipped_unprofitable
+        );
     }
 
     let mut scalar_sched = Schedule::compute(&graph)?;
     scalar_sched.scale(simd.report.scale_factor.max(1));
-    let scalar = run_scheduled(&graph, &scalar_sched, &machine, 20);
-    let vector = run_scheduled(&simd.graph, &simd.schedule, &machine, 20);
+    let scalar = run_scheduled(&graph, &scalar_sched, &machine, 20)?;
+    let vector = run_scheduled(&simd.graph, &simd.schedule, &machine, 20)?;
     assert_eq!(scalar.output, vector.output);
 
     println!("\n-- cycle breakdown (per 20 steady iterations) --");
     let rows = [
-        ("scalar compute", scalar.counters.compute_scalar, vector.counters.compute_scalar),
-        ("vector compute", scalar.counters.compute_vector, vector.counters.compute_vector),
-        ("scalar memory", scalar.counters.mem_scalar, vector.counters.mem_scalar),
-        ("vector memory", scalar.counters.mem_vector, vector.counters.mem_vector),
-        ("pack/unpack", scalar.counters.pack_unpack, vector.counters.pack_unpack),
+        (
+            "scalar compute",
+            scalar.counters.compute_scalar,
+            vector.counters.compute_scalar,
+        ),
+        (
+            "vector compute",
+            scalar.counters.compute_vector,
+            vector.counters.compute_vector,
+        ),
+        (
+            "scalar memory",
+            scalar.counters.mem_scalar,
+            vector.counters.mem_scalar,
+        ),
+        (
+            "vector memory",
+            scalar.counters.mem_vector,
+            vector.counters.mem_vector,
+        ),
+        (
+            "pack/unpack",
+            scalar.counters.pack_unpack,
+            vector.counters.pack_unpack,
+        ),
         ("permutes", scalar.counters.permute, vector.counters.permute),
-        ("addr overhead", scalar.counters.addr_overhead, vector.counters.addr_overhead),
-        ("loop overhead", scalar.counters.loop_overhead, vector.counters.loop_overhead),
-        ("firing overhead", scalar.counters.firing_overhead, vector.counters.firing_overhead),
+        (
+            "addr overhead",
+            scalar.counters.addr_overhead,
+            vector.counters.addr_overhead,
+        ),
+        (
+            "loop overhead",
+            scalar.counters.loop_overhead,
+            vector.counters.loop_overhead,
+        ),
+        (
+            "firing overhead",
+            scalar.counters.firing_overhead,
+            vector.counters.firing_overhead,
+        ),
     ];
     println!("{:<16} {:>12} {:>12}", "category", "scalar", "macro-SIMD");
     for (name, s, v) in rows {

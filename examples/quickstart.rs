@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = src.state("n", Ty::Scalar(ScalarTy::F32));
     src.work(|b| {
         b.push(v(n) * 0.01f32);
-        b.set(n, cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 1000i32));
+        b.set(
+            n,
+            cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 1000i32),
+        );
     });
 
     let mut window = FilterBuilder::new("window", 2, 2, 2, ScalarTy::F32);
@@ -54,10 +57,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Run both versions at matched throughput and compare.
     let mut scalar_sched = Schedule::compute(&graph)?;
     scalar_sched.scale(simd.report.scale_factor);
-    let scalar = run_scheduled(&graph, &scalar_sched, &machine, 50);
-    let vector = run_scheduled(&simd.graph, &simd.schedule, &machine, 50);
+    let scalar = run_scheduled(&graph, &scalar_sched, &machine, 50)?;
+    let vector = run_scheduled(&simd.graph, &simd.schedule, &machine, 50)?;
 
-    assert_eq!(scalar.output, vector.output, "SIMDization must preserve output bit-for-bit");
+    assert_eq!(
+        scalar.output, vector.output,
+        "SIMDization must preserve output bit-for-bit"
+    );
     println!(
         "scalar: {} cycles, macro-SIMD: {} cycles  ->  {:.2}x speedup",
         scalar.total_cycles(),

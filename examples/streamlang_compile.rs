@@ -64,7 +64,11 @@ const PROGRAM: &str = r#"
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = compile(PROGRAM, "Main")?;
-    println!("compiled Main: {} actors, {} tapes", graph.node_count(), graph.edge_count());
+    println!(
+        "compiled Main: {} actors, {} tapes",
+        graph.node_count(),
+        graph.edge_count()
+    );
 
     let machine = Machine::core_i7();
     let simd = macro_simdize(&graph, &machine, &SimdizeOptions::all())?;
@@ -73,8 +77,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut ssched = Schedule::compute(&graph)?;
     ssched.scale(simd.report.scale_factor.max(1));
-    let scalar = run_scheduled(&graph, &ssched, &machine, 30);
-    let vector = run_scheduled(&simd.graph, &simd.schedule, &machine, 30);
+    let scalar = run_scheduled(&graph, &ssched, &machine, 30)?;
+    let vector = run_scheduled(&simd.graph, &simd.schedule, &machine, 30)?;
     assert_eq!(scalar.output, vector.output);
     println!(
         "verified {} samples; {:.2}x modelled speedup",

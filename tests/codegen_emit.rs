@@ -31,8 +31,8 @@ fn every_benchmark_emits_simdized_cxx_with_intrinsics() {
         let g = (b.build)();
         let simd = macro_simdize(&g, &machine, &SimdizeOptions::all()).unwrap();
         let code = emit_program(&simd.graph, &simd.schedule, &CodegenOptions::default());
-        let vectorized_something = !simd.report.single_actors.is_empty()
-            || !simd.report.horizontal_groups.is_empty();
+        let vectorized_something =
+            !simd.report.single_actors.is_empty() || !simd.report.horizontal_groups.is_empty();
         if vectorized_something {
             assert!(
                 code.contains("__m128"),
@@ -62,7 +62,17 @@ fn generic_target_supports_any_width() {
     let b = macross_repro::benchsuite::by_name("Serpent").unwrap();
     let g = (b.build)();
     let simd = macro_simdize(&g, &machine, &SimdizeOptions::all()).unwrap();
-    let code = emit_program(&simd.graph, &simd.schedule, &CodegenOptions { target: CxxTarget::Generic, sw: 8 });
-    assert!(code.contains("vec<int32_t, 8>"), "expected 8-wide generic vectors");
+    let code = emit_program(
+        &simd.graph,
+        &simd.schedule,
+        &CodegenOptions {
+            target: CxxTarget::Generic,
+            sw: 8,
+        },
+    );
+    assert!(
+        code.contains("vec<int32_t, 8>"),
+        "expected 8-wide generic vectors"
+    );
     assert!(!code.contains("__m128"));
 }

@@ -11,10 +11,19 @@ use macross_repro::streamir::graph::Graph;
 use macross_repro::vm::{run_scheduled, Machine, RunResult};
 
 fn source_of(g: &Graph) -> macross_repro::streamir::NodeId {
-    g.node_ids().find(|&id| g.in_edges(id).is_empty()).expect("graph has a source")
+    g.node_ids()
+        .find(|&id| g.in_edges(id).is_empty())
+        .expect("graph has a source")
 }
 
-fn run_aligned(g1: &Graph, s1: &Schedule, g2: &Graph, s2: &Schedule, m: &Machine, iters: u64) -> (RunResult, RunResult) {
+fn run_aligned(
+    g1: &Graph,
+    s1: &Schedule,
+    g2: &Graph,
+    s2: &Schedule,
+    m: &Machine,
+    iters: u64,
+) -> (RunResult, RunResult) {
     let (src1, src2) = (source_of(g1), source_of(g2));
     let (r1, r2) = (s1.reps[src1.0 as usize], s2.reps[src2.0 as usize]);
     let l = macross_repro::sdf::lcm(r1, r2);
@@ -22,14 +31,24 @@ fn run_aligned(g1: &Graph, s1: &Schedule, g2: &Graph, s2: &Schedule, m: &Machine
     let mut s2 = s2.clone();
     s1.scale(l / r1);
     s2.scale(l / r2);
-    (run_scheduled(g1, &s1, m, iters), run_scheduled(g2, &s2, m, iters))
+    (
+        run_scheduled(g1, &s1, m, iters).unwrap(),
+        run_scheduled(g2, &s2, m, iters).unwrap(),
+    )
 }
 
 fn assert_exact(name: &str, cfg: &str, a: &RunResult, b: &RunResult) {
-    assert_eq!(a.output.len(), b.output.len(), "{name}/{cfg}: throughput mismatch");
+    assert_eq!(
+        a.output.len(),
+        b.output.len(),
+        "{name}/{cfg}: throughput mismatch"
+    );
     assert!(!a.output.is_empty(), "{name}/{cfg}: empty output");
     for (i, (x, y)) in a.output.iter().zip(&b.output).enumerate() {
-        assert!(x.bits_eq(*y), "{name}/{cfg}: output {i} differs: {x:?} vs {y:?}");
+        assert!(
+            x.bits_eq(*y),
+            "{name}/{cfg}: output {i} differs: {x:?} vs {y:?}"
+        );
     }
 }
 
@@ -37,7 +56,8 @@ fn check_options(machine: &Machine, opts: &SimdizeOptions, cfg: &str) {
     for b in benchsuite::all() {
         let g = (b.build)();
         let sched = Schedule::compute(&g).unwrap();
-        let simd = macro_simdize(&g, machine, opts).unwrap_or_else(|e| panic!("{}/{cfg}: {e}", b.name));
+        let simd =
+            macro_simdize(&g, machine, opts).unwrap_or_else(|e| panic!("{}/{cfg}: {e}", b.name));
         let (a, c) = run_aligned(&g, &sched, &simd.graph, &simd.schedule, machine, 2);
         assert_exact(b.name, cfg, &a, &c);
     }
@@ -50,17 +70,28 @@ fn all_benchmarks_all_transforms() {
 
 #[test]
 fn all_benchmarks_single_only() {
-    check_options(&Machine::core_i7(), &SimdizeOptions::single_only(), "single_only");
+    check_options(
+        &Machine::core_i7(),
+        &SimdizeOptions::single_only(),
+        "single_only",
+    );
 }
 
 #[test]
 fn all_benchmarks_no_reorder() {
-    check_options(&Machine::core_i7(), &SimdizeOptions::no_reorder(), "no_reorder");
+    check_options(
+        &Machine::core_i7(),
+        &SimdizeOptions::no_reorder(),
+        "no_reorder",
+    );
 }
 
 #[test]
 fn all_benchmarks_vertical_only() {
-    let opts = SimdizeOptions { horizontal: false, ..SimdizeOptions::all() };
+    let opts = SimdizeOptions {
+        horizontal: false,
+        ..SimdizeOptions::all()
+    };
     check_options(&Machine::core_i7(), &opts, "vertical_only");
 }
 
@@ -78,13 +109,21 @@ fn all_benchmarks_horizontal_only() {
 
 #[test]
 fn all_benchmarks_with_sagu_machine() {
-    check_options(&Machine::core_i7_with_sagu(), &SimdizeOptions::all(), "sagu");
+    check_options(
+        &Machine::core_i7_with_sagu(),
+        &SimdizeOptions::all(),
+        "sagu",
+    );
 }
 
 #[test]
 fn all_benchmarks_wide_simd() {
     for sw in [2usize, 8] {
-        check_options(&Machine::wide(sw), &SimdizeOptions::all(), &format!("wide{sw}"));
+        check_options(
+            &Machine::wide(sw),
+            &SimdizeOptions::all(),
+            &format!("wide{sw}"),
+        );
     }
 }
 
@@ -101,10 +140,10 @@ fn gcc_autovec_is_bit_exact() {
     for b in benchsuite::all() {
         let g = (b.build)();
         let sched = Schedule::compute(&g).unwrap();
-        let a = run_scheduled(&g, &sched, &machine, 2);
+        let a = run_scheduled(&g, &sched, &machine, 2).unwrap();
         let mut vg = g.clone();
         autovectorize_graph(&mut vg, &AutovecConfig::gcc_like(4));
-        let c = run_scheduled(&vg, &sched, &machine, 2);
+        let c = run_scheduled(&vg, &sched, &machine, 2).unwrap();
         assert_exact(b.name, "gcc_autovec", &a, &c);
     }
 }
@@ -117,10 +156,10 @@ fn icc_autovec_is_approximately_exact() {
     for b in benchsuite::all() {
         let g = (b.build)();
         let sched = Schedule::compute(&g).unwrap();
-        let a = run_scheduled(&g, &sched, &machine, 2);
+        let a = run_scheduled(&g, &sched, &machine, 2).unwrap();
         let mut vg = g.clone();
         autovectorize_graph(&mut vg, &AutovecConfig::icc_like(4));
-        let c = run_scheduled(&vg, &sched, &machine, 2);
+        let c = run_scheduled(&vg, &sched, &machine, 2).unwrap();
         assert_eq!(a.output.len(), c.output.len(), "{}", b.name);
         for (i, (x, y)) in a.output.iter().zip(&c.output).enumerate() {
             let (x, y) = (x.as_f64(), y.as_f64());
@@ -154,7 +193,11 @@ fn simdization_is_idempotent_protection() {
     let g = (b.build)();
     let once = macro_simdize(&g, &machine, &SimdizeOptions::all()).unwrap();
     let twice = macro_simdize(&once.graph, &machine, &SimdizeOptions::all()).unwrap();
-    assert!(twice.report.single_actors.is_empty(), "{:?}", twice.report.single_actors);
+    assert!(
+        twice.report.single_actors.is_empty(),
+        "{:?}",
+        twice.report.single_actors
+    );
     assert!(twice.report.vertical_chains.is_empty());
     assert!(twice.report.horizontal_groups.is_empty());
 }

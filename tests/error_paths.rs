@@ -20,7 +20,10 @@ fn cyclic_graph_is_rejected_everywhere() {
     g.connect(a, 0, b, 0, ScalarTy::F32);
     g.connect(b, 0, a, 0, ScalarTy::F32);
     assert_eq!(g.topo_order(), Err(GraphError::Cyclic));
-    assert!(matches!(Schedule::compute(&g), Err(ScheduleError::Graph(_))));
+    assert!(matches!(
+        Schedule::compute(&g),
+        Err(ScheduleError::Graph(_))
+    ));
     assert!(matches!(
         macro_simdize(&g, &Machine::core_i7(), &SimdizeOptions::all()),
         Err(SimdizeError::Graph(_))
@@ -78,9 +81,14 @@ fn builder_rejects_malformed_composition() {
     src.work(|b| {
         b.push(0.0f32);
     });
-    let err = StreamSpec::pipeline(vec![src.build_spec(), StreamSpec::Sink, mk(), StreamSpec::Sink])
-        .build()
-        .unwrap_err();
+    let err = StreamSpec::pipeline(vec![
+        src.build_spec(),
+        StreamSpec::Sink,
+        mk(),
+        StreamSpec::Sink,
+    ])
+    .build()
+    .unwrap_err();
     assert_eq!(err, BuildError::InteriorSink);
 
     // Dangling output (no sink).
@@ -88,7 +96,9 @@ fn builder_rejects_malformed_composition() {
     src2.work(|b| {
         b.push(0.0f32);
     });
-    let err = StreamSpec::pipeline(vec![src2.build_spec(), mk()]).build().unwrap_err();
+    let err = StreamSpec::pipeline(vec![src2.build_spec(), mk()])
+        .build()
+        .unwrap_err();
     assert_eq!(err, BuildError::DanglingOutput);
 }
 
@@ -102,7 +112,10 @@ fn streamlang_reports_positions_and_kinds() {
     }
 
     // Unknown top-level stream.
-    let e = compile("float->float filter F() { work pop 1 push 1 { push(pop()); } }", "Nope");
+    let e = compile(
+        "float->float filter F() { work pop 1 push 1 { push(pop()); } }",
+        "Nope",
+    );
     assert!(matches!(e, Err(CompileError::Elab(_))));
 
     // Recursive pipeline.
@@ -124,7 +137,10 @@ fn neon_machine_skips_unsupported_intrinsics_without_error() {
     let n = src.state("n", Ty::Scalar(ScalarTy::F32));
     src.work(|b| {
         b.push(v(n));
-        b.set(n, cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 50i32));
+        b.set(
+            n,
+            cast(ScalarTy::F32, (cast(ScalarTy::I32, v(n)) + 1i32) % 50i32),
+        );
     });
     let mut f = FilterBuilder::new("powf", 1, 1, 1, ScalarTy::F32);
     f.work(|b| {
@@ -160,7 +176,10 @@ fn simdize_single_actor_rejects_every_illegal_shape() {
             },
         );
     });
-    assert!(matches!(simdize_single_actor(&fb.build(), &cfg), Err(SimdizeError::NotVectorizable { .. })));
+    assert!(matches!(
+        simdize_single_actor(&fb.build(), &cfg),
+        Err(SimdizeError::NotVectorizable { .. })
+    ));
 
     // Tape-dependent subscript.
     let mut fb = FilterBuilder::new("tds", 1, 1, 1, ScalarTy::I32);
@@ -168,7 +187,10 @@ fn simdize_single_actor_rejects_every_illegal_shape() {
     fb.work(|b| {
         b.push(idx(lut, pop() & 7i32));
     });
-    assert!(matches!(simdize_single_actor(&fb.build(), &cfg), Err(SimdizeError::NotVectorizable { .. })));
+    assert!(matches!(
+        simdize_single_actor(&fb.build(), &cfg),
+        Err(SimdizeError::NotVectorizable { .. })
+    ));
 
     // Already vectorized.
     use macross_repro::streamir::{Expr, Stmt};
@@ -176,7 +198,13 @@ fn simdize_single_actor_rejects_every_illegal_shape() {
     let tv = fb.local("t", Ty::Vector(ScalarTy::I32, 4));
     fb.work(|b| {
         b.set(tv, E(Expr::VPop { width: 4 }));
-        b.stmt(Stmt::VPush { value: Expr::Var(tv), width: 4 });
+        b.stmt(Stmt::VPush {
+            value: Expr::Var(tv),
+            width: 4,
+        });
     });
-    assert!(matches!(simdize_single_actor(&fb.build(), &cfg), Err(SimdizeError::NotVectorizable { .. })));
+    assert!(matches!(
+        simdize_single_actor(&fb.build(), &cfg),
+        Err(SimdizeError::NotVectorizable { .. })
+    ));
 }
