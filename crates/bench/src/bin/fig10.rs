@@ -5,12 +5,17 @@
 //! Usage: `fig10 [gcc|icc]` (default: both).
 
 use macross_autovec::AutovecConfig;
-use macross_bench::{figure10_row, geomean, render_table};
+use macross_bench::{emit_report, figure10_row, geomean, render_table, BenchReport, BenchRow};
 use macross_vm::Machine;
 
-fn run(host_name: &str, host: &AutovecConfig) {
+fn run(host_name: &str, host_key: &str, host: &AutovecConfig) {
     let machine = Machine::core_i7();
     println!("== Figure 10 ({host_name} host compiler model), SW=4, Core-i7-like machine ==");
+    let mut report = BenchReport::new(
+        format!("fig10_{host_key}"),
+        &machine.name,
+        machine.simd_width as u64,
+    );
     let mut rows = Vec::new();
     let mut auto_v = Vec::new();
     let mut macro_v = Vec::new();
@@ -20,6 +25,12 @@ fn run(host_name: &str, host: &AutovecConfig) {
         auto_v.push(r.autovec);
         macro_v.push(r.macro_simd);
         both_v.push(r.macro_plus_auto);
+        report.push_row(
+            BenchRow::new(r.name)
+                .metric("autovec_speedup", r.autovec)
+                .metric("macro_simd_speedup", r.macro_simd)
+                .metric("macro_plus_auto_speedup", r.macro_plus_auto),
+        );
         rows.push(vec![
             r.name.to_string(),
             format!("{:.2}x", r.autovec),
@@ -40,17 +51,24 @@ fn run(host_name: &str, host: &AutovecConfig) {
             &rows
         )
     );
-    let gain = (geomean(macro_v) / geomean(auto_v) - 1.0) * 100.0;
+    let gain = (geomean(macro_v.clone()) / geomean(auto_v.clone()) - 1.0) * 100.0;
     println!("macro-SIMD outperforms {host_name} auto-vectorization by {gain:.0}% on average");
     println!("(paper: +54% vs GCC, +26% vs ICC)\n");
+    report.push_row(
+        BenchRow::new("GEOMEAN")
+            .metric("autovec_speedup", geomean(auto_v))
+            .metric("macro_simd_speedup", geomean(macro_v))
+            .metric("macro_plus_auto_speedup", geomean(both_v)),
+    );
+    emit_report(&report);
 }
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_default();
     if arg.is_empty() || arg == "gcc" {
-        run("GCC-like", &AutovecConfig::gcc_like(4));
+        run("GCC-like", "gcc", &AutovecConfig::gcc_like(4));
     }
     if arg.is_empty() || arg == "icc" {
-        run("ICC-like", &AutovecConfig::icc_like(4));
+        run("ICC-like", "icc", &AutovecConfig::icc_like(4));
     }
 }

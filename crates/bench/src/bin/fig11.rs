@@ -1,12 +1,13 @@
 //! Regenerates Figure 11: percent speedup of vertical SIMDization over
 //! single-actor-only SIMDization.
 
-use macross_bench::{figure11_row, render_table};
+use macross_bench::{emit_report, figure11_row, render_table, BenchReport, BenchRow};
 use macross_vm::Machine;
 
 fn main() {
     let machine = Machine::core_i7();
     println!("== Figure 11: benefit of vertical SIMDization (vs single-actor only) ==");
+    let mut report = BenchReport::new("fig11", &machine.name, machine.simd_width as u64);
     let mut rows = Vec::new();
     let mut sum = 0.0;
     let mut n = 0;
@@ -14,14 +15,18 @@ fn main() {
         let r = figure11_row(&b, &machine);
         sum += r.improvement_pct;
         n += 1;
+        report.push_row(BenchRow::new(r.name).metric("improvement_pct", r.improvement_pct));
         rows.push(vec![
             r.name.to_string(),
             format!("{:.1}%", r.improvement_pct),
         ]);
     }
-    rows.push(vec!["AVERAGE".into(), format!("{:.1}%", sum / n as f64)]);
+    let avg = sum / n as f64;
+    rows.push(vec!["AVERAGE".into(), format!("{avg:.1}%")]);
     println!("{}", render_table(&["benchmark", "improvement"], &rows));
     println!(
         "(paper: 40% average; MatrixMultBlock largest at 114%; FilterBank/BeamFormer negligible)"
     );
+    report.push_row(BenchRow::new("AVERAGE").metric("improvement_pct", avg));
+    emit_report(&report);
 }

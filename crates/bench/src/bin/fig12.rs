@@ -1,10 +1,13 @@
 //! Regenerates Figure 12: percent improvement of macro-SIMDized code when
 //! the target has the streaming address generation unit (SAGU).
 
-use macross_bench::{figure12_row, render_table};
+use macross_bench::{emit_report, figure12_row, render_table, BenchReport, BenchRow};
+use macross_vm::Machine;
 
 fn main() {
     println!("== Figure 12: benefit of the SAGU on macro-SIMDized code ==");
+    let sagu = Machine::core_i7_with_sagu();
+    let mut report = BenchReport::new("fig12", &sagu.name, sagu.simd_width as u64);
     let mut rows = Vec::new();
     let mut sum = 0.0;
     let mut n = 0;
@@ -12,12 +15,16 @@ fn main() {
         let r = figure12_row(&b);
         sum += r.improvement_pct;
         n += 1;
+        report.push_row(BenchRow::new(r.name).metric("improvement_pct", r.improvement_pct));
         rows.push(vec![
             r.name.to_string(),
             format!("{:.1}%", r.improvement_pct),
         ]);
     }
-    rows.push(vec!["AVERAGE".into(), format!("{:.1}%", sum / n as f64)]);
+    let avg = sum / n as f64;
+    rows.push(vec!["AVERAGE".into(), format!("{avg:.1}%")]);
     println!("{}", render_table(&["benchmark", "improvement"], &rows));
     println!("(paper: 8.1% average; MatrixMult 22%, DCT 17%; BeamFormer/MP3Decoder least)");
+    report.push_row(BenchRow::new("AVERAGE").metric("improvement_pct", avg));
+    emit_report(&report);
 }

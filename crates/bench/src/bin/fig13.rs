@@ -2,12 +2,13 @@
 //! and without macro-SIMDization (partition-first, as in the paper's naive
 //! SIMD-aware multicore scheduler).
 
-use macross_bench::{figure13_rows, geomean, render_table};
+use macross_bench::{emit_report, figure13_rows, geomean, render_table, BenchReport, BenchRow};
 use macross_vm::Machine;
 
 fn main() {
     let machine = Machine::core_i7();
     println!("== Figure 13: multicore vs multicore + macro-SIMD (speedup over 1-core scalar) ==");
+    let mut report = BenchReport::new("fig13", &machine.name, machine.simd_width as u64);
     let mut rows = Vec::new();
     let (mut c2, mut c4, mut c2s, mut c4s) = (vec![], vec![], vec![], vec![]);
     for b in macross_benchsuite::all() {
@@ -16,6 +17,13 @@ fn main() {
         c4.push(p4.multicore);
         c2s.push(p2.multicore_simd);
         c4s.push(p4.multicore_simd);
+        report.push_row(
+            BenchRow::new(b.name)
+                .metric("speedup_2c", p2.multicore)
+                .metric("speedup_4c", p4.multicore)
+                .metric("speedup_2c_simd", p2.multicore_simd)
+                .metric("speedup_4c_simd", p4.multicore_simd),
+        );
         rows.push(vec![
             b.name.to_string(),
             format!("{:.2}x", p2.multicore),
@@ -40,8 +48,16 @@ fn main() {
     );
     println!(
         "2-core+SIMD geomean {:.2}x vs plain 4-core {:.2}x",
-        geomean(c2s),
-        geomean(c4)
+        geomean(c2s.clone()),
+        geomean(c4.clone())
     );
     println!("(paper: 2-core 1.28x -> 2.03x with SIMD; 4-core 1.85x -> 3.17x; 2c+SIMD within 5% of 4-core)");
+    report.push_row(
+        BenchRow::new("GEOMEAN")
+            .metric("speedup_2c", geomean(c2))
+            .metric("speedup_4c", geomean(c4))
+            .metric("speedup_2c_simd", geomean(c2s))
+            .metric("speedup_4c_simd", geomean(c4s)),
+    );
+    emit_report(&report);
 }

@@ -5,9 +5,18 @@
 //! The modeled column is cycles of the abstract machine; the measured
 //! column is host nanoseconds of the interpreter — the two are different
 //! units, so compare *scaling trends*, not magnitudes.
+//!
+//! Usage: `runtime_measured [bench...]` (default: a fixed five-benchmark
+//! subset). With the `telemetry` feature enabled, also drains the trace
+//! session of the per-stage detail run into `TRACE_runtime_measured.json`
+//! (Chrome `chrome://tracing` format).
 
-use macross_bench::{measured_vs_modeled, render_table};
+use macross_bench::{
+    emit_chrome_trace, emit_report, measured_vs_modeled, measured_vs_modeled_traced, node_names,
+    render_table, safe_ratio, BenchReport, BenchRow,
+};
 use macross_sdf::Schedule;
+use macross_telemetry::TraceSession;
 use macross_vm::Machine;
 
 const BENCHES: [&str; 5] = ["FMRadio", "FilterBank", "DCT", "MatrixMult", "Serpent"];
@@ -16,32 +25,66 @@ const CORES: [usize; 3] = [1, 2, 4];
 fn main() {
     let machine = Machine::core_i7();
     let iters = 50;
+    let selected: Vec<String> = {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.is_empty() {
+            BENCHES.iter().map(|s| s.to_string()).collect()
+        } else {
+            args
+        }
+    };
     println!(
         "== Threaded runtime: measured wall-clock vs. analytic makespan (LPT, {iters} iters) =="
     );
+    let mut report = BenchReport::new("runtime_measured", &machine.name, machine.simd_width as u64);
     let mut rows = Vec::new();
-    for name in BENCHES {
-        let b = macross_benchsuite::by_name(name).expect("benchmark exists");
+    let mut totals = Vec::new();
+    for name in &selected {
+        let b = macross_benchsuite::by_name(name).unwrap_or_else(|| {
+            eprintln!("unknown benchmark '{name}' (known: {BENCHES:?})");
+            std::process::exit(2);
+        });
         let g = (b.build)();
         let sched = Schedule::compute(&g).expect("schedule");
         let mut base_ns = 0.0;
+        let (mut traffic, mut stalls, mut stall_ns) = (0u64, 0u64, 0u64);
         for cores in CORES {
             let m = measured_vs_modeled(name, &g, &sched, &machine, cores, iters);
             let ns_iter = m.report.nanos_per_iter();
             if cores == 1 {
                 base_ns = ns_iter;
             }
+            let speedup = safe_ratio(base_ns, ns_iter);
+            traffic += m.report.ring_traffic();
+            stalls += m.report.total_stalls();
+            stall_ns += m.report.total_stall_nanos();
+            report.push_row(
+                BenchRow::new(format!("{name}@{cores}"))
+                    .metric("modeled_cycles_per_iter", m.modeled.makespan as f64)
+                    .metric("measured_ns_per_iter", ns_iter)
+                    .metric("speedup", speedup)
+                    .counter("cut_edges", m.report.cut_edges as u64)
+                    .counter("ring_traffic", m.report.ring_traffic())
+                    .counter("total_stalls", m.report.total_stalls())
+                    .counter("stall_nanos", m.report.total_stall_nanos()),
+            );
             rows.push(vec![
                 name.to_string(),
                 cores.to_string(),
                 m.modeled.makespan.to_string(),
-                format!("{:.0}", ns_iter),
-                format!("{:.2}x", base_ns / ns_iter),
+                format!("{ns_iter:.0}"),
+                format!("{speedup:.2}x"),
                 m.report.cut_edges.to_string(),
                 m.report.ring_traffic().to_string(),
                 m.report.total_stalls().to_string(),
             ]);
         }
+        totals.push(vec![
+            name.to_string(),
+            traffic.to_string(),
+            stalls.to_string(),
+            stall_ns.to_string(),
+        ]);
     }
     println!(
         "{}",
@@ -60,13 +103,29 @@ fn main() {
         )
     );
 
+    println!("== Ring totals across all core counts ==");
+    println!(
+        "{}",
+        render_table(
+            &["benchmark", "ring traffic", "total stalls", "stall ns"],
+            &totals,
+        )
+    );
+
     // Per-stage detail for one benchmark, to show the counters exist and
-    // attribute work plausibly.
-    let b = macross_benchsuite::by_name("FilterBank").unwrap();
+    // attribute work plausibly. This run is traced: with the telemetry
+    // feature on, the firing/stall/park spans land in a Chrome trace file.
+    let detail = selected
+        .iter()
+        .find(|n| n.as_str() == "FilterBank")
+        .cloned()
+        .unwrap_or_else(|| selected[0].clone());
+    let b = macross_benchsuite::by_name(&detail).unwrap();
     let g = (b.build)();
     let sched = Schedule::compute(&g).unwrap();
-    let m = measured_vs_modeled("FilterBank", &g, &sched, &machine, 4, iters);
-    println!("== FilterBank @ 4 workers: per-stage counters ==");
+    let session = TraceSession::new(4, 1 << 16);
+    let m = measured_vs_modeled_traced(&detail, &g, &sched, &machine, 4, iters, &session);
+    println!("== {detail} @ 4 workers: per-stage counters ==");
     let rows: Vec<Vec<String>> = m
         .report
         .stages
@@ -81,6 +140,7 @@ fn main() {
                 s.ring_out.to_string(),
                 s.full_stalls.to_string(),
                 s.empty_stalls.to_string(),
+                s.stall_nanos.to_string(),
             ]
         })
         .collect();
@@ -95,9 +155,14 @@ fn main() {
                 "ring in",
                 "ring out",
                 "full stalls",
-                "empty stalls"
+                "empty stalls",
+                "stall ns",
             ],
             &rows,
         )
     );
+    if session.enabled() {
+        emit_chrome_trace("runtime_measured", &session, &node_names(&g));
+    }
+    emit_report(&report);
 }

@@ -4,14 +4,15 @@
 
 use macross_autovec::AutovecConfig;
 use macross_bench::{
-    figure10_row, figure11_row, figure12_row, figure13_rows, geomean, render_table,
-    scaling_ablation,
+    emit_report, figure10_row, figure11_row, figure12_row, figure13_rows, geomean, render_table,
+    scaling_ablation, BenchReport, BenchRow,
 };
 use macross_vm::Machine;
 
 fn main() {
     let machine = Machine::core_i7();
     let suite = macross_benchsuite::all();
+    let mut report = BenchReport::new("summary", &machine.name, machine.simd_width as u64);
 
     println!("=== MacroSS reproduction: full experiment summary ===\n");
 
@@ -28,15 +29,21 @@ fn main() {
     println!("Figure 10 (geomean speedup over scalar):");
     println!(
         "  GCC-like autovec   {:.2}x   (paper: 'unimpressive')",
-        geomean(gcc_auto)
+        geomean(gcc_auto.clone())
     );
     println!(
         "  ICC-like autovec   {:.2}x   (paper: 1.34x)",
-        geomean(icc_auto)
+        geomean(icc_auto.clone())
     );
     println!(
         "  macro-SIMD         {:.2}x   (paper: 2.07x)\n",
-        geomean(macro_v)
+        geomean(macro_v.clone())
+    );
+    report.push_row(
+        BenchRow::new("fig10_geomean")
+            .metric("gcc_autovec_speedup", geomean(gcc_auto))
+            .metric("icc_autovec_speedup", geomean(icc_auto))
+            .metric("macro_simd_speedup", geomean(macro_v)),
     );
 
     // Figure 11 average.
@@ -44,10 +51,15 @@ fn main() {
         .iter()
         .map(|b| figure11_row(b, &machine).improvement_pct)
         .collect();
+    let f11_avg = f11.iter().sum::<f64>() / f11.len() as f64;
+    let f11_max = f11.iter().cloned().fold(0.0, f64::max);
     println!(
-        "Figure 11 (vertical over single-actor): avg {:.1}%  max {:.1}%   (paper: 40% avg, 114% max)\n",
-        f11.iter().sum::<f64>() / f11.len() as f64,
-        f11.iter().cloned().fold(0.0, f64::max)
+        "Figure 11 (vertical over single-actor): avg {f11_avg:.1}%  max {f11_max:.1}%   (paper: 40% avg, 114% max)\n"
+    );
+    report.push_row(
+        BenchRow::new("fig11_vertical")
+            .metric("avg_improvement_pct", f11_avg)
+            .metric("max_improvement_pct", f11_max),
     );
 
     // Figure 12 average.
@@ -55,10 +67,9 @@ fn main() {
         .iter()
         .map(|b| figure12_row(b).improvement_pct)
         .collect();
-    println!(
-        "Figure 12 (SAGU benefit): avg {:.1}%   (paper: 8.1%)\n",
-        f12.iter().sum::<f64>() / f12.len() as f64
-    );
+    let f12_avg = f12.iter().sum::<f64>() / f12.len() as f64;
+    println!("Figure 12 (SAGU benefit): avg {f12_avg:.1}%   (paper: 8.1%)\n");
+    report.push_row(BenchRow::new("fig12_sagu").metric("avg_improvement_pct", f12_avg));
 
     // Figure 13 geomeans.
     let mut c2 = Vec::new();
@@ -73,12 +84,28 @@ fn main() {
         c4s.push(p4.multicore_simd);
     }
     println!("Figure 13 (geomean speedup over 1-core scalar):");
-    println!("  2 cores            {:.2}x   (paper: 1.28x)", geomean(c2));
-    println!("  4 cores            {:.2}x   (paper: 1.85x)", geomean(c4));
-    println!("  2 cores + SIMD     {:.2}x   (paper: 2.03x)", geomean(c2s));
+    println!(
+        "  2 cores            {:.2}x   (paper: 1.28x)",
+        geomean(c2.clone())
+    );
+    println!(
+        "  4 cores            {:.2}x   (paper: 1.85x)",
+        geomean(c4.clone())
+    );
+    println!(
+        "  2 cores + SIMD     {:.2}x   (paper: 2.03x)",
+        geomean(c2s.clone())
+    );
     println!(
         "  4 cores + SIMD     {:.2}x   (paper: 3.17x)\n",
-        geomean(c4s)
+        geomean(c4s.clone())
+    );
+    report.push_row(
+        BenchRow::new("fig13_geomean")
+            .metric("speedup_2c", geomean(c2))
+            .metric("speedup_4c", geomean(c4))
+            .metric("speedup_2c_simd", geomean(c2s))
+            .metric("speedup_4c_simd", geomean(c4s)),
     );
 
     // Scaling ablation table.
@@ -109,4 +136,5 @@ fn main() {
             &rows
         )
     );
+    emit_report(&report);
 }

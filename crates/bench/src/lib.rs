@@ -11,7 +11,79 @@ use macross_benchsuite::Benchmark;
 use macross_multicore::{figure13_point, CommModel, Figure13Point};
 use macross_sdf::Schedule;
 use macross_streamir::graph::Graph;
+use macross_telemetry::TraceSession;
 use macross_vm::{run_scheduled, Machine, RunResult};
+use std::path::PathBuf;
+
+pub use macross_telemetry::report::{BenchReport, BenchRow};
+
+// ---------------------------------------------------------------------------
+// Machine-readable reports and trace export for the fig* binaries.
+
+/// A per-iteration (or any other) ratio that degrades to 0.0 instead of
+/// NaN/inf when the denominator is zero or either side is non-finite.
+pub fn safe_ratio(num: f64, den: f64) -> f64 {
+    if den == 0.0 || !num.is_finite() || !den.is_finite() {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Whether bench binaries should write `BENCH_<name>.json`: always when
+/// built with the `telemetry` feature, or on demand via the
+/// `MACROSS_BENCH_JSON` environment variable.
+pub fn report_emission_enabled() -> bool {
+    cfg!(feature = "telemetry") || std::env::var_os("MACROSS_BENCH_JSON").is_some()
+}
+
+/// Output directory for reports and traces: `MACROSS_BENCH_DIR`, default
+/// the current directory.
+pub fn bench_dir() -> PathBuf {
+    std::env::var_os("MACROSS_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Write `report` as `BENCH_<name>.json` into [`bench_dir`] when emission
+/// is enabled (silent no-op otherwise). Emission failures are reported on
+/// stderr but never fail the benchmark itself.
+pub fn emit_report(report: &BenchReport) {
+    if !report_emission_enabled() {
+        return;
+    }
+    match report.write_to_dir(&bench_dir()) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", report.file_name()),
+    }
+}
+
+/// Drain `session` into a Chrome `trace_event` timeline and write it as
+/// `TRACE_<name>.json` into [`bench_dir`]. No-op for a disabled session
+/// (in particular, always a no-op without the `telemetry` feature).
+pub fn emit_chrome_trace(name: &str, session: &TraceSession, node_names: &[String]) {
+    if !session.enabled() {
+        return;
+    }
+    let events = session.drain();
+    let doc = macross_telemetry::chrome::chrome_trace(&events, node_names);
+    let path = bench_dir().join(format!("TRACE_{name}.json"));
+    match std::fs::write(&path, doc.to_string_compact()) {
+        Ok(()) => eprintln!(
+            "wrote {} ({} events, {} dropped) — open in chrome://tracing or ui.perfetto.dev",
+            path.display(),
+            events.len(),
+            session.dropped()
+        ),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Display names of a graph's nodes, indexed by node id (for firing-span
+/// labels in a Chrome trace).
+pub fn node_names(graph: &Graph) -> Vec<String> {
+    graph.node_ids().map(|id| graph.node(id).name()).collect()
+}
 
 /// Align two scheduled programs to identical source throughput and run
 /// each on its own machine description.
@@ -239,6 +311,15 @@ mod tests {
     }
 
     #[test]
+    fn safe_ratio_guards_degenerate_denominators() {
+        assert_eq!(safe_ratio(10.0, 2.0), 5.0);
+        assert_eq!(safe_ratio(10.0, 0.0), 0.0);
+        assert_eq!(safe_ratio(f64::NAN, 2.0), 0.0);
+        assert_eq!(safe_ratio(10.0, f64::INFINITY), 0.0);
+        assert_eq!(safe_ratio(10.0, -0.0), 0.0);
+    }
+
+    #[test]
     fn geomean_is_geometric() {
         let g = geomean([1.0, 4.0]);
         assert!((g - 2.0).abs() < 1e-9);
@@ -403,6 +484,29 @@ pub fn measured_vs_modeled(
     cores: usize,
     iters: u64,
 ) -> MeasuredVsModeled {
+    measured_vs_modeled_traced(
+        name,
+        graph,
+        schedule,
+        machine,
+        cores,
+        iters,
+        &TraceSession::disabled(),
+    )
+}
+
+/// [`measured_vs_modeled`] recording the threaded run into `session`
+/// (pair with [`emit_chrome_trace`] to export the timeline).
+#[allow(clippy::too_many_arguments)]
+pub fn measured_vs_modeled_traced(
+    name: &str,
+    graph: &Graph,
+    schedule: &Schedule,
+    machine: &Machine,
+    cores: usize,
+    iters: u64,
+    session: &TraceSession,
+) -> MeasuredVsModeled {
     let seq = run_scheduled(graph, schedule, machine, iters.min(2)).expect("sequential profile");
     let partition = macross_multicore::Partition::lpt(graph, schedule, &seq.node_cycles, cores);
     let modeled = macross_multicore::estimate(
@@ -413,8 +517,15 @@ pub fn measured_vs_modeled(
         cores,
         &CommModel::default(),
     );
-    let run = macross_runtime::run_threaded(graph, schedule, machine, &partition.assignment, iters)
-        .expect("threaded run");
+    let run = macross_runtime::run_threaded_traced(
+        graph,
+        schedule,
+        machine,
+        &partition.assignment,
+        iters,
+        session,
+    )
+    .expect("threaded run");
     MeasuredVsModeled {
         name: name.to_string(),
         cores,

@@ -15,6 +15,7 @@ use macross_sdf::{compute_init_reps, lcm, Schedule};
 use macross_streamir::analysis::{analyze_vectorizability, check_rates};
 use macross_streamir::graph::{AddrGen, Graph, Node, NodeId, Reorder, ReorderSide};
 use macross_streamir::types::ScalarTy;
+use macross_telemetry::compile::{Pass, PassEvent};
 use macross_vm::Machine;
 use std::collections::HashSet;
 
@@ -109,6 +110,9 @@ pub struct SimdizeReport {
     pub skipped_unprofitable: Vec<String>,
     /// Tape-access modes chosen per vectorized actor.
     pub tape_decisions: Vec<TapeDecision>,
+    /// Compile-side trace: every transform decision in the order the
+    /// driver made it, with the cost-model estimates behind it.
+    pub passes: Vec<PassEvent>,
 }
 
 /// Result of macro-SIMDization: the vectorized graph plus its adjusted
@@ -219,9 +223,12 @@ pub fn macro_simdize_colocated(
                 match horizontalize(&g, &cand, sw) {
                     Ok(h) => {
                         let added = 2 + h.merged_names.iter().map(|r| r.len()).sum::<usize>();
-                        report
-                            .horizontal_groups
-                            .push(h.merged_names.into_iter().flatten().collect());
+                        let group: Vec<String> = h.merged_names.into_iter().flatten().collect();
+                        report.passes.push(
+                            PassEvent::new(Pass::Horizontal, group.join("+"), sw as u64)
+                                .note(format!("{}-branch split-join merged", cand.branches.len())),
+                        );
+                        report.horizontal_groups.push(group);
                         let mut new_colors = vec![0u32; h.graph.node_count()];
                         for (old, new) in h.node_map.iter().enumerate() {
                             if let Some(n) = new {
@@ -250,7 +257,18 @@ pub fn macro_simdize_colocated(
     // otherwise make isomorphic actors structurally different (the merge
     // compares shapes modulo constants, and folding is shape-changing).
     if opts.prepass {
-        let _ = crate::opt::prepass_optimize(&mut g);
+        let stats = crate::opt::prepass_optimize(&mut g);
+        report.passes.push(
+            PassEvent::new(Pass::Prepass, "<graph>", sw as u64).note(format!(
+                "{} rewrites: {} folded, {} identities, {} branches, {} loops, {} dead stores",
+                stats.total(),
+                stats.folded,
+                stats.identities,
+                stats.branches_resolved,
+                stats.loops_simplified,
+                stats.dead_stores
+            )),
+        );
     }
 
     // --- Vertical fusion of maximal SIMDizable pipeline chains.
@@ -311,6 +329,10 @@ pub fn macro_simdize_colocated(
             new_colors[fused_id.0 as usize] = chain_color;
             colors = new_colors;
             g = ng;
+            report.passes.push(
+                PassEvent::new(Pass::Vertical, names.join("->"), sw as u64)
+                    .note(format!("{}-actor chain fused", names.len())),
+            );
             report.vertical_chains.push(names);
         }
     }
@@ -401,13 +423,21 @@ pub fn macro_simdize_colocated(
             }
         }
         let (vcost, cfg) = best.expect("strided mode always available");
-        if opts.profitability {
-            let scost = static_firing_cost(&f, machine, AddrCosts::default());
-            if vcost >= (sw as u64) * scost {
-                report.skipped_unprofitable.push(f.name.clone());
-                continue;
-            }
+        let scost = static_firing_cost(&f, machine, AddrCosts::default());
+        if opts.profitability && vcost >= (sw as u64) * scost {
+            report.passes.push(
+                PassEvent::new(Pass::Unprofitable, f.name.clone(), sw as u64)
+                    .costs(scost, vcost)
+                    .note("vector firing not cheaper than SW scalar firings"),
+            );
+            report.skipped_unprofitable.push(f.name.clone());
+            continue;
         }
+        report.passes.push(
+            PassEvent::new(Pass::SingleActor, f.name.clone(), sw as u64)
+                .costs(scost, vcost)
+                .note(format!("tapes in={:?} out={:?}", cfg.input, cfg.output)),
+        );
         plans.push((id, cfg));
     }
 
@@ -424,6 +454,10 @@ pub fn macro_simdize_colocated(
             .unwrap_or(1);
         schedule.scale(m);
         report.scale_factor = m;
+        report.passes.push(
+            PassEvent::new(Pass::Equation1, "<schedule>", sw as u64)
+                .note(format!("repetition vector scaled by {m}")),
+        );
     }
 
     // --- Transform the selected actors, divide their repetition numbers,
@@ -883,6 +917,56 @@ mod tests {
         // fusion rep 1 -> M = 4.
         assert_eq!(simd.report.scale_factor, 4);
         let _ = Value::I32(0);
+    }
+
+    #[test]
+    fn pass_events_trace_the_pipeline() {
+        let g = StreamSpec::pipeline(vec![
+            f32_source("src"),
+            scale_filter("f1", 2.0),
+            scale_filter("f2", 3.0),
+            StreamSpec::Sink,
+        ])
+        .build()
+        .unwrap();
+        let machine = Machine::core_i7();
+        let simd = macro_simdize(&g, &machine, &SimdizeOptions::all()).unwrap();
+        let passes = &simd.report.passes;
+        let kinds: Vec<Pass> = passes.iter().map(|e| e.pass).collect();
+        assert!(kinds.contains(&Pass::Prepass));
+        assert!(kinds.contains(&Pass::Vertical));
+        assert!(kinds.contains(&Pass::SingleActor));
+        assert!(kinds.contains(&Pass::Equation1));
+        // Every vectorization decision carries its cost-model estimates.
+        let sa = passes.iter().find(|e| e.pass == Pass::SingleActor).unwrap();
+        assert!(sa.est_scalar_cycles > 0 && sa.est_vector_cycles > 0);
+        assert!(sa.est_speedup() > 1.0, "selected actors must model faster");
+        assert_eq!(sa.simd_width, machine.simd_width as u64);
+        // And the unprofitable path records its evidence too.
+        let mut fir = FilterBuilder::new("fir", 8, 1, 1, ScalarTy::F32);
+        let i = fir.local("i", Ty::Scalar(ScalarTy::I32));
+        let acc = fir.local("acc", Ty::Scalar(ScalarTy::F32));
+        let junk = fir.local("junk", Ty::Scalar(ScalarTy::F32));
+        fir.work(|b| {
+            b.set(acc, 0.0f32);
+            b.for_(i, 8i32, |b| {
+                b.set(acc, v(acc) + peek(v(i)));
+            });
+            b.set(junk, pop());
+            b.push(v(acc));
+        });
+        let g2 = StreamSpec::pipeline(vec![f32_source("src"), fir.build_spec(), StreamSpec::Sink])
+            .build()
+            .unwrap();
+        let simd2 = macro_simdize(&g2, &machine, &SimdizeOptions::all()).unwrap();
+        let up = simd2
+            .report
+            .passes
+            .iter()
+            .find(|e| e.pass == Pass::Unprofitable)
+            .expect("fir must be recorded as unprofitable");
+        assert_eq!(up.actor, "fir");
+        assert!(up.est_vector_cycles >= 4 * up.est_scalar_cycles);
     }
 
     #[test]

@@ -228,7 +228,11 @@ pub fn figure13_point(
 ) -> Result<Figure13Point, SimdizeError> {
     let schedule = Schedule::compute(graph)?;
     let scalar = run_scheduled(graph, &schedule, machine, iters).expect("scalar run failed");
-    let per_iter: Vec<u64> = scalar.node_cycles.iter().map(|c| c / iters).collect();
+    let per_iter: Vec<u64> = scalar
+        .node_cycles
+        .iter()
+        .map(|c| c / iters.max(1))
+        .collect();
     let src = graph
         .node_ids()
         .find(|&id| graph.in_edges(id).is_empty())
@@ -251,7 +255,11 @@ pub fn figure13_point(
         macro_simdize_colocated(graph, machine, &SimdizeOptions::all(), &assignment)?;
     let simd_run =
         run_scheduled(&simd.graph, &simd.schedule, machine, iters).expect("simd run failed");
-    let simd_per_iter: Vec<u64> = simd_run.node_cycles.iter().map(|c| c / iters).collect();
+    let simd_per_iter: Vec<u64> = simd_run
+        .node_cycles
+        .iter()
+        .map(|c| c / iters.max(1))
+        .collect();
     let simd_src = simd
         .graph
         .node_ids()
@@ -646,7 +654,11 @@ pub fn figure13_point_simd_aware(
 ) -> Result<Figure13Point, SimdizeError> {
     let schedule = Schedule::compute(graph)?;
     let scalar = run_scheduled(graph, &schedule, machine, iters).expect("scalar run failed");
-    let per_iter: Vec<u64> = scalar.node_cycles.iter().map(|c| c / iters).collect();
+    let per_iter: Vec<u64> = scalar
+        .node_cycles
+        .iter()
+        .map(|c| c / iters.max(1))
+        .collect();
     let src = graph
         .node_ids()
         .find(|&id| graph.in_edges(id).is_empty())
@@ -661,7 +673,11 @@ pub fn figure13_point_simd_aware(
         macro_simdize_colocated(graph, machine, &SimdizeOptions::all(), &assignment)?;
     let simd_run =
         run_scheduled(&simd.graph, &simd.schedule, machine, iters).expect("simd run failed");
-    let simd_per_iter: Vec<u64> = simd_run.node_cycles.iter().map(|c| c / iters).collect();
+    let simd_per_iter: Vec<u64> = simd_run
+        .node_cycles
+        .iter()
+        .map(|c| c / iters.max(1))
+        .collect();
     let simd_src = simd
         .graph
         .node_ids()

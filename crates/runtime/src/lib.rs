@@ -26,9 +26,10 @@ mod worker;
 use macross_sdf::{buffer_requirements, Schedule};
 use macross_streamir::graph::{Graph, Node};
 use macross_streamir::types::Value;
+use macross_telemetry::TraceSession;
 use macross_vm::machine::{CycleCounters, Machine};
 use macross_vm::VmError;
-use ring::{Aborted, Ring};
+use ring::{Aborted, Ring, OCC_BUCKETS};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -145,6 +146,34 @@ pub struct StageStats {
     pub full_stalls: u64,
     /// Times this stage blocked pulling from an empty ring.
     pub empty_stalls: u64,
+    /// Nanoseconds this stage spent blocked on its rings (full + empty).
+    pub stall_nanos: u64,
+}
+
+/// Final per-ring numbers in a [`RuntimeReport`], one per cut edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingStat {
+    /// Edge id in the graph.
+    pub edge: usize,
+    /// Producing node id.
+    pub src: usize,
+    /// Consuming node id.
+    pub dst: usize,
+    /// Slot count of the ring.
+    pub capacity: usize,
+    /// Highest occupancy observed at any publish point.
+    pub high_water: usize,
+    /// Occupancy histogram: one sample per published batch, bucket `i`
+    /// covering `[i, i+1) * capacity / OCC_BUCKETS`.
+    pub occ_hist: [u64; OCC_BUCKETS],
+    /// Times the producer found the ring full.
+    pub full_stalls: u64,
+    /// Times the consumer found the ring empty.
+    pub empty_stalls: u64,
+    /// Nanoseconds the producer spent waiting for space.
+    pub full_stall_nanos: u64,
+    /// Nanoseconds the consumer spent waiting for data.
+    pub empty_stall_nanos: u64,
 }
 
 /// Measured counters from a threaded run, the empirical counterpart of
@@ -159,6 +188,8 @@ pub struct RuntimeReport {
     pub cut_edges: usize,
     /// Per-stage counters, indexed by node id.
     pub stages: Vec<StageStats>,
+    /// Per-ring occupancy and stall numbers, one per cut edge.
+    pub rings: Vec<RingStat>,
     /// Steady-loop wall nanoseconds per core (0 for cores with no nodes).
     pub core_nanos: Vec<u64>,
     /// Slowest core's steady-loop nanoseconds — the measured makespan.
@@ -198,6 +229,14 @@ impl RuntimeReport {
         self.stages
             .iter()
             .map(|s| s.full_stalls + s.empty_stalls)
+            .sum()
+    }
+
+    /// Total nanoseconds workers spent blocked on rings (both sides).
+    pub fn total_stall_nanos(&self) -> u64 {
+        self.rings
+            .iter()
+            .map(|r| r.full_stall_nanos + r.empty_stall_nanos)
             .sum()
     }
 }
@@ -247,6 +286,33 @@ pub fn run_threaded(
     assignment: &[u32],
     iters: u64,
 ) -> Result<ThreadedRun, RuntimeError> {
+    run_threaded_traced(
+        graph,
+        schedule,
+        machine,
+        assignment,
+        iters,
+        &TraceSession::disabled(),
+    )
+}
+
+/// [`run_threaded`] with a live trace session: each worker records firing
+/// spans, ring stalls, and park/unpark events into the session's per-core
+/// event ring (core id = trace worker index = Chrome `tid`). With the
+/// `telemetry` feature off, or a [`TraceSession::disabled`] session, the
+/// hooks compile to (or short-circuit into) nothing and the run is
+/// behaviorally identical to [`run_threaded`].
+///
+/// # Errors
+/// Same as [`run_threaded`].
+pub fn run_threaded_traced(
+    graph: &Graph,
+    schedule: &Schedule,
+    machine: &Machine,
+    assignment: &[u32],
+    iters: u64,
+    session: &TraceSession,
+) -> Result<ThreadedRun, RuntimeError> {
     if assignment.len() != graph.node_count() {
         return Err(RuntimeError::BadAssignment {
             expected: graph.node_count(),
@@ -274,7 +340,7 @@ pub fn run_threaded(
                 let init_peak = schedule.init_reps[e.src.0 as usize]
                     * graph.node(e.src).push_rate(e.src_port) as u64;
                 let cap = reqs[eid.0 as usize].capacity.max(init_peak);
-                Arc::new(Ring::with_capacity(cap as usize, e.elem.zero()))
+                Arc::new(Ring::for_edge(eid.0, cap as usize, e.elem.zero()))
             })
         })
         .collect();
@@ -299,10 +365,12 @@ pub fn run_threaded(
             .map(|&core| {
                 let stages = Arc::clone(&stages);
                 let (rings, abort, gate) = (&rings, &abort, &gate);
+                let trace = session.worker(core as usize);
                 let h = s.spawn(move || {
                     let run = catch_unwind(AssertUnwindSafe(|| {
-                        let w =
-                            Worker::new(graph, schedule, machine, assignment, core, rings, stages);
+                        let w = Worker::new(
+                            graph, schedule, machine, assignment, core, rings, stages, trace,
+                        );
                         w.run(iters, gate, abort)
                     }));
                     match run {
@@ -385,13 +453,29 @@ pub fn run_threaded(
                 ring_out: stages[i].ring_out.load(Ordering::Relaxed),
                 full_stalls: 0,
                 empty_stalls: 0,
+                stall_nanos: 0,
             }
         })
         .collect();
+    let mut ring_stats: Vec<RingStat> = Vec::with_capacity(cut_edges);
     for (eid, e) in graph.edges() {
         if let Some(ring) = &rings[eid.0 as usize] {
             stage_stats[e.src.0 as usize].full_stalls += ring.full_stalls();
             stage_stats[e.dst.0 as usize].empty_stalls += ring.empty_stalls();
+            stage_stats[e.src.0 as usize].stall_nanos += ring.full_stall_nanos();
+            stage_stats[e.dst.0 as usize].stall_nanos += ring.empty_stall_nanos();
+            ring_stats.push(RingStat {
+                edge: eid.0 as usize,
+                src: e.src.0 as usize,
+                dst: e.dst.0 as usize,
+                capacity: ring.capacity(),
+                high_water: ring.high_water(),
+                occ_hist: ring.occupancy_hist(),
+                full_stalls: ring.full_stalls(),
+                empty_stalls: ring.empty_stalls(),
+                full_stall_nanos: ring.full_stall_nanos(),
+                empty_stall_nanos: ring.empty_stall_nanos(),
+            });
         }
     }
 
@@ -404,6 +488,7 @@ pub fn run_threaded(
             iters,
             cut_edges,
             stages: stage_stats,
+            rings: ring_stats,
             core_nanos,
             wall_nanos,
             core_modelled,
@@ -483,5 +568,75 @@ mod tests {
         assert_eq!(thr.output, seq.output);
         assert_eq!(thr.report.cut_edges, 0);
         assert_eq!(thr.report.ring_traffic(), 0);
+        assert!(thr.report.rings.is_empty());
+        assert_eq!(thr.report.total_stall_nanos(), 0);
+    }
+
+    #[test]
+    fn report_carries_ring_stats() {
+        let g = chain();
+        let sched = Schedule::compute(&g).unwrap();
+        let thr = run_threaded(&g, &sched, &Machine::core_i7(), &[0, 1, 1], 16).unwrap();
+        assert_eq!(thr.report.rings.len(), 1);
+        let rs = &thr.report.rings[0];
+        assert_eq!((rs.src, rs.dst), (0, 1));
+        assert!(rs.capacity >= 8);
+        // 16 steady + init publishes: samples must have landed somewhere.
+        assert!(rs.occ_hist.iter().sum::<u64>() > 0);
+        assert!(rs.high_water >= 1);
+        assert!(rs.high_water <= rs.capacity);
+    }
+
+    #[test]
+    fn per_iteration_ratios_guard_zero_iters() {
+        let g = chain();
+        let sched = Schedule::compute(&g).unwrap();
+        let thr = run_threaded(&g, &sched, &Machine::core_i7(), &[0, 1, 1], 0).unwrap();
+        assert_eq!(thr.report.iters, 0);
+        let ns = thr.report.nanos_per_iter();
+        assert!(ns.is_finite());
+        assert_eq!(ns, 0.0);
+    }
+
+    /// Without the `telemetry` feature the traced entry point must accept
+    /// any session, record nothing, and stay bit-identical.
+    #[test]
+    fn traced_run_with_inert_session_is_identical() {
+        let g = chain();
+        let sched = Schedule::compute(&g).unwrap();
+        let m = Machine::core_i7();
+        let seq = macross_vm::run_scheduled(&g, &sched, &m, 8).unwrap();
+        let session = TraceSession::new(2, 1 << 12);
+        let thr = run_threaded_traced(&g, &sched, &m, &[0, 1, 1], 8, &session).unwrap();
+        assert_eq!(thr.output, seq.output);
+        if cfg!(feature = "telemetry") {
+            // Each worker records at least its firing spans.
+            assert!(!session.drain().is_empty());
+        } else {
+            assert!(session.drain().is_empty());
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn traced_run_records_firing_spans_per_core() {
+        use macross_telemetry::EventKind;
+        let g = chain();
+        let sched = Schedule::compute(&g).unwrap();
+        let session = TraceSession::new(2, 1 << 14);
+        let thr =
+            run_threaded_traced(&g, &sched, &Machine::core_i7(), &[0, 1, 1], 8, &session).unwrap();
+        let events = session.drain();
+        // Core 0 fired src 8 times: exactly 8 start/end pairs on worker 0.
+        let starts0 = events
+            .iter()
+            .filter(|(w, e)| *w == 0 && e.kind == EventKind::FiringStart)
+            .count();
+        assert_eq!(starts0, 8);
+        // Both cores contributed events, and no event subject is out of
+        // range of the graph's nodes or edges.
+        assert!(events.iter().any(|(w, _)| *w == 1));
+        // The run itself is unaffected by recording.
+        assert_eq!(thr.report.stages[0].firings, 8);
     }
 }

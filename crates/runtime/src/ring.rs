@@ -10,11 +10,15 @@
 //! a failing worker is always noticed.
 
 use macross_streamir::types::Value;
+use macross_telemetry::{EventKind, WorkerTrace};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread::Thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Bucket count of the occupancy histogram kept per ring.
+pub const OCC_BUCKETS: usize = 8;
 
 /// The run was aborted by another worker while this one was blocked on a
 /// ring.
@@ -34,6 +38,8 @@ const PARK_TIMEOUT: Duration = Duration::from_micros(200);
 pub struct Ring {
     buf: Box<[UnsafeCell<Value>]>,
     mask: usize,
+    /// The cut edge this ring carries (trace subject; 0 when standalone).
+    edge: u32,
     /// Next slot the consumer reads. Written only by the consumer.
     head: CachePadded<AtomicUsize>,
     /// Next slot the producer writes. Written only by the producer.
@@ -42,6 +48,15 @@ pub struct Ring {
     full_stalls: AtomicU64,
     /// Times the consumer found the ring empty and had to wait.
     empty_stalls: AtomicU64,
+    /// Nanoseconds the producer spent waiting for space.
+    full_stall_nanos: AtomicU64,
+    /// Nanoseconds the consumer spent waiting for data.
+    empty_stall_nanos: AtomicU64,
+    /// Highest occupancy ever observed at a publish point.
+    high_water: AtomicUsize,
+    /// Occupancy histogram, one sample per published batch; bucket `i`
+    /// covers occupancies in `[i, i+1) * capacity / OCC_BUCKETS`.
+    occ_hist: [AtomicU64; OCC_BUCKETS],
     producer_parked: AtomicBool,
     consumer_parked: AtomicBool,
     producer: Mutex<Option<Thread>>,
@@ -58,15 +73,26 @@ impl Ring {
     /// A ring with at least `capacity` slots (rounded up to a power of
     /// two, minimum 8), zero-filled with `fill`.
     pub fn with_capacity(capacity: usize, fill: Value) -> Ring {
+        Ring::for_edge(0, capacity, fill)
+    }
+
+    /// Like [`Ring::with_capacity`], tagged with the cut edge it carries
+    /// so trace events and ring stats can name it.
+    pub fn for_edge(edge: u32, capacity: usize, fill: Value) -> Ring {
         let cap = capacity.max(8).next_power_of_two();
         let buf: Vec<UnsafeCell<Value>> = (0..cap).map(|_| UnsafeCell::new(fill)).collect();
         Ring {
             buf: buf.into_boxed_slice(),
             mask: cap - 1,
+            edge,
             head: CachePadded(AtomicUsize::new(0)),
             tail: CachePadded(AtomicUsize::new(0)),
             full_stalls: AtomicU64::new(0),
             empty_stalls: AtomicU64::new(0),
+            full_stall_nanos: AtomicU64::new(0),
+            empty_stall_nanos: AtomicU64::new(0),
+            high_water: AtomicUsize::new(0),
+            occ_hist: Default::default(),
             producer_parked: AtomicBool::new(false),
             consumer_parked: AtomicBool::new(false),
             producer: Mutex::new(None),
@@ -77,6 +103,11 @@ impl Ring {
     /// Slot count.
     pub fn capacity(&self) -> usize {
         self.buf.len()
+    }
+
+    /// The cut edge this ring was built for.
+    pub fn edge(&self) -> u32 {
+        self.edge
     }
 
     /// Register the calling thread as the producer (for unpark).
@@ -97,6 +128,33 @@ impl Ring {
     /// Times the consumer found the ring empty.
     pub fn empty_stalls(&self) -> u64 {
         self.empty_stalls.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds the producer spent waiting for space.
+    pub fn full_stall_nanos(&self) -> u64 {
+        self.full_stall_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds the consumer spent waiting for data.
+    pub fn empty_stall_nanos(&self) -> u64 {
+        self.empty_stall_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Highest occupancy observed at any publish point.
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Occupancy histogram snapshot (one sample per published batch).
+    pub fn occupancy_hist(&self) -> [u64; OCC_BUCKETS] {
+        std::array::from_fn(|i| self.occ_hist[i].load(Ordering::Relaxed))
+    }
+
+    /// One occupancy sample at a publish point.
+    fn sample_occupancy(&self, occupied: usize) {
+        self.high_water.fetch_max(occupied, Ordering::Relaxed);
+        let bucket = (occupied * OCC_BUCKETS / self.capacity()).min(OCC_BUCKETS - 1);
+        self.occ_hist[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
     fn wake_consumer(&self) {
@@ -122,6 +180,21 @@ impl Ring {
     /// # Errors
     /// Returns [`Aborted`] if `abort` is raised while waiting for space.
     pub fn push_batch(&self, vals: &[Value], abort: &AtomicBool) -> Result<(), Aborted> {
+        self.push_batch_traced(vals, abort, &WorkerTrace::disabled())
+    }
+
+    /// [`Ring::push_batch`] with a trace handle: full-ring stalls are
+    /// recorded as `RingPushStallBegin`/`End` spans on the producer's
+    /// timeline (subject = this ring's edge).
+    ///
+    /// # Errors
+    /// Returns [`Aborted`] if `abort` is raised while waiting for space.
+    pub fn push_batch_traced(
+        &self,
+        vals: &[Value],
+        abort: &AtomicBool,
+        trace: &WorkerTrace,
+    ) -> Result<(), Aborted> {
         let mut written = 0;
         while written < vals.len() {
             let tail = self.tail.0.load(Ordering::Relaxed);
@@ -129,7 +202,13 @@ impl Ring {
             let free = self.capacity() - (tail - head);
             if free == 0 {
                 self.full_stalls.fetch_add(1, Ordering::Relaxed);
-                self.wait_for_space(tail, abort)?;
+                trace.record(EventKind::RingPushStallBegin, self.edge, 0);
+                let waited = Instant::now();
+                let res = self.wait_for_space(tail, abort, trace);
+                let ns = waited.elapsed().as_nanos() as u64;
+                self.full_stall_nanos.fetch_add(ns, Ordering::Relaxed);
+                trace.record(EventKind::RingPushStallEnd, self.edge, ns);
+                res?;
                 continue;
             }
             let n = free.min(vals.len() - written);
@@ -142,12 +221,20 @@ impl Ring {
             }
             self.tail.0.store(tail + n, Ordering::Release);
             written += n;
+            // `head` is a snapshot, so this occupancy is an upper bound;
+            // good enough for a histogram and exact for the high-water.
+            self.sample_occupancy(tail + n - head);
             self.wake_consumer();
         }
         Ok(())
     }
 
-    fn wait_for_space(&self, tail: usize, abort: &AtomicBool) -> Result<(), Aborted> {
+    fn wait_for_space(
+        &self,
+        tail: usize,
+        abort: &AtomicBool,
+        trace: &WorkerTrace,
+    ) -> Result<(), Aborted> {
         let full = |s: &Ring| s.capacity() - (tail - s.head.0.load(Ordering::Acquire)) == 0;
         for _ in 0..SPIN_BUDGET {
             if !full(self) {
@@ -168,7 +255,9 @@ impl Ring {
                 self.producer_parked.store(false, Ordering::Release);
                 return Err(Aborted);
             }
+            trace.record(EventKind::Park, self.edge, 0);
             std::thread::park_timeout(PARK_TIMEOUT);
+            trace.record(EventKind::Unpark, self.edge, 0);
         }
     }
 
@@ -195,7 +284,31 @@ impl Ring {
     /// # Errors
     /// Returns [`Aborted`] if `abort` is raised while waiting.
     pub fn wait_nonempty(&self, abort: &AtomicBool) -> Result<(), Aborted> {
+        self.wait_nonempty_traced(abort, &WorkerTrace::disabled())
+    }
+
+    /// [`Ring::wait_nonempty`] with a trace handle: the empty-ring stall
+    /// is recorded as a `RingPopStallBegin`/`End` span on the consumer's
+    /// timeline (subject = this ring's edge).
+    ///
+    /// # Errors
+    /// Returns [`Aborted`] if `abort` is raised while waiting.
+    pub fn wait_nonempty_traced(
+        &self,
+        abort: &AtomicBool,
+        trace: &WorkerTrace,
+    ) -> Result<(), Aborted> {
         self.empty_stalls.fetch_add(1, Ordering::Relaxed);
+        trace.record(EventKind::RingPopStallBegin, self.edge, 0);
+        let waited = Instant::now();
+        let res = self.wait_nonempty_inner(abort, trace);
+        let ns = waited.elapsed().as_nanos() as u64;
+        self.empty_stall_nanos.fetch_add(ns, Ordering::Relaxed);
+        trace.record(EventKind::RingPopStallEnd, self.edge, ns);
+        res
+    }
+
+    fn wait_nonempty_inner(&self, abort: &AtomicBool, trace: &WorkerTrace) -> Result<(), Aborted> {
         let head = self.head.0.load(Ordering::Relaxed);
         let empty = |s: &Ring| s.tail.0.load(Ordering::Acquire) == head;
         for _ in 0..SPIN_BUDGET {
@@ -217,7 +330,9 @@ impl Ring {
                 self.consumer_parked.store(false, Ordering::Release);
                 return Err(Aborted);
             }
+            trace.record(EventKind::Park, self.edge, 0);
             std::thread::park_timeout(PARK_TIMEOUT);
+            trace.record(EventKind::Unpark, self.edge, 0);
         }
     }
 }
@@ -273,8 +388,26 @@ mod tests {
         r.push_batch(&vals, &abort).unwrap();
         let got = consumer.join().unwrap();
         assert_eq!(got, vals);
-        // 1000 elements through 8 slots: the producer must have stalled.
+        // 1000 elements through 8 slots: the producer must have stalled,
+        // and stall time must have been accounted.
         assert!(r.full_stalls() > 0);
+        assert!(r.full_stall_nanos() > 0);
+        // Some publish point must have seen the ring completely full.
+        assert_eq!(r.high_water(), r.capacity());
+    }
+
+    #[test]
+    fn occupancy_stats_track_publishes() {
+        let r = Ring::for_edge(3, 8, iv(0));
+        assert_eq!(r.edge(), 3);
+        let abort = AtomicBool::new(false);
+        r.push_batch(&(0..6).map(iv).collect::<Vec<_>>(), &abort)
+            .unwrap();
+        assert_eq!(r.high_water(), 6);
+        let hist = r.occupancy_hist();
+        assert_eq!(hist.iter().sum::<u64>(), 1);
+        // Occupancy 6 of 8 lands in bucket 6*OCC_BUCKETS/8.
+        assert_eq!(hist[6 * OCC_BUCKETS / 8], 1);
     }
 
     #[test]

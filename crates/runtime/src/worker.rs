@@ -18,6 +18,7 @@ use crate::{Stage, StartGate};
 use macross_sdf::Schedule;
 use macross_streamir::graph::{Graph, Node, NodeId};
 use macross_streamir::types::Value;
+use macross_telemetry::{EventKind, WorkerTrace};
 use macross_vm::firing::{self, FilterState};
 use macross_vm::machine::{CycleCounters, Machine};
 use macross_vm::tape::Tape;
@@ -100,12 +101,16 @@ pub(crate) struct Worker<'g> {
     counters: CycleCounters,
     sink_outputs: Vec<(usize, Vec<Value>)>,
     scratch: Vec<Value>,
+    /// This core's trace handle (zero-sized no-op unless the `telemetry`
+    /// feature is on and a live session was passed to the run).
+    trace: WorkerTrace,
 }
 
 impl<'g> Worker<'g> {
     /// Build the worker for `core`: local tapes (with reorder halves for
     /// cut edges), filter states for its own nodes, and the pull/push
     /// plan per node. Registers this thread on its rings for unpark.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         graph: &'g Graph,
         schedule: &'g Schedule,
@@ -114,6 +119,7 @@ impl<'g> Worker<'g> {
         core: u32,
         rings: &[Option<Arc<Ring>>],
         stages: Arc<Vec<Stage>>,
+        trace: WorkerTrace,
     ) -> Worker<'g> {
         let mut tapes: Vec<Tape> = graph.edges().map(|(_, e)| Tape::new(e.elem)).collect();
         for (i, (_, e)) in graph.edges().enumerate() {
@@ -199,6 +205,7 @@ impl<'g> Worker<'g> {
             counters: CycleCounters::default(),
             sink_outputs: Vec::new(),
             scratch: Vec::new(),
+            trace,
         }
     }
 
@@ -246,7 +253,13 @@ impl<'g> Worker<'g> {
     fn fire_plan(&mut self, p: usize, abort: &AtomicBool) -> Result<(), WorkerFail> {
         self.ensure_inputs(p, abort)?;
         let id = self.plans[p].id;
+        self.trace.record(EventKind::FiringStart, id.0, 0);
+        let before = self.counters.total();
         self.fire_node(id)?;
+        // aux = modelled cycles this firing cost, so the timeline carries
+        // both wall time (span length) and the cost model's estimate.
+        self.trace
+            .record(EventKind::FiringEnd, id.0, self.counters.total() - before);
         self.stages[id.0 as usize]
             .firings
             .fetch_add(1, Ordering::Relaxed);
@@ -271,7 +284,7 @@ impl<'g> Worker<'g> {
                 let missing = needed_phys - tape.len();
                 let n = pull.ring.pop_avail(|v| tape.push(v), missing);
                 if n == 0 {
-                    pull.ring.wait_nonempty(abort)?;
+                    pull.ring.wait_nonempty_traced(abort, &self.trace)?;
                 }
                 got += n as u64;
             }
@@ -300,7 +313,8 @@ impl<'g> Worker<'g> {
             for _ in 0..n {
                 self.scratch.push(tape.pop());
             }
-            push.ring.push_batch(&self.scratch, abort)?;
+            push.ring
+                .push_batch_traced(&self.scratch, abort, &self.trace)?;
             self.stages[node_idx]
                 .ring_out
                 .fetch_add(n as u64, Ordering::Relaxed);

@@ -1,0 +1,34 @@
+//! Validate `BENCH_*.json` files against the telemetry report schema.
+//!
+//! Usage: `validate_report <file.json>...` — prints one line per file and
+//! exits non-zero if any file fails to parse or violates the schema. CI
+//! runs this on the reports a benchmark run emitted.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_report <BENCH_*.json>...");
+        return ExitCode::from(2);
+    }
+    let mut failures = 0usize;
+    for path in &paths {
+        let verdict = std::fs::read_to_string(path)
+            .map_err(|e| format!("read failed: {e}"))
+            .and_then(|s| macross_telemetry::report::validate_str(&s));
+        match verdict {
+            Ok(()) => println!("{path}: OK"),
+            Err(e) => {
+                println!("{path}: INVALID — {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} of {} report(s) invalid", paths.len());
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,39 @@
+//! TSC-style timestamps: monotonic nanoseconds since a process-wide
+//! anchor, cheap enough to call per event.
+//!
+//! All threads share one anchor (the first call wins), so timestamps from
+//! different workers are directly comparable and the Chrome exporter can
+//! interleave them on one timeline.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static ANCHOR: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process-wide anchor. The first call anchors the
+/// clock at 0; every later call (from any thread) is relative to it.
+#[inline]
+pub fn now_ns() -> u64 {
+    ANCHOR.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_within_a_thread() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn comparable_across_threads() {
+        let before = now_ns();
+        let from_thread = std::thread::spawn(now_ns).join().unwrap();
+        let after = now_ns();
+        assert!(from_thread >= before);
+        assert!(after >= from_thread);
+    }
+}

@@ -1,0 +1,142 @@
+//! Compile-side tracing of the SIMDization pipeline: which transform
+//! fired on which actor, the SIMD width it chose, and what the cost model
+//! predicted. The driver appends [`PassEvent`]s to its `SimdizeReport` so
+//! benchmarks can pair the *estimated* cost of a decision with the
+//! *measured* cost the runtime later observes.
+
+use crate::json::Json;
+use std::fmt;
+
+/// Which phase of Algorithm 1 produced the event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// Classic prepass optimizations (folding, identities, DSE).
+    Prepass,
+    /// Horizontal SIMDization of an isomorphic split-join.
+    Horizontal,
+    /// Vertical fusion of a SIMDizable pipeline chain.
+    Vertical,
+    /// Single-actor SIMDization (including previously fused actors).
+    SingleActor,
+    /// An eligible actor skipped because vectorization would not pay.
+    Unprofitable,
+    /// Equation-1 repetition-vector scaling.
+    Equation1,
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Pass::Prepass => "prepass",
+            Pass::Horizontal => "horizontal",
+            Pass::Vertical => "vertical",
+            Pass::SingleActor => "single_actor",
+            Pass::Unprofitable => "unprofitable",
+            Pass::Equation1 => "equation1",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One decision the SIMDization driver made.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassEvent {
+    /// The phase.
+    pub pass: Pass,
+    /// The actor (or actor group / chain label) it applied to.
+    pub actor: String,
+    /// SIMD width in effect.
+    pub simd_width: u64,
+    /// Cost model: cycles per scalar firing (0 when not applicable).
+    pub est_scalar_cycles: u64,
+    /// Cost model: cycles per vector firing covering `simd_width` scalar
+    /// firings (0 when not applicable).
+    pub est_vector_cycles: u64,
+    /// Free-form detail (tape modes, merge arity, scale factor...).
+    pub note: String,
+}
+
+impl PassEvent {
+    /// An event with zeroed cost fields.
+    pub fn new(pass: Pass, actor: impl Into<String>, simd_width: u64) -> PassEvent {
+        PassEvent {
+            pass,
+            actor: actor.into(),
+            simd_width,
+            est_scalar_cycles: 0,
+            est_vector_cycles: 0,
+            note: String::new(),
+        }
+    }
+
+    /// Attach cost-model estimates.
+    pub fn costs(mut self, scalar: u64, vector: u64) -> PassEvent {
+        self.est_scalar_cycles = scalar;
+        self.est_vector_cycles = vector;
+        self
+    }
+
+    /// Attach a free-form note.
+    pub fn note(mut self, note: impl Into<String>) -> PassEvent {
+        self.note = note.into();
+        self
+    }
+
+    /// Estimated speedup of the decision (scalar work covered per vector
+    /// firing over its cost); 0.0 when the costs are not applicable.
+    pub fn est_speedup(&self) -> f64 {
+        if self.est_vector_cycles == 0 || self.est_scalar_cycles == 0 {
+            0.0
+        } else {
+            (self.simd_width * self.est_scalar_cycles) as f64 / self.est_vector_cycles as f64
+        }
+    }
+}
+
+/// Serialize pass events for embedding in reports.
+pub fn passes_to_json(events: &[PassEvent]) -> Json {
+    Json::Arr(
+        events
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    ("pass", Json::Str(e.pass.to_string())),
+                    ("actor", Json::Str(e.actor.clone())),
+                    ("simd_width", Json::Num(e.simd_width as f64)),
+                    ("est_scalar_cycles", Json::Num(e.est_scalar_cycles as f64)),
+                    ("est_vector_cycles", Json::Num(e.est_vector_cycles as f64)),
+                    ("note", Json::Str(e.note.clone())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn est_speedup_guards_zero() {
+        let e = PassEvent::new(Pass::SingleActor, "f", 4);
+        assert_eq!(e.est_speedup(), 0.0);
+        let e = e.costs(10, 8);
+        assert_eq!(e.est_speedup(), 5.0);
+    }
+
+    #[test]
+    fn passes_serialize() {
+        let events = vec![
+            PassEvent::new(Pass::Vertical, "f1 -> f2", 4).note("2-actor chain"),
+            PassEvent::new(Pass::Unprofitable, "fir", 4).costs(100, 500),
+        ];
+        let j = passes_to_json(&events);
+        let arr = j.as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("pass").unwrap().as_str(), Some("vertical"));
+        assert_eq!(
+            arr[1].get("est_vector_cycles").unwrap().as_num(),
+            Some(500.0)
+        );
+    }
+}

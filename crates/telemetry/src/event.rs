@@ -1,0 +1,97 @@
+//! The fixed-size trace event: what one worker records per interesting
+//! moment. `Copy` and small so pushing one is a handful of stores.
+
+/// What happened. Span kinds come in begin/end pairs which the Chrome
+/// exporter folds into duration events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A node firing began (`subject` = node id).
+    #[default]
+    FiringStart,
+    /// The firing completed (`subject` = node id, `aux` = modelled cycles
+    /// charged to it, when the recorder knows them).
+    FiringEnd,
+    /// A producer found its cut-edge ring full and began waiting
+    /// (`subject` = edge id).
+    RingPushStallBegin,
+    /// Space appeared; the producer resumed (`subject` = edge id).
+    RingPushStallEnd,
+    /// A consumer found its cut-edge ring empty and began waiting
+    /// (`subject` = edge id).
+    RingPopStallBegin,
+    /// Tokens appeared; the consumer resumed (`subject` = edge id).
+    RingPopStallEnd,
+    /// The spin budget ran out and the thread parked (`subject` = edge id).
+    Park,
+    /// The thread came back from parking (`subject` = edge id).
+    Unpark,
+}
+
+impl EventKind {
+    /// Short stable label for exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::FiringStart => "firing_start",
+            EventKind::FiringEnd => "firing_end",
+            EventKind::RingPushStallBegin => "push_stall_begin",
+            EventKind::RingPushStallEnd => "push_stall_end",
+            EventKind::RingPopStallBegin => "pop_stall_begin",
+            EventKind::RingPopStallEnd => "pop_stall_end",
+            EventKind::Park => "park",
+            EventKind::Unpark => "unpark",
+        }
+    }
+}
+
+/// One recorded moment. 24 bytes; rings hold these by value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Event {
+    /// [`crate::clock::now_ns`] at record time.
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Node id for firing events, edge id for ring/park events.
+    pub subject: u32,
+    /// Kind-specific payload (e.g. modelled cycles for `FiringEnd`).
+    pub aux: u64,
+}
+
+impl Event {
+    /// Convenience constructor stamping the current time.
+    #[inline]
+    pub fn now(kind: EventKind, subject: u32, aux: u64) -> Event {
+        Event {
+            ts_ns: crate::clock::now_ns(),
+            kind,
+            subject,
+            aux,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_is_compact() {
+        assert!(std::mem::size_of::<Event>() <= 24);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let kinds = [
+            EventKind::FiringStart,
+            EventKind::FiringEnd,
+            EventKind::RingPushStallBegin,
+            EventKind::RingPushStallEnd,
+            EventKind::RingPopStallBegin,
+            EventKind::RingPopStallEnd,
+            EventKind::Park,
+            EventKind::Unpark,
+        ];
+        let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), kinds.len());
+    }
+}

@@ -1,0 +1,336 @@
+//! The stable `BENCH_<name>.json` schema the bench binaries emit, plus a
+//! validator so CI can gate on well-formed reports.
+//!
+//! Schema (version 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "name": "fig11",                  // report name -> BENCH_fig11.json
+//!   "machine": "core_i7_sse4",        // machine description used
+//!   "simd_width": 4,
+//!   "created_unix_ms": 1754000000000,
+//!   "rows": [
+//!     {
+//!       "benchmark": "FMRadio",
+//!       "metrics":  { "improvement_pct": 12.5 },   // finite f64s
+//!       "counters": { "ring_traffic": 4096 }       // non-negative integers
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `metrics` carries continuous measurements (speedups, nanoseconds),
+//! `counters` carries exact event counts. Both are open-ended maps so new
+//! figures can add columns without a schema bump; the validator checks
+//! shape and types, not specific keys.
+
+use crate::json::{self, Json};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Current schema version, bumped on incompatible shape changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One benchmark's row in a report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchRow {
+    /// Benchmark name (e.g. `FMRadio`).
+    pub benchmark: String,
+    /// Continuous measurements, in insertion order.
+    pub metrics: Vec<(String, f64)>,
+    /// Exact event counts, in insertion order.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl BenchRow {
+    /// A row for `benchmark` with empty metric/counter maps.
+    pub fn new(benchmark: impl Into<String>) -> BenchRow {
+        BenchRow {
+            benchmark: benchmark.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Append a metric (non-finite values are recorded as 0.0 so the
+    /// report never violates its own schema).
+    pub fn metric(mut self, key: impl Into<String>, value: f64) -> BenchRow {
+        let v = if value.is_finite() { value } else { 0.0 };
+        self.metrics.push((key.into(), v));
+        self
+    }
+
+    /// Append a counter.
+    pub fn counter(mut self, key: impl Into<String>, value: u64) -> BenchRow {
+        self.counters.push((key.into(), value));
+        self
+    }
+}
+
+/// A machine-readable benchmark report, written as `BENCH_<name>.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Report name; determines the file name.
+    pub name: String,
+    /// Machine description the numbers were produced on.
+    pub machine: String,
+    /// SIMD width of that machine.
+    pub simd_width: u64,
+    /// Wall-clock creation time (Unix milliseconds).
+    pub created_unix_ms: u64,
+    /// One row per benchmark (or per benchmark x configuration).
+    pub rows: Vec<BenchRow>,
+}
+
+impl BenchReport {
+    /// A report stamped with the current wall-clock time.
+    pub fn new(
+        name: impl Into<String>,
+        machine: impl Into<String>,
+        simd_width: u64,
+    ) -> BenchReport {
+        BenchReport {
+            name: name.into(),
+            machine: machine.into(),
+            simd_width,
+            created_unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, row: BenchRow) {
+        self.rows.push(row);
+    }
+
+    /// The canonical file name: `BENCH_<name>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.name)
+    }
+
+    /// The report as a JSON value.
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("benchmark", Json::Str(r.benchmark.clone())),
+                    (
+                        "metrics",
+                        Json::Obj(
+                            r.metrics
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "counters",
+                        Json::Obj(
+                            r.counters
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
+            ("name", Json::Str(self.name.clone())),
+            ("machine", Json::Str(self.machine.clone())),
+            ("simd_width", Json::Num(self.simd_width as f64)),
+            ("created_unix_ms", Json::Num(self.created_unix_ms as f64)),
+            ("rows", Json::Arr(rows)),
+        ])
+    }
+
+    /// Pretty-printed JSON document.
+    pub fn json_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Write `BENCH_<name>.json` into `dir` and return the path.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_to_dir(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.json_string())?;
+        Ok(path)
+    }
+}
+
+fn require_num(v: &Json, what: &str) -> Result<f64, String> {
+    v.as_num()
+        .ok_or_else(|| format!("{what} must be a finite number"))
+}
+
+fn require_str<'a>(v: &'a Json, what: &str) -> Result<&'a str, String> {
+    v.as_str().ok_or_else(|| format!("{what} must be a string"))
+}
+
+fn require_field<'a>(obj: &'a Json, key: &str, what: &str) -> Result<&'a Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{what} is missing required field \"{key}\""))
+}
+
+fn check_uint(n: f64, what: &str) -> Result<(), String> {
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("{what} must be a non-negative integer, got {n}"));
+    }
+    Ok(())
+}
+
+/// Validate a parsed document against the version-1 schema.
+///
+/// # Errors
+/// Returns the first violation as a human-readable message.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    doc.as_obj().ok_or("report must be a JSON object")?;
+    let version = require_num(
+        require_field(doc, "schema_version", "report")?,
+        "schema_version",
+    )?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+        ));
+    }
+    let name = require_str(require_field(doc, "name", "report")?, "name")?;
+    if name.is_empty() {
+        return Err("name must be non-empty".into());
+    }
+    require_str(require_field(doc, "machine", "report")?, "machine")?;
+    let sw = require_num(require_field(doc, "simd_width", "report")?, "simd_width")?;
+    check_uint(sw, "simd_width")?;
+    if sw < 1.0 {
+        return Err("simd_width must be >= 1".into());
+    }
+    let created = require_num(
+        require_field(doc, "created_unix_ms", "report")?,
+        "created_unix_ms",
+    )?;
+    check_uint(created, "created_unix_ms")?;
+    let rows = require_field(doc, "rows", "report")?
+        .as_arr()
+        .ok_or("rows must be an array")?;
+    for (i, row) in rows.iter().enumerate() {
+        let what = format!("rows[{i}]");
+        row.as_obj().ok_or(format!("{what} must be an object"))?;
+        let bench = require_str(require_field(row, "benchmark", &what)?, "benchmark")?;
+        if bench.is_empty() {
+            return Err(format!("{what}.benchmark must be non-empty"));
+        }
+        let metrics = require_field(row, "metrics", &what)?
+            .as_obj()
+            .ok_or(format!("{what}.metrics must be an object"))?;
+        for (k, v) in metrics {
+            require_num(v, &format!("{what}.metrics.{k}"))?;
+        }
+        let counters = require_field(row, "counters", &what)?
+            .as_obj()
+            .ok_or(format!("{what}.counters must be an object"))?;
+        for (k, v) in counters {
+            let n = require_num(v, &format!("{what}.counters.{k}"))?;
+            check_uint(n, &format!("{what}.counters.{k}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Parse and validate a report document in one call.
+///
+/// # Errors
+/// Returns a parse error or the first schema violation.
+pub fn validate_str(input: &str) -> Result<(), String> {
+    validate(&json::parse(input)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut r = BenchReport::new("fig11", "core_i7_sse4", 4);
+        r.push_row(
+            BenchRow::new("FMRadio")
+                .metric("improvement_pct", 12.5)
+                .counter("iters", 50),
+        );
+        r.push_row(BenchRow::new("DCT").metric("improvement_pct", 40.0));
+        r
+    }
+
+    #[test]
+    fn emitted_report_validates() {
+        let s = sample().json_string();
+        validate_str(&s).unwrap();
+    }
+
+    #[test]
+    fn file_name_is_canonical() {
+        assert_eq!(sample().file_name(), "BENCH_fig11.json");
+    }
+
+    #[test]
+    fn non_finite_metric_is_coerced() {
+        let row = BenchRow::new("x").metric("speedup", f64::NAN);
+        assert_eq!(row.metrics[0].1, 0.0);
+    }
+
+    #[test]
+    fn write_and_read_back() {
+        let dir = std::env::temp_dir().join("macross_telemetry_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = sample().write_to_dir(&dir).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        validate_str(&read).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_bad_shapes() {
+        let cases = [
+            ("[]", "object"),
+            (r#"{"name":"x"}"#, "schema_version"),
+            (
+                r#"{"schema_version":2,"name":"x","machine":"m","simd_width":4,"created_unix_ms":0,"rows":[]}"#,
+                "schema_version",
+            ),
+            (
+                r#"{"schema_version":1,"name":"","machine":"m","simd_width":4,"created_unix_ms":0,"rows":[]}"#,
+                "non-empty",
+            ),
+            (
+                r#"{"schema_version":1,"name":"x","machine":"m","simd_width":0,"created_unix_ms":0,"rows":[]}"#,
+                "simd_width",
+            ),
+            (
+                r#"{"schema_version":1,"name":"x","machine":"m","simd_width":4,"created_unix_ms":0,"rows":[{"benchmark":"b","metrics":{"a":"nope"},"counters":{}}]}"#,
+                "metrics",
+            ),
+            (
+                r#"{"schema_version":1,"name":"x","machine":"m","simd_width":4,"created_unix_ms":0,"rows":[{"benchmark":"b","metrics":{},"counters":{"c":-1}}]}"#,
+                "counters",
+            ),
+            (
+                r#"{"schema_version":1,"name":"x","machine":"m","simd_width":4,"created_unix_ms":0,"rows":[{"metrics":{},"counters":{}}]}"#,
+                "benchmark",
+            ),
+        ];
+        for (doc, needle) in cases {
+            let err = validate_str(doc).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "error {err:?} should mention {needle:?}"
+            );
+        }
+    }
+}

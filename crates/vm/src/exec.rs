@@ -12,6 +12,7 @@ use crate::tape::Tape;
 use macross_sdf::Schedule;
 use macross_streamir::graph::{Graph, Node, NodeId, ReorderSide};
 use macross_streamir::types::Value;
+use macross_telemetry::{EventKind, TraceSession, WorkerTrace};
 
 /// Executes a scheduled stream graph on a modelled machine.
 pub struct Executor<'a> {
@@ -25,6 +26,10 @@ pub struct Executor<'a> {
     node_cycles: Vec<u64>,
     outputs: Vec<Vec<Value>>,
     inits_done: bool,
+    /// Firing-span recorder (zero-sized no-op unless the `telemetry`
+    /// feature is on and a live handle was installed via
+    /// [`Executor::set_trace`]).
+    trace: WorkerTrace,
 }
 
 impl<'a> Executor<'a> {
@@ -59,7 +64,15 @@ impl<'a> Executor<'a> {
             node_cycles,
             outputs,
             inits_done: false,
+            trace: WorkerTrace::disabled(),
         }
+    }
+
+    /// Install a recording handle; every subsequent [`Executor::fire`]
+    /// emits a `FiringStart`/`FiringEnd` span for the fired node, with the
+    /// modelled cycle cost of the firing as the end event's aux payload.
+    pub fn set_trace(&mut self, trace: WorkerTrace) {
+        self.trace = trace;
     }
 
     fn run_init_functions(&mut self) -> Result<(), VmError> {
@@ -155,6 +168,7 @@ impl<'a> Executor<'a> {
     /// cannot fail).
     pub fn fire(&mut self, id: NodeId) -> Result<(), VmError> {
         let before = self.counters.total();
+        self.trace.record(EventKind::FiringStart, id.0, 0);
         self.counters.firing_overhead += self.machine.cost.firing;
         let in_edge = self.graph.single_in_edge(id);
         let out_edge = self.graph.single_out_edge(id);
@@ -274,7 +288,9 @@ impl<'a> Executor<'a> {
                 self.outputs[id.0 as usize].push(v);
             }
         }
-        self.node_cycles[id.0 as usize] += self.counters.total() - before;
+        let cost = self.counters.total() - before;
+        self.trace.record(EventKind::FiringEnd, id.0, cost);
+        self.node_cycles[id.0 as usize] += cost;
         Ok(())
     }
 }
@@ -317,7 +333,25 @@ pub fn run_scheduled(
     machine: &Machine,
     iters: u64,
 ) -> Result<RunResult, VmError> {
+    run_scheduled_traced(graph, schedule, machine, iters, &TraceSession::disabled())
+}
+
+/// [`run_scheduled`] recording firing spans into worker 0 of `session`
+/// (the single-threaded executor is one timeline). Init firings are
+/// recorded too — they appear before the steady phase on the timeline but
+/// are still excluded from the returned cycle counts.
+///
+/// # Errors
+/// Propagates interpreter failures.
+pub fn run_scheduled_traced(
+    graph: &Graph,
+    schedule: &Schedule,
+    machine: &Machine,
+    iters: u64,
+    session: &TraceSession,
+) -> Result<RunResult, VmError> {
     let mut ex = Executor::new(graph, schedule, machine);
+    ex.set_trace(session.worker(0));
     ex.run_init()?;
     ex.reset_counters();
     ex.run_steady(iters)?;
@@ -502,6 +536,34 @@ mod tests {
         .unwrap();
         let res = run_program(&g, &Machine::core_i7(), 1).unwrap();
         assert_eq!(res.output, vec![Value::I32(200)]);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        let mut f = FilterBuilder::new("f", 1, 1, 1, ScalarTy::I32);
+        f.work(|b| {
+            b.push(pop() + 1i32);
+        });
+        let g = StreamSpec::pipeline(vec![
+            counting_source("src", 1),
+            f.build_spec(),
+            StreamSpec::Sink,
+        ])
+        .build()
+        .unwrap();
+        let m = Machine::core_i7();
+        let sched = Schedule::compute(&g).unwrap();
+        let plain = run_scheduled(&g, &sched, &m, 5).unwrap();
+        let session = TraceSession::new(1, 1 << 12);
+        let traced = run_scheduled_traced(&g, &sched, &m, 5, &session).unwrap();
+        assert_eq!(traced.output, plain.output);
+        assert_eq!(traced.counters, plain.counters);
+        if cfg!(feature = "telemetry") {
+            // 3 nodes x 5 iterations x (start + end), plus init (none here).
+            assert_eq!(session.drain().len(), 3 * 5 * 2);
+        } else {
+            assert!(session.drain().is_empty());
+        }
     }
 
     #[test]
