@@ -1,0 +1,193 @@
+//! Interpreter hot-path microbenchmark: ns per firing of the tree-walking
+//! interpreter vs. the register bytecode engine on three representative
+//! filter shapes — an arithmetic-heavy scalar loop, a macro-SIMDized
+//! vector kernel, and a peeking FIR with an array-indexed loop.
+//!
+//! Both engines run the *same* compiled graph and schedule inside one
+//! binary via `ExecMode`, so the comparison isolates the execution
+//! substrate. Outputs are asserted bit-identical before any number is
+//! reported. Emits `BENCH_interp_hotpath.json` (schema v1) when report
+//! emission is enabled (`telemetry` feature or `MACROSS_BENCH_JSON`).
+//!
+//! Usage: `interp_hotpath [iters]` (default 2000 steady iterations per
+//! timed sample).
+
+use macross::driver::{macro_simdize, SimdizeOptions};
+use macross_bench::{emit_report, render_table, safe_ratio, BenchReport, BenchRow};
+use macross_benchsuite::util::{fir, source_f32, source_i32};
+use macross_sdf::Schedule;
+use macross_streamir::builder::StreamSpec;
+use macross_streamir::edsl::*;
+use macross_streamir::graph::{Graph, Node};
+use macross_streamir::types::{ScalarTy, Ty};
+use macross_vm::{compile_filter, run_scheduled_mode, ExecMode, Machine};
+use std::time::Instant;
+
+/// Arithmetic-heavy scalar filter: pop 1, push 1, 48 loop iterations of
+/// integer mixing (mul/add/xor/shift/mask) over an accumulator.
+fn mix32() -> Graph {
+    let mut fb = FilterBuilder::new("mix32", 1, 1, 1, ScalarTy::I32);
+    let acc = fb.local("acc", Ty::Scalar(ScalarTy::I32));
+    let i = fb.local("i", Ty::Scalar(ScalarTy::I32));
+    fb.work(move |b| {
+        b.set(acc, pop());
+        b.for_(i, 48i32, |b| {
+            b.set(acc, (v(acc) * 1103515245i32 + 12345i32) ^ (v(acc) >> 7i32));
+            b.set(acc, v(acc) & 0x7fffffffi32);
+        });
+        b.push(v(acc));
+    });
+    StreamSpec::pipeline(vec![
+        source_i32("src", 1, 0xffff),
+        fb.build_spec(),
+        StreamSpec::Sink,
+    ])
+    .build()
+    .expect("mix32 graph")
+}
+
+/// Stateless float kernel that macro-SIMDization vectorizes: 24 chained
+/// multiply-adds per element, executed as vector ops after SIMDization.
+/// The depth matters: each tree-walk vector op allocates a fresh
+/// `Vec<Value>`, while the bytecode engine updates lanes in place, so the
+/// FMA chain isolates the per-op gap.
+fn vmix_scalar() -> Graph {
+    let mut fb = FilterBuilder::new("vmix", 1, 1, 1, ScalarTy::F32);
+    let x = fb.local("x", Ty::Scalar(ScalarTy::F32));
+    fb.work(move |b| {
+        b.set(x, pop());
+        for _ in 0..24 {
+            b.set(x, v(x) * 1.0001f32 + 0.5f32);
+        }
+        b.push(v(x));
+    });
+    StreamSpec::pipeline(vec![
+        source_f32("src", 4, 4096, 0.25),
+        fb.build_spec(),
+        StreamSpec::Sink,
+    ])
+    .build()
+    .expect("vmix graph")
+}
+
+/// Peeking FIR: 16 taps, coefficient array filled in `init`, loop with
+/// `peek(i) * coef[i]` accumulation.
+fn fir16() -> Graph {
+    StreamSpec::pipeline(vec![
+        source_f32("src", 4, 4096, 0.25),
+        fir("fir16", 16, 0.37, 0.11),
+        StreamSpec::Sink,
+    ])
+    .build()
+    .expect("fir16 graph")
+}
+
+/// Minimum wall nanoseconds of `samples` runs of one full scheduled
+/// execution (after one warm-up run).
+fn time_run(
+    graph: &Graph,
+    sched: &Schedule,
+    machine: &Machine,
+    iters: u64,
+    mode: ExecMode,
+    samples: usize,
+) -> u64 {
+    std::hint::black_box(run_scheduled_mode(graph, sched, machine, iters, mode).expect("run"));
+    (0..samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(
+                run_scheduled_mode(graph, sched, machine, iters, mode).expect("run"),
+            );
+            t.elapsed().as_nanos() as u64
+        })
+        .min()
+        .unwrap()
+}
+
+/// Steady reps of the hot filter (name contains `needle`), and whether it
+/// compiled to bytecode rather than falling back to the tree walker.
+fn hot_filter(graph: &Graph, sched: &Schedule, machine: &Machine, needle: &str) -> (u64, bool) {
+    for (id, node) in graph.nodes() {
+        if let Node::Filter(f) = node {
+            if f.name.contains(needle) {
+                let in_elem = graph.single_in_edge(id).map(|e| graph.edge(e).elem);
+                let out_elem = graph.single_out_edge(id).map(|e| graph.edge(e).elem);
+                let compiled = compile_filter(f, in_elem, out_elem, machine).is_some();
+                return (sched.reps[id.0 as usize], compiled);
+            }
+        }
+    }
+    panic!("no filter named *{needle}* in graph");
+}
+
+fn main() {
+    let machine = Machine::core_i7();
+    let iters: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("iters must be a number"))
+        .unwrap_or(2000);
+    let samples = 5;
+
+    // (label, graph, schedule, hot-filter name fragment)
+    let mut cases: Vec<(&str, Graph, Schedule, &str)> = Vec::new();
+    let g = mix32();
+    let s = Schedule::compute(&g).expect("schedule");
+    cases.push(("mix32_scalar_loop", g, s, "mix32"));
+    let simd = macro_simdize(&vmix_scalar(), &machine, &SimdizeOptions::all()).expect("simdize");
+    cases.push(("vmix_simdized", simd.graph, simd.schedule, "vmix"));
+    let g = fir16();
+    let s = Schedule::compute(&g).expect("schedule");
+    cases.push(("fir16_peeking", g, s, "fir16"));
+
+    println!(
+        "== Interpreter hot path: tree-walk vs. bytecode ({iters} iters, min of {samples}) =="
+    );
+    let mut report = BenchReport::new("interp_hotpath", &machine.name, machine.simd_width as u64)
+        .with_exec_mode("bytecode-vs-treewalk");
+    let mut rows = Vec::new();
+    for (label, graph, sched, needle) in &cases {
+        // Both engines must agree bit-for-bit before any timing counts.
+        let tw = run_scheduled_mode(graph, sched, &machine, 16, ExecMode::TreeWalk).expect("tw");
+        let bc = run_scheduled_mode(graph, sched, &machine, 16, ExecMode::Bytecode).expect("bc");
+        assert_eq!(tw.output, bc.output, "{label}: engines diverge");
+        assert_eq!(tw.counters, bc.counters, "{label}: cycle counters diverge");
+
+        let (reps, compiled) = hot_filter(graph, sched, &machine, needle);
+        let firings = reps * iters;
+        let tw_ns = time_run(graph, sched, &machine, iters, ExecMode::TreeWalk, samples);
+        let bc_ns = time_run(graph, sched, &machine, iters, ExecMode::Bytecode, samples);
+        let tw_per = tw_ns as f64 / firings as f64;
+        let bc_per = bc_ns as f64 / firings as f64;
+        let speedup = safe_ratio(tw_per, bc_per);
+        report.push_row(
+            BenchRow::new(*label)
+                .metric("treewalk_ns_per_firing", tw_per)
+                .metric("bytecode_ns_per_firing", bc_per)
+                .metric("speedup", speedup)
+                .counter("firings", firings)
+                .counter("compiled", u64::from(compiled)),
+        );
+        rows.push(vec![
+            label.to_string(),
+            format!("{tw_per:.1}"),
+            format!("{bc_per:.1}"),
+            format!("{speedup:.2}x"),
+            if compiled { "yes" } else { "FALLBACK" }.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "filter",
+                "treewalk ns/firing",
+                "bytecode ns/firing",
+                "speedup",
+                "compiled",
+            ],
+            &rows,
+        )
+    );
+    emit_report(&report);
+}

@@ -625,6 +625,34 @@ pub fn run_threaded(
     Ok((run, simd))
 }
 
+/// [`run_threaded`] with an explicit work-function engine
+/// ([`macross_vm::ExecMode`]): bytecode or the tree-walking oracle. The
+/// differential suite uses this to compare both engines across worker
+/// counts without rebuilding.
+///
+/// # Errors
+/// Same as [`run_threaded`].
+pub fn run_threaded_mode(
+    graph: &Graph,
+    machine: &Machine,
+    opts: &SimdizeOptions,
+    cores: usize,
+    iters: u64,
+    mode: macross_vm::ExecMode,
+) -> Result<(macross_runtime::ThreadedRun, Simdized), ThreadedError> {
+    let simd = macro_simdize(graph, machine, opts)?;
+    let assignment = lpt_placement(&simd.graph, &simd.schedule, machine, cores);
+    let run = macross_runtime::run_threaded_mode(
+        &simd.graph,
+        &simd.schedule,
+        machine,
+        &assignment,
+        iters,
+        mode,
+    )?;
+    Ok((run, simd))
+}
+
 /// True if the neighbour on the given side is a scalar consumer/producer
 /// that can absorb reordered accesses: a sink, splitter, joiner, or a
 /// filter that will *not* itself be vectorized.

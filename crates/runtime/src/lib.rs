@@ -28,7 +28,7 @@ use macross_streamir::graph::{Graph, Node};
 use macross_streamir::types::Value;
 use macross_telemetry::TraceSession;
 use macross_vm::machine::{CycleCounters, Machine};
-use macross_vm::VmError;
+use macross_vm::{ExecMode, VmError};
 use ring::{Aborted, Ring, OCC_BUCKETS};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -296,6 +296,32 @@ pub fn run_threaded(
     )
 }
 
+/// [`run_threaded`] with an explicit execution engine ([`ExecMode`]) for
+/// the filter work functions on every worker, instead of the build's
+/// default. Used by the differential suite to pit the bytecode engine
+/// against the tree-walking oracle inside the same binary.
+///
+/// # Errors
+/// Same as [`run_threaded`].
+pub fn run_threaded_mode(
+    graph: &Graph,
+    schedule: &Schedule,
+    machine: &Machine,
+    assignment: &[u32],
+    iters: u64,
+    mode: ExecMode,
+) -> Result<ThreadedRun, RuntimeError> {
+    run_threaded_traced_mode(
+        graph,
+        schedule,
+        machine,
+        assignment,
+        iters,
+        &TraceSession::disabled(),
+        mode,
+    )
+}
+
 /// [`run_threaded`] with a live trace session: each worker records firing
 /// spans, ring stalls, and park/unpark events into the session's per-core
 /// event ring (core id = trace worker index = Chrome `tid`). With the
@@ -312,6 +338,31 @@ pub fn run_threaded_traced(
     assignment: &[u32],
     iters: u64,
     session: &TraceSession,
+) -> Result<ThreadedRun, RuntimeError> {
+    run_threaded_traced_mode(
+        graph,
+        schedule,
+        machine,
+        assignment,
+        iters,
+        session,
+        ExecMode::default(),
+    )
+}
+
+/// [`run_threaded_traced`] with an explicit execution engine for the
+/// filter work functions, combining tracing and engine selection.
+///
+/// # Errors
+/// Same as [`run_threaded`].
+pub fn run_threaded_traced_mode(
+    graph: &Graph,
+    schedule: &Schedule,
+    machine: &Machine,
+    assignment: &[u32],
+    iters: u64,
+    session: &TraceSession,
+    mode: ExecMode,
 ) -> Result<ThreadedRun, RuntimeError> {
     if assignment.len() != graph.node_count() {
         return Err(RuntimeError::BadAssignment {
@@ -369,7 +420,7 @@ pub fn run_threaded_traced(
                 let h = s.spawn(move || {
                     let run = catch_unwind(AssertUnwindSafe(|| {
                         let w = Worker::new(
-                            graph, schedule, machine, assignment, core, rings, stages, trace,
+                            graph, schedule, machine, assignment, core, rings, stages, trace, mode,
                         );
                         w.run(iters, gate, abort)
                     }));

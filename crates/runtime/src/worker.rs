@@ -19,6 +19,7 @@ use macross_sdf::Schedule;
 use macross_streamir::graph::{Graph, Node, NodeId};
 use macross_streamir::types::Value;
 use macross_telemetry::{EventKind, WorkerTrace};
+use macross_vm::exec::ExecMode;
 use macross_vm::firing::{self, FilterState};
 use macross_vm::machine::{CycleCounters, Machine};
 use macross_vm::tape::Tape;
@@ -120,6 +121,7 @@ impl<'g> Worker<'g> {
         rings: &[Option<Arc<Ring>>],
         stages: Arc<Vec<Stage>>,
         trace: WorkerTrace,
+        mode: ExecMode,
     ) -> Worker<'g> {
         let mut tapes: Vec<Tape> = graph.edges().map(|(_, e)| Tape::new(e.elem)).collect();
         for (i, (_, e)) in graph.edges().enumerate() {
@@ -140,7 +142,11 @@ impl<'g> Worker<'g> {
         let states: Vec<FilterState> = graph
             .nodes()
             .map(|(id, node)| match node {
-                Node::Filter(f) if assignment[id.0 as usize] == core => FilterState::new(f),
+                Node::Filter(f) if assignment[id.0 as usize] == core => {
+                    let in_elem = graph.single_in_edge(id).map(|e| graph.edge(e).elem);
+                    let out_elem = graph.single_out_edge(id).map(|e| graph.edge(e).elem);
+                    FilterState::prepared(f, machine, in_elem, out_elem, mode)
+                }
                 _ => FilterState::default(),
             })
             .collect();

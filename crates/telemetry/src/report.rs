@@ -79,6 +79,9 @@ pub struct BenchReport {
     pub simd_width: u64,
     /// Wall-clock creation time (Unix milliseconds).
     pub created_unix_ms: u64,
+    /// Work-function engine the numbers were produced with (e.g.
+    /// `"bytecode"` or `"treewalk"`); omitted from the JSON when unset.
+    pub exec_mode: Option<String>,
     /// One row per benchmark (or per benchmark x configuration).
     pub rows: Vec<BenchRow>,
 }
@@ -98,8 +101,15 @@ impl BenchReport {
                 .duration_since(UNIX_EPOCH)
                 .map(|d| d.as_millis() as u64)
                 .unwrap_or(0),
+            exec_mode: None,
             rows: Vec::new(),
         }
+    }
+
+    /// Stamp the report with the work-function engine used.
+    pub fn with_exec_mode(mut self, mode: impl Into<String>) -> BenchReport {
+        self.exec_mode = Some(mode.into());
+        self
     }
 
     /// Append a row.
@@ -141,14 +151,18 @@ impl BenchReport {
                 ])
             })
             .collect();
-        Json::obj([
+        let mut fields = vec![
             ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
             ("name", Json::Str(self.name.clone())),
             ("machine", Json::Str(self.machine.clone())),
             ("simd_width", Json::Num(self.simd_width as f64)),
             ("created_unix_ms", Json::Num(self.created_unix_ms as f64)),
-            ("rows", Json::Arr(rows)),
-        ])
+        ];
+        if let Some(mode) = &self.exec_mode {
+            fields.push(("exec_mode", Json::Str(mode.clone())));
+        }
+        fields.push(("rows", Json::Arr(rows)));
+        Json::obj(fields)
     }
 
     /// Pretty-printed JSON document.
@@ -218,6 +232,12 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         "created_unix_ms",
     )?;
     check_uint(created, "created_unix_ms")?;
+    if let Some(mode) = doc.get("exec_mode") {
+        let mode = require_str(mode, "exec_mode")?;
+        if mode.is_empty() {
+            return Err("exec_mode must be non-empty when present".into());
+        }
+    }
     let rows = require_field(doc, "rows", "report")?
         .as_arr()
         .ok_or("rows must be an array")?;
@@ -277,6 +297,21 @@ mod tests {
     #[test]
     fn file_name_is_canonical() {
         assert_eq!(sample().file_name(), "BENCH_fig11.json");
+    }
+
+    #[test]
+    fn exec_mode_is_optional_but_nonempty() {
+        let stamped = sample().with_exec_mode("bytecode");
+        let s = stamped.json_string();
+        assert!(s.contains("\"exec_mode\": \"bytecode\""));
+        validate_str(&s).unwrap();
+        // Absent: still valid, and not emitted at all.
+        let plain = sample().json_string();
+        assert!(!plain.contains("exec_mode"));
+        validate_str(&plain).unwrap();
+        // Present but empty: rejected.
+        let bad = r#"{"schema_version":1,"name":"x","machine":"m","simd_width":4,"created_unix_ms":0,"exec_mode":"","rows":[]}"#;
+        assert!(validate_str(bad).unwrap_err().contains("exec_mode"));
     }
 
     #[test]

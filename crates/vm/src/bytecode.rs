@@ -1,0 +1,1739 @@
+//! Flat, register-based bytecode for compiled work functions.
+//!
+//! The tree-walking interpreter ([`crate::interp`]) pays enum dispatch,
+//! `RtVal::V(Vec<Value>)` heap allocation, and per-node temporaries on
+//! every operation. The bytecode VM removes all of that: values live
+//! unboxed in two register files (`Vec<i64>` / `Vec<f64>`), vectors are
+//! `width` consecutive registers, variable slots are resolved to fixed
+//! bases at compile time, and cycle charges are pre-aggregated per basic
+//! block into [`ChargeEntry`] records applied by a single [`Op::Charge`].
+//!
+//! # Value representation
+//!
+//! * `i32` values are stored sign-extended in `i64` registers; arithmetic
+//!   is performed in the `i32` domain and re-extended, so wrapping
+//!   semantics match [`macross_streamir::expr::eval_binop`] exactly.
+//! * `f32` values are stored exactly widened in `f64` registers (every
+//!   `f32` is exactly representable as `f64`); arithmetic is performed in
+//!   the `f32` domain and re-widened. Comparisons run on the widened
+//!   values, which is what the tree-walker's `fcmp` does too.
+//!
+//! These invariants make every encode/decode at a tape or channel
+//! boundary lossless, so a compiled filter is bit-identical to the
+//! tree-walked one (the differential suite in `tests/differential.rs`
+//! enforces this).
+//!
+//! # Cycle accounting
+//!
+//! The compiler sums the per-op charges of each basic block at compile
+//! time. Address-generation overhead on reordered tapes depends on the
+//! edge (`in_cost` / `out_cost`), so [`ChargeEntry`] records *counts* of
+//! input/output accesses and the VM multiplies at run time. All charges
+//! are plain `u64` additions, so aggregation order cannot change totals;
+//! on a successful firing the counters are bit-identical to the
+//! tree-walker's. Runs that abort with a [`VmError`] never surface their
+//! counters, so mid-block divergence there is unobservable.
+
+use crate::error::{TapeSide, VmError};
+use crate::machine::CycleCounters;
+use crate::tape::Tape;
+use macross_streamir::expr::{BinOp, Intrinsic};
+use macross_streamir::types::{ScalarTy, Value};
+use std::collections::VecDeque;
+
+/// The two unboxed register files of a compiled filter.
+#[derive(Debug, Clone, Default)]
+pub struct Regs {
+    /// Integer registers (`i32` values sign-extended).
+    pub i: Vec<i64>,
+    /// Float registers (`f32` values exactly widened).
+    pub f: Vec<f64>,
+}
+
+impl Regs {
+    /// Zeroed register files of the given sizes.
+    pub fn new(int_regs: usize, float_regs: usize) -> Regs {
+        Regs {
+            i: vec![0; int_regs],
+            f: vec![0.0; float_regs],
+        }
+    }
+}
+
+/// Pre-aggregated cycle charges of one basic block.
+///
+/// `in_addr` / `out_addr` count scalar accesses to the input/output tape
+/// that pay the per-edge reorder address cost; the VM multiplies them by
+/// the runtime `in_cost` / `out_cost` (exactly what the tree-walker adds
+/// one access at a time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChargeEntry {
+    /// Fixed charges of the block.
+    pub counters: CycleCounters,
+    /// Scalar input-tape accesses paying the input reorder address cost.
+    pub in_addr: u64,
+    /// Scalar output-tape accesses paying the output reorder address cost.
+    pub out_addr: u64,
+}
+
+impl ChargeEntry {
+    /// True if applying this entry would change nothing.
+    pub fn is_zero(&self) -> bool {
+        self.counters == CycleCounters::default() && self.in_addr == 0 && self.out_addr == 0
+    }
+}
+
+/// A filter's compiled firing plan: bytecode for `init` and `work`, the
+/// shared charge table, register-file sizes, and which register ranges
+/// hold `Local` variables (zeroed before every firing, like
+/// [`crate::interp::reset_locals`]).
+#[derive(Debug, Clone)]
+pub struct CompiledFilter {
+    /// Filter name (for errors and panics).
+    pub name: String,
+    /// Integer register file size.
+    pub int_regs: u32,
+    /// Float register file size.
+    pub float_regs: u32,
+    /// `(base, len)` integer ranges of `Local` variables.
+    pub zero_i: Vec<(u32, u32)>,
+    /// `(base, len)` float ranges of `Local` variables.
+    pub zero_f: Vec<(u32, u32)>,
+    /// Compiled `init` body.
+    pub init: Vec<Op>,
+    /// Compiled `work` body.
+    pub work: Vec<Op>,
+    /// Charge table indexed by [`Op::Charge`].
+    pub charges: Vec<ChargeEntry>,
+}
+
+impl CompiledFilter {
+    /// Zero the `Local` variable ranges (between firings).
+    pub fn zero_locals(&self, regs: &mut Regs) {
+        for &(base, len) in &self.zero_i {
+            regs.i[base as usize..(base + len) as usize].fill(0);
+        }
+        for &(base, len) in &self.zero_f {
+            regs.f[base as usize..(base + len) as usize].fill(0.0);
+        }
+    }
+}
+
+/// One bytecode instruction.
+///
+/// Register operands are indices into [`Regs`]; vector operands name the
+/// first of `w` consecutive registers. Destination registers of value-
+/// producing ops are always fresh temporaries (the compiler never aliases
+/// a destination with a live source), so vector ops can write in-place
+/// lane by lane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Apply `charges[idx]` to the counters.
+    Charge(u32),
+
+    // --- Constants and moves -------------------------------------------
+    /// `i[dst] = v`.
+    ConstI {
+        dst: u32,
+        v: i64,
+    },
+    /// `f[dst] = v`.
+    ConstF {
+        dst: u32,
+        v: f64,
+    },
+    /// `i[dst..dst+len] = vals`.
+    ConstVecI {
+        dst: u32,
+        vals: Box<[i64]>,
+    },
+    /// `f[dst..dst+len] = vals`.
+    ConstVecF {
+        dst: u32,
+        vals: Box<[f64]>,
+    },
+    /// `i[dst] = i[src]` (free: register move).
+    MovI {
+        dst: u32,
+        src: u32,
+    },
+    /// `f[dst] = f[src]`.
+    MovF {
+        dst: u32,
+        src: u32,
+    },
+    /// `i[dst..dst+w] = i[src..src+w]`.
+    MovNI {
+        dst: u32,
+        src: u32,
+        w: u32,
+    },
+    /// `f[dst..dst+w] = f[src..src+w]`.
+    MovNF {
+        dst: u32,
+        src: u32,
+        w: u32,
+    },
+    /// `i[dst] = f[a] as i64` (free conversion for indices/counts; the
+    /// tree-walker's `Value::as_i64` is uncharged too).
+    FToI {
+        dst: u32,
+        a: u32,
+    },
+
+    // --- Scalar arithmetic ---------------------------------------------
+    /// Integer binary op in the `ty` domain; comparisons yield 0/1.
+    BinI {
+        op: BinOp,
+        ty: ScalarTy,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    /// Float arithmetic in the `ty` domain.
+    BinF {
+        op: BinOp,
+        ty: ScalarTy,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    /// Float comparison: `i[dst] = op(f[a], f[b]) as i64`.
+    CmpF {
+        op: BinOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    /// Wrapping negate in the `ty` domain.
+    NegI {
+        ty: ScalarTy,
+        dst: u32,
+        a: u32,
+    },
+    /// `f[dst] = -f[a]`.
+    NegF {
+        dst: u32,
+        a: u32,
+    },
+    /// Bitwise complement in the `ty` domain.
+    NotI {
+        ty: ScalarTy,
+        dst: u32,
+        a: u32,
+    },
+    /// `i[dst] = (i[a] == 0) as i64`.
+    LogNotI {
+        dst: u32,
+        a: u32,
+    },
+    /// `i[dst] = (f[a] == 0.0) as i64` (NaN is truthy, -0.0 falsy).
+    LogNotF {
+        dst: u32,
+        a: u32,
+    },
+
+    // --- Vector arithmetic (lane-wise over w registers) ----------------
+    VBinI {
+        op: BinOp,
+        ty: ScalarTy,
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    VBinF {
+        op: BinOp,
+        ty: ScalarTy,
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    VCmpF {
+        op: BinOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    VNegI {
+        ty: ScalarTy,
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    VNegF {
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    VNotI {
+        ty: ScalarTy,
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    VLogNotI {
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    VLogNotF {
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+
+    // --- Casts ---------------------------------------------------------
+    /// Int-to-int cast (only I64 -> I32 truncates).
+    CastII {
+        from: ScalarTy,
+        to: ScalarTy,
+        dst: u32,
+        a: u32,
+    },
+    /// Int-to-float cast.
+    CastIF {
+        to: ScalarTy,
+        dst: u32,
+        a: u32,
+    },
+    /// Float-to-int cast (saturating, like Rust `as`).
+    CastFI {
+        to: ScalarTy,
+        dst: u32,
+        a: u32,
+    },
+    /// Float-to-float cast (F32 destination rounds through `f32`).
+    CastFF {
+        to: ScalarTy,
+        dst: u32,
+        a: u32,
+    },
+    VCastII {
+        from: ScalarTy,
+        to: ScalarTy,
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    VCastIF {
+        to: ScalarTy,
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    VCastFI {
+        to: ScalarTy,
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    VCastFF {
+        to: ScalarTy,
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+
+    // --- Intrinsics ----------------------------------------------------
+    /// Unary integer intrinsic (Abs).
+    Call1I {
+        i: Intrinsic,
+        ty: ScalarTy,
+        dst: u32,
+        a: u32,
+    },
+    /// Binary integer intrinsic (Min/Max; order-preserving on the
+    /// sign-extended representation).
+    Call2I {
+        i: Intrinsic,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    /// Unary float intrinsic in the `ty` domain.
+    Call1F {
+        i: Intrinsic,
+        ty: ScalarTy,
+        dst: u32,
+        a: u32,
+    },
+    /// Binary float intrinsic (Min/Max/Pow) in the `ty` domain.
+    Call2F {
+        i: Intrinsic,
+        ty: ScalarTy,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    VCall1I {
+        i: Intrinsic,
+        ty: ScalarTy,
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    VCall2I {
+        i: Intrinsic,
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    VCall1F {
+        i: Intrinsic,
+        ty: ScalarTy,
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    VCall2F {
+        i: Intrinsic,
+        ty: ScalarTy,
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+
+    // --- Packing and permutation ---------------------------------------
+    /// `i[dst..dst+w] = i[a]` broadcast.
+    SplatI {
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    SplatF {
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    /// `extract_even` (parity 0) / `extract_odd` (parity 1) of the
+    /// concatenation of two `w`-lane vectors. `dst` is always a fresh
+    /// temporary, so it cannot alias `a` or `b`.
+    PermI {
+        parity: u32,
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    PermF {
+        parity: u32,
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+
+    // --- Array variables (register-file windows) -----------------------
+    /// `i[dst] = i[base + i[idx]]`, bounds-checked against `len`.
+    LoadIdxI {
+        dst: u32,
+        base: u32,
+        len: u32,
+        idx: u32,
+    },
+    LoadIdxF {
+        dst: u32,
+        base: u32,
+        len: u32,
+        idx: u32,
+    },
+    /// Vector-array element load: `i[dst..dst+w] = i[base + i[idx]*w ..]`.
+    LoadVElemI {
+        dst: u32,
+        base: u32,
+        len: u32,
+        idx: u32,
+        w: u32,
+    },
+    LoadVElemF {
+        dst: u32,
+        base: u32,
+        len: u32,
+        idx: u32,
+        w: u32,
+    },
+    /// Unit-stride vector load from a scalar array (`VIndex`).
+    LoadVSliceI {
+        dst: u32,
+        base: u32,
+        len: u32,
+        idx: u32,
+        w: u32,
+    },
+    LoadVSliceF {
+        dst: u32,
+        base: u32,
+        len: u32,
+        idx: u32,
+        w: u32,
+    },
+    StoreIdxI {
+        base: u32,
+        len: u32,
+        idx: u32,
+        src: u32,
+    },
+    StoreIdxF {
+        base: u32,
+        len: u32,
+        idx: u32,
+        src: u32,
+    },
+    StoreVElemI {
+        base: u32,
+        len: u32,
+        idx: u32,
+        src: u32,
+        w: u32,
+    },
+    StoreVElemF {
+        base: u32,
+        len: u32,
+        idx: u32,
+        src: u32,
+        w: u32,
+    },
+    StoreVSliceI {
+        base: u32,
+        len: u32,
+        idx: u32,
+        src: u32,
+        w: u32,
+    },
+    StoreVSliceF {
+        base: u32,
+        len: u32,
+        idx: u32,
+        src: u32,
+        w: u32,
+    },
+    /// `i[base + i[idx]*w + lane] = i[src]` (lane store into a
+    /// vector-array element).
+    LaneStoreI {
+        base: u32,
+        len: u32,
+        idx: u32,
+        lane: u32,
+        w: u32,
+        src: u32,
+    },
+    LaneStoreF {
+        base: u32,
+        len: u32,
+        idx: u32,
+        lane: u32,
+        w: u32,
+        src: u32,
+    },
+
+    // --- Input tape ----------------------------------------------------
+    PopI {
+        ty: ScalarTy,
+        dst: u32,
+    },
+    PopF {
+        ty: ScalarTy,
+        dst: u32,
+    },
+    /// `off` is an integer register holding the peek offset.
+    PeekI {
+        ty: ScalarTy,
+        dst: u32,
+        off: u32,
+    },
+    PeekF {
+        ty: ScalarTy,
+        dst: u32,
+        off: u32,
+    },
+    VPopI {
+        ty: ScalarTy,
+        dst: u32,
+        w: u32,
+    },
+    VPopF {
+        ty: ScalarTy,
+        dst: u32,
+        w: u32,
+    },
+    VPeekI {
+        ty: ScalarTy,
+        dst: u32,
+        off: u32,
+        w: u32,
+    },
+    VPeekF {
+        ty: ScalarTy,
+        dst: u32,
+        off: u32,
+        w: u32,
+    },
+    AdvRead {
+        n: u32,
+    },
+
+    // --- Output tape ---------------------------------------------------
+    PushI {
+        ty: ScalarTy,
+        src: u32,
+    },
+    PushF {
+        ty: ScalarTy,
+        src: u32,
+    },
+    RPushI {
+        ty: ScalarTy,
+        src: u32,
+        off: u32,
+    },
+    RPushF {
+        ty: ScalarTy,
+        src: u32,
+        off: u32,
+    },
+    VPushI {
+        ty: ScalarTy,
+        src: u32,
+        w: u32,
+    },
+    VPushF {
+        ty: ScalarTy,
+        src: u32,
+        w: u32,
+    },
+    AdvWrite {
+        n: u32,
+    },
+
+    // --- Internal channels ---------------------------------------------
+    LPopI {
+        ty: ScalarTy,
+        chan: u32,
+        dst: u32,
+    },
+    LPopF {
+        ty: ScalarTy,
+        chan: u32,
+        dst: u32,
+    },
+    LVPopI {
+        ty: ScalarTy,
+        chan: u32,
+        dst: u32,
+        w: u32,
+    },
+    LVPopF {
+        ty: ScalarTy,
+        chan: u32,
+        dst: u32,
+        w: u32,
+    },
+    LPushI {
+        ty: ScalarTy,
+        chan: u32,
+        src: u32,
+    },
+    LPushF {
+        ty: ScalarTy,
+        chan: u32,
+        src: u32,
+    },
+    LVPushI {
+        ty: ScalarTy,
+        chan: u32,
+        src: u32,
+        w: u32,
+    },
+    LVPushF {
+        ty: ScalarTy,
+        chan: u32,
+        src: u32,
+        w: u32,
+    },
+
+    // --- Control flow ---------------------------------------------------
+    Jump {
+        target: u32,
+    },
+    /// Jump if `i[cond] == 0`.
+    JumpIfZI {
+        cond: u32,
+        target: u32,
+    },
+    /// Jump if `f[cond] == 0.0`.
+    JumpIfZF {
+        cond: u32,
+        target: u32,
+    },
+    /// Jump to `exit` if `i[counter] >= i[limit]` (handles `count <= 0`).
+    LoopHead {
+        counter: u32,
+        limit: u32,
+        exit: u32,
+    },
+    /// `i[counter] += 1; goto head`.
+    LoopBack {
+        counter: u32,
+        head: u32,
+    },
+    /// `i[var] = (i[counter] as i32) as i64` — the loop variable is
+    /// declared `i32`, mirroring the tree-walker's `Value::I32(i as i32)`.
+    SetLoopVar {
+        var: u32,
+        counter: u32,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Exact-semantics scalar helpers. Every function here mirrors one code
+// path of `eval_binop` / `eval_unop` / `eval_intrinsic` / `Value::cast`
+// on the register representation; any change must keep the differential
+// suite green.
+// ---------------------------------------------------------------------
+
+fn cmp_ord(op: BinOp, lt: bool, eq: bool) -> bool {
+    match op {
+        BinOp::Eq => eq,
+        BinOp::Ne => !eq,
+        BinOp::Lt => lt,
+        BinOp::Le => lt || eq,
+        BinOp::Gt => !lt && !eq,
+        BinOp::Ge => !lt,
+        _ => unreachable!("not a comparison: {op:?}"),
+    }
+}
+
+pub(crate) fn bin_i(op: BinOp, ty: ScalarTy, a: i64, b: i64) -> i64 {
+    use BinOp::*;
+    if op.is_comparison() {
+        // Sign extension preserves order, so i64 comparison is exact for
+        // both widths.
+        return cmp_ord(op, a < b, a == b) as i64;
+    }
+    if ty == ScalarTy::I32 {
+        let x = a as i32;
+        let y = b as i32;
+        let r = match op {
+            Add => x.wrapping_add(y),
+            Sub => x.wrapping_sub(y),
+            Mul => x.wrapping_mul(y),
+            Div => {
+                if y == 0 {
+                    0
+                } else {
+                    x.wrapping_div(y)
+                }
+            }
+            Rem => {
+                if y == 0 {
+                    0
+                } else {
+                    x.wrapping_rem(y)
+                }
+            }
+            And => x & y,
+            Or => x | y,
+            Xor => x ^ y,
+            Shl => x.wrapping_shl(y as u32),
+            Shr => x.wrapping_shr(y as u32),
+            _ => unreachable!(),
+        };
+        r as i64
+    } else {
+        match op {
+            Add => a.wrapping_add(b),
+            Sub => a.wrapping_sub(b),
+            Mul => a.wrapping_mul(b),
+            Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            And => a & b,
+            Or => a | b,
+            Xor => a ^ b,
+            Shl => a.wrapping_shl(b as u32),
+            Shr => a.wrapping_shr(b as u32),
+            _ => unreachable!(),
+        }
+    }
+}
+
+pub(crate) fn bin_f(op: BinOp, ty: ScalarTy, a: f64, b: f64) -> f64 {
+    use BinOp::*;
+    if ty == ScalarTy::F32 {
+        let x = a as f32;
+        let y = b as f32;
+        (match op {
+            Add => x + y,
+            Sub => x - y,
+            Mul => x * y,
+            Div => x / y,
+            Rem => x % y,
+            _ => unreachable!("integer-only operator {op:?} on f32"),
+        }) as f64
+    } else {
+        match op {
+            Add => a + b,
+            Sub => a - b,
+            Mul => a * b,
+            Div => a / b,
+            Rem => a % b,
+            _ => unreachable!("integer-only operator {op:?} on f64"),
+        }
+    }
+}
+
+pub(crate) fn cmp_f(op: BinOp, a: f64, b: f64) -> i64 {
+    // The tree-walker compares f32 operands after widening to f64; the
+    // registers already hold the widened values.
+    let r = match op {
+        BinOp::Eq => a == b,
+        BinOp::Ne => a != b,
+        BinOp::Lt => a < b,
+        BinOp::Le => a <= b,
+        BinOp::Gt => a > b,
+        BinOp::Ge => a >= b,
+        _ => unreachable!("not a comparison: {op:?}"),
+    };
+    r as i64
+}
+
+pub(crate) fn neg_i(ty: ScalarTy, x: i64) -> i64 {
+    if ty == ScalarTy::I32 {
+        ((x as i32).wrapping_neg()) as i64
+    } else {
+        x.wrapping_neg()
+    }
+}
+
+pub(crate) fn not_i(ty: ScalarTy, x: i64) -> i64 {
+    if ty == ScalarTy::I32 {
+        (!(x as i32)) as i64
+    } else {
+        !x
+    }
+}
+
+pub(crate) fn cast_ii(from: ScalarTy, to: ScalarTy, x: i64) -> i64 {
+    if from == ScalarTy::I64 && to == ScalarTy::I32 {
+        (x as i32) as i64
+    } else {
+        x
+    }
+}
+
+pub(crate) fn cast_if(to: ScalarTy, x: i64) -> f64 {
+    if to == ScalarTy::F32 {
+        (x as f32) as f64
+    } else {
+        x as f64
+    }
+}
+
+pub(crate) fn cast_fi(to: ScalarTy, x: f64) -> i64 {
+    if to == ScalarTy::I32 {
+        (x as i32) as i64
+    } else {
+        x as i64
+    }
+}
+
+pub(crate) fn cast_ff(to: ScalarTy, x: f64) -> f64 {
+    if to == ScalarTy::F32 {
+        (x as f32) as f64
+    } else {
+        x
+    }
+}
+
+pub(crate) fn call1_i(ty: ScalarTy, x: i64) -> i64 {
+    // Abs is the only unary integer intrinsic the compiler accepts.
+    if ty == ScalarTy::I32 {
+        ((x as i32).wrapping_abs()) as i64
+    } else {
+        x.wrapping_abs()
+    }
+}
+
+pub(crate) fn call2_i(i: Intrinsic, a: i64, b: i64) -> i64 {
+    // Min/Max: order-preserving on the sign-extended representation.
+    match i {
+        Intrinsic::Min => a.min(b),
+        Intrinsic::Max => a.max(b),
+        _ => unreachable!("integer intrinsic {i:?}"),
+    }
+}
+
+pub(crate) fn call1_f(i: Intrinsic, ty: ScalarTy, x: f64) -> f64 {
+    if i == Intrinsic::Abs {
+        return if ty == ScalarTy::F32 {
+            ((x as f32).abs()) as f64
+        } else {
+            x.abs()
+        };
+    }
+    let r = match i {
+        Intrinsic::Sin => x.sin(),
+        Intrinsic::Cos => x.cos(),
+        Intrinsic::Atan => x.atan(),
+        Intrinsic::Sqrt => x.sqrt(),
+        Intrinsic::Exp => x.exp(),
+        Intrinsic::Log => x.ln(),
+        Intrinsic::Floor => x.floor(),
+        _ => unreachable!("unary float intrinsic {i:?}"),
+    };
+    // eval_intrinsic computes transcendentals in f64 and rounds once to
+    // f32 for F32 operands.
+    if ty == ScalarTy::F32 {
+        (r as f32) as f64
+    } else {
+        r
+    }
+}
+
+pub(crate) fn call2_f(i: Intrinsic, ty: ScalarTy, a: f64, b: f64) -> f64 {
+    // Min/Max/Pow are evaluated in the operand's own domain: f64::min on
+    // widened f32 values could pick the other operand of a +/-0.0 pair.
+    if ty == ScalarTy::F32 {
+        let x = a as f32;
+        let y = b as f32;
+        (match i {
+            Intrinsic::Min => x.min(y),
+            Intrinsic::Max => x.max(y),
+            Intrinsic::Pow => x.powf(y),
+            _ => unreachable!("binary float intrinsic {i:?}"),
+        }) as f64
+    } else {
+        match i {
+            Intrinsic::Min => a.min(b),
+            Intrinsic::Max => a.max(b),
+            Intrinsic::Pow => a.powf(b),
+            _ => unreachable!("binary float intrinsic {i:?}"),
+        }
+    }
+}
+
+/// Decode a tape/channel [`Value`] into an integer register.
+///
+/// # Panics
+/// Panics if the value's type does not match the compiled element type.
+/// The compiler only emits typed tape ops when the edge element type is
+/// known, so this fires only for ill-typed programs (a producer pushing a
+/// mismatched value onto a typed edge), which the tree-walker does not
+/// diagnose either — it would silently propagate the wrong type.
+fn decode_i(v: Value, ty: ScalarTy, filter: &str) -> i64 {
+    match (ty, v) {
+        (ScalarTy::I32, Value::I32(x)) => x as i64,
+        (ScalarTy::I64, Value::I64(x)) => x,
+        _ => panic!(
+            "tape/channel value {v:?} does not match compiled element type {ty} in filter {filter}"
+        ),
+    }
+}
+
+/// Decode a tape/channel [`Value`] into a float register.
+///
+/// # Panics
+/// Same contract as [`decode_i`].
+fn decode_f(v: Value, ty: ScalarTy, filter: &str) -> f64 {
+    match (ty, v) {
+        (ScalarTy::F32, Value::F32(x)) => x as f64,
+        (ScalarTy::F64, Value::F64(x)) => x,
+        _ => panic!(
+            "tape/channel value {v:?} does not match compiled element type {ty} in filter {filter}"
+        ),
+    }
+}
+
+fn encode_i(ty: ScalarTy, x: i64) -> Value {
+    if ty == ScalarTy::I32 {
+        Value::I32(x as i32)
+    } else {
+        Value::I64(x)
+    }
+}
+
+fn encode_f(ty: ScalarTy, x: f64) -> Value {
+    if ty == ScalarTy::F32 {
+        Value::F32(x as f32)
+    } else {
+        Value::F64(x)
+    }
+}
+
+fn array_index(idx: i64, len: u32, filter: &str) -> usize {
+    let k = idx as usize;
+    assert!(
+        k < len as usize,
+        "array index {idx} out of bounds (len {len}) in filter {filter}"
+    );
+    k
+}
+
+fn slice_index(idx: i64, w: u32, len: u32, filter: &str) -> usize {
+    let k = idx as usize;
+    assert!(
+        k <= len as usize && len as usize - k >= w as usize,
+        "vector slice {idx}..+{w} out of bounds (len {len}) in filter {filter}"
+    );
+    k
+}
+
+/// Execute one compiled body (`plan.init` or `plan.work`).
+///
+/// `in_cost` / `out_cost` are the per-access reorder address costs of the
+/// input/output edge (see [`crate::firing::edge_addr_cost`]).
+///
+/// # Errors
+/// Returns [`VmError::MissingTape`] when a tape op runs without the
+/// corresponding tape (e.g. tape ops inside `init`, which always runs
+/// tape-less) and [`VmError::ChannelUnderflow`] on internal-channel
+/// underflow — the same failures, with the same payloads, as the
+/// tree-walker.
+///
+/// # Panics
+/// Panics where the tree-walker panics: empty-tape pops, out-of-bounds
+/// array accesses, reorder-mode violations.
+#[allow(clippy::too_many_arguments)]
+pub fn run_code(
+    plan: &CompiledFilter,
+    code: &[Op],
+    regs: &mut Regs,
+    chans: &mut [VecDeque<Value>],
+    mut input: Option<&mut Tape>,
+    mut output: Option<&mut Tape>,
+    in_cost: u64,
+    out_cost: u64,
+    counters: &mut CycleCounters,
+) -> Result<(), VmError> {
+    macro_rules! tape {
+        ($side:ident, $v:expr) => {
+            match $v.as_deref_mut() {
+                Some(t) => t,
+                None => {
+                    return Err(VmError::MissingTape {
+                        filter: plan.name.clone(),
+                        side: TapeSide::$side,
+                    })
+                }
+            }
+        };
+    }
+    macro_rules! underflow {
+        ($chan:expr) => {
+            return Err(VmError::ChannelUnderflow {
+                filter: plan.name.clone(),
+                chan: $chan,
+            })
+        };
+    }
+
+    let mut pc = 0usize;
+    while pc < code.len() {
+        match &code[pc] {
+            Op::Charge(idx) => {
+                let e = &plan.charges[*idx as usize];
+                counters.absorb(&e.counters);
+                counters.addr_overhead += e.in_addr * in_cost + e.out_addr * out_cost;
+            }
+
+            Op::ConstI { dst, v } => regs.i[*dst as usize] = *v,
+            Op::ConstF { dst, v } => regs.f[*dst as usize] = *v,
+            Op::ConstVecI { dst, vals } => {
+                regs.i[*dst as usize..*dst as usize + vals.len()].copy_from_slice(vals);
+            }
+            Op::ConstVecF { dst, vals } => {
+                regs.f[*dst as usize..*dst as usize + vals.len()].copy_from_slice(vals);
+            }
+            Op::MovI { dst, src } => regs.i[*dst as usize] = regs.i[*src as usize],
+            Op::MovF { dst, src } => regs.f[*dst as usize] = regs.f[*src as usize],
+            Op::MovNI { dst, src, w } => {
+                regs.i
+                    .copy_within(*src as usize..(*src + *w) as usize, *dst as usize);
+            }
+            Op::MovNF { dst, src, w } => {
+                regs.f
+                    .copy_within(*src as usize..(*src + *w) as usize, *dst as usize);
+            }
+            Op::FToI { dst, a } => regs.i[*dst as usize] = regs.f[*a as usize] as i64,
+
+            Op::BinI { op, ty, dst, a, b } => {
+                regs.i[*dst as usize] = bin_i(*op, *ty, regs.i[*a as usize], regs.i[*b as usize]);
+            }
+            Op::BinF { op, ty, dst, a, b } => {
+                regs.f[*dst as usize] = bin_f(*op, *ty, regs.f[*a as usize], regs.f[*b as usize]);
+            }
+            Op::CmpF { op, dst, a, b } => {
+                regs.i[*dst as usize] = cmp_f(*op, regs.f[*a as usize], regs.f[*b as usize]);
+            }
+            Op::NegI { ty, dst, a } => regs.i[*dst as usize] = neg_i(*ty, regs.i[*a as usize]),
+            Op::NegF { dst, a } => regs.f[*dst as usize] = -regs.f[*a as usize],
+            Op::NotI { ty, dst, a } => regs.i[*dst as usize] = not_i(*ty, regs.i[*a as usize]),
+            Op::LogNotI { dst, a } => {
+                regs.i[*dst as usize] = (regs.i[*a as usize] == 0) as i64;
+            }
+            Op::LogNotF { dst, a } => {
+                regs.i[*dst as usize] = (regs.f[*a as usize] == 0.0) as i64;
+            }
+
+            Op::VBinI {
+                op,
+                ty,
+                dst,
+                a,
+                b,
+                w,
+            } => {
+                for k in 0..*w as usize {
+                    regs.i[*dst as usize + k] =
+                        bin_i(*op, *ty, regs.i[*a as usize + k], regs.i[*b as usize + k]);
+                }
+            }
+            Op::VBinF {
+                op,
+                ty,
+                dst,
+                a,
+                b,
+                w,
+            } => {
+                for k in 0..*w as usize {
+                    regs.f[*dst as usize + k] =
+                        bin_f(*op, *ty, regs.f[*a as usize + k], regs.f[*b as usize + k]);
+                }
+            }
+            Op::VCmpF { op, dst, a, b, w } => {
+                for k in 0..*w as usize {
+                    regs.i[*dst as usize + k] =
+                        cmp_f(*op, regs.f[*a as usize + k], regs.f[*b as usize + k]);
+                }
+            }
+            Op::VNegI { ty, dst, a, w } => {
+                for k in 0..*w as usize {
+                    regs.i[*dst as usize + k] = neg_i(*ty, regs.i[*a as usize + k]);
+                }
+            }
+            Op::VNegF { dst, a, w } => {
+                for k in 0..*w as usize {
+                    regs.f[*dst as usize + k] = -regs.f[*a as usize + k];
+                }
+            }
+            Op::VNotI { ty, dst, a, w } => {
+                for k in 0..*w as usize {
+                    regs.i[*dst as usize + k] = not_i(*ty, regs.i[*a as usize + k]);
+                }
+            }
+            Op::VLogNotI { dst, a, w } => {
+                for k in 0..*w as usize {
+                    regs.i[*dst as usize + k] = (regs.i[*a as usize + k] == 0) as i64;
+                }
+            }
+            Op::VLogNotF { dst, a, w } => {
+                for k in 0..*w as usize {
+                    regs.i[*dst as usize + k] = (regs.f[*a as usize + k] == 0.0) as i64;
+                }
+            }
+
+            Op::CastII { from, to, dst, a } => {
+                regs.i[*dst as usize] = cast_ii(*from, *to, regs.i[*a as usize]);
+            }
+            Op::CastIF { to, dst, a } => {
+                regs.f[*dst as usize] = cast_if(*to, regs.i[*a as usize]);
+            }
+            Op::CastFI { to, dst, a } => {
+                regs.i[*dst as usize] = cast_fi(*to, regs.f[*a as usize]);
+            }
+            Op::CastFF { to, dst, a } => {
+                regs.f[*dst as usize] = cast_ff(*to, regs.f[*a as usize]);
+            }
+            Op::VCastII {
+                from,
+                to,
+                dst,
+                a,
+                w,
+            } => {
+                for k in 0..*w as usize {
+                    regs.i[*dst as usize + k] = cast_ii(*from, *to, regs.i[*a as usize + k]);
+                }
+            }
+            Op::VCastIF { to, dst, a, w } => {
+                for k in 0..*w as usize {
+                    regs.f[*dst as usize + k] = cast_if(*to, regs.i[*a as usize + k]);
+                }
+            }
+            Op::VCastFI { to, dst, a, w } => {
+                for k in 0..*w as usize {
+                    regs.i[*dst as usize + k] = cast_fi(*to, regs.f[*a as usize + k]);
+                }
+            }
+            Op::VCastFF { to, dst, a, w } => {
+                for k in 0..*w as usize {
+                    regs.f[*dst as usize + k] = cast_ff(*to, regs.f[*a as usize + k]);
+                }
+            }
+
+            Op::Call1I { i, ty, dst, a } => {
+                debug_assert_eq!(*i, Intrinsic::Abs);
+                regs.i[*dst as usize] = call1_i(*ty, regs.i[*a as usize]);
+            }
+            Op::Call2I { i, dst, a, b } => {
+                regs.i[*dst as usize] = call2_i(*i, regs.i[*a as usize], regs.i[*b as usize]);
+            }
+            Op::Call1F { i, ty, dst, a } => {
+                regs.f[*dst as usize] = call1_f(*i, *ty, regs.f[*a as usize]);
+            }
+            Op::Call2F { i, ty, dst, a, b } => {
+                regs.f[*dst as usize] = call2_f(*i, *ty, regs.f[*a as usize], regs.f[*b as usize]);
+            }
+            Op::VCall1I { i, ty, dst, a, w } => {
+                debug_assert_eq!(*i, Intrinsic::Abs);
+                for k in 0..*w as usize {
+                    regs.i[*dst as usize + k] = call1_i(*ty, regs.i[*a as usize + k]);
+                }
+            }
+            Op::VCall2I { i, dst, a, b, w } => {
+                for k in 0..*w as usize {
+                    regs.i[*dst as usize + k] =
+                        call2_i(*i, regs.i[*a as usize + k], regs.i[*b as usize + k]);
+                }
+            }
+            Op::VCall1F { i, ty, dst, a, w } => {
+                for k in 0..*w as usize {
+                    regs.f[*dst as usize + k] = call1_f(*i, *ty, regs.f[*a as usize + k]);
+                }
+            }
+            Op::VCall2F {
+                i,
+                ty,
+                dst,
+                a,
+                b,
+                w,
+            } => {
+                for k in 0..*w as usize {
+                    regs.f[*dst as usize + k] =
+                        call2_f(*i, *ty, regs.f[*a as usize + k], regs.f[*b as usize + k]);
+                }
+            }
+
+            Op::SplatI { dst, a, w } => {
+                let v = regs.i[*a as usize];
+                regs.i[*dst as usize..(*dst + *w) as usize].fill(v);
+            }
+            Op::SplatF { dst, a, w } => {
+                let v = regs.f[*a as usize];
+                regs.f[*dst as usize..(*dst + *w) as usize].fill(v);
+            }
+            Op::PermI {
+                parity,
+                dst,
+                a,
+                b,
+                w,
+            } => {
+                let w = *w as usize;
+                for k in 0..w {
+                    let pos = *parity as usize + 2 * k;
+                    let v = if pos < w {
+                        regs.i[*a as usize + pos]
+                    } else {
+                        regs.i[*b as usize + pos - w]
+                    };
+                    regs.i[*dst as usize + k] = v;
+                }
+            }
+            Op::PermF {
+                parity,
+                dst,
+                a,
+                b,
+                w,
+            } => {
+                let w = *w as usize;
+                for k in 0..w {
+                    let pos = *parity as usize + 2 * k;
+                    let v = if pos < w {
+                        regs.f[*a as usize + pos]
+                    } else {
+                        regs.f[*b as usize + pos - w]
+                    };
+                    regs.f[*dst as usize + k] = v;
+                }
+            }
+
+            Op::LoadIdxI {
+                dst,
+                base,
+                len,
+                idx,
+            } => {
+                let k = array_index(regs.i[*idx as usize], *len, &plan.name);
+                regs.i[*dst as usize] = regs.i[*base as usize + k];
+            }
+            Op::LoadIdxF {
+                dst,
+                base,
+                len,
+                idx,
+            } => {
+                let k = array_index(regs.i[*idx as usize], *len, &plan.name);
+                regs.f[*dst as usize] = regs.f[*base as usize + k];
+            }
+            Op::LoadVElemI {
+                dst,
+                base,
+                len,
+                idx,
+                w,
+            } => {
+                let k = array_index(regs.i[*idx as usize], *len, &plan.name);
+                let s = *base as usize + k * *w as usize;
+                regs.i.copy_within(s..s + *w as usize, *dst as usize);
+            }
+            Op::LoadVElemF {
+                dst,
+                base,
+                len,
+                idx,
+                w,
+            } => {
+                let k = array_index(regs.i[*idx as usize], *len, &plan.name);
+                let s = *base as usize + k * *w as usize;
+                regs.f.copy_within(s..s + *w as usize, *dst as usize);
+            }
+            Op::LoadVSliceI {
+                dst,
+                base,
+                len,
+                idx,
+                w,
+            } => {
+                let k = slice_index(regs.i[*idx as usize], *w, *len, &plan.name);
+                let s = *base as usize + k;
+                regs.i.copy_within(s..s + *w as usize, *dst as usize);
+            }
+            Op::LoadVSliceF {
+                dst,
+                base,
+                len,
+                idx,
+                w,
+            } => {
+                let k = slice_index(regs.i[*idx as usize], *w, *len, &plan.name);
+                let s = *base as usize + k;
+                regs.f.copy_within(s..s + *w as usize, *dst as usize);
+            }
+            Op::StoreIdxI {
+                base,
+                len,
+                idx,
+                src,
+            } => {
+                let k = array_index(regs.i[*idx as usize], *len, &plan.name);
+                regs.i[*base as usize + k] = regs.i[*src as usize];
+            }
+            Op::StoreIdxF {
+                base,
+                len,
+                idx,
+                src,
+            } => {
+                let k = array_index(regs.i[*idx as usize], *len, &plan.name);
+                regs.f[*base as usize + k] = regs.f[*src as usize];
+            }
+            Op::StoreVElemI {
+                base,
+                len,
+                idx,
+                src,
+                w,
+            } => {
+                let k = array_index(regs.i[*idx as usize], *len, &plan.name);
+                let d = *base as usize + k * *w as usize;
+                regs.i.copy_within(*src as usize..(*src + *w) as usize, d);
+            }
+            Op::StoreVElemF {
+                base,
+                len,
+                idx,
+                src,
+                w,
+            } => {
+                let k = array_index(regs.i[*idx as usize], *len, &plan.name);
+                let d = *base as usize + k * *w as usize;
+                regs.f.copy_within(*src as usize..(*src + *w) as usize, d);
+            }
+            Op::StoreVSliceI {
+                base,
+                len,
+                idx,
+                src,
+                w,
+            } => {
+                let k = slice_index(regs.i[*idx as usize], *w, *len, &plan.name);
+                let d = *base as usize + k;
+                regs.i.copy_within(*src as usize..(*src + *w) as usize, d);
+            }
+            Op::StoreVSliceF {
+                base,
+                len,
+                idx,
+                src,
+                w,
+            } => {
+                let k = slice_index(regs.i[*idx as usize], *w, *len, &plan.name);
+                let d = *base as usize + k;
+                regs.f.copy_within(*src as usize..(*src + *w) as usize, d);
+            }
+            Op::LaneStoreI {
+                base,
+                len,
+                idx,
+                lane,
+                w,
+                src,
+            } => {
+                let k = array_index(regs.i[*idx as usize], *len, &plan.name);
+                regs.i[*base as usize + k * *w as usize + *lane as usize] = regs.i[*src as usize];
+            }
+            Op::LaneStoreF {
+                base,
+                len,
+                idx,
+                lane,
+                w,
+                src,
+            } => {
+                let k = array_index(regs.i[*idx as usize], *len, &plan.name);
+                regs.f[*base as usize + k * *w as usize + *lane as usize] = regs.f[*src as usize];
+            }
+
+            Op::PopI { ty, dst } => {
+                let v = tape!(Input, input).pop();
+                regs.i[*dst as usize] = decode_i(v, *ty, &plan.name);
+            }
+            Op::PopF { ty, dst } => {
+                let v = tape!(Input, input).pop();
+                regs.f[*dst as usize] = decode_f(v, *ty, &plan.name);
+            }
+            Op::PeekI { ty, dst, off } => {
+                let o = regs.i[*off as usize] as usize;
+                let v = tape!(Input, input).peek(o);
+                regs.i[*dst as usize] = decode_i(v, *ty, &plan.name);
+            }
+            Op::PeekF { ty, dst, off } => {
+                let o = regs.i[*off as usize] as usize;
+                let v = tape!(Input, input).peek(o);
+                regs.f[*dst as usize] = decode_f(v, *ty, &plan.name);
+            }
+            Op::VPopI { ty, dst, w } => {
+                let t = tape!(Input, input);
+                let (a, b) = t.vpop_slices(*w as usize);
+                let d = *dst as usize;
+                for (k, v) in a.iter().chain(b.iter()).enumerate() {
+                    regs.i[d + k] = decode_i(*v, *ty, &plan.name);
+                }
+            }
+            Op::VPopF { ty, dst, w } => {
+                let t = tape!(Input, input);
+                let (a, b) = t.vpop_slices(*w as usize);
+                let d = *dst as usize;
+                for (k, v) in a.iter().chain(b.iter()).enumerate() {
+                    regs.f[d + k] = decode_f(*v, *ty, &plan.name);
+                }
+            }
+            Op::VPeekI { ty, dst, off, w } => {
+                let o = regs.i[*off as usize] as usize;
+                let t = tape!(Input, input);
+                let (a, b) = t.vpeek_slices(o, *w as usize);
+                let d = *dst as usize;
+                for (k, v) in a.iter().chain(b.iter()).enumerate() {
+                    regs.i[d + k] = decode_i(*v, *ty, &plan.name);
+                }
+            }
+            Op::VPeekF { ty, dst, off, w } => {
+                let o = regs.i[*off as usize] as usize;
+                let t = tape!(Input, input);
+                let (a, b) = t.vpeek_slices(o, *w as usize);
+                let d = *dst as usize;
+                for (k, v) in a.iter().chain(b.iter()).enumerate() {
+                    regs.f[d + k] = decode_f(*v, *ty, &plan.name);
+                }
+            }
+            Op::AdvRead { n } => tape!(Input, input).advance_read(*n as usize),
+
+            Op::PushI { ty, src } => {
+                let v = encode_i(*ty, regs.i[*src as usize]);
+                tape!(Output, output).push(v);
+            }
+            Op::PushF { ty, src } => {
+                let v = encode_f(*ty, regs.f[*src as usize]);
+                tape!(Output, output).push(v);
+            }
+            Op::RPushI { ty, src, off } => {
+                let v = encode_i(*ty, regs.i[*src as usize]);
+                let o = regs.i[*off as usize] as usize;
+                tape!(Output, output).rpush(v, o);
+            }
+            Op::RPushF { ty, src, off } => {
+                let v = encode_f(*ty, regs.f[*src as usize]);
+                let o = regs.i[*off as usize] as usize;
+                tape!(Output, output).rpush(v, o);
+            }
+            Op::VPushI { ty, src, w } => {
+                let ty = *ty;
+                let s = *src as usize;
+                let i = &regs.i;
+                tape!(Output, output).vpush_many(*w as usize, |k| encode_i(ty, i[s + k]));
+            }
+            Op::VPushF { ty, src, w } => {
+                let ty = *ty;
+                let s = *src as usize;
+                let f = &regs.f;
+                tape!(Output, output).vpush_many(*w as usize, |k| encode_f(ty, f[s + k]));
+            }
+            Op::AdvWrite { n } => tape!(Output, output).advance_write(*n as usize),
+
+            Op::LPopI { ty, chan, dst } => match chans[*chan as usize].pop_front() {
+                Some(v) => regs.i[*dst as usize] = decode_i(v, *ty, &plan.name),
+                None => underflow!(format!("ch{chan}")),
+            },
+            Op::LPopF { ty, chan, dst } => match chans[*chan as usize].pop_front() {
+                Some(v) => regs.f[*dst as usize] = decode_f(v, *ty, &plan.name),
+                None => underflow!(format!("ch{chan}")),
+            },
+            Op::LVPopI { ty, chan, dst, w } => {
+                let ch = &mut chans[*chan as usize];
+                if ch.len() < *w as usize {
+                    underflow!(format!("ch{chan} (vector)"));
+                }
+                for k in 0..*w as usize {
+                    let v = ch.pop_front().expect("length checked");
+                    regs.i[*dst as usize + k] = decode_i(v, *ty, &plan.name);
+                }
+            }
+            Op::LVPopF { ty, chan, dst, w } => {
+                let ch = &mut chans[*chan as usize];
+                if ch.len() < *w as usize {
+                    underflow!(format!("ch{chan} (vector)"));
+                }
+                for k in 0..*w as usize {
+                    let v = ch.pop_front().expect("length checked");
+                    regs.f[*dst as usize + k] = decode_f(v, *ty, &plan.name);
+                }
+            }
+            Op::LPushI { ty, chan, src } => {
+                let v = encode_i(*ty, regs.i[*src as usize]);
+                chans[*chan as usize].push_back(v);
+            }
+            Op::LPushF { ty, chan, src } => {
+                let v = encode_f(*ty, regs.f[*src as usize]);
+                chans[*chan as usize].push_back(v);
+            }
+            Op::LVPushI { ty, chan, src, w } => {
+                for k in 0..*w as usize {
+                    let v = encode_i(*ty, regs.i[*src as usize + k]);
+                    chans[*chan as usize].push_back(v);
+                }
+            }
+            Op::LVPushF { ty, chan, src, w } => {
+                for k in 0..*w as usize {
+                    let v = encode_f(*ty, regs.f[*src as usize + k]);
+                    chans[*chan as usize].push_back(v);
+                }
+            }
+
+            Op::Jump { target } => {
+                pc = *target as usize;
+                continue;
+            }
+            Op::JumpIfZI { cond, target } => {
+                if regs.i[*cond as usize] == 0 {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            Op::JumpIfZF { cond, target } => {
+                if regs.f[*cond as usize] == 0.0 {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            Op::LoopHead {
+                counter,
+                limit,
+                exit,
+            } => {
+                if regs.i[*counter as usize] >= regs.i[*limit as usize] {
+                    pc = *exit as usize;
+                    continue;
+                }
+            }
+            Op::LoopBack { counter, head } => {
+                regs.i[*counter as usize] += 1;
+                pc = *head as usize;
+                continue;
+            }
+            Op::SetLoopVar { var, counter } => {
+                regs.i[*var as usize] = (regs.i[*counter as usize] as i32) as i64;
+            }
+        }
+        pc += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i32_arithmetic_wraps_in_narrow_domain() {
+        let a = (i32::MAX as i64) + 5; // out-of-invariant input would differ; use in-range
+        let x = i32::MAX as i64;
+        assert_eq!(bin_i(BinOp::Add, ScalarTy::I32, x, 1), i32::MIN as i64);
+        assert_eq!(bin_i(BinOp::Add, ScalarTy::I64, x, 1), x + 1);
+        let _ = a;
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        assert_eq!(bin_i(BinOp::Div, ScalarTy::I32, 7, 0), 0);
+        assert_eq!(bin_i(BinOp::Rem, ScalarTy::I64, 7, 0), 0);
+    }
+
+    #[test]
+    fn comparisons_yield_zero_one() {
+        assert_eq!(bin_i(BinOp::Lt, ScalarTy::I32, -1, 1), 1);
+        assert_eq!(bin_i(BinOp::Ge, ScalarTy::I64, -1, 1), 0);
+        assert_eq!(cmp_f(BinOp::Le, 1.5, 1.5), 1);
+        assert_eq!(cmp_f(BinOp::Ne, f64::NAN, f64::NAN), 1);
+    }
+
+    #[test]
+    fn f32_arithmetic_rounds_per_op() {
+        // 1e8 + 1 is not representable in f32; the f32 domain must round.
+        let a = 1.0e8f32 as f64;
+        let r = bin_f(BinOp::Add, ScalarTy::F32, a, 1.0);
+        assert_eq!(r, (1.0e8f32 + 1.0f32) as f64);
+        let r64 = bin_f(BinOp::Add, ScalarTy::F64, a, 1.0);
+        assert_eq!(r64, a + 1.0);
+    }
+
+    #[test]
+    fn casts_match_value_cast() {
+        use macross_streamir::types::Value;
+        // F64 -> I32 saturation.
+        assert_eq!(
+            cast_fi(ScalarTy::I32, 1e12),
+            Value::F64(1e12).cast(ScalarTy::I32).as_i64()
+        );
+        // I64 -> I32 truncation, re-extended.
+        assert_eq!(cast_ii(ScalarTy::I64, ScalarTy::I32, 1 << 40), 0);
+        // F64 -> F32 rounding.
+        assert_eq!(cast_ff(ScalarTy::F32, 1.0e-300), 0.0);
+    }
+
+    #[test]
+    fn charge_entry_zero_detection() {
+        assert!(ChargeEntry::default().is_zero());
+        let e = ChargeEntry {
+            in_addr: 1,
+            ..Default::default()
+        };
+        assert!(!e.is_zero());
+    }
+
+    #[test]
+    fn straight_line_code_runs() {
+        let plan = CompiledFilter {
+            name: "t".into(),
+            int_regs: 3,
+            float_regs: 0,
+            zero_i: vec![],
+            zero_f: vec![],
+            init: vec![],
+            work: vec![
+                Op::ConstI { dst: 0, v: 20 },
+                Op::ConstI { dst: 1, v: 22 },
+                Op::BinI {
+                    op: BinOp::Add,
+                    ty: ScalarTy::I32,
+                    dst: 2,
+                    a: 0,
+                    b: 1,
+                },
+            ],
+            charges: vec![],
+        };
+        let mut regs = Regs::new(3, 0);
+        let mut counters = CycleCounters::default();
+        run_code(
+            &plan,
+            &plan.work,
+            &mut regs,
+            &mut [],
+            None,
+            None,
+            0,
+            0,
+            &mut counters,
+        )
+        .unwrap();
+        assert_eq!(regs.i[2], 42);
+    }
+
+    #[test]
+    fn missing_tape_is_reported() {
+        let plan = CompiledFilter {
+            name: "no_tape".into(),
+            int_regs: 1,
+            float_regs: 0,
+            zero_i: vec![],
+            zero_f: vec![],
+            init: vec![],
+            work: vec![Op::PopI {
+                ty: ScalarTy::I32,
+                dst: 0,
+            }],
+            charges: vec![],
+        };
+        let mut regs = Regs::new(1, 0);
+        let mut counters = CycleCounters::default();
+        let err = run_code(
+            &plan,
+            &plan.work,
+            &mut regs,
+            &mut [],
+            None,
+            None,
+            0,
+            0,
+            &mut counters,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            VmError::MissingTape {
+                filter: "no_tape".into(),
+                side: TapeSide::Input
+            }
+        );
+    }
+}

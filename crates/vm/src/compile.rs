@@ -1,0 +1,1410 @@
+//! The firing compiler: lowers a filter's `init`/`work` statement trees
+//! into the flat register bytecode of [`crate::bytecode`].
+//!
+//! Compilation is **all-or-nothing per filter**: if any construct cannot
+//! be lowered with provably identical semantics — ill-typed stores that
+//! the dynamically-typed tree-walker would tolerate (or fail on at run
+//! time), unknown tape element types, shape mismatches — the compiler
+//! returns `None` and the filter keeps tree-walking. That guarantee is
+//! what lets the differential suite demand bit-identical outputs *and*
+//! identical error behaviour: the bytecode path only ever runs programs
+//! whose every operation it can reproduce exactly.
+//!
+//! # Register allocation
+//!
+//! Declared variables get fixed register windows (scalars one register,
+//! vectors `w`, arrays `n`, vector-arrays `w*n`), split by class into the
+//! integer and float files. Expression temporaries are bump-allocated
+//! above the variable windows and released per statement, so the register
+//! files stay small; destination registers of value-producing ops are
+//! always fresh, which is the no-aliasing invariant the vector ops in the
+//! VM rely on.
+//!
+//! # Cycle accounting
+//!
+//! Every charge the tree-walker makes is accumulated into a pending
+//! [`ChargeEntry`] and flushed as a single [`Op::Charge`] per basic
+//! block (at branches, loop-body ends, and function ends). Counter
+//! fields are `u64` sums, so aggregation order cannot change totals;
+//! per-access input/output reorder costs are kept as *counts* and
+//! multiplied by the edge costs at run time, exactly like the
+//! tree-walker's incremental additions.
+
+use crate::bytecode::{ChargeEntry, CompiledFilter, Op};
+use crate::machine::Machine;
+use macross_streamir::expr::{BinOp, Expr, Intrinsic, LValue, UnOp};
+use macross_streamir::filter::{Filter, VarKind};
+use macross_streamir::stmt::Stmt;
+use macross_streamir::types::{ScalarTy, Ty, Value};
+
+/// A compiled expression value: a scalar register or `w` consecutive
+/// registers, in the file selected by `ty`'s class.
+#[derive(Debug, Clone, Copy)]
+struct Operand {
+    ty: ScalarTy,
+    /// `None` for scalars, `Some(w)` for vectors.
+    w: Option<u32>,
+    reg: u32,
+}
+
+impl Operand {
+    fn is_float(&self) -> bool {
+        self.ty.is_float()
+    }
+}
+
+/// A declared variable's register window.
+#[derive(Debug, Clone, Copy)]
+struct VarSlot {
+    ty: Ty,
+    base: u32,
+}
+
+struct Compiler<'a> {
+    machine: &'a Machine,
+    in_elem: Option<ScalarTy>,
+    out_elem: Option<ScalarTy>,
+    chan_elems: Vec<ScalarTy>,
+    vars: Vec<VarSlot>,
+    code: Vec<Op>,
+    charges: Vec<ChargeEntry>,
+    pending: ChargeEntry,
+    cur_i: u32,
+    cur_f: u32,
+    max_i: u32,
+    max_f: u32,
+}
+
+fn window_len(ty: Ty) -> Option<u32> {
+    let n = match ty {
+        Ty::Scalar(_) => 1,
+        Ty::Vector(_, w) => w,
+        Ty::Array(_, n) => n,
+        Ty::VectorArray(_, w, n) => w.checked_mul(n)?,
+    };
+    u32::try_from(n).ok()
+}
+
+/// Compile a filter's `init` and `work` bodies to bytecode.
+///
+/// `in_elem` / `out_elem` are the element types of the filter's
+/// input/output edges (`None` when the filter has no such edge — any tape
+/// op then forces a fallback, since its element type is unknowable).
+/// Returns `None` when any construct cannot be lowered exactly; the
+/// caller must then keep the tree-walking engine for this filter.
+pub fn compile_filter(
+    filter: &Filter,
+    in_elem: Option<ScalarTy>,
+    out_elem: Option<ScalarTy>,
+    machine: &Machine,
+) -> Option<CompiledFilter> {
+    let mut vars = Vec::with_capacity(filter.vars.len());
+    let mut zero_i = Vec::new();
+    let mut zero_f = Vec::new();
+    let mut ni = 0u32;
+    let mut nf = 0u32;
+    for decl in &filter.vars {
+        let len = window_len(decl.ty)?;
+        let (cursor, zeros) = if decl.ty.elem().is_float() {
+            (&mut nf, &mut zero_f)
+        } else {
+            (&mut ni, &mut zero_i)
+        };
+        let base = *cursor;
+        *cursor = cursor.checked_add(len)?;
+        if decl.kind == VarKind::Local && len > 0 {
+            zeros.push((base, len));
+        }
+        vars.push(VarSlot { ty: decl.ty, base });
+    }
+    let mut c = Compiler {
+        machine,
+        in_elem,
+        out_elem,
+        chan_elems: filter.chans.iter().map(|ch| ch.ty.elem()).collect(),
+        vars,
+        code: Vec::new(),
+        charges: Vec::new(),
+        pending: ChargeEntry::default(),
+        cur_i: ni,
+        cur_f: nf,
+        max_i: ni,
+        max_f: nf,
+    };
+    let init = c.compile_body(&filter.init)?;
+    let work = c.compile_body(&filter.work)?;
+    Some(CompiledFilter {
+        name: filter.name.clone(),
+        int_regs: c.max_i,
+        float_regs: c.max_f,
+        zero_i,
+        zero_f,
+        init,
+        work,
+        charges: c.charges,
+    })
+}
+
+impl<'a> Compiler<'a> {
+    fn compile_body(&mut self, stmts: &[Stmt]) -> Option<Vec<Op>> {
+        debug_assert!(self.pending.is_zero());
+        self.code = Vec::new();
+        self.compile_block(stmts)?;
+        self.flush();
+        Some(std::mem::take(&mut self.code))
+    }
+
+    fn compile_block(&mut self, stmts: &[Stmt]) -> Option<()> {
+        for s in stmts {
+            // Expression temporaries live only for their statement.
+            let (ci, cf) = (self.cur_i, self.cur_f);
+            self.compile_stmt(s)?;
+            self.cur_i = ci;
+            self.cur_f = cf;
+        }
+        Some(())
+    }
+
+    fn emit(&mut self, op: Op) {
+        self.code.push(op);
+    }
+
+    /// Emit an op whose jump target will be patched later.
+    fn emit_patch(&mut self, op: Op) -> usize {
+        self.code.push(op);
+        self.code.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.code[at] {
+            Op::Jump { target: t }
+            | Op::JumpIfZI { target: t, .. }
+            | Op::JumpIfZF { target: t, .. }
+            | Op::LoopHead { exit: t, .. } => *t = target,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    /// Flush pending charges as a single `Charge` op (basic-block end).
+    fn flush(&mut self) {
+        if self.pending.is_zero() {
+            return;
+        }
+        let idx = self.charges.len() as u32;
+        self.charges.push(self.pending);
+        self.pending = ChargeEntry::default();
+        self.emit(Op::Charge(idx));
+    }
+
+    fn alloc(&mut self, float: bool, n: u32) -> u32 {
+        if float {
+            let r = self.cur_f;
+            self.cur_f += n;
+            self.max_f = self.max_f.max(self.cur_f);
+            r
+        } else {
+            let r = self.cur_i;
+            self.cur_i += n;
+            self.max_i = self.max_i.max(self.cur_i);
+            r
+        }
+    }
+
+    /// An index/offset/count register: scalar operand as `i64` (floats go
+    /// through the free `as_i64` conversion, like the tree-walker).
+    fn as_index(&mut self, op: Operand) -> Option<u32> {
+        if op.w.is_some() {
+            return None;
+        }
+        if op.is_float() {
+            let dst = self.alloc(false, 1);
+            self.emit(Op::FToI { dst, a: op.reg });
+            Some(dst)
+        } else {
+            Some(op.reg)
+        }
+    }
+
+    fn scalar_binop_cost(&self, op: BinOp) -> u64 {
+        match op {
+            BinOp::Mul => self.machine.cost.mul,
+            BinOp::Div | BinOp::Rem => self.machine.cost.div,
+            _ => self.machine.cost.alu,
+        }
+    }
+
+    fn vector_binop_cost(&self, op: BinOp) -> u64 {
+        match op {
+            BinOp::Mul => self.machine.cost.vmul,
+            BinOp::Div | BinOp::Rem => self.machine.cost.vdiv,
+            _ => self.machine.cost.valu,
+        }
+    }
+
+    fn compile_stmt(&mut self, s: &Stmt) -> Option<()> {
+        match s {
+            Stmt::Assign(lv, e) => {
+                let val = self.compile_expr(e)?;
+                self.compile_store(lv, val)
+            }
+            Stmt::Push(e) => {
+                let val = self.compile_expr(e)?;
+                let ty = self.out_elem?;
+                if val.w.is_some() || val.ty != ty {
+                    return None;
+                }
+                self.pending.counters.mem_scalar += self.machine.cost.store;
+                self.pending.out_addr += 1;
+                self.emit(if val.is_float() {
+                    Op::PushF { ty, src: val.reg }
+                } else {
+                    Op::PushI { ty, src: val.reg }
+                });
+                Some(())
+            }
+            Stmt::RPush { value, offset } => {
+                let val = self.compile_expr(value)?;
+                let ty = self.out_elem?;
+                if val.w.is_some() || val.ty != ty {
+                    return None;
+                }
+                let off = self.compile_expr(offset)?;
+                let off = self.as_index(off)?;
+                self.pending.counters.mem_scalar += self.machine.cost.store;
+                // rpush pays a flat ALU for its offset arithmetic, not the
+                // per-edge reorder cost (the producer *is* the reorderer).
+                self.pending.counters.addr_overhead += self.machine.cost.alu;
+                self.emit(if val.is_float() {
+                    Op::RPushF {
+                        ty,
+                        src: val.reg,
+                        off,
+                    }
+                } else {
+                    Op::RPushI {
+                        ty,
+                        src: val.reg,
+                        off,
+                    }
+                });
+                Some(())
+            }
+            Stmt::VPush { value, width } => {
+                let val = self.compile_expr(value)?;
+                let ty = self.out_elem?;
+                if val.ty != ty || val.w != Some(u32::try_from(*width).ok()?) {
+                    return None;
+                }
+                self.pending.counters.mem_vector += self.machine.cost.vstore;
+                let w = val.w.expect("checked vector");
+                self.emit(if val.is_float() {
+                    Op::VPushF {
+                        ty,
+                        src: val.reg,
+                        w,
+                    }
+                } else {
+                    Op::VPushI {
+                        ty,
+                        src: val.reg,
+                        w,
+                    }
+                });
+                Some(())
+            }
+            Stmt::LPush(c, e) => {
+                let val = self.compile_expr(e)?;
+                let ty = *self.chan_elems.get(c.0 as usize)?;
+                if val.w.is_some() || val.ty != ty {
+                    return None;
+                }
+                self.pending.counters.mem_scalar += self.machine.cost.store;
+                let chan = c.0;
+                self.emit(if val.is_float() {
+                    Op::LPushF {
+                        ty,
+                        chan,
+                        src: val.reg,
+                    }
+                } else {
+                    Op::LPushI {
+                        ty,
+                        chan,
+                        src: val.reg,
+                    }
+                });
+                Some(())
+            }
+            Stmt::LVPush(c, e, width) => {
+                let val = self.compile_expr(e)?;
+                let ty = *self.chan_elems.get(c.0 as usize)?;
+                if val.ty != ty || val.w != Some(u32::try_from(*width).ok()?) {
+                    return None;
+                }
+                self.pending.counters.mem_vector += self.machine.cost.vstore;
+                let (chan, w) = (c.0, val.w.expect("checked vector"));
+                self.emit(if val.is_float() {
+                    Op::LVPushF {
+                        ty,
+                        chan,
+                        src: val.reg,
+                        w,
+                    }
+                } else {
+                    Op::LVPushI {
+                        ty,
+                        chan,
+                        src: val.reg,
+                        w,
+                    }
+                });
+                Some(())
+            }
+            Stmt::For { var, count, body } => {
+                // The loop variable must be a declared i32 scalar: the
+                // tree-walker overwrites the slot with `Value::I32`
+                // regardless of declaration, which the typed register file
+                // cannot reproduce for any other declaration.
+                let slot = *self.vars.get(var.0 as usize)?;
+                if slot.ty != Ty::Scalar(ScalarTy::I32) {
+                    return None;
+                }
+                let cnt = self.compile_expr(count)?;
+                if cnt.w.is_some() {
+                    return None;
+                }
+                self.pending.counters.compute_scalar += self.machine.cost.alu; // loop setup
+                                                                               // Copy the limit to a fresh temp: the body may reassign
+                                                                               // whatever variable the count was read from.
+                let limit = if cnt.is_float() {
+                    let dst = self.alloc(false, 1);
+                    self.emit(Op::FToI { dst, a: cnt.reg });
+                    dst
+                } else {
+                    let dst = self.alloc(false, 1);
+                    self.emit(Op::MovI { dst, src: cnt.reg });
+                    dst
+                };
+                let counter = self.alloc(false, 1);
+                self.emit(Op::ConstI { dst: counter, v: 0 });
+                self.flush();
+                let head = self.here();
+                let head_at = self.emit_patch(Op::LoopHead {
+                    counter,
+                    limit,
+                    exit: 0,
+                });
+                self.emit(Op::SetLoopVar {
+                    var: slot.base,
+                    counter,
+                });
+                self.pending.counters.loop_overhead += self.machine.cost.loop_iter;
+                self.compile_block(body)?;
+                self.flush();
+                self.emit(Op::LoopBack { counter, head });
+                let exit = self.here();
+                self.patch(head_at, exit);
+                Some(())
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let c = self.compile_expr(cond)?;
+                if c.w.is_some() {
+                    return None;
+                }
+                self.pending.counters.compute_scalar += self.machine.cost.alu; // branch
+                self.flush();
+                let to_else = self.emit_patch(if c.is_float() {
+                    Op::JumpIfZF {
+                        cond: c.reg,
+                        target: 0,
+                    }
+                } else {
+                    Op::JumpIfZI {
+                        cond: c.reg,
+                        target: 0,
+                    }
+                });
+                self.compile_block(then_branch)?;
+                self.flush();
+                let to_end = self.emit_patch(Op::Jump { target: 0 });
+                let else_label = self.here();
+                self.patch(to_else, else_label);
+                self.compile_block(else_branch)?;
+                self.flush();
+                let end = self.here();
+                self.patch(to_end, end);
+                Some(())
+            }
+            Stmt::AdvanceRead(n) => {
+                self.pending.counters.addr_overhead += self.machine.cost.alu;
+                let n = u32::try_from(*n).ok()?;
+                self.emit(Op::AdvRead { n });
+                Some(())
+            }
+            Stmt::AdvanceWrite(n) => {
+                self.pending.counters.addr_overhead += self.machine.cost.alu;
+                let n = u32::try_from(*n).ok()?;
+                self.emit(Op::AdvWrite { n });
+                Some(())
+            }
+        }
+    }
+
+    /// Lower `lv = val`. Evaluation order matches the tree-walker: the
+    /// value is already compiled; any lvalue index is compiled after it.
+    fn compile_store(&mut self, lv: &LValue, val: Operand) -> Option<()> {
+        match lv {
+            LValue::Var(v) => {
+                let slot = *self.vars.get(v.0 as usize)?;
+                match (slot.ty, val.w) {
+                    (Ty::Scalar(t), None) if t == val.ty => {
+                        // Register move: free in the cost model.
+                        self.emit(if val.is_float() {
+                            Op::MovF {
+                                dst: slot.base,
+                                src: val.reg,
+                            }
+                        } else {
+                            Op::MovI {
+                                dst: slot.base,
+                                src: val.reg,
+                            }
+                        });
+                        Some(())
+                    }
+                    (Ty::Vector(t, w), Some(vw)) if t == val.ty && u32::try_from(w).ok()? == vw => {
+                        self.emit(if val.is_float() {
+                            Op::MovNF {
+                                dst: slot.base,
+                                src: val.reg,
+                                w: vw,
+                            }
+                        } else {
+                            Op::MovNI {
+                                dst: slot.base,
+                                src: val.reg,
+                                w: vw,
+                            }
+                        });
+                        Some(())
+                    }
+                    _ => None,
+                }
+            }
+            LValue::Index(v, i) => {
+                let slot = *self.vars.get(v.0 as usize)?;
+                let idx = self.compile_expr(i)?;
+                let idx = self.as_index(idx)?;
+                match (slot.ty, val.w) {
+                    (Ty::Array(t, n), None) if t == val.ty => {
+                        self.pending.counters.mem_scalar += self.machine.cost.store;
+                        let len = u32::try_from(n).ok()?;
+                        self.emit(if val.is_float() {
+                            Op::StoreIdxF {
+                                base: slot.base,
+                                len,
+                                idx,
+                                src: val.reg,
+                            }
+                        } else {
+                            Op::StoreIdxI {
+                                base: slot.base,
+                                len,
+                                idx,
+                                src: val.reg,
+                            }
+                        });
+                        Some(())
+                    }
+                    (Ty::VectorArray(t, w, n), Some(vw))
+                        if t == val.ty && u32::try_from(w).ok()? == vw =>
+                    {
+                        self.pending.counters.mem_vector += self.machine.cost.vstore;
+                        let len = u32::try_from(n).ok()?;
+                        self.emit(if val.is_float() {
+                            Op::StoreVElemF {
+                                base: slot.base,
+                                len,
+                                idx,
+                                src: val.reg,
+                                w: vw,
+                            }
+                        } else {
+                            Op::StoreVElemI {
+                                base: slot.base,
+                                len,
+                                idx,
+                                src: val.reg,
+                                w: vw,
+                            }
+                        });
+                        Some(())
+                    }
+                    _ => None,
+                }
+            }
+            LValue::VIndex(v, i, _) => {
+                let slot = *self.vars.get(v.0 as usize)?;
+                let idx = self.compile_expr(i)?;
+                let idx = self.as_index(idx)?;
+                // The tree-walker copies `vals.len()` elements, ignoring
+                // the annotation; mirror that by using the value's width.
+                let vw = val.w?;
+                match slot.ty {
+                    Ty::Array(t, n) if t == val.ty => {
+                        self.pending.counters.mem_vector += self.machine.cost.vstore;
+                        let len = u32::try_from(n).ok()?;
+                        self.emit(if val.is_float() {
+                            Op::StoreVSliceF {
+                                base: slot.base,
+                                len,
+                                idx,
+                                src: val.reg,
+                                w: vw,
+                            }
+                        } else {
+                            Op::StoreVSliceI {
+                                base: slot.base,
+                                len,
+                                idx,
+                                src: val.reg,
+                                w: vw,
+                            }
+                        });
+                        Some(())
+                    }
+                    _ => None,
+                }
+            }
+            LValue::LaneVar(v, lane) => {
+                let slot = *self.vars.get(v.0 as usize)?;
+                match slot.ty {
+                    Ty::Vector(t, w) if t == val.ty && val.w.is_none() && *lane < w => {
+                        self.pending.counters.pack_unpack += self.machine.cost.lane_insert;
+                        let dst = slot.base + u32::try_from(*lane).ok()?;
+                        self.emit(if val.is_float() {
+                            Op::MovF { dst, src: val.reg }
+                        } else {
+                            Op::MovI { dst, src: val.reg }
+                        });
+                        Some(())
+                    }
+                    _ => None,
+                }
+            }
+            LValue::LaneIndex(v, i, lane) => {
+                let slot = *self.vars.get(v.0 as usize)?;
+                let idx = self.compile_expr(i)?;
+                let idx = self.as_index(idx)?;
+                match slot.ty {
+                    Ty::VectorArray(t, w, n) if t == val.ty && val.w.is_none() && *lane < w => {
+                        self.pending.counters.pack_unpack += self.machine.cost.lane_insert;
+                        let (len, w, lane) = (
+                            u32::try_from(n).ok()?,
+                            u32::try_from(w).ok()?,
+                            u32::try_from(*lane).ok()?,
+                        );
+                        self.emit(if val.is_float() {
+                            Op::LaneStoreF {
+                                base: slot.base,
+                                len,
+                                idx,
+                                lane,
+                                w,
+                                src: val.reg,
+                            }
+                        } else {
+                            Op::LaneStoreI {
+                                base: slot.base,
+                                len,
+                                idx,
+                                lane,
+                                w,
+                                src: val.reg,
+                            }
+                        });
+                        Some(())
+                    }
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    fn compile_expr(&mut self, e: &Expr) -> Option<Operand> {
+        match e {
+            Expr::Const(v) => {
+                let (ty, float) = match v {
+                    Value::I32(_) => (ScalarTy::I32, false),
+                    Value::I64(_) => (ScalarTy::I64, false),
+                    Value::F32(_) => (ScalarTy::F32, true),
+                    Value::F64(_) => (ScalarTy::F64, true),
+                };
+                let reg = self.alloc(float, 1);
+                self.emit(match v {
+                    Value::I32(x) => Op::ConstI {
+                        dst: reg,
+                        v: *x as i64,
+                    },
+                    Value::I64(x) => Op::ConstI { dst: reg, v: *x },
+                    Value::F32(x) => Op::ConstF {
+                        dst: reg,
+                        v: *x as f64,
+                    },
+                    Value::F64(x) => Op::ConstF { dst: reg, v: *x },
+                });
+                Some(Operand { ty, w: None, reg })
+            }
+            Expr::ConstVec(vs) => {
+                let first = *vs.first()?;
+                let ty = match first {
+                    Value::I32(_) => ScalarTy::I32,
+                    Value::I64(_) => ScalarTy::I64,
+                    Value::F32(_) => ScalarTy::F32,
+                    Value::F64(_) => ScalarTy::F64,
+                };
+                let same = |v: &Value| {
+                    matches!(
+                        (ty, v),
+                        (ScalarTy::I32, Value::I32(_))
+                            | (ScalarTy::I64, Value::I64(_))
+                            | (ScalarTy::F32, Value::F32(_))
+                            | (ScalarTy::F64, Value::F64(_))
+                    )
+                };
+                if !vs.iter().all(same) {
+                    return None;
+                }
+                let w = u32::try_from(vs.len()).ok()?;
+                self.pending.counters.mem_vector += self.machine.cost.vload;
+                let reg = self.alloc(ty.is_float(), w);
+                if ty.is_float() {
+                    let vals = vs.iter().map(|v| v.as_f64()).collect::<Box<[f64]>>();
+                    self.emit(Op::ConstVecF { dst: reg, vals });
+                } else {
+                    let vals = vs.iter().map(|v| v.as_i64()).collect::<Box<[i64]>>();
+                    self.emit(Op::ConstVecI { dst: reg, vals });
+                }
+                Some(Operand {
+                    ty,
+                    w: Some(w),
+                    reg,
+                })
+            }
+            Expr::Var(v) => {
+                let slot = *self.vars.get(v.0 as usize)?;
+                match slot.ty {
+                    // Reads are free (register residency); aggregates
+                    // cannot be read as values (tree-walk errors).
+                    Ty::Scalar(t) => Some(Operand {
+                        ty: t,
+                        w: None,
+                        reg: slot.base,
+                    }),
+                    Ty::Vector(t, w) => Some(Operand {
+                        ty: t,
+                        w: Some(u32::try_from(w).ok()?),
+                        reg: slot.base,
+                    }),
+                    _ => None,
+                }
+            }
+            Expr::Index(v, i) => {
+                let slot = *self.vars.get(v.0 as usize)?;
+                let idx = self.compile_expr(i)?;
+                let idx = self.as_index(idx)?;
+                match slot.ty {
+                    Ty::Array(t, n) => {
+                        self.pending.counters.mem_scalar += self.machine.cost.load;
+                        let len = u32::try_from(n).ok()?;
+                        let dst = self.alloc(t.is_float(), 1);
+                        self.emit(if t.is_float() {
+                            Op::LoadIdxF {
+                                dst,
+                                base: slot.base,
+                                len,
+                                idx,
+                            }
+                        } else {
+                            Op::LoadIdxI {
+                                dst,
+                                base: slot.base,
+                                len,
+                                idx,
+                            }
+                        });
+                        Some(Operand {
+                            ty: t,
+                            w: None,
+                            reg: dst,
+                        })
+                    }
+                    Ty::VectorArray(t, w, n) => {
+                        self.pending.counters.mem_vector += self.machine.cost.vload;
+                        let (len, w) = (u32::try_from(n).ok()?, u32::try_from(w).ok()?);
+                        let dst = self.alloc(t.is_float(), w);
+                        self.emit(if t.is_float() {
+                            Op::LoadVElemF {
+                                dst,
+                                base: slot.base,
+                                len,
+                                idx,
+                                w,
+                            }
+                        } else {
+                            Op::LoadVElemI {
+                                dst,
+                                base: slot.base,
+                                len,
+                                idx,
+                                w,
+                            }
+                        });
+                        Some(Operand {
+                            ty: t,
+                            w: Some(w),
+                            reg: dst,
+                        })
+                    }
+                    _ => None,
+                }
+            }
+            Expr::VIndex(v, i, w) => {
+                let slot = *self.vars.get(v.0 as usize)?;
+                let idx = self.compile_expr(i)?;
+                let idx = self.as_index(idx)?;
+                let w = u32::try_from(*w).ok()?;
+                match slot.ty {
+                    Ty::Array(t, n) => {
+                        self.pending.counters.mem_vector += self.machine.cost.vload;
+                        let len = u32::try_from(n).ok()?;
+                        let dst = self.alloc(t.is_float(), w);
+                        self.emit(if t.is_float() {
+                            Op::LoadVSliceF {
+                                dst,
+                                base: slot.base,
+                                len,
+                                idx,
+                                w,
+                            }
+                        } else {
+                            Op::LoadVSliceI {
+                                dst,
+                                base: slot.base,
+                                len,
+                                idx,
+                                w,
+                            }
+                        });
+                        Some(Operand {
+                            ty: t,
+                            w: Some(w),
+                            reg: dst,
+                        })
+                    }
+                    _ => None,
+                }
+            }
+            Expr::Unary(op, a) => {
+                let a = self.compile_expr(a)?;
+                match a.w {
+                    None => {
+                        self.pending.counters.compute_scalar += self.machine.cost.alu;
+                        self.unary(*op, a, None)
+                    }
+                    Some(w) => {
+                        self.pending.counters.compute_vector += self.machine.cost.valu;
+                        self.unary(*op, a, Some(w))
+                    }
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let a = self.compile_expr(a)?;
+                let b = self.compile_expr(b)?;
+                if a.ty != b.ty || a.w != b.w {
+                    // Mixed widths/classes: tree-walk errors or panics.
+                    return None;
+                }
+                if a.is_float() && op.is_integer_only() {
+                    return None;
+                }
+                match a.w {
+                    None => {
+                        self.pending.counters.compute_scalar += self.scalar_binop_cost(*op);
+                        let float = a.is_float();
+                        if float && op.is_comparison() {
+                            let dst = self.alloc(false, 1);
+                            self.emit(Op::CmpF {
+                                op: *op,
+                                dst,
+                                a: a.reg,
+                                b: b.reg,
+                            });
+                            Some(Operand {
+                                ty: ScalarTy::I32,
+                                w: None,
+                                reg: dst,
+                            })
+                        } else if float {
+                            let dst = self.alloc(true, 1);
+                            self.emit(Op::BinF {
+                                op: *op,
+                                ty: a.ty,
+                                dst,
+                                a: a.reg,
+                                b: b.reg,
+                            });
+                            Some(Operand {
+                                ty: a.ty,
+                                w: None,
+                                reg: dst,
+                            })
+                        } else {
+                            let dst = self.alloc(false, 1);
+                            self.emit(Op::BinI {
+                                op: *op,
+                                ty: a.ty,
+                                dst,
+                                a: a.reg,
+                                b: b.reg,
+                            });
+                            let ty = if op.is_comparison() {
+                                ScalarTy::I32
+                            } else {
+                                a.ty
+                            };
+                            Some(Operand {
+                                ty,
+                                w: None,
+                                reg: dst,
+                            })
+                        }
+                    }
+                    Some(w) => {
+                        self.pending.counters.compute_vector += self.vector_binop_cost(*op);
+                        let float = a.is_float();
+                        if float && op.is_comparison() {
+                            let dst = self.alloc(false, w);
+                            self.emit(Op::VCmpF {
+                                op: *op,
+                                dst,
+                                a: a.reg,
+                                b: b.reg,
+                                w,
+                            });
+                            Some(Operand {
+                                ty: ScalarTy::I32,
+                                w: Some(w),
+                                reg: dst,
+                            })
+                        } else if float {
+                            let dst = self.alloc(true, w);
+                            self.emit(Op::VBinF {
+                                op: *op,
+                                ty: a.ty,
+                                dst,
+                                a: a.reg,
+                                b: b.reg,
+                                w,
+                            });
+                            Some(Operand {
+                                ty: a.ty,
+                                w: Some(w),
+                                reg: dst,
+                            })
+                        } else {
+                            let dst = self.alloc(false, w);
+                            self.emit(Op::VBinI {
+                                op: *op,
+                                ty: a.ty,
+                                dst,
+                                a: a.reg,
+                                b: b.reg,
+                                w,
+                            });
+                            let ty = if op.is_comparison() {
+                                ScalarTy::I32
+                            } else {
+                                a.ty
+                            };
+                            Some(Operand {
+                                ty,
+                                w: Some(w),
+                                reg: dst,
+                            })
+                        }
+                    }
+                }
+            }
+            Expr::Call(i, args) => {
+                if args.len() != i.arity() {
+                    return None; // tree-walk asserts on arity
+                }
+                let mut ops = Vec::with_capacity(args.len());
+                for a in args {
+                    ops.push(self.compile_expr(a)?);
+                }
+                let a = ops[0];
+                if ops.iter().any(|o| o.ty != a.ty || o.w != a.w) {
+                    return None;
+                }
+                self.intrinsic(*i, &ops)
+            }
+            Expr::Cast(t, a) => {
+                let a = self.compile_expr(a)?;
+                let to = *t;
+                match a.w {
+                    None => {
+                        self.pending.counters.compute_scalar += self.machine.cost.alu;
+                        let dst = self.alloc(to.is_float(), 1);
+                        self.emit(cast_op(a.ty, to, dst, a.reg, None));
+                        Some(Operand {
+                            ty: to,
+                            w: None,
+                            reg: dst,
+                        })
+                    }
+                    Some(w) => {
+                        self.pending.counters.compute_vector += self.machine.cost.valu;
+                        let dst = self.alloc(to.is_float(), w);
+                        self.emit(cast_op(a.ty, to, dst, a.reg, Some(w)));
+                        Some(Operand {
+                            ty: to,
+                            w: Some(w),
+                            reg: dst,
+                        })
+                    }
+                }
+            }
+            Expr::Pop => {
+                let ty = self.in_elem?;
+                self.pending.counters.mem_scalar += self.machine.cost.load;
+                self.pending.in_addr += 1;
+                let dst = self.alloc(ty.is_float(), 1);
+                self.emit(if ty.is_float() {
+                    Op::PopF { ty, dst }
+                } else {
+                    Op::PopI { ty, dst }
+                });
+                Some(Operand {
+                    ty,
+                    w: None,
+                    reg: dst,
+                })
+            }
+            Expr::Peek(off) => {
+                let o = self.compile_expr(off)?;
+                let off = self.as_index(o)?;
+                let ty = self.in_elem?;
+                self.pending.counters.mem_scalar += self.machine.cost.load;
+                self.pending.in_addr += 1;
+                let dst = self.alloc(ty.is_float(), 1);
+                self.emit(if ty.is_float() {
+                    Op::PeekF { ty, dst, off }
+                } else {
+                    Op::PeekI { ty, dst, off }
+                });
+                Some(Operand {
+                    ty,
+                    w: None,
+                    reg: dst,
+                })
+            }
+            Expr::VPop { width } => {
+                let ty = self.in_elem?;
+                let w = u32::try_from(*width).ok()?;
+                self.pending.counters.mem_vector += self.machine.cost.vload;
+                let dst = self.alloc(ty.is_float(), w);
+                self.emit(if ty.is_float() {
+                    Op::VPopF { ty, dst, w }
+                } else {
+                    Op::VPopI { ty, dst, w }
+                });
+                Some(Operand {
+                    ty,
+                    w: Some(w),
+                    reg: dst,
+                })
+            }
+            Expr::VPeek { offset, width } => {
+                let o = self.compile_expr(offset)?;
+                let off = self.as_index(o)?;
+                let ty = self.in_elem?;
+                let w = u32::try_from(*width).ok()?;
+                self.pending.counters.mem_vector += self.machine.cost.vload;
+                let dst = self.alloc(ty.is_float(), w);
+                self.emit(if ty.is_float() {
+                    Op::VPeekF { ty, dst, off, w }
+                } else {
+                    Op::VPeekI { ty, dst, off, w }
+                });
+                Some(Operand {
+                    ty,
+                    w: Some(w),
+                    reg: dst,
+                })
+            }
+            Expr::LPop(c) => {
+                let ty = *self.chan_elems.get(c.0 as usize)?;
+                self.pending.counters.mem_scalar += self.machine.cost.load;
+                let dst = self.alloc(ty.is_float(), 1);
+                let chan = c.0;
+                self.emit(if ty.is_float() {
+                    Op::LPopF { ty, chan, dst }
+                } else {
+                    Op::LPopI { ty, chan, dst }
+                });
+                Some(Operand {
+                    ty,
+                    w: None,
+                    reg: dst,
+                })
+            }
+            Expr::LVPop(c, width) => {
+                let ty = *self.chan_elems.get(c.0 as usize)?;
+                let w = u32::try_from(*width).ok()?;
+                self.pending.counters.mem_vector += self.machine.cost.vload;
+                let dst = self.alloc(ty.is_float(), w);
+                let chan = c.0;
+                self.emit(if ty.is_float() {
+                    Op::LVPopF { ty, chan, dst, w }
+                } else {
+                    Op::LVPopI { ty, chan, dst, w }
+                });
+                Some(Operand {
+                    ty,
+                    w: Some(w),
+                    reg: dst,
+                })
+            }
+            Expr::Lane(e, lane) => {
+                let v = self.compile_expr(e)?;
+                let w = v.w?;
+                let lane = u32::try_from(*lane).ok()?;
+                if lane >= w {
+                    return None; // tree-walk panics on lane OOB
+                }
+                self.pending.counters.pack_unpack += self.machine.cost.lane_extract;
+                // A lane is just a register offset; no move needed. The
+                // source registers cannot be overwritten before use:
+                // expressions have no variable side effects.
+                Some(Operand {
+                    ty: v.ty,
+                    w: None,
+                    reg: v.reg + lane,
+                })
+            }
+            Expr::Splat(e, width) => {
+                let x = self.compile_expr(e)?;
+                if x.w.is_some() {
+                    return None;
+                }
+                let w = u32::try_from(*width).ok()?;
+                self.pending.counters.pack_unpack += self.machine.cost.splat;
+                let dst = self.alloc(x.is_float(), w);
+                self.emit(if x.is_float() {
+                    Op::SplatF { dst, a: x.reg, w }
+                } else {
+                    Op::SplatI { dst, a: x.reg, w }
+                });
+                Some(Operand {
+                    ty: x.ty,
+                    w: Some(w),
+                    reg: dst,
+                })
+            }
+            Expr::PermuteEven(a, b) => self.permute(a, b, 0),
+            Expr::PermuteOdd(a, b) => self.permute(a, b, 1),
+        }
+    }
+
+    fn permute(&mut self, a: &Expr, b: &Expr, parity: u32) -> Option<Operand> {
+        let a = self.compile_expr(a)?;
+        let b = self.compile_expr(b)?;
+        let w = a.w?;
+        if b.w != Some(w) || a.ty != b.ty {
+            return None;
+        }
+        self.pending.counters.permute += self.machine.cost.permute;
+        let dst = self.alloc(a.is_float(), w);
+        self.emit(if a.is_float() {
+            Op::PermF {
+                parity,
+                dst,
+                a: a.reg,
+                b: b.reg,
+                w,
+            }
+        } else {
+            Op::PermI {
+                parity,
+                dst,
+                a: a.reg,
+                b: b.reg,
+                w,
+            }
+        });
+        Some(Operand {
+            ty: a.ty,
+            w: Some(w),
+            reg: dst,
+        })
+    }
+
+    fn unary(&mut self, op: UnOp, a: Operand, w: Option<u32>) -> Option<Operand> {
+        let float = a.is_float();
+        let (result_float, result_ty) = match op {
+            UnOp::Neg => (float, a.ty),
+            UnOp::Not => {
+                if float {
+                    return None; // tree-walk panics: Not on float
+                }
+                (false, a.ty)
+            }
+            UnOp::LogNot => (false, ScalarTy::I32),
+        };
+        let dst = self.alloc(result_float, w.unwrap_or(1));
+        let op = match (op, float, w) {
+            (UnOp::Neg, false, None) => Op::NegI {
+                ty: a.ty,
+                dst,
+                a: a.reg,
+            },
+            (UnOp::Neg, true, None) => Op::NegF { dst, a: a.reg },
+            (UnOp::Not, false, None) => Op::NotI {
+                ty: a.ty,
+                dst,
+                a: a.reg,
+            },
+            (UnOp::LogNot, false, None) => Op::LogNotI { dst, a: a.reg },
+            (UnOp::LogNot, true, None) => Op::LogNotF { dst, a: a.reg },
+            (UnOp::Neg, false, Some(w)) => Op::VNegI {
+                ty: a.ty,
+                dst,
+                a: a.reg,
+                w,
+            },
+            (UnOp::Neg, true, Some(w)) => Op::VNegF { dst, a: a.reg, w },
+            (UnOp::Not, false, Some(w)) => Op::VNotI {
+                ty: a.ty,
+                dst,
+                a: a.reg,
+                w,
+            },
+            (UnOp::LogNot, false, Some(w)) => Op::VLogNotI { dst, a: a.reg, w },
+            (UnOp::LogNot, true, Some(w)) => Op::VLogNotF { dst, a: a.reg, w },
+            (UnOp::Not, true, _) => unreachable!("rejected above"),
+        };
+        self.emit(op);
+        Some(Operand {
+            ty: result_ty,
+            w,
+            reg: dst,
+        })
+    }
+
+    fn intrinsic(&mut self, i: Intrinsic, ops: &[Operand]) -> Option<Operand> {
+        let a = ops[0];
+        let float = a.is_float();
+        // Which (intrinsic, class) pairs the tree-walker evaluates without
+        // panicking: Abs/Min/Max on any class, everything else float-only.
+        let int_ok = matches!(i, Intrinsic::Abs | Intrinsic::Min | Intrinsic::Max);
+        if !float && !int_ok {
+            return None;
+        }
+        match a.w {
+            None => {
+                self.pending.counters.compute_scalar += self.machine.scalar_intrinsic_cost(i);
+                let dst = self.alloc(float, 1);
+                let op = match (ops.len(), float) {
+                    (1, false) => Op::Call1I {
+                        i,
+                        ty: a.ty,
+                        dst,
+                        a: a.reg,
+                    },
+                    (1, true) => Op::Call1F {
+                        i,
+                        ty: a.ty,
+                        dst,
+                        a: a.reg,
+                    },
+                    (2, false) => Op::Call2I {
+                        i,
+                        dst,
+                        a: a.reg,
+                        b: ops[1].reg,
+                    },
+                    (2, true) => Op::Call2F {
+                        i,
+                        ty: a.ty,
+                        dst,
+                        a: a.reg,
+                        b: ops[1].reg,
+                    },
+                    _ => return None,
+                };
+                self.emit(op);
+                Some(Operand {
+                    ty: a.ty,
+                    w: None,
+                    reg: dst,
+                })
+            }
+            Some(w) => {
+                self.pending.counters.compute_vector += self.machine.vector_intrinsic_cost(i);
+                let dst = self.alloc(float, w);
+                let op = match (ops.len(), float) {
+                    (1, false) => Op::VCall1I {
+                        i,
+                        ty: a.ty,
+                        dst,
+                        a: a.reg,
+                        w,
+                    },
+                    (1, true) => Op::VCall1F {
+                        i,
+                        ty: a.ty,
+                        dst,
+                        a: a.reg,
+                        w,
+                    },
+                    (2, false) => Op::VCall2I {
+                        i,
+                        dst,
+                        a: a.reg,
+                        b: ops[1].reg,
+                        w,
+                    },
+                    (2, true) => Op::VCall2F {
+                        i,
+                        ty: a.ty,
+                        dst,
+                        a: a.reg,
+                        b: ops[1].reg,
+                        w,
+                    },
+                    _ => return None,
+                };
+                self.emit(op);
+                Some(Operand {
+                    ty: a.ty,
+                    w: Some(w),
+                    reg: dst,
+                })
+            }
+        }
+    }
+}
+
+fn cast_op(from: ScalarTy, to: ScalarTy, dst: u32, a: u32, w: Option<u32>) -> Op {
+    match (from.is_float(), to.is_float(), w) {
+        (false, false, None) => Op::CastII { from, to, dst, a },
+        (false, true, None) => Op::CastIF { to, dst, a },
+        (true, false, None) => Op::CastFI { to, dst, a },
+        (true, true, None) => Op::CastFF { to, dst, a },
+        (false, false, Some(w)) => Op::VCastII {
+            from,
+            to,
+            dst,
+            a,
+            w,
+        },
+        (false, true, Some(w)) => Op::VCastIF { to, dst, a, w },
+        (true, false, Some(w)) => Op::VCastFI { to, dst, a, w },
+        (true, true, Some(w)) => Op::VCastFF { to, dst, a, w },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macross_streamir::edsl::*;
+
+    #[test]
+    fn simple_filter_compiles() {
+        let mut fb = FilterBuilder::new("dbl", 1, 1, 1, ScalarTy::I32);
+        fb.work(|b| {
+            b.push(pop() * 2i32);
+        });
+        let f = fb.build();
+        let plan = compile_filter(
+            &f,
+            Some(ScalarTy::I32),
+            Some(ScalarTy::I32),
+            &Machine::core_i7(),
+        )
+        .expect("should compile");
+        assert!(plan.work.len() >= 3); // pop, const, mul, push, charge
+        assert_eq!(plan.charges.len(), 1);
+        // load + store, mul, one in-access, one out-access.
+        let c = plan.charges[0];
+        assert_eq!(c.counters.mem_scalar, 4);
+        assert_eq!(c.counters.compute_scalar, 3);
+        assert_eq!(c.in_addr, 1);
+        assert_eq!(c.out_addr, 1);
+    }
+
+    #[test]
+    fn unknown_tape_elem_forces_fallback() {
+        let mut fb = FilterBuilder::new("dbl", 1, 1, 1, ScalarTy::I32);
+        fb.work(|b| {
+            b.push(pop() * 2i32);
+        });
+        let f = fb.build();
+        assert!(compile_filter(&f, None, Some(ScalarTy::I32), &Machine::core_i7()).is_none());
+        assert!(compile_filter(&f, Some(ScalarTy::I32), None, &Machine::core_i7()).is_none());
+    }
+
+    #[test]
+    fn ill_typed_store_forces_fallback() {
+        let mut fb = FilterBuilder::new("bad", 0, 0, 1, ScalarTy::I32);
+        let x = fb.local("x", Ty::Scalar(ScalarTy::I32));
+        fb.work(|b| {
+            b.set(x, c(1.5f32)); // f32 into an i32 slot: tree-walk tolerates
+            b.push(v(x));
+        });
+        let f = fb.build();
+        assert!(compile_filter(&f, None, Some(ScalarTy::I32), &Machine::core_i7()).is_none());
+    }
+
+    #[test]
+    fn loop_compiles_with_setup_and_per_iter_charges() {
+        let mut fb = FilterBuilder::new("looper", 0, 0, 4, ScalarTy::I32);
+        let i = fb.local("i", Ty::Scalar(ScalarTy::I32));
+        fb.work(|b| {
+            b.for_(i, 4i32, |b| {
+                b.push(v(i));
+            });
+        });
+        let f = fb.build();
+        let plan =
+            compile_filter(&f, None, Some(ScalarTy::I32), &Machine::core_i7()).expect("compiles");
+        assert!(plan.work.iter().any(|op| matches!(op, Op::LoopHead { .. })));
+        // One pre-loop charge (const + setup alu), one per-iteration charge.
+        assert_eq!(plan.charges.len(), 2);
+        assert_eq!(plan.charges[1].counters.loop_overhead, 1);
+        assert_eq!(plan.charges[1].counters.mem_scalar, 2); // store
+    }
+
+    #[test]
+    fn float_loop_var_forces_fallback() {
+        let mut fb = FilterBuilder::new("fl", 0, 0, 1, ScalarTy::F32);
+        let i = fb.local("i", Ty::Scalar(ScalarTy::F32));
+        fb.work(|b| {
+            b.for_(i, 4i32, |b| {
+                b.push(v(i));
+            });
+        });
+        let f = fb.build();
+        assert!(compile_filter(&f, None, Some(ScalarTy::F32), &Machine::core_i7()).is_none());
+    }
+}

@@ -56,6 +56,14 @@ pub enum VmError {
     },
     /// Scheduling failed before execution began ([`crate::exec::run_program`] only).
     Schedule(ScheduleError),
+    /// A runtime value had the wrong shape for the requested view
+    /// ([`crate::interp::RtVal::scalar`] / [`crate::interp::RtVal::vector`]).
+    Shape {
+        /// The shape the caller asked for.
+        expected: &'static str,
+        /// The shape the value actually had.
+        got: &'static str,
+    },
 }
 
 impl fmt::Display for VmError {
@@ -71,6 +79,9 @@ impl fmt::Display for VmError {
                 write!(f, "internal channel {chan} of filter {filter} underflowed")
             }
             VmError::Schedule(e) => write!(f, "scheduling failed: {e}"),
+            VmError::Shape { expected, got } => {
+                write!(f, "expected {expected} value, got {got}")
+            }
         }
     }
 }

@@ -14,6 +14,30 @@ use macross_streamir::graph::{Graph, Node, NodeId, ReorderSide};
 use macross_streamir::types::Value;
 use macross_telemetry::{EventKind, TraceSession, WorkerTrace};
 
+/// Which engine executes filter work functions.
+///
+/// The default is [`ExecMode::Bytecode`] unless the crate is built with
+/// the `vm-treewalk` feature, which flips the default to the tree-walking
+/// oracle — one binary can then run both paths differentially.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Compiled register bytecode, with per-filter fallback to the
+    /// tree-walker for bodies the compiler cannot lower exactly.
+    Bytecode,
+    /// The original tree-walking interpreter (the differential oracle).
+    TreeWalk,
+}
+
+impl Default for ExecMode {
+    fn default() -> Self {
+        if cfg!(feature = "vm-treewalk") {
+            ExecMode::TreeWalk
+        } else {
+            ExecMode::Bytecode
+        }
+    }
+}
+
 /// Executes a scheduled stream graph on a modelled machine.
 pub struct Executor<'a> {
     graph: &'a Graph,
@@ -33,9 +57,20 @@ pub struct Executor<'a> {
 }
 
 impl<'a> Executor<'a> {
-    /// Set up tapes and state. Filter `init` functions run lazily before
-    /// the first [`Executor::run_init`] / [`Executor::run_steady`] call.
+    /// Set up tapes and state with the default [`ExecMode`]. Filter `init`
+    /// functions run lazily before the first [`Executor::run_init`] /
+    /// [`Executor::run_steady`] call.
     pub fn new(graph: &'a Graph, schedule: &'a Schedule, machine: &'a Machine) -> Executor<'a> {
+        Executor::with_mode(graph, schedule, machine, ExecMode::default())
+    }
+
+    /// [`Executor::new`] with an explicit engine choice.
+    pub fn with_mode(
+        graph: &'a Graph,
+        schedule: &'a Schedule,
+        machine: &'a Machine,
+        mode: ExecMode,
+    ) -> Executor<'a> {
         let mut tapes: Vec<Tape> = graph.edges().map(|(_, e)| Tape::new(e.elem)).collect();
         for (i, (_, e)) in graph.edges().enumerate() {
             if let Some(r) = e.reorder {
@@ -47,8 +82,12 @@ impl<'a> Executor<'a> {
         }
         let states = graph
             .nodes()
-            .map(|(_, node)| match node {
-                Node::Filter(f) => FilterState::new(f),
+            .map(|(id, node)| match node {
+                Node::Filter(f) => {
+                    let in_elem = graph.single_in_edge(id).map(|e| graph.edge(e).elem);
+                    let out_elem = graph.single_out_edge(id).map(|e| graph.edge(e).elem);
+                    FilterState::prepared(f, machine, in_elem, out_elem, mode)
+                }
                 _ => FilterState::default(),
             })
             .collect();
@@ -336,6 +375,28 @@ pub fn run_scheduled(
     run_scheduled_traced(graph, schedule, machine, iters, &TraceSession::disabled())
 }
 
+/// [`run_scheduled`] with an explicit engine choice (differential runs
+/// pit [`ExecMode::Bytecode`] against [`ExecMode::TreeWalk`]).
+///
+/// # Errors
+/// Propagates interpreter failures.
+pub fn run_scheduled_mode(
+    graph: &Graph,
+    schedule: &Schedule,
+    machine: &Machine,
+    iters: u64,
+    mode: ExecMode,
+) -> Result<RunResult, VmError> {
+    run_scheduled_traced_mode(
+        graph,
+        schedule,
+        machine,
+        iters,
+        &TraceSession::disabled(),
+        mode,
+    )
+}
+
 /// [`run_scheduled`] recording firing spans into worker 0 of `session`
 /// (the single-threaded executor is one timeline). Init firings are
 /// recorded too — they appear before the steady phase on the timeline but
@@ -350,7 +411,29 @@ pub fn run_scheduled_traced(
     iters: u64,
     session: &TraceSession,
 ) -> Result<RunResult, VmError> {
-    let mut ex = Executor::new(graph, schedule, machine);
+    run_scheduled_traced_mode(
+        graph,
+        schedule,
+        machine,
+        iters,
+        session,
+        ExecMode::default(),
+    )
+}
+
+/// [`run_scheduled_traced`] with an explicit engine choice.
+///
+/// # Errors
+/// Propagates interpreter failures.
+pub fn run_scheduled_traced_mode(
+    graph: &Graph,
+    schedule: &Schedule,
+    machine: &Machine,
+    iters: u64,
+    session: &TraceSession,
+    mode: ExecMode,
+) -> Result<RunResult, VmError> {
+    let mut ex = Executor::with_mode(graph, schedule, machine, mode);
     ex.set_trace(session.worker(0));
     ex.run_init()?;
     ex.reset_counters();

@@ -7,34 +7,82 @@
 //! thread can own the states of exactly the filters assigned to its core
 //! and fire them against thread-local tapes.
 
+use crate::bytecode::{run_code, CompiledFilter, Regs};
+use crate::compile::compile_filter;
 use crate::error::VmError;
+use crate::exec::ExecMode;
 use crate::interp::{reset_locals, zero_slots, FiringCtx, Slot};
 use crate::machine::{CycleCounters, Machine};
 use crate::tape::Tape;
 use macross_streamir::filter::Filter;
 use macross_streamir::graph::{EdgeId, Graph, ReorderSide, SplitKind};
-use macross_streamir::types::Value;
+use macross_streamir::types::{ScalarTy, Value};
 use macross_streamir::AddrGen;
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Which engine a [`FilterState`] fires with. The compiled plan is shared
+/// (`Arc`) so cloning a state for a worker thread does not recompile.
+#[derive(Debug, Clone, Default)]
+enum Engine {
+    /// Tree-walking interpreter over `slots`.
+    #[default]
+    Tree,
+    /// Register bytecode over `regs`.
+    Compiled(Arc<CompiledFilter>),
+}
 
 /// Persistent per-filter execution state: variable slots and internal
 /// (fused-actor) channels. Owned data — `Send` — so it can migrate to the
 /// worker thread that hosts the filter.
 #[derive(Debug, Clone, Default)]
 pub struct FilterState {
-    /// Variable storage, indexed by `VarId`.
+    /// Variable storage, indexed by `VarId` (tree-walking engine).
     pub slots: Vec<Slot>,
     /// Internal channel storage, indexed by `ChanId`.
     pub chans: Vec<VecDeque<Value>>,
+    /// Unboxed register files (bytecode engine).
+    regs: Regs,
+    engine: Engine,
 }
 
 impl FilterState {
-    /// Zero-initialized state for a filter.
+    /// Zero-initialized state for a filter (tree-walking engine).
     pub fn new(filter: &Filter) -> FilterState {
         FilterState {
             slots: zero_slots(filter),
             chans: vec![VecDeque::new(); filter.chans.len()],
+            regs: Regs::default(),
+            engine: Engine::Tree,
         }
+    }
+
+    /// Zero-initialized state with the engine selected by `mode`.
+    ///
+    /// In [`ExecMode::Bytecode`], compiles the filter's bodies against the
+    /// element types of its input/output edges; filters the compiler
+    /// cannot lower exactly keep the tree-walking engine (per-filter
+    /// fallback), so behaviour is always identical.
+    pub fn prepared(
+        filter: &Filter,
+        machine: &Machine,
+        in_elem: Option<ScalarTy>,
+        out_elem: Option<ScalarTy>,
+        mode: ExecMode,
+    ) -> FilterState {
+        let mut state = FilterState::new(filter);
+        if mode == ExecMode::Bytecode {
+            if let Some(plan) = compile_filter(filter, in_elem, out_elem, machine) {
+                state.regs = Regs::new(plan.int_regs as usize, plan.float_regs as usize);
+                state.engine = Engine::Compiled(Arc::new(plan));
+            }
+        }
+        state
+    }
+
+    /// True when this state fires through compiled bytecode.
+    pub fn is_compiled(&self) -> bool {
+        matches!(self.engine, Engine::Compiled(_))
     }
 
     /// Run the filter's `init` function, if any. Cycles are *not*
@@ -47,6 +95,20 @@ impl FilterState {
             return Ok(());
         }
         let mut scratch = CycleCounters::default();
+        if let Engine::Compiled(plan) = &self.engine {
+            let plan = Arc::clone(plan);
+            return run_code(
+                &plan,
+                &plan.init,
+                &mut self.regs,
+                &mut self.chans,
+                None,
+                None,
+                0,
+                0,
+                &mut scratch,
+            );
+        }
         let mut ctx = FiringCtx {
             filter,
             slots: &mut self.slots,
@@ -106,10 +168,24 @@ pub fn fire_filter(
     machine: &Machine,
     counters: &mut CycleCounters,
 ) -> Result<(), VmError> {
-    reset_locals(filter, &mut state.slots);
     let mut in_tape = in_edge.map(|e| std::mem::take(&mut tapes[e]));
     let mut out_tape = out_edge.map(|e| std::mem::take(&mut tapes[e]));
-    let result = {
+    let result = if let Engine::Compiled(plan) = &state.engine {
+        let plan = Arc::clone(plan);
+        plan.zero_locals(&mut state.regs);
+        run_code(
+            &plan,
+            &plan.work,
+            &mut state.regs,
+            &mut state.chans,
+            in_tape.as_mut(),
+            out_tape.as_mut(),
+            input_addr_cost,
+            output_addr_cost,
+            counters,
+        )
+    } else {
+        reset_locals(filter, &mut state.slots);
         let mut ctx = FiringCtx {
             filter,
             slots: &mut state.slots,

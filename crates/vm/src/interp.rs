@@ -27,23 +27,29 @@ pub enum RtVal {
 impl RtVal {
     /// Unwrap a scalar.
     ///
-    /// # Panics
-    /// Panics if the value is a vector.
-    pub fn scalar(self) -> Value {
+    /// # Errors
+    /// Returns [`VmError::Shape`] if the value is a vector.
+    pub fn scalar(self) -> Result<Value, VmError> {
         match self {
-            RtVal::S(v) => v,
-            RtVal::V(_) => panic!("expected scalar, got vector"),
+            RtVal::S(v) => Ok(v),
+            RtVal::V(_) => Err(VmError::Shape {
+                expected: "scalar",
+                got: "vector",
+            }),
         }
     }
 
     /// Unwrap a vector.
     ///
-    /// # Panics
-    /// Panics if the value is a scalar.
-    pub fn vector(self) -> Vec<Value> {
+    /// # Errors
+    /// Returns [`VmError::Shape`] if the value is a scalar.
+    pub fn vector(self) -> Result<Vec<Value>, VmError> {
         match self {
-            RtVal::V(v) => v,
-            RtVal::S(_) => panic!("expected vector, got scalar"),
+            RtVal::V(v) => Ok(v),
+            RtVal::S(_) => Err(VmError::Shape {
+                expected: "vector",
+                got: "scalar",
+            }),
         }
     }
 }
@@ -420,7 +426,10 @@ impl<'a> FiringCtx<'a> {
                         .collect();
                     Ok(RtVal::V(lanes))
                 } else {
-                    let scalars: Vec<Value> = vals.into_iter().map(|v| v.scalar()).collect();
+                    let mut scalars: Vec<Value> = Vec::with_capacity(vals.len());
+                    for v in vals {
+                        scalars.push(self.want_scalar(v, i.name())?);
+                    }
                     self.counters.compute_scalar += self.machine.scalar_intrinsic_cost(*i);
                     Ok(RtVal::S(eval_intrinsic(*i, &scalars)))
                 }

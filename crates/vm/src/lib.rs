@@ -30,6 +30,8 @@
 //! # }
 //! ```
 
+pub mod bytecode;
+pub mod compile;
 pub mod error;
 pub mod exec;
 pub mod firing;
@@ -37,8 +39,10 @@ pub mod interp;
 pub mod machine;
 pub mod tape;
 
+pub use bytecode::{CompiledFilter, Regs};
+pub use compile::compile_filter;
 pub use error::{TapeSide, VmError};
-pub use exec::{run_program, run_scheduled, Executor, RunResult};
+pub use exec::{run_program, run_scheduled, run_scheduled_mode, ExecMode, Executor, RunResult};
 pub use firing::FilterState;
 pub use interp::{FiringCtx, RtVal, Slot};
 pub use machine::{CostTable, CycleCounters, Machine};

@@ -1,9 +1,15 @@
 //! FIFO tapes with random-access pushes, pointer adjustment, and the
 //! column-major reorder modes used by the SAGU tape optimization.
+//!
+//! Storage is a flat power-of-two ring indexed by monotonic absolute
+//! counters (`read <= committed_end <= filled_end`), so steady-state
+//! traffic is masked index arithmetic over one allocation instead of
+//! `VecDeque` element churn, and vector transfers degrade to at most two
+//! contiguous slice copies (see [`Tape::vpop_slices`] /
+//! [`Tape::vpush_many`]).
 
 use macross_sagu::column_major_index;
 use macross_streamir::types::{ScalarTy, Value};
-use std::collections::VecDeque;
 
 /// A tape (FIFO channel) between two actors.
 ///
@@ -22,10 +28,18 @@ use std::collections::VecDeque;
 ///   this type implements the functional remapping).
 #[derive(Debug, Clone)]
 pub struct Tape {
-    /// Readable (committed) elements start at index 0.
-    buf: VecDeque<Value>,
-    /// Number of committed elements (write pointer - read pointer).
-    committed: usize,
+    /// Ring storage; `buf.len()` is the capacity, zero or a power of two.
+    buf: Vec<Value>,
+    /// `buf.len() - 1` when allocated, 0 while empty.
+    mask: usize,
+    /// Absolute read pointer (monotonic).
+    read: usize,
+    /// Absolute write pointer: committed elements live in
+    /// `[read, committed_end)`.
+    committed_end: usize,
+    /// Zero-filled high-water mark (`>= committed_end`; the gap holds
+    /// rpush-staged elements not yet committed by `advance_write`).
+    filled_end: usize,
     /// Element type (for zero-fill of rpush gaps).
     elem: ScalarTy,
     /// Column-major read remapping: (rate, simd width).
@@ -55,8 +69,11 @@ impl Tape {
     /// Create an empty tape carrying elements of type `elem`.
     pub fn new(elem: ScalarTy) -> Tape {
         Tape {
-            buf: VecDeque::new(),
-            committed: 0,
+            buf: Vec::new(),
+            mask: 0,
+            read: 0,
+            committed_end: 0,
+            filled_end: 0,
             elem,
             read_reorder: None,
             read_block_pos: 0,
@@ -96,12 +113,12 @@ impl Tape {
 
     /// Committed (readable) element count.
     pub fn len(&self) -> usize {
-        self.committed
+        self.committed_end - self.read
     }
 
     /// True when no committed elements remain.
     pub fn is_empty(&self) -> bool {
-        self.committed == 0
+        self.committed_end == self.read
     }
 
     /// Lifetime totals `(pushed, popped)`.
@@ -109,10 +126,44 @@ impl Tape {
         (self.total_pushed, self.total_popped)
     }
 
-    fn ensure_slot(&mut self, idx: usize) {
-        while self.buf.len() <= idx {
-            self.buf.push_back(self.elem.zero());
+    /// Reallocate so at least `min_live` slots fit, re-ringing the live
+    /// region `[read, filled_end)` under the new mask.
+    fn grow(&mut self, min_live: usize) {
+        let new_cap = min_live.next_power_of_two().max(8);
+        let new_mask = new_cap - 1;
+        let mut new_buf = vec![self.elem.zero(); new_cap];
+        for i in self.read..self.filled_end {
+            new_buf[i & new_mask] = self.buf[i & self.mask];
         }
+        self.buf = new_buf;
+        self.mask = new_mask;
+    }
+
+    /// Zero-fill up through absolute index `idx`, growing the ring when
+    /// the live region would exceed capacity.
+    fn ensure_filled(&mut self, idx: usize) {
+        let need = idx + 1 - self.read;
+        if need > self.buf.len() {
+            self.grow(need);
+        }
+        while self.filled_end <= idx {
+            let slot = self.filled_end & self.mask;
+            self.buf[slot] = self.elem.zero();
+            self.filled_end += 1;
+        }
+    }
+
+    /// Write `v` at absolute index `idx` (filling any gap with zeros).
+    fn write_at(&mut self, idx: usize, v: Value) {
+        self.ensure_filled(idx);
+        let slot = idx & self.mask;
+        self.buf[slot] = v;
+    }
+
+    /// Read the element at absolute index `idx`.
+    fn at(&self, idx: usize) -> Value {
+        assert!(idx < self.filled_end, "tape read past filled region");
+        self.buf[idx & self.mask]
     }
 
     /// Push one element, advancing the write pointer.
@@ -127,19 +178,15 @@ impl Tape {
                 self.write_block_pos = 0;
                 let stage = std::mem::take(&mut self.write_stage);
                 for &val in &stage {
-                    let idx = self.committed;
-                    self.ensure_slot(idx);
-                    self.buf[idx] = val;
-                    self.committed += 1;
+                    self.write_at(self.committed_end, val);
+                    self.committed_end += 1;
                 }
                 self.write_stage = stage;
             }
             return;
         }
-        let idx = self.committed;
-        self.ensure_slot(idx);
-        self.buf[idx] = v;
-        self.committed += 1;
+        self.write_at(self.committed_end, v);
+        self.committed_end += 1;
     }
 
     /// Random-access push `off` elements past the write pointer (does not
@@ -153,16 +200,14 @@ impl Tape {
             "rpush on a write-reordered tape"
         );
         self.total_pushed += 1;
-        let idx = self.committed + off;
-        self.ensure_slot(idx);
-        self.buf[idx] = v;
+        self.write_at(self.committed_end + off, v);
     }
 
     /// Advance the write pointer over `n` slots previously filled by
     /// `rpush`.
     pub fn advance_write(&mut self, n: usize) {
-        self.ensure_slot(self.committed + n - 1);
-        self.committed += n;
+        self.ensure_filled(self.committed_end + n - 1);
+        self.committed_end += n;
     }
 
     /// Push `w` contiguous elements (a vector push).
@@ -173,11 +218,31 @@ impl Tape {
         );
         for &v in vals {
             self.total_pushed += 1;
-            let idx = self.committed;
-            self.ensure_slot(idx);
-            self.buf[idx] = v;
-            self.committed += 1;
+            self.write_at(self.committed_end, v);
+            self.committed_end += 1;
         }
+    }
+
+    /// Push `w` elements produced by `f(lane)` without materializing a
+    /// `Vec<Value>` (the bytecode VM's unboxed vector-push fast path).
+    ///
+    /// # Panics
+    /// Panics on a write-reordered tape.
+    pub fn vpush_many(&mut self, w: usize, mut f: impl FnMut(usize) -> Value) {
+        assert!(
+            self.write_reorder.is_none(),
+            "vpush on a write-reordered tape"
+        );
+        if w == 0 {
+            return;
+        }
+        self.ensure_filled(self.committed_end + w - 1);
+        for lane in 0..w {
+            let slot = (self.committed_end + lane) & self.mask;
+            self.buf[slot] = f(lane);
+        }
+        self.total_pushed += w as u64;
+        self.committed_end += w;
     }
 
     /// Pop one element.
@@ -189,32 +254,32 @@ impl Tape {
         if let Some((rate, sw)) = self.read_reorder {
             let block = rate * sw;
             let phys = column_major_index(self.read_block_pos, rate, sw);
-            let v = self.buf[phys];
+            let v = self.at(self.read + phys);
             self.read_block_pos += 1;
             if self.read_block_pos == block {
                 self.read_block_pos = 0;
-                self.buf.drain(..block);
-                self.committed -= block;
+                self.read += block;
             }
             return v;
         }
-        assert!(self.committed > 0, "pop from empty tape");
-        self.committed -= 1;
-        self.buf.pop_front().expect("committed implies non-empty")
+        assert!(self.committed_end > self.read, "pop from empty tape");
+        let v = self.buf[self.read & self.mask];
+        self.read += 1;
+        v
     }
 
     /// Non-destructive read `off` elements past the read pointer.
     pub fn peek(&self, off: usize) -> Value {
         if let Some((rate, sw)) = self.read_reorder {
             let phys = column_major_index(self.read_block_pos + off, rate, sw);
-            return self.buf[phys];
+            return self.at(self.read + phys);
         }
         assert!(
-            off < self.committed,
+            off < self.len(),
             "peek({off}) beyond committed {}",
-            self.committed
+            self.len()
         );
-        self.buf[off]
+        self.buf[(self.read + off) & self.mask]
     }
 
     /// Advance the read pointer by `n` (elements were consumed logically by
@@ -226,42 +291,78 @@ impl Tape {
             self.read_block_pos += n;
             while self.read_block_pos >= block {
                 self.read_block_pos -= block;
-                self.buf.drain(..block);
-                self.committed -= block;
+                self.read += block;
             }
             return;
         }
         assert!(
-            n <= self.committed,
+            n <= self.len(),
             "advance_read({n}) beyond committed {}",
-            self.committed
+            self.len()
         );
-        self.buf.drain(..n);
-        self.committed -= n;
+        self.read += n;
     }
 
     /// Pop `w` contiguous elements as a vector.
     pub fn vpop(&mut self, w: usize) -> Vec<Value> {
+        let (a, b) = self.vpop_slices(w);
+        let mut out = Vec::with_capacity(w);
+        out.extend_from_slice(a);
+        out.extend_from_slice(b);
+        out
+    }
+
+    /// Pop `w` contiguous elements, returned as at most two contiguous
+    /// slices of the ring (the bytecode VM's unboxed vector-pop fast
+    /// path — counters and the read pointer are updated before the
+    /// borrows are handed out).
+    ///
+    /// # Panics
+    /// Panics like [`Tape::vpop`].
+    pub fn vpop_slices(&mut self, w: usize) -> (&[Value], &[Value]) {
         assert!(self.read_reorder.is_none(), "vpop on a read-reordered tape");
-        assert!(
-            w <= self.committed,
-            "vpop({w}) beyond committed {}",
-            self.committed
-        );
+        assert!(w <= self.len(), "vpop({w}) beyond committed {}", self.len());
         self.total_popped += w as u64;
-        self.committed -= w;
-        self.buf.drain(..w).collect()
+        let start = self.read;
+        self.read += w;
+        self.ring_slices(start, w)
     }
 
     /// Non-destructive read of `w` contiguous elements at scalar offset
     /// `off`.
     pub fn vpeek(&self, off: usize, w: usize) -> Vec<Value> {
+        let (a, b) = self.vpeek_slices(off, w);
+        let mut out = Vec::with_capacity(w);
+        out.extend_from_slice(a);
+        out.extend_from_slice(b);
+        out
+    }
+
+    /// [`Tape::vpeek`] as at most two contiguous ring slices.
+    ///
+    /// # Panics
+    /// Panics like [`Tape::vpeek`].
+    pub fn vpeek_slices(&self, off: usize, w: usize) -> (&[Value], &[Value]) {
         assert!(
             self.read_reorder.is_none(),
             "vpeek on a read-reordered tape"
         );
-        assert!(off + w <= self.buf.len(), "vpeek beyond buffer");
-        (off..off + w).map(|i| self.buf[i]).collect()
+        assert!(
+            self.read + off + w <= self.filled_end,
+            "vpeek beyond buffer"
+        );
+        self.ring_slices(self.read + off, w)
+    }
+
+    /// The `w` elements starting at absolute index `start`, as one or two
+    /// contiguous slices (two when the span wraps the ring boundary).
+    fn ring_slices(&self, start: usize, w: usize) -> (&[Value], &[Value]) {
+        if w == 0 {
+            return (&[], &[]);
+        }
+        let s = start & self.mask;
+        let first = w.min(self.buf.len() - s);
+        (&self.buf[s..s + first], &self.buf[..w - first])
     }
 }
 
@@ -402,5 +503,55 @@ mod tests {
         let mut t = Tape::new(ScalarTy::F32);
         t.set_read_reorder(2, 4);
         t.set_write_reorder(2, 4);
+    }
+
+    #[test]
+    fn ring_wraps_without_growing() {
+        // Interleaved push/pop far beyond the initial capacity must stay
+        // FIFO-correct while the absolute pointers wrap the ring mask.
+        let mut t = Tape::new(ScalarTy::I32);
+        for i in 0..4 {
+            t.push(iv(i));
+        }
+        for i in 4..1000 {
+            t.push(iv(i));
+            assert_eq!(t.pop(), iv(i - 4));
+            assert_eq!(t.len(), 4);
+        }
+        for i in 996..1000 {
+            assert_eq!(t.pop(), iv(i));
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn slice_fast_paths_match_vec_paths() {
+        let mut t = Tape::new(ScalarTy::I32);
+        // Rotate the read pointer so the vector spans wrap.
+        for i in 0..6 {
+            t.push(iv(i));
+        }
+        for _ in 0..5 {
+            t.pop();
+        }
+        for i in 6..12 {
+            t.push(iv(i));
+        }
+        let (a, b) = t.vpeek_slices(1, 4);
+        let flat: Vec<Value> = a.iter().chain(b).copied().collect();
+        assert_eq!(flat, t.vpeek(1, 4));
+        let want = t.vpeek(0, 7);
+        let (a, b) = t.vpop_slices(7);
+        let flat: Vec<Value> = a.iter().chain(b).copied().collect();
+        assert_eq!(flat, want);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn vpush_many_matches_vpush() {
+        let mut t = Tape::new(ScalarTy::I32);
+        t.vpush_many(4, |lane| iv(lane as i32 * 10));
+        assert_eq!(t.vpop(4), vec![iv(0), iv(10), iv(20), iv(30)]);
+        assert_eq!(t.stats(), (4, 4));
     }
 }

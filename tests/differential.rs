@@ -184,6 +184,142 @@ fn macro_simd_then_autovec_is_bit_exact_with_gcc() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Bytecode engine vs. tree-walking oracle. `ExecMode` selects the engine
+// per run, so one binary pits both against each other regardless of which
+// one the `vm-treewalk` feature made the default.
+
+mod engine_differential {
+    use super::*;
+    use macross_repro::runtime::run_threaded_mode;
+    use macross_repro::vm::{run_scheduled_mode, ExecMode};
+
+    /// Run one graph under both engines and demand bit-identical outputs
+    /// AND identical cycle counters.
+    fn assert_engines_agree(name: &str, cfg: &str, g: &Graph, sched: &Schedule, m: &Machine) {
+        let tw = run_scheduled_mode(g, sched, m, 2, ExecMode::TreeWalk)
+            .unwrap_or_else(|e| panic!("{name}/{cfg}/treewalk: {e}"));
+        let bc = run_scheduled_mode(g, sched, m, 2, ExecMode::Bytecode)
+            .unwrap_or_else(|e| panic!("{name}/{cfg}/bytecode: {e}"));
+        assert_exact(name, cfg, &tw, &bc);
+        assert_eq!(
+            tw.counters, bc.counters,
+            "{name}/{cfg}: cycle counters diverge between engines"
+        );
+        assert_eq!(
+            tw.node_cycles, bc.node_cycles,
+            "{name}/{cfg}: per-node cycles diverge between engines"
+        );
+    }
+
+    #[test]
+    fn all_benchmarks_scalar_engines_agree() {
+        let m = Machine::core_i7();
+        for b in benchsuite::all() {
+            let g = (b.build)();
+            let sched = Schedule::compute(&g).unwrap();
+            assert_engines_agree(b.name, "scalar", &g, &sched, &m);
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_simdized_engines_agree() {
+        let m = Machine::core_i7();
+        for b in benchsuite::all() {
+            let g = (b.build)();
+            let simd = macro_simdize(&g, &m, &SimdizeOptions::all())
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert_engines_agree(b.name, "simdized", &simd.graph, &simd.schedule, &m);
+        }
+    }
+
+    /// The threaded runtime under both engines, at 1, 2, and 4 workers:
+    /// outputs bit-identical to each other and to the sequential run, and
+    /// the per-core modelled counters identical across engines.
+    #[test]
+    fn all_benchmarks_threaded_engines_agree() {
+        let m = Machine::core_i7();
+        for b in benchsuite::all() {
+            let g = (b.build)();
+            let simd = macro_simdize(&g, &m, &SimdizeOptions::all())
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let seq = run_scheduled_mode(&simd.graph, &simd.schedule, &m, 2, ExecMode::TreeWalk)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            for cores in [1u32, 2, 4] {
+                // Round-robin placement: deterministic and exercises cut
+                // edges without depending on the LPT heuristic.
+                let assignment: Vec<u32> = (0..simd.graph.node_count())
+                    .map(|i| i as u32 % cores)
+                    .collect();
+                let mut runs = Vec::new();
+                for mode in [ExecMode::TreeWalk, ExecMode::Bytecode] {
+                    let thr =
+                        run_threaded_mode(&simd.graph, &simd.schedule, &m, &assignment, 2, mode)
+                            .unwrap_or_else(|e| panic!("{}@{cores}/{mode:?}: {e}", b.name));
+                    assert_eq!(
+                        thr.output.len(),
+                        seq.output.len(),
+                        "{}@{cores}/{mode:?}: throughput mismatch",
+                        b.name
+                    );
+                    for (i, (x, y)) in seq.output.iter().zip(&thr.output).enumerate() {
+                        assert!(
+                            x.bits_eq(*y),
+                            "{}@{cores}/{mode:?}: output {i} differs: {x:?} vs {y:?}",
+                            b.name
+                        );
+                    }
+                    runs.push(thr);
+                }
+                let (tw, bc) = (&runs[0], &runs[1]);
+                assert_eq!(
+                    tw.report.core_modelled, bc.report.core_modelled,
+                    "{}@{cores}: per-core modelled counters diverge between engines",
+                    b.name
+                );
+            }
+        }
+    }
+
+    /// Guest-program failures surface identically through both engines.
+    #[test]
+    fn engine_errors_match() {
+        use macross_repro::streamir::builder::StreamSpec;
+        use macross_repro::streamir::edsl::*;
+        use macross_repro::streamir::filter::Filter;
+        use macross_repro::streamir::types::{ScalarTy, Ty};
+        // A filter that underflows its internal channel on first firing.
+        let mut bad = Filter::new("bad", 1, 1, 1);
+        let ch = bad.add_chan("ch", Ty::Scalar(ScalarTy::I32));
+        bad.work = {
+            let mut b = B::new();
+            b.push(pop() + lpop(ch));
+            b.build()
+        };
+        let g = StreamSpec::pipeline(vec![
+            {
+                let mut src = FilterBuilder::new("src", 0, 0, 1, ScalarTy::I32);
+                src.work(|b| {
+                    b.push(c(1i32));
+                });
+                src.build_spec()
+            },
+            StreamSpec::Filter {
+                filter: bad,
+                out_elem: ScalarTy::I32,
+            },
+            StreamSpec::Sink,
+        ])
+        .build()
+        .unwrap();
+        let sched = Schedule::compute(&g).unwrap();
+        let m = Machine::core_i7();
+        let tw = run_scheduled_mode(&g, &sched, &m, 1, ExecMode::TreeWalk).unwrap_err();
+        let bc = run_scheduled_mode(&g, &sched, &m, 1, ExecMode::Bytecode).unwrap_err();
+        assert_eq!(tw.to_string(), bc.to_string());
+    }
+}
+
 #[test]
 fn simdization_is_idempotent_protection() {
     // Running the driver on an already-SIMDized graph must not vectorize

@@ -366,6 +366,189 @@ fn tape_matches_fifo_oracle() {
 }
 
 // ---------------------------------------------------------------------
+// Flat-ring tape vs. naive models: wraparound, slice fast paths, rpush
+// staging, and both column-major reorder modes.
+// ---------------------------------------------------------------------
+
+/// Long interleaved operation sequences against a `VecDeque` oracle. The
+/// bounded live size under sustained traffic forces the absolute pointers
+/// to wrap the ring mask many times, and every vector read is checked
+/// through both the `Vec` path and the two-slice fast path.
+#[test]
+fn tape_ring_matches_oracle_under_wraparound() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(0x7A9F ^ (seed << 9));
+        let mut tape = Tape::new(ScalarTy::I32);
+        let mut oracle: std::collections::VecDeque<i32> = Default::default();
+        let mut next = 0i32;
+        for _ in 0..400 {
+            match rng.range(0, 7) {
+                0 => {
+                    tape.push(Value::I32(next));
+                    oracle.push_back(next);
+                    next += 1;
+                }
+                1 => {
+                    // Staged burst: rpush lanes in reverse order, then
+                    // commit the whole strip with advance_write.
+                    let k = rng.range(1, 6);
+                    for i in (0..k).rev() {
+                        tape.rpush(Value::I32(next + i as i32), i);
+                    }
+                    tape.advance_write(k);
+                    for i in 0..k {
+                        oracle.push_back(next + i as i32);
+                    }
+                    next += k as i32;
+                }
+                2 => {
+                    let w = rng.range(1, 9);
+                    tape.vpush_many(w, |lane| Value::I32(next + lane as i32));
+                    for i in 0..w {
+                        oracle.push_back(next + i as i32);
+                    }
+                    next += w as i32;
+                }
+                3 => {
+                    if let Some(x) = oracle.pop_front() {
+                        assert_eq!(tape.pop(), Value::I32(x), "seed {seed}");
+                    }
+                }
+                4 => {
+                    let w = rng.range(1, 9);
+                    if w <= oracle.len() {
+                        // vpop must equal vpeek(0, w) taken just before.
+                        let peeked = tape.vpeek(0, w);
+                        let (a, b) = tape.vpop_slices(w);
+                        let flat: Vec<Value> = a.iter().chain(b).copied().collect();
+                        assert_eq!(flat, peeked, "seed {seed}");
+                        for v in flat {
+                            assert_eq!(v, Value::I32(oracle.pop_front().unwrap()));
+                        }
+                    }
+                }
+                5 => {
+                    let w = rng.range(1, 6);
+                    let off = rng.range(0, 6);
+                    if off + w <= oracle.len() {
+                        let (a, b) = tape.vpeek_slices(off, w);
+                        let flat: Vec<Value> = a.iter().chain(b).copied().collect();
+                        let want: Vec<Value> =
+                            (0..w).map(|i| Value::I32(oracle[off + i])).collect();
+                        assert_eq!(flat, want, "seed {seed}");
+                        assert_eq!(flat, tape.vpeek(off, w), "seed {seed}");
+                    }
+                }
+                _ => {
+                    let n = rng.range(0, 4).min(oracle.len());
+                    tape.advance_read(n);
+                    oracle.drain(..n);
+                }
+            }
+            assert_eq!(tape.len(), oracle.len(), "seed {seed}");
+            assert_eq!(tape.is_empty(), oracle.is_empty(), "seed {seed}");
+        }
+    }
+}
+
+/// Read reorder (vectorized producer, scalar consumer): physical rows are
+/// remapped so the consumer observes logical order. The naive model is
+/// computed with the independent closed form — logical element `l` of a
+/// block sits at physical slot `(l % rate) * sw + l / rate` — not with the
+/// tape's own `column_major_index`.
+#[test]
+fn tape_read_reorder_matches_naive_model() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(0x0DDB ^ (seed << 7));
+        let rate = rng.range(1, 6);
+        let sw = 1usize << rng.range(1, 4);
+        let block = rate * sw;
+        let blocks = rng.range(1, 5);
+        let mut tape = Tape::new(ScalarTy::I32);
+        tape.set_read_reorder(rate, sw);
+        // Producer writes `blocks` blocks of physical rows; the naive
+        // logical stream is reconstructed independently.
+        let mut logical = vec![0i32; blocks * block];
+        let mut phys_next = 0i32;
+        for b in 0..blocks {
+            for p in 0..block {
+                // Physical slot p = (l % rate) * sw + l / rate, inverted:
+                let (i, j) = (p / sw, p % sw);
+                let l = j * rate + i;
+                logical[b * block + l] = phys_next;
+                tape.push(Value::I32(phys_next));
+                phys_next += 1;
+            }
+        }
+        // Consume with a random mix of peeks, pops, and advances.
+        let mut pos = 0usize;
+        while pos < logical.len() {
+            match rng.range(0, 3) {
+                0 => {
+                    assert_eq!(
+                        tape.pop(),
+                        Value::I32(logical[pos]),
+                        "seed {seed} rate {rate} sw {sw} pos {pos}"
+                    );
+                    pos += 1;
+                }
+                1 => {
+                    let off = rng.range(0, (logical.len() - pos).min(2 * block));
+                    assert_eq!(
+                        tape.peek(off),
+                        Value::I32(logical[pos + off]),
+                        "seed {seed} rate {rate} sw {sw} peek {pos}+{off}"
+                    );
+                }
+                _ => {
+                    let n = rng.range(0, (logical.len() - pos).min(block) + 1);
+                    tape.advance_read(n);
+                    pos += n;
+                }
+            }
+        }
+        assert!(tape.is_empty(), "seed {seed}");
+    }
+}
+
+/// Write reorder (scalar producer, vectorized consumer): logical pushes
+/// are staged column-major and committed whole blocks at a time, so the
+/// consumer's vector pops see lane-major rows. Also pins the visibility
+/// rule: a partial block contributes nothing to `len()`.
+#[test]
+fn tape_write_reorder_matches_naive_model() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(0xBEEF ^ (seed << 6));
+        let rate = rng.range(1, 6);
+        let sw = 1usize << rng.range(1, 4);
+        let block = rate * sw;
+        let blocks = rng.range(1, 5);
+        let mut tape = Tape::new(ScalarTy::I32);
+        tape.set_write_reorder(rate, sw);
+        for l in 0..blocks * block {
+            assert_eq!(
+                tape.len(),
+                (l / block) * block,
+                "seed {seed}: partial block visible"
+            );
+            tape.push(Value::I32(l as i32));
+        }
+        assert_eq!(tape.len(), blocks * block);
+        // Physical slot p of block b holds logical b*block + (p%sw)*rate + p/sw.
+        for b in 0..blocks {
+            for i in 0..rate {
+                let row = tape.vpop(sw);
+                let want: Vec<Value> = (0..sw)
+                    .map(|j| Value::I32((b * block + j * rate + i) as i32))
+                    .collect();
+                assert_eq!(row, want, "seed {seed} rate {rate} sw {sw} row {i}");
+            }
+        }
+        assert!(tape.is_empty(), "seed {seed}");
+    }
+}
+
+// ---------------------------------------------------------------------
 // SAGU / permutation-network agreement.
 // ---------------------------------------------------------------------
 
