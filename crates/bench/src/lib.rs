@@ -5,6 +5,8 @@
 //! (`fig10`..`fig13`), the Criterion benches, and the integration tests
 //! that assert the paper's result *shapes*.
 
+pub mod replay;
+
 use macross::driver::{macro_simdize, SimdizeOptions};
 use macross_autovec::{autovectorize_graph, AutovecConfig};
 use macross_benchsuite::Benchmark;

@@ -653,6 +653,44 @@ pub fn run_threaded_mode(
     Ok((run, simd))
 }
 
+/// [`run_threaded`] under full supervision: stage failures come back as
+/// typed [`macross_runtime::StageFailure`]s inside the report together
+/// with the partial output, instead of as an error. The entry point for
+/// fault-injection campaigns and any caller that wants graceful
+/// degradation (the run drains instead of aborting).
+///
+/// # Errors
+/// Fails only if SIMDization rejects the graph or the placement is
+/// malformed — never for stage failures.
+pub fn run_threaded_supervised(
+    graph: &Graph,
+    machine: &Machine,
+    opts: &SimdizeOptions,
+    cores: usize,
+    iters: u64,
+    sup_opts: &macross_runtime::SupervisorOptions,
+) -> Result<(macross_runtime::SupervisedRun, Simdized), ThreadedError> {
+    let simd = macro_simdize(graph, machine, opts)?;
+    let assignment = lpt_placement(&simd.graph, &simd.schedule, machine, cores);
+    let run = macross_runtime::run_supervised(
+        &simd.graph,
+        &simd.schedule,
+        machine,
+        &assignment,
+        iters,
+        sup_opts,
+        &macross_telemetry::TraceSession::disabled(),
+    )?;
+    Ok((run, simd))
+}
+
+/// The LPT placement [`run_threaded`] and [`run_threaded_supervised`] use,
+/// exposed so replay bundles can record and reproduce the exact
+/// node-to-core assignment of a failing run.
+pub fn placement(simd: &Simdized, machine: &Machine, cores: usize) -> Vec<u32> {
+    lpt_placement(&simd.graph, &simd.schedule, machine, cores)
+}
+
 /// True if the neighbour on the given side is a scalar consumer/producer
 /// that can absorb reordered accesses: a sink, splitter, joiner, or a
 /// filter that will *not* itself be vectorized.

@@ -66,8 +66,8 @@ pub mod single;
 pub mod vertical;
 
 pub use driver::{
-    macro_simdize, macro_simdize_colocated, run_threaded, run_threaded_mode, SimdizeOptions,
-    SimdizeReport, Simdized, TapeDecision, ThreadedError,
+    macro_simdize, macro_simdize_colocated, placement, run_threaded, run_threaded_mode,
+    run_threaded_supervised, SimdizeOptions, SimdizeReport, Simdized, TapeDecision, ThreadedError,
 };
 pub use error::SimdizeError;
 pub use single::{simdize_single_actor, SingleActorConfig, TapeMode};

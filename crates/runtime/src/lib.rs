@@ -20,7 +20,9 @@
 //! wall-clock per steady iteration, for comparison against the analytic
 //! `macross_multicore::CoreEstimate` model.
 
+pub mod fault;
 pub mod ring;
+pub mod supervisor;
 mod worker;
 
 use macross_sdf::{buffer_requirements, Schedule};
@@ -34,7 +36,11 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use worker::{Worker, WorkerFail};
+use supervisor::Supervisor;
+use worker::Worker;
+
+pub use fault::{FaultKind, FaultPlan, FaultSpec, ReplayBundle, FAULTS_COMPILED};
+pub use supervisor::{FailureCause, StageFailure, SupervisorOptions};
 
 /// Errors from a threaded run.
 #[derive(Debug)]
@@ -197,6 +203,11 @@ pub struct RuntimeReport {
     /// Modelled cycles per core (steady phase), from the interpreter's
     /// cost accounting.
     pub core_modelled: Vec<CycleCounters>,
+    /// Stage failures recorded by the supervisor, in the order they were
+    /// raised. Empty for a clean run; the first entry is the root cause
+    /// (later entries are secondary failures hit while draining, or
+    /// further watchdog escalations).
+    pub failures: Vec<StageFailure>,
 }
 
 impl RuntimeReport {
@@ -239,6 +250,11 @@ impl RuntimeReport {
             .map(|r| r.full_stall_nanos + r.empty_stall_nanos)
             .sum()
     }
+
+    /// The first failure raised — the root cause, if the run failed.
+    pub fn root_failure(&self) -> Option<&StageFailure> {
+        self.failures.first()
+    }
 }
 
 /// Result of a threaded run.
@@ -252,6 +268,22 @@ pub struct ThreadedRun {
     pub outputs: Vec<Vec<Value>>,
     /// Measured counters.
     pub report: RuntimeReport,
+}
+
+/// Result of a supervised run ([`run_supervised`]): always carries the
+/// output produced so far, even when the run failed.
+#[derive(Debug, Clone)]
+pub struct SupervisedRun {
+    /// All sink outputs concatenated in node-id order. For a failed run
+    /// this is the committed partial output: each sink's stream is a
+    /// prefix of what a clean run would have produced.
+    pub output: Vec<Value>,
+    /// Per-sink outputs, indexed by node id (empty for non-sinks).
+    pub outputs: Vec<Vec<Value>>,
+    /// Measured counters, including `failures`.
+    pub report: RuntimeReport,
+    /// True when every scheduled firing completed (no failures).
+    pub completed: bool,
 }
 
 fn stage_name(node: &Node) -> String {
@@ -364,6 +396,67 @@ pub fn run_threaded_traced_mode(
     session: &TraceSession,
     mode: ExecMode,
 ) -> Result<ThreadedRun, RuntimeError> {
+    let opts = SupervisorOptions {
+        mode,
+        ..SupervisorOptions::default()
+    };
+    let run = run_supervised(graph, schedule, machine, assignment, iters, &opts, session)?;
+    if run.completed {
+        return Ok(ThreadedRun {
+            output: run.output,
+            outputs: run.outputs,
+            report: run.report,
+        });
+    }
+    // Legacy error surface: the root-cause VM error wins, then a panic,
+    // then a bare abort (watchdog escalations cannot happen here — the
+    // legacy entry points never configure one).
+    let failures = run.report.failures;
+    if let Some(e) = failures.iter().find_map(|f| match &f.cause {
+        FailureCause::Vm(e) => Some(e.clone()),
+        _ => None,
+    }) {
+        return Err(RuntimeError::Vm(e));
+    }
+    if let Some(msg) = failures.iter().find_map(|f| match &f.cause {
+        FailureCause::Panic(msg) => Some(msg.clone()),
+        _ => None,
+    }) {
+        return Err(RuntimeError::WorkerPanicked(msg));
+    }
+    Err(RuntimeError::Aborted)
+}
+
+/// The full-fidelity entry point: execute `iters` steady iterations under
+/// supervision and *always* return the (possibly partial) output plus a
+/// report whose `failures` list types every stage failure.
+///
+/// This is [`run_threaded`]'s engine. On top of it, supervision adds:
+///
+/// - every firing runs inside `catch_unwind` under a heartbeat, so a
+///   panicking or erroring stage becomes a [`StageFailure`] instead of a
+///   process abort or a wedged pipeline;
+/// - an optional watchdog thread ([`SupervisorOptions::watchdog`])
+///   escalates any single firing that exceeds its timeout;
+/// - after the first failure, workers coordinate a drain: stages
+///   upstream of the failure park, everything else finishes what is
+///   already buffered, and committed sink output is preserved;
+/// - a [`fault::FaultPlan`] can deterministically inject faults at exact
+///   `(stage, firing)` coordinates when built with `fault-inject` (the
+///   plan is inert otherwise — see [`FAULTS_COMPILED`]).
+///
+/// # Errors
+/// Only [`RuntimeError::BadAssignment`]. Stage failures are *not* errors
+/// here: they come back inside the report.
+pub fn run_supervised(
+    graph: &Graph,
+    schedule: &Schedule,
+    machine: &Machine,
+    assignment: &[u32],
+    iters: u64,
+    opts: &SupervisorOptions,
+    session: &TraceSession,
+) -> Result<SupervisedRun, RuntimeError> {
     if assignment.len() != graph.node_count() {
         return Err(RuntimeError::BadAssignment {
             expected: graph.node_count(),
@@ -405,79 +498,74 @@ pub fn run_threaded_traced_mode(
         }
         (0..cores as u32).filter(|&c| seen[c as usize]).collect()
     };
-    let abort = AtomicBool::new(false);
+    let sup = Supervisor::new(worker_cores.len());
     let gate = StartGate::new(worker_cores.len());
 
-    let mut results: Vec<(u32, Result<worker::WorkerOut, RuntimeError>)> =
-        Vec::with_capacity(worker_cores.len());
+    let mut results: Vec<(u32, Option<worker::WorkerOut>)> = Vec::with_capacity(worker_cores.len());
     std::thread::scope(|s| {
         let handles: Vec<_> = worker_cores
             .iter()
-            .map(|&core| {
+            .enumerate()
+            .map(|(slot, &core)| {
                 let stages = Arc::clone(&stages);
-                let (rings, abort, gate) = (&rings, &abort, &gate);
+                let (rings, gate, sup) = (&rings, &gate, &sup);
                 let trace = session.worker(core as usize);
                 let h = s.spawn(move || {
+                    // The worker catches firing panics itself; this outer
+                    // net only catches harness bugs (so a buggy runtime
+                    // still cannot strand sibling workers on the gate).
                     let run = catch_unwind(AssertUnwindSafe(|| {
                         let w = Worker::new(
-                            graph, schedule, machine, assignment, core, rings, stages, trace, mode,
+                            graph, schedule, machine, assignment, core, rings, stages, trace, opts,
+                            sup, slot, iters,
                         );
-                        w.run(iters, gate, abort)
+                        w.run(iters, gate)
                     }));
                     match run {
-                        Ok(Ok(out)) => Ok(out),
-                        Ok(Err(fail)) => {
-                            abort.store(true, Ordering::Relaxed);
-                            Err(match fail {
-                                WorkerFail::Vm(e) => RuntimeError::Vm(e),
-                                WorkerFail::Aborted => RuntimeError::Aborted,
-                            })
-                        }
+                        Ok(out) => Some(out),
                         Err(payload) => {
-                            abort.store(true, Ordering::Relaxed);
                             let msg = payload
                                 .downcast_ref::<String>()
                                 .cloned()
                                 .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
                                 .unwrap_or_else(|| "unknown panic".to_string());
-                            Err(RuntimeError::WorkerPanicked(msg))
+                            sup.raise(StageFailure {
+                                stage: usize::MAX,
+                                name: format!("worker {core}"),
+                                core,
+                                firing: 0,
+                                mode: opts.mode,
+                                cause: FailureCause::Panic(msg),
+                            });
+                            None
                         }
                     }
                 });
                 (core, h)
             })
             .collect();
+        let watchdog = opts.wants_watchdog().then(|| {
+            let sup = &sup;
+            let worker_cores = &worker_cores;
+            let stage_names: Vec<String> = graph.nodes().map(|(_, n)| stage_name(n)).collect();
+            s.spawn(move || sup.run_watchdog(opts, worker_cores, &stage_names))
+        });
         for (core, h) in handles {
             // The spawned closure never panics: the body is wrapped in
             // catch_unwind, so join() only fails on harness bugs.
             results.push((core, h.join().expect("worker wrapper panicked")));
         }
+        sup.finish();
+        if let Some(w) = watchdog {
+            w.join().expect("watchdog panicked");
+        }
     });
 
-    // Surface the root cause, not the Aborted echoes it caused elsewhere.
-    let mut vm_err: Option<RuntimeError> = None;
-    let mut panic_err: Option<RuntimeError> = None;
-    let mut aborted = false;
-    let mut finished: Vec<(u32, worker::WorkerOut)> = Vec::with_capacity(results.len());
-    for (core, r) in results {
-        match r {
-            Ok(out) => finished.push((core, out)),
-            Err(e @ RuntimeError::Vm(_)) if vm_err.is_none() => vm_err = Some(e),
-            Err(e @ RuntimeError::WorkerPanicked(_)) if panic_err.is_none() => {
-                panic_err = Some(e);
-            }
-            Err(_) => aborted = true,
-        }
-    }
-    if let Some(e) = vm_err {
-        return Err(e);
-    }
-    if let Some(e) = panic_err {
-        return Err(e);
-    }
-    if aborted {
-        return Err(RuntimeError::Aborted);
-    }
+    let failures = sup.take_failures();
+    let finished: Vec<(u32, worker::WorkerOut)> = results
+        .into_iter()
+        .filter_map(|(core, r)| r.map(|out| (core, out)))
+        .collect();
 
     let mut outputs: Vec<Vec<Value>> = vec![Vec::new(); graph.node_count()];
     let mut core_nanos = vec![0u64; cores];
@@ -531,7 +619,8 @@ pub fn run_threaded_traced_mode(
     }
 
     let output = outputs.iter().flatten().copied().collect();
-    Ok(ThreadedRun {
+    let completed = failures.is_empty();
+    Ok(SupervisedRun {
         output,
         outputs,
         report: RuntimeReport {
@@ -543,7 +632,9 @@ pub fn run_threaded_traced_mode(
             core_nanos,
             wall_nanos,
             core_modelled,
+            failures,
         },
+        completed,
     })
 }
 

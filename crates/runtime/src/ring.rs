@@ -61,6 +61,11 @@ pub struct Ring {
     consumer_parked: AtomicBool,
     producer: Mutex<Option<Thread>>,
     consumer: Mutex<Option<Thread>>,
+    /// Fault injection: unparks left to swallow ([`Ring::arm_unpark_drops`]).
+    /// Normally 0, in which case the wake paths pay a single relaxed load.
+    unpark_drops: AtomicU64,
+    /// Unparks actually swallowed (observability for the fault tests).
+    unparks_dropped: AtomicU64,
 }
 
 // SAFETY: slots are only written by the producer between `tail` publication
@@ -97,6 +102,8 @@ impl Ring {
             consumer_parked: AtomicBool::new(false),
             producer: Mutex::new(None),
             consumer: Mutex::new(None),
+            unpark_drops: AtomicU64::new(0),
+            unparks_dropped: AtomicU64::new(0),
         }
     }
 
@@ -157,8 +164,39 @@ impl Ring {
         self.occ_hist[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Fault injection: swallow the next `n` unparks this ring would have
+    /// delivered (either side). The peer's park timeout bounds the extra
+    /// latency, so a run under this fault must still complete — the
+    /// property the fault differential suite pins down.
+    pub fn arm_unpark_drops(&self, n: u64) {
+        self.unpark_drops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Unparks actually swallowed so far.
+    pub fn unparks_dropped(&self) -> u64 {
+        self.unparks_dropped.load(Ordering::Relaxed)
+    }
+
+    /// True when an armed drop consumed this wakeup.
+    fn take_unpark_drop(&self) -> bool {
+        if self.unpark_drops.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        let took = self
+            .unpark_drops
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+            .is_ok();
+        if took {
+            self.unparks_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        took
+    }
+
     fn wake_consumer(&self) {
         if self.consumer_parked.swap(false, Ordering::AcqRel) {
+            if self.take_unpark_drop() {
+                return;
+            }
             if let Some(t) = self.consumer.lock().unwrap().as_ref() {
                 t.unpark();
             }
@@ -167,6 +205,9 @@ impl Ring {
 
     fn wake_producer(&self) {
         if self.producer_parked.swap(false, Ordering::AcqRel) {
+            if self.take_unpark_drop() {
+                return;
+            }
             if let Some(t) = self.producer.lock().unwrap().as_ref() {
                 t.unpark();
             }
@@ -259,6 +300,30 @@ impl Ring {
             std::thread::park_timeout(PARK_TIMEOUT);
             trace.record(EventKind::Unpark, self.edge, 0);
         }
+    }
+
+    /// Producer: append as many of `vals` as currently fit, without
+    /// blocking. Returns how many were written. Used by the drain after a
+    /// failure, where a full ring whose consumer is gone must not wedge
+    /// the draining worker.
+    pub fn push_avail(&self, vals: &[Value]) -> usize {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        let n = (self.capacity() - (tail - head)).min(vals.len());
+        if n == 0 {
+            return 0;
+        }
+        for (i, v) in vals.iter().take(n).enumerate() {
+            // SAFETY: slots in [tail, tail+n) are unpublished; only the
+            // producer writes them.
+            unsafe {
+                *self.buf[(tail + i) & self.mask].get() = *v;
+            }
+        }
+        self.tail.0.store(tail + n, Ordering::Release);
+        self.sample_occupancy(tail + n - head);
+        self.wake_consumer();
+        n
     }
 
     /// Consumer: drain up to `max` available elements into `sink` without

@@ -12,44 +12,34 @@
 //! elements in committed physical order. Draining a tape front-first
 //! therefore preserves exactly the layout the single-threaded executor
 //! would have seen, which is what makes the differential tests exact.
+//!
+//! Workers are *supervised*: every firing runs inside `catch_unwind`
+//! with a heartbeat the watchdog samples, failures become typed
+//! [`StageFailure`]s instead of process aborts, and on the first failure
+//! the run switches to a coordinated drain (see [`Worker::drain`]).
 
-use crate::ring::{Aborted, Ring};
-use crate::{Stage, StartGate};
+use crate::fault::FaultKind;
+use crate::ring::Ring;
+use crate::supervisor::{FailureCause, StageFailure, Supervisor, SupervisorOptions};
+use crate::{stage_name, Stage, StartGate};
 use macross_sdf::Schedule;
 use macross_streamir::graph::{Graph, Node, NodeId};
 use macross_streamir::types::Value;
-use macross_telemetry::{EventKind, WorkerTrace};
-use macross_vm::exec::ExecMode;
+use macross_telemetry::{clock, EventKind, WorkerTrace};
 use macross_vm::firing::{self, FilterState};
 use macross_vm::machine::{CycleCounters, Machine};
 use macross_vm::tape::Tape;
-use macross_vm::VmError;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// A worker failure, before mapping to `RuntimeError`.
-#[derive(Debug)]
-pub(crate) enum WorkerFail {
-    /// A filter body failed on this core.
-    Vm(VmError),
-    /// Another core failed; this one was unblocked by the abort flag.
-    Aborted,
-}
+/// The supervisor interrupt was observed: stop the scheduled phase and
+/// switch to draining (or return, when already draining).
+struct Stop;
 
-impl From<Aborted> for WorkerFail {
-    fn from(_: Aborted) -> Self {
-        WorkerFail::Aborted
-    }
-}
-
-impl From<VmError> for WorkerFail {
-    fn from(e: VmError) -> Self {
-        WorkerFail::Vm(e)
-    }
-}
-
-/// What a worker hands back to the coordinator.
+/// What a worker hands back to the coordinator. Failures travel through
+/// the [`Supervisor`], so this is plain (possibly partial) output.
 pub(crate) struct WorkerOut {
     /// `(sink node id, values captured)` for sinks hosted on this core.
     pub sink_outputs: Vec<(usize, Vec<Value>)>,
@@ -77,10 +67,35 @@ struct Pull {
     consumed: usize,
 }
 
+impl Pull {
+    /// Physical tokens the local tape half must hold for the next firing.
+    fn needed_phys(&self) -> usize {
+        if self.block > 1 {
+            let pos = self.consumed % self.block;
+            (pos + self.need).div_ceil(self.block) * self.block
+        } else {
+            self.need
+        }
+    }
+}
+
 /// One cut out-edge the worker must flush after firing.
 struct Push {
     edge: usize,
     ring: Arc<Ring>,
+}
+
+/// One same-core in-edge, tracked so the post-failure drain can check
+/// token sufficiency without firing (the scheduled phase needs no such
+/// check: the schedule guarantees availability).
+struct LocalIn {
+    edge: usize,
+    /// Physical tokens one firing must be able to address.
+    need: usize,
+    /// Consumer-side reorder block (1 if plain). The drain has no block
+    /// cursor for local tapes, so sufficiency is `need + block - 1` —
+    /// conservative by at most one block.
+    block: usize,
 }
 
 /// Per-node firing plan for one core.
@@ -90,6 +105,16 @@ struct NodePlan {
     init_reps: u64,
     pulls: Vec<Pull>,
     pushes: Vec<Push>,
+    local_ins: Vec<LocalIn>,
+    /// Firings attempted so far (the fault-addressing clock: init +
+    /// steady, 0-based, deterministic because each node fires on exactly
+    /// one worker in schedule order).
+    attempts: u64,
+    /// Firings completed (output committed).
+    completed: u64,
+    /// Total firings a full run would execute; the drain never exceeds it
+    /// (keeps branch sources from running away from a failed sibling).
+    scheduled: u64,
 }
 
 pub(crate) struct Worker<'g> {
@@ -105,6 +130,11 @@ pub(crate) struct Worker<'g> {
     /// This core's trace handle (zero-sized no-op unless the `telemetry`
     /// feature is on and a live session was passed to the run).
     trace: WorkerTrace,
+    core: u32,
+    opts: &'g SupervisorOptions,
+    sup: &'g Supervisor,
+    /// Index into the supervisor's heartbeat table.
+    slot: usize,
 }
 
 impl<'g> Worker<'g> {
@@ -118,10 +148,13 @@ impl<'g> Worker<'g> {
         machine: &'g Machine,
         assignment: &[u32],
         core: u32,
-        rings: &[Option<Arc<Ring>>],
+        rings: &'g [Option<Arc<Ring>>],
         stages: Arc<Vec<Stage>>,
         trace: WorkerTrace,
-        mode: ExecMode,
+        opts: &'g SupervisorOptions,
+        sup: &'g Supervisor,
+        slot: usize,
+        iters: u64,
     ) -> Worker<'g> {
         let mut tapes: Vec<Tape> = graph.edges().map(|(_, e)| Tape::new(e.elem)).collect();
         for (i, (_, e)) in graph.edges().enumerate() {
@@ -145,7 +178,7 @@ impl<'g> Worker<'g> {
                 Node::Filter(f) if assignment[id.0 as usize] == core => {
                     let in_elem = graph.single_in_edge(id).map(|e| graph.edge(e).elem);
                     let out_elem = graph.single_out_edge(id).map(|e| graph.edge(e).elem);
-                    FilterState::prepared(f, machine, in_elem, out_elem, mode)
+                    FilterState::prepared(f, machine, in_elem, out_elem, opts.mode)
                 }
                 _ => FilterState::default(),
             })
@@ -157,11 +190,8 @@ impl<'g> Worker<'g> {
             }
             let node = graph.node(id);
             let mut pulls = Vec::new();
+            let mut local_ins = Vec::new();
             for eid in graph.in_edges(id) {
-                let Some(ring) = &rings[eid.0 as usize] else {
-                    continue;
-                };
-                ring.register_consumer();
                 let e = graph.edge(eid);
                 let pop = node.pop_rate(e.dst_port);
                 let need = match node {
@@ -173,14 +203,24 @@ impl<'g> Worker<'g> {
                     .filter(|r| r.side == macross_streamir::graph::ReorderSide::Consumer)
                     .map(|r| r.block())
                     .unwrap_or(1);
-                pulls.push(Pull {
-                    edge: eid.0 as usize,
-                    ring: Arc::clone(ring),
-                    need,
-                    pop,
-                    block,
-                    consumed: 0,
-                });
+                match &rings[eid.0 as usize] {
+                    Some(ring) => {
+                        ring.register_consumer();
+                        pulls.push(Pull {
+                            edge: eid.0 as usize,
+                            ring: Arc::clone(ring),
+                            need,
+                            pop,
+                            block,
+                            consumed: 0,
+                        });
+                    }
+                    None => local_ins.push(LocalIn {
+                        edge: eid.0 as usize,
+                        need,
+                        block,
+                    }),
+                }
             }
             let mut pushes = Vec::new();
             for eid in graph.out_edges(id) {
@@ -193,12 +233,18 @@ impl<'g> Worker<'g> {
                     ring: Arc::clone(ring),
                 });
             }
+            let reps = schedule.reps[id.0 as usize];
+            let init_reps = schedule.init_reps[id.0 as usize];
             plans.push(NodePlan {
                 id,
-                reps: schedule.reps[id.0 as usize],
-                init_reps: schedule.init_reps[id.0 as usize],
+                reps,
+                init_reps,
                 pulls,
                 pushes,
+                local_ins,
+                attempts: 0,
+                completed: 0,
+                scheduled: init_reps + iters * reps,
             });
         }
         Worker {
@@ -212,85 +258,223 @@ impl<'g> Worker<'g> {
             sink_outputs: Vec::new(),
             scratch: Vec::new(),
             trace,
+            core,
+            opts,
+            sup,
+            slot,
         }
     }
 
     /// Run this core: filter init functions, the init schedule, the start
-    /// gate, then `iters` timed steady iterations.
-    pub(crate) fn run(
-        mut self,
-        iters: u64,
-        gate: &StartGate,
-        abort: &AtomicBool,
-    ) -> Result<WorkerOut, WorkerFail> {
+    /// gate, then `iters` timed steady iterations. Always returns (the
+    /// possibly partial) output — failures travel through the supervisor.
+    pub(crate) fn run(mut self, iters: u64, gate: &StartGate) -> WorkerOut {
         for p in 0..self.plans.len() {
             let id = self.plans[p].id;
             if let Node::Filter(f) = self.graph.node(id) {
-                self.states[id.0 as usize].run_init_fn(f, self.machine)?;
+                if let Err(e) = self.states[id.0 as usize].run_init_fn(f, self.machine) {
+                    self.fail(id.0 as usize, 0, FailureCause::Vm(e));
+                    return self.into_out(0);
+                }
             }
         }
         // Init schedule (primes peek slack), in global-order restriction.
         for p in 0..self.plans.len() {
             for _ in 0..self.plans[p].init_reps {
-                self.fire_plan(p, abort)?;
+                if self.fire_plan(p).is_err() {
+                    self.drain();
+                    return self.into_out(0);
+                }
             }
         }
         // Don't let fast cores start the clock while others still prime.
-        gate.wait(abort)?;
+        if gate.wait(self.sup.interrupt_flag()).is_err() {
+            self.drain();
+            return self.into_out(0);
+        }
         self.counters = CycleCounters::default();
         let t0 = Instant::now();
-        for _ in 0..iters {
+        let mut stopped = false;
+        'steady: for _ in 0..iters {
             for p in 0..self.plans.len() {
                 for _ in 0..self.plans[p].reps {
-                    self.fire_plan(p, abort)?;
+                    if self.fire_plan(p).is_err() {
+                        stopped = true;
+                        break 'steady;
+                    }
                 }
             }
         }
         let steady_nanos = t0.elapsed().as_nanos() as u64;
-        Ok(WorkerOut {
+        if stopped || self.sup.draining() {
+            self.drain();
+        }
+        self.into_out(steady_nanos)
+    }
+
+    fn into_out(self, steady_nanos: u64) -> WorkerOut {
+        WorkerOut {
             sink_outputs: self.sink_outputs,
             steady_nanos,
             modelled: self.counters,
-        })
+        }
     }
 
-    /// One firing of plan `p`: pull cut-edge inputs, fire, flush cut-edge
-    /// outputs.
-    fn fire_plan(&mut self, p: usize, abort: &AtomicBool) -> Result<(), WorkerFail> {
-        self.ensure_inputs(p, abort)?;
+    /// Record a failure of `stage` at `firing` and raise the interrupt.
+    fn fail(&mut self, stage: usize, firing: u64, cause: FailureCause) {
+        self.trace
+            .record(EventKind::StageFailed, stage as u32, firing);
+        self.sup.raise(StageFailure {
+            stage,
+            name: stage_name(self.graph.node(NodeId(stage as u32))),
+            core: self.core,
+            firing,
+            mode: self.opts.mode,
+            cause,
+        });
+    }
+
+    /// Sleep `nanos` in supervisor-aware slices, so an injected stall (or
+    /// push delay) can outlive a watchdog timeout without outliving the
+    /// run. Returns `Err(Stop)` if the run started draining meanwhile.
+    fn cooperative_stall(&self, nanos: u64) -> Result<(), Stop> {
+        let until = clock::now_ns() + nanos;
+        while clock::now_ns() < until {
+            if self.sup.draining() {
+                return Err(Stop);
+            }
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+        Ok(())
+    }
+
+    /// Quarantine the torn outputs of a failed firing: poison every local
+    /// out-edge tape half of `id` so nothing downstream consumes a torn
+    /// write prefix. (Cut-edge rings only ever receive post-firing
+    /// flushes, so they need no quarantine.)
+    fn quarantine_outputs(&mut self, id: NodeId) {
+        for eid in self.graph.out_edges(id) {
+            self.tapes[eid.0 as usize].poison();
+        }
+    }
+
+    /// One firing of plan `p`: pull cut-edge inputs, fire (inside
+    /// `catch_unwind`, under a heartbeat, with any planned fault applied),
+    /// flush cut-edge outputs.
+    fn fire_plan(&mut self, p: usize) -> Result<(), Stop> {
+        if self.sup.draining() {
+            return Err(Stop);
+        }
         let id = self.plans[p].id;
+        let stage = id.0 as usize;
+        let firing = self.plans[p].attempts;
+        self.plans[p].attempts += 1;
+        let fault = self.opts.plan.fault_for(stage, firing);
+        let mut delay_push = 0u64;
+        if let Some(kind) = fault {
+            self.trace.record(EventKind::FaultInjected, id.0, firing);
+            match kind {
+                FaultKind::PoisonTape => {
+                    // Poison the stage's input half (or output half for
+                    // sources); the firing below then refuses to run.
+                    if let Some(e) = self.graph.single_in_edge(id) {
+                        self.tapes[e.0 as usize].poison();
+                    } else if let Some(e) = self.graph.single_out_edge(id) {
+                        self.tapes[e.0 as usize].poison();
+                    }
+                }
+                FaultKind::DelayPush { nanos } => delay_push = nanos,
+                FaultKind::DropUnpark { count } => {
+                    for push in &self.plans[p].pushes {
+                        push.ring.arm_unpark_drops(count as u64);
+                    }
+                    for pull in &self.plans[p].pulls {
+                        pull.ring.arm_unpark_drops(count as u64);
+                    }
+                }
+                FaultKind::Panic | FaultKind::StallFiring { .. } => {}
+            }
+        }
+        // Input waits stay OUTSIDE the heartbeat window: a stage blocked
+        // on an empty ring is waiting, not executing, and must not be
+        // condemned by the watchdog (blocked waits are interruptible
+        // through the abort flag instead). The heartbeat covers only the
+        // firing itself.
+        if self.ensure_inputs(p).is_err() {
+            return Err(Stop);
+        }
+        let hb = self.sup.heartbeat(self.slot);
+        hb.begin(stage, firing);
+        if let Some(FaultKind::StallFiring { nanos }) = fault {
+            // Under the heartbeat: a stall longer than the watchdog
+            // timeout is escalated; a shorter one is pure latency.
+            if self.cooperative_stall(nanos).is_err() {
+                hb.end();
+                return Err(Stop);
+            }
+        }
         self.trace.record(EventKind::FiringStart, id.0, 0);
         let before = self.counters.total();
-        self.fire_node(id)?;
-        // aux = modelled cycles this firing cost, so the timeline carries
-        // both wall time (span length) and the cost model's estimate.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if matches!(fault, Some(FaultKind::Panic)) {
+                panic!("injected fault: panic at stage {stage} firing {firing}");
+            }
+            self.fire_node(id)
+        }));
         self.trace
             .record(EventKind::FiringEnd, id.0, self.counters.total() - before);
-        self.stages[id.0 as usize]
-            .firings
-            .fetch_add(1, Ordering::Relaxed);
-        self.flush_outputs(p, abort)
+        hb.end();
+        match result {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                self.quarantine_outputs(id);
+                self.fail(stage, firing, FailureCause::Vm(e));
+                return Err(Stop);
+            }
+            Err(payload) => {
+                self.quarantine_outputs(id);
+                let msg = firing::panic_message(payload.as_ref());
+                self.fail(stage, firing, FailureCause::Panic(msg));
+                return Err(Stop);
+            }
+        }
+        // The watchdog may have condemned this very firing while it ran
+        // (stall injection, genuinely slow stage). Its output must not be
+        // committed then: the failure report says the firing never
+        // finished cleanly.
+        if self.sup.draining() && self.sup.failed_stages().contains(&stage) {
+            self.trace.record(EventKind::WatchdogFire, id.0, firing);
+            self.quarantine_outputs(id);
+            return Err(Stop);
+        }
+        self.plans[p].completed += 1;
+        self.stages[stage].firings.fetch_add(1, Ordering::Relaxed);
+        if delay_push > 0 && self.cooperative_stall(delay_push).is_err() {
+            // Another stage failed during the injected delay; the drain
+            // below flushes this firing's committed output.
+            return Err(Stop);
+        }
+        if self.flush_outputs(p).is_err() {
+            return Err(Stop);
+        }
+        Ok(())
     }
 
     /// Pull from each cut in-edge until the local tape half holds every
     /// physical token this firing can address.
-    fn ensure_inputs(&mut self, p: usize, abort: &AtomicBool) -> Result<(), WorkerFail> {
+    fn ensure_inputs(&mut self, p: usize) -> Result<(), Stop> {
+        let abort = self.sup.interrupt_flag();
         let plan = &mut self.plans[p];
         let node_idx = plan.id.0 as usize;
         for pull in &mut plan.pulls {
-            let needed_phys = if pull.block > 1 {
-                let pos = pull.consumed % pull.block;
-                (pos + pull.need).div_ceil(pull.block) * pull.block
-            } else {
-                pull.need
-            };
+            let needed_phys = pull.needed_phys();
             let tape = &mut self.tapes[pull.edge];
             let mut got = 0u64;
             while tape.len() < needed_phys {
                 let missing = needed_phys - tape.len();
                 let n = pull.ring.pop_avail(|v| tape.push(v), missing);
-                if n == 0 {
-                    pull.ring.wait_nonempty_traced(abort, &self.trace)?;
+                if n == 0 && pull.ring.wait_nonempty_traced(abort, &self.trace).is_err() {
+                    return Err(Stop);
                 }
                 got += n as u64;
             }
@@ -306,7 +490,8 @@ impl<'g> Worker<'g> {
 
     /// Drain every committed element of each cut out-edge's local tape
     /// half into its ring, in physical order.
-    fn flush_outputs(&mut self, p: usize, abort: &AtomicBool) -> Result<(), WorkerFail> {
+    fn flush_outputs(&mut self, p: usize) -> Result<(), Stop> {
+        let abort = self.sup.interrupt_flag();
         let plan = &self.plans[p];
         let node_idx = plan.id.0 as usize;
         for push in &plan.pushes {
@@ -319,8 +504,13 @@ impl<'g> Worker<'g> {
             for _ in 0..n {
                 self.scratch.push(tape.pop());
             }
-            push.ring
-                .push_batch_traced(&self.scratch, abort, &self.trace)?;
+            if push
+                .ring
+                .push_batch_traced(&self.scratch, abort, &self.trace)
+                .is_err()
+            {
+                return Err(Stop);
+            }
             self.stages[node_idx]
                 .ring_out
                 .fetch_add(n as u64, Ordering::Relaxed);
@@ -328,9 +518,204 @@ impl<'g> Worker<'g> {
         Ok(())
     }
 
+    /// Coordinated drain after a failure, the "degrade gracefully" half
+    /// of the supervision protocol:
+    ///
+    /// - stages with a path to any failed stage (including the failed
+    ///   stages themselves) stop — anything they produced would never be
+    ///   consumed past the failure point;
+    /// - every other local stage keeps firing as long as its inputs are
+    ///   already available (non-blocking ring pops, no waits), bounded by
+    ///   the firing count a full run would have executed;
+    /// - cut-edge flushes become non-blocking and keep the unflushed tail
+    ///   buffered locally, so no committed token is dropped while a full
+    ///   ring empties;
+    /// - the pass loop ends after two consecutive passes without
+    ///   progress (the second separated by a short sleep so in-flight
+    ///   tokens from other cores can land).
+    ///
+    /// Termination is structural: every pass either completes a firing
+    /// (bounded by the schedule) or burns one of the two idle passes.
+    fn drain(&mut self) {
+        let failed = self.sup.failed_stages();
+        self.trace.record(
+            EventKind::DrainBegin,
+            failed.first().map(|&s| s as u32).unwrap_or(0),
+            0,
+        );
+        let excluded = self.upstream_of(&failed);
+        let mut dead = vec![false; self.graph.node_count()];
+        let mut idle_passes = 0;
+        while idle_passes < 2 {
+            let mut fired = false;
+            for p in 0..self.plans.len() {
+                let stage = self.plans[p].id.0 as usize;
+                if excluded[stage] || dead[stage] {
+                    continue;
+                }
+                // Committed output first: even if the stage never fires
+                // again, what it already produced must reach its ring.
+                self.flush_avail(p);
+                while self.plans[p].completed < self.plans[p].scheduled
+                    && self.drain_inputs_ready(p)
+                {
+                    if self.drain_fire(p, &mut dead) {
+                        fired = true;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            if fired {
+                idle_passes = 0;
+            } else {
+                idle_passes += 1;
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        }
+    }
+
+    /// `excluded[n]` = node `n` can reach a failed stage (or is one):
+    /// its remaining output is undeliverable, so it parks instead of
+    /// firing into a dead subgraph.
+    fn upstream_of(&self, failed: &[usize]) -> Vec<bool> {
+        let mut marked = vec![false; self.graph.node_count()];
+        for &f in failed {
+            if f < marked.len() {
+                marked[f] = true;
+            }
+        }
+        loop {
+            let mut changed = false;
+            for (_, e) in self.graph.edges() {
+                if marked[e.dst.0 as usize] && !marked[e.src.0 as usize] {
+                    marked[e.src.0 as usize] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return marked;
+            }
+        }
+    }
+
+    /// True when every in-edge of plan `p` already holds enough tokens
+    /// for one firing (after topping up cut edges non-blocking) and none
+    /// of its tapes is quarantined.
+    fn drain_inputs_ready(&mut self, p: usize) -> bool {
+        let node_idx = self.plans[p].id.0 as usize;
+        let plan = &mut self.plans[p];
+        for pull in &mut plan.pulls {
+            let needed_phys = pull.needed_phys();
+            let tape = &mut self.tapes[pull.edge];
+            if tape.is_poisoned() {
+                return false;
+            }
+            if tape.len() < needed_phys {
+                let missing = needed_phys - tape.len();
+                let got = pull.ring.pop_avail(|v| tape.push(v), missing);
+                if got > 0 {
+                    self.stages[node_idx]
+                        .ring_in
+                        .fetch_add(got as u64, Ordering::Relaxed);
+                }
+                if tape.len() < needed_phys {
+                    return false;
+                }
+            }
+        }
+        for li in &plan.local_ins {
+            let tape = &self.tapes[li.edge];
+            if tape.is_poisoned() {
+                return false;
+            }
+            // No block cursor for local tapes: require a worst-case
+            // block-aligned window (conservative by < one block).
+            let required = if li.block > 1 {
+                li.need + li.block - 1
+            } else {
+                li.need
+            };
+            if tape.len() < required {
+                return false;
+            }
+        }
+        // The firing below also writes: a poisoned output half (torn
+        // prefix quarantine) refuses the firing for filters and must
+        // equally stop splitters/joiners/sinks here.
+        if self
+            .graph
+            .out_edges(self.plans[p].id)
+            .iter()
+            .any(|e| self.tapes[e.0 as usize].is_poisoned())
+        {
+            return false;
+        }
+        true
+    }
+
+    /// Fire plan `p` once during the drain. Returns false (and marks the
+    /// stage dead) if the firing failed — a second failure during the
+    /// drain is recorded like the first, but must not loop forever.
+    fn drain_fire(&mut self, p: usize, dead: &mut [bool]) -> bool {
+        let id = self.plans[p].id;
+        let stage = id.0 as usize;
+        let firing = self.plans[p].attempts;
+        self.plans[p].attempts += 1;
+        self.trace.record(EventKind::FiringStart, id.0, 0);
+        let before = self.counters.total();
+        let result = catch_unwind(AssertUnwindSafe(|| self.fire_node(id)));
+        self.trace
+            .record(EventKind::FiringEnd, id.0, self.counters.total() - before);
+        let cause = match result {
+            Ok(Ok(())) => {
+                self.plans[p].completed += 1;
+                self.stages[stage].firings.fetch_add(1, Ordering::Relaxed);
+                for pull in &mut self.plans[p].pulls {
+                    pull.consumed += pull.pop;
+                }
+                self.flush_avail(p);
+                return true;
+            }
+            Ok(Err(e)) => FailureCause::Vm(e),
+            Err(payload) => FailureCause::Panic(firing::panic_message(payload.as_ref())),
+        };
+        self.quarantine_outputs(id);
+        self.fail(stage, firing, cause);
+        dead[stage] = true;
+        false
+    }
+
+    /// Non-blocking cut-edge flush: push what fits, keep the tail local
+    /// (in order) for the next pass.
+    fn flush_avail(&mut self, p: usize) {
+        let plan = &self.plans[p];
+        let node_idx = plan.id.0 as usize;
+        for push in &plan.pushes {
+            let tape = &mut self.tapes[push.edge];
+            let n = tape.len();
+            if n == 0 {
+                continue;
+            }
+            self.scratch.clear();
+            for i in 0..n {
+                self.scratch.push(tape.peek(i));
+            }
+            let accepted = push.ring.push_avail(&self.scratch);
+            for _ in 0..accepted {
+                tape.pop();
+            }
+            if accepted > 0 {
+                self.stages[node_idx]
+                    .ring_out
+                    .fetch_add(accepted as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Fire one node once against the local tapes — the same dispatch as
     /// `Executor::fire`, built on the shared [`firing`] primitives.
-    fn fire_node(&mut self, id: NodeId) -> Result<(), VmError> {
+    fn fire_node(&mut self, id: NodeId) -> Result<(), macross_vm::VmError> {
         self.counters.firing_overhead += self.machine.cost.firing;
         let in_edge = self.graph.single_in_edge(id);
         let out_edge = self.graph.single_out_edge(id);

@@ -1,0 +1,257 @@
+//! Compare a freshly produced `BENCH_*.json` against a committed baseline
+//! and fail on regressions — the CI perf gate.
+//!
+//! Usage:
+//! `compare_reports [--tolerance 0.15] [--include-time] <baseline.json> <current.json>`
+//!
+//! Metric keys are classified by name:
+//!
+//! - **absolute-time metrics** (`*ns*`, `*nanos*`, `*wall*`, `*_ms*`) are
+//!   machine-dependent and skipped unless `--include-time` is passed;
+//! - **higher-is-better metrics** (`*speedup*`, `*improvement*`,
+//!   `*throughput*`) regress when `current < baseline * (1 - tolerance)`;
+//! - everything else (modelled cycles, cost-model numbers) is
+//!   lower-is-better and regresses when
+//!   `current > baseline * (1 + tolerance)`;
+//! - **counters** are exact event counts and must match the baseline
+//!   bit-for-bit, except noisy ones (`*stall*`, `*nanos*`) which are
+//!   skipped.
+//!
+//! On failure a delta table of every compared key is printed so the
+//! regression is readable straight from the CI log.
+
+use macross_telemetry::json::{self, Json};
+use macross_telemetry::report;
+use std::process::ExitCode;
+
+fn is_time_metric(key: &str) -> bool {
+    ["ns", "nanos", "wall", "_ms"]
+        .iter()
+        .any(|p| key.contains(p))
+}
+
+fn higher_is_better(key: &str) -> bool {
+    ["speedup", "improvement", "throughput"]
+        .iter()
+        .any(|p| key.contains(p))
+}
+
+fn is_noisy_counter(key: &str) -> bool {
+    key.contains("stall") || key.contains("nanos")
+}
+
+struct Line {
+    key: String,
+    base: String,
+    cur: String,
+    delta: String,
+    status: &'static str,
+    failed: bool,
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: read failed: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(v) = report::check(&doc).first() {
+        return Err(format!("{path}: not a valid report: {v}"));
+    }
+    Ok(doc)
+}
+
+fn rows(doc: &Json) -> Vec<(&str, &Json)> {
+    doc.get("rows")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|r| r.get("benchmark").and_then(Json::as_str).map(|b| (b, r)))
+        .collect()
+}
+
+fn entries<'a>(row: &'a Json, section: &str) -> Vec<(&'a str, f64)> {
+    row.get(section)
+        .and_then(Json::as_obj)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|(k, v)| v.as_num().map(|n| (k.as_str(), n)))
+        .collect()
+}
+
+fn fmt_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{n:.0}")
+    } else {
+        format!("{n:.3}")
+    }
+}
+
+fn compare_metric(key: String, base: f64, cur: f64, tolerance: f64) -> Line {
+    let delta_pct = if base != 0.0 {
+        (cur - base) / base * 100.0
+    } else if cur == 0.0 {
+        0.0
+    } else {
+        f64::INFINITY
+    };
+    let regressed = if higher_is_better(&key) {
+        cur < base * (1.0 - tolerance)
+    } else {
+        cur > base * (1.0 + tolerance)
+    };
+    let improved = if higher_is_better(&key) {
+        cur > base * (1.0 + tolerance)
+    } else {
+        cur < base * (1.0 - tolerance)
+    };
+    Line {
+        key,
+        base: fmt_num(base),
+        cur: fmt_num(cur),
+        delta: format!("{delta_pct:+.1}%"),
+        status: if regressed {
+            "REGRESSED"
+        } else if improved {
+            "improved"
+        } else {
+            "ok"
+        },
+        failed: regressed,
+    }
+}
+
+fn print_table(lines: &[Line]) {
+    let w = |f: fn(&Line) -> usize, min: usize| lines.iter().map(f).max().unwrap_or(0).max(min);
+    let kw = w(|l| l.key.len(), 3);
+    let bw = w(|l| l.base.len(), 8);
+    let cw = w(|l| l.cur.len(), 7);
+    let dw = w(|l| l.delta.len(), 5);
+    println!(
+        "{:kw$}  {:>bw$}  {:>cw$}  {:>dw$}  status",
+        "key", "baseline", "current", "delta"
+    );
+    for l in lines {
+        println!(
+            "{:kw$}  {:>bw$}  {:>cw$}  {:>dw$}  {}",
+            l.key, l.base, l.cur, l.delta, l.status
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let mut tolerance = 0.15f64;
+    let mut include_time = false;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => tolerance = t,
+                _ => {
+                    eprintln!("--tolerance needs a non-negative number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--include-time" => include_time = true,
+            _ => paths.push(arg),
+        }
+    }
+    let [baseline_path, current_path] = &paths[..] else {
+        eprintln!(
+            "usage: compare_reports [--tolerance 0.15] [--include-time] <baseline.json> <current.json>"
+        );
+        return ExitCode::from(2);
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for r in [b, c] {
+                if let Err(e) = r {
+                    eprintln!("{e}");
+                }
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let cur_rows = rows(&current);
+    let mut lines: Vec<Line> = Vec::new();
+    let mut failures = 0usize;
+    let mut skipped = 0usize;
+    for (bench, base_row) in rows(&baseline) {
+        let Some((_, cur_row)) = cur_rows.iter().find(|(b, _)| *b == bench) else {
+            lines.push(Line {
+                key: bench.to_string(),
+                base: "-".into(),
+                cur: "-".into(),
+                delta: "-".into(),
+                status: "ROW MISSING",
+                failed: true,
+            });
+            failures += 1;
+            continue;
+        };
+        for (key, base_val) in entries(base_row, "metrics") {
+            let full = format!("{bench}/{key}");
+            if is_time_metric(key) && !include_time {
+                skipped += 1;
+                continue;
+            }
+            let line = match entries(cur_row, "metrics").iter().find(|(k, _)| *k == key) {
+                Some(&(_, cur_val)) => compare_metric(full, base_val, cur_val, tolerance),
+                None => Line {
+                    key: full,
+                    base: fmt_num(base_val),
+                    cur: "-".into(),
+                    delta: "-".into(),
+                    status: "METRIC MISSING",
+                    failed: true,
+                },
+            };
+            failures += line.failed as usize;
+            lines.push(line);
+        }
+        for (key, base_val) in entries(base_row, "counters") {
+            let full = format!("{bench}/{key}");
+            if is_noisy_counter(key) {
+                skipped += 1;
+                continue;
+            }
+            let (cur, delta, status, failed) =
+                match entries(cur_row, "counters").iter().find(|(k, _)| *k == key) {
+                    Some(&(_, cur_val)) if cur_val == base_val => {
+                        (fmt_num(cur_val), "=".to_string(), "ok", false)
+                    }
+                    Some(&(_, cur_val)) => (
+                        fmt_num(cur_val),
+                        format!("{:+}", cur_val - base_val),
+                        "MISMATCH",
+                        true,
+                    ),
+                    None => ("-".into(), "-".into(), "COUNTER MISSING", true),
+                };
+            failures += failed as usize;
+            lines.push(Line {
+                key: full,
+                base: fmt_num(base_val),
+                cur,
+                delta,
+                status,
+                failed,
+            });
+        }
+    }
+
+    print_table(&lines);
+    println!(
+        "compared {} key(s), skipped {} machine-dependent, tolerance ±{:.0}%",
+        lines.len(),
+        skipped,
+        tolerance * 100.0
+    );
+    if failures > 0 {
+        println!("FAIL: {failures} regression(s) against {baseline_path}");
+        ExitCode::FAILURE
+    } else {
+        println!("PASS: no regressions against {baseline_path}");
+        ExitCode::SUCCESS
+    }
+}

@@ -30,7 +30,41 @@ fn span_parts(kind: EventKind) -> Option<(&'static str, bool)> {
         EventKind::RingPopStallEnd => Some(("pop_stall", false)),
         EventKind::Park => Some(("park", true)),
         EventKind::Unpark => Some(("park", false)),
+        EventKind::FaultInjected
+        | EventKind::StageFailed
+        | EventKind::DrainBegin
+        | EventKind::WatchdogFire => None,
     }
+}
+
+/// Point-in-time kinds exported as Chrome instant (`"ph": "i"`) events.
+fn instant_cat(kind: EventKind) -> Option<&'static str> {
+    match kind {
+        EventKind::FaultInjected => Some("fault"),
+        EventKind::StageFailed => Some("failure"),
+        EventKind::DrainBegin => Some("drain"),
+        EventKind::WatchdogFire => Some("watchdog"),
+        _ => None,
+    }
+}
+
+fn instant_event(kind: EventKind, cat: &'static str, worker: u32, ev: Event) -> Json {
+    Json::obj([
+        ("name", Json::Str(kind.label().to_string())),
+        ("cat", Json::Str(cat.to_string())),
+        ("ph", Json::Str("i".into())),
+        ("s", Json::Str("t".into())),
+        ("ts", Json::Num(ev.ts_ns as f64 / 1000.0)),
+        ("pid", Json::Num(0.0)),
+        ("tid", Json::Num(worker as f64)),
+        (
+            "args",
+            Json::obj([
+                ("subject", Json::Num(ev.subject as f64)),
+                ("aux", Json::Num(ev.aux as f64)),
+            ]),
+        ),
+    ])
 }
 
 fn span_name(cat: &str, subject: u32, node_names: &[String]) -> String {
@@ -74,6 +108,9 @@ pub fn chrome_trace(events: &[(u32, Event)], node_names: &[String]) -> Json {
     let mut open: HashMap<SpanKey, Vec<u64>> = HashMap::new();
     for &(worker, ev) in events {
         let Some((cat, is_begin)) = span_parts(ev.kind) else {
+            if let Some(icat) = instant_cat(ev.kind) {
+                out.push(instant_event(ev.kind, icat, worker, ev));
+            }
             continue;
         };
         let key = SpanKey {

@@ -26,6 +26,18 @@ pub enum EventKind {
     Park,
     /// The thread came back from parking (`subject` = edge id).
     Unpark,
+    /// A planned fault was injected (`subject` = node id, `aux` = firing
+    /// index it was addressed to).
+    FaultInjected,
+    /// A stage failed and was reported to the supervisor (`subject` =
+    /// node id, `aux` = firing index).
+    StageFailed,
+    /// The supervisor raised the interrupt flag and workers switched to
+    /// the coordinated drain (`subject` = node id of the first failure).
+    DrainBegin,
+    /// The watchdog escalated a stuck stage (`subject` = node id, `aux` =
+    /// nanoseconds the firing had been running).
+    WatchdogFire,
 }
 
 impl EventKind {
@@ -40,6 +52,10 @@ impl EventKind {
             EventKind::RingPopStallEnd => "pop_stall_end",
             EventKind::Park => "park",
             EventKind::Unpark => "unpark",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::StageFailed => "stage_failed",
+            EventKind::DrainBegin => "drain_begin",
+            EventKind::WatchdogFire => "watchdog_fire",
         }
     }
 }
@@ -90,6 +106,10 @@ mod tests {
             EventKind::RingPopStallEnd,
             EventKind::Park,
             EventKind::Unpark,
+            EventKind::FaultInjected,
+            EventKind::StageFailed,
+            EventKind::DrainBegin,
+            EventKind::WatchdogFire,
         ];
         let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());

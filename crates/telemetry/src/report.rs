@@ -181,88 +181,227 @@ impl BenchReport {
     }
 }
 
-fn require_num(v: &Json, what: &str) -> Result<f64, String> {
-    v.as_num()
-        .ok_or_else(|| format!("{what} must be a finite number"))
+/// One schema violation: the JSON key path of the offending value and
+/// what is wrong with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Key path into the document, e.g. `rows[2].counters.iters` (`$` is
+    /// the document root).
+    pub path: String,
+    /// What the schema required there.
+    pub message: String,
 }
 
-fn require_str<'a>(v: &'a Json, what: &str) -> Result<&'a str, String> {
-    v.as_str().ok_or_else(|| format!("{what} must be a string"))
-}
-
-fn require_field<'a>(obj: &'a Json, key: &str, what: &str) -> Result<&'a Json, String> {
-    obj.get(key)
-        .ok_or_else(|| format!("{what} is missing required field \"{key}\""))
-}
-
-fn check_uint(n: f64, what: &str) -> Result<(), String> {
-    if n < 0.0 || n.fract() != 0.0 {
-        return Err(format!("{what} must be a non-negative integer, got {n}"));
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.message)
     }
-    Ok(())
+}
+
+struct Checker(Vec<Violation>);
+
+impl Checker {
+    fn push(&mut self, path: impl Into<String>, message: impl Into<String>) {
+        self.0.push(Violation {
+            path: path.into(),
+            message: message.into(),
+        });
+    }
+
+    /// Require `obj[key]` to exist and parse through `get`; on success run
+    /// `then` against the extracted value.
+    fn field<'a, T>(
+        &mut self,
+        obj: &'a Json,
+        path: &str,
+        kind: &str,
+        get: impl Fn(&'a Json) -> Option<T>,
+        then: impl FnOnce(&mut Checker, T),
+    ) {
+        let key = path.rsplit('.').next().unwrap_or(path);
+        match obj.get(key) {
+            None => self.push(path, "missing required field"),
+            Some(v) => match get(v) {
+                None => self.push(path, format!("must be {kind}")),
+                Some(t) => then(self, t),
+            },
+        }
+    }
+}
+
+fn get_uint(v: &Json) -> Option<f64> {
+    v.as_num().filter(|n| *n >= 0.0 && n.fract() == 0.0)
+}
+
+/// Check a parsed document against the version-1 schema, collecting
+/// **every** violation (with its key path) instead of stopping at the
+/// first — so a CI failure shows the whole damage at once.
+pub fn check(doc: &Json) -> Vec<Violation> {
+    let mut c = Checker(Vec::new());
+    if doc.as_obj().is_none() {
+        c.push("$", "report must be a JSON object");
+        return c.0;
+    }
+    c.field(
+        doc,
+        "schema_version",
+        "a finite number",
+        Json::as_num,
+        |c, n| {
+            if n != SCHEMA_VERSION as f64 {
+                c.push(
+                    "schema_version",
+                    format!("unsupported schema_version {n} (expected {SCHEMA_VERSION})"),
+                );
+            }
+        },
+    );
+    c.field(doc, "name", "a string", Json::as_str, |c, s| {
+        if s.is_empty() {
+            c.push("name", "must be non-empty");
+        }
+    });
+    c.field(doc, "machine", "a string", Json::as_str, |_, _| {});
+    c.field(
+        doc,
+        "simd_width",
+        "a non-negative integer",
+        get_uint,
+        |c, n| {
+            if n < 1.0 {
+                c.push("simd_width", "must be >= 1");
+            }
+        },
+    );
+    c.field(
+        doc,
+        "created_unix_ms",
+        "a non-negative integer",
+        get_uint,
+        |_, _| {},
+    );
+    if let Some(mode) = doc.get("exec_mode") {
+        match mode.as_str() {
+            None => c.push("exec_mode", "must be a string"),
+            Some("") => c.push("exec_mode", "must be non-empty when present"),
+            Some(_) => {}
+        }
+    }
+    c.field(doc, "rows", "an array", Json::as_arr, |c, rows| {
+        for (i, row) in rows.iter().enumerate() {
+            check_row(c, row, i);
+        }
+    });
+    c.0
+}
+
+fn check_row(c: &mut Checker, row: &Json, i: usize) {
+    let what = format!("rows[{i}]");
+    if row.as_obj().is_none() {
+        c.push(what, "must be an object");
+        return;
+    }
+    c.field(
+        row,
+        &format!("{what}.benchmark"),
+        "a string",
+        Json::as_str,
+        |c, s| {
+            if s.is_empty() {
+                c.push(format!("{what}.benchmark"), "must be non-empty");
+            }
+        },
+    );
+    c.field(
+        row,
+        &format!("{what}.metrics"),
+        "an object",
+        Json::as_obj,
+        |c, metrics| {
+            for (k, v) in metrics {
+                if v.as_num().is_none() {
+                    c.push(format!("{what}.metrics.{k}"), "must be a finite number");
+                }
+            }
+        },
+    );
+    c.field(
+        row,
+        &format!("{what}.counters"),
+        "an object",
+        Json::as_obj,
+        |c, counters| {
+            for (k, v) in counters {
+                if get_uint(v).is_none() {
+                    c.push(
+                        format!("{what}.counters.{k}"),
+                        "must be a non-negative integer",
+                    );
+                }
+            }
+        },
+    );
+}
+
+/// Non-fatal observations about an otherwise valid document: unknown
+/// top-level keys (typo'd fields silently skip validation) and rows that
+/// carry no data at all.
+pub fn warnings(doc: &Json) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(fields) = doc.as_obj() else {
+        return out;
+    };
+    const KNOWN: [&str; 7] = [
+        "schema_version",
+        "name",
+        "machine",
+        "simd_width",
+        "created_unix_ms",
+        "exec_mode",
+        "rows",
+    ];
+    for (k, _) in fields {
+        if !KNOWN.contains(&k.as_str()) {
+            out.push(Violation {
+                path: k.clone(),
+                message: "unknown top-level field (not part of the schema)".into(),
+            });
+        }
+    }
+    if let Some(rows) = doc.get("rows").and_then(Json::as_arr) {
+        if rows.is_empty() {
+            out.push(Violation {
+                path: "rows".into(),
+                message: "report carries no rows".into(),
+            });
+        }
+        for (i, row) in rows.iter().enumerate() {
+            let empty = |key: &str| {
+                row.get(key)
+                    .and_then(Json::as_obj)
+                    .is_some_and(|m| m.is_empty())
+            };
+            if empty("metrics") && empty("counters") {
+                out.push(Violation {
+                    path: format!("rows[{i}]"),
+                    message: "row has no metrics and no counters".into(),
+                });
+            }
+        }
+    }
+    out
 }
 
 /// Validate a parsed document against the version-1 schema.
 ///
 /// # Errors
-/// Returns the first violation as a human-readable message.
+/// Returns the first violation as a human-readable message (use [`check`]
+/// to collect all of them).
 pub fn validate(doc: &Json) -> Result<(), String> {
-    doc.as_obj().ok_or("report must be a JSON object")?;
-    let version = require_num(
-        require_field(doc, "schema_version", "report")?,
-        "schema_version",
-    )?;
-    if version != SCHEMA_VERSION as f64 {
-        return Err(format!(
-            "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
-        ));
+    match check(doc).into_iter().next() {
+        Some(v) => Err(v.to_string()),
+        None => Ok(()),
     }
-    let name = require_str(require_field(doc, "name", "report")?, "name")?;
-    if name.is_empty() {
-        return Err("name must be non-empty".into());
-    }
-    require_str(require_field(doc, "machine", "report")?, "machine")?;
-    let sw = require_num(require_field(doc, "simd_width", "report")?, "simd_width")?;
-    check_uint(sw, "simd_width")?;
-    if sw < 1.0 {
-        return Err("simd_width must be >= 1".into());
-    }
-    let created = require_num(
-        require_field(doc, "created_unix_ms", "report")?,
-        "created_unix_ms",
-    )?;
-    check_uint(created, "created_unix_ms")?;
-    if let Some(mode) = doc.get("exec_mode") {
-        let mode = require_str(mode, "exec_mode")?;
-        if mode.is_empty() {
-            return Err("exec_mode must be non-empty when present".into());
-        }
-    }
-    let rows = require_field(doc, "rows", "report")?
-        .as_arr()
-        .ok_or("rows must be an array")?;
-    for (i, row) in rows.iter().enumerate() {
-        let what = format!("rows[{i}]");
-        row.as_obj().ok_or(format!("{what} must be an object"))?;
-        let bench = require_str(require_field(row, "benchmark", &what)?, "benchmark")?;
-        if bench.is_empty() {
-            return Err(format!("{what}.benchmark must be non-empty"));
-        }
-        let metrics = require_field(row, "metrics", &what)?
-            .as_obj()
-            .ok_or(format!("{what}.metrics must be an object"))?;
-        for (k, v) in metrics {
-            require_num(v, &format!("{what}.metrics.{k}"))?;
-        }
-        let counters = require_field(row, "counters", &what)?
-            .as_obj()
-            .ok_or(format!("{what}.counters must be an object"))?;
-        for (k, v) in counters {
-            let n = require_num(v, &format!("{what}.counters.{k}"))?;
-            check_uint(n, &format!("{what}.counters.{k}"))?;
-        }
-    }
-    Ok(())
 }
 
 /// Parse and validate a report document in one call.
@@ -271,6 +410,14 @@ pub fn validate(doc: &Json) -> Result<(), String> {
 /// Returns a parse error or the first schema violation.
 pub fn validate_str(input: &str) -> Result<(), String> {
     validate(&json::parse(input)?)
+}
+
+/// Parse a document and collect every schema violation.
+///
+/// # Errors
+/// Returns the parse error when the input is not JSON at all.
+pub fn check_str(input: &str) -> Result<Vec<Violation>, String> {
+    Ok(check(&json::parse(input)?))
 }
 
 #[cfg(test)]

@@ -64,6 +64,22 @@ pub enum VmError {
         /// The shape the value actually had.
         got: &'static str,
     },
+    /// A tape this filter fires against was poisoned — by fault injection
+    /// or by a prior failed firing that left it in an undefined state —
+    /// so the firing was refused before touching it.
+    Poisoned {
+        /// Filter name.
+        filter: String,
+    },
+    /// The filter body panicked. The unwind is caught at the firing
+    /// boundary ([`crate::firing::fire_filter`]) and converted so one bad
+    /// guest program cannot take a host worker thread down with it.
+    Panicked {
+        /// Filter name.
+        filter: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for VmError {
@@ -81,6 +97,12 @@ impl fmt::Display for VmError {
             VmError::Schedule(e) => write!(f, "scheduling failed: {e}"),
             VmError::Shape { expected, got } => {
                 write!(f, "expected {expected} value, got {got}")
+            }
+            VmError::Poisoned { filter } => {
+                write!(f, "filter {filter} refused to fire on a poisoned tape")
+            }
+            VmError::Panicked { filter, message } => {
+                write!(f, "filter {filter} panicked mid-firing: {message}")
             }
         }
     }

@@ -147,12 +147,26 @@ pub fn edge_addr_cost(graph: &Graph, edge: EdgeId, consuming: bool, machine: &Ma
         .unwrap_or(0)
 }
 
+/// Render a caught panic payload as text (best effort).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
 /// Fire a filter once: reset locals, run `work` against the tapes at
 /// `in_edge` / `out_edge` in `tapes` (indices into the caller's tape
 /// slice).
 ///
 /// The tapes are moved out and back with `mem::take`, so `in_edge` and
 /// `out_edge` may alias other slots only if distinct from each other.
+///
+/// The firing is a failure boundary: a poisoned tape is refused before it
+/// is touched ([`VmError::Poisoned`]), and a panic in the body is caught
+/// and converted ([`VmError::Panicked`]) so a bad guest program fails one
+/// firing instead of unwinding through a host worker thread.
 ///
 /// # Errors
 /// Propagates interpreter failures; the tapes are restored either way.
@@ -168,37 +182,64 @@ pub fn fire_filter(
     machine: &Machine,
     counters: &mut CycleCounters,
 ) -> Result<(), VmError> {
+    if in_edge
+        .iter()
+        .chain(out_edge.iter())
+        .any(|&e| tapes[e].is_poisoned())
+    {
+        return Err(VmError::Poisoned {
+            filter: filter.name.clone(),
+        });
+    }
     let mut in_tape = in_edge.map(|e| std::mem::take(&mut tapes[e]));
     let mut out_tape = out_edge.map(|e| std::mem::take(&mut tapes[e]));
-    let result = if let Engine::Compiled(plan) = &state.engine {
-        let plan = Arc::clone(plan);
-        plan.zero_locals(&mut state.regs);
-        run_code(
-            &plan,
-            &plan.work,
-            &mut state.regs,
-            &mut state.chans,
-            in_tape.as_mut(),
-            out_tape.as_mut(),
-            input_addr_cost,
-            output_addr_cost,
-            counters,
-        )
-    } else {
-        reset_locals(filter, &mut state.slots);
-        let mut ctx = FiringCtx {
-            filter,
-            slots: &mut state.slots,
-            chans: &mut state.chans,
-            input: in_tape.as_mut(),
-            output: out_tape.as_mut(),
-            machine,
-            counters,
-            input_addr_cost,
-            output_addr_cost,
-        };
-        ctx.exec_block(&filter.work)
-    };
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Engine::Compiled(plan) = &state.engine {
+            let plan = Arc::clone(plan);
+            plan.zero_locals(&mut state.regs);
+            run_code(
+                &plan,
+                &plan.work,
+                &mut state.regs,
+                &mut state.chans,
+                in_tape.as_mut(),
+                out_tape.as_mut(),
+                input_addr_cost,
+                output_addr_cost,
+                counters,
+            )
+        } else {
+            reset_locals(filter, &mut state.slots);
+            let mut ctx = FiringCtx {
+                filter,
+                slots: &mut state.slots,
+                chans: &mut state.chans,
+                input: in_tape.as_mut(),
+                output: out_tape.as_mut(),
+                machine,
+                counters,
+                input_addr_cost,
+                output_addr_cost,
+            };
+            ctx.exec_block(&filter.work)
+        }
+    }))
+    .unwrap_or_else(|payload| {
+        Err(VmError::Panicked {
+            filter: filter.name.clone(),
+            message: panic_message(payload.as_ref()),
+        })
+    });
+    // A failed firing may have left a torn write prefix behind; quarantine
+    // it so downstream firings refuse the edge instead of consuming it.
+    if result.is_err() {
+        if let Some(t) = in_tape.as_mut() {
+            t.poison();
+        }
+        if let Some(t) = out_tape.as_mut() {
+            t.poison();
+        }
+    }
     if let (Some(e), Some(t)) = (in_edge, in_tape) {
         tapes[e] = t;
     }

@@ -55,6 +55,10 @@ pub struct Tape {
     /// Lifetime statistics.
     total_pushed: u64,
     total_popped: u64,
+    /// Set by fault injection or a failed firing: the contents can no
+    /// longer be trusted. Checked once per firing at the firing boundary
+    /// (not per access), so the steady-state hot path is unaffected.
+    poisoned: bool,
 }
 
 impl Default for Tape {
@@ -82,7 +86,26 @@ impl Tape {
             write_block_pos: 0,
             total_pushed: 0,
             total_popped: 0,
+            poisoned: false,
         }
+    }
+
+    /// Mark the tape's contents as untrustworthy. Firing primitives refuse
+    /// to run a filter against a poisoned tape
+    /// ([`crate::VmError::Poisoned`]); the data itself is left in place for
+    /// post-mortem inspection.
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
+    /// True when [`Tape::poison`] was called and not cleared since.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Clear the poison mark (replay tooling re-arms tapes between runs).
+    pub fn clear_poison(&mut self) {
+        self.poisoned = false;
     }
 
     /// Enable column-major *read* remapping (vectorized producer, scalar

@@ -1,0 +1,254 @@
+//! Fault differential suite (requires `--features fault-inject`).
+//!
+//! For every benchmark in the suite, across {1, 2, 4} workers, inject
+//! each fault class at a deterministic mid-run `(stage, firing)` address
+//! and pin the supervision contract:
+//!
+//! - **fatal** classes (panic, poisoned tape, stalled firing under a
+//!   watchdog) end in a clean typed [`StageFailure`] — no hang, no
+//!   process abort, and the partial sink output is a prefix of the clean
+//!   run's (nothing already committed is lost or corrupted);
+//! - **robustness** classes (delayed ring flush, swallowed unparks) are
+//!   absorbed: the run completes bit-identically to the clean run;
+//! - failures are deterministic: the same plan reproduces the identical
+//!   failure signature, both directly and via a serialized
+//!   [`ReplayBundle`] round-trip.
+//!
+//! The engine under test is the build default (`ExecMode::default()`), so
+//! the nightly matrix covers both engines by toggling `vm-treewalk`.
+#![cfg(feature = "fault-inject")]
+
+use macross_bench::replay::{failure_signature, make_bundle, run_bundle};
+use macross_repro::benchsuite;
+use macross_repro::runtime::{
+    run_supervised, FaultKind, FaultPlan, SupervisedRun, SupervisorOptions, FAULTS_COMPILED,
+};
+use macross_repro::sdf::Schedule;
+use macross_repro::streamir::graph::{Graph, Node};
+use macross_repro::telemetry::TraceSession;
+use macross_repro::vm::{ExecMode, Machine};
+use std::time::{Duration, Instant};
+
+const CORE_COUNTS: [usize; 3] = [1, 2, 4];
+const WATCHDOG: Duration = Duration::from_millis(25);
+/// Generous bound that still catches a wedged drain or a leaked blocking
+/// wait long before CI does.
+const NO_HANG: Duration = Duration::from_secs(30);
+
+struct Target {
+    graph: Graph,
+    schedule: Schedule,
+    assignment: Vec<u32>,
+    iters: u64,
+    clean: SupervisedRun,
+    /// Filter stage chosen for injection and its mid-run firing index.
+    stage: usize,
+    firing: u64,
+}
+
+fn run_once(
+    graph: &Graph,
+    schedule: &Schedule,
+    assignment: &[u32],
+    iters: u64,
+    plan: FaultPlan,
+    watchdog: Option<Duration>,
+) -> SupervisedRun {
+    let opts = SupervisorOptions {
+        mode: ExecMode::default(),
+        watchdog,
+        stage_timeouts: Vec::new(),
+        plan,
+    };
+    let t0 = Instant::now();
+    let out = run_supervised(
+        graph,
+        schedule,
+        &Machine::core_i7(),
+        assignment,
+        iters,
+        &opts,
+        &TraceSession::disabled(),
+    )
+    .unwrap();
+    assert!(
+        t0.elapsed() < NO_HANG,
+        "run exceeded the no-hang bound ({NO_HANG:?})"
+    );
+    out
+}
+
+fn run(t: &Target, plan: FaultPlan, watchdog: Option<Duration>) -> SupervisedRun {
+    run_once(
+        &t.graph,
+        &t.schedule,
+        &t.assignment,
+        t.iters,
+        plan,
+        watchdog,
+    )
+}
+
+/// Build the injection target for one (benchmark, cores) cell: simdize +
+/// place exactly like the driver, run clean once, and pick the first
+/// filter stage with at least two firings as the victim.
+fn target(bench: &benchsuite::Benchmark, cores: usize) -> Target {
+    let machine = Machine::core_i7();
+    let graph = (bench.build)();
+    let (graph, schedule, assignment) =
+        macross_bench::replay::campaign_placement(&graph, &machine, cores).unwrap();
+    let iters = bench.iters.min(6);
+    let clean = run_once(
+        &graph,
+        &schedule,
+        &assignment,
+        iters,
+        FaultPlan::none(),
+        None,
+    );
+    assert!(
+        clean.completed,
+        "{}@{cores}: clean run must complete",
+        bench.name
+    );
+    let (stage, firings) = graph
+        .nodes()
+        .filter(|(_, n)| matches!(n, Node::Filter(_)))
+        .map(|(id, _)| (id.0 as usize, clean.report.stages[id.0 as usize].firings))
+        .find(|&(_, firings)| firings >= 2)
+        .unwrap_or_else(|| panic!("{}@{cores}: no filter fired twice", bench.name));
+    Target {
+        graph,
+        schedule,
+        assignment,
+        iters,
+        clean,
+        stage,
+        firing: firings / 2,
+    }
+}
+
+/// Each sink's partial stream must be a prefix of the clean run's.
+fn assert_prefix(bench: &str, cores: usize, clean: &SupervisedRun, failed: &SupervisedRun) {
+    for (sink, vals) in failed.outputs.iter().enumerate() {
+        let reference = &clean.outputs[sink];
+        assert!(
+            vals.len() <= reference.len(),
+            "{bench}@{cores}: sink {sink} produced beyond the clean run"
+        );
+        for (i, (got, want)) in vals.iter().zip(reference.iter()).enumerate() {
+            assert!(
+                got.bits_eq(*want),
+                "{bench}@{cores}: sink {sink} diverged at {i}: {got:?} vs {want:?}"
+            );
+        }
+    }
+}
+
+// The whole file is gated on the feature, so injection must be compiled.
+const _: () = assert!(FAULTS_COMPILED);
+
+#[test]
+fn injected_faults_fail_clean_and_replay_identically() {
+    let machine = Machine::core_i7();
+    for bench in benchsuite::all() {
+        for &cores in &CORE_COUNTS {
+            let t = target(&bench, cores);
+            let label = format!("{}@{cores}", bench.name);
+
+            // --- Fatal classes: typed failure, no hang, prefix intact.
+            let fatal = [
+                (FaultKind::Panic, "panic", None),
+                (FaultKind::PoisonTape, "vm", None),
+                (
+                    FaultKind::StallFiring {
+                        nanos: 4 * WATCHDOG.as_nanos() as u64,
+                    },
+                    "watchdog",
+                    Some(WATCHDOG),
+                ),
+            ];
+            for (kind, want_cause, watchdog) in fatal {
+                let plan = FaultPlan::single(t.stage, t.firing, kind);
+                let failed = run(&t, plan.clone(), watchdog);
+                assert!(!failed.completed, "{label}: {kind:?} must fail the run");
+                let f = failed
+                    .report
+                    .root_failure()
+                    .unwrap_or_else(|| panic!("{label}: {kind:?} recorded no failure"));
+                assert_eq!((f.stage, f.firing), (t.stage, t.firing), "{label} {kind:?}");
+                assert_eq!(f.cause.label(), want_cause, "{label} {kind:?}: {f}");
+                assert_prefix(bench.name, cores, &t.clean, &failed);
+
+                // Determinism: an identical run observes the identical
+                // failure signature.
+                let again = run(&t, plan.clone(), watchdog);
+                assert_eq!(
+                    failure_signature(&failed.report.failures),
+                    failure_signature(&again.report.failures),
+                    "{label}: {kind:?} failure signature must be deterministic"
+                );
+            }
+
+            // --- Robustness classes: absorbed, bit-identical completion.
+            for kind in [
+                FaultKind::DelayPush { nanos: 2_000_000 },
+                FaultKind::DropUnpark { count: 2 },
+            ] {
+                let plan = FaultPlan::single(t.stage, t.firing, kind);
+                let out = run(&t, plan, None);
+                assert!(out.completed, "{label}: {kind:?} must be absorbed");
+                assert!(out.report.failures.is_empty(), "{label}: {kind:?}");
+                assert_eq!(
+                    out.output.len(),
+                    t.clean.output.len(),
+                    "{label}: {kind:?} throughput"
+                );
+                for (i, (a, b)) in out.output.iter().zip(&t.clean.output).enumerate() {
+                    assert!(
+                        a.bits_eq(*b),
+                        "{label}: {kind:?} output {i} diverged: {a:?} vs {b:?}"
+                    );
+                }
+            }
+
+            // --- Replay bundle round-trip reproduces the panic case. The
+            // seed is pure provenance; carrying the core count in it keeps
+            // the three per-benchmark bundle file names distinct.
+            let mut plan = FaultPlan::single(t.stage, t.firing, FaultKind::Panic);
+            plan.seed = cores as u64;
+            let failed = run(&t, plan.clone(), None);
+            let bundle = make_bundle(
+                bench.name,
+                true,
+                &machine,
+                ExecMode::default(),
+                &t.assignment,
+                t.iters,
+                None,
+                plan,
+                &failed.report.failures,
+            );
+            let parsed: macross_repro::runtime::ReplayBundle = bundle
+                .json_string()
+                .parse()
+                .unwrap_or_else(|e: String| panic!("{label}: bundle did not round-trip: {e}"));
+            assert_eq!(parsed, bundle);
+            let outcome = run_bundle(&parsed)
+                .unwrap_or_else(|e| panic!("{label}: replay refused the bundle: {e}"));
+            assert!(
+                outcome.reproduced,
+                "{label}: replay diverged: expected {:?}, observed {:?}",
+                bundle.expect, outcome.observed
+            );
+            // The nightly fault-matrix job sets MACROSS_REPLAY_DIR to
+            // collect the verified bundles as CI artifacts and feed them
+            // through the replay_fault binary.
+            if let Some(dir) = std::env::var_os("MACROSS_REPLAY_DIR") {
+                bundle
+                    .write_to_dir(std::path::Path::new(&dir))
+                    .unwrap_or_else(|e| panic!("{label}: bundle dump failed: {e}"));
+            }
+        }
+    }
+}

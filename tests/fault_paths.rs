@@ -1,0 +1,278 @@
+//! Supervision tests that need no `fault-inject` build: the faults here
+//! are *guest-induced* (a filter that panics its own firing via an
+//! out-of-range dynamic peek, a filter whose firing is deliberately
+//! slow), so the supervised runtime's failure handling — typed
+//! `StageFailure`s, coordinated drain, watchdog escalation, partial
+//! output — is exercised in the plain tier-1 test run.
+//!
+//! The injected-fault differential suite (every benchmark x worker count
+//! x fault class) lives in `tests/fault_differential.rs` behind the
+//! `fault-inject` feature.
+
+use macross_repro::runtime as rt;
+use macross_repro::runtime::{
+    run_supervised, run_threaded, FailureCause, RuntimeError, SupervisorOptions,
+};
+use macross_repro::sdf::Schedule;
+use macross_repro::streamir::builder::StreamSpec;
+use macross_repro::streamir::edsl::*;
+use macross_repro::streamir::graph::{Graph, NodeId, SplitKind};
+use macross_repro::streamir::types::{ScalarTy, Ty};
+use macross_repro::telemetry::TraceSession;
+use macross_repro::vm::Machine;
+use std::time::Duration;
+
+/// i32 counter source: 0, 1, 2, ...
+fn source() -> StreamSpec {
+    let mut src = FilterBuilder::new("src", 0, 0, 1, ScalarTy::I32);
+    let n = src.state("n", Ty::Scalar(ScalarTy::I32));
+    src.work(|b| {
+        b.push(v(n));
+        b.set(n, v(n) + 1i32);
+    });
+    src.build_spec()
+}
+
+/// Pass-through that adds 1.
+fn pass(name: &str) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 1, 1, 1, ScalarTy::I32);
+    fb.work(|b| {
+        b.push(pop() + 1i32);
+    });
+    fb.build_spec()
+}
+
+/// Pass-through that blows up its own firing number `fail_at` with an
+/// out-of-range dynamic peek (the tape panics, the VM catches it at the
+/// firing boundary, the supervisor types it).
+fn bomb(name: &str, fail_at: i32) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 1, 1, 1, ScalarTy::I32);
+    let n = fb.state("n", Ty::Scalar(ScalarTy::I32));
+    let junk = fb.local("junk", Ty::Scalar(ScalarTy::I32));
+    fb.work(move |b| {
+        b.if_(eq(v(n), fail_at), |b| {
+            b.set(junk, peek(1_000_000i32));
+        });
+        b.set(n, v(n) + 1i32);
+        b.push(pop() + 1i32);
+    });
+    fb.build_spec()
+}
+
+/// Pass-through whose every firing burns a long interpreter loop — slow
+/// enough that a small watchdog timeout must escalate it.
+fn sloth(name: &str) -> StreamSpec {
+    let mut fb = FilterBuilder::new(name, 1, 1, 1, ScalarTy::I32);
+    let i = fb.local("i", Ty::Scalar(ScalarTy::I32));
+    let acc = fb.local("acc", Ty::Scalar(ScalarTy::I32));
+    fb.work(|b| {
+        b.set(acc, 0i32);
+        b.for_(i, 2_000_000i32, |b| {
+            b.set(acc, v(acc) + 1i32);
+        });
+        b.push(pop() + min(v(acc), 0i32));
+    });
+    fb.build_spec()
+}
+
+fn node_id(g: &Graph, name: &str) -> usize {
+    g.nodes()
+        .find(|(_, n)| n.name() == name)
+        .map(|(id, _)| id.0 as usize)
+        .unwrap_or_else(|| panic!("no node named {name}"))
+}
+
+fn supervised(
+    g: &Graph,
+    assignment: &[u32],
+    iters: u64,
+    opts: &SupervisorOptions,
+) -> rt::SupervisedRun {
+    let sched = Schedule::compute(g).unwrap();
+    run_supervised(
+        g,
+        &sched,
+        &Machine::core_i7(),
+        assignment,
+        iters,
+        opts,
+        &TraceSession::disabled(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn guest_panic_becomes_typed_stage_failure_with_partial_output() {
+    let g = StreamSpec::pipeline(vec![source(), bomb("bomb", 3), StreamSpec::Sink])
+        .build()
+        .unwrap();
+    let bomb_id = node_id(&g, "bomb");
+    let opts = SupervisorOptions::default();
+    // Clean reference: same graph without the bomb triggering (fail_at
+    // beyond the firing count).
+    let clean_g = StreamSpec::pipeline(vec![source(), bomb("bomb", 1 << 20), StreamSpec::Sink])
+        .build()
+        .unwrap();
+    let clean = supervised(&clean_g, &[0, 1, 1], 8, &opts);
+    assert!(clean.completed && clean.report.failures.is_empty());
+    assert_eq!(clean.output.len(), 8);
+
+    let run = supervised(&g, &[0, 1, 1], 8, &opts);
+    assert!(!run.completed);
+    let f = run.report.root_failure().expect("failure must be recorded");
+    assert_eq!(f.stage, bomb_id);
+    assert_eq!(f.firing, 3, "0-based firing index of the blown firing");
+    assert_eq!(f.core, 1);
+    assert_eq!(f.cause.label(), "vm");
+    match &f.cause {
+        FailureCause::Vm(e) => {
+            let msg = e.to_string();
+            assert!(msg.contains("panicked"), "panic must be typed: {msg}");
+        }
+        other => panic!("expected a VM cause, got {other:?}"),
+    }
+    // Committed output is preserved and is a prefix of the clean run: the
+    // bomb completed firings 0..3, so the sink consumed exactly 3 tokens.
+    assert_eq!(run.output, clean.output[..3].to_vec());
+    // The report still carries the usual counters.
+    assert_eq!(run.report.stages[bomb_id].firings, 3);
+}
+
+#[test]
+fn legacy_entry_point_maps_failure_to_vm_error() {
+    let g = StreamSpec::pipeline(vec![source(), bomb("bomb", 2), StreamSpec::Sink])
+        .build()
+        .unwrap();
+    let sched = Schedule::compute(&g).unwrap();
+    let err = run_threaded(&g, &sched, &Machine::core_i7(), &[0, 1, 1], 8).unwrap_err();
+    match err {
+        RuntimeError::Vm(e) => assert!(e.to_string().contains("panicked"), "{e}"),
+        other => panic!("expected RuntimeError::Vm, got {other}"),
+    }
+}
+
+#[test]
+fn drain_with_buffered_rings_terminates_and_keeps_prefix() {
+    // src runs ahead on its own core, so the src->pass ring holds
+    // un-consumed tokens when the downstream bomb blows; the drain must
+    // terminate anyway (no hang, upstream parks) and keep the committed
+    // sink prefix.
+    let g = StreamSpec::pipeline(vec![
+        source(),
+        pass("pass"),
+        bomb("bomb", 2),
+        StreamSpec::Sink,
+    ])
+    .build()
+    .unwrap();
+    let opts = SupervisorOptions::default();
+    let t0 = std::time::Instant::now();
+    let run = supervised(&g, &[0, 1, 1, 1], 64, &opts);
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "drain must terminate promptly"
+    );
+    assert!(!run.completed);
+    assert_eq!(
+        run.report.root_failure().unwrap().stage,
+        node_id(&g, "bomb")
+    );
+    // src produced ahead of the failure point into the ring.
+    assert!(run.report.stages[node_id(&g, "src")].firings > 2);
+    // Sink saw exactly the two firings the bomb completed: src 0,1 + 2.
+    assert_eq!(run.output.len(), 2);
+    assert_eq!(run.report.cut_edges, 1);
+}
+
+#[test]
+fn watchdog_escalates_deliberately_stalled_stage() {
+    let g = StreamSpec::pipeline(vec![source(), sloth("sloth"), StreamSpec::Sink])
+        .build()
+        .unwrap();
+    let sloth_id = node_id(&g, "sloth");
+    let timeout = Duration::from_millis(10);
+    let opts = SupervisorOptions::default().watchdog_after(timeout);
+    let run = supervised(&g, &[0, 1, 1], 4, &opts);
+    assert!(!run.completed);
+    let f = run.report.root_failure().unwrap();
+    assert_eq!(f.stage, sloth_id);
+    assert_eq!(f.cause.label(), "watchdog");
+    match f.cause {
+        FailureCause::Watchdog { waited_nanos } => {
+            assert!(
+                waited_nanos >= timeout.as_nanos() as u64,
+                "escalation must report at least the timeout, got {waited_nanos}"
+            );
+        }
+        ref other => panic!("expected a watchdog cause, got {other:?}"),
+    }
+    // The condemned firing's output was quarantined, not committed.
+    assert!(run.output.is_empty());
+}
+
+#[test]
+fn second_failure_during_drain_is_recorded_once_and_terminates() {
+    // Two bombs on different cores, same early fuse: whichever fails
+    // first switches the run to draining, and the second bomb then blows
+    // *during the drain* — the drain must record it, mark the stage dead,
+    // and still terminate (double-drain idempotence).
+    let mk_bomb = |name: &str| bomb(name, 3);
+    let g = StreamSpec::pipeline(vec![
+        source(),
+        StreamSpec::SplitJoin {
+            split: SplitKind::Duplicate,
+            branches: vec![
+                StreamSpec::pipeline(vec![mk_bomb("bombA")]),
+                StreamSpec::pipeline(vec![mk_bomb("bombB")]),
+            ],
+            join: vec![1, 1],
+        },
+        StreamSpec::Sink,
+    ])
+    .build()
+    .unwrap();
+    let a = node_id(&g, "bombA");
+    let b = node_id(&g, "bombB");
+    // src+splitter on core 0, each bomb alone on its own core, join+sink
+    // on core 3.
+    let mut assignment = vec![0u32; g.node_count()];
+    assignment[a] = 1;
+    assignment[b] = 2;
+    for (id, n) in g.nodes() {
+        if matches!(
+            n,
+            macross_repro::streamir::graph::Node::Joiner(_)
+                | macross_repro::streamir::graph::Node::Sink
+        ) {
+            assignment[id.0 as usize] = 3;
+        }
+    }
+    let run = supervised(&g, &assignment, 16, &SupervisorOptions::default());
+    assert!(!run.completed);
+    let failed: Vec<usize> = run.report.failures.iter().map(|f| f.stage).collect();
+    assert!(failed.contains(&a), "bombA must fail: {failed:?}");
+    assert!(failed.contains(&b), "bombB must fail: {failed:?}");
+    assert_eq!(failed.len(), 2, "each bomb fails exactly once: {failed:?}");
+    for f in &run.report.failures {
+        assert_eq!(f.firing, 3);
+        assert_eq!(f.cause.label(), "vm");
+    }
+    // The joiner needs both branches per output pair; with both blown at
+    // firing 3 the sink got at most 3 pairs' worth of tokens.
+    assert!(run.output.len() <= 6, "got {}", run.output.len());
+}
+
+#[test]
+fn supervised_clean_run_matches_legacy_entry_point() {
+    let g = StreamSpec::pipeline(vec![source(), pass("p1"), pass("p2"), StreamSpec::Sink])
+        .build()
+        .unwrap();
+    let sched = Schedule::compute(&g).unwrap();
+    let m = Machine::core_i7();
+    let legacy = run_threaded(&g, &sched, &m, &[0, 0, 1, 1], 12).unwrap();
+    let sup = supervised(&g, &[0, 0, 1, 1], 12, &SupervisorOptions::default());
+    assert!(sup.completed);
+    assert!(sup.report.failures.is_empty());
+    assert_eq!(sup.output, legacy.output);
+    let _ = NodeId(0);
+}
