@@ -20,7 +20,7 @@ use macross_streamir::builder::StreamSpec;
 use macross_streamir::edsl::*;
 use macross_streamir::graph::{Graph, Node};
 use macross_streamir::types::{ScalarTy, Ty};
-use macross_vm::{compile_filter, run_scheduled_mode, ExecMode, Machine};
+use macross_vm::{compile_filter_opts, kernel, run_scheduled_mode, ExecMode, Machine};
 use std::time::Instant;
 
 /// Arithmetic-heavy scalar filter: pop 1, push 1, 48 loop iterations of
@@ -105,16 +105,23 @@ fn time_run(
         .unwrap()
 }
 
-/// Steady reps of the hot filter (name contains `needle`), and whether it
-/// compiled to bytecode rather than falling back to the tree walker.
-fn hot_filter(graph: &Graph, sched: &Schedule, machine: &Machine, needle: &str) -> (u64, bool) {
+/// Steady reps of the hot filter (name contains `needle`), whether it
+/// compiled to bytecode rather than falling back to the tree walker, and
+/// how many superblock kernels fusion carved out of it.
+fn hot_filter(
+    graph: &Graph,
+    sched: &Schedule,
+    machine: &Machine,
+    needle: &str,
+) -> (u64, bool, u64) {
     for (id, node) in graph.nodes() {
         if let Node::Filter(f) = node {
             if f.name.contains(needle) {
                 let in_elem = graph.single_in_edge(id).map(|e| graph.edge(e).elem);
                 let out_elem = graph.single_out_edge(id).map(|e| graph.edge(e).elem);
-                let compiled = compile_filter(f, in_elem, out_elem, machine).is_some();
-                return (sched.reps[id.0 as usize], compiled);
+                let plan = compile_filter_opts(f, in_elem, out_elem, machine, true);
+                let kernels = plan.as_ref().map_or(0, |p| p.kernels.len() as u64);
+                return (sched.reps[id.0 as usize], plan.is_some(), kernels);
             }
         }
     }
@@ -144,35 +151,56 @@ fn main() {
         "== Interpreter hot path: tree-walk vs. bytecode ({iters} iters, min of {samples}) =="
     );
     let mut report = BenchReport::new("interp_hotpath", &machine.name, machine.simd_width as u64)
-        .with_exec_mode("bytecode-vs-treewalk");
+        .with_exec_mode("bytecode-vs-treewalk")
+        .with_kernel_backend(kernel::select_backend().label());
     let mut rows = Vec::new();
     for (label, graph, sched, needle) in &cases {
-        // Both engines must agree bit-for-bit before any timing counts.
+        // All three engines must agree bit-for-bit before any timing counts.
         let tw = run_scheduled_mode(graph, sched, &machine, 16, ExecMode::TreeWalk).expect("tw");
         let bc = run_scheduled_mode(graph, sched, &machine, 16, ExecMode::Bytecode).expect("bc");
+        let nf =
+            run_scheduled_mode(graph, sched, &machine, 16, ExecMode::BytecodeNoFuse).expect("nf");
         assert_eq!(tw.output, bc.output, "{label}: engines diverge");
         assert_eq!(tw.counters, bc.counters, "{label}: cycle counters diverge");
+        assert_eq!(nf.output, bc.output, "{label}: fusion changes output");
+        assert_eq!(nf.counters, bc.counters, "{label}: fusion changes counters");
 
-        let (reps, compiled) = hot_filter(graph, sched, &machine, needle);
+        let (reps, compiled, kernels) = hot_filter(graph, sched, &machine, needle);
         let firings = reps * iters;
         let tw_ns = time_run(graph, sched, &machine, iters, ExecMode::TreeWalk, samples);
+        let nf_ns = time_run(
+            graph,
+            sched,
+            &machine,
+            iters,
+            ExecMode::BytecodeNoFuse,
+            samples,
+        );
         let bc_ns = time_run(graph, sched, &machine, iters, ExecMode::Bytecode, samples);
         let tw_per = tw_ns as f64 / firings as f64;
+        let nf_per = nf_ns as f64 / firings as f64;
         let bc_per = bc_ns as f64 / firings as f64;
         let speedup = safe_ratio(tw_per, bc_per);
+        let kernel_speedup = safe_ratio(nf_per, bc_per);
         report.push_row(
             BenchRow::new(*label)
                 .metric("treewalk_ns_per_firing", tw_per)
+                .metric("dispatch_ns_per_firing", nf_per)
                 .metric("bytecode_ns_per_firing", bc_per)
                 .metric("speedup", speedup)
+                .metric("kernel_vs_dispatch_speedup", kernel_speedup)
                 .counter("firings", firings)
-                .counter("compiled", u64::from(compiled)),
+                .counter("compiled", u64::from(compiled))
+                .counter("kernels", kernels),
         );
         rows.push(vec![
             label.to_string(),
             format!("{tw_per:.1}"),
+            format!("{nf_per:.1}"),
             format!("{bc_per:.1}"),
             format!("{speedup:.2}x"),
+            format!("{kernel_speedup:.2}x"),
+            kernels.to_string(),
             if compiled { "yes" } else { "FALLBACK" }.to_string(),
         ]);
     }
@@ -182,8 +210,11 @@ fn main() {
             &[
                 "filter",
                 "treewalk ns/firing",
-                "bytecode ns/firing",
+                "dispatch ns/firing",
+                "fused ns/firing",
                 "speedup",
+                "fused/dispatch",
+                "kernels",
                 "compiled",
             ],
             &rows,

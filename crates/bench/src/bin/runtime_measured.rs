@@ -39,6 +39,7 @@ fn main() {
     let mut report = BenchReport::new("runtime_measured", &machine.name, machine.simd_width as u64);
     let mut rows = Vec::new();
     let mut totals = Vec::new();
+    let mut batched_total = 0u64;
     for name in &selected {
         let b = macross_benchsuite::by_name(name).unwrap_or_else(|| {
             eprintln!("unknown benchmark '{name}' (known: {BENCHES:?})");
@@ -58,6 +59,12 @@ fn main() {
             traffic += m.report.ring_traffic();
             stalls += m.report.total_stalls();
             stall_ns += m.report.total_stall_nanos();
+            batched_total += m
+                .report
+                .stages
+                .iter()
+                .map(|s| s.batched_firings)
+                .sum::<u64>();
             report.push_row(
                 BenchRow::new(format!("{name}@{cores}"))
                     .metric("modeled_cycles_per_iter", m.modeled.makespan as f64)
@@ -136,6 +143,7 @@ fn main() {
                 s.name.clone(),
                 s.core.to_string(),
                 s.firings.to_string(),
+                s.batched_firings.to_string(),
                 s.ring_in.to_string(),
                 s.ring_out.to_string(),
                 s.full_stalls.to_string(),
@@ -152,6 +160,7 @@ fn main() {
                 "stage",
                 "core",
                 "firings",
+                "batched",
                 "ring in",
                 "ring out",
                 "full stalls",
@@ -164,5 +173,6 @@ fn main() {
     if session.enabled() {
         emit_chrome_trace("runtime_measured", &session, &node_names(&g));
     }
+    let report = report.with_batched_firings(batched_total);
     emit_report(&report);
 }

@@ -37,6 +37,7 @@ pub fn machine_by_name(name: &str) -> Option<Machine> {
 pub fn exec_mode_name(mode: ExecMode) -> &'static str {
     match mode {
         ExecMode::Bytecode => "bytecode",
+        ExecMode::BytecodeNoFuse => "bytecode-nofuse",
         ExecMode::TreeWalk => "treewalk",
     }
 }
@@ -45,6 +46,7 @@ pub fn exec_mode_name(mode: ExecMode) -> &'static str {
 pub fn exec_mode_by_name(name: &str) -> Option<ExecMode> {
     match name {
         "bytecode" => Some(ExecMode::Bytecode),
+        "bytecode-nofuse" => Some(ExecMode::BytecodeNoFuse),
         "treewalk" => Some(ExecMode::TreeWalk),
         _ => None,
     }
@@ -174,7 +176,11 @@ mod tests {
 
     #[test]
     fn name_lookups_roundtrip() {
-        for mode in [ExecMode::Bytecode, ExecMode::TreeWalk] {
+        for mode in [
+            ExecMode::Bytecode,
+            ExecMode::BytecodeNoFuse,
+            ExecMode::TreeWalk,
+        ] {
             assert_eq!(exec_mode_by_name(exec_mode_name(mode)), Some(mode));
         }
         for m in [Machine::core_i7(), Machine::core_i7_with_sagu()] {

@@ -99,6 +99,8 @@ impl From<VmError> for RuntimeError {
 pub struct Stage {
     /// Completed firings.
     pub firings: AtomicU64,
+    /// Of those, firings executed inside a batched invocation.
+    pub batched_firings: AtomicU64,
     /// Tokens pulled from cross-core rings into this node's input tapes.
     pub ring_in: AtomicU64,
     /// Tokens flushed from this node's output tapes into cross-core rings.
@@ -144,6 +146,9 @@ pub struct StageStats {
     pub core: u32,
     /// Completed firings (init + steady).
     pub firings: u64,
+    /// Of those, firings executed inside a batched invocation
+    /// (scheduling-dependent; excluded from bit-exact comparisons).
+    pub batched_firings: u64,
     /// Tokens pulled from cross-core rings.
     pub ring_in: u64,
     /// Tokens pushed to cross-core rings.
@@ -588,6 +593,7 @@ pub fn run_supervised(
                 name: stage_name(node),
                 core: assignment[i],
                 firings: stages[i].firings.load(Ordering::Relaxed),
+                batched_firings: stages[i].batched_firings.load(Ordering::Relaxed),
                 ring_in: stages[i].ring_in.load(Ordering::Relaxed),
                 ring_out: stages[i].ring_out.load(Ordering::Relaxed),
                 full_stalls: 0,

@@ -306,6 +306,15 @@ impl Ring {
     /// blocking. Returns how many were written. Used by the drain after a
     /// failure, where a full ring whose consumer is gone must not wedge
     /// the draining worker.
+    /// Free slots from the producer's perspective (a lower bound: the
+    /// consumer may free more concurrently, never less). Producer-side
+    /// call, like [`Ring::push_avail`].
+    pub fn free_space(&self) -> usize {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        self.capacity() - (tail - head)
+    }
+
     pub fn push_avail(&self, vals: &[Value]) -> usize {
         let tail = self.tail.0.load(Ordering::Relaxed);
         let head = self.head.0.load(Ordering::Acquire);

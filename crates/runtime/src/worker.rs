@@ -38,6 +38,11 @@ use std::time::Instant;
 /// switch to draining (or return, when already draining).
 struct Stop;
 
+/// Smallest batch worth the admission work (a 1-batch is just a firing).
+const MIN_BATCH: u64 = 2;
+/// Largest batch: bounds roll-back cost and drain-response latency.
+const MAX_BATCH: u64 = 8;
+
 /// What a worker hands back to the coordinator. Failures travel through
 /// the [`Supervisor`], so this is plain (possibly partial) output.
 pub(crate) struct WorkerOut {
@@ -83,6 +88,8 @@ impl Pull {
 struct Push {
     edge: usize,
     ring: Arc<Ring>,
+    /// Tokens one firing pushes on this edge (sizes batch admission).
+    rate: usize,
 }
 
 /// One same-core in-edge, tracked so the post-failure drain can check
@@ -231,6 +238,7 @@ impl<'g> Worker<'g> {
                 pushes.push(Push {
                     edge: eid.0 as usize,
                     ring: Arc::clone(ring),
+                    rate: node.push_rate(graph.edge(eid).src_port),
                 });
             }
             let reps = schedule.reps[id.0 as usize];
@@ -272,6 +280,11 @@ impl<'g> Worker<'g> {
         for p in 0..self.plans.len() {
             let id = self.plans[p].id;
             if let Node::Filter(f) = self.graph.node(id) {
+                let kernels = self.states[id.0 as usize].kernel_count();
+                if kernels > 0 {
+                    self.trace
+                        .record(EventKind::KernelFusion, id.0, kernels as u64);
+                }
                 if let Err(e) = self.states[id.0 as usize].run_init_fn(f, self.machine) {
                     self.fail(id.0 as usize, 0, FailureCause::Vm(e));
                     return self.into_out(0);
@@ -297,11 +310,20 @@ impl<'g> Worker<'g> {
         let mut stopped = false;
         'steady: for _ in 0..iters {
             for p in 0..self.plans.len() {
-                for _ in 0..self.plans[p].reps {
-                    if self.fire_plan(p).is_err() {
+                let reps = self.plans[p].reps;
+                let mut done = 0u64;
+                while done < reps {
+                    let k = self.batch_size(p, reps - done);
+                    let fired = if k >= MIN_BATCH {
+                        self.fire_batch(p, k)
+                    } else {
+                        self.fire_plan(p)
+                    };
+                    if fired.is_err() {
                         stopped = true;
                         break 'steady;
                     }
+                    done += if k >= MIN_BATCH { k } else { 1 };
                 }
             }
         }
@@ -458,6 +480,170 @@ impl<'g> Worker<'g> {
             return Err(Stop);
         }
         Ok(())
+    }
+
+    /// How many of the next `remaining` firings of plan `p` can run as
+    /// one batch. Filters only, steady phase only, never under a
+    /// watchdog (per-firing timeout attribution needs per-firing
+    /// heartbeats) and never across an injected fault (the faulty firing
+    /// runs un-batched with the full fault setup). Tops the cut in-edge
+    /// tapes up with whatever their rings hold right now (non-blocking)
+    /// and requires ring space for the whole batch's output, so the
+    /// batched firings themselves never wait on a ring.
+    fn batch_size(&mut self, p: usize, remaining: u64) -> u64 {
+        if remaining < MIN_BATCH || self.opts.wants_watchdog() || self.sup.draining() {
+            return 1;
+        }
+        let id = self.plans[p].id;
+        if !matches!(self.graph.node(id), Node::Filter(_)) {
+            return 1;
+        }
+        let stage = id.0 as usize;
+        let mut k = remaining.min(MAX_BATCH);
+        let attempts = self.plans[p].attempts;
+        for j in 0..k {
+            if self.opts.plan.fault_for(stage, attempts + j).is_some() {
+                k = j;
+                break;
+            }
+        }
+        if k < MIN_BATCH {
+            return 1;
+        }
+        let plan = &mut self.plans[p];
+        for pull in &mut plan.pulls {
+            let tape = &mut self.tapes[pull.edge];
+            let pos = pull.consumed % pull.block;
+            // Physical tokens k successive firings address: the last
+            // starts at block position pos + (k-1)*pop and reaches
+            // `need` further, rounded up to whole reorder blocks.
+            let target = pos + (k as usize - 1) * pull.pop + pull.need;
+            let target_phys = if pull.block > 1 {
+                target.div_ceil(pull.block) * pull.block
+            } else {
+                target
+            };
+            if tape.len() < target_phys {
+                let missing = target_phys - tape.len();
+                let got = pull.ring.pop_avail(|v| tape.push(v), missing);
+                if got > 0 {
+                    self.stages[stage]
+                        .ring_in
+                        .fetch_add(got as u64, Ordering::Relaxed);
+                }
+            }
+            let len = tape.len();
+            let cap = if pull.block > 1 {
+                (len / pull.block) * pull.block
+            } else {
+                len
+            };
+            let k_max = if cap < pos + pull.need {
+                0
+            } else {
+                match (cap - pos - pull.need).checked_div(pull.pop) {
+                    Some(extra) => (extra as u64 + 1).min(k),
+                    None => k,
+                }
+            };
+            k = k_max;
+            if k < MIN_BATCH {
+                return 1;
+            }
+        }
+        for push in &plan.pushes {
+            if let Some(room) = push.ring.free_space().checked_div(push.rate) {
+                k = k.min(room as u64);
+            }
+        }
+        if k < MIN_BATCH {
+            1
+        } else {
+            k
+        }
+    }
+
+    /// Fire plan `p` `k` times as one batch: inputs already topped up and
+    /// output space verified by [`Worker::batch_size`], one heartbeat
+    /// window and one output flush for the whole batch. Cycle accounting
+    /// and failure attribution stay per-firing: `fire_node` runs (and
+    /// charges) each firing individually, and a batch that fails is
+    /// rolled back — tapes, filter state, modelled counters, plan
+    /// cursors — and re-run un-batched, so the deterministic failure
+    /// recurs at the exact firing with the standard path's quarantine
+    /// and `StageFailure` attribution.
+    fn fire_batch(&mut self, p: usize, k: u64) -> Result<(), Stop> {
+        if self.sup.draining() {
+            return Err(Stop);
+        }
+        let id = self.plans[p].id;
+        let stage = id.0 as usize;
+        let first_firing = self.plans[p].attempts;
+
+        // Snapshot everything a failed batch must roll back: every tape
+        // half the node touches (cut and local, both sides), the filter
+        // state, the modelled counters, and the plan cursors. Stats and
+        // traces are not rolled back — the replay does not re-pull from
+        // rings (tokens are already local), so nothing double-counts.
+        let tape_ids: Vec<usize> = self
+            .graph
+            .in_edges(id)
+            .into_iter()
+            .chain(self.graph.out_edges(id))
+            .map(|e| e.0 as usize)
+            .collect();
+        let tapes: Vec<Tape> = tape_ids.iter().map(|&e| self.tapes[e].clone()).collect();
+        let consumed: Vec<usize> = self.plans[p].pulls.iter().map(|pl| pl.consumed).collect();
+        let state = self.states[stage].clone();
+        let counters = self.counters;
+        let completed = self.plans[p].completed;
+
+        let hb = self.sup.heartbeat(self.slot);
+        hb.begin(stage, first_firing);
+        let mut failed = false;
+        for _ in 0..k {
+            self.plans[p].attempts += 1;
+            // The tapes were topped up, so this finds every token
+            // locally — no ring waits — while keeping the per-firing
+            // `consumed` bookkeeping identical to the un-batched path.
+            if self.ensure_inputs(p).is_err() {
+                hb.end();
+                return Err(Stop);
+            }
+            self.trace.record(EventKind::FiringStart, id.0, 0);
+            let before = self.counters.total();
+            let result = catch_unwind(AssertUnwindSafe(|| self.fire_node(id)));
+            self.trace
+                .record(EventKind::FiringEnd, id.0, self.counters.total() - before);
+            if !matches!(result, Ok(Ok(()))) {
+                failed = true;
+                break;
+            }
+            self.plans[p].completed += 1;
+        }
+        hb.end();
+        if failed {
+            for (&e, tape) in tape_ids.iter().zip(tapes) {
+                self.tapes[e] = tape;
+            }
+            for (pull, &c) in self.plans[p].pulls.iter_mut().zip(&consumed) {
+                pull.consumed = c;
+            }
+            self.states[stage] = state;
+            self.counters = counters;
+            self.plans[p].attempts = first_firing;
+            self.plans[p].completed = completed;
+            for _ in 0..k {
+                self.fire_plan(p)?;
+            }
+            return Ok(());
+        }
+        self.stages[stage].firings.fetch_add(k, Ordering::Relaxed);
+        self.stages[stage]
+            .batched_firings
+            .fetch_add(k, Ordering::Relaxed);
+        self.trace.record(EventKind::BatchedFiring, id.0, k);
+        self.flush_outputs(p)
     }
 
     /// Pull from each cut in-edge until the local tape half holds every

@@ -33,7 +33,9 @@ fn span_parts(kind: EventKind) -> Option<(&'static str, bool)> {
         EventKind::FaultInjected
         | EventKind::StageFailed
         | EventKind::DrainBegin
-        | EventKind::WatchdogFire => None,
+        | EventKind::WatchdogFire
+        | EventKind::KernelFusion
+        | EventKind::BatchedFiring => None,
     }
 }
 
@@ -44,6 +46,8 @@ fn instant_cat(kind: EventKind) -> Option<&'static str> {
         EventKind::StageFailed => Some("failure"),
         EventKind::DrainBegin => Some("drain"),
         EventKind::WatchdogFire => Some("watchdog"),
+        EventKind::KernelFusion => Some("kernel_fusion"),
+        EventKind::BatchedFiring => Some("batch"),
         _ => None,
     }
 }

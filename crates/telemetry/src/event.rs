@@ -38,6 +38,12 @@ pub enum EventKind {
     /// The watchdog escalated a stuck stage (`subject` = node id, `aux` =
     /// nanoseconds the firing had been running).
     WatchdogFire,
+    /// The firing compiler fused superblock kernels for a stage
+    /// (`subject` = node id, `aux` = number of kernels in the plan).
+    KernelFusion,
+    /// A worker executed a run of consecutive firings of one stage as a
+    /// single batch (`subject` = node id, `aux` = batch size).
+    BatchedFiring,
 }
 
 impl EventKind {
@@ -56,6 +62,8 @@ impl EventKind {
             EventKind::StageFailed => "stage_failed",
             EventKind::DrainBegin => "drain_begin",
             EventKind::WatchdogFire => "watchdog_fire",
+            EventKind::KernelFusion => "kernel_fusion",
+            EventKind::BatchedFiring => "batched_firing",
         }
     }
 }
@@ -110,6 +118,8 @@ mod tests {
             EventKind::StageFailed,
             EventKind::DrainBegin,
             EventKind::WatchdogFire,
+            EventKind::KernelFusion,
+            EventKind::BatchedFiring,
         ];
         let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());

@@ -82,6 +82,14 @@ pub struct BenchReport {
     /// Work-function engine the numbers were produced with (e.g.
     /// `"bytecode"` or `"treewalk"`); omitted from the JSON when unset.
     pub exec_mode: Option<String>,
+    /// Kernel backend the numbers were produced with (`"avx2"` /
+    /// `"portable"`); omitted from the JSON when unset. Top-level (not a
+    /// counter) so it stays out of the bit-exact counter comparison.
+    pub kernel_backend: Option<String>,
+    /// Total batched firings across the run, when the producer tracked
+    /// them. Top-level because the number is scheduling-dependent, not a
+    /// deterministic event count.
+    pub batched_firings: Option<u64>,
     /// One row per benchmark (or per benchmark x configuration).
     pub rows: Vec<BenchRow>,
 }
@@ -102,6 +110,8 @@ impl BenchReport {
                 .map(|d| d.as_millis() as u64)
                 .unwrap_or(0),
             exec_mode: None,
+            kernel_backend: None,
+            batched_firings: None,
             rows: Vec::new(),
         }
     }
@@ -109,6 +119,18 @@ impl BenchReport {
     /// Stamp the report with the work-function engine used.
     pub fn with_exec_mode(mut self, mode: impl Into<String>) -> BenchReport {
         self.exec_mode = Some(mode.into());
+        self
+    }
+
+    /// Stamp the report with the kernel backend used.
+    pub fn with_kernel_backend(mut self, backend: impl Into<String>) -> BenchReport {
+        self.kernel_backend = Some(backend.into());
+        self
+    }
+
+    /// Stamp the report with the total batched firings observed.
+    pub fn with_batched_firings(mut self, n: u64) -> BenchReport {
+        self.batched_firings = Some(n);
         self
     }
 
@@ -160,6 +182,12 @@ impl BenchReport {
         ];
         if let Some(mode) = &self.exec_mode {
             fields.push(("exec_mode", Json::Str(mode.clone())));
+        }
+        if let Some(backend) = &self.kernel_backend {
+            fields.push(("kernel_backend", Json::Str(backend.clone())));
+        }
+        if let Some(n) = self.batched_firings {
+            fields.push(("batched_firings", Json::Num(n as f64)));
         }
         fields.push(("rows", Json::Arr(rows)));
         Json::obj(fields)
@@ -287,6 +315,18 @@ pub fn check(doc: &Json) -> Vec<Violation> {
             Some(_) => {}
         }
     }
+    if let Some(backend) = doc.get("kernel_backend") {
+        match backend.as_str() {
+            None => c.push("kernel_backend", "must be a string"),
+            Some("") => c.push("kernel_backend", "must be non-empty when present"),
+            Some(_) => {}
+        }
+    }
+    if let Some(n) = doc.get("batched_firings") {
+        if get_uint(n).is_none() {
+            c.push("batched_firings", "must be a non-negative integer");
+        }
+    }
     c.field(doc, "rows", "an array", Json::as_arr, |c, rows| {
         for (i, row) in rows.iter().enumerate() {
             check_row(c, row, i);
@@ -351,13 +391,15 @@ pub fn warnings(doc: &Json) -> Vec<Violation> {
     let Some(fields) = doc.as_obj() else {
         return out;
     };
-    const KNOWN: [&str; 7] = [
+    const KNOWN: [&str; 9] = [
         "schema_version",
         "name",
         "machine",
         "simd_width",
         "created_unix_ms",
         "exec_mode",
+        "kernel_backend",
+        "batched_firings",
         "rows",
     ];
     for (k, _) in fields {
@@ -459,6 +501,31 @@ mod tests {
         // Present but empty: rejected.
         let bad = r#"{"schema_version":1,"name":"x","machine":"m","simd_width":4,"created_unix_ms":0,"exec_mode":"","rows":[]}"#;
         assert!(validate_str(bad).unwrap_err().contains("exec_mode"));
+    }
+
+    #[test]
+    fn kernel_fields_are_optional_and_typed() {
+        let stamped = sample()
+            .with_kernel_backend("avx2")
+            .with_batched_firings(128);
+        let s = stamped.json_string();
+        assert!(s.contains("\"kernel_backend\": \"avx2\""));
+        assert!(s.contains("\"batched_firings\": 128"));
+        validate_str(&s).unwrap();
+        // Known fields: must not trip the unknown-key warning either.
+        let doc = json::parse(&s).unwrap();
+        assert!(warnings(&doc)
+            .iter()
+            .all(|w| w.path != "kernel_backend" && w.path != "batched_firings"));
+        // Absent (older baselines): still valid, not emitted.
+        let plain = sample().json_string();
+        assert!(!plain.contains("kernel_backend") && !plain.contains("batched_firings"));
+        validate_str(&plain).unwrap();
+        // Wrong types: rejected.
+        let bad = r#"{"schema_version":1,"name":"x","machine":"m","simd_width":4,"created_unix_ms":0,"kernel_backend":7,"rows":[]}"#;
+        assert!(validate_str(bad).unwrap_err().contains("kernel_backend"));
+        let bad = r#"{"schema_version":1,"name":"x","machine":"m","simd_width":4,"created_unix_ms":0,"batched_firings":-3,"rows":[]}"#;
+        assert!(validate_str(bad).unwrap_err().contains("batched_firings"));
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! counters, so mid-block divergence there is unobservable.
 
 use crate::error::{TapeSide, VmError};
+use crate::kernel::{self, Kernel, KernelBackend};
 use crate::machine::CycleCounters;
 use crate::tape::Tape;
 use macross_streamir::expr::{BinOp, Intrinsic};
@@ -105,6 +106,11 @@ pub struct CompiledFilter {
     pub work: Vec<Op>,
     /// Charge table indexed by [`Op::Charge`].
     pub charges: Vec<ChargeEntry>,
+    /// Fused superblock kernels indexed by [`Op::Kernel`] (shared by
+    /// `init` and `work`; empty when fusion is disabled).
+    pub kernels: Vec<Kernel>,
+    /// Backend executing the fused kernels, selected at compile time.
+    pub backend: KernelBackend,
 }
 
 impl CompiledFilter {
@@ -130,6 +136,11 @@ impl CompiledFilter {
 pub enum Op {
     /// Apply `charges[idx]` to the counters.
     Charge(u32),
+
+    /// Execute fused superblock `kernels[idx]` and skip its span. The
+    /// fused ops remain in place right after this marker (so jump
+    /// targets stay valid); the interpreter advances `pc` past them.
+    Kernel(u32),
 
     // --- Constants and moves -------------------------------------------
     /// `i[dst] = v`.
@@ -1052,6 +1063,13 @@ pub fn run_code(
                 counters.addr_overhead += e.in_addr * in_cost + e.out_addr * out_cost;
             }
 
+            Op::Kernel(idx) => {
+                let k = &plan.kernels[*idx as usize];
+                kernel::exec(k, plan.backend, regs);
+                pc += k.span as usize;
+                continue;
+            }
+
             Op::ConstI { dst, v } => regs.i[*dst as usize] = *v,
             Op::ConstF { dst, v } => regs.f[*dst as usize] = *v,
             Op::ConstVecI { dst, vals } => {
@@ -1681,6 +1699,8 @@ mod tests {
                 },
             ],
             charges: vec![],
+            kernels: vec![],
+            backend: KernelBackend::Portable,
         };
         let mut regs = Regs::new(3, 0);
         let mut counters = CycleCounters::default();
@@ -1713,6 +1733,8 @@ mod tests {
                 dst: 0,
             }],
             charges: vec![],
+            kernels: vec![],
+            backend: KernelBackend::Portable,
         };
         let mut regs = Regs::new(1, 0);
         let mut counters = CycleCounters::default();

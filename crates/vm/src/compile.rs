@@ -31,6 +31,7 @@
 //! tree-walker's incremental additions.
 
 use crate::bytecode::{ChargeEntry, CompiledFilter, Op};
+use crate::kernel;
 use crate::machine::Machine;
 use macross_streamir::expr::{BinOp, Expr, Intrinsic, LValue, UnOp};
 use macross_streamir::filter::{Filter, VarKind};
@@ -98,6 +99,20 @@ pub fn compile_filter(
     out_elem: Option<ScalarTy>,
     machine: &Machine,
 ) -> Option<CompiledFilter> {
+    compile_filter_opts(filter, in_elem, out_elem, machine, true)
+}
+
+/// [`compile_filter`] with superblock kernel fusion controllable: `fuse`
+/// = false keeps the plain per-op dispatch plan (the kernels-off
+/// baseline measured by `interp_hotpath`, exposed to callers as
+/// `ExecMode::BytecodeNoFuse`).
+pub fn compile_filter_opts(
+    filter: &Filter,
+    in_elem: Option<ScalarTy>,
+    out_elem: Option<ScalarTy>,
+    machine: &Machine,
+    fuse: bool,
+) -> Option<CompiledFilter> {
     let mut vars = Vec::with_capacity(filter.vars.len());
     let mut zero_i = Vec::new();
     let mut zero_f = Vec::new();
@@ -131,8 +146,13 @@ pub fn compile_filter(
         max_i: ni,
         max_f: nf,
     };
-    let init = c.compile_body(&filter.init)?;
-    let work = c.compile_body(&filter.work)?;
+    let mut init = c.compile_body(&filter.init)?;
+    let mut work = c.compile_body(&filter.work)?;
+    let mut kernels = Vec::new();
+    if fuse {
+        kernel::fuse(&mut init, &mut kernels, c.max_i, c.max_f);
+        kernel::fuse(&mut work, &mut kernels, c.max_i, c.max_f);
+    }
     Some(CompiledFilter {
         name: filter.name.clone(),
         int_regs: c.max_i,
@@ -142,6 +162,8 @@ pub fn compile_filter(
         init,
         work,
         charges: c.charges,
+        kernels,
+        backend: kernel::select_backend(),
     })
 }
 

@@ -23,7 +23,13 @@ use macross_telemetry::{EventKind, TraceSession, WorkerTrace};
 pub enum ExecMode {
     /// Compiled register bytecode, with per-filter fallback to the
     /// tree-walker for bodies the compiler cannot lower exactly.
+    /// Straight-line runs of register ops are fused into superblock
+    /// kernels ([`crate::kernel`]).
     Bytecode,
+    /// Bytecode without kernel fusion: the plain per-op dispatch loop.
+    /// The kernels-off baseline for `interp_hotpath`'s
+    /// kernel-vs-dispatch column.
+    BytecodeNoFuse,
     /// The original tree-walking interpreter (the differential oracle).
     TreeWalk,
 }
@@ -38,12 +44,66 @@ impl Default for ExecMode {
     }
 }
 
+/// Per-node firing facts that never change once the graph is built:
+/// adjacent edges and their reorder address costs. [`Executor::fire`] is
+/// on the hot path of every benchmark; recomputing these from the graph
+/// (an edge-table scan plus a `Vec` allocation per lookup) on every
+/// firing dominates short firings, so they are resolved once at
+/// construction.
+struct FirePlan {
+    in_edge: Option<macross_streamir::graph::EdgeId>,
+    out_edge: Option<macross_streamir::graph::EdgeId>,
+    /// Consumer-side reorder address cost of `in_edge` (0 without one).
+    in_cost: u64,
+    /// Producer-side reorder address cost of `out_edge` (0 without one).
+    out_cost: u64,
+    /// All input edges as tape indices, sorted by port (joiners).
+    in_idx: Vec<usize>,
+    /// All output edges as tape indices, sorted by port (splitters).
+    out_idx: Vec<usize>,
+    /// Consumer-side address cost per entry of `in_idx`.
+    in_costs: Vec<u64>,
+    /// Producer-side address cost per entry of `out_idx`.
+    out_costs: Vec<u64>,
+}
+
+impl FirePlan {
+    fn compute(graph: &Graph, id: NodeId, machine: &Machine) -> FirePlan {
+        let in_edge = graph.single_in_edge(id);
+        let out_edge = graph.single_out_edge(id);
+        let ins = graph.in_edges(id);
+        let outs = graph.out_edges(id);
+        FirePlan {
+            in_edge,
+            out_edge,
+            in_cost: in_edge
+                .map(|e| firing::edge_addr_cost(graph, e, true, machine))
+                .unwrap_or(0),
+            out_cost: out_edge
+                .map(|e| firing::edge_addr_cost(graph, e, false, machine))
+                .unwrap_or(0),
+            in_costs: ins
+                .iter()
+                .map(|&e| firing::edge_addr_cost(graph, e, true, machine))
+                .collect(),
+            out_costs: outs
+                .iter()
+                .map(|&e| firing::edge_addr_cost(graph, e, false, machine))
+                .collect(),
+            in_idx: ins.iter().map(|e| e.0 as usize).collect(),
+            out_idx: outs.iter().map(|e| e.0 as usize).collect(),
+        }
+    }
+}
+
 /// Executes a scheduled stream graph on a modelled machine.
 pub struct Executor<'a> {
     graph: &'a Graph,
     schedule: &'a Schedule,
     machine: &'a Machine,
     tapes: Vec<Tape>,
+    /// Cached adjacency and address costs per node (see [`FirePlan`]).
+    plans: Vec<FirePlan>,
     /// Persistent state per node (non-empty for filters only).
     states: Vec<FilterState>,
     counters: CycleCounters,
@@ -93,11 +153,16 @@ impl<'a> Executor<'a> {
             .collect();
         let outputs = vec![Vec::new(); graph.node_count()];
         let node_cycles = vec![0; graph.node_count()];
+        let plans = graph
+            .nodes()
+            .map(|(id, _)| FirePlan::compute(graph, id, machine))
+            .collect();
         Executor {
             graph,
             schedule,
             machine,
             tapes,
+            plans,
             states,
             counters: CycleCounters::default(),
             node_cycles,
@@ -121,7 +186,13 @@ impl<'a> Executor<'a> {
         self.inits_done = true;
         for (id, node) in self.graph.nodes() {
             if let Node::Filter(f) = node {
-                self.states[id.0 as usize].run_init_fn(f, self.machine)?;
+                let state = &mut self.states[id.0 as usize];
+                let kernels = state.kernel_count();
+                if kernels > 0 {
+                    self.trace
+                        .record(EventKind::KernelFusion, id.0, kernels as u64);
+                }
+                state.run_init_fn(f, self.machine)?;
             }
         }
         Ok(())
@@ -209,127 +280,96 @@ impl<'a> Executor<'a> {
         let before = self.counters.total();
         self.trace.record(EventKind::FiringStart, id.0, 0);
         self.counters.firing_overhead += self.machine.cost.firing;
-        let in_edge = self.graph.single_in_edge(id);
-        let out_edge = self.graph.single_out_edge(id);
+        let i = id.0 as usize;
+        // Reorder address costs apply to the *scalar* side of a reordered
+        // tape: the consumer side when the edge reorders reads, the
+        // producer side when it reorders writes. All of this adjacency is
+        // immutable, so it comes from the per-node plan, not the graph.
         match self.graph.node(id) {
             Node::Filter(f) => {
-                // Reorder address costs apply to the *scalar* side of a
-                // reordered tape: the consumer side when the edge reorders
-                // reads, the producer side when it reorders writes.
-                let in_cost = in_edge
-                    .map(|e| firing::edge_addr_cost(self.graph, e, true, self.machine))
-                    .unwrap_or(0);
-                let out_cost = out_edge
-                    .map(|e| firing::edge_addr_cost(self.graph, e, false, self.machine))
-                    .unwrap_or(0);
+                let plan = &self.plans[i];
                 firing::fire_filter(
                     f,
-                    &mut self.states[id.0 as usize],
+                    &mut self.states[i],
                     &mut self.tapes,
-                    in_edge.map(|e| e.0 as usize),
-                    out_edge.map(|e| e.0 as usize),
-                    in_cost,
-                    out_cost,
+                    plan.in_edge.map(|e| e.0 as usize),
+                    plan.out_edge.map(|e| e.0 as usize),
+                    plan.in_cost,
+                    plan.out_cost,
                     self.machine,
                     &mut self.counters,
                 )?;
             }
             Node::Splitter(kind) => {
-                let kind = kind.clone();
-                let in_edge = in_edge.expect("splitter needs an input");
-                let outs = self.graph.out_edges(id);
-                let in_cost = firing::edge_addr_cost(self.graph, in_edge, true, self.machine);
-                let out_costs: Vec<u64> = outs
-                    .iter()
-                    .map(|&e| firing::edge_addr_cost(self.graph, e, false, self.machine))
-                    .collect();
-                let out_idx: Vec<usize> = outs.iter().map(|e| e.0 as usize).collect();
+                let plan = &self.plans[i];
+                let in_edge = plan.in_edge.expect("splitter needs an input");
                 firing::fire_splitter(
-                    &kind,
+                    kind,
                     &mut self.tapes,
                     in_edge.0 as usize,
-                    &out_idx,
-                    in_cost,
-                    &out_costs,
+                    &plan.out_idx,
+                    plan.in_cost,
+                    &plan.out_costs,
                     self.machine,
                     &mut self.counters,
                 );
             }
             Node::Joiner(weights) => {
-                let weights = weights.clone();
-                let ins = self.graph.in_edges(id);
-                let out = out_edge.expect("joiner needs an output");
-                let in_costs: Vec<u64> = ins
-                    .iter()
-                    .map(|&e| firing::edge_addr_cost(self.graph, e, true, self.machine))
-                    .collect();
-                let out_cost = firing::edge_addr_cost(self.graph, out, false, self.machine);
-                let in_idx: Vec<usize> = ins.iter().map(|e| e.0 as usize).collect();
+                let plan = &self.plans[i];
+                let out = plan.out_edge.expect("joiner needs an output");
                 firing::fire_joiner(
-                    &weights,
+                    weights,
                     &mut self.tapes,
-                    &in_idx,
+                    &plan.in_idx,
                     out.0 as usize,
-                    &in_costs,
-                    out_cost,
+                    &plan.in_costs,
+                    plan.out_cost,
                     self.machine,
                     &mut self.counters,
                 );
             }
             Node::HSplitter { kind, width } => {
-                let (kind, width) = (kind.clone(), *width);
-                let in_edge = in_edge.expect("hsplitter needs an input");
-                let out_idx: Vec<usize> = self
-                    .graph
-                    .out_edges(id)
-                    .iter()
-                    .map(|e| e.0 as usize)
-                    .collect();
+                let plan = &self.plans[i];
+                let in_edge = plan.in_edge.expect("hsplitter needs an input");
                 firing::fire_hsplitter(
-                    &kind,
-                    width,
+                    kind,
+                    *width,
                     &mut self.tapes,
                     in_edge.0 as usize,
-                    &out_idx,
+                    &plan.out_idx,
                     self.machine,
                     &mut self.counters,
                 );
             }
             Node::HJoiner { weights, width } => {
-                let (weights, width) = (weights.clone(), *width);
-                let out = out_edge.expect("hjoiner needs an output");
-                let in_idx: Vec<usize> = self
-                    .graph
-                    .in_edges(id)
-                    .iter()
-                    .map(|e| e.0 as usize)
-                    .collect();
+                let plan = &self.plans[i];
+                let out = plan.out_edge.expect("hjoiner needs an output");
                 firing::fire_hjoiner(
-                    &weights,
-                    width,
+                    weights,
+                    *width,
                     &mut self.tapes,
-                    &in_idx,
+                    &plan.in_idx,
                     out.0 as usize,
                     self.machine,
                     &mut self.counters,
                 );
             }
             Node::Sink => {
-                let in_edge = in_edge.expect("sink needs an input");
-                let in_cost = firing::edge_addr_cost(self.graph, in_edge, true, self.machine);
+                let plan = &self.plans[i];
+                let in_edge = plan.in_edge.expect("sink needs an input");
                 let v = firing::fire_sink(
                     &mut self.tapes,
                     in_edge.0 as usize,
-                    in_cost,
+                    plan.in_cost,
                     self.machine,
                     &mut self.counters,
                 );
-                self.outputs[id.0 as usize].push(v);
+                self.outputs[i].push(v);
             }
         }
         let cost = self.counters.total() - before;
         self.trace.record(EventKind::FiringEnd, id.0, cost);
-        self.node_cycles[id.0 as usize] += cost;
+        self.node_cycles[i] += cost;
         Ok(())
     }
 }

@@ -8,7 +8,7 @@
 //! and fire them against thread-local tapes.
 
 use crate::bytecode::{run_code, CompiledFilter, Regs};
-use crate::compile::compile_filter;
+use crate::compile::compile_filter_opts;
 use crate::error::VmError;
 use crate::exec::ExecMode;
 use crate::interp::{reset_locals, zero_slots, FiringCtx, Slot};
@@ -71,8 +71,13 @@ impl FilterState {
         mode: ExecMode,
     ) -> FilterState {
         let mut state = FilterState::new(filter);
-        if mode == ExecMode::Bytecode {
-            if let Some(plan) = compile_filter(filter, in_elem, out_elem, machine) {
+        let fuse = match mode {
+            ExecMode::Bytecode => Some(true),
+            ExecMode::BytecodeNoFuse => Some(false),
+            ExecMode::TreeWalk => None,
+        };
+        if let Some(fuse) = fuse {
+            if let Some(plan) = compile_filter_opts(filter, in_elem, out_elem, machine, fuse) {
                 state.regs = Regs::new(plan.int_regs as usize, plan.float_regs as usize);
                 state.engine = Engine::Compiled(Arc::new(plan));
             }
@@ -83,6 +88,15 @@ impl FilterState {
     /// True when this state fires through compiled bytecode.
     pub fn is_compiled(&self) -> bool {
         matches!(self.engine, Engine::Compiled(_))
+    }
+
+    /// Number of fused superblock kernels in the compiled plan (0 when
+    /// tree-walking or fusion is off) — telemetry's kernel-fusion trace.
+    pub fn kernel_count(&self) -> usize {
+        match &self.engine {
+            Engine::Compiled(plan) => plan.kernels.len(),
+            Engine::Tree => 0,
+        }
     }
 
     /// Run the filter's `init` function, if any. Cycles are *not*
@@ -156,12 +170,32 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
+/// Disjoint mutable borrows of the tapes at `a` and `b` (which must be
+/// distinct when both present — they are different edges of one node).
+fn two_tapes(
+    tapes: &mut [Tape],
+    a: Option<usize>,
+    b: Option<usize>,
+) -> (Option<&mut Tape>, Option<&mut Tape>) {
+    match (a, b) {
+        (Some(i), Some(j)) if i < j => {
+            let (lo, hi) = tapes.split_at_mut(j);
+            (Some(&mut lo[i]), Some(&mut hi[0]))
+        }
+        (Some(i), Some(j)) => {
+            assert_ne!(i, j, "input and output tape must be distinct edges");
+            let (lo, hi) = tapes.split_at_mut(i);
+            (Some(&mut hi[0]), Some(&mut lo[j]))
+        }
+        (Some(i), None) => (Some(&mut tapes[i]), None),
+        (None, Some(j)) => (None, Some(&mut tapes[j])),
+        (None, None) => (None, None),
+    }
+}
+
 /// Fire a filter once: reset locals, run `work` against the tapes at
 /// `in_edge` / `out_edge` in `tapes` (indices into the caller's tape
 /// slice).
-///
-/// The tapes are moved out and back with `mem::take`, so `in_edge` and
-/// `out_edge` may alias other slots only if distinct from each other.
 ///
 /// The firing is a failure boundary: a poisoned tape is refused before it
 /// is touched ([`VmError::Poisoned`]), and a panic in the body is caught
@@ -191,31 +225,35 @@ pub fn fire_filter(
             filter: filter.name.clone(),
         });
     }
-    let mut in_tape = in_edge.map(|e| std::mem::take(&mut tapes[e]));
-    let mut out_tape = out_edge.map(|e| std::mem::take(&mut tapes[e]));
+    let (mut in_tape, mut out_tape) = two_tapes(tapes, in_edge, out_edge);
+    let FilterState {
+        slots,
+        chans,
+        regs,
+        engine,
+    } = state;
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        if let Engine::Compiled(plan) = &state.engine {
-            let plan = Arc::clone(plan);
-            plan.zero_locals(&mut state.regs);
+        if let Engine::Compiled(plan) = engine {
+            plan.zero_locals(regs);
             run_code(
-                &plan,
+                plan,
                 &plan.work,
-                &mut state.regs,
-                &mut state.chans,
-                in_tape.as_mut(),
-                out_tape.as_mut(),
+                regs,
+                chans,
+                in_tape.as_deref_mut(),
+                out_tape.as_deref_mut(),
                 input_addr_cost,
                 output_addr_cost,
                 counters,
             )
         } else {
-            reset_locals(filter, &mut state.slots);
+            reset_locals(filter, slots);
             let mut ctx = FiringCtx {
                 filter,
-                slots: &mut state.slots,
-                chans: &mut state.chans,
-                input: in_tape.as_mut(),
-                output: out_tape.as_mut(),
+                slots,
+                chans,
+                input: in_tape.as_deref_mut(),
+                output: out_tape.as_deref_mut(),
                 machine,
                 counters,
                 input_addr_cost,
@@ -233,22 +271,16 @@ pub fn fire_filter(
     // A failed firing may have left a torn write prefix behind; quarantine
     // it so downstream firings refuse the edge instead of consuming it.
     if result.is_err() {
-        if let Some(t) = in_tape.as_mut() {
+        if let Some(t) = in_tape {
             t.poison();
         }
-        if let Some(t) = out_tape.as_mut() {
+        if let Some(t) = out_tape {
             t.poison();
         }
-    }
-    if let (Some(e), Some(t)) = (in_edge, in_tape) {
-        tapes[e] = t;
-    }
-    if let (Some(e), Some(t)) = (out_edge, out_tape) {
-        tapes[e] = t;
     }
     result?;
     debug_assert!(
-        state.chans.iter().all(|c| c.is_empty()),
+        chans.iter().all(|c| c.is_empty()),
         "filter {} left data in an internal channel after firing",
         filter.name
     );

@@ -1,0 +1,1522 @@
+//! Superblock kernel fusion: a post-pass over compiled firing bytecode
+//! that collapses straight-line runs of pure register ops into single
+//! [`Kernel`]s executed over contiguous register slices.
+//!
+//! The dispatch loop in [`crate::bytecode::run_code`] pays a per-opcode
+//! match plus, for vector ops, a per-lane call into a scalar helper that
+//! re-matches the operator and type on every lane. Fusion removes both
+//! costs: at compile time each fusible [`Op`] is lowered to a [`KOp`]
+//! with the operator/type pre-resolved, and each maximal run becomes one
+//! `Op::Kernel` the interpreter executes in a single dispatch.
+//!
+//! Two backends execute the same `KOp` stream:
+//!
+//! - **Portable** (`exec_kop_portable`): safe Rust slice loops written so
+//!   LLVM autovectorizes the hot arithmetic variants. Always available
+//!   and the only backend off x86-64.
+//! - **AVX2** ([`x86`]): runtime-feature-detected
+//!   (`is_x86_feature_detected!("avx2")`) intrinsic paths for the
+//!   type-stable arithmetic variants; every other variant falls through
+//!   to the portable code. All `unsafe` is confined to the [`x86`]
+//!   module.
+//!
+//! # Fusion legality
+//!
+//! Only *pure register ops* fuse: constants, moves, arithmetic,
+//! comparisons, casts, intrinsic calls, splats and permutations. Tape,
+//! channel and array ops, control flow, and [`Op::Charge`] never fuse —
+//! leaving `Charge` unfused keeps `CycleCounters` bit-identical for
+//! free. A run never extends across a jump target (basic-block leader),
+//! so every jump still lands on a real instruction. The fused ops stay
+//! in place behind the `Op::Kernel` marker; the interpreter skips them
+//! via the kernel's `span`, which preserves all jump targets without
+//! rewriting a single index.
+//!
+//! Backend-specialized variants (e.g. [`KOp::AddF32`]) additionally
+//! require the destination range to be disjoint from both source ranges
+//! and fully in-bounds — verified at fusion time; a violating op degrades
+//! to its generic lane-loop variant, which replicates `run_code`'s exact
+//! per-lane write order (aliasing included).
+//!
+//! # Bit-exactness
+//!
+//! Generic variants call the same scalar helpers as `run_code`. The
+//! specialized portable loops inline those helpers' type-stable bodies
+//! verbatim (`f32` domain: narrow, op, widen; `i32` domain: truncate,
+//! wrapping op, sign-extend). The AVX2 paths use conversion instructions
+//! (`vcvtpd2ps` / `vcvtps2pd` / `vpmovsxdq`) that are exactly the
+//! per-lane Rust `as` casts, so all three execution paths produce
+//! bit-identical register files. The engine differential suite enforces
+//! this across every benchmark.
+
+use crate::bytecode::{
+    bin_f, bin_i, call1_f, call1_i, call2_f, call2_i, cast_ff, cast_fi, cast_if, cast_ii, cmp_f,
+    neg_i, not_i, Op, Regs,
+};
+use macross_streamir::expr::{BinOp, Intrinsic};
+use macross_streamir::types::ScalarTy;
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86;
+
+/// Minimum fusible run length: a 1-op "kernel" would only add overhead.
+const MIN_RUN: usize = 2;
+
+/// Which code path executes fused kernels. Chosen once per
+/// [`crate::compile::compile_filter_opts`] call and stored on the
+/// compiled plan, so one process can compare backends by recompiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// `core::arch::x86_64` AVX2 intrinsics (x86-64 with AVX2 only).
+    Avx2,
+    /// Safe fixed-width-chunk Rust, written for LLVM autovectorization.
+    Portable,
+}
+
+impl KernelBackend {
+    /// Stable label for reports (`avx2` / `portable`).
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelBackend::Avx2 => "avx2",
+            KernelBackend::Portable => "portable",
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| std::is_x86_feature_detected!("avx2"))
+}
+
+/// True when `MACROSS_FORCE_PORTABLE_KERNELS` is set to anything but
+/// `0`/empty. Read per compile (not in the firing hot path), so a test
+/// can flip backends between compilations inside one process.
+pub fn portable_forced() -> bool {
+    std::env::var("MACROSS_FORCE_PORTABLE_KERNELS")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// Select the kernel backend: AVX2 when the CPU has it and the portable
+/// override (`MACROSS_FORCE_PORTABLE_KERNELS=1`) is not set.
+pub fn select_backend() -> KernelBackend {
+    if portable_forced() {
+        return KernelBackend::Portable;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        return KernelBackend::Avx2;
+    }
+    KernelBackend::Portable
+}
+
+/// One fused superblock: the pre-resolved ops and how many original
+/// bytecode slots they cover (the interpreter advances `pc` by `span`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Original ops covered (for the `pc` skip). At least `kops.len()` —
+    /// redundancy pruning can make the fused form shorter than the run.
+    pub span: u32,
+    /// Pre-resolved ops, in original program order.
+    pub kops: Box<[KOp]>,
+}
+
+/// A fused op. Scalar ops are width-1 vector ops here; specialized
+/// arithmetic variants carry a proven-disjoint destination range, generic
+/// variants replicate [`crate::bytecode::run_code`]'s lane loops with the
+/// operator/type match hoisted out of the per-lane path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KOp {
+    /// `i[dst..dst+len] = vals` (also width-1 `ConstI`).
+    ConstVecI {
+        dst: u32,
+        vals: Box<[i64]>,
+    },
+    /// `f[dst..dst+len] = vals`.
+    ConstVecF {
+        dst: u32,
+        vals: Box<[f64]>,
+    },
+    /// `copy_within` — alias-safe, like `Op::MovNI`.
+    MovNI {
+        dst: u32,
+        src: u32,
+        w: u32,
+    },
+    MovNF {
+        dst: u32,
+        src: u32,
+        w: u32,
+    },
+    /// Broadcast (reads the scalar before filling, so overlap is safe).
+    SplatI {
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    SplatF {
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    /// `extract_even`/`extract_odd`; `dst` is fresh by construction.
+    PermI {
+        parity: u32,
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    PermF {
+        parity: u32,
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    /// `i[dst] = f[a] as i64`.
+    FToI {
+        dst: u32,
+        a: u32,
+    },
+
+    // --- Backend-specialized arithmetic (dst disjoint from srcs, all
+    // ranges in-bounds — verified at fusion time) ----------------------
+    AddF32 {
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    SubF32 {
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    MulF32 {
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    DivF32 {
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    AddF64 {
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    SubF64 {
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    MulF64 {
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    DivF64 {
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    AddI32 {
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    SubI32 {
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    MulI32 {
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    AddI64 {
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    SubI64 {
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    MulI64 {
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    /// Domain-independent on the sign-extended representation: the upper
+    /// 32 bits of a lane-wise `&`/`|`/`^` of two sign-extended values are
+    /// exactly the sign-extension of the result's bit 31.
+    AndI {
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    OrI {
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    XorI {
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+
+    // --- Generic exact fallbacks (identical to run_code lane loops) ----
+    BinI {
+        op: BinOp,
+        ty: ScalarTy,
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    BinF {
+        op: BinOp,
+        ty: ScalarTy,
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    CmpF {
+        op: BinOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    NegI {
+        ty: ScalarTy,
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    NegF {
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    NotI {
+        ty: ScalarTy,
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    LogNotI {
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    LogNotF {
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    CastII {
+        from: ScalarTy,
+        to: ScalarTy,
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    CastIF {
+        to: ScalarTy,
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    CastFI {
+        to: ScalarTy,
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    CastFF {
+        to: ScalarTy,
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    /// Unary integer intrinsic (always `Abs`).
+    Call1I {
+        ty: ScalarTy,
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    Call2I {
+        i: Intrinsic,
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    Call1F {
+        i: Intrinsic,
+        ty: ScalarTy,
+        dst: u32,
+        a: u32,
+        w: u32,
+    },
+    Call2F {
+        i: Intrinsic,
+        ty: ScalarTy,
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Fusion pass
+// ---------------------------------------------------------------------
+
+/// `[lo, lo+w)` and `[r, r+w)` do not overlap.
+fn disjoint(lo: u32, r: u32, w: u32) -> bool {
+    r + w <= lo || r >= lo + w
+}
+
+/// Specialized-variant legality: destination disjoint from both sources
+/// and every range inside the register file.
+fn specializable(dst: u32, a: u32, b: u32, w: u32, file_len: u32) -> bool {
+    let fits = |r: u32| r.checked_add(w).is_some_and(|end| end <= file_len);
+    fits(dst) && fits(a) && fits(b) && disjoint(dst, a, w) && disjoint(dst, b, w)
+}
+
+/// Map an integer binary op to its specialized variant, if one exists
+/// and the operand layout permits; generic [`KOp::BinI`] otherwise.
+#[allow(clippy::too_many_arguments)]
+fn kop_bin_i(op: BinOp, ty: ScalarTy, dst: u32, a: u32, b: u32, w: u32, int_regs: u32) -> KOp {
+    if !op.is_comparison() && specializable(dst, a, b, w, int_regs) {
+        match (op, ty) {
+            (BinOp::Add, ScalarTy::I32) => return KOp::AddI32 { dst, a, b, w },
+            (BinOp::Sub, ScalarTy::I32) => return KOp::SubI32 { dst, a, b, w },
+            (BinOp::Mul, ScalarTy::I32) => return KOp::MulI32 { dst, a, b, w },
+            (BinOp::Add, ScalarTy::I64) => return KOp::AddI64 { dst, a, b, w },
+            (BinOp::Sub, ScalarTy::I64) => return KOp::SubI64 { dst, a, b, w },
+            (BinOp::Mul, ScalarTy::I64) => return KOp::MulI64 { dst, a, b, w },
+            (BinOp::And, _) => return KOp::AndI { dst, a, b, w },
+            (BinOp::Or, _) => return KOp::OrI { dst, a, b, w },
+            (BinOp::Xor, _) => return KOp::XorI { dst, a, b, w },
+            _ => {}
+        }
+    }
+    KOp::BinI {
+        op,
+        ty,
+        dst,
+        a,
+        b,
+        w,
+    }
+}
+
+/// Map a float binary op, preferring the specialized variant.
+#[allow(clippy::too_many_arguments)]
+fn kop_bin_f(op: BinOp, ty: ScalarTy, dst: u32, a: u32, b: u32, w: u32, float_regs: u32) -> KOp {
+    if specializable(dst, a, b, w, float_regs) {
+        match (op, ty) {
+            (BinOp::Add, ScalarTy::F32) => return KOp::AddF32 { dst, a, b, w },
+            (BinOp::Sub, ScalarTy::F32) => return KOp::SubF32 { dst, a, b, w },
+            (BinOp::Mul, ScalarTy::F32) => return KOp::MulF32 { dst, a, b, w },
+            (BinOp::Div, ScalarTy::F32) => return KOp::DivF32 { dst, a, b, w },
+            (BinOp::Add, ScalarTy::F64) => return KOp::AddF64 { dst, a, b, w },
+            (BinOp::Sub, ScalarTy::F64) => return KOp::SubF64 { dst, a, b, w },
+            (BinOp::Mul, ScalarTy::F64) => return KOp::MulF64 { dst, a, b, w },
+            (BinOp::Div, ScalarTy::F64) => return KOp::DivF64 { dst, a, b, w },
+            _ => {}
+        }
+    }
+    KOp::BinF {
+        op,
+        ty,
+        dst,
+        a,
+        b,
+        w,
+    }
+}
+
+/// Lower one bytecode op to a fused op, or `None` for non-fusible ops
+/// (tape/channel/array accesses, control flow, `Charge`).
+fn lower(op: &Op, int_regs: u32, float_regs: u32) -> Option<KOp> {
+    Some(match *op {
+        Op::ConstI { dst, v } => KOp::ConstVecI {
+            dst,
+            vals: Box::new([v]),
+        },
+        Op::ConstF { dst, v } => KOp::ConstVecF {
+            dst,
+            vals: Box::new([v]),
+        },
+        Op::ConstVecI { dst, ref vals } => KOp::ConstVecI {
+            dst,
+            vals: vals.clone(),
+        },
+        Op::ConstVecF { dst, ref vals } => KOp::ConstVecF {
+            dst,
+            vals: vals.clone(),
+        },
+        Op::MovI { dst, src } => KOp::MovNI { dst, src, w: 1 },
+        Op::MovF { dst, src } => KOp::MovNF { dst, src, w: 1 },
+        Op::MovNI { dst, src, w } => KOp::MovNI { dst, src, w },
+        Op::MovNF { dst, src, w } => KOp::MovNF { dst, src, w },
+        Op::FToI { dst, a } => KOp::FToI { dst, a },
+        Op::BinI { op, ty, dst, a, b } => kop_bin_i(op, ty, dst, a, b, 1, int_regs),
+        Op::VBinI {
+            op,
+            ty,
+            dst,
+            a,
+            b,
+            w,
+        } => kop_bin_i(op, ty, dst, a, b, w, int_regs),
+        Op::BinF { op, ty, dst, a, b } => kop_bin_f(op, ty, dst, a, b, 1, float_regs),
+        Op::VBinF {
+            op,
+            ty,
+            dst,
+            a,
+            b,
+            w,
+        } => kop_bin_f(op, ty, dst, a, b, w, float_regs),
+        Op::CmpF { op, dst, a, b } => KOp::CmpF {
+            op,
+            dst,
+            a,
+            b,
+            w: 1,
+        },
+        Op::VCmpF { op, dst, a, b, w } => KOp::CmpF { op, dst, a, b, w },
+        Op::NegI { ty, dst, a } => KOp::NegI { ty, dst, a, w: 1 },
+        Op::VNegI { ty, dst, a, w } => KOp::NegI { ty, dst, a, w },
+        Op::NegF { dst, a } => KOp::NegF { dst, a, w: 1 },
+        Op::VNegF { dst, a, w } => KOp::NegF { dst, a, w },
+        Op::NotI { ty, dst, a } => KOp::NotI { ty, dst, a, w: 1 },
+        Op::VNotI { ty, dst, a, w } => KOp::NotI { ty, dst, a, w },
+        Op::LogNotI { dst, a } => KOp::LogNotI { dst, a, w: 1 },
+        Op::VLogNotI { dst, a, w } => KOp::LogNotI { dst, a, w },
+        Op::LogNotF { dst, a } => KOp::LogNotF { dst, a, w: 1 },
+        Op::VLogNotF { dst, a, w } => KOp::LogNotF { dst, a, w },
+        Op::CastII { from, to, dst, a } => KOp::CastII {
+            from,
+            to,
+            dst,
+            a,
+            w: 1,
+        },
+        Op::VCastII {
+            from,
+            to,
+            dst,
+            a,
+            w,
+        } => KOp::CastII {
+            from,
+            to,
+            dst,
+            a,
+            w,
+        },
+        Op::CastIF { to, dst, a } => KOp::CastIF { to, dst, a, w: 1 },
+        Op::VCastIF { to, dst, a, w } => KOp::CastIF { to, dst, a, w },
+        Op::CastFI { to, dst, a } => KOp::CastFI { to, dst, a, w: 1 },
+        Op::VCastFI { to, dst, a, w } => KOp::CastFI { to, dst, a, w },
+        Op::CastFF { to, dst, a } => KOp::CastFF { to, dst, a, w: 1 },
+        Op::VCastFF { to, dst, a, w } => KOp::CastFF { to, dst, a, w },
+        Op::Call1I { ty, dst, a, .. } => KOp::Call1I { ty, dst, a, w: 1 },
+        Op::VCall1I { ty, dst, a, w, .. } => KOp::Call1I { ty, dst, a, w },
+        Op::Call2I { i, dst, a, b } => KOp::Call2I { i, dst, a, b, w: 1 },
+        Op::VCall2I { i, dst, a, b, w } => KOp::Call2I { i, dst, a, b, w },
+        Op::Call1F { i, ty, dst, a } => KOp::Call1F {
+            i,
+            ty,
+            dst,
+            a,
+            w: 1,
+        },
+        Op::VCall1F { i, ty, dst, a, w } => KOp::Call1F { i, ty, dst, a, w },
+        Op::Call2F { i, ty, dst, a, b } => KOp::Call2F {
+            i,
+            ty,
+            dst,
+            a,
+            b,
+            w: 1,
+        },
+        Op::VCall2F {
+            i,
+            ty,
+            dst,
+            a,
+            b,
+            w,
+        } => KOp::Call2F {
+            i,
+            ty,
+            dst,
+            a,
+            b,
+            w,
+        },
+        Op::SplatI { dst, a, w } => KOp::SplatI { dst, a, w },
+        Op::SplatF { dst, a, w } => KOp::SplatF { dst, a, w },
+        Op::PermI {
+            parity,
+            dst,
+            a,
+            b,
+            w,
+        } => KOp::PermI {
+            parity,
+            dst,
+            a,
+            b,
+            w,
+        },
+        Op::PermF {
+            parity,
+            dst,
+            a,
+            b,
+            w,
+        } => KOp::PermF {
+            parity,
+            dst,
+            a,
+            b,
+            w,
+        },
+        // The loop variable is declared i32: identical to a width-1
+        // I64 -> I32 cast on the sign-extended representation.
+        Op::SetLoopVar { var, counter } => KOp::CastII {
+            from: ScalarTy::I64,
+            to: ScalarTy::I32,
+            dst: var,
+            a: counter,
+            w: 1,
+        },
+        _ => return None,
+    })
+}
+
+/// Register space a fused-op range lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Space {
+    I,
+    F,
+}
+
+/// A `(space, start, len)` register range.
+type RegRange = (Space, u32, u32);
+
+fn overlaps(a: RegRange, b: RegRange) -> bool {
+    a.0 == b.0 && a.1 < b.1 + b.2 && b.1 < a.1 + a.2
+}
+
+/// The single range a fused op writes and the (up to two) ranges it
+/// reads — the alias footprint the redundancy pruner works over.
+fn footprint(op: &KOp) -> (RegRange, [Option<RegRange>; 2]) {
+    use Space::{F, I};
+    let r1 = |r| [Some(r), None];
+    let r2 = |a, b| [Some(a), Some(b)];
+    match *op {
+        KOp::ConstVecI { dst, ref vals } => ((I, dst, vals.len() as u32), [None, None]),
+        KOp::ConstVecF { dst, ref vals } => ((F, dst, vals.len() as u32), [None, None]),
+        KOp::MovNI { dst, src, w } => ((I, dst, w), r1((I, src, w))),
+        KOp::MovNF { dst, src, w } => ((F, dst, w), r1((F, src, w))),
+        KOp::SplatI { dst, a, w } => ((I, dst, w), r1((I, a, 1))),
+        KOp::SplatF { dst, a, w } => ((F, dst, w), r1((F, a, 1))),
+        KOp::PermI { dst, a, b, w, .. } => ((I, dst, w), r2((I, a, w), (I, b, w))),
+        KOp::PermF { dst, a, b, w, .. } => ((F, dst, w), r2((F, a, w), (F, b, w))),
+        KOp::FToI { dst, a } => ((I, dst, 1), r1((F, a, 1))),
+        KOp::AddF32 { dst, a, b, w }
+        | KOp::SubF32 { dst, a, b, w }
+        | KOp::MulF32 { dst, a, b, w }
+        | KOp::DivF32 { dst, a, b, w }
+        | KOp::AddF64 { dst, a, b, w }
+        | KOp::SubF64 { dst, a, b, w }
+        | KOp::MulF64 { dst, a, b, w }
+        | KOp::DivF64 { dst, a, b, w }
+        | KOp::BinF { dst, a, b, w, .. }
+        | KOp::Call2F { dst, a, b, w, .. } => ((F, dst, w), r2((F, a, w), (F, b, w))),
+        KOp::AddI32 { dst, a, b, w }
+        | KOp::SubI32 { dst, a, b, w }
+        | KOp::MulI32 { dst, a, b, w }
+        | KOp::AddI64 { dst, a, b, w }
+        | KOp::SubI64 { dst, a, b, w }
+        | KOp::MulI64 { dst, a, b, w }
+        | KOp::AndI { dst, a, b, w }
+        | KOp::OrI { dst, a, b, w }
+        | KOp::XorI { dst, a, b, w }
+        | KOp::BinI { dst, a, b, w, .. }
+        | KOp::Call2I { dst, a, b, w, .. } => ((I, dst, w), r2((I, a, w), (I, b, w))),
+        KOp::CmpF { dst, a, b, w, .. } => ((I, dst, w), r2((F, a, w), (F, b, w))),
+        KOp::NegI { dst, a, w, .. }
+        | KOp::NotI { dst, a, w, .. }
+        | KOp::LogNotI { dst, a, w }
+        | KOp::CastII { dst, a, w, .. }
+        | KOp::Call1I { dst, a, w, .. } => ((I, dst, w), r1((I, a, w))),
+        KOp::NegF { dst, a, w } | KOp::CastFF { dst, a, w, .. } | KOp::Call1F { dst, a, w, .. } => {
+            ((F, dst, w), r1((F, a, w)))
+        }
+        KOp::LogNotF { dst, a, w } | KOp::CastFI { dst, a, w, .. } => ((I, dst, w), r1((F, a, w))),
+        KOp::CastIF { dst, a, w, .. } => ((F, dst, w), r1((I, a, w))),
+    }
+}
+
+/// Every range the op touches lies inside the register files. Fusion
+/// refuses ops that fail this, so backends may use unchecked accesses
+/// for *any* fused op, not just the specialized arithmetic variants.
+fn in_bounds(op: &KOp, int_regs: u32, float_regs: u32) -> bool {
+    let fits = |r: RegRange| {
+        let file = match r.0 {
+            Space::I => int_regs,
+            Space::F => float_regs,
+        };
+        (r.1 as u64) + (r.2 as u64) <= file as u64
+    };
+    let (w, reads) = footprint(op);
+    fits(w) && reads.iter().flatten().all(|&r| fits(r))
+}
+
+/// Drop idempotent re-executions: a fused op identical to an earlier one
+/// in the same run, with nothing in between touching any register the
+/// earlier op read or wrote, rewrites the exact same bits and can go.
+/// Unrolled loop bodies re-materialize the same constants every
+/// iteration; this collapses them to one materialization per kernel while
+/// leaving final register state bit-identical.
+fn prune_idempotent(kops: Vec<KOp>) -> Vec<KOp> {
+    let mut out: Vec<KOp> = Vec::with_capacity(kops.len());
+    let mut avail: Vec<usize> = Vec::new();
+    for k in kops {
+        if avail.iter().any(|&e| out[e] == k) {
+            continue;
+        }
+        let (w, _) = footprint(&k);
+        avail.retain(|&e| {
+            let (ew, er) = footprint(&out[e]);
+            !overlaps(ew, w) && !er.iter().flatten().any(|&r| overlaps(r, w))
+        });
+        out.push(k);
+        avail.push(out.len() - 1);
+    }
+    out
+}
+
+/// Mutable access to the operands of the backend-specialized arithmetic
+/// variants — the only ops copy propagation rewrites. Returns the shared
+/// register space, both read operands, the destination, and the width.
+fn arith_operands_mut(op: &mut KOp) -> Option<(Space, &mut u32, &mut u32, u32, u32)> {
+    use Space::{F, I};
+    match op {
+        KOp::AddF32 { dst, a, b, w }
+        | KOp::SubF32 { dst, a, b, w }
+        | KOp::MulF32 { dst, a, b, w }
+        | KOp::DivF32 { dst, a, b, w }
+        | KOp::AddF64 { dst, a, b, w }
+        | KOp::SubF64 { dst, a, b, w }
+        | KOp::MulF64 { dst, a, b, w }
+        | KOp::DivF64 { dst, a, b, w } => Some((F, a, b, *dst, *w)),
+        KOp::AddI32 { dst, a, b, w }
+        | KOp::SubI32 { dst, a, b, w }
+        | KOp::MulI32 { dst, a, b, w }
+        | KOp::AddI64 { dst, a, b, w }
+        | KOp::SubI64 { dst, a, b, w }
+        | KOp::MulI64 { dst, a, b, w }
+        | KOp::AndI { dst, a, b, w }
+        | KOp::OrI { dst, a, b, w }
+        | KOp::XorI { dst, a, b, w } => Some((I, a, b, *dst, *w)),
+        _ => None,
+    }
+}
+
+/// Forward copy propagation. After `MovN dst <- src` with disjoint
+/// ranges, `src` and `dst` hold the same bits until either is rewritten,
+/// so an arithmetic read lying fully inside `dst` can read the
+/// corresponding `src` registers instead (kept only if it preserves the
+/// specialized variants' dst-disjoint-from-sources invariant). This
+/// unchains the per-iteration writeback of unrolled accumulator loops
+/// from the arithmetic that follows it, so [`drop_dead_copies`] can then
+/// remove the copy itself.
+fn propagate_copies(kops: &mut [KOp]) {
+    // Live copies as (dst range, src start); ranges disjoint, same space.
+    // Overlapping dst ranges cannot coexist: recording a copy first
+    // invalidates every earlier copy its write touches.
+    let mut copies: Vec<(RegRange, u32)> = Vec::new();
+    for op in kops.iter_mut() {
+        if let Some((sp, a, b, dst, w)) = arith_operands_mut(op) {
+            for r in [a, b] {
+                if let Some(&((_, cd, _), cs)) = copies
+                    .iter()
+                    .find(|&&((csp, cd, cw), _)| csp == sp && *r >= cd && *r + w <= cd + cw)
+                {
+                    let moved = cs + (*r - cd);
+                    if disjoint(dst, moved, w) {
+                        *r = moved;
+                    }
+                }
+            }
+        }
+        let (wr, _) = footprint(op);
+        copies.retain(|&(cdst, csrc)| !overlaps(cdst, wr) && !overlaps((cdst.0, csrc, cdst.2), wr));
+        match *op {
+            KOp::MovNF { dst, src, w } if disjoint(dst, src, w) => {
+                copies.push(((Space::F, dst, w), src));
+            }
+            KOp::MovNI { dst, src, w } if disjoint(dst, src, w) => {
+                copies.push(((Space::I, dst, w), src));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Drop a `MovN` whose destination is fully overwritten later in the
+/// kernel before any read touches it: execution is straight-line, the
+/// later write rewrites every lane, so final register state is
+/// bit-identical without it. Sound even when the covering write is
+/// itself dropped — its own cover then transitively covers this one with
+/// no intervening reads. Together with [`propagate_copies`] this keeps
+/// only the last writeback of an unrolled accumulator loop.
+fn drop_dead_copies(kops: Vec<KOp>) -> Vec<KOp> {
+    let dead = |i: usize| {
+        let (w, _) = footprint(&kops[i]);
+        for later in &kops[i + 1..] {
+            let (jw, jr) = footprint(later);
+            if jr.iter().flatten().any(|&r| overlaps(r, w)) {
+                return false;
+            }
+            if jw.0 == w.0 && jw.1 <= w.1 && jw.1 + jw.2 >= w.1 + w.2 {
+                return true;
+            }
+            if overlaps(jw, w) {
+                // Partial overwrite: keep, conservatively.
+                return false;
+            }
+        }
+        false
+    };
+    let mut out = Vec::with_capacity(kops.len());
+    for (i, k) in kops.iter().enumerate() {
+        let copy = matches!(k, KOp::MovNF { .. } | KOp::MovNI { .. });
+        if !(copy && dead(i)) {
+            out.push(k.clone());
+        }
+    }
+    out
+}
+
+/// Number of lanes an op executes on the backend's specialized slice
+/// paths (0 for generic fallbacks and bookkeeping ops).
+fn vector_lanes(op: &KOp) -> u32 {
+    match *op {
+        KOp::AddF32 { w, .. }
+        | KOp::SubF32 { w, .. }
+        | KOp::MulF32 { w, .. }
+        | KOp::DivF32 { w, .. }
+        | KOp::AddF64 { w, .. }
+        | KOp::SubF64 { w, .. }
+        | KOp::MulF64 { w, .. }
+        | KOp::DivF64 { w, .. }
+        | KOp::AddI32 { w, .. }
+        | KOp::SubI32 { w, .. }
+        | KOp::MulI32 { w, .. }
+        | KOp::AddI64 { w, .. }
+        | KOp::SubI64 { w, .. }
+        | KOp::MulI64 { w, .. }
+        | KOp::AndI { w, .. }
+        | KOp::OrI { w, .. }
+        | KOp::XorI { w, .. } => w,
+        _ => 0,
+    }
+}
+
+/// Entering a kernel has a fixed cost (kernel lookup, backend dispatch,
+/// one non-inlined call), so short or purely scalar runs lose to the
+/// plain dispatch loop. Keep a run only when it has enough genuine
+/// vector work or is long enough for the saved dispatch to amortize it.
+fn profitable(kops: &[KOp]) -> bool {
+    let vec_ops = kops.iter().filter(|k| vector_lanes(k) >= 2).count();
+    vec_ops * 4 + kops.len() >= 32
+}
+
+/// Basic-block leaders: every position a jump can land on. A fused run
+/// must not extend across one (jumping into the middle of a kernel would
+/// skip the run prefix), but may *start* at one — the jump then lands on
+/// the `Op::Kernel` itself.
+fn leaders(code: &[Op]) -> Vec<bool> {
+    let mut leader = vec![false; code.len() + 1];
+    for op in code {
+        let t = match op {
+            Op::Jump { target } => *target,
+            Op::JumpIfZI { target, .. } => *target,
+            Op::JumpIfZF { target, .. } => *target,
+            Op::LoopHead { exit, .. } => *exit,
+            Op::LoopBack { head, .. } => *head,
+            _ => continue,
+        };
+        if (t as usize) < leader.len() {
+            leader[t as usize] = true;
+        }
+    }
+    leader
+}
+
+/// Fuse straight-line runs of pure register ops in `code`, appending the
+/// kernels to `kernels` (shared between `init` and `work`, indexed by
+/// [`Op::Kernel`]). Returns the number of kernels created.
+pub fn fuse(code: &mut [Op], kernels: &mut Vec<Kernel>, int_regs: u32, float_regs: u32) -> usize {
+    fuse_runs(code, kernels, int_regs, float_regs, profitable)
+}
+
+/// [`fuse`] with an explicit profitability gate (tests use `|_| true` to
+/// exercise run formation independently of the cost model).
+fn fuse_runs(
+    code: &mut [Op],
+    kernels: &mut Vec<Kernel>,
+    int_regs: u32,
+    float_regs: u32,
+    gate: fn(&[KOp]) -> bool,
+) -> usize {
+    let leader = leaders(code);
+    let before = kernels.len();
+    let mut pc = 0usize;
+    while pc < code.len() {
+        let mut kops: Vec<KOp> = Vec::new();
+        while pc + kops.len() < code.len() {
+            let at = pc + kops.len();
+            // Never extend across a jump target (except at run start).
+            if !kops.is_empty() && leader[at] {
+                break;
+            }
+            match lower(&code[at], int_regs, float_regs) {
+                Some(k) if in_bounds(&k, int_regs, float_regs) => kops.push(k),
+                _ => break,
+            }
+        }
+        let span = kops.len();
+        if span >= MIN_RUN {
+            let mut kops = prune_idempotent(kops);
+            propagate_copies(&mut kops);
+            let kops = drop_dead_copies(kops);
+            if gate(&kops) {
+                let idx = kernels.len() as u32;
+                kernels.push(Kernel {
+                    span: span as u32,
+                    kops: kops.into_boxed_slice(),
+                });
+                // The fused ops stay in place behind the marker, so jumps
+                // into the run (none exist past the leader check, but also
+                // any future disassembly) still see real instructions.
+                code[pc] = Op::Kernel(idx);
+            }
+            pc += span;
+        } else {
+            pc += span.max(1);
+        }
+    }
+    kernels.len() - before
+}
+
+// ---------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------
+
+/// Execute one fused kernel against the register files.
+#[inline]
+pub fn exec(kernel: &Kernel, backend: KernelBackend, regs: &mut Regs) {
+    #[cfg(target_arch = "x86_64")]
+    if backend == KernelBackend::Avx2 {
+        // SAFETY: `KernelBackend::Avx2` is only ever selected after
+        // `is_x86_feature_detected!("avx2")` returned true.
+        unsafe { x86::exec_avx2(&kernel.kops, regs) };
+        return;
+    }
+    let _ = backend;
+    for op in kernel.kops.iter() {
+        exec_kop_portable(op, regs);
+    }
+}
+
+/// Split a register file into a mutable destination window and two
+/// shared source windows. Caller guarantees (fusion-time check) that the
+/// ranges are in-bounds and the destination is disjoint from both
+/// sources; the sources may alias each other.
+fn split3<T>(file: &mut [T], dst: u32, a: u32, b: u32, w: u32) -> (&mut [T], &[T], &[T]) {
+    let (dst, a, b, w) = (dst as usize, a as usize, b as usize, w as usize);
+    let (lo, rest) = file.split_at_mut(dst);
+    let (d, hi) = rest.split_at_mut(w);
+    // A disjoint equal-or-shorter range lies entirely below `dst` or
+    // entirely at/after `dst + w`.
+    let pick = |r: usize| -> &[T] {
+        if r < dst {
+            &lo[r..r + w]
+        } else {
+            &hi[r - dst - w..r - dst - w + w]
+        }
+    };
+    let (ra, rb) = (pick(a), pick(b));
+    (d, ra, rb)
+}
+
+macro_rules! lanes_f32 {
+    ($d:expr, $x:expr, $y:expr, $op:tt) => {
+        for ((d, &x), &y) in $d.iter_mut().zip($x).zip($y) {
+            *d = ((x as f32) $op (y as f32)) as f64;
+        }
+    };
+}
+
+macro_rules! lanes_f64 {
+    ($d:expr, $x:expr, $y:expr, $op:tt) => {
+        for ((d, &x), &y) in $d.iter_mut().zip($x).zip($y) {
+            *d = x $op y;
+        }
+    };
+}
+
+macro_rules! lanes_i32 {
+    ($d:expr, $x:expr, $y:expr, $f:ident) => {
+        for ((d, &x), &y) in $d.iter_mut().zip($x).zip($y) {
+            *d = ((x as i32).$f(y as i32)) as i64;
+        }
+    };
+}
+
+macro_rules! lanes_i64 {
+    ($d:expr, $x:expr, $y:expr, $f:ident) => {
+        for ((d, &x), &y) in $d.iter_mut().zip($x).zip($y) {
+            *d = x.$f(y);
+        }
+    };
+}
+
+macro_rules! lanes_bits {
+    ($d:expr, $x:expr, $y:expr, $op:tt) => {
+        for ((d, &x), &y) in $d.iter_mut().zip($x).zip($y) {
+            *d = x $op y;
+        }
+    };
+}
+
+/// Execute one fused op on the portable backend. Public within the crate
+/// so the AVX2 dispatcher can fall through to it for generic variants.
+pub(crate) fn exec_kop_portable(op: &KOp, regs: &mut Regs) {
+    match *op {
+        KOp::ConstVecI { dst, ref vals } => {
+            regs.i[dst as usize..dst as usize + vals.len()].copy_from_slice(vals);
+        }
+        KOp::ConstVecF { dst, ref vals } => {
+            regs.f[dst as usize..dst as usize + vals.len()].copy_from_slice(vals);
+        }
+        KOp::MovNI { dst, src, w } => {
+            regs.i
+                .copy_within(src as usize..(src + w) as usize, dst as usize);
+        }
+        KOp::MovNF { dst, src, w } => {
+            regs.f
+                .copy_within(src as usize..(src + w) as usize, dst as usize);
+        }
+        KOp::SplatI { dst, a, w } => {
+            let v = regs.i[a as usize];
+            regs.i[dst as usize..(dst + w) as usize].fill(v);
+        }
+        KOp::SplatF { dst, a, w } => {
+            let v = regs.f[a as usize];
+            regs.f[dst as usize..(dst + w) as usize].fill(v);
+        }
+        KOp::PermI {
+            parity,
+            dst,
+            a,
+            b,
+            w,
+        } => {
+            let w = w as usize;
+            for k in 0..w {
+                let pos = parity as usize + 2 * k;
+                let v = if pos < w {
+                    regs.i[a as usize + pos]
+                } else {
+                    regs.i[b as usize + pos - w]
+                };
+                regs.i[dst as usize + k] = v;
+            }
+        }
+        KOp::PermF {
+            parity,
+            dst,
+            a,
+            b,
+            w,
+        } => {
+            let w = w as usize;
+            for k in 0..w {
+                let pos = parity as usize + 2 * k;
+                let v = if pos < w {
+                    regs.f[a as usize + pos]
+                } else {
+                    regs.f[b as usize + pos - w]
+                };
+                regs.f[dst as usize + k] = v;
+            }
+        }
+        KOp::FToI { dst, a } => regs.i[dst as usize] = regs.f[a as usize] as i64,
+
+        KOp::AddF32 { dst, a, b, w } => {
+            let (d, x, y) = split3(&mut regs.f, dst, a, b, w);
+            lanes_f32!(d, x, y, +);
+        }
+        KOp::SubF32 { dst, a, b, w } => {
+            let (d, x, y) = split3(&mut regs.f, dst, a, b, w);
+            lanes_f32!(d, x, y, -);
+        }
+        KOp::MulF32 { dst, a, b, w } => {
+            let (d, x, y) = split3(&mut regs.f, dst, a, b, w);
+            lanes_f32!(d, x, y, *);
+        }
+        KOp::DivF32 { dst, a, b, w } => {
+            let (d, x, y) = split3(&mut regs.f, dst, a, b, w);
+            lanes_f32!(d, x, y, /);
+        }
+        KOp::AddF64 { dst, a, b, w } => {
+            let (d, x, y) = split3(&mut regs.f, dst, a, b, w);
+            lanes_f64!(d, x, y, +);
+        }
+        KOp::SubF64 { dst, a, b, w } => {
+            let (d, x, y) = split3(&mut regs.f, dst, a, b, w);
+            lanes_f64!(d, x, y, -);
+        }
+        KOp::MulF64 { dst, a, b, w } => {
+            let (d, x, y) = split3(&mut regs.f, dst, a, b, w);
+            lanes_f64!(d, x, y, *);
+        }
+        KOp::DivF64 { dst, a, b, w } => {
+            let (d, x, y) = split3(&mut regs.f, dst, a, b, w);
+            lanes_f64!(d, x, y, /);
+        }
+        KOp::AddI32 { dst, a, b, w } => {
+            let (d, x, y) = split3(&mut regs.i, dst, a, b, w);
+            lanes_i32!(d, x, y, wrapping_add);
+        }
+        KOp::SubI32 { dst, a, b, w } => {
+            let (d, x, y) = split3(&mut regs.i, dst, a, b, w);
+            lanes_i32!(d, x, y, wrapping_sub);
+        }
+        KOp::MulI32 { dst, a, b, w } => {
+            let (d, x, y) = split3(&mut regs.i, dst, a, b, w);
+            lanes_i32!(d, x, y, wrapping_mul);
+        }
+        KOp::AddI64 { dst, a, b, w } => {
+            let (d, x, y) = split3(&mut regs.i, dst, a, b, w);
+            lanes_i64!(d, x, y, wrapping_add);
+        }
+        KOp::SubI64 { dst, a, b, w } => {
+            let (d, x, y) = split3(&mut regs.i, dst, a, b, w);
+            lanes_i64!(d, x, y, wrapping_sub);
+        }
+        KOp::MulI64 { dst, a, b, w } => {
+            let (d, x, y) = split3(&mut regs.i, dst, a, b, w);
+            lanes_i64!(d, x, y, wrapping_mul);
+        }
+        KOp::AndI { dst, a, b, w } => {
+            let (d, x, y) = split3(&mut regs.i, dst, a, b, w);
+            lanes_bits!(d, x, y, &);
+        }
+        KOp::OrI { dst, a, b, w } => {
+            let (d, x, y) = split3(&mut regs.i, dst, a, b, w);
+            lanes_bits!(d, x, y, |);
+        }
+        KOp::XorI { dst, a, b, w } => {
+            let (d, x, y) = split3(&mut regs.i, dst, a, b, w);
+            lanes_bits!(d, x, y, ^);
+        }
+
+        KOp::BinI {
+            op,
+            ty,
+            dst,
+            a,
+            b,
+            w,
+        } => {
+            for k in 0..w as usize {
+                regs.i[dst as usize + k] =
+                    bin_i(op, ty, regs.i[a as usize + k], regs.i[b as usize + k]);
+            }
+        }
+        KOp::BinF {
+            op,
+            ty,
+            dst,
+            a,
+            b,
+            w,
+        } => {
+            for k in 0..w as usize {
+                regs.f[dst as usize + k] =
+                    bin_f(op, ty, regs.f[a as usize + k], regs.f[b as usize + k]);
+            }
+        }
+        KOp::CmpF { op, dst, a, b, w } => {
+            for k in 0..w as usize {
+                regs.i[dst as usize + k] =
+                    cmp_f(op, regs.f[a as usize + k], regs.f[b as usize + k]);
+            }
+        }
+        KOp::NegI { ty, dst, a, w } => {
+            for k in 0..w as usize {
+                regs.i[dst as usize + k] = neg_i(ty, regs.i[a as usize + k]);
+            }
+        }
+        KOp::NegF { dst, a, w } => {
+            for k in 0..w as usize {
+                regs.f[dst as usize + k] = -regs.f[a as usize + k];
+            }
+        }
+        KOp::NotI { ty, dst, a, w } => {
+            for k in 0..w as usize {
+                regs.i[dst as usize + k] = not_i(ty, regs.i[a as usize + k]);
+            }
+        }
+        KOp::LogNotI { dst, a, w } => {
+            for k in 0..w as usize {
+                regs.i[dst as usize + k] = (regs.i[a as usize + k] == 0) as i64;
+            }
+        }
+        KOp::LogNotF { dst, a, w } => {
+            for k in 0..w as usize {
+                regs.i[dst as usize + k] = (regs.f[a as usize + k] == 0.0) as i64;
+            }
+        }
+        KOp::CastII {
+            from,
+            to,
+            dst,
+            a,
+            w,
+        } => {
+            for k in 0..w as usize {
+                regs.i[dst as usize + k] = cast_ii(from, to, regs.i[a as usize + k]);
+            }
+        }
+        KOp::CastIF { to, dst, a, w } => {
+            for k in 0..w as usize {
+                regs.f[dst as usize + k] = cast_if(to, regs.i[a as usize + k]);
+            }
+        }
+        KOp::CastFI { to, dst, a, w } => {
+            for k in 0..w as usize {
+                regs.i[dst as usize + k] = cast_fi(to, regs.f[a as usize + k]);
+            }
+        }
+        KOp::CastFF { to, dst, a, w } => {
+            for k in 0..w as usize {
+                regs.f[dst as usize + k] = cast_ff(to, regs.f[a as usize + k]);
+            }
+        }
+        KOp::Call1I { ty, dst, a, w } => {
+            for k in 0..w as usize {
+                regs.i[dst as usize + k] = call1_i(ty, regs.i[a as usize + k]);
+            }
+        }
+        KOp::Call2I { i, dst, a, b, w } => {
+            for k in 0..w as usize {
+                regs.i[dst as usize + k] =
+                    call2_i(i, regs.i[a as usize + k], regs.i[b as usize + k]);
+            }
+        }
+        KOp::Call1F { i, ty, dst, a, w } => {
+            for k in 0..w as usize {
+                regs.f[dst as usize + k] = call1_f(i, ty, regs.f[a as usize + k]);
+            }
+        }
+        KOp::Call2F {
+            i,
+            ty,
+            dst,
+            a,
+            b,
+            w,
+        } => {
+            for k in 0..w as usize {
+                regs.f[dst as usize + k] =
+                    call2_f(i, ty, regs.f[a as usize + k], regs.f[b as usize + k]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_both(code: &mut [Op], int_regs: u32, float_regs: u32, seed: u64) -> (Regs, Regs) {
+        use crate::bytecode::{run_code, CompiledFilter};
+        use crate::machine::CycleCounters;
+        let mk_regs = || {
+            let mut r = Regs::new(int_regs as usize, float_regs as usize);
+            for (k, x) in r.i.iter_mut().enumerate() {
+                *x = ((seed.wrapping_mul(k as u64 + 1) % 2000) as i64) - 1000;
+            }
+            for (k, x) in r.f.iter_mut().enumerate() {
+                *x = ((seed.wrapping_mul(k as u64 + 3) % 2000) as f64 - 1000.0) as f32 as f64;
+            }
+            r
+        };
+        let plain = CompiledFilter {
+            name: "t".into(),
+            int_regs,
+            float_regs,
+            zero_i: vec![],
+            zero_f: vec![],
+            init: vec![],
+            work: code.to_vec(),
+            charges: vec![],
+            kernels: vec![],
+            backend: KernelBackend::Portable,
+        };
+        let mut kernels = Vec::new();
+        fuse_runs(code, &mut kernels, int_regs, float_regs, |_| true);
+        let fused = CompiledFilter {
+            work: code.to_vec(),
+            kernels,
+            backend: select_backend(),
+            ..plain.clone()
+        };
+        let mut c = CycleCounters::default();
+        let (mut r1, mut r2) = (mk_regs(), mk_regs());
+        run_code(
+            &plain,
+            &plain.work,
+            &mut r1,
+            &mut [],
+            None,
+            None,
+            0,
+            0,
+            &mut c,
+        )
+        .unwrap();
+        run_code(
+            &fused,
+            &fused.work,
+            &mut r2,
+            &mut [],
+            None,
+            None,
+            0,
+            0,
+            &mut c,
+        )
+        .unwrap();
+        (r1, r2)
+    }
+
+    #[test]
+    fn fused_arith_matches_dispatch() {
+        for seed in [1u64, 7, 13, 9999] {
+            let mut code = vec![
+                Op::VBinF {
+                    op: BinOp::Mul,
+                    ty: ScalarTy::F32,
+                    dst: 8,
+                    a: 0,
+                    b: 4,
+                    w: 4,
+                },
+                Op::VBinF {
+                    op: BinOp::Add,
+                    ty: ScalarTy::F32,
+                    dst: 12,
+                    a: 8,
+                    b: 0,
+                    w: 4,
+                },
+                Op::VBinI {
+                    op: BinOp::Mul,
+                    ty: ScalarTy::I32,
+                    dst: 8,
+                    a: 0,
+                    b: 4,
+                    w: 4,
+                },
+                Op::VBinI {
+                    op: BinOp::Xor,
+                    ty: ScalarTy::I32,
+                    dst: 12,
+                    a: 8,
+                    b: 0,
+                    w: 4,
+                },
+                Op::SplatI {
+                    dst: 16,
+                    a: 2,
+                    w: 4,
+                },
+                Op::PermI {
+                    parity: 1,
+                    dst: 20,
+                    a: 8,
+                    b: 12,
+                    w: 4,
+                },
+            ];
+            let (r1, r2) = run_both(&mut code, 24, 16, seed);
+            assert_eq!(r1.i, r2.i, "seed {seed}");
+            assert_eq!(
+                r1.f.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                r2.f.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn runs_stop_at_leaders_and_nonfusible_ops() {
+        let mut code = vec![
+            Op::ConstI { dst: 0, v: 3 },
+            Op::ConstI { dst: 1, v: 0 },
+            // leader (LoopBack target below)
+            Op::LoopHead {
+                counter: 1,
+                limit: 0,
+                exit: 7,
+            },
+            Op::BinI {
+                op: BinOp::Add,
+                ty: ScalarTy::I64,
+                dst: 2,
+                a: 2,
+                b: 0,
+            },
+            Op::BinI {
+                op: BinOp::Add,
+                ty: ScalarTy::I64,
+                dst: 3,
+                a: 2,
+                b: 2,
+            },
+            Op::Charge(0),
+            Op::LoopBack {
+                counter: 1,
+                head: 2,
+            },
+            Op::MovI { dst: 4, src: 3 },
+        ];
+        let mut kernels = Vec::new();
+        fuse_runs(&mut code, &mut kernels, 8, 0, |_| true);
+        // Two fused runs: the two leading consts, and the two adds inside
+        // the loop body (stopped by Charge). The trailing single MovI is
+        // below MIN_RUN.
+        assert_eq!(kernels.len(), 2);
+        assert_eq!(code[0], Op::Kernel(0));
+        assert!(matches!(code[2], Op::LoopHead { .. }));
+        assert_eq!(code[3], Op::Kernel(1));
+        assert!(matches!(code[4], Op::BinI { .. })); // left in place
+        assert!(matches!(code[7], Op::MovI { .. }));
+        // dst aliases src `a` in the first add: must have degraded to the
+        // generic lane-loop variant, not AddI64.
+        assert!(matches!(kernels[1].kops[0], KOp::BinI { .. }));
+        assert!(matches!(kernels[1].kops[1], KOp::AddI64 { .. }));
+    }
+
+    #[test]
+    fn idempotent_rematerializations_are_pruned() {
+        // An unrolled two-stage chain: the second stage re-materializes
+        // the same constant into the same registers with nothing touching
+        // them in between — one materialization must survive, and the
+        // fused result must still match plain dispatch bit-for-bit.
+        let stage = |dst| {
+            vec![
+                Op::ConstF { dst: 8, v: 1.5 },
+                Op::SplatF { dst: 9, a: 8, w: 4 },
+                Op::VBinF {
+                    op: BinOp::Mul,
+                    ty: ScalarTy::F32,
+                    dst,
+                    a: 0,
+                    b: 9,
+                    w: 4,
+                },
+                Op::MovNF {
+                    dst: 0,
+                    src: dst,
+                    w: 4,
+                },
+            ]
+        };
+        let mut code: Vec<Op> = stage(16).into_iter().chain(stage(16)).collect();
+        let (r1, r2) = run_both(&mut code, 4, 24, 5);
+        assert_eq!(r1.i, r2.i);
+        assert_eq!(
+            r1.f.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            r2.f.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        );
+        let pruned = prune_idempotent(code_kops(
+            &stage(16).into_iter().chain(stage(16)).collect::<Vec<_>>(),
+        ));
+        // Second stage's ConstF + SplatF collapse; its Mul and MovNF stay
+        // (their inputs were rewritten in between).
+        assert_eq!(pruned.len(), 6);
+    }
+
+    fn code_kops(code: &[Op]) -> Vec<KOp> {
+        code.iter().map(|op| lower(op, 32, 32).unwrap()).collect()
+    }
+
+    #[test]
+    fn unprofitable_runs_stay_on_dispatch() {
+        // Two scalar consts: a legal run, but far below the profitability
+        // bar — no kernel may be created and the ops stay in place.
+        let mut code = vec![Op::ConstI { dst: 0, v: 1 }, Op::ConstI { dst: 1, v: 2 }];
+        let mut kernels = Vec::new();
+        assert_eq!(fuse(&mut code, &mut kernels, 4, 0), 0);
+        assert!(kernels.is_empty());
+        assert!(matches!(code[0], Op::ConstI { .. }));
+    }
+
+    #[test]
+    fn backend_selection_honors_portable_override() {
+        // Not a concurrency-safe env mutation, but tests in this module
+        // run single-threaded over this var.
+        std::env::set_var("MACROSS_FORCE_PORTABLE_KERNELS", "1");
+        assert_eq!(select_backend(), KernelBackend::Portable);
+        std::env::remove_var("MACROSS_FORCE_PORTABLE_KERNELS");
+        #[cfg(target_arch = "x86_64")]
+        if std::is_x86_feature_detected!("avx2") {
+            assert_eq!(select_backend(), KernelBackend::Avx2);
+        }
+    }
+}

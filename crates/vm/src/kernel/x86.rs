@@ -1,0 +1,337 @@
+//! AVX2 execution of fused kernels. The only `unsafe` in the kernel
+//! layer lives here, and every function is gated on
+//! `#[target_feature(enable = "avx2")]` — callers must have verified
+//! `is_x86_feature_detected!("avx2")` (done once in
+//! [`super::select_backend`]).
+//!
+//! Bit-exactness contract: each specialized path must produce exactly
+//! what the portable loop produces.
+//!
+//! - **f32 domain**: registers hold `f32` values exactly widened to
+//!   `f64`. `vcvtpd2ps` rounds to nearest under the default MXCSR (which
+//!   Rust never changes), which is precisely `x as f32`; the operand is
+//!   an exactly-representable `f32`, so the narrow is exact anyway. The
+//!   4-lane `ps` op then matches scalar `f32` IEEE arithmetic, and
+//!   `vcvtps2pd` is exact. Net effect: `((x as f32) op (y as f32)) as
+//!   f64`, lane-wise.
+//! - **i32 domain**: registers hold `i32` values sign-extended to
+//!   `i64`. We gather the low dwords of 4 lanes (they carry the full
+//!   `i32` value), do wrapping 32-bit ops (`vpaddd`/`vpsubd`/`vpmulld`),
+//!   and re-sign-extend with `vpmovsxdq` — exactly
+//!   `((x as i32).wrapping_op(y as i32)) as i64`.
+//! - **i64 / f64 / bitwise**: the 256-bit op *is* the scalar op,
+//!   lane-wise.
+//!
+//! `MulI64` has no AVX2 instruction and every non-arithmetic variant is
+//! rare in hot loops, so those fall through to
+//! [`super::exec_kop_portable`] — still inside the `target_feature`
+//! region, so the compiler may vectorize them too.
+
+use super::KOp;
+use crate::bytecode::Regs;
+use core::arch::x86_64::*;
+
+/// `f32`-domain binop: narrow 4 `f64` lanes, op in `ps`, widen back.
+macro_rules! f32_binop {
+    ($name:ident, $intrin:ident, $op:tt) => {
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        unsafe fn $name(d: *mut f64, x: *const f64, y: *const f64, n: usize) {
+            let mut k = 0;
+            while k + 4 <= n {
+                let a = _mm256_cvtpd_ps(_mm256_loadu_pd(x.add(k)));
+                let b = _mm256_cvtpd_ps(_mm256_loadu_pd(y.add(k)));
+                let r = _mm256_cvtps_pd($intrin(a, b));
+                _mm256_storeu_pd(d.add(k), r);
+                k += 4;
+            }
+            while k < n {
+                *d.add(k) = ((*x.add(k) as f32) $op (*y.add(k) as f32)) as f64;
+                k += 1;
+            }
+        }
+    };
+}
+
+f32_binop!(add_f32, _mm_add_ps, +);
+f32_binop!(sub_f32, _mm_sub_ps, -);
+f32_binop!(mul_f32, _mm_mul_ps, *);
+f32_binop!(div_f32, _mm_div_ps, /);
+
+/// `f64`-domain binop: the 256-bit op is the scalar op, lane-wise.
+macro_rules! f64_binop {
+    ($name:ident, $intrin:ident, $op:tt) => {
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        unsafe fn $name(d: *mut f64, x: *const f64, y: *const f64, n: usize) {
+            let mut k = 0;
+            while k + 4 <= n {
+                let a = _mm256_loadu_pd(x.add(k));
+                let b = _mm256_loadu_pd(y.add(k));
+                _mm256_storeu_pd(d.add(k), $intrin(a, b));
+                k += 4;
+            }
+            while k < n {
+                *d.add(k) = *x.add(k) $op *y.add(k);
+                k += 1;
+            }
+        }
+    };
+}
+
+f64_binop!(add_f64, _mm256_add_pd, +);
+f64_binop!(sub_f64, _mm256_sub_pd, -);
+f64_binop!(mul_f64, _mm256_mul_pd, *);
+f64_binop!(div_f64, _mm256_div_pd, /);
+
+/// `i32`-domain binop: gather low dwords of 4 `i64` lanes, wrapping
+/// 32-bit op, sign-extend back to `i64`.
+macro_rules! i32_binop {
+    ($name:ident, $intrin:ident, $scalar:ident) => {
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        unsafe fn $name(d: *mut i64, x: *const i64, y: *const i64, n: usize) {
+            // Select dwords 0,2,4,6 (low halves of the four i64 lanes).
+            let even = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+            let mut k = 0;
+            while k + 4 <= n {
+                let a = _mm256_loadu_si256(x.add(k) as *const __m256i);
+                let b = _mm256_loadu_si256(y.add(k) as *const __m256i);
+                let a32 = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(a, even));
+                let b32 = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(b, even));
+                let r = _mm256_cvtepi32_epi64($intrin(a32, b32));
+                _mm256_storeu_si256(d.add(k) as *mut __m256i, r);
+                k += 4;
+            }
+            while k < n {
+                *d.add(k) = ((*x.add(k) as i32).$scalar(*y.add(k) as i32)) as i64;
+                k += 1;
+            }
+        }
+    };
+}
+
+i32_binop!(add_i32, _mm_add_epi32, wrapping_add);
+i32_binop!(sub_i32, _mm_sub_epi32, wrapping_sub);
+i32_binop!(mul_i32, _mm_mullo_epi32, wrapping_mul);
+
+/// `i64` / bitwise binop on full 256-bit lanes.
+macro_rules! i64_binop {
+    ($name:ident, $intrin:ident, $scalar:ident) => {
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        unsafe fn $name(d: *mut i64, x: *const i64, y: *const i64, n: usize) {
+            let mut k = 0;
+            while k + 4 <= n {
+                let a = _mm256_loadu_si256(x.add(k) as *const __m256i);
+                let b = _mm256_loadu_si256(y.add(k) as *const __m256i);
+                _mm256_storeu_si256(d.add(k) as *mut __m256i, $intrin(a, b));
+                k += 4;
+            }
+            while k < n {
+                *d.add(k) = (*x.add(k)).$scalar(*y.add(k));
+                k += 1;
+            }
+        }
+    };
+}
+
+i64_binop!(add_i64, _mm256_add_epi64, wrapping_add);
+i64_binop!(sub_i64, _mm256_sub_epi64, wrapping_sub);
+
+macro_rules! bits_binop {
+    ($name:ident, $intrin:ident, $op:tt) => {
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        unsafe fn $name(d: *mut i64, x: *const i64, y: *const i64, n: usize) {
+            let mut k = 0;
+            while k + 4 <= n {
+                let a = _mm256_loadu_si256(x.add(k) as *const __m256i);
+                let b = _mm256_loadu_si256(y.add(k) as *const __m256i);
+                _mm256_storeu_si256(d.add(k) as *mut __m256i, $intrin(a, b));
+                k += 4;
+            }
+            while k < n {
+                *d.add(k) = *x.add(k) $op *y.add(k);
+                k += 1;
+            }
+        }
+    };
+}
+
+bits_binop!(and_i, _mm256_and_si256, &);
+bits_binop!(or_i, _mm256_or_si256, |);
+bits_binop!(xor_i, _mm256_xor_si256, ^);
+
+/// Execute a kernel's ops with AVX2 paths for the specialized arithmetic
+/// variants; everything else runs the portable code.
+///
+/// # Safety
+/// The CPU must support AVX2.
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn exec_avx2(kops: &[KOp], regs: &mut Regs) {
+    // Fusion verified for every specialized variant that `dst` is
+    // disjoint from `a`/`b` and all three ranges are in-bounds, so raw
+    // pointer arithmetic into the register file cannot alias or escape.
+    macro_rules! dispatch {
+        ($file:ident, $f:ident, $dst:expr, $a:expr, $b:expr, $w:expr) => {{
+            let base = regs.$file.as_mut_ptr();
+            $f(
+                base.add($dst as usize),
+                base.add($a as usize) as *const _,
+                base.add($b as usize) as *const _,
+                $w as usize,
+            );
+        }};
+    }
+    for op in kops {
+        match *op {
+            KOp::AddF32 { dst, a, b, w } => dispatch!(f, add_f32, dst, a, b, w),
+            KOp::SubF32 { dst, a, b, w } => dispatch!(f, sub_f32, dst, a, b, w),
+            KOp::MulF32 { dst, a, b, w } => dispatch!(f, mul_f32, dst, a, b, w),
+            KOp::DivF32 { dst, a, b, w } => dispatch!(f, div_f32, dst, a, b, w),
+            KOp::AddF64 { dst, a, b, w } => dispatch!(f, add_f64, dst, a, b, w),
+            KOp::SubF64 { dst, a, b, w } => dispatch!(f, sub_f64, dst, a, b, w),
+            KOp::MulF64 { dst, a, b, w } => dispatch!(f, mul_f64, dst, a, b, w),
+            KOp::DivF64 { dst, a, b, w } => dispatch!(f, div_f64, dst, a, b, w),
+            KOp::AddI32 { dst, a, b, w } => dispatch!(i, add_i32, dst, a, b, w),
+            KOp::SubI32 { dst, a, b, w } => dispatch!(i, sub_i32, dst, a, b, w),
+            KOp::MulI32 { dst, a, b, w } => dispatch!(i, mul_i32, dst, a, b, w),
+            KOp::AddI64 { dst, a, b, w } => dispatch!(i, add_i64, dst, a, b, w),
+            KOp::SubI64 { dst, a, b, w } => dispatch!(i, sub_i64, dst, a, b, w),
+            KOp::AndI { dst, a, b, w } => dispatch!(i, and_i, dst, a, b, w),
+            KOp::OrI { dst, a, b, w } => dispatch!(i, or_i, dst, a, b, w),
+            KOp::XorI { dst, a, b, w } => dispatch!(i, xor_i, dst, a, b, w),
+            // Bookkeeping ops: same semantics as the portable arms, with
+            // the bounds checks the fusion pass already performed
+            // removed. `copy` (not `copy_nonoverlapping`) matches
+            // `copy_within`'s overlap tolerance.
+            KOp::MovNF { dst, src, w } => {
+                core::ptr::copy(
+                    regs.f.as_ptr().add(src as usize),
+                    regs.f.as_mut_ptr().add(dst as usize),
+                    w as usize,
+                );
+            }
+            KOp::MovNI { dst, src, w } => {
+                core::ptr::copy(
+                    regs.i.as_ptr().add(src as usize),
+                    regs.i.as_mut_ptr().add(dst as usize),
+                    w as usize,
+                );
+            }
+            KOp::ConstVecF { dst, ref vals } => {
+                core::ptr::copy_nonoverlapping(
+                    vals.as_ptr(),
+                    regs.f.as_mut_ptr().add(dst as usize),
+                    vals.len(),
+                );
+            }
+            KOp::ConstVecI { dst, ref vals } => {
+                core::ptr::copy_nonoverlapping(
+                    vals.as_ptr(),
+                    regs.i.as_mut_ptr().add(dst as usize),
+                    vals.len(),
+                );
+            }
+            KOp::SplatF { dst, a, w } => {
+                let v = *regs.f.as_ptr().add(a as usize);
+                let d = regs.f.as_mut_ptr().add(dst as usize);
+                for k in 0..w as usize {
+                    *d.add(k) = v;
+                }
+            }
+            // MulI64 has no AVX2 instruction; everything generic runs
+            // the exact portable loops.
+            ref other => super::exec_kop_portable(other, regs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{exec_kop_portable, KOp};
+    use crate::bytecode::Regs;
+
+    #[test]
+    fn avx2_paths_match_portable_lane_for_lane() {
+        if !std::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        let w = 7u32; // odd width exercises the scalar remainder
+        let mk = || {
+            let mut r = Regs::new(32, 32);
+            for (k, x) in r.i.iter_mut().enumerate() {
+                *x = ((k as i64 * 2654435761) % 97) - 48;
+            }
+            for (k, x) in r.f.iter_mut().enumerate() {
+                *x = (((k as f64) * 0.37 - 3.0) as f32) as f64;
+            }
+            r
+        };
+        let ops = [
+            KOp::AddF32 {
+                dst: 16,
+                a: 0,
+                b: 8,
+                w,
+            },
+            KOp::MulF32 {
+                dst: 24,
+                a: 16,
+                b: 0,
+                w,
+            },
+            KOp::DivF32 {
+                dst: 16,
+                a: 24,
+                b: 8,
+                w,
+            },
+            KOp::AddF64 {
+                dst: 24,
+                a: 0,
+                b: 16,
+                w,
+            },
+            KOp::MulI32 {
+                dst: 16,
+                a: 0,
+                b: 8,
+                w,
+            },
+            KOp::SubI32 {
+                dst: 24,
+                a: 16,
+                b: 0,
+                w,
+            },
+            KOp::AddI64 {
+                dst: 16,
+                a: 24,
+                b: 8,
+                w,
+            },
+            KOp::XorI {
+                dst: 24,
+                a: 16,
+                b: 0,
+                w,
+            },
+            KOp::MulI64 {
+                dst: 16,
+                a: 24,
+                b: 8,
+                w,
+            },
+        ];
+        let (mut ra, mut rp) = (mk(), mk());
+        unsafe { super::exec_avx2(&ops, &mut ra) };
+        for op in &ops {
+            exec_kop_portable(op, &mut rp);
+        }
+        assert_eq!(ra.i, rp.i);
+        let bits = |r: &Regs| r.f.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&ra), bits(&rp));
+    }
+}

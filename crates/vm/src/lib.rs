@@ -36,14 +36,16 @@ pub mod error;
 pub mod exec;
 pub mod firing;
 pub mod interp;
+pub mod kernel;
 pub mod machine;
 pub mod tape;
 
 pub use bytecode::{CompiledFilter, Regs};
-pub use compile::compile_filter;
+pub use compile::{compile_filter, compile_filter_opts};
 pub use error::{TapeSide, VmError};
 pub use exec::{run_program, run_scheduled, run_scheduled_mode, ExecMode, Executor, RunResult};
 pub use firing::FilterState;
 pub use interp::{FiringCtx, RtVal, Slot};
+pub use kernel::KernelBackend;
 pub use machine::{CostTable, CycleCounters, Machine};
 pub use tape::Tape;

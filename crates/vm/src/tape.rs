@@ -251,6 +251,7 @@ impl Tape {
     ///
     /// # Panics
     /// Panics on a write-reordered tape.
+    #[inline]
     pub fn vpush_many(&mut self, w: usize, mut f: impl FnMut(usize) -> Value) {
         assert!(
             self.write_reorder.is_none(),
@@ -342,6 +343,7 @@ impl Tape {
     ///
     /// # Panics
     /// Panics like [`Tape::vpop`].
+    #[inline]
     pub fn vpop_slices(&mut self, w: usize) -> (&[Value], &[Value]) {
         assert!(self.read_reorder.is_none(), "vpop on a read-reordered tape");
         assert!(w <= self.len(), "vpop({w}) beyond committed {}", self.len());
@@ -365,6 +367,7 @@ impl Tape {
     ///
     /// # Panics
     /// Panics like [`Tape::vpeek`].
+    #[inline]
     pub fn vpeek_slices(&self, off: usize, w: usize) -> (&[Value], &[Value]) {
         assert!(
             self.read_reorder.is_none(),
@@ -379,13 +382,16 @@ impl Tape {
 
     /// The `w` elements starting at absolute index `start`, as one or two
     /// contiguous slices (two when the span wraps the ring boundary).
+    #[inline]
     fn ring_slices(&self, start: usize, w: usize) -> (&[Value], &[Value]) {
         if w == 0 {
             return (&[], &[]);
         }
         let s = start & self.mask;
         let first = w.min(self.buf.len() - s);
-        (&self.buf[s..s + first], &self.buf[..w - first])
+        let (a, b) = (&self.buf[s..s + first], &self.buf[..w - first]);
+        debug_assert_eq!(a.len() + b.len(), w, "ring slices must cover w");
+        (a, b)
     }
 }
 

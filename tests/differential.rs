@@ -194,22 +194,28 @@ mod engine_differential {
     use macross_repro::runtime::run_threaded_mode;
     use macross_repro::vm::{run_scheduled_mode, ExecMode};
 
-    /// Run one graph under both engines and demand bit-identical outputs
-    /// AND identical cycle counters.
+    /// Run one graph under all three engines — tree walk, plain bytecode
+    /// dispatch, and bytecode with superblock kernel fusion — and demand
+    /// bit-identical outputs AND identical cycle counters.
     fn assert_engines_agree(name: &str, cfg: &str, g: &Graph, sched: &Schedule, m: &Machine) {
         let tw = run_scheduled_mode(g, sched, m, 2, ExecMode::TreeWalk)
             .unwrap_or_else(|e| panic!("{name}/{cfg}/treewalk: {e}"));
-        let bc = run_scheduled_mode(g, sched, m, 2, ExecMode::Bytecode)
-            .unwrap_or_else(|e| panic!("{name}/{cfg}/bytecode: {e}"));
-        assert_exact(name, cfg, &tw, &bc);
-        assert_eq!(
-            tw.counters, bc.counters,
-            "{name}/{cfg}: cycle counters diverge between engines"
-        );
-        assert_eq!(
-            tw.node_cycles, bc.node_cycles,
-            "{name}/{cfg}: per-node cycles diverge between engines"
-        );
+        for (mode, leg) in [
+            (ExecMode::Bytecode, "bytecode"),
+            (ExecMode::BytecodeNoFuse, "bytecode-nofuse"),
+        ] {
+            let bc = run_scheduled_mode(g, sched, m, 2, mode)
+                .unwrap_or_else(|e| panic!("{name}/{cfg}/{leg}: {e}"));
+            assert_exact(name, &format!("{cfg}/{leg}"), &tw, &bc);
+            assert_eq!(
+                tw.counters, bc.counters,
+                "{name}/{cfg}/{leg}: cycle counters diverge between engines"
+            );
+            assert_eq!(
+                tw.node_cycles, bc.node_cycles,
+                "{name}/{cfg}/{leg}: per-node cycles diverge between engines"
+            );
+        }
     }
 
     #[test]
@@ -252,7 +258,11 @@ mod engine_differential {
                     .map(|i| i as u32 % cores)
                     .collect();
                 let mut runs = Vec::new();
-                for mode in [ExecMode::TreeWalk, ExecMode::Bytecode] {
+                for mode in [
+                    ExecMode::TreeWalk,
+                    ExecMode::Bytecode,
+                    ExecMode::BytecodeNoFuse,
+                ] {
                     let thr =
                         run_threaded_mode(&simd.graph, &simd.schedule, &m, &assignment, 2, mode)
                             .unwrap_or_else(|e| panic!("{}@{cores}/{mode:?}: {e}", b.name));
@@ -271,12 +281,14 @@ mod engine_differential {
                     }
                     runs.push(thr);
                 }
-                let (tw, bc) = (&runs[0], &runs[1]);
-                assert_eq!(
-                    tw.report.core_modelled, bc.report.core_modelled,
-                    "{}@{cores}: per-core modelled counters diverge between engines",
-                    b.name
-                );
+                let tw = &runs[0];
+                for bc in &runs[1..] {
+                    assert_eq!(
+                        tw.report.core_modelled, bc.report.core_modelled,
+                        "{}@{cores}: per-core modelled counters diverge between engines",
+                        b.name
+                    );
+                }
             }
         }
     }

@@ -451,6 +451,47 @@ fn tape_ring_matches_oracle_under_wraparound() {
     }
 }
 
+/// Batched-width slice reads across the wraparound seam: the batched
+/// firing path moves `k x w` tokens per `vpush_many`/`vpop_slices` call
+/// (up to 8 firings x vector width), far wider than the scalar traffic
+/// above, so spans regularly straddle the ring boundary. Checks the
+/// two-slice decomposition covers exactly `w` (the fast path's debug
+/// assertion), splits only at the physical seam, and preserves content.
+#[test]
+fn tape_slices_cover_batched_widths_across_seam() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(0xBA7C ^ (seed << 7));
+        let mut tape = Tape::new(ScalarTy::I32);
+        let mut oracle: std::collections::VecDeque<i32> = Default::default();
+        let mut next = 0i32;
+        let mut wrapped_reads = 0usize;
+        for _ in 0..300 {
+            // Batched production: k firings x w lanes in one call.
+            let k = rng.range(1, 9);
+            let w = rng.range(1, 9);
+            tape.vpush_many(k * w, |lane| Value::I32(next + lane as i32));
+            for i in 0..k * w {
+                oracle.push_back(next + i as i32);
+            }
+            next += (k * w) as i32;
+            // Batched consumption of a possibly different batch shape.
+            let width = rng.range(1, 33).min(oracle.len());
+            if width == 0 {
+                continue;
+            }
+            let (a, b) = tape.vpop_slices(width);
+            assert_eq!(a.len() + b.len(), width, "seed {seed}");
+            wrapped_reads += usize::from(!b.is_empty());
+            for v in a.iter().chain(b) {
+                assert_eq!(*v, Value::I32(oracle.pop_front().unwrap()), "seed {seed}");
+            }
+            assert_eq!(tape.len(), oracle.len(), "seed {seed}");
+        }
+        // The sustained traffic must actually have exercised the seam.
+        assert!(wrapped_reads > 0, "seed {seed}: no read crossed the seam");
+    }
+}
+
 /// Read reorder (vectorized producer, scalar consumer): physical rows are
 /// remapped so the consumer observes logical order. The naive model is
 /// computed with the independent closed form — logical element `l` of a
