@@ -302,10 +302,6 @@ impl Ring {
         }
     }
 
-    /// Producer: append as many of `vals` as currently fit, without
-    /// blocking. Returns how many were written. Used by the drain after a
-    /// failure, where a full ring whose consumer is gone must not wedge
-    /// the draining worker.
     /// Free slots from the producer's perspective (a lower bound: the
     /// consumer may free more concurrently, never less). Producer-side
     /// call, like [`Ring::push_avail`].
@@ -315,6 +311,10 @@ impl Ring {
         self.capacity() - (tail - head)
     }
 
+    /// Producer: append as many of `vals` as currently fit, without
+    /// blocking. Returns how many were written. Used by the drain after a
+    /// failure, where a full ring whose consumer is gone must not wedge
+    /// the draining worker.
     pub fn push_avail(&self, vals: &[Value]) -> usize {
         let tail = self.tail.0.load(Ordering::Relaxed);
         let head = self.head.0.load(Ordering::Acquire);

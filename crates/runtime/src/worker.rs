@@ -584,7 +584,8 @@ impl<'g> Worker<'g> {
         // half the node touches (cut and local, both sides), the filter
         // state, the modelled counters, and the plan cursors. Stats and
         // traces are not rolled back — the replay does not re-pull from
-        // rings (tokens are already local), so nothing double-counts.
+        // rings (tokens are already local), and the batch loop records no
+        // per-firing trace events (see below), so nothing double-counts.
         let tape_ids: Vec<usize> = self
             .graph
             .in_edges(id)
@@ -610,11 +611,12 @@ impl<'g> Worker<'g> {
                 hb.end();
                 return Err(Stop);
             }
-            self.trace.record(EventKind::FiringStart, id.0, 0);
-            let before = self.counters.total();
+            // No FiringStart/End here: a successful batch is represented
+            // by the single BatchedFiring event below, and a failed batch
+            // replays un-batched through fire_plan, whose per-firing
+            // events would otherwise duplicate ones recorded here for the
+            // firings that succeeded before the failure.
             let result = catch_unwind(AssertUnwindSafe(|| self.fire_node(id)));
-            self.trace
-                .record(EventKind::FiringEnd, id.0, self.counters.total() - before);
             if !matches!(result, Ok(Ok(()))) {
                 failed = true;
                 break;

@@ -90,19 +90,28 @@ fn avx2_available() -> bool {
     *AVX2.get_or_init(|| std::is_x86_feature_detected!("avx2"))
 }
 
+/// Whether `val` — the raw `MACROSS_FORCE_PORTABLE_KERNELS` value, or
+/// `None` when unset — forces the portable backend: anything but
+/// unset/empty/`0` does.
+fn forces_portable(val: Option<&str>) -> bool {
+    val.map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+}
+
 /// True when `MACROSS_FORCE_PORTABLE_KERNELS` is set to anything but
 /// `0`/empty. Read per compile (not in the firing hot path), so a test
 /// can flip backends between compilations inside one process.
 pub fn portable_forced() -> bool {
-    std::env::var("MACROSS_FORCE_PORTABLE_KERNELS")
-        .map(|v| !v.is_empty() && v != "0")
-        .unwrap_or(false)
+    forces_portable(
+        std::env::var("MACROSS_FORCE_PORTABLE_KERNELS")
+            .ok()
+            .as_deref(),
+    )
 }
 
-/// Select the kernel backend: AVX2 when the CPU has it and the portable
-/// override (`MACROSS_FORCE_PORTABLE_KERNELS=1`) is not set.
-pub fn select_backend() -> KernelBackend {
-    if portable_forced() {
+/// Backend for a given override state: AVX2 when the CPU has it and the
+/// portable override is off, portable otherwise (and always on non-x86).
+fn backend_for(portable_forced: bool) -> KernelBackend {
+    if portable_forced {
         return KernelBackend::Portable;
     }
     #[cfg(target_arch = "x86_64")]
@@ -110,6 +119,12 @@ pub fn select_backend() -> KernelBackend {
         return KernelBackend::Avx2;
     }
     KernelBackend::Portable
+}
+
+/// Select the kernel backend: AVX2 when the CPU has it and the portable
+/// override (`MACROSS_FORCE_PORTABLE_KERNELS=1`) is not set.
+pub fn select_backend() -> KernelBackend {
+    backend_for(portable_forced())
 }
 
 /// One fused superblock: the pre-resolved ops and how many original
@@ -716,6 +731,14 @@ fn in_bounds(op: &KOp, int_regs: u32, float_regs: u32) -> bool {
 /// Unrolled loop bodies re-materialize the same constants every
 /// iteration; this collapses them to one materialization per kernel while
 /// leaving final register state bit-identical.
+///
+/// An op whose write range overlaps one of its own read ranges (legal for
+/// the generic fallback variants, e.g. `BinI` with `dst == a` from
+/// `x = x + c`, or an overlapping `MovN`) is never idempotent: each
+/// re-execution reads state its previous execution wrote. Such ops are
+/// never offered as dedup candidates — and since equality implies an
+/// identical footprint, a self-aliasing op can never match a registered
+/// candidate either.
 fn prune_idempotent(kops: Vec<KOp>) -> Vec<KOp> {
     let mut out: Vec<KOp> = Vec::with_capacity(kops.len());
     let mut avail: Vec<usize> = Vec::new();
@@ -723,13 +746,15 @@ fn prune_idempotent(kops: Vec<KOp>) -> Vec<KOp> {
         if avail.iter().any(|&e| out[e] == k) {
             continue;
         }
-        let (w, _) = footprint(&k);
+        let (w, r) = footprint(&k);
         avail.retain(|&e| {
             let (ew, er) = footprint(&out[e]);
             !overlaps(ew, w) && !er.iter().flatten().any(|&r| overlaps(r, w))
         });
         out.push(k);
-        avail.push(out.len() - 1);
+        if !r.iter().flatten().any(|&rr| overlaps(rr, w)) {
+            avail.push(out.len() - 1);
+        }
     }
     out
 }
@@ -1497,6 +1522,41 @@ mod tests {
     }
 
     #[test]
+    fn self_aliasing_ops_are_never_pruned() {
+        // `x = x + c` twice in a row: the ops are identical and nothing
+        // between them touches their registers, but each re-execution
+        // reads what the previous one wrote — dropping one halves the
+        // increment. Same for an overlapping copy_within-style MovN.
+        let add = Op::BinI {
+            op: BinOp::Add,
+            ty: ScalarTy::I64,
+            dst: 1,
+            a: 1,
+            b: 0,
+        };
+        let mov = Op::MovNI {
+            dst: 2,
+            src: 1,
+            w: 4,
+        };
+        let code = vec![
+            Op::ConstI { dst: 0, v: 3 },
+            add.clone(),
+            add.clone(),
+            mov.clone(),
+            mov.clone(),
+        ];
+        let pruned = prune_idempotent(code_kops(&code));
+        assert_eq!(pruned.len(), 5, "self-aliasing ops must all survive");
+        // And end-to-end: fused execution stays bit-identical to dispatch.
+        for seed in [1u64, 7, 23] {
+            let mut c = code.clone();
+            let (r1, r2) = run_both(&mut c, 8, 0, seed);
+            assert_eq!(r1.i, r2.i, "seed {seed}");
+        }
+    }
+
+    #[test]
     fn unprofitable_runs_stay_on_dispatch() {
         // Two scalar consts: a legal run, but far below the profitability
         // bar — no kernel may be created and the ops stay in place.
@@ -1509,14 +1569,22 @@ mod tests {
 
     #[test]
     fn backend_selection_honors_portable_override() {
-        // Not a concurrency-safe env mutation, but tests in this module
-        // run single-threaded over this var.
-        std::env::set_var("MACROSS_FORCE_PORTABLE_KERNELS", "1");
-        assert_eq!(select_backend(), KernelBackend::Portable);
-        std::env::remove_var("MACROSS_FORCE_PORTABLE_KERNELS");
+        // Pure-function test: mutating the process env here would race
+        // with concurrent tests in this module that call select_backend
+        // via run_both. The env-var plumbing itself is exercised by
+        // tests/kernel_backends.rs, which owns the variable in a single
+        // #[test], and by the CI portable-backend test-matrix leg.
+        assert!(forces_portable(Some("1")));
+        assert!(forces_portable(Some("yes")));
+        assert!(!forces_portable(Some("0")));
+        assert!(!forces_portable(Some("")));
+        assert!(!forces_portable(None));
+        assert_eq!(backend_for(true), KernelBackend::Portable);
         #[cfg(target_arch = "x86_64")]
         if std::is_x86_feature_detected!("avx2") {
-            assert_eq!(select_backend(), KernelBackend::Avx2);
+            assert_eq!(backend_for(false), KernelBackend::Avx2);
         }
+        #[cfg(not(target_arch = "x86_64"))]
+        assert_eq!(backend_for(false), KernelBackend::Portable);
     }
 }
