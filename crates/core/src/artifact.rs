@@ -1,0 +1,110 @@
+//! Reusable compiled artifacts: the unit the service layer caches.
+//!
+//! [`compile_graph`] runs everything expensive about admitting a stream
+//! program exactly once — the Algorithm-1 SIMDization driver, the
+//! Equation-1 schedule adjustment, the firing compiler and superblock
+//! kernel fuser, and the static cost model — and packages the results
+//! behind `Arc`s so any number of concurrent sessions of the same graph
+//! shape execute from one compilation. This is the driver refactor that
+//! separates *compile* from *run*: the original `run_threaded` /
+//! `run_scheduled` entry points compile implicitly per call, which is
+//! correct for a bench harness and wasteful for a server.
+
+use crate::driver::{macro_simdize, modelled_steady_cost, SimdizeOptions, SimdizeReport};
+use crate::error::SimdizeError;
+use macross_sdf::Schedule;
+use macross_streamir::graph::Graph;
+use macross_streamir::shash::{structural_hash, GraphHash};
+use macross_vm::{CompiledPrograms, ExecMode, Machine};
+use std::sync::Arc;
+
+/// Everything compiled once per unique graph shape, shareable across
+/// sessions. Cloning clones `Arc`s and the (small) report, never the
+/// graph, schedule or bytecode.
+#[derive(Debug, Clone)]
+pub struct CompiledGraph {
+    /// Structural fingerprint of the *source* (pre-SIMDization) graph —
+    /// the cache key it was compiled under.
+    pub source_hash: GraphHash,
+    /// What the SIMDization driver did.
+    pub report: SimdizeReport,
+    /// The SIMDized graph.
+    pub graph: Arc<Graph>,
+    /// Its Equation-1-adjusted steady schedule (do not recompute).
+    pub schedule: Arc<Schedule>,
+    /// Per-filter compiled bytecode with fused superblock kernels.
+    pub programs: CompiledPrograms,
+    /// Engine mode the programs were compiled for.
+    pub mode: ExecMode,
+    /// Modelled cycles per steady iteration
+    /// ([`crate::driver::modelled_steady_cost`]) — the weight session
+    /// sharding balances across the worker pool.
+    pub steady_cost: u64,
+}
+
+/// SIMDize and compile `graph` into a shareable artifact.
+///
+/// # Errors
+/// Fails if the SIMDization driver rejects the graph.
+pub fn compile_graph(
+    graph: &Graph,
+    machine: &Machine,
+    opts: &SimdizeOptions,
+    mode: ExecMode,
+) -> Result<CompiledGraph, SimdizeError> {
+    let source_hash = structural_hash(graph);
+    let simd = macro_simdize(graph, machine, opts)?;
+    let steady_cost = modelled_steady_cost(&simd, machine);
+    let programs = CompiledPrograms::compile(&simd.graph, machine, mode);
+    Ok(CompiledGraph {
+        source_hash,
+        report: simd.report,
+        graph: Arc::new(simd.graph),
+        schedule: Arc::new(simd.schedule),
+        programs,
+        mode,
+        steady_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macross_streamir::builder::StreamSpec;
+    use macross_streamir::edsl::*;
+    use macross_streamir::types::{ScalarTy, Ty};
+    use macross_vm::{run_scheduled_mode, Executor};
+
+    fn pipeline() -> Graph {
+        let mut src = FilterBuilder::new("src", 0, 0, 1, ScalarTy::I32);
+        let n = src.state("n", Ty::Scalar(ScalarTy::I32));
+        src.work(|b| {
+            b.push(v(n));
+            b.set(n, v(n) + 1i32);
+        });
+        let mut f = FilterBuilder::new("f", 1, 1, 1, ScalarTy::I32);
+        f.work(|b| {
+            b.push(pop() * 3i32 + 7i32);
+        });
+        StreamSpec::pipeline(vec![src.build_spec(), f.build_spec(), StreamSpec::Sink])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn artifact_run_matches_cold_run() {
+        let g = pipeline();
+        let machine = Machine::core_i7();
+        let art = compile_graph(&g, &machine, &SimdizeOptions::all(), ExecMode::default()).unwrap();
+        let cold = run_scheduled_mode(&art.graph, &art.schedule, &machine, 5, art.mode).unwrap();
+        // Two independent executors from the same shared programs.
+        for _ in 0..2 {
+            let mut ex =
+                Executor::with_programs(&art.graph, &art.schedule, &machine, &art.programs);
+            ex.run(5).unwrap();
+            assert_eq!(ex.output_flat(), cold.output);
+        }
+        assert!(art.steady_cost > 0);
+        assert_eq!(art.source_hash, structural_hash(&g));
+    }
+}

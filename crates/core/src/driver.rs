@@ -559,11 +559,13 @@ impl From<macross_runtime::RuntimeError> for ThreadedError {
     }
 }
 
-/// Greedy LPT placement over statically modelled per-node steady-state
-/// work: `reps * firing_cost`, where a filter's firing cost comes from the
-/// static cost model and a switch node's from the elements it moves.
-fn lpt_placement(graph: &Graph, schedule: &Schedule, machine: &Machine, cores: usize) -> Vec<u32> {
-    let weights: Vec<u64> = graph
+/// Statically modelled steady-state work per node: `reps * firing_cost`,
+/// where a filter's firing cost comes from the static cost model and a
+/// switch node's from the elements it moves. The common currency of both
+/// [`lpt_placement`] (nodes onto cores) and the service layer's session
+/// sharding (whole sessions onto shards).
+pub fn steady_node_weights(graph: &Graph, schedule: &Schedule, machine: &Machine) -> Vec<u64> {
+    graph
         .node_ids()
         .map(|id| {
             let per_firing = match graph.node(id) {
@@ -587,7 +589,20 @@ fn lpt_placement(graph: &Graph, schedule: &Schedule, machine: &Machine, cores: u
             };
             schedule.reps[id.0 as usize] * per_firing
         })
-        .collect();
+        .collect()
+}
+
+/// Modelled cost of one steady-state iteration of a SIMDized graph — the
+/// sum of [`steady_node_weights`].
+pub fn modelled_steady_cost(simd: &Simdized, machine: &Machine) -> u64 {
+    steady_node_weights(&simd.graph, &simd.schedule, machine)
+        .iter()
+        .sum()
+}
+
+/// Greedy LPT placement over [`steady_node_weights`].
+fn lpt_placement(graph: &Graph, schedule: &Schedule, machine: &Machine, cores: usize) -> Vec<u32> {
+    let weights = steady_node_weights(graph, schedule, machine);
     let mut order: Vec<usize> = (0..weights.len()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
     let mut load = vec![0u64; cores.max(1)];

@@ -54,6 +54,7 @@
 //! # }
 //! ```
 
+pub mod artifact;
 pub mod cost;
 pub mod driver;
 pub mod error;
@@ -65,9 +66,11 @@ pub mod permnet;
 pub mod single;
 pub mod vertical;
 
+pub use artifact::{compile_graph, CompiledGraph};
 pub use driver::{
-    macro_simdize, macro_simdize_colocated, placement, run_threaded, run_threaded_mode,
-    run_threaded_supervised, SimdizeOptions, SimdizeReport, Simdized, TapeDecision, ThreadedError,
+    macro_simdize, macro_simdize_colocated, modelled_steady_cost, placement, run_threaded,
+    run_threaded_mode, run_threaded_supervised, steady_node_weights, SimdizeOptions, SimdizeReport,
+    Simdized, TapeDecision, ThreadedError,
 };
 pub use error::SimdizeError;
 pub use single::{simdize_single_actor, SingleActorConfig, TapeMode};

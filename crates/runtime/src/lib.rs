@@ -22,6 +22,7 @@
 
 pub mod fault;
 pub mod ring;
+pub mod session;
 pub mod supervisor;
 mod worker;
 
@@ -40,6 +41,7 @@ use supervisor::Supervisor;
 use worker::Worker;
 
 pub use fault::{FaultKind, FaultPlan, FaultSpec, ReplayBundle, FAULTS_COMPILED};
+pub use session::{SessionEngine, SessionStatus};
 pub use supervisor::{FailureCause, StageFailure, SupervisorOptions};
 
 /// Errors from a threaded run.

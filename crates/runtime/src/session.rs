@@ -1,0 +1,589 @@
+//! Per-session supervised execution for the multi-tenant service layer.
+//!
+//! A [`SessionEngine`] runs one tenant's stream graph incrementally —
+//! iterations are requested in slices ([`SessionEngine::run_steady`]),
+//! between which the hosting shard thread is free to run other tenants —
+//! from *shared* compiled programs ([`macross_vm::CompiledPrograms`]), so
+//! a thousand sessions of the same graph shape pay for one compilation.
+//!
+//! The engine carries PR 4's supervision envelope down to session
+//! granularity: every firing runs behind `catch_unwind` with any planned
+//! [`FaultPlan`] fault applied, and a failure quarantines *this session
+//! only*. Quarantine is a taint drain, not an abort: the failed stage and
+//! everything data-dependent on it (descendants, plus any stage adjacent
+//! to a poisoned tape) stop firing, while independent branches finish the
+//! current steady iteration so every sink ends on a bit-exact clean
+//! prefix of the fault-free run. Co-resident sessions on the same shard
+//! share nothing but the immutable compiled artifacts, so they are
+//! unaffected by construction — the tenant-isolation tests assert this
+//! bit-for-bit.
+//!
+//! Differences from the threaded worker's envelope, by design: there are
+//! no cut-edge rings (one session = one timeline), so the ring faults
+//! `DelayPush` / `DropUnpark` are inert here, and without a watchdog
+//! `StallFiring` is pure latency rather than an escalation.
+
+use crate::fault::{FaultKind, FaultPlan};
+use crate::supervisor::{FailureCause, StageFailure};
+use macross_sdf::Schedule;
+use macross_streamir::graph::{Graph, Node, NodeId, ReorderSide};
+use macross_streamir::types::Value;
+use macross_telemetry::{EventKind, WorkerTrace};
+use macross_vm::firing::{self, FilterState};
+use macross_vm::{CompiledPrograms, CycleCounters, ExecMode, Machine, Tape};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Immutable per-node adjacency (tape indices and reorder address
+/// costs), resolved once at admission — the session-engine analogue of
+/// the executor's fire plan.
+struct NodeAdj {
+    in_edge: Option<usize>,
+    out_edge: Option<usize>,
+    in_cost: u64,
+    out_cost: u64,
+    in_idx: Vec<usize>,
+    out_idx: Vec<usize>,
+    in_costs: Vec<u64>,
+    out_costs: Vec<u64>,
+}
+
+impl NodeAdj {
+    fn compute(graph: &Graph, id: NodeId, machine: &Machine) -> NodeAdj {
+        let ins = graph.in_edges(id);
+        let outs = graph.out_edges(id);
+        let in_edge = graph.single_in_edge(id);
+        let out_edge = graph.single_out_edge(id);
+        NodeAdj {
+            in_cost: in_edge
+                .map(|e| firing::edge_addr_cost(graph, e, true, machine))
+                .unwrap_or(0),
+            out_cost: out_edge
+                .map(|e| firing::edge_addr_cost(graph, e, false, machine))
+                .unwrap_or(0),
+            in_costs: ins
+                .iter()
+                .map(|&e| firing::edge_addr_cost(graph, e, true, machine))
+                .collect(),
+            out_costs: outs
+                .iter()
+                .map(|&e| firing::edge_addr_cost(graph, e, false, machine))
+                .collect(),
+            in_idx: ins.iter().map(|e| e.0 as usize).collect(),
+            out_idx: outs.iter().map(|e| e.0 as usize).collect(),
+            in_edge: in_edge.map(|e| e.0 as usize),
+            out_edge: out_edge.map(|e| e.0 as usize),
+        }
+    }
+}
+
+/// Whether a session can accept more work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// Healthy; more iterations may be fed.
+    Running,
+    /// A stage failed; the session drained its clean prefix and is
+    /// permanently quarantined ([`SessionEngine::failures`] says why).
+    Faulted,
+}
+
+/// One tenant's incremental, supervised run of one graph.
+pub struct SessionEngine {
+    graph: Arc<Graph>,
+    schedule: Arc<Schedule>,
+    machine: Arc<Machine>,
+    mode: ExecMode,
+    plan: FaultPlan,
+    /// Shard hosting the session — reported as `core` in failures.
+    shard: u32,
+    tapes: Vec<Tape>,
+    states: Vec<FilterState>,
+    adj: Vec<NodeAdj>,
+    /// Captured values per node id (non-empty for sinks only).
+    outputs: Vec<Vec<Value>>,
+    sink_ids: Vec<NodeId>,
+    counters: CycleCounters,
+    /// Per-stage firing index (init + steady), the address space of
+    /// [`FaultPlan`] — identical numbering to the threaded worker.
+    attempts: Vec<u64>,
+    /// Total firings completed cleanly.
+    firings: u64,
+    iters_done: u64,
+    failures: Vec<StageFailure>,
+    tainted: Vec<bool>,
+    init_fns_done: bool,
+    init_schedule_done: bool,
+    quarantined: bool,
+    trace: WorkerTrace,
+}
+
+impl SessionEngine {
+    /// Build a session over shared compiled programs. No compilation
+    /// happens here — only tape and state allocation.
+    pub fn new(
+        graph: Arc<Graph>,
+        schedule: Arc<Schedule>,
+        machine: Arc<Machine>,
+        programs: &CompiledPrograms,
+        plan: FaultPlan,
+        shard: u32,
+    ) -> SessionEngine {
+        assert_eq!(
+            programs.node_count(),
+            graph.node_count(),
+            "compiled programs were built for a different graph"
+        );
+        let mut tapes: Vec<Tape> = graph.edges().map(|(_, e)| Tape::new(e.elem)).collect();
+        for (i, (_, e)) in graph.edges().enumerate() {
+            if let Some(r) = e.reorder {
+                match r.side {
+                    ReorderSide::Consumer => tapes[i].set_read_reorder(r.rate, r.sw),
+                    ReorderSide::Producer => tapes[i].set_write_reorder(r.rate, r.sw),
+                }
+            }
+        }
+        let states = graph
+            .nodes()
+            .map(|(id, node)| programs.state_for(id, node))
+            .collect();
+        let adj = graph
+            .nodes()
+            .map(|(id, _)| NodeAdj::compute(&graph, id, &machine))
+            .collect();
+        let sink_ids = graph
+            .nodes()
+            .filter(|(_, n)| matches!(n, Node::Sink))
+            .map(|(id, _)| id)
+            .collect();
+        let n = graph.node_count();
+        SessionEngine {
+            mode: programs.mode(),
+            tapes,
+            states,
+            adj,
+            outputs: vec![Vec::new(); n],
+            sink_ids,
+            counters: CycleCounters::default(),
+            attempts: vec![0; n],
+            firings: 0,
+            iters_done: 0,
+            failures: Vec::new(),
+            tainted: vec![false; n],
+            init_fns_done: false,
+            init_schedule_done: false,
+            quarantined: false,
+            trace: WorkerTrace::disabled(),
+            graph,
+            schedule,
+            machine,
+            plan,
+            shard,
+        }
+    }
+
+    /// Install a recording handle for firing/fault/drain events.
+    pub fn set_trace(&mut self, trace: WorkerTrace) {
+        self.trace = trace;
+    }
+
+    /// Sink node ids, in node order — the row order of
+    /// [`SessionEngine::take_outputs`].
+    pub fn sink_ids(&self) -> &[NodeId] {
+        &self.sink_ids
+    }
+
+    /// Drain everything the sinks captured since the last call, one `Vec`
+    /// per sink in [`SessionEngine::sink_ids`] order.
+    pub fn take_outputs(&mut self) -> Vec<Vec<Value>> {
+        let ids = self.sink_ids.clone();
+        ids.iter()
+            .map(|id| std::mem::take(&mut self.outputs[id.0 as usize]))
+            .collect()
+    }
+
+    /// Failures recorded so far (at most the first fault and any
+    /// secondary poisoning it caused).
+    pub fn failures(&self) -> &[StageFailure] {
+        &self.failures
+    }
+
+    /// True once a fault quarantined this session.
+    pub fn is_faulted(&self) -> bool {
+        self.quarantined
+    }
+
+    /// Total firings completed cleanly (init + steady).
+    pub fn firings(&self) -> u64 {
+        self.firings
+    }
+
+    /// Steady iterations fully executed.
+    pub fn iters_done(&self) -> u64 {
+        self.iters_done
+    }
+
+    /// Aggregate modelled-cycle counters.
+    pub fn counters(&self) -> &CycleCounters {
+        &self.counters
+    }
+
+    fn status(&self) -> SessionStatus {
+        if self.quarantined {
+            SessionStatus::Faulted
+        } else {
+            SessionStatus::Running
+        }
+    }
+
+    /// Record a failure, begin the taint drain.
+    fn fail(&mut self, id: NodeId, firing: u64, cause: FailureCause) {
+        self.trace.record(EventKind::StageFailed, id.0, firing);
+        if self.failures.is_empty() {
+            self.trace.record(EventKind::DrainBegin, id.0, 0);
+        }
+        self.failures.push(StageFailure {
+            stage: id.0 as usize,
+            name: self.graph.node(id).name(),
+            core: self.shard,
+            firing,
+            mode: self.mode,
+            cause,
+        });
+        self.quarantined = true;
+        self.taint_from(id);
+    }
+
+    /// Taint `id` and every node data-dependent on it (reachable through
+    /// out-edges): none of them may fire again, their inputs are
+    /// compromised.
+    fn taint_from(&mut self, id: NodeId) {
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut self.tainted[n.0 as usize], true) {
+                continue;
+            }
+            for e in self.graph.out_edges(n) {
+                stack.push(self.graph.edge(e).dst);
+            }
+        }
+    }
+
+    /// During a drain, a stage touching a poisoned tape must not fire:
+    /// taint it instead of letting the firing fail a second time.
+    fn adjacent_poisoned(&self, id: NodeId) -> bool {
+        let a = &self.adj[id.0 as usize];
+        a.in_idx
+            .iter()
+            .chain(a.out_idx.iter())
+            .any(|&t| self.tapes[t].is_poisoned())
+    }
+
+    /// Fire `id` once under the supervision envelope: planned fault
+    /// applied, panic caught, failure recorded and drained. Returns
+    /// `false` when the firing failed.
+    fn fire_guarded(&mut self, id: NodeId) -> bool {
+        let stage = id.0 as usize;
+        let firing = self.attempts[stage];
+        self.attempts[stage] += 1;
+        let fault = self.plan.fault_for(stage, firing);
+        if let Some(kind) = fault {
+            self.trace.record(EventKind::FaultInjected, id.0, firing);
+            match kind {
+                FaultKind::PoisonTape => {
+                    // Poison the stage's input half (or output half for
+                    // sources); the firing below then refuses to run.
+                    if let Some(e) = self.adj[stage].in_edge {
+                        self.tapes[e].poison();
+                    } else if let Some(e) = self.adj[stage].out_edge {
+                        self.tapes[e].poison();
+                    }
+                }
+                FaultKind::StallFiring { nanos } => {
+                    // No watchdog on the sequential engine: a stall is
+                    // pure latency, never an escalation.
+                    std::thread::sleep(std::time::Duration::from_nanos(nanos));
+                }
+                // Ring-level faults; the session engine has no rings.
+                FaultKind::DelayPush { .. } | FaultKind::DropUnpark { .. } => {}
+                FaultKind::Panic => {}
+            }
+        }
+        self.trace.record(EventKind::FiringStart, id.0, 0);
+        let before = self.counters.total();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if matches!(fault, Some(FaultKind::Panic)) {
+                panic!("injected fault: panic at stage {stage} firing {firing}");
+            }
+            self.fire_node(id)
+        }));
+        self.trace
+            .record(EventKind::FiringEnd, id.0, self.counters.total() - before);
+        match result {
+            Ok(Ok(())) => {
+                self.firings += 1;
+                true
+            }
+            Ok(Err(e)) => {
+                // fire_filter already poisoned the touched tapes.
+                self.fail(id, firing, FailureCause::Vm(e));
+                false
+            }
+            Err(payload) => {
+                // A panic outside the VM's own boundary (native node or
+                // injected): quarantine the stage's tapes ourselves.
+                for t in self.adj[stage]
+                    .in_idx
+                    .iter()
+                    .chain(self.adj[stage].out_idx.iter())
+                    .copied()
+                    .collect::<Vec<_>>()
+                {
+                    self.tapes[t].poison();
+                }
+                let msg = firing::panic_message(payload.as_ref());
+                self.fail(id, firing, FailureCause::Panic(msg));
+                false
+            }
+        }
+    }
+
+    /// Fire one node once (no supervision — callers wrap this).
+    fn fire_node(&mut self, id: NodeId) -> Result<(), macross_vm::VmError> {
+        self.counters.firing_overhead += self.machine.cost.firing;
+        let i = id.0 as usize;
+        let a = &self.adj[i];
+        match self.graph.node(id) {
+            Node::Filter(f) => firing::fire_filter(
+                f,
+                &mut self.states[i],
+                &mut self.tapes,
+                a.in_edge,
+                a.out_edge,
+                a.in_cost,
+                a.out_cost,
+                &self.machine,
+                &mut self.counters,
+            )?,
+            Node::Splitter(kind) => firing::fire_splitter(
+                kind,
+                &mut self.tapes,
+                a.in_edge.expect("splitter needs an input"),
+                &a.out_idx,
+                a.in_cost,
+                &a.out_costs,
+                &self.machine,
+                &mut self.counters,
+            ),
+            Node::Joiner(weights) => firing::fire_joiner(
+                weights,
+                &mut self.tapes,
+                &a.in_idx,
+                a.out_edge.expect("joiner needs an output"),
+                &a.in_costs,
+                a.out_cost,
+                &self.machine,
+                &mut self.counters,
+            ),
+            Node::HSplitter { kind, width } => firing::fire_hsplitter(
+                kind,
+                *width,
+                &mut self.tapes,
+                a.in_edge.expect("hsplitter needs an input"),
+                &a.out_idx,
+                &self.machine,
+                &mut self.counters,
+            ),
+            Node::HJoiner { weights, width } => firing::fire_hjoiner(
+                weights,
+                *width,
+                &mut self.tapes,
+                &a.in_idx,
+                a.out_edge.expect("hjoiner needs an output"),
+                &self.machine,
+                &mut self.counters,
+            ),
+            Node::Sink => {
+                let v = firing::fire_sink(
+                    &mut self.tapes,
+                    a.in_edge.expect("sink needs an input"),
+                    a.in_cost,
+                    &self.machine,
+                    &mut self.counters,
+                );
+                self.outputs[i].push(v);
+            }
+        }
+        Ok(())
+    }
+
+    /// One pass over a schedule phase (init or steady), honouring the
+    /// taint drain: tainted stages are skipped, stages that would touch a
+    /// poisoned tape are tainted instead of fired, everything else runs
+    /// to flush its clean data.
+    fn run_phase(&mut self, init: bool) {
+        let order = self.schedule.order.clone();
+        let draining_at_entry = self.quarantined;
+        for id in order {
+            let reps = if init {
+                self.schedule.init_reps[id.0 as usize]
+            } else {
+                self.schedule.reps[id.0 as usize]
+            };
+            for _ in 0..reps {
+                if self.tainted[id.0 as usize] {
+                    break;
+                }
+                if (self.quarantined || draining_at_entry) && self.adjacent_poisoned(id) {
+                    self.taint_from(id);
+                    break;
+                }
+                if !self.fire_guarded(id) {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn run_init_functions(&mut self) {
+        if self.init_fns_done {
+            return;
+        }
+        self.init_fns_done = true;
+        for (id, node) in self.graph.clone().nodes() {
+            if let Node::Filter(f) = node {
+                let state = &mut self.states[id.0 as usize];
+                let kernels = state.kernel_count();
+                if kernels > 0 {
+                    self.trace
+                        .record(EventKind::KernelFusion, id.0, kernels as u64);
+                }
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    self.states[id.0 as usize].run_init_fn(f, &self.machine)
+                }));
+                match result {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        self.fail(id, 0, FailureCause::Vm(e));
+                        return;
+                    }
+                    Err(payload) => {
+                        let msg = firing::panic_message(payload.as_ref());
+                        self.fail(id, 0, FailureCause::Panic(msg));
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run filter `init` functions and the init schedule (idempotent).
+    pub fn run_init(&mut self) -> SessionStatus {
+        self.run_init_functions();
+        if !self.init_schedule_done && !self.quarantined {
+            self.init_schedule_done = true;
+            self.run_phase(true);
+        }
+        self.status()
+    }
+
+    /// Run up to `iters` steady iterations, stopping (after draining the
+    /// current iteration's clean remainder) on the first fault.
+    pub fn run_steady(&mut self, iters: u64) -> SessionStatus {
+        if !self.init_fns_done || !self.init_schedule_done {
+            self.run_init();
+        }
+        for _ in 0..iters {
+            if self.quarantined {
+                break;
+            }
+            self.run_phase(false);
+            if !self.quarantined {
+                self.iters_done += 1;
+            }
+        }
+        self.status()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macross_sdf::Schedule as SdfSchedule;
+    use macross_streamir::builder::StreamSpec;
+    use macross_streamir::edsl::*;
+    use macross_streamir::types::{ScalarTy, Ty};
+    use macross_vm::run_scheduled_mode;
+
+    fn pipeline() -> Graph {
+        let mut src = FilterBuilder::new("src", 0, 0, 2, ScalarTy::I32);
+        let n = src.state("n", Ty::Scalar(ScalarTy::I32));
+        src.work(|b| {
+            b.push(v(n));
+            b.set(n, v(n) + 1i32);
+            b.push(v(n));
+            b.set(n, v(n) + 1i32);
+        });
+        let mut f = FilterBuilder::new("f", 1, 1, 1, ScalarTy::I32);
+        f.work(|b| {
+            b.push(pop() * 5i32);
+        });
+        StreamSpec::pipeline(vec![src.build_spec(), f.build_spec(), StreamSpec::Sink])
+            .build()
+            .unwrap()
+    }
+
+    fn build(plan: FaultPlan) -> SessionEngine {
+        let g = Arc::new(pipeline());
+        let sched = Arc::new(SdfSchedule::compute(&g).unwrap());
+        let machine = Arc::new(Machine::core_i7());
+        let programs = CompiledPrograms::compile(&g, &machine, ExecMode::default());
+        SessionEngine::new(g, sched, machine, &programs, plan, 0)
+    }
+
+    #[test]
+    fn incremental_slices_match_one_shot() {
+        let mut s = build(FaultPlan::none());
+        assert_eq!(s.run_init(), SessionStatus::Running);
+        let mut collected: Vec<Value> = Vec::new();
+        for _ in 0..5 {
+            assert_eq!(s.run_steady(2), SessionStatus::Running);
+            let outs = s.take_outputs();
+            assert_eq!(outs.len(), 1);
+            collected.extend(outs[0].iter().copied());
+        }
+        let g = pipeline();
+        let sched = SdfSchedule::compute(&g).unwrap();
+        let one_shot =
+            run_scheduled_mode(&g, &sched, &Machine::core_i7(), 10, ExecMode::default()).unwrap();
+        assert_eq!(collected, one_shot.output);
+        assert_eq!(s.iters_done(), 10);
+        assert!(s.failures().is_empty());
+    }
+
+    #[test]
+    fn injected_panic_quarantines_with_clean_prefix() {
+        if !crate::fault::FAULTS_COMPILED {
+            return;
+        }
+        // Stage 1 is the scaling filter; fail its 7th firing (2 per iter
+        // steady, so mid-iteration 3 counting from 0).
+        let plan = FaultPlan::single(1, 6, FaultKind::Panic);
+        let mut s = build(plan);
+        s.run_init();
+        let status = s.run_steady(10);
+        assert_eq!(status, SessionStatus::Faulted);
+        assert!(s.is_faulted());
+        assert_eq!(s.failures().len(), 1);
+        let f = &s.failures()[0];
+        assert_eq!(f.stage, 1);
+        assert_eq!(f.firing, 6);
+        assert_eq!(f.cause.label(), "panic");
+        // Clean prefix: exactly the 6 completed firings' outputs.
+        let outs = s.take_outputs();
+        let expect: Vec<Value> = (0..6).map(|x| Value::I32(x * 5)).collect();
+        assert_eq!(outs[0], expect);
+        // Further work is refused without panicking.
+        assert_eq!(s.run_steady(3), SessionStatus::Faulted);
+        assert!(s.take_outputs()[0].is_empty());
+    }
+}

@@ -1,0 +1,261 @@
+//! The compile-once cache: one [`CompiledGraph`] per unique *shape*,
+//! shared by every session that submits an equivalent graph.
+//!
+//! The key is the structural hash ([`macross_streamir::shash`]) of the
+//! submitted graph — invariant under actor renaming and node insertion
+//! order — combined with everything else that changes what compilation
+//! produces: the machine description, the SIMDization option set, and the
+//! engine mode. Entries are `Arc`s, so eviction never invalidates a
+//! running session; it only forces the *next* equivalent submission to
+//! recompile.
+//!
+//! The service holds this cache behind one mutex **across the whole
+//! compile**, so two tenants racing to submit the same shape serialize
+//! and the second gets a hit. That is the invariant the SERVICE report
+//! validator enforces: with zero evictions, `compilations ==
+//! distinct_graphs` no matter how many sessions ran.
+
+use macross::{compile_graph, CompiledGraph, SimdizeError, SimdizeOptions};
+use macross_streamir::graph::Graph;
+use macross_streamir::shash::{structural_hash, GraphHash};
+use macross_telemetry::service::CacheStats;
+use macross_vm::{ExecMode, Machine};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Everything that selects a distinct compilation output.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    hash: GraphHash,
+    machine: String,
+    opts_bits: u8,
+    mode_tag: u8,
+}
+
+fn opts_bits(opts: &SimdizeOptions) -> u8 {
+    (opts.single as u8)
+        | (opts.vertical as u8) << 1
+        | (opts.horizontal as u8) << 2
+        | (opts.permute_opt as u8) << 3
+        | (opts.reorder_opt as u8) << 4
+        | (opts.profitability as u8) << 5
+        | (opts.prepass as u8) << 6
+}
+
+fn mode_tag(mode: ExecMode) -> u8 {
+    match mode {
+        ExecMode::Bytecode => 0,
+        ExecMode::BytecodeNoFuse => 1,
+        ExecMode::TreeWalk => 2,
+    }
+}
+
+struct Entry {
+    art: Arc<CompiledGraph>,
+    last_used: u64,
+}
+
+/// A bounded LRU of compiled artifacts with hit/miss/eviction counters.
+pub struct CompileCache {
+    capacity: usize,
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    compilations: u64,
+    distinct: HashSet<GraphHash>,
+}
+
+impl CompileCache {
+    /// An empty cache bounded to `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> CompileCache {
+        CompileCache {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            compilations: 0,
+            distinct: HashSet::new(),
+        }
+    }
+
+    /// Look the graph's shape up; compile (and cache) on a miss. The
+    /// returned flag is `true` on a hit.
+    ///
+    /// # Errors
+    /// Propagates SIMDization failures; a failed submission counts
+    /// neither as a miss nor as a distinct graph.
+    pub fn get_or_compile(
+        &mut self,
+        graph: &Graph,
+        machine: &Machine,
+        opts: &SimdizeOptions,
+        mode: ExecMode,
+    ) -> Result<(Arc<CompiledGraph>, bool), SimdizeError> {
+        let key = CacheKey {
+            hash: structural_hash(graph),
+            machine: machine.name.clone(),
+            opts_bits: opts_bits(opts),
+            mode_tag: mode_tag(mode),
+        };
+        self.tick += 1;
+        if let Some(entry) = self.map.get_mut(&key) {
+            entry.last_used = self.tick;
+            self.hits += 1;
+            return Ok((entry.art.clone(), true));
+        }
+        let art = Arc::new(compile_graph(graph, machine, opts, mode)?);
+        self.misses += 1;
+        self.compilations += 1;
+        self.distinct.insert(key.hash);
+        if self.map.len() >= self.capacity {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                art: art.clone(),
+                last_used: self.tick,
+            },
+        );
+        Ok((art, false))
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counters in the SERVICE-report shape.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            capacity: self.capacity as u64,
+            distinct_graphs: self.distinct.len() as u64,
+            compilations: self.compilations,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macross_streamir::builder::StreamSpec;
+    use macross_streamir::edsl::*;
+    use macross_streamir::types::ScalarTy;
+
+    fn pipeline(name: &str, mul: i32) -> Graph {
+        let mut src = FilterBuilder::new(format!("{name}_src"), 0, 0, 1, ScalarTy::I32);
+        src.work(|b| {
+            b.push(c(1i32));
+        });
+        let mut f = FilterBuilder::new(name, 1, 1, 1, ScalarTy::I32);
+        f.work(move |b| {
+            b.push(pop() * mul);
+        });
+        StreamSpec::pipeline(vec![src.build_spec(), f.build_spec(), StreamSpec::Sink])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn same_shape_hits_renamed_or_not() {
+        let machine = Machine::core_i7();
+        let opts = SimdizeOptions::all();
+        let mut cache = CompileCache::new(8);
+        let (_, hit) = cache
+            .get_or_compile(&pipeline("a", 3), &machine, &opts, ExecMode::Bytecode)
+            .unwrap();
+        assert!(!hit);
+        // Alpha-renamed copy of the same shape: structural hash collides.
+        let (_, hit) = cache
+            .get_or_compile(&pipeline("z", 3), &machine, &opts, ExecMode::Bytecode)
+            .unwrap();
+        assert!(hit);
+        // Different constant in the body: distinct shape, fresh compile.
+        let (_, hit) = cache
+            .get_or_compile(&pipeline("a", 4), &machine, &opts, ExecMode::Bytecode)
+            .unwrap();
+        assert!(!hit);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.compilations), (1, 2, 2));
+        assert_eq!(s.distinct_graphs, 2);
+    }
+
+    #[test]
+    fn mode_and_options_partition_the_cache() {
+        let machine = Machine::core_i7();
+        let mut cache = CompileCache::new(8);
+        let g = pipeline("a", 3);
+        let all = SimdizeOptions::all();
+        let scalar = SimdizeOptions {
+            single: false,
+            vertical: false,
+            horizontal: false,
+            ..all
+        };
+        cache
+            .get_or_compile(&g, &machine, &all, ExecMode::Bytecode)
+            .unwrap();
+        let (_, hit) = cache
+            .get_or_compile(&g, &machine, &all, ExecMode::TreeWalk)
+            .unwrap();
+        assert!(!hit, "engine mode must partition the cache");
+        let (_, hit) = cache
+            .get_or_compile(&g, &machine, &scalar, ExecMode::Bytecode)
+            .unwrap();
+        assert!(!hit, "option sets must partition the cache");
+        // One source shape, three compilations — legal because the key is
+        // (shape, machine, opts, mode), and distinct counts shapes.
+        assert_eq!(cache.stats().distinct_graphs, 1);
+        assert_eq!(cache.stats().compilations, 3);
+    }
+
+    #[test]
+    fn lru_bound_evicts_and_recompiles() {
+        let machine = Machine::core_i7();
+        let opts = SimdizeOptions::all();
+        let mut cache = CompileCache::new(2);
+        let (g1, g2, g3) = (pipeline("a", 1), pipeline("a", 2), pipeline("a", 3));
+        cache
+            .get_or_compile(&g1, &machine, &opts, ExecMode::Bytecode)
+            .unwrap();
+        cache
+            .get_or_compile(&g2, &machine, &opts, ExecMode::Bytecode)
+            .unwrap();
+        // Touch g1 so g2 is the LRU victim when g3 arrives.
+        cache
+            .get_or_compile(&g1, &machine, &opts, ExecMode::Bytecode)
+            .unwrap();
+        cache
+            .get_or_compile(&g3, &machine, &opts, ExecMode::Bytecode)
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        let (_, hit) = cache
+            .get_or_compile(&g2, &machine, &opts, ExecMode::Bytecode)
+            .unwrap();
+        assert!(!hit, "evicted entry recompiles");
+        let s = cache.stats();
+        assert_eq!(s.compilations, 4);
+        assert_eq!(s.distinct_graphs, 3);
+    }
+}

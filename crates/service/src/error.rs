@@ -1,0 +1,54 @@
+//! Typed errors the service API returns. Admission failures are ordinary
+//! values a well-behaved client retries with backoff — never panics, never
+//! a torn-down server.
+
+use macross::SimdizeError;
+use std::fmt;
+
+/// What went wrong with a service call.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Admission control refused the request: the session cap is reached
+    /// (at `submit`) or the tenant's input queue is full (at `feed`).
+    /// Retry later; nothing was enqueued.
+    Overloaded {
+        /// Human-readable description of the saturated resource.
+        reason: String,
+    },
+    /// No live session has this id (never admitted, or already closed).
+    UnknownSession(u64),
+    /// The session exists but was already closed.
+    Closed(u64),
+    /// The server is draining for shutdown and admits nothing new.
+    ShuttingDown,
+    /// The SIMDization driver rejected the submitted graph.
+    Simdize(SimdizeError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { reason } => write!(f, "overloaded: {reason}"),
+            ServiceError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServiceError::Closed(id) => write!(f, "session {id} is closed"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Simdize(e) => write!(f, "graph rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<SimdizeError> for ServiceError {
+    fn from(e: SimdizeError) -> ServiceError {
+        ServiceError::Simdize(e)
+    }
+}
+
+impl ServiceError {
+    /// True for the typed admission rejection (the oversubscription soak
+    /// asserts rejections are exactly this, never a panic or hang).
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, ServiceError::Overloaded { .. })
+    }
+}

@@ -1,0 +1,183 @@
+//! # macross-service
+//!
+//! A multi-tenant streaming session server over the MacroSS compilation
+//! pipeline: many concurrent stream-graph sessions share one process,
+//! one worker pool, and — when their graphs are structurally equivalent
+//! — one compiled artifact.
+//!
+//! Three pillars:
+//!
+//! 1. **Compile-once cache** ([`cache::CompileCache`]): submissions are
+//!    keyed by the structural hash of their graph
+//!    ([`macross_streamir::shash`]), which ignores actor names and node
+//!    insertion order, so N tenants running the same benchmark trigger
+//!    exactly one SIMDization + bytecode compilation. The cache is a
+//!    bounded LRU of [`macross::CompiledGraph`]s with hit/miss/eviction
+//!    counters surfaced in the service report.
+//! 2. **Session manager** ([`server::StreamService`]): `submit` admits a
+//!    graph and pins it to the least-loaded shard by modelled steady
+//!    cost; `feed` queues steady iterations; `poll` drains sink outputs;
+//!    `close` drains and retires. Each session runs on a
+//!    [`macross_runtime::SessionEngine`] — the supervised single-session
+//!    engine — so a faulting tenant is quarantined with its bit-exact
+//!    clean output prefix while co-resident tenants keep firing.
+//! 3. **Admission control**: a session cap at `submit`, a bounded input
+//!    queue per tenant at `feed`, and output-buffer backpressure that
+//!    defers a tenant's slices until it polls. Saturation returns the
+//!    typed [`error::ServiceError::Overloaded`], never a panic or a
+//!    hang; `shutdown` drains everything admitted and emits the
+//!    `SERVICE_<name>.json` report (`macross-service-v1`, validated by
+//!    `validate_report`).
+
+pub mod cache;
+pub mod error;
+pub mod server;
+pub mod tenant;
+
+pub use cache::CompileCache;
+pub use error::ServiceError;
+pub use server::{mode_label, ServiceConfig, StreamService};
+pub use tenant::{CloseReport, PollResult, TenantState};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macross_runtime::FaultPlan;
+    use macross_streamir::builder::StreamSpec;
+    use macross_streamir::edsl::*;
+    use macross_streamir::graph::Graph;
+    use macross_streamir::types::ScalarTy;
+    use macross_telemetry::service as svc_schema;
+    use macross_vm::Machine;
+
+    fn counter_pipeline(mul: i32) -> Graph {
+        let mut src = FilterBuilder::new("src", 0, 0, 1, ScalarTy::I32);
+        let n = src.state("n", macross_streamir::types::Ty::Scalar(ScalarTy::I32));
+        src.work(move |b| {
+            b.push(v(n) * mul);
+            b.set(n, v(n) + 1i32);
+        });
+        StreamSpec::pipeline(vec![src.build_spec(), StreamSpec::Sink])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn feed_poll_close_round_trip() {
+        let service = StreamService::new(
+            Machine::core_i7(),
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let id = service
+            .submit("counter", &counter_pipeline(3), FaultPlan::none())
+            .unwrap();
+        service.feed(id, 8).unwrap();
+        let report = service.close(id).unwrap();
+        assert!(!report.faulted);
+        assert_eq!(report.iters_done, 8);
+        let flat: Vec<_> = report.outputs.into_iter().flatten().collect();
+        assert_eq!(flat.len(), 8);
+        let sr = service.shutdown("unit");
+        assert_eq!(sr.admission.admitted, 1);
+        assert_eq!(sr.cache.compilations, 1);
+        svc_schema::validate_str(&sr.json_string()).unwrap();
+    }
+
+    #[test]
+    fn session_cap_rejects_with_typed_overload() {
+        let service = StreamService::new(
+            Machine::core_i7(),
+            ServiceConfig {
+                workers: 1,
+                session_cap: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let g = counter_pipeline(1);
+        service.submit("a", &g, FaultPlan::none()).unwrap();
+        service.submit("b", &g, FaultPlan::none()).unwrap();
+        let err = service.submit("c", &g, FaultPlan::none()).unwrap_err();
+        assert!(err.is_overloaded(), "got {err}");
+        // One shape, three submissions: exactly one compilation.
+        let stats = service.cache_stats();
+        assert_eq!(stats.compilations, 1);
+        assert_eq!(stats.hits, 1);
+        let sr = service.shutdown("cap");
+        assert_eq!(sr.admission.submitted, 3);
+        assert_eq!(sr.admission.rejected_sessions, 1);
+        svc_schema::validate_str(&sr.json_string()).unwrap();
+    }
+
+    #[test]
+    fn feed_queue_bound_rejects_and_recovers() {
+        let service = StreamService::new(
+            Machine::core_i7(),
+            ServiceConfig {
+                workers: 1,
+                queue_bound: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        let id = service
+            .submit("q", &counter_pipeline(2), FaultPlan::none())
+            .unwrap();
+        let err = service.feed(id, 5).unwrap_err();
+        assert!(err.is_overloaded(), "got {err}");
+        service.feed(id, 4).unwrap();
+        let report = service.close(id).unwrap();
+        assert_eq!(report.iters_done, 4);
+        let sr = service.shutdown("bound");
+        assert_eq!(sr.admission.rejected_feeds, 1);
+    }
+
+    #[test]
+    fn backpressure_defers_until_polled() {
+        let service = StreamService::new(
+            Machine::core_i7(),
+            ServiceConfig {
+                workers: 1,
+                batch_iters: 2,
+                output_bound: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        let id = service
+            .submit("bp", &counter_pipeline(1), FaultPlan::none())
+            .unwrap();
+        service.feed(id, 64).unwrap();
+        // Let the shard hit the output bound and park the tenant.
+        let mut drained = 0usize;
+        let mut polls = 0usize;
+        while drained < 64 && polls < 10_000 {
+            let r = service.poll(id).unwrap();
+            drained += r.outputs.iter().map(Vec::len).sum::<usize>();
+            polls += 1;
+            std::thread::yield_now();
+        }
+        assert_eq!(drained, 64, "all fed iterations eventually drain");
+        let sr = service.shutdown("bp");
+        assert!(
+            sr.admission.backpressure_stalls > 0,
+            "a 4-value bound over 64 iterations must stall at least once"
+        );
+        svc_schema::validate_str(&sr.json_string()).unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_work() {
+        let service = StreamService::new(Machine::core_i7(), ServiceConfig::default());
+        let id = service
+            .submit("drain", &counter_pipeline(7), FaultPlan::none())
+            .unwrap();
+        service.feed(id, 16).unwrap();
+        // No close: shutdown itself must finish the admitted work.
+        let sr = service.shutdown("drain");
+        let row = &sr.tenants[0];
+        assert_eq!(row.iters_done, 16);
+        assert_eq!(row.state, "draining");
+        svc_schema::validate_str(&sr.json_string()).unwrap();
+    }
+}

@@ -1,0 +1,155 @@
+//! Per-session state: one admitted tenant = one [`SessionEngine`] over
+//! the shared compiled artifact, plus the bounded queues admission
+//! control meters — pending steady iterations on the way in, buffered
+//! sink values on the way out.
+
+use macross_runtime::{SessionEngine, SessionStatus};
+use macross_streamir::types::Value;
+
+/// Lifecycle of an admitted session, reported in `SERVICE_*.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantState {
+    /// Admitted and serving `feed`/`poll`.
+    Active,
+    /// `close` or shutdown is flushing its remaining pending work.
+    Draining,
+    /// A fault quarantined it; the clean prefix is still pollable.
+    Faulted,
+    /// Fully drained and retired.
+    Closed,
+}
+
+impl TenantState {
+    /// The schema's state string.
+    pub fn label(self) -> &'static str {
+        match self {
+            TenantState::Active => "active",
+            TenantState::Draining => "draining",
+            TenantState::Faulted => "faulted",
+            TenantState::Closed => "closed",
+        }
+    }
+}
+
+/// What `poll` returns: everything the sinks produced since the last
+/// poll, plus progress counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PollResult {
+    /// One row per sink (in the graph's sink order), drained.
+    pub outputs: Vec<Vec<Value>>,
+    /// Steady iterations completed so far.
+    pub iters_done: u64,
+    /// Steady iterations still queued.
+    pub pending: u64,
+    /// True once a fault quarantined the session.
+    pub faulted: bool,
+}
+
+/// What `close` returns after the final drain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloseReport {
+    /// The remaining (previously unpolled) sink outputs.
+    pub outputs: Vec<Vec<Value>>,
+    /// Steady iterations completed over the session's lifetime.
+    pub iters_done: u64,
+    /// Clean firings executed over the session's lifetime.
+    pub firings: u64,
+    /// True when the session ended quarantined.
+    pub faulted: bool,
+    /// Rendered stage failures (empty unless faulted).
+    pub failures: Vec<String>,
+}
+
+/// Outcome of one bounded work slice.
+pub(crate) struct SliceOutcome {
+    /// The slice was skipped because the output buffer is at its bound.
+    pub deferred: bool,
+    /// The session is quarantined (now or previously).
+    pub faulted: bool,
+    /// Pending iterations remaining after the slice.
+    pub pending: u64,
+}
+
+/// The engine-side of a session; lives behind its own mutex so one
+/// tenant's slice never blocks another tenant's `feed`/`poll`.
+pub(crate) struct Tenant {
+    pub engine: SessionEngine,
+    /// Steady iterations requested but not yet run.
+    pub pending: u64,
+    /// Lifetime total of requested iterations.
+    pub requested: u64,
+    /// Sink outputs accumulated since the last poll, one row per sink.
+    pub out: Vec<Vec<Value>>,
+    /// Total buffered values across `out` (the backpressure gauge).
+    pub buffered: usize,
+    /// Lifetime total of values delivered to the client.
+    pub delivered: u64,
+    /// Times a slice was deferred for backpressure.
+    pub stalls: u64,
+}
+
+impl Tenant {
+    pub fn new(engine: SessionEngine) -> Tenant {
+        let sinks = engine.sink_ids().len();
+        Tenant {
+            engine,
+            pending: 0,
+            requested: 0,
+            out: vec![Vec::new(); sinks],
+            buffered: 0,
+            delivered: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Move freshly produced sink values into the poll buffer.
+    fn absorb_outputs(&mut self) {
+        for (row, fresh) in self.out.iter_mut().zip(self.engine.take_outputs()) {
+            self.buffered += fresh.len();
+            row.extend(fresh);
+        }
+    }
+
+    /// Run up to `batch` pending iterations. With `ignore_bound` unset,
+    /// the slice defers instead when the output buffer is at `bound`
+    /// (the client must poll before more work runs).
+    pub fn run_slice(&mut self, batch: u64, bound: usize, ignore_bound: bool) -> SliceOutcome {
+        if self.engine.is_faulted() {
+            self.pending = 0;
+            return SliceOutcome {
+                deferred: false,
+                faulted: true,
+                pending: 0,
+            };
+        }
+        if !ignore_bound && self.buffered >= bound {
+            self.stalls += 1;
+            return SliceOutcome {
+                deferred: true,
+                faulted: false,
+                pending: self.pending,
+            };
+        }
+        let take = self.pending.min(batch);
+        let status = self.engine.run_steady(take);
+        self.pending -= take;
+        self.absorb_outputs();
+        if status == SessionStatus::Faulted {
+            // Nothing queued will ever run; drop it so drains terminate.
+            self.pending = 0;
+        }
+        SliceOutcome {
+            deferred: false,
+            faulted: status == SessionStatus::Faulted,
+            pending: self.pending,
+        }
+    }
+
+    /// Drain the poll buffer.
+    pub fn take_buffered(&mut self) -> Vec<Vec<Value>> {
+        self.buffered = 0;
+        let rows: Vec<Vec<Value>> = self.out.iter_mut().map(std::mem::take).collect();
+        self.delivered += rows.iter().map(|r| r.len() as u64).sum::<u64>();
+        rows
+    }
+}

@@ -1,0 +1,176 @@
+//! Tenant isolation: a faulting session is quarantined and drained to
+//! its bit-exact clean prefix while co-resident sessions — pinned to the
+//! *same* shard and sharing the *same* compiled artifact — produce
+//! outputs bit-identical to running alone.
+//!
+//! The injected-fault half needs the `fault-inject` feature (the service
+//! CI job runs it); without the feature it self-skips, and the
+//! no-fault co-residency differential still runs.
+
+use macross_runtime::{FaultKind, FaultPlan, FAULTS_COMPILED};
+use macross_service::{CloseReport, ServiceConfig, StreamService};
+use macross_streamir::builder::StreamSpec;
+use macross_streamir::edsl::*;
+use macross_streamir::graph::Graph;
+use macross_streamir::types::{ScalarTy, Ty, Value};
+use macross_vm::Machine;
+
+/// `src -> f(*5) -> sink`, one value per steady iteration: firing `k` of
+/// stage 1 (the filter) pushes `5k`, which makes the clean prefix after
+/// a fault at firing `F` exactly `[0, 5, ..., 5(F-1)]`.
+fn victim_pipeline() -> Graph {
+    let mut src = FilterBuilder::new("src", 0, 0, 1, ScalarTy::I32);
+    let n = src.state("n", Ty::Scalar(ScalarTy::I32));
+    src.work(move |b| {
+        b.push(v(n));
+        b.set(n, v(n) + 1i32);
+    });
+    let mut f = FilterBuilder::new("f", 1, 1, 1, ScalarTy::I32);
+    f.work(|b| {
+        b.push(pop() * 5i32);
+    });
+    StreamSpec::pipeline(vec![src.build_spec(), f.build_spec(), StreamSpec::Sink])
+        .build()
+        .unwrap()
+}
+
+fn flat(report: CloseReport) -> Vec<Value> {
+    report.outputs.into_iter().flatten().collect()
+}
+
+fn assert_bits_eq(ctx: &str, expect: &[Value], got: &[Value]) {
+    assert_eq!(expect.len(), got.len(), "{ctx}: length mismatch");
+    for (i, (a, b)) in expect.iter().zip(got).enumerate() {
+        assert!(a.bits_eq(*b), "{ctx}: element {i} differs: {a:?} vs {b:?}");
+    }
+}
+
+/// Run one session alone (optionally with a fault plan) and return its
+/// outputs and counters.
+fn solo_run(iters: u64, plan: FaultPlan) -> (Vec<Value>, u64, u64) {
+    let service = StreamService::new(
+        Machine::core_i7(),
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let id = service.submit("solo", &victim_pipeline(), plan).unwrap();
+    service.feed(id, iters).unwrap();
+    let report = service.close(id).unwrap();
+    let (iters_done, firings) = (report.iters_done, report.firings);
+    let out = flat(report);
+    service.shutdown("solo");
+    (out, iters_done, firings)
+}
+
+/// No faults: two co-resident tenants of the same shape are each
+/// bit-identical to the solo run (the shared artifact is never a shared
+/// mutable anything).
+#[test]
+fn co_resident_tenants_match_solo_runs() {
+    const ITERS: u64 = 12;
+    let (solo_out, solo_iters, solo_firings) = solo_run(ITERS, FaultPlan::none());
+    let service = StreamService::new(
+        Machine::core_i7(),
+        ServiceConfig {
+            workers: 1,
+            batch_iters: 3,
+            ..ServiceConfig::default()
+        },
+    );
+    let g = victim_pipeline();
+    let a = service.submit("tenant_a", &g, FaultPlan::none()).unwrap();
+    let b = service.submit("tenant_b", &g, FaultPlan::none()).unwrap();
+    // Interleave feeds so the shard alternates slices between tenants.
+    for _ in 0..4 {
+        service.feed(a, ITERS / 4).unwrap();
+        service.feed(b, ITERS / 4).unwrap();
+    }
+    for id in [a, b] {
+        let report = service.close(id).unwrap();
+        assert!(!report.faulted);
+        assert_eq!(report.iters_done, solo_iters);
+        assert_eq!(report.firings, solo_firings);
+        assert_bits_eq(&format!("tenant {id}"), &solo_out, &flat(report));
+    }
+    let sr = service.shutdown("isolation_clean");
+    assert_eq!(sr.cache.compilations, 1, "both tenants share one artifact");
+}
+
+/// The acceptance criterion: inject a panic into one of two concurrent
+/// sessions on the same shard. The faulted tenant drains to the
+/// bit-exact clean prefix; the unfaulted tenant is bit-identical (outputs
+/// *and* counters) to its solo run.
+#[test]
+fn injected_panic_quarantines_only_the_faulty_tenant() {
+    if !FAULTS_COMPILED {
+        eprintln!("fault injection not compiled in; skipping (run with --features fault-inject)");
+        return;
+    }
+    const ITERS: u64 = 12;
+    const FAULT_FIRING: u64 = 6;
+    let (solo_out, solo_iters, solo_firings) = solo_run(ITERS, FaultPlan::none());
+    // Fault the seventh firing of stage 1 of the SIMDized graph. The
+    // expected quarantine outcome is established by a *solo* faulted run:
+    // the drained output must be a strict clean prefix of the healthy
+    // stream, cut short of the full run.
+    let plan = FaultPlan::single(1, FAULT_FIRING, FaultKind::Panic);
+    let (victim_solo_out, victim_solo_iters, _) = solo_run(ITERS, plan.clone());
+    assert!(
+        victim_solo_out.len() < solo_out.len(),
+        "fault must truncate"
+    );
+    assert!(victim_solo_iters < solo_iters);
+    assert_bits_eq(
+        "solo faulted run is a clean prefix",
+        &solo_out[..victim_solo_out.len()],
+        &victim_solo_out,
+    );
+    let service = StreamService::new(
+        Machine::core_i7(),
+        ServiceConfig {
+            workers: 1,
+            batch_iters: 3,
+            ..ServiceConfig::default()
+        },
+    );
+    let g = victim_pipeline();
+    let victim = service.submit("victim", &g, plan).unwrap();
+    let healthy = service.submit("healthy", &g, FaultPlan::none()).unwrap();
+    for _ in 0..4 {
+        service.feed(victim, ITERS / 4).unwrap();
+        service.feed(healthy, ITERS / 4).unwrap();
+    }
+    let victim_report = service.close(victim).unwrap();
+    assert!(victim_report.faulted, "the injected panic must quarantine");
+    assert!(
+        victim_report.failures.iter().any(|f| f.contains("panic")),
+        "failure should carry the panic cause: {:?}",
+        victim_report.failures
+    );
+    // Co-resident quarantine is bit-identical to the solo quarantine.
+    assert_bits_eq(
+        "victim clean prefix",
+        &victim_solo_out,
+        &flat(victim_report),
+    );
+    // The co-resident tenant never noticed.
+    let healthy_report = service.close(healthy).unwrap();
+    assert!(!healthy_report.faulted);
+    assert_eq!(healthy_report.iters_done, solo_iters);
+    assert_eq!(healthy_report.firings, solo_firings);
+    assert_bits_eq("healthy tenant", &solo_out, &flat(healthy_report));
+    let sr = service.shutdown("isolation_fault");
+    let victim_row = sr.tenants.iter().find(|t| t.benchmark == "victim").unwrap();
+    assert_eq!(victim_row.state, "faulted");
+    assert!(victim_row.faults > 0);
+    let healthy_row = sr
+        .tenants
+        .iter()
+        .find(|t| t.benchmark == "healthy")
+        .unwrap();
+    assert_eq!(healthy_row.state, "closed");
+    assert_eq!(healthy_row.faults, 0);
+    macross_telemetry::service::validate_str(&sr.json_string()).unwrap();
+}

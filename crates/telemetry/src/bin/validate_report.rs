@@ -1,13 +1,20 @@
-//! Validate `BENCH_*.json` files against the telemetry report schema.
+//! Validate `BENCH_*.json` / `SERVICE_*.json` files against the
+//! telemetry report schemas.
 //!
 //! Usage: `validate_report [--errors-only] <file.json>...` — prints one
 //! line per violation (with the offending key path) and per warning, and
 //! exits non-zero if any file fails to parse, violates the schema, or
 //! triggers a warning. `--errors-only` downgrades warnings to informative
-//! output. CI runs this on the reports a benchmark run emitted.
+//! output. CI runs this on the reports a benchmark or soak run emitted.
+//!
+//! The validator is picked per document: files declaring
+//! `"schema": "macross-service-v1"` go through [`service`], everything
+//! else through the bench [`report`] checker.
 
 use macross_telemetry::json;
 use macross_telemetry::report;
+use macross_telemetry::report::Violation;
+use macross_telemetry::service;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -20,7 +27,7 @@ fn main() -> ExitCode {
         }
     }
     if paths.is_empty() {
-        eprintln!("usage: validate_report [--errors-only] <BENCH_*.json>...");
+        eprintln!("usage: validate_report [--errors-only] <BENCH_*.json | SERVICE_*.json>...");
         return ExitCode::from(2);
     }
     let mut bad_files = 0usize;
@@ -36,8 +43,12 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        let violations = report::check(&doc);
-        let warnings = report::warnings(&doc);
+        let (violations, warnings): (Vec<Violation>, Vec<Violation>) =
+            if service::is_service_report(&doc) {
+                (service::check(&doc), service::warnings(&doc))
+            } else {
+                (report::check(&doc), report::warnings(&doc))
+            };
         for v in &violations {
             println!("{path}: error: {v}");
         }

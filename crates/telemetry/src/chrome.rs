@@ -35,7 +35,13 @@ fn span_parts(kind: EventKind) -> Option<(&'static str, bool)> {
         | EventKind::DrainBegin
         | EventKind::WatchdogFire
         | EventKind::KernelFusion
-        | EventKind::BatchedFiring => None,
+        | EventKind::BatchedFiring
+        | EventKind::SessionAdmitted
+        | EventKind::SessionRejected
+        | EventKind::CacheHit
+        | EventKind::CacheMiss
+        | EventKind::SessionQuarantined
+        | EventKind::SessionClosed => None,
     }
 }
 
@@ -48,6 +54,12 @@ fn instant_cat(kind: EventKind) -> Option<&'static str> {
         EventKind::WatchdogFire => Some("watchdog"),
         EventKind::KernelFusion => Some("kernel_fusion"),
         EventKind::BatchedFiring => Some("batch"),
+        EventKind::SessionAdmitted
+        | EventKind::SessionRejected
+        | EventKind::CacheHit
+        | EventKind::CacheMiss
+        | EventKind::SessionQuarantined
+        | EventKind::SessionClosed => Some("service"),
         _ => None,
     }
 }

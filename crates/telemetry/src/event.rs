@@ -44,6 +44,24 @@ pub enum EventKind {
     /// A worker executed a run of consecutive firings of one stage as a
     /// single batch (`subject` = node id, `aux` = batch size).
     BatchedFiring,
+    /// The service admitted a session (`subject` = session id, `aux` =
+    /// shard it was placed on).
+    SessionAdmitted,
+    /// The service rejected a submission with `Overloaded` (`subject` =
+    /// would-be session id, `aux` = live session count at the time).
+    SessionRejected,
+    /// A submission was served from the compile-once cache (`subject` =
+    /// session id).
+    CacheHit,
+    /// A submission compiled fresh (`subject` = session id, `aux` =
+    /// modelled steady cost of the artifact).
+    CacheMiss,
+    /// A faulting tenant was quarantined; its co-residents keep firing
+    /// (`subject` = session id, `aux` = failing stage).
+    SessionQuarantined,
+    /// A session finished draining and was closed (`subject` = session
+    /// id, `aux` = steady iterations completed).
+    SessionClosed,
 }
 
 impl EventKind {
@@ -64,6 +82,12 @@ impl EventKind {
             EventKind::WatchdogFire => "watchdog_fire",
             EventKind::KernelFusion => "kernel_fusion",
             EventKind::BatchedFiring => "batched_firing",
+            EventKind::SessionAdmitted => "session_admitted",
+            EventKind::SessionRejected => "session_rejected",
+            EventKind::CacheHit => "cache_hit",
+            EventKind::CacheMiss => "cache_miss",
+            EventKind::SessionQuarantined => "session_quarantined",
+            EventKind::SessionClosed => "session_closed",
         }
     }
 }
@@ -120,6 +144,12 @@ mod tests {
             EventKind::WatchdogFire,
             EventKind::KernelFusion,
             EventKind::BatchedFiring,
+            EventKind::SessionAdmitted,
+            EventKind::SessionRejected,
+            EventKind::CacheHit,
+            EventKind::CacheMiss,
+            EventKind::SessionQuarantined,
+            EventKind::SessionClosed,
         ];
         let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());

@@ -35,6 +35,7 @@ pub mod event;
 pub mod json;
 pub mod report;
 pub mod ring;
+pub mod service;
 pub mod trace;
 
 pub use event::{Event, EventKind};

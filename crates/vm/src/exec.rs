@@ -8,6 +8,7 @@
 use crate::error::VmError;
 use crate::firing::{self, FilterState};
 use crate::machine::{CycleCounters, Machine};
+use crate::programs::CompiledPrograms;
 use crate::tape::Tape;
 use macross_sdf::Schedule;
 use macross_streamir::graph::{Graph, Node, NodeId, ReorderSide};
@@ -131,6 +132,29 @@ impl<'a> Executor<'a> {
         machine: &'a Machine,
         mode: ExecMode,
     ) -> Executor<'a> {
+        let programs = CompiledPrograms::compile(graph, machine, mode);
+        Executor::with_programs(graph, schedule, machine, &programs)
+    }
+
+    /// Build an executor from pre-compiled shared plans instead of
+    /// compiling per construction — the multi-session path: one
+    /// [`CompiledPrograms`] feeds any number of executors, each with its
+    /// own tapes and mutable state but zero compile work.
+    ///
+    /// # Panics
+    /// Panics if `programs` does not cover every node of `graph` (it was
+    /// compiled for a different graph).
+    pub fn with_programs(
+        graph: &'a Graph,
+        schedule: &'a Schedule,
+        machine: &'a Machine,
+        programs: &CompiledPrograms,
+    ) -> Executor<'a> {
+        assert_eq!(
+            programs.node_count(),
+            graph.node_count(),
+            "compiled programs were built for a different graph"
+        );
         let mut tapes: Vec<Tape> = graph.edges().map(|(_, e)| Tape::new(e.elem)).collect();
         for (i, (_, e)) in graph.edges().enumerate() {
             if let Some(r) = e.reorder {
@@ -142,14 +166,7 @@ impl<'a> Executor<'a> {
         }
         let states = graph
             .nodes()
-            .map(|(id, node)| match node {
-                Node::Filter(f) => {
-                    let in_elem = graph.single_in_edge(id).map(|e| graph.edge(e).elem);
-                    let out_elem = graph.single_out_edge(id).map(|e| graph.edge(e).elem);
-                    FilterState::prepared(f, machine, in_elem, out_elem, mode)
-                }
-                _ => FilterState::default(),
-            })
+            .map(|(id, node)| programs.state_for(id, node))
             .collect();
         let outputs = vec![Vec::new(); graph.node_count()];
         let node_cycles = vec![0; graph.node_count()];

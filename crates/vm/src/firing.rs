@@ -70,17 +70,41 @@ impl FilterState {
         out_elem: Option<ScalarTy>,
         mode: ExecMode,
     ) -> FilterState {
-        let mut state = FilterState::new(filter);
+        FilterState::from_shared(
+            filter,
+            FilterState::compile_plan(filter, machine, in_elem, out_elem, mode),
+        )
+    }
+
+    /// Compile the shareable plan [`FilterState::prepared`] would install,
+    /// without building any state. `None` when `mode` is
+    /// [`ExecMode::TreeWalk`] or the compiler cannot lower the body
+    /// exactly (per-filter fallback).
+    pub fn compile_plan(
+        filter: &Filter,
+        machine: &Machine,
+        in_elem: Option<ScalarTy>,
+        out_elem: Option<ScalarTy>,
+        mode: ExecMode,
+    ) -> Option<Arc<CompiledFilter>> {
         let fuse = match mode {
             ExecMode::Bytecode => Some(true),
             ExecMode::BytecodeNoFuse => Some(false),
             ExecMode::TreeWalk => None,
-        };
-        if let Some(fuse) = fuse {
-            if let Some(plan) = compile_filter_opts(filter, in_elem, out_elem, machine, fuse) {
-                state.regs = Regs::new(plan.int_regs as usize, plan.float_regs as usize);
-                state.engine = Engine::Compiled(Arc::new(plan));
-            }
+        }?;
+        compile_filter_opts(filter, in_elem, out_elem, machine, fuse).map(Arc::new)
+    }
+
+    /// Zero-initialized state firing through an already-compiled shared
+    /// plan (`None` selects the tree-walking engine). Only the `Arc` is
+    /// cloned — many concurrent sessions of the same graph shape share
+    /// one compilation. Behaviour is identical to
+    /// [`FilterState::prepared`] with the mode the plan was compiled for.
+    pub fn from_shared(filter: &Filter, plan: Option<Arc<CompiledFilter>>) -> FilterState {
+        let mut state = FilterState::new(filter);
+        if let Some(plan) = plan {
+            state.regs = Regs::new(plan.int_regs as usize, plan.float_regs as usize);
+            state.engine = Engine::Compiled(plan);
         }
         state
     }

@@ -38,6 +38,7 @@ pub mod firing;
 pub mod interp;
 pub mod kernel;
 pub mod machine;
+pub mod programs;
 pub mod tape;
 
 pub use bytecode::{CompiledFilter, Regs};
@@ -48,4 +49,5 @@ pub use firing::FilterState;
 pub use interp::{FiringCtx, RtVal, Slot};
 pub use kernel::KernelBackend;
 pub use machine::{CostTable, CycleCounters, Machine};
+pub use programs::CompiledPrograms;
 pub use tape::Tape;
