@@ -23,11 +23,14 @@ use macross_vm::{ExecMode, Machine};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-/// Everything that selects a distinct compilation output.
+/// Everything that selects a distinct compilation output. The machine
+/// is keyed by its *full* description, not its name: two `Machine`
+/// configs sharing a name but differing in width, features, or costs
+/// must never alias to the same artifact.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
     hash: GraphHash,
-    machine: String,
+    machine: Machine,
     opts_bits: u8,
     mode_tag: u8,
 }
@@ -97,7 +100,7 @@ impl CompileCache {
     ) -> Result<(Arc<CompiledGraph>, bool), SimdizeError> {
         let key = CacheKey {
             hash: structural_hash(graph),
-            machine: machine.name.clone(),
+            machine: machine.clone(),
             opts_bits: opts_bits(opts),
             mode_tag: mode_tag(mode),
         };
@@ -226,6 +229,35 @@ mod tests {
         // One source shape, three compilations — legal because the key is
         // (shape, machine, opts, mode), and distinct counts shapes.
         assert_eq!(cache.stats().distinct_graphs, 1);
+        assert_eq!(cache.stats().compilations, 3);
+    }
+
+    #[test]
+    fn machines_sharing_a_name_do_not_alias() {
+        let opts = SimdizeOptions::all();
+        let mut cache = CompileCache::new(8);
+        let g = pipeline("a", 3);
+        let narrow = Machine::core_i7();
+        // Same name, different vector width: a distinct compilation
+        // target that must miss, not inherit the 4-wide artifact.
+        let mut wide = Machine::core_i7();
+        wide.simd_width = 8;
+        assert_eq!(narrow.name, wide.name);
+        let (art4, _) = cache
+            .get_or_compile(&g, &narrow, &opts, ExecMode::Bytecode)
+            .unwrap();
+        let (art8, hit) = cache
+            .get_or_compile(&g, &wide, &opts, ExecMode::Bytecode)
+            .unwrap();
+        assert!(!hit, "full machine description must partition the cache");
+        assert!(!Arc::ptr_eq(&art4, &art8));
+        // A cost-table tweak alone is also a distinct target.
+        let mut pricier = Machine::core_i7();
+        pricier.cost.permute = 9;
+        let (_, hit) = cache
+            .get_or_compile(&g, &pricier, &opts, ExecMode::Bytecode)
+            .unwrap();
+        assert!(!hit, "cost tables must partition the cache");
         assert_eq!(cache.stats().compilations, 3);
     }
 

@@ -167,6 +167,96 @@ mod tests {
     }
 
     #[test]
+    fn feed_rejects_overflowing_iters() {
+        let service = StreamService::new(
+            Machine::core_i7(),
+            ServiceConfig {
+                workers: 1,
+                queue_bound: 8,
+                ..ServiceConfig::default()
+            },
+        );
+        let id = service
+            .submit("ovf", &counter_pipeline(1), FaultPlan::none())
+            .unwrap();
+        service.feed(id, 1).unwrap();
+        // pending + u64::MAX would wrap past the bound; the admission
+        // check must reject it, not enqueue an astronomical backlog.
+        let err = service.feed(id, u64::MAX).unwrap_err();
+        assert!(err.is_overloaded(), "got {err}");
+        let report = service.close(id).unwrap();
+        assert_eq!(report.iters_done, 1, "close drains only the sane feed");
+        let sr = service.shutdown("ovf");
+        assert_eq!(sr.admission.rejected_feeds, 1);
+    }
+
+    #[test]
+    fn close_drains_through_backpressure_without_polling() {
+        // Regression for a drain/backpressure race: with a 1-value
+        // output bound every second slice defers, and a `close` landing
+        // while the deferring slice is in flight used to park the tenant
+        // with no reviver — `close` then blocked forever. Loop to give
+        // the race window many chances; the test's assertion is simply
+        // that every close returns, fully drained.
+        for round in 0..25 {
+            let service = StreamService::new(
+                Machine::core_i7(),
+                ServiceConfig {
+                    workers: 1,
+                    batch_iters: 1,
+                    output_bound: 1,
+                    queue_bound: 256,
+                    ..ServiceConfig::default()
+                },
+            );
+            let id = service
+                .submit("race", &counter_pipeline(1), FaultPlan::none())
+                .unwrap();
+            service.feed(id, 64).unwrap();
+            if round % 2 == 1 {
+                // Vary the interleaving: sometimes let the shard reach
+                // the parked state before closing, sometimes close hot.
+                std::thread::yield_now();
+            }
+            let report = service.close(id).unwrap();
+            assert!(!report.faulted);
+            assert_eq!(report.iters_done, 64, "round {round}: drain lost work");
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_parked_tenants() {
+        let service = StreamService::new(
+            Machine::core_i7(),
+            ServiceConfig {
+                workers: 1,
+                batch_iters: 1,
+                output_bound: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let g = counter_pipeline(3);
+        let a = service.submit("a", &g, FaultPlan::none()).unwrap();
+        let b = service.submit("b", &g, FaultPlan::none()).unwrap();
+        service.feed(a, 32).unwrap();
+        service.feed(b, 32).unwrap();
+        // Let both tenants hit the 1-value bound and park.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let sr = service.shutdown("parked");
+        // `drained_on_shutdown` counts completed drains: both tenants
+        // must actually finish their 32 iterations, bound ignored.
+        assert_eq!(sr.admission.drained_on_shutdown, 2);
+        for row in &sr.tenants {
+            assert_eq!(
+                row.iters_done, 32,
+                "tenant {} not fully drained at shutdown",
+                row.session
+            );
+        }
+        svc_schema::validate_str(&sr.json_string()).unwrap();
+    }
+
+    #[test]
     fn shutdown_drains_admitted_work() {
         let service = StreamService::new(Machine::core_i7(), ServiceConfig::default());
         let id = service

@@ -321,7 +321,9 @@ impl StreamService {
             .ok_or(ServiceError::UnknownSession(id))?;
         let slot = entry.slot.clone();
         let mut tenant = slot.lock().unwrap();
-        if tenant.pending + iters > bound {
+        // Overflow-safe form of `pending + iters > bound`: a near-u64::MAX
+        // `iters` must be rejected, not wrapped past the queue bound.
+        if iters > bound.saturating_sub(tenant.pending) {
             st_ref.admission.rejected_feeds += 1;
             return Err(ServiceError::Overloaded {
                 reason: format!(
@@ -477,6 +479,11 @@ impl StreamService {
             for (id, entry) in sessions.iter_mut() {
                 entry.draining = true;
                 let parked = std::mem::take(&mut entry.deferred);
+                // The count is a guarantee, not a hope: every entry
+                // counted here drains before the shards exit — parked
+                // ones are requeued below, and an in-flight slice that
+                // defers under `shutting_down` requeues itself (see
+                // `shard_loop`) instead of parking.
                 if entry.pending_hint > 0 || parked {
                     admission.drained_on_shutdown += 1;
                     if !entry.queued && !entry.running && !entry.faulted {
@@ -603,8 +610,23 @@ fn shard_loop(inner: &Inner, shard: usize, trace: &WorkerTrace) {
                 trace.record(EventKind::SessionQuarantined, id as u32, 0);
             }
             if outcome.deferred {
-                entry.deferred = true;
-                st_ref.admission.backpressure_stalls += 1;
+                // Re-check drain state under the lock: `close`/`shutdown`
+                // may have set it while the slice ran, and they only
+                // revive entries that were *already* parked — parking now
+                // would strand the tenant (only `poll` requeues deferred
+                // entries) and deadlock the waiting drain. Requeue
+                // instead; the next pop computes `drain = true` and runs
+                // with the output bound ignored.
+                if entry.draining || st_ref.shutting_down {
+                    if !entry.queued {
+                        entry.queued = true;
+                        st_ref.queues[entry.shard].push_back(id);
+                        inner.work_cv.notify_all();
+                    }
+                } else {
+                    entry.deferred = true;
+                    st_ref.admission.backpressure_stalls += 1;
+                }
             } else if outcome.pending > 0 && !entry.queued && !entry.faulted {
                 entry.queued = true;
                 st_ref.queues[entry.shard].push_back(id);

@@ -10,7 +10,7 @@ use macross_streamir::expr::Intrinsic;
 use std::collections::BTreeSet;
 
 /// Per-operation cycle costs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CostTable {
     /// Scalar add/sub/bitwise/compare/cast.
     pub alu: u64,
@@ -78,7 +78,12 @@ impl CostTable {
 }
 
 /// A target machine: SIMD configuration plus the cost table.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Eq`/`Hash` cover the *full* description (width, features, costs),
+/// so two machines sharing a `name` but differing in any parameter
+/// compare unequal — the compile cache relies on this to never hand one
+/// target an artifact compiled for another.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Machine {
     /// Human-readable name for reports.
     pub name: String,
