@@ -179,7 +179,7 @@ fn main() {
         }
     }
     if let Err(e) = macross_telemetry::service::validate_str(&report.json_string()) {
-        fail(&format!("emitted report violates macross-service-v1: {e}"));
+        fail(&format!("emitted report violates macross-service-v2: {e}"));
     }
 
     let hit_rate = report.cache.hit_rate();

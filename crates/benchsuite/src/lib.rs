@@ -19,6 +19,7 @@
 
 pub mod crypto;
 pub mod dsp;
+pub mod dynamic;
 pub mod matrix;
 pub mod media;
 pub mod transforms;

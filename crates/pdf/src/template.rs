@@ -1,0 +1,356 @@
+//! Graph templates: a parameter domain plus a builder that instantiates
+//! one concrete [`Graph`] per [`Valuation`], and the swappability sweep
+//! that proves every configuration of the domain can exchange a session
+//! carrier with every other.
+
+use crate::PdfError;
+use macross::{compile_graph, CompiledGraph, SimdizeOptions};
+use macross_sdf::{buffer_requirements, Schedule};
+use macross_streamir::analysis::analyze_vectorizability;
+use macross_streamir::filter::VarKind;
+use macross_streamir::graph::{Graph, Node};
+use macross_streamir::{ParamDomain, Valuation};
+use macross_vm::{ExecMode, Machine};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Hard bound on the exhaustive validation sweep: a dynamic-rate program
+/// declares a handful of small parameter ranges, not a search space.
+const MAX_SWEEP: u64 = 4096;
+
+/// A parameterized stream program: the legal parameter space and a
+/// builder producing the concrete graph for one valuation.
+///
+/// The builder is expected to evaluate its rate expressions
+/// ([`macross_streamir::RateExpr`]) against the valuation it receives and
+/// emit work bodies matching those rates. Node *names* are part of the
+/// template's contract: stateful filters must keep their names across
+/// valuations (the carrier addresses their state by name), which the
+/// SIMDizer guarantees by never transforming stateful actors.
+#[derive(Clone)]
+pub struct ParamGraph {
+    name: String,
+    domain: ParamDomain,
+    #[allow(clippy::type_complexity)]
+    build: Arc<dyn Fn(&Valuation) -> Result<Graph, String> + Send + Sync>,
+}
+
+impl std::fmt::Debug for ParamGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParamGraph")
+            .field("name", &self.name)
+            .field("domain", &self.domain)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What the swappability sweep established (for reports and logs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapValidation {
+    /// Configurations compiled and compared (the domain cardinality).
+    pub configurations: u64,
+    /// Edges whose resident tokens a swap carries (peek-slack edges).
+    pub carried_edges: usize,
+    /// Filters whose state a swap carries by name.
+    pub stateful_filters: usize,
+}
+
+/// The carrier-facing shape of one compiled configuration. Two
+/// configurations are exchangeable exactly when these profiles agree.
+#[derive(Debug, PartialEq, Eq)]
+struct SwapProfile {
+    sinks: usize,
+    /// Stateful filter name -> state-variable type shapes, in
+    /// declaration order.
+    stateful: BTreeMap<String, Vec<String>>,
+    /// Carried edge signature -> resident tokens after init.
+    carried: BTreeMap<(String, usize, String, usize), u64>,
+}
+
+impl ParamGraph {
+    /// A template over `domain`; `build` instantiates the graph for one
+    /// (already validated) valuation.
+    pub fn new(
+        name: impl Into<String>,
+        domain: ParamDomain,
+        build: impl Fn(&Valuation) -> Result<Graph, String> + Send + Sync + 'static,
+    ) -> ParamGraph {
+        ParamGraph {
+            name: name.into(),
+            domain,
+            build: Arc::new(build),
+        }
+    }
+
+    /// Template name (tags reports and error messages).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared parameter space.
+    pub fn domain(&self) -> &ParamDomain {
+        &self.domain
+    }
+
+    /// Build and validate the concrete graph for `valuation`.
+    ///
+    /// # Errors
+    /// [`PdfError::Param`] when the valuation is outside the domain,
+    /// [`PdfError::Build`] when the builder or graph validation fails.
+    pub fn instantiate(&self, valuation: &Valuation) -> Result<Graph, PdfError> {
+        self.domain.check(valuation)?;
+        let graph = (self.build)(valuation)
+            .map_err(|e| PdfError::Build(format!("{} at {valuation}: {e}", self.name)))?;
+        graph
+            .validate()
+            .map_err(|e| PdfError::Build(format!("{} at {valuation}: {e}", self.name)))?;
+        Ok(graph)
+    }
+
+    /// Exhaustively prove the template swappable under `(machine, opts,
+    /// mode)`: compile every valuation in the domain and require all
+    /// configurations to expose the *same* carrier interface — equal sink
+    /// counts, identical stateful-filter names and state shapes, and
+    /// identical resident-token counts per (unreordered, unambiguous)
+    /// edge signature. A template that passes can swap between any two of
+    /// its valuations at a quiescent point without losing a bit.
+    ///
+    /// # Errors
+    /// [`PdfError::NotSwappable`] naming the first disagreeing valuation;
+    /// [`PdfError::Simdize`]/[`PdfError::Build`] when a configuration
+    /// fails to compile at all.
+    pub fn validate_swappable(
+        &self,
+        machine: &Machine,
+        opts: &SimdizeOptions,
+        mode: ExecMode,
+    ) -> Result<SwapValidation, PdfError> {
+        let card = self.domain.cardinality().ok_or_else(|| {
+            PdfError::NotSwappable(format!("{}: domain cardinality overflows", self.name))
+        })?;
+        if card == 0 {
+            return Err(PdfError::NotSwappable(format!(
+                "{}: domain is empty",
+                self.name
+            )));
+        }
+        if card > MAX_SWEEP {
+            return Err(PdfError::NotSwappable(format!(
+                "{}: domain has {card} valuations, exhaustive validation caps at {MAX_SWEEP}",
+                self.name
+            )));
+        }
+        let mut reference: Option<(Valuation, SwapProfile)> = None;
+        for valuation in self.domain.valuations() {
+            let graph = self.instantiate(&valuation)?;
+            let art = compile_graph(&graph, machine, opts, mode)?;
+            let profile = swap_profile(&art).map_err(|e| {
+                PdfError::NotSwappable(format!("{} at {valuation}: {e}", self.name))
+            })?;
+            match &reference {
+                None => reference = Some((valuation, profile)),
+                Some((v0, p0)) => {
+                    if let Some(why) = profile_diff(p0, &profile) {
+                        return Err(PdfError::NotSwappable(format!(
+                            "{}: configurations {v0} and {valuation} disagree: {why}",
+                            self.name
+                        )));
+                    }
+                }
+            }
+        }
+        let (_, p) = reference.expect("card > 0 visited at least one valuation");
+        Ok(SwapValidation {
+            configurations: card,
+            carried_edges: p.carried.len(),
+            stateful_filters: p.stateful.len(),
+        })
+    }
+}
+
+/// Extract the carrier interface of one compiled configuration, refusing
+/// shapes a swap could not serve (duplicate stateful names, ambiguous or
+/// reordered carried edges).
+fn swap_profile(art: &CompiledGraph) -> Result<SwapProfile, String> {
+    let graph: &Graph = &art.graph;
+    let schedule: &Schedule = &art.schedule;
+    let mut stateful = BTreeMap::new();
+    let mut sinks = 0usize;
+    for (_, node) in graph.nodes() {
+        match node {
+            Node::Filter(f) if analyze_vectorizability(f).stateful => {
+                let shapes: Vec<String> = f
+                    .vars
+                    .iter()
+                    .filter(|v| v.kind == VarKind::State)
+                    .map(|v| format!("{:?}", v.ty))
+                    .collect();
+                if stateful.insert(f.name.clone(), shapes).is_some() {
+                    return Err(format!("duplicate stateful filter name '{}'", f.name));
+                }
+            }
+            Node::Sink => sinks += 1,
+            _ => {}
+        }
+    }
+    let bufs = buffer_requirements(graph, schedule);
+    let mut carried = BTreeMap::new();
+    for ((_, e), req) in graph.edges().zip(&bufs) {
+        if req.init_tokens == 0 {
+            continue;
+        }
+        let sig = (
+            graph.node(e.src).name(),
+            e.src_port,
+            graph.node(e.dst).name(),
+            e.dst_port,
+        );
+        if e.reorder.is_some() {
+            return Err(format!(
+                "carried edge {}:{} -> {}:{} is reordered; its resident tokens encode a \
+                 per-configuration permutation and cannot travel",
+                sig.0, sig.1, sig.2, sig.3
+            ));
+        }
+        if carried.insert(sig.clone(), req.init_tokens).is_some() {
+            return Err(format!(
+                "ambiguous carried-edge signature {}:{} -> {}:{}",
+                sig.0, sig.1, sig.2, sig.3
+            ));
+        }
+    }
+    Ok(SwapProfile {
+        sinks,
+        stateful,
+        carried,
+    })
+}
+
+/// First difference between two profiles, rendered for the error message.
+fn profile_diff(a: &SwapProfile, b: &SwapProfile) -> Option<String> {
+    if a.sinks != b.sinks {
+        return Some(format!("sink count {} vs {}", a.sinks, b.sinks));
+    }
+    if a.stateful != b.stateful {
+        return Some(format!(
+            "stateful filters {:?} vs {:?}",
+            a.stateful.keys().collect::<Vec<_>>(),
+            b.stateful.keys().collect::<Vec<_>>()
+        ));
+    }
+    if a.carried != b.carried {
+        return Some(format!(
+            "carried resident tokens {:?} vs {:?}",
+            a.carried, b.carried
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macross_streamir::builder::StreamSpec;
+    use macross_streamir::edsl::*;
+    use macross_streamir::types::{ScalarTy, Ty};
+    use macross_streamir::RateExpr;
+
+    /// src (stateful counter) -> smooth (stateful, peek 4) ->
+    /// downsample(decim) -> sink; `decim` is the runtime parameter.
+    pub(crate) fn decim_template() -> ParamGraph {
+        let domain = ParamDomain::new().with("decim", 1, 3);
+        ParamGraph::new("decim_chain", domain, |val| {
+            let decim = RateExpr::param("decim")
+                .eval(val)
+                .map_err(|e| e.to_string())?;
+            let mut src = FilterBuilder::new("src", 0, 0, 1, ScalarTy::I32);
+            let n = src.state("n", Ty::Scalar(ScalarTy::I32));
+            src.work(|b| {
+                b.push(v(n));
+                b.set(n, v(n) + 1i32);
+            });
+            let mut smooth = FilterBuilder::new("smooth", 4, 1, 1, ScalarTy::I32);
+            let acc = smooth.state("acc", Ty::Scalar(ScalarTy::I32));
+            let junk = smooth.local("junk", Ty::Scalar(ScalarTy::I32));
+            smooth.work(|b| {
+                b.set(acc, v(acc) + peek(c(3i32)));
+                b.push(peek(c(0i32)) + v(acc));
+                b.set(junk, pop());
+            });
+            let mut down = FilterBuilder::new("down", decim, decim, 1, ScalarTy::I32);
+            let x = down.local("x", Ty::Scalar(ScalarTy::I32));
+            let j = down.local("j", Ty::Scalar(ScalarTy::I32));
+            let i = down.local("i", Ty::Scalar(ScalarTy::I32));
+            down.work(move |b| {
+                b.set(x, pop());
+                b.for_(i, (decim - 1) as i32, |b| {
+                    b.set(j, pop());
+                });
+                b.push(v(x));
+            });
+            StreamSpec::pipeline(vec![
+                src.build_spec(),
+                smooth.build_spec(),
+                down.build_spec(),
+                StreamSpec::Sink,
+            ])
+            .build()
+            .map_err(|e| e.to_string())
+        })
+    }
+
+    #[test]
+    fn instantiation_respects_the_domain() {
+        let t = decim_template();
+        assert!(t.instantiate(&Valuation::of("decim", 2)).is_ok());
+        let err = t.instantiate(&Valuation::of("decim", 9)).unwrap_err();
+        assert!(matches!(err, PdfError::Param(_)), "{err}");
+        let err = t.instantiate(&Valuation::new()).unwrap_err();
+        assert!(matches!(err, PdfError::Param(_)), "{err}");
+    }
+
+    #[test]
+    fn decim_chain_validates_swappable() {
+        let t = decim_template();
+        let v = t
+            .validate_swappable(
+                &Machine::core_i7(),
+                &SimdizeOptions::all(),
+                ExecMode::Bytecode,
+            )
+            .unwrap();
+        assert_eq!(v.configurations, 3);
+        // src -> smooth carries the 3-token peek slack in every config.
+        assert_eq!(v.carried_edges, 1);
+        assert_eq!(v.stateful_filters, 2);
+    }
+
+    #[test]
+    fn unstable_stateful_name_is_rejected() {
+        // A pathological template whose parameter changes the *name* of a
+        // stateful filter: the carrier addresses state by name, so the
+        // sweep must refuse it.
+        let domain = ParamDomain::new().with("k", 0, 1);
+        let t = ParamGraph::new("bad_names", domain, |val| {
+            let k = val.get("k").unwrap();
+            let mut src = FilterBuilder::new(format!("src{k}"), 0, 0, 1, ScalarTy::I32);
+            let n = src.state("n", Ty::Scalar(ScalarTy::I32));
+            src.work(|b| {
+                b.push(v(n));
+                b.set(n, v(n) + 1i32);
+            });
+            StreamSpec::pipeline(vec![src.build_spec(), StreamSpec::Sink])
+                .build()
+                .map_err(|e| e.to_string())
+        });
+        let err = t
+            .validate_swappable(
+                &Machine::core_i7(),
+                &SimdizeOptions::all(),
+                ExecMode::Bytecode,
+            )
+            .unwrap_err();
+        assert!(matches!(err, PdfError::NotSwappable(_)), "{err}");
+        assert!(err.to_string().contains("stateful filters"), "{err}");
+    }
+}

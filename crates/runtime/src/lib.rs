@@ -41,7 +41,7 @@ use supervisor::Supervisor;
 use worker::Worker;
 
 pub use fault::{FaultKind, FaultPlan, FaultSpec, ReplayBundle, FAULTS_COMPILED};
-pub use session::{SessionEngine, SessionStatus};
+pub use session::{EdgeSig, SessionCarrier, SessionEngine, SessionStatus};
 pub use supervisor::{FailureCause, StageFailure, SupervisorOptions};
 
 /// Errors from a threaded run.

@@ -26,6 +26,7 @@
 use crate::fault::{FaultKind, FaultPlan};
 use crate::supervisor::{FailureCause, StageFailure};
 use macross_sdf::Schedule;
+use macross_streamir::analysis::analyze_vectorizability;
 use macross_streamir::graph::{Graph, Node, NodeId, ReorderSide};
 use macross_streamir::types::Value;
 use macross_telemetry::{EventKind, WorkerTrace};
@@ -75,6 +76,43 @@ impl NodeAdj {
             out_edge: out_edge.map(|e| e.0 as usize),
         }
     }
+}
+
+/// Name-level identity of an edge, stable across independently compiled
+/// configurations of the same parameterized program (node *ids* are not:
+/// SIMDization inserts and renumbers nodes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EdgeSig {
+    /// Producer node name.
+    pub src: String,
+    /// Producer output port.
+    pub src_port: usize,
+    /// Consumer node name.
+    pub dst: String,
+    /// Consumer input port.
+    pub dst_port: usize,
+}
+
+/// The portable quiescent-point state of a session: everything that must
+/// survive a configuration swap for the continued run to stay bit-exact.
+///
+/// Captured by [`SessionEngine::export_carrier`] at a steady-iteration
+/// boundary and installed into a freshly built engine by
+/// [`SessionEngine::resume`]. Stateful filters (state written in `work`)
+/// travel by name — the SIMDizer never renames them — while init-only
+/// state (e.g. FIR coefficient tables) is deterministically recomputed by
+/// the new engine's init functions and therefore not carried. Resident
+/// tape tokens (the peek slack the init schedule primed) travel by edge
+/// signature, so the new configuration skips its init schedule entirely.
+#[derive(Debug, Clone)]
+pub struct SessionCarrier {
+    /// `(filter name, flattened state values)` per stateful filter.
+    pub states: Vec<(String, Vec<Value>)>,
+    /// `(edge signature, resident tokens in FIFO order)` per non-empty
+    /// tape.
+    pub tapes: Vec<(EdgeSig, Vec<Value>)>,
+    /// Sink count (output-continuity check across configurations).
+    pub sinks: usize,
 }
 
 /// Whether a session can accept more work.
@@ -484,6 +522,149 @@ impl SessionEngine {
             self.run_phase(true);
         }
         self.status()
+    }
+
+    fn edge_sig(&self, idx: usize) -> EdgeSig {
+        let (_, e) = self
+            .graph
+            .edges()
+            .nth(idx)
+            .expect("tape index is an edge index");
+        EdgeSig {
+            src: self.graph.node(e.src).name(),
+            src_port: e.src_port,
+            dst: self.graph.node(e.dst).name(),
+            dst_port: e.dst_port,
+        }
+    }
+
+    /// Capture the session's quiescent-point carrier (see
+    /// [`SessionCarrier`]). Must be called at a steady-iteration boundary
+    /// — which is the only place slice-based callers can call it, since
+    /// [`SessionEngine::run_steady`] returns only at boundaries.
+    ///
+    /// # Errors
+    /// Fails when the session is faulted, initialization has not run, or
+    /// a tape's resident state cannot be expressed as a plain token
+    /// sequence (partial reorder block / staged rpush data — states that
+    /// template validation proves unreachable for swappable programs).
+    pub fn export_carrier(&self) -> Result<SessionCarrier, String> {
+        if self.quarantined {
+            return Err("cannot export the carrier of a faulted session".into());
+        }
+        if !self.init_fns_done || !self.init_schedule_done {
+            return Err("cannot export a carrier before initialization".into());
+        }
+        let mut states = Vec::new();
+        for (id, node) in self.graph.nodes() {
+            if let Node::Filter(f) = node {
+                if analyze_vectorizability(f).stateful {
+                    if states.iter().any(|(n, _)| *n == f.name) {
+                        return Err(format!("duplicate stateful filter name '{}'", f.name));
+                    }
+                    let vals = self.states[id.0 as usize].export_state_vars(f);
+                    states.push((f.name.clone(), vals));
+                }
+            }
+        }
+        let mut tapes = Vec::new();
+        for (idx, tape) in self.tapes.iter().enumerate() {
+            let vals = tape.export_resident().ok_or_else(|| {
+                format!(
+                    "tape {:?} holds reordered or uncommitted resident state",
+                    self.edge_sig(idx)
+                )
+            })?;
+            if !vals.is_empty() {
+                let sig = self.edge_sig(idx);
+                if tapes.iter().any(|(s, _)| *s == sig) {
+                    return Err(format!("ambiguous resident-tape signature {sig:?}"));
+                }
+                tapes.push((sig, vals));
+            }
+        }
+        Ok(SessionCarrier {
+            states,
+            tapes,
+            sinks: self.sink_ids.len(),
+        })
+    }
+
+    /// Build a session over `programs` primed from `carrier` instead of
+    /// the init schedule: init *functions* run (recomputing deterministic
+    /// init-only state such as coefficient tables), carried stateful
+    /// values overwrite the corresponding filters' state, carried tokens
+    /// preload the corresponding tapes, and the init schedule is skipped
+    /// — its priming is exactly what the carrier holds.
+    ///
+    /// # Errors
+    /// Fails when the carrier does not fit this configuration: a carried
+    /// stateful filter or tape signature missing or ambiguous here, a
+    /// state-shape mismatch, a sink-count mismatch, or an init function
+    /// fault. Template validation makes these unreachable for programs it
+    /// accepted; the error path exists so an unvalidated swap degrades to
+    /// a typed failure instead of silent corruption.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume(
+        graph: Arc<Graph>,
+        schedule: Arc<Schedule>,
+        machine: Arc<Machine>,
+        programs: &CompiledPrograms,
+        plan: FaultPlan,
+        shard: u32,
+        carrier: &SessionCarrier,
+    ) -> Result<SessionEngine, String> {
+        let mut s = SessionEngine::new(graph, schedule, machine, programs, plan, shard);
+        if s.sink_ids.len() != carrier.sinks {
+            return Err(format!(
+                "sink count changed across configurations: {} -> {}",
+                carrier.sinks,
+                s.sink_ids.len()
+            ));
+        }
+        s.run_init_functions();
+        if s.quarantined {
+            return Err("init function faulted while resuming".into());
+        }
+        for (name, vals) in &carrier.states {
+            let mut target = None;
+            for (id, node) in s.graph.nodes() {
+                if let Node::Filter(f) = node {
+                    if f.name == *name {
+                        if target.is_some() {
+                            return Err(format!("ambiguous stateful filter name '{name}'"));
+                        }
+                        target = Some(id);
+                    }
+                }
+            }
+            let id = target
+                .ok_or_else(|| format!("stateful filter '{name}' missing in new configuration"))?;
+            let filter = match s.graph.clone().node(id) {
+                Node::Filter(f) => f.clone(),
+                _ => unreachable!("target is a filter"),
+            };
+            s.states[id.0 as usize]
+                .import_state_vars(&filter, vals)
+                .map_err(|e| format!("state carrier rejected for '{name}': {e}"))?;
+        }
+        for (sig, vals) in &carrier.tapes {
+            let mut target = None;
+            for idx in 0..s.tapes.len() {
+                if s.edge_sig(idx) == *sig {
+                    if target.is_some() {
+                        return Err(format!("ambiguous tape signature {sig:?}"));
+                    }
+                    target = Some(idx);
+                }
+            }
+            let idx = target.ok_or_else(|| format!("tape {sig:?} missing in new configuration"))?;
+            if !s.tapes[idx].import_resident(vals) {
+                return Err(format!("tape {sig:?} refused the carried tokens"));
+            }
+        }
+        s.init_schedule_done = true;
+        Ok(s)
     }
 
     /// Run up to `iters` steady iterations, stopping (after draining the

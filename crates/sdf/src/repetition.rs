@@ -171,13 +171,15 @@ pub fn repetition_vector(graph: &Graph) -> Result<Vec<u64>, RateMatchError> {
             return Err(RateMatchError::Overflow);
         }
     }
-    let mut reps: Vec<u64> = ratio
-        .iter()
-        .map(|r| {
-            let r = r.expect("all nodes visited");
-            r.num * (denom_lcm / r.den)
-        })
-        .collect();
+    let mut reps = Vec::with_capacity(ratio.len());
+    for r in &ratio {
+        let r = r.expect("all nodes visited");
+        let rep = r
+            .num
+            .checked_mul(denom_lcm / r.den)
+            .ok_or(RateMatchError::Overflow)?;
+        reps.push(rep);
+    }
     let mut g = 0u64;
     for &r in &reps {
         g = gcd(g, r);

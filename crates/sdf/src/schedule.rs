@@ -79,15 +79,20 @@ impl Schedule {
     /// Scale the entire repetition vector by `m` (used by the SIMDizer's
     /// Equation-1 adjustment). The init schedule is unaffected: priming
     /// tokens depend only on peek slack, not on steady-state length.
+    /// Saturates at `u64::MAX` instead of wrapping: an adversarial
+    /// multiplier yields a uselessly-huge but *ordered* schedule rather
+    /// than one that silently wrapped to a few firings.
     pub fn scale(&mut self, m: u64) {
         for r in &mut self.reps {
-            *r *= m;
+            *r = r.saturating_mul(m);
         }
     }
 
-    /// Total firings in one steady-state iteration.
+    /// Total firings in one steady-state iteration, saturating at
+    /// `u64::MAX` (adversarial repetition vectors must not wrap to a
+    /// small total and fool cost models or drain bounds).
     pub fn total_firings(&self) -> u64 {
-        self.reps.iter().sum()
+        self.reps.iter().fold(0u64, |acc, &r| acc.saturating_add(r))
     }
 }
 
@@ -217,6 +222,21 @@ mod tests {
         sched.scale(4);
         assert_eq!(sched.reps, vec![4, 4, 4]);
         assert_eq!(sched.init_reps, init);
+    }
+
+    #[test]
+    fn scale_and_total_firings_saturate_instead_of_wrapping() {
+        let (g, _, _, _) = fir_chain(1);
+        let mut sched = Schedule::compute(&g).unwrap();
+        // A multiplier that would wrap: 3 nodes at rep 1 scaled by
+        // u64::MAX must pin at MAX, and the total must also pin rather
+        // than wrapping (MAX + MAX + MAX wraps to MAX - 2 otherwise).
+        sched.scale(u64::MAX);
+        assert_eq!(sched.reps, vec![u64::MAX; 3]);
+        assert_eq!(sched.total_firings(), u64::MAX);
+        // Double-scaling an already-saturated schedule stays pinned.
+        sched.scale(7);
+        assert_eq!(sched.reps, vec![u64::MAX; 3]);
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub struct CompileCache {
     capacity: usize,
     map: HashMap<CacheKey, Entry>,
     tick: u64,
+    submits: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -77,6 +78,7 @@ impl CompileCache {
             capacity: capacity.max(1),
             map: HashMap::new(),
             tick: 0,
+            submits: 0,
             hits: 0,
             misses: 0,
             evictions: 0,
@@ -105,6 +107,7 @@ impl CompileCache {
             mode_tag: mode_tag(mode),
         };
         self.tick += 1;
+        self.submits += 1;
         if let Some(entry) = self.map.get_mut(&key) {
             entry.last_used = self.tick;
             self.hits += 1;
@@ -150,6 +153,7 @@ impl CompileCache {
         CacheStats {
             capacity: self.capacity as u64,
             distinct_graphs: self.distinct.len() as u64,
+            submits: self.submits,
             compilations: self.compilations,
             hits: self.hits,
             misses: self.misses,

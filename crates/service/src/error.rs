@@ -23,6 +23,13 @@ pub enum ServiceError {
     ShuttingDown,
     /// The SIMDization driver rejected the submitted graph.
     Simdize(SimdizeError),
+    /// A dynamic-rate call failed in the parameter layer: a valuation
+    /// outside the template's domain, a builder failure, or an
+    /// out-of-order boundary.
+    Param(String),
+    /// `set_param` was called on a session admitted via `submit`, which
+    /// has no parameters.
+    NotDynamic(u64),
 }
 
 impl fmt::Display for ServiceError {
@@ -33,6 +40,10 @@ impl fmt::Display for ServiceError {
             ServiceError::Closed(id) => write!(f, "session {id} is closed"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::Simdize(e) => write!(f, "graph rejected: {e}"),
+            ServiceError::Param(why) => write!(f, "parameter error: {why}"),
+            ServiceError::NotDynamic(id) => {
+                write!(f, "session {id} is not a dynamic-rate session")
+            }
         }
     }
 }

@@ -5,7 +5,7 @@
 //! one worker pool, and — when their graphs are structurally equivalent
 //! — one compiled artifact.
 //!
-//! Three pillars:
+//! Four pillars:
 //!
 //! 1. **Compile-once cache** ([`cache::CompileCache`]): submissions are
 //!    keyed by the structural hash of their graph
@@ -26,8 +26,16 @@
 //!    defers a tenant's slices until it polls. Saturation returns the
 //!    typed [`error::ServiceError::Overloaded`], never a panic or a
 //!    hang; `shutdown` drains everything admitted and emits the
-//!    `SERVICE_<name>.json` report (`macross-service-v1`, validated by
+//!    `SERVICE_<name>.json` report (`macross-service-v2`, validated by
 //!    `validate_report`).
+//! 4. **Dynamic-rate sessions**: `submit_dynamic` admits a
+//!    [`macross_pdf::ParamGraph`] — a graph template over a declared
+//!    parameter domain — and `set_param` re-configures it at the steady
+//!    iteration boundary after everything fed so far: re-solve, re-derive,
+//!    re-SIMDize, swap at the quiescent point with bit-exact carryover.
+//!    Compiled configurations are memoized in a shared
+//!    [`macross_pdf::ScheduleCache`] layered on the compile-once cache,
+//!    so revisiting a valuation never recompiles.
 
 pub mod cache;
 pub mod error;
@@ -42,13 +50,16 @@ pub use tenant::{CloseReport, PollResult, TenantState};
 #[cfg(test)]
 mod tests {
     use super::*;
+    use macross_pdf::ParamGraph;
     use macross_runtime::FaultPlan;
     use macross_streamir::builder::StreamSpec;
     use macross_streamir::edsl::*;
     use macross_streamir::graph::Graph;
-    use macross_streamir::types::ScalarTy;
+    use macross_streamir::types::{ScalarTy, Ty, Value};
+    use macross_streamir::{ParamDomain, RateExpr, Valuation};
     use macross_telemetry::service as svc_schema;
     use macross_vm::Machine;
+    use std::sync::Arc;
 
     fn counter_pipeline(mul: i32) -> Graph {
         let mut src = FilterBuilder::new("src", 0, 0, 1, ScalarTy::I32);
@@ -60,6 +71,151 @@ mod tests {
         StreamSpec::pipeline(vec![src.build_spec(), StreamSpec::Sink])
             .build()
             .unwrap()
+    }
+
+    /// src (stateful counter) -> down(decim) -> sink; `decim` is the
+    /// runtime parameter.
+    fn decim_template() -> Arc<ParamGraph> {
+        let domain = ParamDomain::new().with("decim", 1, 3);
+        Arc::new(ParamGraph::new("decim_chain", domain, |val| {
+            let decim = RateExpr::param("decim")
+                .eval(val)
+                .map_err(|e| e.to_string())?;
+            let mut src = FilterBuilder::new("src", 0, 0, 1, ScalarTy::I32);
+            let n = src.state("n", Ty::Scalar(ScalarTy::I32));
+            src.work(|b| {
+                b.push(v(n));
+                b.set(n, v(n) + 1i32);
+            });
+            let mut down = FilterBuilder::new("down", decim, decim, 1, ScalarTy::I32);
+            let x = down.local("x", Ty::Scalar(ScalarTy::I32));
+            let j = down.local("j", Ty::Scalar(ScalarTy::I32));
+            let i = down.local("i", Ty::Scalar(ScalarTy::I32));
+            down.work(move |b| {
+                b.set(x, pop());
+                b.for_(i, (decim - 1) as i32, |b| {
+                    b.set(j, pop());
+                });
+                b.push(v(x));
+            });
+            StreamSpec::pipeline(vec![src.build_spec(), down.build_spec(), StreamSpec::Sink])
+                .build()
+                .map_err(|e| e.to_string())
+        }))
+    }
+
+    fn flat_i32(rows: Vec<Vec<Value>>) -> Vec<i32> {
+        rows.into_iter()
+            .flatten()
+            .map(|v| match v {
+                Value::I32(x) => x,
+                other => panic!("unexpected value {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dynamic_session_reconfigures_in_stream_order() {
+        let service = StreamService::new(
+            Machine::core_i7(),
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let template = decim_template();
+        let id = service
+            .submit_dynamic(
+                "dyn",
+                &template,
+                &Valuation::of("decim", 1),
+                FaultPlan::none(),
+            )
+            .unwrap();
+        service.feed(id, 4).unwrap();
+        // Lands after the 4 iterations already fed, regardless of how
+        // far the shard has actually run.
+        service.set_param(id, "decim", 2).unwrap();
+        service.feed(id, 4).unwrap();
+        let report = service.close(id).unwrap();
+        assert!(!report.faulted, "failures: {:?}", report.failures);
+        assert_eq!(report.iters_done, 8);
+        // One SIMDized steady iteration fires the source 4 times (the
+        // vector width), so 4 iterations at decim=1 pass the counter
+        // through as 0..16; decim=2 then keeps the first of each pair.
+        // Bit-exact carryover: the counter continues at 16, not at 0.
+        let mut expect: Vec<i32> = (0..16).collect();
+        expect.extend((16..48).step_by(2));
+        assert_eq!(flat_i32(report.outputs), expect);
+        let sr = service.shutdown("dyn");
+        // Initial install + one swap, both distinct configurations.
+        assert_eq!(sr.scache.reconfigurations, 2);
+        assert_eq!(sr.scache.misses, 2);
+        assert_eq!(sr.scache.distinct_valuations, 2);
+        svc_schema::validate_str(&sr.json_string()).unwrap();
+    }
+
+    #[test]
+    fn set_param_on_static_session_is_typed_error() {
+        let service = StreamService::new(Machine::core_i7(), ServiceConfig::default());
+        let id = service
+            .submit("static", &counter_pipeline(1), FaultPlan::none())
+            .unwrap();
+        let err = service.set_param(id, "decim", 2).unwrap_err();
+        assert!(matches!(err, ServiceError::NotDynamic(_)), "got {err}");
+        // Outside the domain: typed parameter error, session unharmed.
+        let template = decim_template();
+        let did = service
+            .submit_dynamic(
+                "dyn",
+                &template,
+                &Valuation::of("decim", 1),
+                FaultPlan::none(),
+            )
+            .unwrap();
+        let err = service.set_param(did, "decim", 9).unwrap_err();
+        assert!(matches!(err, ServiceError::Param(_)), "got {err}");
+        service.feed(did, 2).unwrap();
+        let report = service.close(did).unwrap();
+        assert!(!report.faulted);
+        assert_eq!(report.iters_done, 2);
+        service.close(id).unwrap();
+        let sr = service.shutdown("typed");
+        svc_schema::validate_str(&sr.json_string()).unwrap();
+    }
+
+    #[test]
+    fn revisited_valuations_hit_the_schedule_cache() {
+        let service = StreamService::new(
+            Machine::core_i7(),
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let template = decim_template();
+        let id = service
+            .submit_dynamic(
+                "pingpong",
+                &template,
+                &Valuation::of("decim", 1),
+                FaultPlan::none(),
+            )
+            .unwrap();
+        // 1 -> 2 -> 1 -> 2: four installs, two distinct configurations.
+        for (value, iters) in [(2u64, 4u64), (1, 4), (2, 4)] {
+            service.feed(id, iters).unwrap();
+            service.set_param(id, "decim", value).unwrap();
+        }
+        service.feed(id, 4).unwrap();
+        let report = service.close(id).unwrap();
+        assert!(!report.faulted, "failures: {:?}", report.failures);
+        let sr = service.shutdown("pingpong");
+        assert_eq!(sr.scache.reconfigurations, 4);
+        assert_eq!(sr.scache.misses, 2, "repeat valuations must not recompile");
+        assert_eq!(sr.scache.hits, 2);
+        assert_eq!(sr.scache.distinct_valuations, 2);
+        svc_schema::validate_str(&sr.json_string()).unwrap();
     }
 
     #[test]

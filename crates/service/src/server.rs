@@ -3,15 +3,17 @@
 //!
 //! ## Threading and lock order
 //!
-//! Three locks exist: the service **state** (session table, run queues,
-//! counters), the **cache**, and one mutex **per tenant** (its engine and
-//! buffers). The global order is *state → tenant*; the cache lock is
-//! never held together with either. Shard threads never hold two locks
-//! at once: they pop a session id under the state lock, run the slice
-//! under that tenant's lock alone, then re-acquire the state lock to
-//! requeue. Control-plane calls (`feed`, `poll`) may take a tenant lock
-//! while holding the state lock, which cannot deadlock against the
-//! shards' one-at-a-time discipline.
+//! Four locks exist: the service **state** (session table, run queues,
+//! counters), the compile-once **cache**, the per-configuration
+//! **schedule cache**, and one mutex **per tenant** (its engine and
+//! buffers). The global order is *state → tenant → schedule cache →
+//! compile cache*. Shard threads pop a session id under the state lock,
+//! run the slice under that tenant's lock (a dynamic tenant swapping
+//! configurations mid-slice takes the two cache locks in order), then
+//! re-acquire the state lock to requeue. Control-plane calls (`feed`,
+//! `poll`, `set_param`) may take a tenant lock while holding the state
+//! lock; `submit`/`submit_dynamic` compile under the cache locks alone,
+//! never while holding the state lock.
 //!
 //! ## Placement
 //!
@@ -37,9 +39,13 @@ use crate::cache::CompileCache;
 use crate::error::ServiceError;
 use crate::tenant::{CloseReport, PollResult, Tenant, TenantState};
 use macross::SimdizeOptions;
+use macross_pdf::{CompileFn, DynamicSession, ParamGraph, ScheduleCache};
 use macross_runtime::{FaultPlan, SessionEngine};
 use macross_streamir::graph::Graph;
-use macross_telemetry::service::{AdmissionStats, CacheStats, ServiceReport, TenantRow};
+use macross_streamir::Valuation;
+use macross_telemetry::service::{
+    AdmissionStats, CacheStats, ScheduleCacheStats, ServiceReport, TenantRow,
+};
 use macross_telemetry::{EventKind, TraceSession, WorkerTrace};
 use macross_vm::{ExecMode, Machine};
 use std::collections::{HashMap, VecDeque};
@@ -61,6 +67,9 @@ pub struct ServiceConfig {
     pub output_bound: usize,
     /// Compile-once cache bound, in artifacts.
     pub cache_capacity: usize,
+    /// Schedule-cache bound, in compiled configurations (dynamic-rate
+    /// sessions).
+    pub scache_capacity: usize,
     /// Steady iterations per shard work slice (fairness quantum).
     pub batch_iters: u64,
     /// Engine mode sessions compile for.
@@ -77,6 +86,7 @@ impl Default for ServiceConfig {
             queue_bound: 256,
             output_bound: 1 << 16,
             cache_capacity: 32,
+            scache_capacity: 32,
             batch_iters: 4,
             mode: ExecMode::default(),
             opts: SimdizeOptions::all(),
@@ -130,7 +140,11 @@ struct Inner {
     state: Mutex<State>,
     work_cv: Condvar,
     done_cv: Condvar,
-    cache: Mutex<CompileCache>,
+    /// `Arc`d (not just a field) so dynamic sessions' compile callbacks
+    /// can capture the cache alone, without a cycle through `Inner`.
+    cache: Arc<Mutex<CompileCache>>,
+    /// Per-configuration cache shared by every dynamic session.
+    scache: Arc<Mutex<ScheduleCache>>,
     machine: Arc<Machine>,
     config: ServiceConfig,
     /// Control-plane recorder (admission and cache events).
@@ -172,7 +186,8 @@ impl StreamService {
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
-            cache: Mutex::new(CompileCache::new(config.cache_capacity)),
+            cache: Arc::new(Mutex::new(CompileCache::new(config.cache_capacity))),
+            scache: Arc::new(Mutex::new(ScheduleCache::new(config.scache_capacity))),
             machine: Arc::new(machine),
             config: ServiceConfig { workers, ..config },
             ctl: trace.worker(workers),
@@ -302,6 +317,183 @@ impl StreamService {
         Ok(id)
     }
 
+    /// A [`CompileFn`] routing schedule-cache misses through the
+    /// compile-once cache, so two templates instantiating structurally
+    /// identical configurations share one artifact.
+    fn compile_fn(&self) -> CompileFn {
+        let cache = self.inner.cache.clone();
+        Arc::new(move |g, machine, opts, mode| {
+            cache
+                .lock()
+                .unwrap()
+                .get_or_compile(g, machine, opts, mode)
+                .map(|(art, _)| art)
+        })
+    }
+
+    /// Admit a *dynamic-rate* session: instantiate `template` at `init`,
+    /// compile (or fetch) that configuration through the schedule cache,
+    /// and pin the session to the least-loaded shard. Later
+    /// [`StreamService::set_param`] calls re-configure it at quiescent
+    /// points.
+    ///
+    /// # Errors
+    /// [`ServiceError::Param`] when `init` is outside the template's
+    /// domain or the builder fails, plus everything
+    /// [`StreamService::submit`] returns.
+    pub fn submit_dynamic(
+        &self,
+        name: &str,
+        template: &Arc<ParamGraph>,
+        init: &Valuation,
+        plan: FaultPlan,
+    ) -> Result<u64, ServiceError> {
+        let inner = &self.inner;
+        {
+            let mut st = inner.state.lock().unwrap();
+            st.admission.submitted += 1;
+            if st.shutting_down {
+                st.admission.rejected_sessions += 1;
+                return Err(ServiceError::ShuttingDown);
+            }
+            if st.sessions.len() >= inner.config.session_cap {
+                st.admission.rejected_sessions += 1;
+                inner.ctl.record(
+                    EventKind::SessionRejected,
+                    st.next_id as u32,
+                    st.sessions.len() as u64,
+                );
+                return Err(ServiceError::Overloaded {
+                    reason: format!("session cap {} reached", inner.config.session_cap),
+                });
+            }
+        }
+        let graph = match template.instantiate(init) {
+            Ok(g) => g,
+            Err(e) => {
+                let mut st = inner.state.lock().unwrap();
+                st.admission.rejected_sessions += 1;
+                return Err(ServiceError::Param(e.to_string()));
+            }
+        };
+        // Install the initial configuration outside the state lock, same
+        // discipline as `submit`: schedule-cache lock first, compile-once
+        // cache inside the callback (the global lock order).
+        let compile = self.compile_fn();
+        let compiled = {
+            let mut sc = inner.scache.lock().unwrap();
+            let cb = &compile;
+            sc.get_or_compile(
+                &graph,
+                init,
+                &inner.machine,
+                &inner.config.opts,
+                inner.config.mode,
+                |g| cb(g, &inner.machine, &inner.config.opts, inner.config.mode),
+            )
+        };
+        let (art, hit) = match compiled {
+            Ok(pair) => pair,
+            Err(e) => {
+                let mut st = inner.state.lock().unwrap();
+                st.admission.rejected_sessions += 1;
+                return Err(ServiceError::Simdize(e));
+            }
+        };
+        let mut st = inner.state.lock().unwrap();
+        if st.sessions.len() >= inner.config.session_cap {
+            st.admission.rejected_sessions += 1;
+            return Err(ServiceError::Overloaded {
+                reason: format!("session cap {} reached", inner.config.session_cap),
+            });
+        }
+        let shard = st
+            .shard_load
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, load)| **load)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let session = DynamicSession::with_artifact(
+            template.clone(),
+            init,
+            art.clone(),
+            hit,
+            inner.machine.clone(),
+            inner.config.opts,
+            inner.config.mode,
+            inner.scache.clone(),
+            compile,
+            plan,
+            shard as u32,
+        );
+        let id = st.next_id;
+        st.next_id += 1;
+        st.shard_load[shard] += art.steady_cost.max(1);
+        st.admission.admitted += 1;
+        st.sessions.insert(
+            id,
+            SessionEntry {
+                slot: Arc::new(Mutex::new(Tenant::new_dynamic(session))),
+                shard,
+                benchmark: name.to_string(),
+                graph_hash: art.source_hash.to_hex(),
+                cache_hit: hit,
+                steady_cost: art.steady_cost.max(1),
+                queued: false,
+                running: false,
+                deferred: false,
+                draining: false,
+                faulted: false,
+                pending_hint: 0,
+            },
+        );
+        let kind = if hit {
+            EventKind::CacheHit
+        } else {
+            EventKind::CacheMiss
+        };
+        inner.ctl.record(kind, id as u32, art.steady_cost);
+        inner
+            .ctl
+            .record(EventKind::SessionAdmitted, id as u32, shard as u64);
+        Ok(id)
+    }
+
+    /// Schedule a parameter change on a dynamic session. The change
+    /// lands at the steady-iteration boundary after everything fed so
+    /// far — stream order — and the configuration swap itself runs on
+    /// the session's shard at that quiescent point. A boundary with no
+    /// subsequent `feed` stays pending and is abandoned at close.
+    ///
+    /// # Errors
+    /// [`ServiceError::NotDynamic`] for sessions admitted via `submit`,
+    /// [`ServiceError::Param`] for valuations outside the domain, plus
+    /// the usual unknown/shutdown errors.
+    pub fn set_param(&self, id: u64, name: &str, value: u64) -> Result<(), ServiceError> {
+        let inner = &self.inner;
+        let st = inner.state.lock().unwrap();
+        if st.shutting_down {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let entry = st
+            .sessions
+            .get(&id)
+            .ok_or(ServiceError::UnknownSession(id))?;
+        let slot = entry.slot.clone();
+        let mut tenant = slot.lock().unwrap();
+        let at = tenant.requested;
+        let Some(session) = tenant.engine.dynamic_mut() else {
+            return Err(ServiceError::NotDynamic(id));
+        };
+        session
+            .set_param_at(at, name, value)
+            .map_err(|e| ServiceError::Param(e.to_string()))?;
+        drop(tenant);
+        inner.ctl.record(EventKind::SetParam, id as u32, value);
+        Ok(())
+    }
+
     /// Queue `iters` steady iterations for the session.
     ///
     /// # Errors
@@ -419,12 +611,7 @@ impl StreamService {
             iters_done: tenant.engine.iters_done(),
             firings: tenant.engine.firings(),
             faulted,
-            failures: tenant
-                .engine
-                .failures()
-                .iter()
-                .map(|f| f.to_string())
-                .collect(),
+            failures: tenant.engine.failures_rendered(),
         };
         let state = if faulted {
             TenantState::Faulted
@@ -461,6 +648,11 @@ impl StreamService {
     /// Compile-once cache counters so far.
     pub fn cache_stats(&self) -> CacheStats {
         self.inner.cache.lock().unwrap().stats()
+    }
+
+    /// Schedule-cache counters so far (dynamic-rate sessions).
+    pub fn schedule_cache_stats(&self) -> ScheduleCacheStats {
+        self.inner.scache.lock().unwrap().stats()
     }
 
     /// Drain every remaining session, stop the shards, and assemble the
@@ -506,6 +698,7 @@ impl StreamService {
         report.workers = self.inner.config.workers as u64;
         report.session_cap = self.inner.config.session_cap as u64;
         report.cache = self.inner.cache.lock().unwrap().stats();
+        report.scache = self.inner.scache.lock().unwrap().stats();
         report.admission = st.admission;
         report.tenants = std::mem::take(&mut st.retired);
         let mut remaining: Vec<_> = st.sessions.drain().collect();
@@ -561,7 +754,7 @@ fn tenant_row(id: u64, entry: &SessionEntry, tenant: &Tenant, state: TenantState
         firings: tenant.engine.firings(),
         outputs: tenant.delivered,
         stalls: tenant.stalls,
-        faults: tenant.engine.failures().len() as u64,
+        faults: tenant.engine.failure_count(),
     }
 }
 
@@ -599,12 +792,17 @@ fn shard_loop(inner: &Inner, shard: usize, trace: &WorkerTrace) {
             tenant.engine.set_trace(trace.clone());
             tenant.run_slice(inner.config.batch_iters, inner.config.output_bound, drain)
         };
-        // Publish the outcome and requeue if there is more to do.
+        // Publish the outcome and requeue if there is more to do. The
+        // pending count is re-read under state -> tenant: a `feed` that
+        // landed between the slice ending and this publish saw
+        // `running == true` and skipped its own enqueue, counting on
+        // this publish to requeue — `outcome.pending` is stale then.
         let mut st = inner.state.lock().unwrap();
+        let fresh_pending = slot.lock().unwrap().pending;
         let st_ref = &mut *st;
         if let Some(entry) = st_ref.sessions.get_mut(&id) {
             entry.running = false;
-            entry.pending_hint = outcome.pending;
+            entry.pending_hint = fresh_pending;
             if outcome.faulted && !entry.faulted {
                 entry.faulted = true;
                 trace.record(EventKind::SessionQuarantined, id as u32, 0);
@@ -627,7 +825,7 @@ fn shard_loop(inner: &Inner, shard: usize, trace: &WorkerTrace) {
                     entry.deferred = true;
                     st_ref.admission.backpressure_stalls += 1;
                 }
-            } else if outcome.pending > 0 && !entry.queued && !entry.faulted {
+            } else if fresh_pending > 0 && !entry.queued && !entry.faulted {
                 entry.queued = true;
                 st_ref.queues[entry.shard].push_back(id);
                 inner.work_cv.notify_all();

@@ -1,10 +1,13 @@
-//! Per-session state: one admitted tenant = one [`SessionEngine`] over
-//! the shared compiled artifact, plus the bounded queues admission
-//! control meters — pending steady iterations on the way in, buffered
-//! sink values on the way out.
+//! Per-session state: one admitted tenant = one engine over the shared
+//! compiled artifact — a plain [`SessionEngine`] for static sessions, a
+//! [`DynamicSession`] for parameterized ones — plus the bounded queues
+//! admission control meters: pending steady iterations on the way in,
+//! buffered sink values on the way out.
 
+use macross_pdf::DynamicSession;
 use macross_runtime::{SessionEngine, SessionStatus};
 use macross_streamir::types::Value;
+use macross_telemetry::WorkerTrace;
 
 /// Lifecycle of an admitted session, reported in `SERVICE_*.json`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,14 +69,95 @@ pub(crate) struct SliceOutcome {
     pub deferred: bool,
     /// The session is quarantined (now or previously).
     pub faulted: bool,
-    /// Pending iterations remaining after the slice.
-    pub pending: u64,
+}
+
+/// The execution half of a tenant: either a fixed-configuration
+/// [`SessionEngine`] or a [`DynamicSession`] whose configuration swaps
+/// at parameter boundaries. The slice loop treats both identically —
+/// the dynamic variant simply splits its slices at scheduled boundaries
+/// internally.
+pub(crate) enum TenantEngine {
+    Static(Box<SessionEngine>),
+    Dynamic(Box<DynamicSession>),
+}
+
+impl TenantEngine {
+    pub fn sink_count(&self) -> usize {
+        match self {
+            TenantEngine::Static(e) => e.sink_ids().len(),
+            TenantEngine::Dynamic(d) => d.sink_count(),
+        }
+    }
+
+    pub fn run_steady(&mut self, iters: u64) -> SessionStatus {
+        match self {
+            TenantEngine::Static(e) => e.run_steady(iters),
+            TenantEngine::Dynamic(d) => d.run_steady(iters),
+        }
+    }
+
+    pub fn take_outputs(&mut self) -> Vec<Vec<Value>> {
+        match self {
+            TenantEngine::Static(e) => e.take_outputs(),
+            TenantEngine::Dynamic(d) => d.take_outputs(),
+        }
+    }
+
+    pub fn iters_done(&self) -> u64 {
+        match self {
+            TenantEngine::Static(e) => e.iters_done(),
+            TenantEngine::Dynamic(d) => d.iters_done(),
+        }
+    }
+
+    pub fn firings(&self) -> u64 {
+        match self {
+            TenantEngine::Static(e) => e.firings(),
+            TenantEngine::Dynamic(d) => d.firings(),
+        }
+    }
+
+    pub fn is_faulted(&self) -> bool {
+        match self {
+            TenantEngine::Static(e) => e.is_faulted(),
+            TenantEngine::Dynamic(d) => d.is_faulted(),
+        }
+    }
+
+    pub fn failure_count(&self) -> u64 {
+        match self {
+            TenantEngine::Static(e) => e.failures().len() as u64,
+            TenantEngine::Dynamic(d) => d.failures_rendered().len() as u64,
+        }
+    }
+
+    pub fn failures_rendered(&self) -> Vec<String> {
+        match self {
+            TenantEngine::Static(e) => e.failures().iter().map(|f| f.to_string()).collect(),
+            TenantEngine::Dynamic(d) => d.failures_rendered(),
+        }
+    }
+
+    pub fn set_trace(&mut self, trace: WorkerTrace) {
+        match self {
+            TenantEngine::Static(e) => e.set_trace(trace),
+            TenantEngine::Dynamic(d) => d.set_trace(trace),
+        }
+    }
+
+    /// The dynamic session, for `set_param`; `None` for static tenants.
+    pub fn dynamic_mut(&mut self) -> Option<&mut DynamicSession> {
+        match self {
+            TenantEngine::Static(_) => None,
+            TenantEngine::Dynamic(d) => Some(d),
+        }
+    }
 }
 
 /// The engine-side of a session; lives behind its own mutex so one
 /// tenant's slice never blocks another tenant's `feed`/`poll`.
 pub(crate) struct Tenant {
-    pub engine: SessionEngine,
+    pub engine: TenantEngine,
     /// Steady iterations requested but not yet run.
     pub pending: u64,
     /// Lifetime total of requested iterations.
@@ -90,7 +174,15 @@ pub(crate) struct Tenant {
 
 impl Tenant {
     pub fn new(engine: SessionEngine) -> Tenant {
-        let sinks = engine.sink_ids().len();
+        Tenant::with_engine(TenantEngine::Static(Box::new(engine)))
+    }
+
+    pub fn new_dynamic(session: DynamicSession) -> Tenant {
+        Tenant::with_engine(TenantEngine::Dynamic(Box::new(session)))
+    }
+
+    fn with_engine(engine: TenantEngine) -> Tenant {
+        let sinks = engine.sink_count();
         Tenant {
             engine,
             pending: 0,
@@ -119,7 +211,6 @@ impl Tenant {
             return SliceOutcome {
                 deferred: false,
                 faulted: true,
-                pending: 0,
             };
         }
         if !ignore_bound && self.buffered >= bound {
@@ -127,7 +218,6 @@ impl Tenant {
             return SliceOutcome {
                 deferred: true,
                 faulted: false,
-                pending: self.pending,
             };
         }
         let take = self.pending.min(batch);
@@ -141,7 +231,6 @@ impl Tenant {
         SliceOutcome {
             deferred: false,
             faulted: status == SessionStatus::Faulted,
-            pending: self.pending,
         }
     }
 

@@ -51,6 +51,7 @@ pub mod edsl;
 pub mod expr;
 pub mod filter;
 pub mod graph;
+pub mod param;
 pub mod shash;
 pub mod stmt;
 pub mod types;
@@ -60,6 +61,7 @@ pub use filter::{Filter, LocalChan, VarDecl, VarKind};
 pub use graph::{
     AddrGen, Edge, EdgeId, Graph, GraphError, Node, NodeId, Reorder, ReorderSide, SplitKind,
 };
+pub use param::{ParamDomain, ParamError, ParamRange, RateExpr, Valuation};
 pub use shash::{structural_hash, GraphHash};
 pub use stmt::Stmt;
 pub use types::{ScalarTy, Ty, Value};

@@ -1,0 +1,453 @@
+//! Parameterized rates: rate expressions over named runtime parameters,
+//! the domains those parameters range over, and concrete valuations.
+//!
+//! MacroSS proper is static SDF — every `peek/pop/push` is a frozen
+//! `usize`. The parameterized-dataflow extension (`crates/pdf`) lets a
+//! program declare rates as [`RateExpr`]s over named parameters
+//! (`Param("decim")`), each constrained by a [`ParamDomain`]. A concrete
+//! [`Valuation`] resolves every expression to a plain `usize`, producing
+//! an ordinary static graph that the whole existing pipeline (balance
+//! equations, SIMDization, bytecode) runs unchanged. These types are the
+//! declarative vocabulary; instantiation lives in `macross-pdf`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A rate expression: a small arithmetic language over non-negative
+/// integers and named runtime parameters. Kept deliberately tiny —
+/// products and sums of parameters cover decimation factors, frame
+/// sizes, and blocked transfers without opening the door to rates the
+/// balance solver cannot reason about.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RateExpr {
+    /// A fixed rate, exactly as in static SDF.
+    Const(u64),
+    /// The current value of a named runtime parameter.
+    Param(String),
+    /// Product of two rate expressions.
+    Mul(Box<RateExpr>, Box<RateExpr>),
+    /// Sum of two rate expressions.
+    Add(Box<RateExpr>, Box<RateExpr>),
+}
+
+impl RateExpr {
+    /// Shorthand for `Param(name.into())`.
+    pub fn param(name: impl Into<String>) -> RateExpr {
+        RateExpr::Param(name.into())
+    }
+
+    /// Resolve the expression under `v`.
+    ///
+    /// # Errors
+    /// [`ParamError::Unbound`] when a referenced parameter has no value,
+    /// [`ParamError::Overflow`] when the arithmetic exceeds `u64` or the
+    /// result exceeds `usize` on the host.
+    pub fn eval(&self, v: &Valuation) -> Result<usize, ParamError> {
+        let raw = self.eval_u64(v)?;
+        usize::try_from(raw).map_err(|_| ParamError::Overflow)
+    }
+
+    fn eval_u64(&self, v: &Valuation) -> Result<u64, ParamError> {
+        match self {
+            RateExpr::Const(c) => Ok(*c),
+            RateExpr::Param(name) => v.get(name).ok_or_else(|| ParamError::Unbound(name.clone())),
+            RateExpr::Mul(a, b) => a
+                .eval_u64(v)?
+                .checked_mul(b.eval_u64(v)?)
+                .ok_or(ParamError::Overflow),
+            RateExpr::Add(a, b) => a
+                .eval_u64(v)?
+                .checked_add(b.eval_u64(v)?)
+                .ok_or(ParamError::Overflow),
+        }
+    }
+
+    /// Collect the names of every parameter the expression mentions.
+    pub fn collect_params(&self, out: &mut BTreeSet<String>) {
+        match self {
+            RateExpr::Const(_) => {}
+            RateExpr::Param(name) => {
+                out.insert(name.clone());
+            }
+            RateExpr::Mul(a, b) | RateExpr::Add(a, b) => {
+                a.collect_params(out);
+                b.collect_params(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for RateExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RateExpr::Const(c) => write!(f, "{c}"),
+            RateExpr::Param(name) => write!(f, "${name}"),
+            RateExpr::Mul(a, b) => write!(f, "({a} * {b})"),
+            RateExpr::Add(a, b) => write!(f, "({a} + {b})"),
+        }
+    }
+}
+
+impl From<u64> for RateExpr {
+    fn from(c: u64) -> RateExpr {
+        RateExpr::Const(c)
+    }
+}
+
+/// The inclusive legal range of one parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamRange {
+    /// Smallest legal value.
+    pub lo: u64,
+    /// Largest legal value (inclusive).
+    pub hi: u64,
+}
+
+impl ParamRange {
+    /// True when `value` lies in `[lo, hi]`.
+    pub fn contains(&self, value: u64) -> bool {
+        self.lo <= value && value <= self.hi
+    }
+
+    /// Number of legal values.
+    pub fn len(&self) -> u64 {
+        self.hi - self.lo + 1
+    }
+
+    /// Always false: a well-formed range holds at least one value.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// The declared domain of a parameterized program: every parameter the
+/// rate expressions may reference, with its inclusive legal range.
+/// Deterministically ordered (BTreeMap) so sweeps and canonical forms
+/// are reproducible.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParamDomain {
+    ranges: BTreeMap<String, ParamRange>,
+}
+
+impl ParamDomain {
+    /// An empty domain (a static program).
+    pub fn new() -> ParamDomain {
+        ParamDomain::default()
+    }
+
+    /// Declare `name` with inclusive range `[lo, hi]`, builder-style.
+    ///
+    /// # Panics
+    /// When `lo > hi` — an empty range can never be valuated.
+    pub fn with(mut self, name: impl Into<String>, lo: u64, hi: u64) -> ParamDomain {
+        assert!(lo <= hi, "empty parameter range [{lo}, {hi}]");
+        self.ranges.insert(name.into(), ParamRange { lo, hi });
+        self
+    }
+
+    /// The declared range of `name`, if any.
+    pub fn range(&self, name: &str) -> Option<ParamRange> {
+        self.ranges.get(name).copied()
+    }
+
+    /// Iterate declared `(name, range)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, ParamRange)> {
+        self.ranges.iter().map(|(n, r)| (n.as_str(), *r))
+    }
+
+    /// Declared parameter names in deterministic order.
+    pub fn names(&self) -> Vec<&str> {
+        self.ranges.keys().map(String::as_str).collect()
+    }
+
+    /// Number of declared parameters.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True when no parameters are declared.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Check a valuation against the domain: every declared parameter
+    /// bound, every bound value in range, no undeclared bindings.
+    ///
+    /// # Errors
+    /// [`ParamError::Unbound`], [`ParamError::Undeclared`], or
+    /// [`ParamError::OutOfDomain`] accordingly.
+    pub fn check(&self, v: &Valuation) -> Result<(), ParamError> {
+        for (name, range) in &self.ranges {
+            match v.get(name) {
+                None => return Err(ParamError::Unbound(name.clone())),
+                Some(val) if !range.contains(val) => {
+                    return Err(ParamError::OutOfDomain {
+                        name: name.clone(),
+                        value: val,
+                        lo: range.lo,
+                        hi: range.hi,
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        for name in v.names() {
+            if !self.ranges.contains_key(name) {
+                return Err(ParamError::Undeclared(name.to_string()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of valuations in the full sweep, or `None` on
+    /// overflow (astronomically large domains).
+    pub fn cardinality(&self) -> Option<u64> {
+        self.ranges
+            .values()
+            .try_fold(1u64, |acc, r| acc.checked_mul(r.len()))
+    }
+
+    /// Every valuation of the domain (cartesian product, name-major in
+    /// deterministic name order). Intended for validation sweeps and
+    /// property tests over modestly-sized domains.
+    ///
+    /// # Panics
+    /// When the sweep would exceed 1<<20 valuations — sweeping such a
+    /// domain is a programming error, not a runtime condition.
+    pub fn valuations(&self) -> Vec<Valuation> {
+        let card = self
+            .cardinality()
+            .filter(|&c| c <= 1 << 20)
+            .expect("parameter domain too large to sweep");
+        let mut out = Vec::with_capacity(card as usize);
+        let names: Vec<&String> = self.ranges.keys().collect();
+        let mut cursor: Vec<u64> = self.ranges.values().map(|r| r.lo).collect();
+        loop {
+            let mut v = Valuation::new();
+            for (name, val) in names.iter().zip(&cursor) {
+                v.bind(name.as_str(), *val);
+            }
+            out.push(v);
+            // Odometer increment, last name fastest.
+            let mut i = cursor.len();
+            loop {
+                if i == 0 {
+                    return out;
+                }
+                i -= 1;
+                let range = self.ranges[names[i]];
+                if cursor[i] < range.hi {
+                    cursor[i] += 1;
+                    break;
+                }
+                cursor[i] = range.lo;
+            }
+        }
+    }
+
+    /// The canonical valuation: every parameter at its lower bound.
+    /// Used as the representative instantiation for template hashing.
+    pub fn canonical(&self) -> Valuation {
+        let mut v = Valuation::new();
+        for (name, range) in &self.ranges {
+            v.bind(name.as_str(), range.lo);
+        }
+        v
+    }
+}
+
+/// A concrete assignment of values to parameters. Deterministically
+/// ordered so its canonical string form is unique per assignment —
+/// that string is the valuation's cache-key component.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Valuation {
+    vals: BTreeMap<String, u64>,
+}
+
+impl Valuation {
+    /// The empty valuation.
+    pub fn new() -> Valuation {
+        Valuation::default()
+    }
+
+    /// A single-binding valuation.
+    pub fn of(name: impl Into<String>, value: u64) -> Valuation {
+        let mut v = Valuation::new();
+        v.bind(name, value);
+        v
+    }
+
+    /// Bind (or rebind) `name` to `value`.
+    pub fn bind(&mut self, name: impl Into<String>, value: u64) -> &mut Valuation {
+        self.vals.insert(name.into(), value);
+        self
+    }
+
+    /// Builder-style [`bind`](Valuation::bind).
+    pub fn with(mut self, name: impl Into<String>, value: u64) -> Valuation {
+        self.bind(name, value);
+        self
+    }
+
+    /// The bound value of `name`, if any.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.vals.get(name).copied()
+    }
+
+    /// Bound names in deterministic order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.vals.keys().map(String::as_str)
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True when nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Canonical form: `name=value` pairs in name order joined by `,`
+    /// (empty string for the empty valuation). Unique per assignment,
+    /// so it doubles as the valuation's component of a cache key.
+    pub fn canon(&self) -> String {
+        let mut s = String::new();
+        for (i, (name, val)) in self.vals.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(name);
+            s.push('=');
+            s.push_str(&val.to_string());
+        }
+        s
+    }
+}
+
+impl fmt::Display for Valuation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.canon())
+    }
+}
+
+/// Errors from evaluating or checking parameterized rates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamError {
+    /// A rate expression referenced a parameter the valuation does not
+    /// bind (or the domain declares a parameter the valuation omits).
+    Unbound(String),
+    /// The valuation binds a parameter the domain never declared.
+    Undeclared(String),
+    /// A bound value lies outside the declared range.
+    OutOfDomain {
+        /// Offending parameter.
+        name: String,
+        /// Its bound value.
+        value: u64,
+        /// Declared lower bound.
+        lo: u64,
+        /// Declared upper bound (inclusive).
+        hi: u64,
+    },
+    /// Rate arithmetic overflowed `u64`/`usize`.
+    Overflow,
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::Unbound(name) => write!(f, "parameter '{name}' is not bound"),
+            ParamError::Undeclared(name) => write!(f, "parameter '{name}' is not declared"),
+            ParamError::OutOfDomain {
+                name,
+                value,
+                lo,
+                hi,
+            } => write!(f, "parameter '{name}' = {value} outside [{lo}, {hi}]"),
+            ParamError::Overflow => write!(f, "rate expression overflowed"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_resolves_params_and_arithmetic() {
+        let e = RateExpr::Mul(
+            Box::new(RateExpr::param("decim")),
+            Box::new(RateExpr::Add(
+                Box::new(RateExpr::Const(2)),
+                Box::new(RateExpr::param("taps")),
+            )),
+        );
+        let v = Valuation::of("decim", 3).with("taps", 4);
+        assert_eq!(e.eval(&v).unwrap(), 18);
+        assert_eq!(e.to_string(), "($decim * (2 + $taps))");
+        let mut names = BTreeSet::new();
+        e.collect_params(&mut names);
+        assert_eq!(names.len(), 2);
+    }
+
+    #[test]
+    fn eval_errors_are_typed() {
+        let v = Valuation::new();
+        assert_eq!(
+            RateExpr::param("x").eval(&v),
+            Err(ParamError::Unbound("x".into()))
+        );
+        let big = RateExpr::Mul(
+            Box::new(RateExpr::Const(u64::MAX)),
+            Box::new(RateExpr::Const(2)),
+        );
+        assert_eq!(big.eval(&v), Err(ParamError::Overflow));
+    }
+
+    #[test]
+    fn domain_checks_valuations() {
+        let dom = ParamDomain::new().with("decim", 1, 4).with("frame", 2, 8);
+        let good = Valuation::of("decim", 2).with("frame", 8);
+        dom.check(&good).unwrap();
+        let missing = Valuation::of("decim", 2);
+        assert!(matches!(dom.check(&missing), Err(ParamError::Unbound(_))));
+        let out = Valuation::of("decim", 9).with("frame", 2);
+        assert!(matches!(
+            dom.check(&out),
+            Err(ParamError::OutOfDomain { .. })
+        ));
+        let extra = good.clone().with("ghost", 1);
+        assert!(matches!(dom.check(&extra), Err(ParamError::Undeclared(_))));
+    }
+
+    #[test]
+    fn sweep_is_exhaustive_and_deterministic() {
+        let dom = ParamDomain::new().with("a", 1, 3).with("b", 5, 6);
+        assert_eq!(dom.cardinality(), Some(6));
+        let sweep = dom.valuations();
+        assert_eq!(sweep.len(), 6);
+        // Name-major, last name fastest, all distinct and all legal.
+        assert_eq!(sweep[0].canon(), "a=1,b=5");
+        assert_eq!(sweep[1].canon(), "a=1,b=6");
+        assert_eq!(sweep[5].canon(), "a=3,b=6");
+        let canon: BTreeSet<String> = sweep.iter().map(Valuation::canon).collect();
+        assert_eq!(canon.len(), 6);
+        for v in &sweep {
+            dom.check(v).unwrap();
+        }
+        assert_eq!(dom.canonical().canon(), "a=1,b=5");
+    }
+
+    #[test]
+    fn canon_is_insertion_order_invariant() {
+        let a = Valuation::of("x", 1).with("y", 2);
+        let b = Valuation::of("y", 2).with("x", 1);
+        assert_eq!(a.canon(), b.canon());
+        assert_eq!(a, b);
+        assert_eq!(Valuation::new().canon(), "");
+    }
+}

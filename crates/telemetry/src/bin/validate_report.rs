@@ -8,7 +8,7 @@
 //! output. CI runs this on the reports a benchmark or soak run emitted.
 //!
 //! The validator is picked per document: files declaring
-//! `"schema": "macross-service-v1"` go through [`service`], everything
+//! `"schema": "macross-service-v2"` go through [`service`], everything
 //! else through the bench [`report`] checker.
 
 use macross_telemetry::json;

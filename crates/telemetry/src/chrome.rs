@@ -41,7 +41,9 @@ fn span_parts(kind: EventKind) -> Option<(&'static str, bool)> {
         | EventKind::CacheHit
         | EventKind::CacheMiss
         | EventKind::SessionQuarantined
-        | EventKind::SessionClosed => None,
+        | EventKind::SessionClosed
+        | EventKind::SetParam
+        | EventKind::Reconfigure => None,
     }
 }
 
@@ -59,7 +61,9 @@ fn instant_cat(kind: EventKind) -> Option<&'static str> {
         | EventKind::CacheHit
         | EventKind::CacheMiss
         | EventKind::SessionQuarantined
-        | EventKind::SessionClosed => Some("service"),
+        | EventKind::SessionClosed
+        | EventKind::SetParam
+        | EventKind::Reconfigure => Some("service"),
         _ => None,
     }
 }

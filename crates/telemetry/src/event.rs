@@ -62,6 +62,13 @@ pub enum EventKind {
     /// A session finished draining and was closed (`subject` = session
     /// id, `aux` = steady iterations completed).
     SessionClosed,
+    /// A parameter change was scheduled on a dynamic-rate session
+    /// (`subject` = session id where known, `aux` = the new value).
+    SetParam,
+    /// A dynamic-rate session swapped configurations at a quiescent
+    /// point (`subject` = 1 when the schedule cache served the new
+    /// configuration, 0 when it compiled; `aux` = swap ordinal).
+    Reconfigure,
 }
 
 impl EventKind {
@@ -88,6 +95,8 @@ impl EventKind {
             EventKind::CacheMiss => "cache_miss",
             EventKind::SessionQuarantined => "session_quarantined",
             EventKind::SessionClosed => "session_closed",
+            EventKind::SetParam => "set_param",
+            EventKind::Reconfigure => "reconfigure",
         }
     }
 }
@@ -150,6 +159,8 @@ mod tests {
             EventKind::CacheMiss,
             EventKind::SessionQuarantined,
             EventKind::SessionClosed,
+            EventKind::SetParam,
+            EventKind::Reconfigure,
         ];
         let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());

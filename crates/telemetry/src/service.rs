@@ -2,11 +2,11 @@
 //! plus a validator so CI can gate on well-formed reports — the service
 //! sibling of [`crate::report`]'s bench schema.
 //!
-//! Schema (`macross-service-v1`):
+//! Schema (`macross-service-v2`):
 //!
 //! ```json
 //! {
-//!   "schema": "macross-service-v1",
+//!   "schema": "macross-service-v2",
 //!   "name": "soak_bytecode",           // -> SERVICE_soak_bytecode.json
 //!   "machine": "core_i7_sse4",
 //!   "exec_mode": "bytecode",
@@ -16,11 +16,20 @@
 //!   "cache": {
 //!     "capacity": 32,                  // LRU bound (entries)
 //!     "distinct_graphs": 14,           // structural hashes ever seen
+//!     "submits": 64,                   // lookups offered to the cache
 //!     "compilations": 14,              // driver+firing-compiler runs
 //!     "hits": 50,
 //!     "misses": 14,
 //!     "evictions": 0,
 //!     "hit_rate": 0.781                // hits / (hits + misses)
+//!   },
+//!   "scache": {
+//!     "capacity": 32,                  // LRU bound (configurations)
+//!     "distinct_valuations": 5,        // (shape, valuation) pairs seen
+//!     "reconfigurations": 18,          // configuration installs
+//!     "hits": 13,
+//!     "misses": 5,
+//!     "evictions": 0
 //!   },
 //!   "admission": {
 //!     "submitted": 72,
@@ -50,10 +59,15 @@
 //! ```
 //!
 //! Beyond field shapes, the validator enforces the compile-once
-//! invariants the soak job gates on: `misses == compilations`,
-//! `compilations >= distinct_graphs`, and — when nothing was ever
-//! evicted — `compilations == distinct_graphs` (each unique shape
-//! compiled exactly once, however many sessions ran it).
+//! invariants the soak job gates on: `hits + misses == submits`,
+//! `misses == compilations`, `compilations >= distinct_graphs`, and —
+//! when nothing was ever evicted — `compilations == distinct_graphs`
+//! (each unique shape compiled exactly once, however many sessions ran
+//! it). The schedule cache carries the dynamic-rate analogues:
+//! `hits + misses == reconfigurations`, `misses >= distinct_valuations`,
+//! and at zero evictions `misses == distinct_valuations` (each distinct
+//! parameter valuation compiled exactly once, however often sessions
+//! revisited it).
 
 use crate::json::{self, Json};
 use crate::report::Violation;
@@ -62,7 +76,7 @@ use std::path::{Path, PathBuf};
 use std::time::{SystemTime, UNIX_EPOCH};
 
 /// The schema identifier carried in the `schema` field.
-pub const SERVICE_SCHEMA: &str = "macross-service-v1";
+pub const SERVICE_SCHEMA: &str = "macross-service-v2";
 
 /// Tenant lifecycle states a report may record.
 pub const TENANT_STATES: [&str; 4] = ["active", "draining", "faulted", "closed"];
@@ -74,6 +88,8 @@ pub struct CacheStats {
     pub capacity: u64,
     /// Distinct structural hashes ever requested.
     pub distinct_graphs: u64,
+    /// Lookups offered to the cache (`hits + misses`).
+    pub submits: u64,
     /// Times the SIMDization driver + firing compiler actually ran.
     pub compilations: u64,
     /// Lookups served from the cache.
@@ -94,6 +110,24 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+}
+
+/// Per-configuration schedule-cache statistics (the dynamic-rate layer's
+/// cache; all zeros when no parameterized session ever ran).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScheduleCacheStats {
+    /// LRU bound, in configurations.
+    pub capacity: u64,
+    /// Distinct `(shape, valuation)` pairs ever installed.
+    pub distinct_valuations: u64,
+    /// Configuration installs (initial admissions plus swaps).
+    pub reconfigurations: u64,
+    /// Installs served from the cache.
+    pub hits: u64,
+    /// Installs that had to compile.
+    pub misses: u64,
+    /// Configurations displaced by the LRU bound.
+    pub evictions: u64,
 }
 
 /// Admission-control counters.
@@ -159,6 +193,8 @@ pub struct ServiceReport {
     pub session_cap: u64,
     /// Compile-once cache statistics.
     pub cache: CacheStats,
+    /// Per-configuration schedule-cache statistics.
+    pub scache: ScheduleCacheStats,
     /// Admission-control counters.
     pub admission: AdmissionStats,
     /// One row per session ever admitted.
@@ -227,11 +263,29 @@ impl ServiceReport {
                         "distinct_graphs",
                         Json::Num(self.cache.distinct_graphs as f64),
                     ),
+                    ("submits", Json::Num(self.cache.submits as f64)),
                     ("compilations", Json::Num(self.cache.compilations as f64)),
                     ("hits", Json::Num(self.cache.hits as f64)),
                     ("misses", Json::Num(self.cache.misses as f64)),
                     ("evictions", Json::Num(self.cache.evictions as f64)),
                     ("hit_rate", Json::Num(self.cache.hit_rate())),
+                ]),
+            ),
+            (
+                "scache",
+                Json::obj([
+                    ("capacity", Json::Num(self.scache.capacity as f64)),
+                    (
+                        "distinct_valuations",
+                        Json::Num(self.scache.distinct_valuations as f64),
+                    ),
+                    (
+                        "reconfigurations",
+                        Json::Num(self.scache.reconfigurations as f64),
+                    ),
+                    ("hits", Json::Num(self.scache.hits as f64)),
+                    ("misses", Json::Num(self.scache.misses as f64)),
+                    ("evictions", Json::Num(self.scache.evictions as f64)),
                 ]),
             ),
             (
@@ -266,11 +320,13 @@ impl ServiceReport {
         self.to_json().to_string_pretty()
     }
 
-    /// Write `SERVICE_<name>.json` into `dir` and return the path.
+    /// Write `SERVICE_<name>.json` into `dir` (created if missing) and
+    /// return the path.
     ///
     /// # Errors
     /// Propagates filesystem errors.
     pub fn write_to_dir(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
         let path = dir.join(self.file_name());
         std::fs::write(&path, self.json_string())?;
         Ok(path)
@@ -326,7 +382,7 @@ fn get_uint(v: &Json) -> Option<f64> {
     v.as_num().filter(|n| *n >= 0.0 && n.fract() == 0.0)
 }
 
-/// Check a parsed document against `macross-service-v1`, collecting
+/// Check a parsed document against `macross-service-v2`, collecting
 /// **every** violation instead of stopping at the first, exactly like the
 /// bench validator.
 pub fn check(doc: &Json) -> Vec<Violation> {
@@ -365,6 +421,10 @@ pub fn check(doc: &Json) -> Vec<Violation> {
     if doc.get("cache").is_some_and(|v| v.as_obj().is_some()) {
         check_cache(&mut c, doc.get("cache").unwrap());
     }
+    c.field(doc, "scache", "an object", Json::as_obj, |_, _| {});
+    if doc.get("scache").is_some_and(|v| v.as_obj().is_some()) {
+        check_scache(&mut c, doc.get("scache").unwrap());
+    }
     c.field(doc, "admission", "an object", Json::as_obj, |_, _| {});
     if doc.get("admission").is_some_and(|v| v.as_obj().is_some()) {
         check_admission(&mut c, doc.get("admission").unwrap());
@@ -380,10 +440,19 @@ pub fn check(doc: &Json) -> Vec<Violation> {
 fn check_cache(c: &mut Checker, cache: &Json) {
     c.uint_field(cache, "cache.capacity");
     let distinct = c.uint_field(cache, "cache.distinct_graphs");
+    let submits = c.uint_field(cache, "cache.submits");
     let compilations = c.uint_field(cache, "cache.compilations");
     let hits = c.uint_field(cache, "cache.hits");
     let misses = c.uint_field(cache, "cache.misses");
     let evictions = c.uint_field(cache, "cache.evictions");
+    if let (Some(s), Some(h), Some(m)) = (submits, hits, misses) {
+        if h + m != s {
+            c.push(
+                "cache.submits",
+                format!("hits + misses must equal submits ({h} + {m} != {s})"),
+            );
+        }
+    }
     c.field(
         cache,
         "cache.hit_rate",
@@ -435,6 +504,43 @@ fn check_cache(c: &mut Checker, cache: &Json) {
                     format!("inconsistent with hits/misses (expected ~{expect:.6}, found {rate})"),
                 );
             }
+        }
+    }
+}
+
+fn check_scache(c: &mut Checker, scache: &Json) {
+    c.uint_field(scache, "scache.capacity");
+    let distinct = c.uint_field(scache, "scache.distinct_valuations");
+    let reconf = c.uint_field(scache, "scache.reconfigurations");
+    let hits = c.uint_field(scache, "scache.hits");
+    let misses = c.uint_field(scache, "scache.misses");
+    let evictions = c.uint_field(scache, "scache.evictions");
+    if let (Some(r), Some(h), Some(m)) = (reconf, hits, misses) {
+        if h + m != r {
+            c.push(
+                "scache.reconfigurations",
+                format!("hits + misses must equal reconfigurations ({h} + {m} != {r})"),
+            );
+        }
+    }
+    // The compile-once invariant of the dynamic-rate layer: revisiting a
+    // valuation must hit, so misses count distinct valuations exactly
+    // (unless eviction forced a reinstall).
+    if let (Some(d), Some(m), Some(ev)) = (distinct, misses, evictions) {
+        if m < d {
+            c.push(
+                "scache.misses",
+                format!("must be >= distinct_valuations (misses {m}, distinct {d})"),
+            );
+        }
+        if ev == 0 && m != d {
+            c.push(
+                "scache.misses",
+                format!(
+                    "with zero evictions each distinct valuation must compile exactly once \
+                     (misses {m}, distinct_valuations {d})"
+                ),
+            );
         }
     }
 }
@@ -532,7 +638,7 @@ pub fn warnings(doc: &Json) -> Vec<Violation> {
     let Some(fields) = doc.as_obj() else {
         return out;
     };
-    const KNOWN: [&str; 9] = [
+    const KNOWN: [&str; 10] = [
         "schema",
         "name",
         "machine",
@@ -541,6 +647,7 @@ pub fn warnings(doc: &Json) -> Vec<Violation> {
         "workers",
         "session_cap",
         "cache",
+        "scache",
         "admission",
     ];
     for (k, _) in fields {
@@ -562,7 +669,7 @@ pub fn warnings(doc: &Json) -> Vec<Violation> {
     out
 }
 
-/// Validate a parsed document against `macross-service-v1`.
+/// Validate a parsed document against `macross-service-v2`.
 ///
 /// # Errors
 /// Returns the first violation (use [`check`] to collect all of them).
@@ -600,9 +707,18 @@ mod tests {
         r.cache = CacheStats {
             capacity: 32,
             distinct_graphs: 3,
+            submits: 8,
             compilations: 3,
             hits: 5,
             misses: 3,
+            evictions: 0,
+        };
+        r.scache = ScheduleCacheStats {
+            capacity: 32,
+            distinct_valuations: 2,
+            reconfigurations: 6,
+            hits: 4,
+            misses: 2,
             evictions: 0,
         };
         r.admission = AdmissionStats {
@@ -655,6 +771,7 @@ mod tests {
         let mut r = sample();
         r.cache.compilations = 5;
         r.cache.misses = 5;
+        r.cache.submits = 10;
         let errs = check(&r.to_json());
         assert!(
             errs.iter().any(|v| v.message.contains("exactly once")),
@@ -669,6 +786,35 @@ mod tests {
         assert!(check(&r.to_json())
             .iter()
             .any(|v| v.message.contains(">= distinct_graphs")));
+    }
+
+    #[test]
+    fn schedule_cache_invariants_are_enforced() {
+        // hits + misses must equal reconfigurations.
+        let mut r = sample();
+        r.scache.hits = 5; // 5 + 2 != 6
+        assert!(check(&r.to_json())
+            .iter()
+            .any(|v| v.path == "scache.reconfigurations"));
+        // A repeat valuation that recompiled without eviction breaks the
+        // dynamic compile-once guarantee.
+        let mut r = sample();
+        r.scache.misses = 4;
+        r.scache.hits = 2;
+        let errs = check(&r.to_json());
+        assert!(
+            errs.iter().any(|v| v.message.contains("exactly once")),
+            "{errs:?}"
+        );
+        // With evictions, reinstalls are legitimate.
+        r.scache.evictions = 1;
+        assert!(check(&r.to_json()).is_empty());
+        // But never fewer misses than distinct valuations.
+        r.scache.misses = 1;
+        r.scache.hits = 5;
+        assert!(check(&r.to_json())
+            .iter()
+            .any(|v| v.message.contains(">= distinct_valuations")));
     }
 
     #[test]

@@ -14,9 +14,9 @@ use crate::exec::ExecMode;
 use crate::interp::{reset_locals, zero_slots, FiringCtx, Slot};
 use crate::machine::{CycleCounters, Machine};
 use crate::tape::Tape;
-use macross_streamir::filter::Filter;
+use macross_streamir::filter::{Filter, VarKind};
 use macross_streamir::graph::{EdgeId, Graph, ReorderSide, SplitKind};
-use macross_streamir::types::{ScalarTy, Value};
+use macross_streamir::types::{ScalarTy, Ty, Value};
 use macross_streamir::AddrGen;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -123,6 +123,108 @@ impl FilterState {
         }
     }
 
+    /// Export the values of the filter's `State` variables, flattened in
+    /// declaration order (vector-arrays row-major: all lanes of row 0,
+    /// then row 1, ...). Exact in both engines: the tree-walker stores
+    /// `Value`s directly, and the bytecode register files hold `i32`
+    /// sign-extended to `i64` / `f32` exactly widened to `f64`, so
+    /// narrowing back through the declared element type loses nothing.
+    ///
+    /// Together with [`FilterState::import_state_vars`] this is the
+    /// configuration-swap carrier of the parameterized-dataflow runtime:
+    /// a stateful filter's values move bit-exactly between two
+    /// independently compiled configurations of the same program.
+    pub fn export_state_vars(&self, filter: &Filter) -> Vec<Value> {
+        let mut out = Vec::new();
+        match &self.engine {
+            Engine::Compiled(_) => {
+                for (decl, (base, len, float)) in filter.vars.iter().zip(var_windows(filter)) {
+                    if decl.kind != VarKind::State {
+                        continue;
+                    }
+                    let elem = decl.ty.elem();
+                    for k in base..base + len {
+                        out.push(if float {
+                            narrow_float(elem, self.regs.f[k as usize])
+                        } else {
+                            narrow_int(elem, self.regs.i[k as usize])
+                        });
+                    }
+                }
+            }
+            Engine::Tree => {
+                for (i, decl) in filter.vars.iter().enumerate() {
+                    if decl.kind != VarKind::State {
+                        continue;
+                    }
+                    match &self.slots[i] {
+                        Slot::S(v) => out.push(*v),
+                        Slot::V(vs) | Slot::A(vs) => out.extend_from_slice(vs),
+                        Slot::VA(rows) => {
+                            for row in rows {
+                                out.extend_from_slice(row);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Overwrite the filter's `State` variables with values previously
+    /// produced by [`FilterState::export_state_vars`] on a state of a
+    /// filter with identical `State` declarations. Both engines' storage
+    /// is updated so a subsequent export round-trips.
+    ///
+    /// # Errors
+    /// [`VmError::TypeMismatch`] when the value count or any element
+    /// type disagrees with the filter's declarations — the two
+    /// configurations are not state-compatible.
+    pub fn import_state_vars(&mut self, filter: &Filter, vals: &[Value]) -> Result<(), VmError> {
+        let mismatch = |context: String| VmError::TypeMismatch {
+            filter: filter.name.clone(),
+            context,
+        };
+        let mut cursor = 0usize;
+        let windows = var_windows(filter);
+        for (i, decl) in filter.vars.iter().enumerate() {
+            if decl.kind != VarKind::State {
+                continue;
+            }
+            let len = flat_len(decl.ty);
+            let chunk = vals
+                .get(cursor..cursor + len)
+                .ok_or_else(|| mismatch(format!("state carrier too short for '{}'", decl.name)))?;
+            let elem = decl.ty.elem();
+            if !chunk.iter().all(|v| value_matches(elem, *v)) {
+                return Err(mismatch(format!(
+                    "state carrier element type mismatch for '{}'",
+                    decl.name
+                )));
+            }
+            cursor += len;
+            self.slots[i] = unflatten_slot(decl.ty, chunk);
+            if let Engine::Compiled(_) = self.engine {
+                let (base, _, float) = windows[i];
+                for (k, v) in chunk.iter().enumerate() {
+                    if float {
+                        self.regs.f[base as usize + k] = widen_float(*v);
+                    } else {
+                        self.regs.i[base as usize + k] = widen_int(*v);
+                    }
+                }
+            }
+        }
+        if cursor != vals.len() {
+            return Err(mismatch(format!(
+                "state carrier has {} values, filter consumes {cursor}",
+                vals.len()
+            )));
+        }
+        Ok(())
+    }
+
     /// Run the filter's `init` function, if any. Cycles are *not*
     /// counted: the paper's measurements are steady-state.
     ///
@@ -159,6 +261,84 @@ impl FilterState {
             output_addr_cost: 0,
         };
         ctx.exec_block(&filter.init)
+    }
+}
+
+/// Flattened element count of a declared variable type (mirrors the
+/// bytecode compiler's register-window sizes).
+fn flat_len(ty: Ty) -> usize {
+    match ty {
+        Ty::Scalar(_) => 1,
+        Ty::Vector(_, w) => w,
+        Ty::Array(_, n) => n,
+        Ty::VectorArray(_, w, n) => w * n,
+    }
+}
+
+/// Recompute each declared variable's register window `(base, len,
+/// is_float)` exactly as the bytecode compiler allocates them: declaration
+/// order, int/float files split, windows at the bottom of each file.
+fn var_windows(filter: &Filter) -> Vec<(u32, u32, bool)> {
+    let mut out = Vec::with_capacity(filter.vars.len());
+    let (mut ni, mut nf) = (0u32, 0u32);
+    for decl in &filter.vars {
+        let len = flat_len(decl.ty) as u32;
+        let float = decl.ty.elem().is_float();
+        let cursor = if float { &mut nf } else { &mut ni };
+        out.push((*cursor, len, float));
+        *cursor += len;
+    }
+    out
+}
+
+fn value_matches(t: ScalarTy, v: Value) -> bool {
+    matches!(
+        (t, v),
+        (ScalarTy::I32, Value::I32(_))
+            | (ScalarTy::I64, Value::I64(_))
+            | (ScalarTy::F32, Value::F32(_))
+            | (ScalarTy::F64, Value::F64(_))
+    )
+}
+
+fn widen_int(v: Value) -> i64 {
+    match v {
+        Value::I32(x) => x as i64,
+        Value::I64(x) => x,
+        _ => unreachable!("int window holds int values"),
+    }
+}
+
+fn widen_float(v: Value) -> f64 {
+    match v {
+        Value::F32(x) => x as f64,
+        Value::F64(x) => x,
+        _ => unreachable!("float window holds float values"),
+    }
+}
+
+fn narrow_int(t: ScalarTy, raw: i64) -> Value {
+    match t {
+        ScalarTy::I32 => Value::I32(raw as i32),
+        ScalarTy::I64 => Value::I64(raw),
+        _ => unreachable!("int window narrows to an int type"),
+    }
+}
+
+fn narrow_float(t: ScalarTy, raw: f64) -> Value {
+    match t {
+        ScalarTy::F32 => Value::F32(raw as f32),
+        ScalarTy::F64 => Value::F64(raw),
+        _ => unreachable!("float window narrows to a float type"),
+    }
+}
+
+fn unflatten_slot(ty: Ty, vals: &[Value]) -> Slot {
+    match ty {
+        Ty::Scalar(_) => Slot::S(vals[0]),
+        Ty::Vector(_, _) => Slot::V(vals.to_vec()),
+        Ty::Array(_, _) => Slot::A(vals.to_vec()),
+        Ty::VectorArray(_, w, _) => Slot::VA(vals.chunks(w).map(<[Value]>::to_vec).collect()),
     }
 }
 

@@ -134,6 +134,63 @@ impl Tape {
         self.write_stage = vec![self.elem.zero(); rate * sw];
     }
 
+    /// Element type carried by this tape.
+    pub fn elem(&self) -> ScalarTy {
+        self.elem
+    }
+
+    /// Export the committed resident tokens in FIFO order — the tape half
+    /// of the configuration-swap carrier (parameterized dataflow).
+    ///
+    /// Returns `None` when the resident state cannot be expressed as a
+    /// plain token sequence: a partially consumed/produced reorder block,
+    /// rpush-staged elements not yet committed, or any resident tokens on
+    /// a reordered tape (their physical layout encodes a permutation the
+    /// importing configuration may not share). Template validation
+    /// rejects dynamic programs whose quiescent points can reach those
+    /// states, so a swap never observes `None` at runtime.
+    pub fn export_resident(&self) -> Option<Vec<Value>> {
+        if self.read_block_pos != 0
+            || self.write_block_pos != 0
+            || self.filled_end != self.committed_end
+        {
+            return None;
+        }
+        if !self.is_empty() && (self.read_reorder.is_some() || self.write_reorder.is_some()) {
+            return None;
+        }
+        Some(
+            (self.read..self.committed_end)
+                .map(|i| self.at(i))
+                .collect(),
+        )
+    }
+
+    /// Preload tokens exported by [`Tape::export_resident`] into this
+    /// (still pristine) tape, in FIFO order. Counterpart of the export:
+    /// returns `false` — importing nothing — when this tape already holds
+    /// data, has block state in flight, or would need a reorder-aware
+    /// layout for a non-empty carrier. Lifetime push/pop statistics are
+    /// not disturbed: carried tokens were already counted by the
+    /// configuration that produced them.
+    pub fn import_resident(&mut self, vals: &[Value]) -> bool {
+        if !self.is_empty()
+            || self.read_block_pos != 0
+            || self.write_block_pos != 0
+            || self.filled_end != self.committed_end
+        {
+            return false;
+        }
+        if !vals.is_empty() && (self.read_reorder.is_some() || self.write_reorder.is_some()) {
+            return false;
+        }
+        for &v in vals {
+            self.write_at(self.committed_end, v);
+            self.committed_end += 1;
+        }
+        true
+    }
+
     /// Committed (readable) element count.
     pub fn len(&self) -> usize {
         self.committed_end - self.read
