@@ -537,6 +537,77 @@ pub fn measured_vs_modeled_traced(
     }
 }
 
+/// One benchmark under the cost-model planner at one worker budget: the
+/// plan's modelled verdict next to what the threaded runtime measured
+/// for the *planned* placement (fusion, fission, and all).
+#[derive(Debug)]
+pub struct PlannedVsModeled {
+    /// Benchmark name.
+    pub name: String,
+    /// Worker budget the planner was given (it may use fewer cores).
+    pub workers: usize,
+    /// The plan: placement plus modelled makespan/speedup.
+    pub plan: macross_multicore::PlacementPlan,
+    /// What the threaded runtime observed running that placement.
+    pub report: macross_runtime::RuntimeReport,
+}
+
+/// Profile `graph` sequentially for per-node cycles, ask the cost-model
+/// planner for a placement over `workers` cores using `comm`, and run
+/// the planned placement for `iters` steady iterations.
+pub fn planned_vs_modeled(
+    name: &str,
+    graph: &Graph,
+    schedule: &Schedule,
+    machine: &Machine,
+    workers: usize,
+    iters: u64,
+    comm: &CommModel,
+) -> PlannedVsModeled {
+    planned_vs_modeled_traced(
+        name,
+        graph,
+        schedule,
+        machine,
+        workers,
+        iters,
+        comm,
+        &TraceSession::disabled(),
+    )
+}
+
+/// [`planned_vs_modeled`] recording the threaded run into `session`.
+#[allow(clippy::too_many_arguments)]
+pub fn planned_vs_modeled_traced(
+    name: &str,
+    graph: &Graph,
+    schedule: &Schedule,
+    machine: &Machine,
+    workers: usize,
+    iters: u64,
+    comm: &CommModel,
+    session: &TraceSession,
+) -> PlannedVsModeled {
+    let seq = run_scheduled(graph, schedule, machine, iters.min(2)).expect("sequential profile");
+    let plan = macross_multicore::plan_placement(graph, schedule, &seq.node_cycles, workers, comm);
+    let run = macross_runtime::run_threaded_placed_traced_mode(
+        graph,
+        schedule,
+        machine,
+        &plan.placement,
+        iters,
+        session,
+        Default::default(),
+    )
+    .expect("planned run");
+    PlannedVsModeled {
+        name: name.to_string(),
+        workers,
+        plan,
+        report: run.report,
+    }
+}
+
 #[cfg(test)]
 mod measured_tests {
     use super::*;
@@ -556,6 +627,27 @@ mod measured_tests {
             assert!(m.modeled.makespan > 0);
             if cores == 1 {
                 assert_eq!(m.report.cut_edges, 0);
+                assert_eq!(m.report.ring_traffic(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn planned_vs_modeled_is_consistent() {
+        let machine = Machine::core_i7();
+        let b = by_name("FilterBank").unwrap();
+        let g = (b.build)();
+        let sched = Schedule::compute(&g).unwrap();
+        let comm = CommModel::default();
+        for workers in [1usize, 2, 4] {
+            let m = planned_vs_modeled(b.name, &g, &sched, &machine, workers, 4, &comm);
+            assert!(m.plan.cores_used <= workers.max(1));
+            assert_eq!(m.report.cut_edges, m.plan.cut_edges);
+            // The planner never commits to a placement it models slower
+            // than sequential.
+            assert!(m.plan.modelled_speedup() >= 1.0 - 1e-9);
+            assert!(m.report.wall_nanos > 0);
+            if m.plan.cores_used == 1 {
                 assert_eq!(m.report.ring_traffic(), 0);
             }
         }

@@ -19,6 +19,9 @@ use macross_sdf::Schedule;
 use macross_streamir::graph::Graph;
 use macross_vm::{run_scheduled, Machine};
 
+pub mod planner;
+pub use planner::{plan_placement, PlacementPlan};
+
 /// Inter-core communication model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CommModel {

@@ -27,7 +27,8 @@ pub mod supervisor;
 mod worker;
 
 use macross_sdf::{buffer_requirements, Schedule};
-use macross_streamir::graph::{Graph, Node};
+use macross_streamir::analysis::analyze_vectorizability;
+use macross_streamir::graph::{Graph, Node, NodeId};
 use macross_streamir::types::Value;
 use macross_telemetry::TraceSession;
 use macross_vm::machine::{CycleCounters, Machine};
@@ -36,7 +37,7 @@ use ring::{Aborted, Ring, OCC_BUCKETS};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use supervisor::Supervisor;
 use worker::Worker;
 
@@ -60,6 +61,9 @@ pub enum RuntimeError {
     WorkerPanicked(String),
     /// The run aborted without a recorded cause.
     Aborted,
+    /// A [`Placement`] violates a fission legality rule (the message names
+    /// the node and the rule).
+    InvalidPlacement(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -74,6 +78,7 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::WorkerPanicked(msg) => write!(f, "worker thread panicked: {msg}"),
             RuntimeError::Aborted => write!(f, "run aborted"),
+            RuntimeError::InvalidPlacement(msg) => write!(f, "invalid placement: {msg}"),
         }
     }
 }
@@ -304,6 +309,158 @@ fn stage_name(node: &Node) -> String {
     }
 }
 
+/// One fissioned stage: its steady firings are dealt round-robin across
+/// `replicas` (global steady firing `g` runs on `replicas[g % k]`), with
+/// tokens dealt to / merged from one SPSC ring per replica in firing-block
+/// order — so the merged stream is bit-identical to the sequential one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FissionSpec {
+    /// The stage being split. Must be a stateless filter (see
+    /// [`Placement::validate`] for the full legality rules).
+    pub node: NodeId,
+    /// Cores hosting the replicas, in deal order. At least two, all
+    /// distinct; `assignment[node]` must equal `replicas[0]`.
+    pub replicas: Vec<u32>,
+}
+
+/// A full multicore placement: the per-node core assignment plus any
+/// fissioned stages. [`run_supervised`] is the `fission: []` special case.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Placement {
+    /// Node id -> core, as in [`run_supervised`].
+    pub assignment: Vec<u32>,
+    /// Stages split across cores (empty for plain placements).
+    pub fission: Vec<FissionSpec>,
+}
+
+impl Placement {
+    /// A plain whole-stage placement with no fission.
+    pub fn whole_stage(assignment: Vec<u32>) -> Placement {
+        Placement {
+            assignment,
+            fission: Vec::new(),
+        }
+    }
+
+    /// The fission spec covering `node`, if any.
+    pub fn fission_of(&self, node: NodeId) -> Option<&FissionSpec> {
+        self.fission.iter().find(|s| s.node == node)
+    }
+
+    /// Worker threads this placement needs (max named core + 1).
+    pub fn cores(&self) -> usize {
+        let a = self.assignment.iter().copied().max().unwrap_or(0);
+        let f = self
+            .fission
+            .iter()
+            .flat_map(|s| s.replicas.iter().copied())
+            .max()
+            .unwrap_or(0);
+        a.max(f) as usize + 1
+    }
+
+    /// Check the placement against `graph` and `schedule`.
+    ///
+    /// Fission legality (each rule keeps the dealt/merged streams
+    /// bit-identical to the sequential schedule):
+    ///
+    /// - the node is a filter with no state written in `work`
+    ///   (read-only state is fine — every replica initializes it
+    ///   identically), so firings are independent;
+    /// - `peek <= pop`: a firing addresses only its own dealt block,
+    ///   never a successor's tokens;
+    /// - `init_reps == 0`: the deal clock starts at steady firing 0;
+    /// - no reorder marking on its edges (the ring must carry committed
+    ///   physical order, and reorder halves assume one consumer);
+    /// - neighbors are not fissioned (one deal/merge per edge);
+    /// - at least two distinct replica cores, and `assignment[node] ==
+    ///   replicas[0]` (the canonical core for stage attribution).
+    ///
+    /// # Errors
+    /// [`RuntimeError::BadAssignment`] / [`RuntimeError::InvalidPlacement`].
+    pub fn validate(&self, graph: &Graph, schedule: &Schedule) -> Result<(), RuntimeError> {
+        if self.assignment.len() != graph.node_count() {
+            return Err(RuntimeError::BadAssignment {
+                expected: graph.node_count(),
+                got: self.assignment.len(),
+            });
+        }
+        let bad = |msg: String| Err(RuntimeError::InvalidPlacement(msg));
+        for spec in &self.fission {
+            let idx = spec.node.0 as usize;
+            if idx >= graph.node_count() {
+                return bad(format!("fission node {idx} out of range"));
+            }
+            if self.fission.iter().filter(|s| s.node == spec.node).count() > 1 {
+                return bad(format!("node {idx} fissioned twice"));
+            }
+            if spec.replicas.len() < 2 {
+                return bad(format!("node {idx}: fission needs >= 2 replicas"));
+            }
+            for (i, &c) in spec.replicas.iter().enumerate() {
+                if spec.replicas[..i].contains(&c) {
+                    return bad(format!("node {idx}: duplicate replica core {c}"));
+                }
+            }
+            if self.assignment[idx] != spec.replicas[0] {
+                return bad(format!(
+                    "node {idx}: assignment[{idx}] must equal replicas[0]"
+                ));
+            }
+            let Node::Filter(f) = graph.node(spec.node) else {
+                return bad(format!("node {idx}: only filters can be fissioned"));
+            };
+            if analyze_vectorizability(f).stateful {
+                return bad(format!("node {idx} ({}): stateful filter", f.name));
+            }
+            if f.peek > f.pop {
+                return bad(format!(
+                    "node {idx} ({}): peek {} > pop {} carries lookahead across firings",
+                    f.name, f.peek, f.pop
+                ));
+            }
+            if schedule.init_reps[idx] != 0 {
+                return bad(format!(
+                    "node {idx} ({}): fires in the init schedule",
+                    f.name
+                ));
+            }
+            for eid in graph
+                .in_edges(spec.node)
+                .into_iter()
+                .chain(graph.out_edges(spec.node))
+            {
+                let e = graph.edge(eid);
+                if e.reorder.is_some() {
+                    return bad(format!(
+                        "node {idx} ({}): edge {} carries a reorder marking",
+                        f.name, eid.0
+                    ));
+                }
+                let peer = if e.src == spec.node { e.dst } else { e.src };
+                if self.fission_of(peer).is_some() {
+                    return bad(format!(
+                        "node {idx} ({}): neighbor {} is also fissioned",
+                        f.name, peer.0
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How one edge's tokens travel between cores.
+pub(crate) enum EdgeRings {
+    /// Same-core edge: plain local tape, no ring.
+    Local,
+    /// Ordinary cut edge: one SPSC ring.
+    Single(Arc<Ring>),
+    /// An endpoint is fissioned: one ring per replica — deal rings when
+    /// the consumer is fissioned, merge rings when the producer is.
+    Fission(Vec<Arc<Ring>>),
+}
+
 /// Execute `iters` steady iterations of a scheduled graph across worker
 /// threads, one per core of `assignment` (node id -> core).
 ///
@@ -403,11 +560,60 @@ pub fn run_threaded_traced_mode(
     session: &TraceSession,
     mode: ExecMode,
 ) -> Result<ThreadedRun, RuntimeError> {
+    run_threaded_placed_traced_mode(
+        graph,
+        schedule,
+        machine,
+        &Placement::whole_stage(assignment.to_vec()),
+        iters,
+        session,
+        mode,
+    )
+}
+
+/// [`run_threaded`] generalized to a full [`Placement`] (assignment plus
+/// fissioned stages). The cost-model planner in `macross-multicore`
+/// produces placements for this entry point.
+///
+/// # Errors
+/// Same as [`run_threaded`], plus [`RuntimeError::InvalidPlacement`] for
+/// an illegal fission spec.
+pub fn run_threaded_placed(
+    graph: &Graph,
+    schedule: &Schedule,
+    machine: &Machine,
+    placement: &Placement,
+    iters: u64,
+) -> Result<ThreadedRun, RuntimeError> {
+    run_threaded_placed_traced_mode(
+        graph,
+        schedule,
+        machine,
+        placement,
+        iters,
+        &TraceSession::disabled(),
+        ExecMode::default(),
+    )
+}
+
+/// [`run_threaded_placed`] with a trace session and an explicit engine.
+///
+/// # Errors
+/// Same as [`run_threaded_placed`].
+pub fn run_threaded_placed_traced_mode(
+    graph: &Graph,
+    schedule: &Schedule,
+    machine: &Machine,
+    placement: &Placement,
+    iters: u64,
+    session: &TraceSession,
+    mode: ExecMode,
+) -> Result<ThreadedRun, RuntimeError> {
     let opts = SupervisorOptions {
         mode,
         ..SupervisorOptions::default()
     };
-    let run = run_supervised(graph, schedule, machine, assignment, iters, &opts, session)?;
+    let run = run_supervised_placed(graph, schedule, machine, placement, iters, &opts, session)?;
     if run.completed {
         return Ok(ThreadedRun {
             output: run.output,
@@ -432,6 +638,28 @@ pub fn run_threaded_traced_mode(
         return Err(RuntimeError::WorkerPanicked(msg));
     }
     Err(RuntimeError::Aborted)
+}
+
+/// Pipeline slack: how many steady iterations of an edge its ring can
+/// hold (`MACROSS_RING_SLACK`, default 8, clamped to [1, 64]).
+///
+/// Slack 1 reproduces the strict one-iteration sizing; larger values buy
+/// wall-clock (stages overlap across iterations and every park/unpark is
+/// amortized over `slack` iterations) for memory, without affecting
+/// outputs: firing order per stage, deal/merge rotation, and fault
+/// addressing are all capacity-independent.
+///
+/// Public because the multicore planner's communication-cost calibration
+/// amortizes its measured handshake cost by the same factor.
+pub fn ring_slack() -> u64 {
+    static SLACK: OnceLock<u64> = OnceLock::new();
+    *SLACK.get_or_init(|| {
+        std::env::var("MACROSS_RING_SLACK")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(|v| v.clamp(1, 64))
+            .unwrap_or(8)
+    })
 }
 
 /// The full-fidelity entry point: execute `iters` steady iterations under
@@ -464,44 +692,94 @@ pub fn run_supervised(
     opts: &SupervisorOptions,
     session: &TraceSession,
 ) -> Result<SupervisedRun, RuntimeError> {
-    if assignment.len() != graph.node_count() {
-        return Err(RuntimeError::BadAssignment {
-            expected: graph.node_count(),
-            got: assignment.len(),
-        });
-    }
-    let cores = assignment
-        .iter()
-        .map(|&c| c as usize + 1)
-        .max()
-        .unwrap_or(1);
-    // Rings bridge cut edges, sized to the sequential schedule's peak so
-    // a producer can run a full iteration ahead before backpressure. The
-    // peak is the larger of the steady-iteration capacity and the
-    // init-phase resident count: the node-major init schedule has a
-    // producer complete ALL init firings before its consumer's first, so
+    run_supervised_placed(
+        graph,
+        schedule,
+        machine,
+        &Placement::whole_stage(assignment.to_vec()),
+        iters,
+        opts,
+        session,
+    )
+}
+
+/// [`run_supervised`] generalized to a full [`Placement`]: besides the
+/// node-to-core assignment, stages named in `placement.fission` are split
+/// across replica cores. Steady firing `g` of a fissioned stage runs on
+/// `replicas[g % k]`; its input tokens are dealt to one ring per replica
+/// in pop-rate blocks and its output merged back in push-rate blocks, so
+/// the downstream consumer observes the exact sequential stream.
+///
+/// # Errors
+/// [`RuntimeError::BadAssignment`] / [`RuntimeError::InvalidPlacement`]
+/// for a malformed placement. Stage failures come back inside the report.
+pub fn run_supervised_placed(
+    graph: &Graph,
+    schedule: &Schedule,
+    machine: &Machine,
+    placement: &Placement,
+    iters: u64,
+    opts: &SupervisorOptions,
+    session: &TraceSession,
+) -> Result<SupervisedRun, RuntimeError> {
+    placement.validate(graph, schedule)?;
+    let assignment = &placement.assignment;
+    let cores = placement.cores();
+    // Rings bridge cut edges, sized to `ring_slack()` steady iterations
+    // of the edge so a producer can run several iterations ahead before
+    // backpressure. With exactly one iteration of capacity, a cut edge
+    // serializes the pipeline: the producer fills the ring, parks, the
+    // consumer drains it, parks, and every iteration pays at least one
+    // park/unpark round trip per edge — multicore can't win. Slack lets
+    // the stages drift apart and amortizes every wake-up over `slack`
+    // iterations; growing a ring can never introduce deadlock. The floor
+    // is the larger of the steady-iteration capacity and the init-phase
+    // resident count: the node-major init schedule has a producer
+    // complete ALL init firings before its consumer's first, so
     // init_reps[src] * push tokens are simultaneously live — possibly
     // more than the steady capacity (deep peeking pipelines do this), and
     // undersized rings can deadlock a cyclic cross-core wait.
+    //
+    // Fission edges get one ring per replica, each at the full edge
+    // capacity: a ring only ever holds its rotation share of the edge's
+    // tokens, so this over-provision can never deadlock, and it keeps the
+    // per-ring bound independent of how the deal divides an iteration.
     let reqs = buffer_requirements(graph, schedule);
-    let rings: Vec<Option<Arc<Ring>>> = graph
+    let rings: Vec<EdgeRings> = graph
         .edges()
         .map(|(eid, e)| {
-            (assignment[e.src.0 as usize] != assignment[e.dst.0 as usize]).then(|| {
-                let init_peak = schedule.init_reps[e.src.0 as usize]
-                    * graph.node(e.src).push_rate(e.src_port) as u64;
-                let cap = reqs[eid.0 as usize].capacity.max(init_peak);
-                Arc::new(Ring::for_edge(eid.0, cap as usize, e.elem.zero()))
-            })
+            let init_peak = schedule.init_reps[e.src.0 as usize]
+                * graph.node(e.src).push_rate(e.src_port) as u64;
+            let req = &reqs[eid.0 as usize];
+            let steady = req.capacity - req.init_tokens;
+            let cap = (req.init_tokens + ring_slack() * steady)
+                .max(req.capacity)
+                .max(init_peak) as usize;
+            let mk = || Arc::new(Ring::for_edge(eid.0, cap, e.elem.zero()));
+            if let Some(spec) = placement.fission_of(e.dst).or(placement.fission_of(e.src)) {
+                EdgeRings::Fission((0..spec.replicas.len()).map(|_| mk()).collect())
+            } else if assignment[e.src.0 as usize] != assignment[e.dst.0 as usize] {
+                EdgeRings::Single(mk())
+            } else {
+                EdgeRings::Local
+            }
         })
         .collect();
-    let cut_edges = rings.iter().flatten().count();
+    let cut_edges = rings
+        .iter()
+        .filter(|r| !matches!(r, EdgeRings::Local))
+        .count();
     let stages: Arc<Vec<Stage>> =
         Arc::new((0..graph.node_count()).map(|_| Stage::default()).collect());
     let worker_cores: Vec<u32> = {
         let mut seen = vec![false; cores];
         for &c in assignment {
             seen[c as usize] = true;
+        }
+        for spec in &placement.fission {
+            for &c in &spec.replicas {
+                seen[c as usize] = true;
+            }
         }
         (0..cores as u32).filter(|&c| seen[c as usize]).collect()
     };
@@ -523,7 +801,7 @@ pub fn run_supervised(
                     // still cannot strand sibling workers on the gate).
                     let run = catch_unwind(AssertUnwindSafe(|| {
                         let w = Worker::new(
-                            graph, schedule, machine, assignment, core, rings, stages, trace, opts,
+                            graph, schedule, machine, placement, core, rings, stages, trace, opts,
                             sup, slot, iters,
                         );
                         w.run(iters, gate)
@@ -606,7 +884,12 @@ pub fn run_supervised(
         .collect();
     let mut ring_stats: Vec<RingStat> = Vec::with_capacity(cut_edges);
     for (eid, e) in graph.edges() {
-        if let Some(ring) = &rings[eid.0 as usize] {
+        let physical: &[Arc<Ring>] = match &rings[eid.0 as usize] {
+            EdgeRings::Local => &[],
+            EdgeRings::Single(ring) => std::slice::from_ref(ring),
+            EdgeRings::Fission(rs) => rs,
+        };
+        for ring in physical {
             stage_stats[e.src.0 as usize].full_stalls += ring.full_stalls();
             stage_stats[e.dst.0 as usize].empty_stalls += ring.empty_stalls();
             stage_stats[e.src.0 as usize].stall_nanos += ring.full_stall_nanos();
@@ -765,6 +1048,123 @@ mod tests {
         } else {
             assert!(session.drain().is_empty());
         }
+    }
+
+    /// counter (push 4) -> doubler (stateless, pop 1 push 1) -> sink:
+    /// the doubler runs 4 firings per iteration, enough for a 2-way
+    /// fission to actually rotate deal/merge blocks mid-iteration.
+    fn fissionable_chain() -> Graph {
+        let mut src = FilterBuilder::new("src", 0, 0, 4, ScalarTy::I32);
+        let n = src.state("n", Ty::Scalar(ScalarTy::I32));
+        src.work(|b| {
+            for _ in 0..4 {
+                b.push(v(n));
+                b.set(n, v(n) + 1i32);
+            }
+        });
+        let mut dbl = FilterBuilder::new("dbl", 1, 1, 1, ScalarTy::I32);
+        dbl.work(|b| {
+            b.push(pop() * 2i32);
+        });
+        StreamSpec::pipeline(vec![src.build_spec(), dbl.build_spec(), StreamSpec::Sink])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fissioned_stage_matches_single_threaded() {
+        let g = fissionable_chain();
+        let sched = Schedule::compute(&g).unwrap();
+        let m = Machine::core_i7();
+        let seq = macross_vm::run_scheduled(&g, &sched, &m, 8).unwrap();
+        let placement = Placement {
+            assignment: vec![0, 1, 0],
+            fission: vec![FissionSpec {
+                node: NodeId(1),
+                replicas: vec![1, 2],
+            }],
+        };
+        let thr = run_threaded_placed(&g, &sched, &m, &placement, 8).unwrap();
+        assert_eq!(thr.output, seq.output);
+        assert_eq!(thr.report.cores, 3);
+        // Both fission edges are cut (2 rings each); replicas split the
+        // 8 * 4 steady firings between them while the shared stage
+        // counter still reads the sequential total.
+        assert_eq!(thr.report.stages[1].firings, 32);
+        assert_eq!(thr.report.stages[1].ring_in, 32);
+        assert_eq!(thr.report.stages[1].ring_out, 32);
+        assert_eq!(thr.report.rings.len(), 4);
+    }
+
+    #[test]
+    fn fission_of_stateful_stage_is_rejected() {
+        let g = fissionable_chain();
+        let sched = Schedule::compute(&g).unwrap();
+        let placement = Placement {
+            assignment: vec![0, 0, 0],
+            fission: vec![FissionSpec {
+                node: NodeId(0), // the counter: carries state across firings
+                replicas: vec![0, 1],
+            }],
+        };
+        let err = run_threaded_placed(&g, &sched, &Machine::core_i7(), &placement, 4).unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidPlacement(_)));
+    }
+
+    #[test]
+    fn fission_needs_two_distinct_replicas() {
+        let g = fissionable_chain();
+        let sched = Schedule::compute(&g).unwrap();
+        let placement = Placement {
+            assignment: vec![0, 1, 0],
+            fission: vec![FissionSpec {
+                node: NodeId(1),
+                replicas: vec![1, 1],
+            }],
+        };
+        let err = run_threaded_placed(&g, &sched, &Machine::core_i7(), &placement, 4).unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidPlacement(_)));
+    }
+
+    #[test]
+    fn stall_episodes_bounded_by_consumer_firings() {
+        // gobble needs 4 tokens per firing that trickle in from a
+        // cross-core src pushing 1 per firing. The episode protocol
+        // opens at most one stall interval per insufficient-input wait,
+        // so `empty_stalls` is bounded by gobble's firing count even
+        // though each episode can span several partial arrivals.
+        let mut src = FilterBuilder::new("src", 0, 0, 1, ScalarTy::I32);
+        let n = src.state("n", Ty::Scalar(ScalarTy::I32));
+        src.work(|b| {
+            b.push(v(n));
+            b.set(n, v(n) + 1i32);
+        });
+        let mut gob = FilterBuilder::new("gobble", 4, 4, 1, ScalarTy::I32);
+        gob.work(|b| {
+            b.push(pop() + pop() + pop() + pop());
+        });
+        let g = StreamSpec::pipeline(vec![src.build_spec(), gob.build_spec(), StreamSpec::Sink])
+            .build()
+            .unwrap();
+        let sched = Schedule::compute(&g).unwrap();
+        let m = Machine::core_i7();
+        let iters = 50;
+        let seq = macross_vm::run_scheduled(&g, &sched, &m, iters).unwrap();
+        let thr = run_threaded(&g, &sched, &m, &[0, 1, 1], iters).unwrap();
+        assert_eq!(thr.output, seq.output);
+        let gob_firings = thr.report.stages[1].firings;
+        let ring = thr
+            .report
+            .rings
+            .iter()
+            .find(|r| (r.src, r.dst) == (0, 1))
+            .unwrap();
+        assert!(
+            ring.empty_stalls <= gob_firings,
+            "{} stall episodes for {} consumer firings",
+            ring.empty_stalls,
+            gob_firings
+        );
     }
 
     #[cfg(feature = "telemetry")]

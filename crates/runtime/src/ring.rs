@@ -382,6 +382,41 @@ impl Ring {
         res
     }
 
+    /// Open a consumer-side stall interval: count one empty-ring stall and
+    /// emit the trace span begin. Pair with [`Ring::end_empty_stall`]; any
+    /// number of [`Ring::wait_nonempty_quiet`] calls may happen in between
+    /// without the interval double-counting — the protocol `ensure_inputs`
+    /// uses so one insufficient-input episode is exactly one stall, no
+    /// matter how many partial arrivals or spurious wakeups it spans.
+    pub fn begin_empty_stall(&self, trace: &WorkerTrace) -> Instant {
+        self.empty_stalls.fetch_add(1, Ordering::Relaxed);
+        trace.record(EventKind::RingPopStallBegin, self.edge, 0);
+        Instant::now()
+    }
+
+    /// Close a stall interval opened by [`Ring::begin_empty_stall`],
+    /// attributing the whole elapsed wall time to this ring.
+    pub fn end_empty_stall(&self, since: Instant, trace: &WorkerTrace) {
+        let ns = since.elapsed().as_nanos() as u64;
+        self.empty_stall_nanos.fetch_add(ns, Ordering::Relaxed);
+        trace.record(EventKind::RingPopStallEnd, self.edge, ns);
+    }
+
+    /// [`Ring::wait_nonempty`] without opening a stall interval: park and
+    /// unpark events are still traced, but the stall counters and nanos
+    /// are untouched — the caller owns the interval through
+    /// [`Ring::begin_empty_stall`] / [`Ring::end_empty_stall`].
+    ///
+    /// # Errors
+    /// Returns [`Aborted`] if `abort` is raised while waiting.
+    pub fn wait_nonempty_quiet(
+        &self,
+        abort: &AtomicBool,
+        trace: &WorkerTrace,
+    ) -> Result<(), Aborted> {
+        self.wait_nonempty_inner(abort, trace)
+    }
+
     fn wait_nonempty_inner(&self, abort: &AtomicBool, trace: &WorkerTrace) -> Result<(), Aborted> {
         let head = self.head.0.load(Ordering::Relaxed);
         let empty = |s: &Ring| s.tail.0.load(Ordering::Acquire) == head;
@@ -516,6 +551,41 @@ mod tests {
             k += batch.len() as i32;
         }
         consumer.join().unwrap();
+    }
+
+    #[test]
+    fn stall_episode_counts_once_across_partial_arrivals() {
+        // Consumer needs 3 tokens that arrive in 3 separate pushes. Under
+        // the old per-wait accounting this produced up to 3 stall events
+        // with disjoint intervals; the episode protocol records exactly
+        // one interval covering the whole wait — the monotonic accounting
+        // `ensure_inputs` relies on.
+        let r = Arc::new(Ring::with_capacity(8, iv(0)));
+        let abort = Arc::new(AtomicBool::new(false));
+        let rc = Arc::clone(&r);
+        let ac = Arc::clone(&abort);
+        let consumer = std::thread::spawn(move || {
+            rc.register_consumer();
+            let trace = WorkerTrace::disabled();
+            let mut got = Vec::new();
+            let t0 = rc.begin_empty_stall(&trace);
+            while got.len() < 3 {
+                let want = 3 - got.len();
+                if rc.pop_avail(|v| got.push(v), want) == 0 {
+                    rc.wait_nonempty_quiet(&ac, &trace).unwrap();
+                }
+            }
+            rc.end_empty_stall(t0, &trace);
+            got
+        });
+        r.register_producer();
+        for k in 0..3 {
+            std::thread::sleep(Duration::from_millis(2));
+            r.push_batch(&[iv(k)], &abort).unwrap();
+        }
+        assert_eq!(consumer.join().unwrap(), vec![iv(0), iv(1), iv(2)]);
+        assert_eq!(r.empty_stalls(), 1);
+        assert!(r.empty_stall_nanos() > 0);
     }
 
     #[test]

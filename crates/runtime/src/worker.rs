@@ -21,7 +21,7 @@
 use crate::fault::FaultKind;
 use crate::ring::Ring;
 use crate::supervisor::{FailureCause, StageFailure, Supervisor, SupervisorOptions};
-use crate::{stage_name, Stage, StartGate};
+use crate::{stage_name, EdgeRings, Placement, Stage, StartGate};
 use macross_sdf::Schedule;
 use macross_streamir::graph::{Graph, Node, NodeId};
 use macross_streamir::types::Value;
@@ -40,8 +40,11 @@ struct Stop;
 
 /// Smallest batch worth the admission work (a 1-batch is just a firing).
 const MIN_BATCH: u64 = 2;
-/// Largest batch: bounds roll-back cost and drain-response latency.
-const MAX_BATCH: u64 = 8;
+/// Starting adaptive batch depth (the old fixed `MAX_BATCH`).
+const INIT_BATCH: u64 = 8;
+/// Upper clamp for the adaptive depth: bounds roll-back cost and
+/// drain-response latency even when downstream rings always run dry.
+const MAX_BATCH: u64 = 64;
 
 /// What a worker hands back to the coordinator. Failures travel through
 /// the [`Supervisor`], so this is plain (possibly partial) output.
@@ -55,9 +58,19 @@ pub(crate) struct WorkerOut {
 }
 
 /// One cut in-edge the worker must pull tokens for before firing.
+///
+/// Normally one ring; when the edge's *producer* is fissioned this is a
+/// merge point — one ring per replica, read round-robin in `ring_block`
+/// chunks (the producer's per-firing push rate), which reassembles the
+/// exact sequential stream.
 struct Pull {
     edge: usize,
-    ring: Arc<Ring>,
+    rings: Vec<Arc<Ring>>,
+    /// Tokens read from one ring before rotating to the next (unused when
+    /// `rings.len() == 1`).
+    ring_block: usize,
+    /// Total tokens pulled off this edge's rings — the rotation cursor.
+    taken: usize,
     /// Physical tokens one firing must be able to address:
     /// `max(pop, peek)` for filters, the exact pop rate otherwise.
     need: usize,
@@ -73,6 +86,19 @@ struct Pull {
 }
 
 impl Pull {
+    fn single(edge: usize, ring: Arc<Ring>, need: usize, pop: usize, block: usize) -> Pull {
+        Pull {
+            edge,
+            rings: vec![ring],
+            ring_block: 0,
+            taken: 0,
+            need,
+            pop,
+            block,
+            consumed: 0,
+        }
+    }
+
     /// Physical tokens the local tape half must hold for the next firing.
     fn needed_phys(&self) -> usize {
         if self.block > 1 {
@@ -82,14 +108,87 @@ impl Pull {
             self.need
         }
     }
+
+    /// Index of the ring holding the next token in stream order.
+    fn cur(&self) -> usize {
+        if self.rings.len() == 1 {
+            0
+        } else {
+            (self.taken / self.ring_block) % self.rings.len()
+        }
+    }
+
+    /// Pop up to `max` tokens into `tape` without blocking, rotating
+    /// rings at merge-block boundaries. Returns tokens moved. Stops when
+    /// the ring holding the next in-order token runs dry — a later
+    /// replica's tokens must not be read early.
+    fn pop_rotating(&mut self, tape: &mut Tape, mut max: usize) -> usize {
+        let mut total = 0;
+        while max > 0 {
+            let (i, room) = if self.rings.len() == 1 {
+                (0, max)
+            } else {
+                let i = self.cur();
+                (i, (self.ring_block - self.taken % self.ring_block).min(max))
+            };
+            let n = self.rings[i].pop_avail(|v| tape.push(v), room);
+            self.taken += n;
+            total += n;
+            max -= n;
+            if n < room {
+                break;
+            }
+        }
+        total
+    }
 }
 
 /// One cut out-edge the worker must flush after firing.
+///
+/// Normally one ring; when the edge's *consumer* is fissioned this is a
+/// deal point — one ring per replica, written round-robin in `ring_block`
+/// chunks (the consumer's per-firing pop rate), so replica `r` receives
+/// exactly the tokens of steady firings `g ≡ r (mod k)`.
 struct Push {
     edge: usize,
-    ring: Arc<Ring>,
+    rings: Vec<Arc<Ring>>,
+    /// Tokens written to one ring before rotating to the next (unused
+    /// when `rings.len() == 1`).
+    ring_block: usize,
+    /// Total tokens shipped on this edge — the rotation cursor.
+    shipped: usize,
     /// Tokens one firing pushes on this edge (sizes batch admission).
     rate: usize,
+}
+
+impl Push {
+    fn single(edge: usize, ring: Arc<Ring>, rate: usize) -> Push {
+        Push {
+            edge,
+            rings: vec![ring],
+            ring_block: 0,
+            shipped: 0,
+            rate,
+        }
+    }
+
+    /// Index of the ring receiving the next token in stream order.
+    fn cur(&self) -> usize {
+        if self.rings.len() == 1 {
+            0
+        } else {
+            (self.shipped / self.ring_block) % self.rings.len()
+        }
+    }
+
+    /// How many of `want` tokens fit in the current deal block.
+    fn room_in_block(&self, want: usize) -> usize {
+        if self.rings.len() == 1 {
+            want
+        } else {
+            (self.ring_block - self.shipped % self.ring_block).min(want)
+        }
+    }
 }
 
 /// One same-core in-edge, tracked so the post-failure drain can check
@@ -122,6 +221,13 @@ struct NodePlan {
     /// Total firings a full run would execute; the drain never exceeds it
     /// (keeps branch sources from running away from a failed sibling).
     scheduled: u64,
+    /// Firing-index stride. 1 for a whole node; `k` for a fission
+    /// replica, which executes global steady firings `offset, offset+k,
+    /// offset+2k, …` — `attempts` stays the *global* firing index, so
+    /// fault addressing and trace attribution match the sequential run.
+    stride: u64,
+    /// Current adaptive batch depth, clamped to `[MIN_BATCH, MAX_BATCH]`.
+    depth: u64,
 }
 
 pub(crate) struct Worker<'g> {
@@ -153,9 +259,9 @@ impl<'g> Worker<'g> {
         graph: &'g Graph,
         schedule: &'g Schedule,
         machine: &'g Machine,
-        assignment: &[u32],
+        placement: &'g Placement,
         core: u32,
-        rings: &'g [Option<Arc<Ring>>],
+        rings: &'g [EdgeRings],
         stages: Arc<Vec<Stage>>,
         trace: WorkerTrace,
         opts: &'g SupervisorOptions,
@@ -163,9 +269,12 @@ impl<'g> Worker<'g> {
         slot: usize,
         iters: u64,
     ) -> Worker<'g> {
+        let assignment = &placement.assignment;
         let mut tapes: Vec<Tape> = graph.edges().map(|(_, e)| Tape::new(e.elem)).collect();
         for (i, (_, e)) in graph.edges().enumerate() {
             let Some(r) = e.reorder else { continue };
+            // Fissioned nodes reject reorder on their edges (see
+            // `Placement::validate`), so plain assignment lookups suffice.
             let (src_core, dst_core) = (assignment[e.src.0 as usize], assignment[e.dst.0 as usize]);
             match r.side {
                 // Consumer-side remap lives on the consuming core's half.
@@ -179,10 +288,16 @@ impl<'g> Worker<'g> {
                 _ => {}
             }
         }
+        // A node runs here when assigned here — or, if fissioned, when
+        // this core hosts one of its replicas.
+        let on_core = |id: NodeId| match placement.fission_of(id) {
+            Some(spec) => spec.replicas.contains(&core),
+            None => assignment[id.0 as usize] == core,
+        };
         let states: Vec<FilterState> = graph
             .nodes()
             .map(|(id, node)| match node {
-                Node::Filter(f) if assignment[id.0 as usize] == core => {
+                Node::Filter(f) if on_core(id) => {
                     let in_elem = graph.single_in_edge(id).map(|e| graph.edge(e).elem);
                     let out_elem = graph.single_out_edge(id).map(|e| graph.edge(e).elem);
                     FilterState::prepared(f, machine, in_elem, out_elem, opts.mode)
@@ -192,9 +307,20 @@ impl<'g> Worker<'g> {
             .collect();
         let mut plans = Vec::new();
         for &id in &schedule.order {
-            if assignment[id.0 as usize] != core {
-                continue;
-            }
+            // stride/offset: replica r of a k-way fission fires global
+            // steady firings r, r+k, r+2k, …
+            let (stride, offset) = match placement.fission_of(id) {
+                Some(spec) => match spec.replicas.iter().position(|&c| c == core) {
+                    Some(r) => (spec.replicas.len() as u64, r as u64),
+                    None => continue,
+                },
+                None => {
+                    if assignment[id.0 as usize] != core {
+                        continue;
+                    }
+                    (1, 0)
+                }
+            };
             let node = graph.node(id);
             let mut pulls = Vec::new();
             let mut local_ins = Vec::new();
@@ -211,18 +337,48 @@ impl<'g> Worker<'g> {
                     .map(|r| r.block())
                     .unwrap_or(1);
                 match &rings[eid.0 as usize] {
-                    Some(ring) => {
+                    EdgeRings::Single(ring) => {
                         ring.register_consumer();
+                        pulls.push(Pull::single(
+                            eid.0 as usize,
+                            Arc::clone(ring),
+                            need,
+                            pop,
+                            block,
+                        ));
+                    }
+                    EdgeRings::Fission(rs) if stride > 1 => {
+                        // This node is the fissioned consumer: replica r
+                        // reads only its own deal ring.
+                        let ring = &rs[offset as usize];
+                        ring.register_consumer();
+                        pulls.push(Pull::single(
+                            eid.0 as usize,
+                            Arc::clone(ring),
+                            need,
+                            pop,
+                            block,
+                        ));
+                    }
+                    EdgeRings::Fission(rs) => {
+                        // Merge point: the producer is fissioned, replica
+                        // streams interleave in push-rate blocks.
+                        for ring in rs {
+                            ring.register_consumer();
+                        }
+                        let ring_block = graph.node(e.src).push_rate(e.src_port);
                         pulls.push(Pull {
                             edge: eid.0 as usize,
-                            ring: Arc::clone(ring),
+                            rings: rs.iter().map(Arc::clone).collect(),
+                            ring_block,
+                            taken: 0,
                             need,
                             pop,
                             block,
                             consumed: 0,
                         });
                     }
-                    None => local_ins.push(LocalIn {
+                    EdgeRings::Local => local_ins.push(LocalIn {
                         edge: eid.0 as usize,
                         need,
                         block,
@@ -231,18 +387,51 @@ impl<'g> Worker<'g> {
             }
             let mut pushes = Vec::new();
             for eid in graph.out_edges(id) {
-                let Some(ring) = &rings[eid.0 as usize] else {
-                    continue;
-                };
-                ring.register_producer();
-                pushes.push(Push {
-                    edge: eid.0 as usize,
-                    ring: Arc::clone(ring),
-                    rate: node.push_rate(graph.edge(eid).src_port),
-                });
+                let e = graph.edge(eid);
+                let rate = node.push_rate(e.src_port);
+                match &rings[eid.0 as usize] {
+                    EdgeRings::Local => {}
+                    EdgeRings::Single(ring) => {
+                        ring.register_producer();
+                        pushes.push(Push::single(eid.0 as usize, Arc::clone(ring), rate));
+                    }
+                    EdgeRings::Fission(rs) if stride > 1 => {
+                        // Fissioned producer: replica r writes only its
+                        // own merge ring.
+                        let ring = &rs[offset as usize];
+                        ring.register_producer();
+                        pushes.push(Push::single(eid.0 as usize, Arc::clone(ring), rate));
+                    }
+                    EdgeRings::Fission(rs) => {
+                        // Deal point: the consumer is fissioned, tokens
+                        // rotate across replicas in pop-rate blocks.
+                        for ring in rs {
+                            ring.register_producer();
+                        }
+                        let ring_block = graph.node(e.dst).pop_rate(e.dst_port);
+                        pushes.push(Push {
+                            edge: eid.0 as usize,
+                            rings: rs.iter().map(Arc::clone).collect(),
+                            ring_block,
+                            shipped: 0,
+                            rate,
+                        });
+                    }
+                }
             }
             let reps = schedule.reps[id.0 as usize];
             let init_reps = schedule.init_reps[id.0 as usize];
+            // Replicas start their firing clock at their offset and own
+            // every stride-th firing; init firings exist only for whole
+            // nodes (validate rejects fission with init_reps > 0).
+            let (attempts, scheduled) = if stride > 1 {
+                (
+                    offset,
+                    (iters * reps).saturating_sub(offset).div_ceil(stride),
+                )
+            } else {
+                (0, init_reps + iters * reps)
+            };
             plans.push(NodePlan {
                 id,
                 reps,
@@ -250,9 +439,11 @@ impl<'g> Worker<'g> {
                 pulls,
                 pushes,
                 local_ins,
-                attempts: 0,
+                attempts,
                 completed: 0,
-                scheduled: init_reps + iters * reps,
+                scheduled,
+                stride,
+                depth: INIT_BATCH,
             });
         }
         Worker {
@@ -279,6 +470,10 @@ impl<'g> Worker<'g> {
     pub(crate) fn run(mut self, iters: u64, gate: &StartGate) -> WorkerOut {
         for p in 0..self.plans.len() {
             let id = self.plans[p].id;
+            if self.plans[p].stride > 1 {
+                self.trace
+                    .record(EventKind::FissionReplica, id.0, self.plans[p].stride);
+            }
             if let Node::Filter(f) = self.graph.node(id) {
                 let kernels = self.states[id.0 as usize].kernel_count();
                 if kernels > 0 {
@@ -308,8 +503,21 @@ impl<'g> Worker<'g> {
         self.counters = CycleCounters::default();
         let t0 = Instant::now();
         let mut stopped = false;
-        'steady: for _ in 0..iters {
+        'steady: for t in 0..iters {
             for p in 0..self.plans.len() {
+                if self.plans[p].stride > 1 {
+                    // Replica: fire every stride-th global firing up to
+                    // this iteration's boundary. `attempts` is the global
+                    // index, so the bound is the full per-iteration reps.
+                    let end = (t + 1) * self.plans[p].reps;
+                    while self.plans[p].attempts < end {
+                        if self.fire_plan(p).is_err() {
+                            stopped = true;
+                            break 'steady;
+                        }
+                    }
+                    continue;
+                }
                 let reps = self.plans[p].reps;
                 let mut done = 0u64;
                 while done < reps {
@@ -390,7 +598,7 @@ impl<'g> Worker<'g> {
         let id = self.plans[p].id;
         let stage = id.0 as usize;
         let firing = self.plans[p].attempts;
-        self.plans[p].attempts += 1;
+        self.plans[p].attempts += self.plans[p].stride;
         let fault = self.opts.plan.fault_for(stage, firing);
         let mut delay_push = 0u64;
         if let Some(kind) = fault {
@@ -408,10 +616,14 @@ impl<'g> Worker<'g> {
                 FaultKind::DelayPush { nanos } => delay_push = nanos,
                 FaultKind::DropUnpark { count } => {
                     for push in &self.plans[p].pushes {
-                        push.ring.arm_unpark_drops(count as u64);
+                        for ring in &push.rings {
+                            ring.arm_unpark_drops(count as u64);
+                        }
                     }
                     for pull in &self.plans[p].pulls {
-                        pull.ring.arm_unpark_drops(count as u64);
+                        for ring in &pull.rings {
+                            ring.arm_unpark_drops(count as u64);
+                        }
                     }
                 }
                 FaultKind::Panic | FaultKind::StallFiring { .. } => {}
@@ -499,7 +711,15 @@ impl<'g> Worker<'g> {
             return 1;
         }
         let stage = id.0 as usize;
-        let mut k = remaining.min(MAX_BATCH);
+        // Replicas fire strided global indices (batch bookkeeping assumes
+        // +1 steps) and deal producers rotate rings mid-flush under
+        // rollback — both stay un-batched. Merge consumers batch fine:
+        // the top-up below rotates deterministically and is never rolled
+        // back (it precedes the batch snapshot).
+        if self.plans[p].stride > 1 || self.plans[p].pushes.iter().any(|ps| ps.rings.len() > 1) {
+            return 1;
+        }
+        let mut k = remaining.min(self.plans[p].depth);
         let attempts = self.plans[p].attempts;
         for j in 0..k {
             if self.opts.plan.fault_for(stage, attempts + j).is_some() {
@@ -525,7 +745,7 @@ impl<'g> Worker<'g> {
             };
             if tape.len() < target_phys {
                 let missing = target_phys - tape.len();
-                let got = pull.ring.pop_avail(|v| tape.push(v), missing);
+                let got = pull.pop_rotating(tape, missing);
                 if got > 0 {
                     self.stages[stage]
                         .ring_in
@@ -552,7 +772,7 @@ impl<'g> Worker<'g> {
             }
         }
         for push in &plan.pushes {
-            if let Some(room) = push.ring.free_space().checked_div(push.rate) {
+            if let Some(room) = push.rings[0].free_space().checked_div(push.rate) {
                 k = k.min(room as u64);
             }
         }
@@ -560,6 +780,45 @@ impl<'g> Worker<'g> {
             1
         } else {
             k
+        }
+    }
+
+    /// Adjust plan `p`'s batch depth from downstream ring occupancy after
+    /// a flush: any near-full ring (≥ 3/4) means the consumer is behind —
+    /// halve so it waits less per wakeup; all near-empty (≤ 1/4) means
+    /// the consumer is starved — grow so each flush delivers more.
+    /// Output-invariant: depth only regroups firings into batches, never
+    /// reorders tokens.
+    fn adapt_depth(&mut self, p: usize) {
+        let plan = &mut self.plans[p];
+        if plan.pushes.is_empty() {
+            return;
+        }
+        let mut any_full = false;
+        let mut all_idle = true;
+        for push in &plan.pushes {
+            for ring in &push.rings {
+                let cap = ring.capacity();
+                let used = cap - ring.free_space().min(cap);
+                if used * 4 >= cap * 3 {
+                    any_full = true;
+                }
+                if used * 4 > cap {
+                    all_idle = false;
+                }
+            }
+        }
+        let depth = plan.depth;
+        let next = if any_full {
+            (depth / 2).max(MIN_BATCH)
+        } else if all_idle {
+            (depth * 2).min(MAX_BATCH)
+        } else {
+            depth
+        };
+        if next != depth {
+            plan.depth = next;
+            self.trace.record(EventKind::BatchDepth, plan.id.0, next);
         }
     }
 
@@ -645,7 +904,9 @@ impl<'g> Worker<'g> {
             .batched_firings
             .fetch_add(k, Ordering::Relaxed);
         self.trace.record(EventKind::BatchedFiring, id.0, k);
-        self.flush_outputs(p)
+        self.flush_outputs(p)?;
+        self.adapt_depth(p);
+        Ok(())
     }
 
     /// Pull from each cut in-edge until the local tape half holds every
@@ -658,13 +919,43 @@ impl<'g> Worker<'g> {
             let needed_phys = pull.needed_phys();
             let tape = &mut self.tapes[pull.edge];
             let mut got = 0u64;
+            // One stall interval per insufficient-input episode: opened
+            // on the first park, closed when the input is satisfied (or
+            // re-keyed when the merge rotation moves to another ring).
+            // Spurious unparks and partial arrivals re-enter the wait
+            // without opening a second interval, so `empty_stalls` counts
+            // episodes and `empty_stall_nanos` stays monotonic per
+            // episode.
+            let mut stall: Option<(usize, Instant)> = None;
             while tape.len() < needed_phys {
                 let missing = needed_phys - tape.len();
-                let n = pull.ring.pop_avail(|v| tape.push(v), missing);
-                if n == 0 && pull.ring.wait_nonempty_traced(abort, &self.trace).is_err() {
+                got += pull.pop_rotating(tape, missing) as u64;
+                if tape.len() >= needed_phys {
+                    break;
+                }
+                let cur = pull.cur();
+                match stall {
+                    Some((i, _)) if i == cur => {}
+                    Some((i, t0)) => {
+                        pull.rings[i].end_empty_stall(t0, &self.trace);
+                        stall = Some((cur, pull.rings[cur].begin_empty_stall(&self.trace)));
+                    }
+                    None => {
+                        stall = Some((cur, pull.rings[cur].begin_empty_stall(&self.trace)));
+                    }
+                }
+                if pull.rings[cur]
+                    .wait_nonempty_quiet(abort, &self.trace)
+                    .is_err()
+                {
+                    if let Some((i, t0)) = stall {
+                        pull.rings[i].end_empty_stall(t0, &self.trace);
+                    }
                     return Err(Stop);
                 }
-                got += n as u64;
+            }
+            if let Some((i, t0)) = stall {
+                pull.rings[i].end_empty_stall(t0, &self.trace);
             }
             pull.consumed += pull.pop;
             if got > 0 {
@@ -680,9 +971,9 @@ impl<'g> Worker<'g> {
     /// half into its ring, in physical order.
     fn flush_outputs(&mut self, p: usize) -> Result<(), Stop> {
         let abort = self.sup.interrupt_flag();
-        let plan = &self.plans[p];
+        let plan = &mut self.plans[p];
         let node_idx = plan.id.0 as usize;
-        for push in &plan.pushes {
+        for push in &mut plan.pushes {
             let tape = &mut self.tapes[push.edge];
             let n = tape.len();
             if n == 0 {
@@ -692,12 +983,21 @@ impl<'g> Worker<'g> {
             for _ in 0..n {
                 self.scratch.push(tape.pop());
             }
-            if push
-                .ring
-                .push_batch_traced(&self.scratch, abort, &self.trace)
-                .is_err()
-            {
-                return Err(Stop);
+            // Single ring: one batch. Deal point: rotate replicas at
+            // pop-rate block boundaries so replica r receives exactly the
+            // tokens of its own global firings.
+            let mut off = 0;
+            while off < n {
+                let i = push.cur();
+                let take = push.room_in_block(n - off);
+                if push.rings[i]
+                    .push_batch_traced(&self.scratch[off..off + take], abort, &self.trace)
+                    .is_err()
+                {
+                    return Err(Stop);
+                }
+                push.shipped += take;
+                off += take;
             }
             self.stages[node_idx]
                 .ring_out
@@ -801,7 +1101,7 @@ impl<'g> Worker<'g> {
             }
             if tape.len() < needed_phys {
                 let missing = needed_phys - tape.len();
-                let got = pull.ring.pop_avail(|v| tape.push(v), missing);
+                let got = pull.pop_rotating(tape, missing);
                 if got > 0 {
                     self.stages[node_idx]
                         .ring_in
@@ -849,7 +1149,7 @@ impl<'g> Worker<'g> {
         let id = self.plans[p].id;
         let stage = id.0 as usize;
         let firing = self.plans[p].attempts;
-        self.plans[p].attempts += 1;
+        self.plans[p].attempts += self.plans[p].stride;
         self.trace.record(EventKind::FiringStart, id.0, 0);
         let before = self.counters.total();
         let result = catch_unwind(AssertUnwindSafe(|| self.fire_node(id)));
@@ -877,9 +1177,9 @@ impl<'g> Worker<'g> {
     /// Non-blocking cut-edge flush: push what fits, keep the tail local
     /// (in order) for the next pass.
     fn flush_avail(&mut self, p: usize) {
-        let plan = &self.plans[p];
+        let plan = &mut self.plans[p];
         let node_idx = plan.id.0 as usize;
-        for push in &plan.pushes {
+        for push in &mut plan.pushes {
             let tape = &mut self.tapes[push.edge];
             let n = tape.len();
             if n == 0 {
@@ -889,14 +1189,27 @@ impl<'g> Worker<'g> {
             for i in 0..n {
                 self.scratch.push(tape.peek(i));
             }
-            let accepted = push.ring.push_avail(&self.scratch);
-            for _ in 0..accepted {
+            // Same deal rotation as the blocking flush, but stop at the
+            // first ring that refuses tokens — the cursor must stay
+            // exactly at the next undelivered token.
+            let mut off = 0;
+            while off < n {
+                let i = push.cur();
+                let take = push.room_in_block(n - off);
+                let accepted = push.rings[i].push_avail(&self.scratch[off..off + take]);
+                push.shipped += accepted;
+                off += accepted;
+                if accepted < take {
+                    break;
+                }
+            }
+            for _ in 0..off {
                 tape.pop();
             }
-            if accepted > 0 {
+            if off > 0 {
                 self.stages[node_idx]
                     .ring_out
-                    .fetch_add(accepted as u64, Ordering::Relaxed);
+                    .fetch_add(off as u64, Ordering::Relaxed);
             }
         }
     }

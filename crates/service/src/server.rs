@@ -38,7 +38,8 @@
 use crate::cache::CompileCache;
 use crate::error::ServiceError;
 use crate::tenant::{CloseReport, PollResult, Tenant, TenantState};
-use macross::SimdizeOptions;
+use macross::{steady_node_weights, CompiledGraph, SimdizeOptions};
+use macross_multicore::{plan_placement, CommModel};
 use macross_pdf::{CompileFn, DynamicSession, ParamGraph, ScheduleCache};
 use macross_runtime::{FaultPlan, SessionEngine};
 use macross_streamir::graph::Graph;
@@ -103,6 +104,38 @@ pub fn mode_label(mode: ExecMode) -> &'static str {
     }
 }
 
+/// What the cost-model planner would choose for a tenant's graph given
+/// the whole worker pool — advisory (sessions stay pinned to one shard
+/// for bit-identical outputs) but recorded per tenant so capacity
+/// decisions can read the parallel headroom straight off the report.
+#[derive(Debug, Clone, Copy)]
+struct PlanSummary {
+    cores: u64,
+    cut_edges: u64,
+    fused: u64,
+    fissioned: u64,
+}
+
+/// Summarize the planner's verdict for an admitted artifact. Uses the
+/// default communication model (not the calibrated one) so the summary
+/// is deterministic across machines and cheap at admission time.
+fn plan_summary(art: &CompiledGraph, machine: &Machine, workers: usize) -> PlanSummary {
+    let cycles = steady_node_weights(&art.graph, &art.schedule, machine);
+    let plan = plan_placement(
+        &art.graph,
+        &art.schedule,
+        &cycles,
+        workers.max(1),
+        &CommModel::default(),
+    );
+    PlanSummary {
+        cores: plan.cores_used as u64,
+        cut_edges: plan.cut_edges as u64,
+        fused: plan.fused_groups as u64,
+        fissioned: plan.fissioned as u64,
+    }
+}
+
 /// Control-plane view of one admitted session. The engine itself lives
 /// behind `slot`; everything here is guarded by the state lock.
 struct SessionEntry {
@@ -112,6 +145,7 @@ struct SessionEntry {
     graph_hash: String,
     cache_hit: bool,
     steady_cost: u64,
+    plan: PlanSummary,
     /// Id sits in a shard run queue.
     queued: bool,
     /// A shard is inside a slice right now.
@@ -260,6 +294,7 @@ impl StreamService {
                 return Err(ServiceError::Simdize(e));
             }
         };
+        let summary = plan_summary(&art, &inner.machine, inner.config.workers);
         let mut st = inner.state.lock().unwrap();
         // Re-check the cap: another submission may have won the race
         // while we compiled.
@@ -297,6 +332,7 @@ impl StreamService {
                 graph_hash: art.source_hash.to_hex(),
                 cache_hit: hit,
                 steady_cost: art.steady_cost.max(1),
+                plan: summary,
                 queued: false,
                 running: false,
                 deferred: false,
@@ -400,6 +436,7 @@ impl StreamService {
                 return Err(ServiceError::Simdize(e));
             }
         };
+        let summary = plan_summary(&art, &inner.machine, inner.config.workers);
         let mut st = inner.state.lock().unwrap();
         if st.sessions.len() >= inner.config.session_cap {
             st.admission.rejected_sessions += 1;
@@ -440,6 +477,7 @@ impl StreamService {
                 graph_hash: art.source_hash.to_hex(),
                 cache_hit: hit,
                 steady_cost: art.steady_cost.max(1),
+                plan: summary,
                 queued: false,
                 running: false,
                 deferred: false,
@@ -755,6 +793,10 @@ fn tenant_row(id: u64, entry: &SessionEntry, tenant: &Tenant, state: TenantState
         outputs: tenant.delivered,
         stalls: tenant.stalls,
         faults: tenant.engine.failure_count(),
+        placement_cores: entry.plan.cores,
+        placement_cut_edges: entry.plan.cut_edges,
+        placement_fused: entry.plan.fused,
+        placement_fissioned: entry.plan.fissioned,
     }
 }
 

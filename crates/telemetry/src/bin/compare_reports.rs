@@ -15,7 +15,10 @@
 //!   `current > baseline * (1 + tolerance)`;
 //! - **counters** are exact event counts and must match the baseline
 //!   bit-for-bit, except noisy ones (`*stall*`, `*nanos*`) which are
-//!   skipped.
+//!   skipped;
+//! - rows flagged `"baseline": true` in *either* report are the reference
+//!   other rows divide by, so their higher-is-better metrics are
+//!   self-ratios (identically 1) and are never gated on.
 //!
 //! On failure a delta table of every compared key is printed so the
 //! regression is readable straight from the CI log.
@@ -189,9 +192,19 @@ fn main() -> ExitCode {
             failures += 1;
             continue;
         };
+        let is_baseline_row = [base_row, cur_row]
+            .iter()
+            .any(|r| r.get("baseline").and_then(Json::as_bool) == Some(true));
         for (key, base_val) in entries(base_row, "metrics") {
             let full = format!("{bench}/{key}");
             if is_time_metric(key) && !include_time {
+                skipped += 1;
+                continue;
+            }
+            if is_baseline_row && higher_is_better(key) {
+                // A baseline row's ratio metrics divide by themselves:
+                // gating on them would always pass (or spuriously fail on
+                // a missing key) while implying coverage that isn't there.
                 skipped += 1;
                 continue;
             }

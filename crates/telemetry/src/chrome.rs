@@ -43,7 +43,9 @@ fn span_parts(kind: EventKind) -> Option<(&'static str, bool)> {
         | EventKind::SessionQuarantined
         | EventKind::SessionClosed
         | EventKind::SetParam
-        | EventKind::Reconfigure => None,
+        | EventKind::Reconfigure
+        | EventKind::BatchDepth
+        | EventKind::FissionReplica => None,
     }
 }
 
@@ -56,6 +58,8 @@ fn instant_cat(kind: EventKind) -> Option<&'static str> {
         EventKind::WatchdogFire => Some("watchdog"),
         EventKind::KernelFusion => Some("kernel_fusion"),
         EventKind::BatchedFiring => Some("batch"),
+        EventKind::BatchDepth => Some("batch"),
+        EventKind::FissionReplica => Some("fission"),
         EventKind::SessionAdmitted
         | EventKind::SessionRejected
         | EventKind::CacheHit

@@ -69,6 +69,12 @@ pub enum EventKind {
     /// point (`subject` = 1 when the schedule cache served the new
     /// configuration, 0 when it compiled; `aux` = swap ordinal).
     Reconfigure,
+    /// A worker's adaptive batch depth changed from downstream ring
+    /// occupancy (`subject` = node id, `aux` = the new depth).
+    BatchDepth,
+    /// A worker hosts one replica of a fissioned stage (`subject` = node
+    /// id, `aux` = total replica count).
+    FissionReplica,
 }
 
 impl EventKind {
@@ -97,6 +103,8 @@ impl EventKind {
             EventKind::SessionClosed => "session_closed",
             EventKind::SetParam => "set_param",
             EventKind::Reconfigure => "reconfigure",
+            EventKind::BatchDepth => "batch_depth",
+            EventKind::FissionReplica => "fission_replica",
         }
     }
 }
@@ -161,6 +169,8 @@ mod tests {
             EventKind::SessionClosed,
             EventKind::SetParam,
             EventKind::Reconfigure,
+            EventKind::BatchDepth,
+            EventKind::FissionReplica,
         ];
         let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());

@@ -48,6 +48,14 @@ impl Json {
         }
     }
 
+    /// The boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string, if this is a `Str`.
     pub fn as_str(&self) -> Option<&str> {
         match self {

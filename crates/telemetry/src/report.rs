@@ -38,6 +38,12 @@ pub const SCHEMA_VERSION: u64 = 1;
 pub struct BenchRow {
     /// Benchmark name (e.g. `FMRadio`).
     pub benchmark: String,
+    /// This row *is* the reference other rows' ratios are computed
+    /// against (e.g. the 1-worker measurement a speedup divides by).
+    /// Comparators must never gate a baseline row on ratio metrics —
+    /// they are self-ratios, identically 1. Omitted from the JSON when
+    /// false.
+    pub baseline: bool,
     /// Continuous measurements, in insertion order.
     pub metrics: Vec<(String, f64)>,
     /// Exact event counts, in insertion order.
@@ -51,6 +57,12 @@ impl BenchRow {
             benchmark: benchmark.into(),
             ..Default::default()
         }
+    }
+
+    /// Mark this row as the baseline its siblings' ratios divide by.
+    pub fn as_baseline(mut self) -> BenchRow {
+        self.baseline = true;
+        self
     }
 
     /// Append a metric (non-finite values are recorded as 0.0 so the
@@ -150,27 +162,29 @@ impl BenchReport {
             .rows
             .iter()
             .map(|r| {
-                Json::obj([
-                    ("benchmark", Json::Str(r.benchmark.clone())),
-                    (
-                        "metrics",
-                        Json::Obj(
-                            r.metrics
-                                .iter()
-                                .map(|(k, v)| (k.clone(), Json::Num(*v)))
-                                .collect(),
-                        ),
+                let mut fields = vec![("benchmark", Json::Str(r.benchmark.clone()))];
+                if r.baseline {
+                    fields.push(("baseline", Json::Bool(true)));
+                }
+                fields.push((
+                    "metrics",
+                    Json::Obj(
+                        r.metrics
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                            .collect(),
                     ),
-                    (
-                        "counters",
-                        Json::Obj(
-                            r.counters
-                                .iter()
-                                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
-                                .collect(),
-                        ),
+                ));
+                fields.push((
+                    "counters",
+                    Json::Obj(
+                        r.counters
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                            .collect(),
                     ),
-                ])
+                ));
+                Json::obj(fields)
             })
             .collect();
         let mut fields = vec![
@@ -352,6 +366,11 @@ fn check_row(c: &mut Checker, row: &Json, i: usize) {
             }
         },
     );
+    if let Some(b) = row.get("baseline") {
+        if b.as_bool().is_none() {
+            c.push(format!("{what}.baseline"), "must be a boolean");
+        }
+    }
     c.field(
         row,
         &format!("{what}.metrics"),
@@ -526,6 +545,29 @@ mod tests {
         assert!(validate_str(bad).unwrap_err().contains("kernel_backend"));
         let bad = r#"{"schema_version":1,"name":"x","machine":"m","simd_width":4,"created_unix_ms":0,"batched_firings":-3,"rows":[]}"#;
         assert!(validate_str(bad).unwrap_err().contains("batched_firings"));
+    }
+
+    #[test]
+    fn baseline_flag_round_trips() {
+        let mut r = BenchReport::new("runtime", "core_i7_sse4", 4);
+        r.push_row(
+            BenchRow::new("FilterBank@1")
+                .as_baseline()
+                .metric("nanos_per_iter", 100.0),
+        );
+        r.push_row(
+            BenchRow::new("FilterBank@2")
+                .metric("nanos_per_iter", 60.0)
+                .metric("speedup", 1.67),
+        );
+        let s = r.json_string();
+        assert!(s.contains("\"baseline\": true"));
+        validate_str(&s).unwrap();
+        // Unflagged rows stay flag-free on the wire.
+        assert_eq!(s.matches("baseline").count(), 1);
+        // Non-boolean flag is rejected.
+        let bad = r#"{"schema_version":1,"name":"x","machine":"m","simd_width":4,"created_unix_ms":0,"rows":[{"benchmark":"b","baseline":1,"metrics":{},"counters":{}}]}"#;
+        assert!(validate_str(bad).unwrap_err().contains("baseline"));
     }
 
     #[test]

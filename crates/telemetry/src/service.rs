@@ -52,7 +52,11 @@
 //!       "firings": 1234,
 //!       "outputs": 512,                // sink values delivered
 //!       "stalls": 0,                   // backpressure deferrals
-//!       "faults": 0                    // failures recorded
+//!       "faults": 0,                   // failures recorded
+//!       "placement_cores": 2,          // cores the planner chose
+//!       "placement_cut_edges": 1,      // edges crossing a core boundary
+//!       "placement_fused": 3,          // multi-stage fused groups
+//!       "placement_fissioned": 0       // fission replicas (0 = none)
 //!     }
 //!   ]
 //! }
@@ -174,6 +178,15 @@ pub struct TenantRow {
     pub stalls: u64,
     /// Stage failures recorded (0 or small; >0 implies `faulted`).
     pub faults: u64,
+    /// Cores the cost-model planner chose for this graph (1 = collapsed
+    /// to sequential).
+    pub placement_cores: u64,
+    /// Edges that cross a core boundary under the chosen placement.
+    pub placement_cut_edges: u64,
+    /// Fused groups — clusters holding two or more stages on one core.
+    pub placement_fused: u64,
+    /// Replica count of the fissioned stage (0 when no stage is split).
+    pub placement_fissioned: u64,
 }
 
 /// A machine-readable service report, written as `SERVICE_<name>.json`.
@@ -244,6 +257,16 @@ impl ServiceReport {
                     ("outputs", Json::Num(t.outputs as f64)),
                     ("stalls", Json::Num(t.stalls as f64)),
                     ("faults", Json::Num(t.faults as f64)),
+                    ("placement_cores", Json::Num(t.placement_cores as f64)),
+                    (
+                        "placement_cut_edges",
+                        Json::Num(t.placement_cut_edges as f64),
+                    ),
+                    ("placement_fused", Json::Num(t.placement_fused as f64)),
+                    (
+                        "placement_fissioned",
+                        Json::Num(t.placement_fissioned as f64),
+                    ),
                 ])
             })
             .collect();
@@ -626,8 +649,19 @@ fn check_tenant(c: &mut Checker, t: &Json, i: usize) {
         "outputs",
         "stalls",
         "faults",
+        "placement_cut_edges",
+        "placement_fused",
+        "placement_fissioned",
     ] {
         c.uint_field(t, &format!("{what}.{key}"));
+    }
+    if let Some(cores) = c.uint_field(t, &format!("{what}.placement_cores")) {
+        if cores == 0 {
+            c.push(
+                format!("{what}.placement_cores"),
+                "must be >= 1 (1 = collapsed to sequential)",
+            );
+        }
     }
 }
 
@@ -742,6 +776,10 @@ mod tests {
             outputs: 64,
             stalls: 0,
             faults: 0,
+            placement_cores: 2,
+            placement_cut_edges: 1,
+            placement_fused: 3,
+            placement_fissioned: 0,
         });
         r
     }
@@ -850,6 +888,12 @@ mod tests {
                     .json_string()
                     .replace("\"hits\": 5", "\"hits\": -5"),
                 "hits",
+            ),
+            (
+                &sample()
+                    .json_string()
+                    .replace("\"placement_cores\": 2", "\"placement_cores\": 0"),
+                "placement_cores",
             ),
         ];
         for (doc, needle) in cases {

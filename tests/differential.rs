@@ -293,6 +293,157 @@ mod engine_differential {
         }
     }
 
+    /// Cost-model-planned placements (fusion, fission, collapse) under
+    /// all three engines, across three communication regimes and two
+    /// worker budgets: every plan's output must be bit-identical to the
+    /// sequential tree-walk oracle. The cheap regime pushes the planner
+    /// toward aggressive cuts and fission; the chatty regime toward
+    /// fusion and collapse — both must preserve the stream exactly.
+    #[test]
+    fn all_benchmarks_planned_placements_agree() {
+        use macross_repro::multicore::{plan_placement, CommModel};
+        use macross_repro::runtime::run_threaded_placed_traced_mode;
+        use macross_repro::telemetry::TraceSession;
+        let m = Machine::core_i7();
+        let comms = [
+            CommModel {
+                cycles_per_element: 1,
+                sync_per_edge: 8,
+            },
+            CommModel::default(),
+            CommModel {
+                cycles_per_element: 32,
+                sync_per_edge: 4096,
+            },
+        ];
+        let mut parallel_plans = 0usize;
+        let mut fissioned_plans = 0usize;
+        for b in benchsuite::all() {
+            let g = (b.build)();
+            let simd = macro_simdize(&g, &m, &SimdizeOptions::all())
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let seq = run_scheduled_mode(&simd.graph, &simd.schedule, &m, 2, ExecMode::TreeWalk)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            for comm in &comms {
+                for workers in [2usize, 4] {
+                    let plan = plan_placement(
+                        &simd.graph,
+                        &simd.schedule,
+                        &seq.node_cycles,
+                        workers,
+                        comm,
+                    );
+                    if plan.cores_used > 1 {
+                        parallel_plans += 1;
+                    }
+                    if plan.fissioned > 0 {
+                        fissioned_plans += 1;
+                    }
+                    for mode in [
+                        ExecMode::TreeWalk,
+                        ExecMode::Bytecode,
+                        ExecMode::BytecodeNoFuse,
+                    ] {
+                        let ctx = format!(
+                            "{}@{workers} comm {}/{} {mode:?}",
+                            b.name, comm.cycles_per_element, comm.sync_per_edge
+                        );
+                        let thr = run_threaded_placed_traced_mode(
+                            &simd.graph,
+                            &simd.schedule,
+                            &m,
+                            &plan.placement,
+                            2,
+                            &TraceSession::disabled(),
+                            mode,
+                        )
+                        .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+                        assert_eq!(
+                            thr.report.cut_edges, plan.cut_edges,
+                            "{ctx}: runtime cut edges disagree with the plan"
+                        );
+                        assert_eq!(
+                            thr.output.len(),
+                            seq.output.len(),
+                            "{ctx}: throughput mismatch"
+                        );
+                        for (i, (x, y)) in seq.output.iter().zip(&thr.output).enumerate() {
+                            assert!(x.bits_eq(*y), "{ctx}: output {i} differs: {x:?} vs {y:?}");
+                        }
+                    }
+                }
+            }
+        }
+        // If every plan collapsed the parallel legs above were vacuous.
+        assert!(parallel_plans > 0, "no plan ever chose more than one core");
+        assert!(fissioned_plans > 0, "no plan ever fissioned a stage");
+    }
+
+    /// Explicit-fission sweep: for every stage of every benchmark that
+    /// passes the fission legality check, split it across two cores (the
+    /// rest of the graph on core 0) and demand output bit-identical to
+    /// the sequential oracle. This covers the deal/merge rotation on
+    /// stages the cost-model planner would never pick.
+    #[test]
+    fn all_benchmarks_explicit_fission_agrees() {
+        use macross_repro::runtime::{run_threaded_placed_traced_mode, FissionSpec, Placement};
+        use macross_repro::telemetry::TraceSession;
+        let m = Machine::core_i7();
+        let mut fissioned = 0usize;
+        for b in benchsuite::all() {
+            let g = (b.build)();
+            let simd = macro_simdize(&g, &m, &SimdizeOptions::all())
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let seq = run_scheduled_mode(&simd.graph, &simd.schedule, &m, 2, ExecMode::TreeWalk)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            // Cap legal candidates per benchmark to bound test time; the
+            // suite-wide floor below keeps the sweep honest.
+            let mut budget = 4usize;
+            for node in simd.graph.node_ids() {
+                if budget == 0 {
+                    break;
+                }
+                let placement = Placement {
+                    assignment: vec![0; simd.graph.node_count()],
+                    fission: vec![FissionSpec {
+                        node,
+                        replicas: vec![0, 1],
+                    }],
+                };
+                if placement.validate(&simd.graph, &simd.schedule).is_err() {
+                    continue;
+                }
+                budget -= 1;
+                fissioned += 1;
+                for mode in [ExecMode::TreeWalk, ExecMode::Bytecode] {
+                    let ctx = format!("{} fission node {} {mode:?}", b.name, node.0);
+                    let thr = run_threaded_placed_traced_mode(
+                        &simd.graph,
+                        &simd.schedule,
+                        &m,
+                        &placement,
+                        2,
+                        &TraceSession::disabled(),
+                        mode,
+                    )
+                    .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+                    assert_eq!(
+                        thr.output.len(),
+                        seq.output.len(),
+                        "{ctx}: throughput mismatch"
+                    );
+                    for (i, (x, y)) in seq.output.iter().zip(&thr.output).enumerate() {
+                        assert!(x.bits_eq(*y), "{ctx}: output {i} differs: {x:?} vs {y:?}");
+                    }
+                }
+            }
+        }
+        assert!(
+            fissioned >= 3,
+            "fission legality rejected nearly every stage in the suite ({fissioned} legal)"
+        );
+    }
+
     /// Guest-program failures surface identically through both engines.
     #[test]
     fn engine_errors_match() {

@@ -21,7 +21,8 @@
 use macross_bench::replay::{failure_signature, make_bundle, run_bundle};
 use macross_repro::benchsuite;
 use macross_repro::runtime::{
-    run_supervised, FaultKind, FaultPlan, SupervisedRun, SupervisorOptions, FAULTS_COMPILED,
+    run_supervised, run_supervised_placed, FaultKind, FaultPlan, FissionSpec, Placement,
+    SupervisedRun, SupervisorOptions, FAULTS_COMPILED,
 };
 use macross_repro::sdf::Schedule;
 use macross_repro::streamir::graph::{Graph, Node};
@@ -147,6 +148,107 @@ fn assert_prefix(bench: &str, cores: usize, clean: &SupervisedRun, failed: &Supe
 
 // The whole file is gated on the feature, so injection must be compiled.
 const _: () = assert!(FAULTS_COMPILED);
+
+/// Fault injection through the fission deal/merge path: split a legal
+/// stage across two cores, then pin the same supervision contract on the
+/// *fissioned* stage — a panicking replica fails typed with the sink
+/// prefix intact and a deterministic signature, and a swallowed unpark on
+/// a replica ring is absorbed bit-identically. Covers the failure paths
+/// the whole-stage matrix above can never reach.
+#[test]
+fn injected_faults_under_fission_fail_clean() {
+    let machine = Machine::core_i7();
+    let mut covered = 0usize;
+    for bench in benchsuite::all() {
+        let graph = (bench.build)();
+        let (graph, schedule, _) =
+            macross_bench::replay::campaign_placement(&graph, &machine, 1).unwrap();
+        // First stage the legality check accepts, split across two cores.
+        let Some(placement) = graph.node_ids().find_map(|node| {
+            let p = Placement {
+                assignment: vec![0; graph.node_count()],
+                fission: vec![FissionSpec {
+                    node,
+                    replicas: vec![0, 1],
+                }],
+            };
+            p.validate(&graph, &schedule).is_ok().then_some(p)
+        }) else {
+            continue;
+        };
+        covered += 1;
+        let victim = placement.fission[0].node.0 as usize;
+        let label = format!("{} fission stage {victim}", bench.name);
+        let iters = bench.iters.min(6);
+        let run_placed = |plan: FaultPlan| -> SupervisedRun {
+            let opts = SupervisorOptions {
+                mode: ExecMode::default(),
+                watchdog: None,
+                stage_timeouts: Vec::new(),
+                plan,
+            };
+            let t0 = Instant::now();
+            let out = run_supervised_placed(
+                &graph,
+                &schedule,
+                &machine,
+                &placement,
+                iters,
+                &opts,
+                &TraceSession::disabled(),
+            )
+            .unwrap();
+            assert!(
+                t0.elapsed() < NO_HANG,
+                "{label}: run exceeded the no-hang bound ({NO_HANG:?})"
+            );
+            out
+        };
+        let clean = run_placed(FaultPlan::none());
+        assert!(clean.completed, "{label}: clean run must complete");
+        let firings = clean.report.stages[victim].firings;
+        assert!(firings >= 2, "{label}: victim fired only {firings} times");
+        let firing = firings / 2;
+
+        // Fatal: a replica panic mid-rotation fails typed, prefix intact.
+        let plan = FaultPlan::single(victim, firing, FaultKind::Panic);
+        let failed = run_placed(plan.clone());
+        assert!(!failed.completed, "{label}: panic must fail the run");
+        let f = failed
+            .report
+            .root_failure()
+            .unwrap_or_else(|| panic!("{label}: panic recorded no failure"));
+        assert_eq!((f.stage, f.firing), (victim, firing), "{label}");
+        assert_eq!(f.cause.label(), "panic", "{label}: {f}");
+        assert_prefix(bench.name, 2, &clean, &failed);
+        let again = run_placed(plan);
+        assert_eq!(
+            failure_signature(&failed.report.failures),
+            failure_signature(&again.report.failures),
+            "{label}: failure signature must be deterministic"
+        );
+
+        // Robustness: a swallowed unpark on the replica rings is absorbed.
+        let out = run_placed(FaultPlan::single(
+            victim,
+            firing,
+            FaultKind::DropUnpark { count: 2 },
+        ));
+        assert!(out.completed, "{label}: dropped unpark must be absorbed");
+        assert!(out.report.failures.is_empty(), "{label}");
+        assert_eq!(out.output.len(), clean.output.len(), "{label}: throughput");
+        for (i, (a, b)) in out.output.iter().zip(&clean.output).enumerate() {
+            assert!(
+                a.bits_eq(*b),
+                "{label}: output {i} diverged: {a:?} vs {b:?}"
+            );
+        }
+    }
+    assert!(
+        covered >= 3,
+        "fission legality rejected nearly every benchmark ({covered} covered)"
+    );
+}
 
 #[test]
 fn injected_faults_fail_clean_and_replay_identically() {
