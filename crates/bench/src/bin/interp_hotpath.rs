@@ -1,13 +1,26 @@
 //! Interpreter hot-path microbenchmark: ns per firing of the tree-walking
-//! interpreter vs. the register bytecode engine on three representative
+//! interpreter vs. the register bytecode engine on six representative
 //! filter shapes — an arithmetic-heavy scalar loop, a macro-SIMDized
-//! vector kernel, and a peeking FIR with an array-indexed loop.
+//! FMA-chain kernel, a peeking FIR with an array-indexed loop, two
+//! permutation-heavy SIMDized pipelines (BitonicSort's compare-exchange
+//! network and MatrixMultBlock's transpose mesh), and a synthetic
+//! perm-dominated riffle network where the tier matrix's permutation
+//! kernels carry nearly all of the work.
 //!
-//! Both engines run the *same* compiled graph and schedule inside one
+//! All engines run the *same* compiled graph and schedule inside one
 //! binary via `ExecMode`, so the comparison isolates the execution
 //! substrate. Outputs are asserted bit-identical before any number is
-//! reported. Emits `BENCH_interp_hotpath.json` (schema v1) when report
-//! emission is enabled (`telemetry` feature or `MACROSS_BENCH_JSON`).
+//! reported — including one fused run under every *available* kernel
+//! tier (`MACROSS_KERNEL_TIER` forced per run), which differentially
+//! pins the whole backend matrix against the tree-walk oracle on real
+//! benchmark graphs.
+//!
+//! Besides the engine columns, the table (and report) carries one
+//! fused-vs-dispatch column per available tier; the unsuffixed metrics
+//! always describe the natively selected tier, so existing baselines
+//! keep their meaning. Emits `BENCH_interp_hotpath.json` (schema v1)
+//! when report emission is enabled (`telemetry` feature or
+//! `MACROSS_BENCH_JSON`).
 //!
 //! Usage: `interp_hotpath [iters]` (default 2000 steady iterations per
 //! timed sample).
@@ -20,7 +33,9 @@ use macross_streamir::builder::StreamSpec;
 use macross_streamir::edsl::*;
 use macross_streamir::graph::{Graph, Node};
 use macross_streamir::types::{ScalarTy, Ty};
-use macross_vm::{compile_filter_opts, kernel, run_scheduled_mode, ExecMode, Machine};
+use macross_vm::{
+    compile_filter_opts, kernel, run_scheduled_mode, ExecMode, KernelTier, Machine, RunResult,
+};
 use std::time::Instant;
 
 /// Arithmetic-heavy scalar filter: pop 1, push 1, 48 loop iterations of
@@ -48,9 +63,10 @@ fn mix32() -> Graph {
 
 /// Stateless float kernel that macro-SIMDization vectorizes: 24 chained
 /// multiply-adds per element, executed as vector ops after SIMDization.
-/// The depth matters: each tree-walk vector op allocates a fresh
-/// `Vec<Value>`, while the bytecode engine updates lanes in place, so the
-/// FMA chain isolates the per-op gap.
+/// The depth matters: chain formation collapses the whole ladder into
+/// one register-resident `KOp::Chain`, so this benchmark isolates the
+/// FMA-chain win (load once, chain in-register, store once) on top of
+/// the per-op dispatch gap.
 fn vmix_scalar() -> Graph {
     let mut fb = FilterBuilder::new("vmix", 1, 1, 1, ScalarTy::F32);
     let x = fb.local("x", Ty::Scalar(ScalarTy::F32));
@@ -80,6 +96,91 @@ fn fir16() -> Graph {
     ])
     .build()
     .expect("fir16 graph")
+}
+
+/// Hand-vectorized permutation network: two 8-lane f32 vectors riffled
+/// through 24 rounds of `extract_even`/`extract_odd` pairs, with a
+/// two-op multiply-add mix every other round. Unlike the benchsuite
+/// graphs (whose fused filters amortize the kernel across a large tape
+/// and charge footprint), this filter is almost nothing *but*
+/// permutations, so its fused/dispatch ratio isolates what the tier
+/// matrix buys on `PermF`.
+fn permnet() -> Graph {
+    use macross_streamir::expr::{BinOp, Expr, LValue};
+    use macross_streamir::stmt::Stmt;
+    use macross_streamir::types::Value;
+    const W: usize = 8;
+    const ROUNDS: usize = 24;
+    let mut fb = FilterBuilder::new("permnet", 2 * W, 2 * W, 2 * W, ScalarTy::F32);
+    let a = fb.local("a", Ty::Vector(ScalarTy::F32, W));
+    let bv = fb.local("b", Ty::Vector(ScalarTy::F32, W));
+    let e = fb.local("e", Ty::Vector(ScalarTy::F32, W));
+    let o = fb.local("o", Ty::Vector(ScalarTy::F32, W));
+    fb.work(move |b| {
+        let var = |id| Box::new(Expr::Var(id));
+        b.stmt(Stmt::Assign(LValue::Var(a), Expr::VPop { width: W }));
+        b.stmt(Stmt::Assign(LValue::Var(bv), Expr::VPop { width: W }));
+        for r in 0..ROUNDS / 2 {
+            b.stmt(Stmt::Assign(
+                LValue::Var(e),
+                Expr::PermuteEven(var(a), var(bv)),
+            ));
+            b.stmt(Stmt::Assign(
+                LValue::Var(o),
+                Expr::PermuteOdd(var(a), var(bv)),
+            ));
+            b.stmt(Stmt::Assign(
+                LValue::Var(a),
+                Expr::PermuteEven(var(e), var(o)),
+            ));
+            b.stmt(Stmt::Assign(
+                LValue::Var(bv),
+                Expr::PermuteOdd(var(e), var(o)),
+            ));
+            if r % 2 == 0 {
+                // a = a * 1.0001 + b: keeps the data flowing across
+                // rounds and gives chain formation a short ladder.
+                b.stmt(Stmt::Assign(
+                    LValue::Var(a),
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::bin(
+                            BinOp::Mul,
+                            Expr::Var(a),
+                            Expr::Splat(Box::new(Expr::Const(Value::F32(1.0001))), W),
+                        ),
+                        Expr::Var(bv),
+                    ),
+                ));
+            }
+        }
+        b.stmt(Stmt::VPush {
+            value: Expr::Var(a),
+            width: W,
+        });
+        b.stmt(Stmt::VPush {
+            value: Expr::Var(bv),
+            width: W,
+        });
+    });
+    StreamSpec::pipeline(vec![
+        source_f32("src", 2 * W, 4096, 0.25),
+        fb.build_spec(),
+        StreamSpec::Sink,
+    ])
+    .build()
+    .expect("permnet graph")
+}
+
+/// Macro-SIMDize a benchsuite application; the fused hot filter carries
+/// the permutation-heavy kernels the tier matrix exists for.
+fn simdized_suite(name: &str) -> (Graph, Schedule) {
+    let machine = Machine::core_i7();
+    let b = macross_benchsuite::by_name(name)
+        .unwrap_or_else(|| panic!("no benchsuite program named {name}"));
+    let simd =
+        macro_simdize(&(b.build)(), &machine, &SimdizeOptions::all()).expect("macro_simdize");
+    (simd.graph, simd.schedule)
 }
 
 /// Minimum wall nanoseconds of `samples` runs of one full scheduled
@@ -128,6 +229,22 @@ fn hot_filter(
     panic!("no filter named *{needle}* in graph");
 }
 
+/// Force the backend-matrix tier for subsequent compiles (or restore the
+/// inherited setting with `None`).
+fn set_tier_env(tier: Option<&str>, inherited: &Option<String>) {
+    match tier {
+        Some(label) => std::env::set_var("MACROSS_KERNEL_TIER", label),
+        None => match inherited {
+            Some(orig) => std::env::set_var("MACROSS_KERNEL_TIER", orig),
+            None => std::env::remove_var("MACROSS_KERNEL_TIER"),
+        },
+    }
+}
+
+fn outputs_bits_eq(a: &RunResult, b: &RunResult) -> bool {
+    a.output.len() == b.output.len() && a.output.iter().zip(&b.output).all(|(x, y)| x.bits_eq(*y))
+}
+
 fn main() {
     let machine = Machine::core_i7();
     let iters: u64 = std::env::args()
@@ -135,6 +252,15 @@ fn main() {
         .map(|s| s.parse().expect("iters must be a number"))
         .unwrap_or(2000);
     let samples = 5;
+    // The tier detection (or the caller's env) picked before this binary
+    // starts forcing tiers per timed run.
+    let native = kernel::select_tier();
+    let inherited = std::env::var("MACROSS_KERNEL_TIER").ok();
+    let tiers: Vec<KernelTier> = KernelTier::ALL
+        .iter()
+        .copied()
+        .filter(|t| t.available())
+        .collect();
 
     // (label, graph, schedule, hot-filter name fragment)
     let mut cases: Vec<(&str, Graph, Schedule, &str)> = Vec::new();
@@ -146,24 +272,53 @@ fn main() {
     let g = fir16();
     let s = Schedule::compute(&g).expect("schedule");
     cases.push(("fir16_peeking", g, s, "fir16"));
+    // Permutation-heavy: the fused BitonicSort network carries 40 PermI
+    // kernels ops; MatrixMultBlock's transpose mesh carries 192 PermF.
+    let (g, s) = simdized_suite("BitonicSort");
+    cases.push(("bitonic_permnet", g, s, "bs_k"));
+    let (g, s) = simdized_suite("MatrixMultBlock");
+    cases.push(("blockmm_permnet", g, s, "mmb_mul"));
+    // Synthetic permutation network: perms dominate the fused kernel, so
+    // this row is where the perm-speedup gate bites.
+    let g = permnet();
+    let s = Schedule::compute(&g).expect("schedule");
+    cases.push(("permnet_synthetic", g, s, "permnet"));
 
     println!(
-        "== Interpreter hot path: tree-walk vs. bytecode ({iters} iters, min of {samples}) =="
+        "== Interpreter hot path: tree-walk vs. bytecode ({iters} iters, min of {samples}, native tier {}) ==",
+        native.label()
     );
     let mut report = BenchReport::new("interp_hotpath", &machine.name, machine.simd_width as u64)
         .with_exec_mode("bytecode-vs-treewalk")
-        .with_kernel_backend(kernel::select_backend().label());
+        .with_kernel_backend(native.label())
+        .with_kernel_tier(native.label());
     let mut rows = Vec::new();
     for (label, graph, sched, needle) in &cases {
-        // All three engines must agree bit-for-bit before any timing counts.
+        // All engines must agree bit-for-bit before any timing counts —
+        // and the fused engine must agree under *every* available tier,
+        // not just the natively selected one.
         let tw = run_scheduled_mode(graph, sched, &machine, 16, ExecMode::TreeWalk).expect("tw");
-        let bc = run_scheduled_mode(graph, sched, &machine, 16, ExecMode::Bytecode).expect("bc");
         let nf =
             run_scheduled_mode(graph, sched, &machine, 16, ExecMode::BytecodeNoFuse).expect("nf");
-        assert_eq!(tw.output, bc.output, "{label}: engines diverge");
-        assert_eq!(tw.counters, bc.counters, "{label}: cycle counters diverge");
-        assert_eq!(nf.output, bc.output, "{label}: fusion changes output");
-        assert_eq!(nf.counters, bc.counters, "{label}: fusion changes counters");
+        assert!(outputs_bits_eq(&tw, &nf), "{label}: dispatch diverges");
+        assert_eq!(tw.counters, nf.counters, "{label}: counters diverge");
+        for tier in &tiers {
+            set_tier_env(Some(tier.label()), &inherited);
+            let bc =
+                run_scheduled_mode(graph, sched, &machine, 16, ExecMode::Bytecode).expect("bc");
+            assert!(
+                outputs_bits_eq(&tw, &bc),
+                "{label}: fused {} tier diverges",
+                tier.label()
+            );
+            assert_eq!(
+                tw.counters,
+                bc.counters,
+                "{label}: fused {} tier counters diverge",
+                tier.label()
+            );
+        }
+        set_tier_env(None, &inherited);
 
         let (reps, compiled, kernels) = hot_filter(graph, sched, &machine, needle);
         let firings = reps * iters;
@@ -176,49 +331,72 @@ fn main() {
             ExecMode::BytecodeNoFuse,
             samples,
         );
-        let bc_ns = time_run(graph, sched, &machine, iters, ExecMode::Bytecode, samples);
         let tw_per = tw_ns as f64 / firings as f64;
         let nf_per = nf_ns as f64 / firings as f64;
-        let bc_per = bc_ns as f64 / firings as f64;
-        let speedup = safe_ratio(tw_per, bc_per);
-        let kernel_speedup = safe_ratio(nf_per, bc_per);
+
+        // Fused timing, once per available tier.
+        let mut row = BenchRow::new(*label);
+        let mut per_tier_cells: Vec<String> = Vec::new();
+        let mut native_per = f64::NAN;
+        for tier in &tiers {
+            set_tier_env(Some(tier.label()), &inherited);
+            let ns = time_run(graph, sched, &machine, iters, ExecMode::Bytecode, samples);
+            let per = ns as f64 / firings as f64;
+            let ratio = safe_ratio(nf_per, per);
+            row = row
+                .metric(format!("bytecode_ns_per_firing_{}", tier.label()), per)
+                .metric(
+                    format!("kernel_vs_dispatch_speedup_{}", tier.label()),
+                    ratio,
+                );
+            per_tier_cells.push(format!("{ratio:.2}x"));
+            if *tier == native {
+                native_per = per;
+            }
+        }
+        set_tier_env(None, &inherited);
+        per_tier_cells.resize(KernelTier::ALL.len(), "-".to_string());
+
+        let speedup = safe_ratio(tw_per, native_per);
+        let kernel_speedup = safe_ratio(nf_per, native_per);
         report.push_row(
-            BenchRow::new(*label)
-                .metric("treewalk_ns_per_firing", tw_per)
+            row.metric("treewalk_ns_per_firing", tw_per)
                 .metric("dispatch_ns_per_firing", nf_per)
-                .metric("bytecode_ns_per_firing", bc_per)
+                .metric("bytecode_ns_per_firing", native_per)
                 .metric("speedup", speedup)
                 .metric("kernel_vs_dispatch_speedup", kernel_speedup)
                 .counter("firings", firings)
                 .counter("compiled", u64::from(compiled))
                 .counter("kernels", kernels),
         );
-        rows.push(vec![
+        let mut cells = vec![
             label.to_string(),
             format!("{tw_per:.1}"),
             format!("{nf_per:.1}"),
-            format!("{bc_per:.1}"),
+            format!("{native_per:.1}"),
             format!("{speedup:.2}x"),
-            format!("{kernel_speedup:.2}x"),
-            kernels.to_string(),
-            if compiled { "yes" } else { "FALLBACK" }.to_string(),
-        ]);
+        ];
+        cells.extend(per_tier_cells);
+        cells.push(kernels.to_string());
+        cells.push(if compiled { "yes" } else { "FALLBACK" }.to_string());
+        rows.push(cells);
     }
-    println!(
-        "{}",
-        render_table(
-            &[
-                "filter",
-                "treewalk ns/firing",
-                "dispatch ns/firing",
-                "fused ns/firing",
-                "speedup",
-                "fused/dispatch",
-                "kernels",
-                "compiled",
-            ],
-            &rows,
-        )
-    );
+    let mut headers = vec![
+        "filter".to_string(),
+        "treewalk ns/firing".to_string(),
+        "dispatch ns/firing".to_string(),
+        "fused ns/firing".to_string(),
+        "speedup".to_string(),
+    ];
+    for tier in KernelTier::ALL.iter().filter(|t| t.available()) {
+        headers.push(format!("fused/disp {}", tier.label()));
+    }
+    for tier in KernelTier::ALL.iter().filter(|t| !t.available()) {
+        headers.push(format!("fused/disp {}", tier.label()));
+    }
+    headers.push("kernels".to_string());
+    headers.push("compiled".to_string());
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    println!("{}", render_table(&header_refs, &rows));
     emit_report(&report);
 }

@@ -1,0 +1,76 @@
+//! CLI probe of the kernel backend matrix, for the CI `kernel-matrix`
+//! job (and for humans wondering what a box can run).
+//!
+//! Modes:
+//!
+//! - no arguments: print the runtime-detected tier and the availability
+//!   of every tier in the matrix. Exits nonzero if detection lands on a
+//!   tier the matrix does not recognize as available — that would mean
+//!   feature detection and the backend table disagree, and every forced-
+//!   tier suite downstream would be testing a lie.
+//! - `--check <tier>`: exit `0` if the named tier can execute on this
+//!   machine, `2` if it is recognized but unavailable (CI skips the leg),
+//!   and `1` if the label itself is unknown (CI fails the job).
+//!
+//! The probe deliberately ignores `MACROSS_KERNEL_TIER` for the
+//! availability table — it reports hardware truth, not the override —
+//! but prints the override when set so CI logs show both.
+
+use macross_vm::{kernel, KernelTier};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        [] => {
+            let detected = kernel::select_tier();
+            println!(
+                "detected: {} ({}-bit lanes)",
+                detected.label(),
+                detected.width_bits()
+            );
+            if let Ok(forced) = std::env::var("MACROSS_KERNEL_TIER") {
+                println!("forced via MACROSS_KERNEL_TIER: {forced}");
+            }
+            for t in KernelTier::ALL {
+                println!(
+                    "{:8} {}",
+                    t.label(),
+                    if t.available() {
+                        "available"
+                    } else {
+                        "unavailable"
+                    }
+                );
+            }
+            if !detected.available() {
+                eprintln!(
+                    "error: detection selected tier {:?} but the matrix reports it unavailable",
+                    detected.label()
+                );
+                std::process::exit(1);
+            }
+        }
+        ["--check", label] => {
+            let Some(t) = KernelTier::from_label(label) else {
+                eprintln!(
+                    "error: unknown tier {label:?} (matrix knows: {})",
+                    KernelTier::ALL
+                        .iter()
+                        .map(|t| t.label())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                std::process::exit(1);
+            };
+            if !t.available() {
+                eprintln!("tier {label} is recognized but cannot execute on this machine");
+                std::process::exit(2);
+            }
+            println!("tier {label} is available");
+        }
+        _ => {
+            eprintln!("usage: kernel_tiers [--check <portable|sse2|avx2>]");
+            std::process::exit(1);
+        }
+    }
+}

@@ -35,7 +35,7 @@
 //! counters, so mid-block divergence there is unobservable.
 
 use crate::error::{TapeSide, VmError};
-use crate::kernel::{self, Kernel, KernelBackend};
+use crate::kernel::{self, Kernel, KernelTier};
 use crate::machine::CycleCounters;
 use crate::tape::Tape;
 use macross_streamir::expr::{BinOp, Intrinsic};
@@ -109,8 +109,9 @@ pub struct CompiledFilter {
     /// Fused superblock kernels indexed by [`Op::Kernel`] (shared by
     /// `init` and `work`; empty when fusion is disabled).
     pub kernels: Vec<Kernel>,
-    /// Backend executing the fused kernels, selected at compile time.
-    pub backend: KernelBackend,
+    /// Backend-matrix tier executing the fused kernels, selected at
+    /// compile time.
+    pub tier: KernelTier,
 }
 
 impl CompiledFilter {
@@ -1065,7 +1066,7 @@ pub fn run_code(
 
             Op::Kernel(idx) => {
                 let k = &plan.kernels[*idx as usize];
-                kernel::exec(k, plan.backend, regs);
+                kernel::exec(k, plan.tier, regs);
                 pc += k.span as usize;
                 continue;
             }
@@ -1700,7 +1701,7 @@ mod tests {
             ],
             charges: vec![],
             kernels: vec![],
-            backend: KernelBackend::Portable,
+            tier: KernelTier::Portable,
         };
         let mut regs = Regs::new(3, 0);
         let mut counters = CycleCounters::default();
@@ -1734,7 +1735,7 @@ mod tests {
             }],
             charges: vec![],
             kernels: vec![],
-            backend: KernelBackend::Portable,
+            tier: KernelTier::Portable,
         };
         let mut regs = Regs::new(1, 0);
         let mut counters = CycleCounters::default();

@@ -148,10 +148,11 @@ pub fn compile_filter_opts(
     };
     let mut init = c.compile_body(&filter.init)?;
     let mut work = c.compile_body(&filter.work)?;
+    let tier = kernel::select_tier();
     let mut kernels = Vec::new();
     if fuse {
-        kernel::fuse(&mut init, &mut kernels, c.max_i, c.max_f);
-        kernel::fuse(&mut work, &mut kernels, c.max_i, c.max_f);
+        kernel::fuse(&mut init, &mut kernels, c.max_i, c.max_f, tier);
+        kernel::fuse(&mut work, &mut kernels, c.max_i, c.max_f, tier);
     }
     Some(CompiledFilter {
         name: filter.name.clone(),
@@ -163,7 +164,7 @@ pub fn compile_filter_opts(
         work,
         charges: c.charges,
         kernels,
-        backend: kernel::select_backend(),
+        tier,
     })
 }
 

@@ -9,16 +9,44 @@
 //! with the operator/type pre-resolved, and each maximal run becomes one
 //! `Op::Kernel` the interpreter executes in a single dispatch.
 //!
-//! Two backends execute the same `KOp` stream:
+//! A width-parameterized **tier matrix** executes the same `KOp` stream
+//! (DESIGN.md §16):
 //!
-//! - **Portable** (`exec_kop_portable`): safe Rust slice loops written so
-//!   LLVM autovectorizes the hot arithmetic variants. Always available
-//!   and the only backend off x86-64.
-//! - **AVX2** ([`x86`]): runtime-feature-detected
-//!   (`is_x86_feature_detected!("avx2")`) intrinsic paths for the
-//!   type-stable arithmetic variants; every other variant falls through
-//!   to the portable code. All `unsafe` is confined to the [`x86`]
-//!   module.
+//! - **Portable** ([`KernelTier::Portable`], `exec_kop_portable`): safe
+//!   Rust slice loops written so LLVM autovectorizes the hot variants at
+//!   whatever width the build target has — the scalable-width tier.
+//!   Always available and the only tier off x86-64.
+//! - **SSE2** ([`KernelTier::Sse2`], [`x86::sse2`]): 128-bit intrinsic
+//!   paths — the x86-64 baseline, present on every x86-64 CPU.
+//! - **AVX2** ([`KernelTier::Avx2`], [`x86::avx2`]): 256-bit intrinsic
+//!   paths, runtime-feature-detected (`is_x86_feature_detected!`).
+//!
+//! Both intrinsic tiers are generated from one shared exec body
+//! parameterized over the tier's vector types and lane count, so adding a
+//! width is a matter of supplying the wrapper row, not re-deriving the
+//! dispatch logic. Variants a tier has no exact instruction for fall
+//! through to the portable code. All `unsafe` is confined to the [`x86`]
+//! module. Tier selection is runtime feature detection, overridable with
+//! `MACROSS_KERNEL_TIER=portable|sse2|avx2` (and the older
+//! `MACROSS_FORCE_PORTABLE_KERNELS=1`, which still forces portable).
+//!
+//! # Register-resident chains
+//!
+//! After the alias passes, [`form_chains`] collapses producer→consumer
+//! runs of specialized arithmetic — each op reading the previous op's
+//! destination as exactly one operand — into a single [`KOp::Chain`]
+//! that loads the accumulator once, applies every stage in-register, and
+//! stores each destination range only at its *last* write (intermediate
+//! writebacks whose range is rewritten later in the chain are elided).
+//! This removes the store-to-load round trip through the register file
+//! that otherwise dominates fused FMA chains. Legality (checked at
+//! formation) guarantees every execution order that preserves per-lane
+//! stage order is bit-identical to the original op sequence: every pair
+//! of ranges the chain touches — the accumulator load, each stage's
+//! `other` operand, each destination — is identical-or-disjoint, so
+//! identical ranges stay lane-aligned and disjoint ranges never
+//! interact. Stores surviving elision are exactly those whose range is
+//! read again before being rewritten, plus each range's last write.
 //!
 //! # Fusion legality
 //!
@@ -62,23 +90,80 @@ pub(crate) mod x86;
 /// Minimum fusible run length: a 1-op "kernel" would only add overhead.
 const MIN_RUN: usize = 2;
 
-/// Which code path executes fused kernels. Chosen once per
+/// Minimum chain length: a 1-stage "chain" is just the op itself, with
+/// the chain dispatch overhead added for nothing.
+const MIN_CHAIN: usize = 2;
+
+/// One tier of the kernel backend matrix. Chosen once per
 /// [`crate::compile::compile_filter_opts`] call and stored on the
-/// compiled plan, so one process can compare backends by recompiling.
+/// compiled plan, so one process can compare tiers by recompiling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum KernelBackend {
-    /// `core::arch::x86_64` AVX2 intrinsics (x86-64 with AVX2 only).
-    Avx2,
-    /// Safe fixed-width-chunk Rust, written for LLVM autovectorization.
+pub enum KernelTier {
+    /// Safe Rust slice loops, written for LLVM autovectorization — the
+    /// scalable-width tier: vector width is whatever the build target
+    /// gives the autovectorizer. Always available, on every arch.
     Portable,
+    /// 128-bit `core::arch::x86_64` intrinsics. SSE2 is part of the
+    /// x86-64 baseline, so this tier is available on every x86-64 CPU.
+    Sse2,
+    /// 256-bit `core::arch::x86_64` intrinsics; needs runtime-detected
+    /// AVX2.
+    Avx2,
 }
 
-impl KernelBackend {
-    /// Stable label for reports (`avx2` / `portable`).
+/// Backward-compatible name from before the matrix had more than two
+/// rows. `KernelTier` is the name the tier matrix uses.
+pub type KernelBackend = KernelTier;
+
+impl KernelTier {
+    /// Every tier in the matrix, narrowest last.
+    pub const ALL: [KernelTier; 3] = [KernelTier::Avx2, KernelTier::Sse2, KernelTier::Portable];
+
+    /// Stable label for reports and `MACROSS_KERNEL_TIER` values.
     pub fn label(self) -> &'static str {
         match self {
-            KernelBackend::Avx2 => "avx2",
-            KernelBackend::Portable => "portable",
+            KernelTier::Portable => "portable",
+            KernelTier::Sse2 => "sse2",
+            KernelTier::Avx2 => "avx2",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label); `None` for labels outside the
+    /// matrix.
+    pub fn from_label(s: &str) -> Option<KernelTier> {
+        match s {
+            "portable" => Some(KernelTier::Portable),
+            "sse2" => Some(KernelTier::Sse2),
+            "avx2" => Some(KernelTier::Avx2),
+            _ => None,
+        }
+    }
+
+    /// Nominal vector width in bits; 0 for the scalable portable tier.
+    pub fn width_bits(self) -> u32 {
+        match self {
+            KernelTier::Portable => 0,
+            KernelTier::Sse2 => 128,
+            KernelTier::Avx2 => 256,
+        }
+    }
+
+    /// Whether this process can execute the tier: portable always,
+    /// SSE2 on any x86-64, AVX2 only where detection finds it.
+    pub fn available(self) -> bool {
+        match self {
+            KernelTier::Portable => true,
+            KernelTier::Sse2 => cfg!(target_arch = "x86_64"),
+            KernelTier::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    avx2_available()
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
         }
     }
 }
@@ -91,7 +176,7 @@ fn avx2_available() -> bool {
 }
 
 /// Whether `val` — the raw `MACROSS_FORCE_PORTABLE_KERNELS` value, or
-/// `None` when unset — forces the portable backend: anything but
+/// `None` when unset — forces the portable tier: anything but
 /// unset/empty/`0` does.
 fn forces_portable(val: Option<&str>) -> bool {
     val.map(|v| !v.is_empty() && v != "0").unwrap_or(false)
@@ -99,7 +184,7 @@ fn forces_portable(val: Option<&str>) -> bool {
 
 /// True when `MACROSS_FORCE_PORTABLE_KERNELS` is set to anything but
 /// `0`/empty. Read per compile (not in the firing hot path), so a test
-/// can flip backends between compilations inside one process.
+/// can flip tiers between compilations inside one process.
 pub fn portable_forced() -> bool {
     forces_portable(
         std::env::var("MACROSS_FORCE_PORTABLE_KERNELS")
@@ -108,23 +193,52 @@ pub fn portable_forced() -> bool {
     )
 }
 
-/// Backend for a given override state: AVX2 when the CPU has it and the
-/// portable override is off, portable otherwise (and always on non-x86).
-fn backend_for(portable_forced: bool) -> KernelBackend {
+/// Tier for a given override state — the pure core of [`select_tier`],
+/// testable without touching the process environment.
+///
+/// Precedence: an explicit `MACROSS_KERNEL_TIER` label wins (an unknown
+/// label or an unavailable tier is an error — running a tier the CPU
+/// lacks would be undefined behavior, so selection refuses loudly rather
+/// than silently degrading a forced-tier CI run to a different tier);
+/// then the older `MACROSS_FORCE_PORTABLE_KERNELS`; then detection —
+/// the widest available tier.
+fn tier_for(env_tier: Option<&str>, portable_forced: bool) -> Result<KernelTier, String> {
+    if let Some(s) = env_tier.filter(|s| !s.is_empty()) {
+        let tier = KernelTier::from_label(s).ok_or_else(|| {
+            format!("MACROSS_KERNEL_TIER={s:?} is not a tier the matrix recognizes (portable|sse2|avx2)")
+        })?;
+        if !tier.available() {
+            return Err(format!(
+                "MACROSS_KERNEL_TIER={} requested but this CPU cannot execute it",
+                tier.label()
+            ));
+        }
+        return Ok(tier);
+    }
     if portable_forced {
-        return KernelBackend::Portable;
+        return Ok(KernelTier::Portable);
     }
-    #[cfg(target_arch = "x86_64")]
-    if avx2_available() {
-        return KernelBackend::Avx2;
-    }
-    KernelBackend::Portable
+    Ok(*KernelTier::ALL
+        .iter()
+        .find(|t| t.available())
+        .unwrap_or(&KernelTier::Portable))
 }
 
-/// Select the kernel backend: AVX2 when the CPU has it and the portable
-/// override (`MACROSS_FORCE_PORTABLE_KERNELS=1`) is not set.
-pub fn select_backend() -> KernelBackend {
-    backend_for(portable_forced())
+/// Select the kernel tier: `MACROSS_KERNEL_TIER` if set (panics on an
+/// unknown or unavailable tier — see [`tier_for`]), else portable when
+/// `MACROSS_FORCE_PORTABLE_KERNELS` forces it, else the widest tier
+/// runtime detection finds.
+pub fn select_tier() -> KernelTier {
+    let env_tier = std::env::var("MACROSS_KERNEL_TIER").ok();
+    match tier_for(env_tier.as_deref(), portable_forced()) {
+        Ok(t) => t,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Backward-compatible alias for [`select_tier`].
+pub fn select_backend() -> KernelTier {
+    select_tier()
 }
 
 /// One fused superblock: the pre-resolved ops and how many original
@@ -410,6 +524,56 @@ pub enum KOp {
         b: u32,
         w: u32,
     },
+
+    // --- Register-resident chain (formed by `form_chains` from runs of
+    // the specialized arithmetic variants above; see module docs) ------
+    Chain {
+        dom: ChainDom,
+        /// Accumulator load range `[a, a+w)`.
+        a: u32,
+        w: u32,
+        stages: Box<[ChainStage]>,
+    },
+}
+
+/// Value domain of a register-resident chain. Determines the in-register
+/// accumulator representation: `F32`/`I32` chains keep the accumulator
+/// narrow (the specialized ops narrow per-stage anyway, so narrowing once
+/// at the load is bit-identical), `F64`/`I64` keep it full-width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainDom {
+    F32,
+    F64,
+    I32,
+    I64,
+}
+
+/// One chain stage: `acc = acc <kind> other` (or reversed for
+/// `RSub`/`RDiv`, which encode the original op reading the accumulator as
+/// its *right* operand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    RSub,
+    RDiv,
+    And,
+    Or,
+    Xor,
+}
+
+/// One producer→consumer step of a [`KOp::Chain`]. `other` is the
+/// non-accumulator operand range `[other, other+w)`; `store` is the
+/// destination range start when this stage's result must be written back
+/// (always for the last write of each destination range, elided when a
+/// later stage rewrites the identical range).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainStage {
+    pub kind: ChainKind,
+    pub other: u32,
+    pub store: Option<u32>,
 }
 
 // ---------------------------------------------------------------------
@@ -707,6 +871,12 @@ fn footprint(op: &KOp) -> (RegRange, [Option<RegRange>; 2]) {
         }
         KOp::LogNotF { dst, a, w } | KOp::CastFI { dst, a, w, .. } => ((I, dst, w), r1((F, a, w))),
         KOp::CastIF { dst, a, w, .. } => ((F, dst, w), r1((I, a, w))),
+        // Chains write many ranges, which this single-write footprint
+        // cannot express. They are formed by `form_chains` *after* every
+        // pass that queries footprints (pruning, copy propagation, dead
+        // copy elimination) and in-bounds checking has already run on the
+        // pre-chain ops, so no footprint is ever taken of one.
+        KOp::Chain { .. } => unreachable!("chains are formed after the alias passes"),
     }
 }
 
@@ -862,9 +1032,209 @@ fn drop_dead_copies(kops: Vec<KOp>) -> Vec<KOp> {
     out
 }
 
-/// Number of lanes an op executes on the backend's specialized slice
-/// paths (0 for generic fallbacks and bookkeeping ops).
-fn vector_lanes(op: &KOp) -> u32 {
+// ---------------------------------------------------------------------
+// Chain formation
+// ---------------------------------------------------------------------
+
+/// Chain-compatibility class of a specialized arithmetic op. Bitwise ops
+/// operate on full 64-bit lanes, so they only join `I64`-domain chains:
+/// inside an `I32` chain the accumulator's upper 32 bits are not
+/// materialized, and a bitwise stage that must store would write a
+/// sign-extension of the low 32 bits where the original op wrote the
+/// full 64-bit result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChainClass {
+    F32,
+    F64,
+    I32,
+    I64,
+    /// `AndI`/`OrI`/`XorI`: domain-independent, merges with `I64` only.
+    Bits,
+}
+
+/// Decompose a specialized arithmetic op into chain parts
+/// `(class, kind, dst, a, b, w)`; `None` for everything else.
+fn chain_parts(op: &KOp) -> Option<(ChainClass, ChainKind, u32, u32, u32, u32)> {
+    use ChainClass as C;
+    use ChainKind as K;
+    Some(match *op {
+        KOp::AddF32 { dst, a, b, w } => (C::F32, K::Add, dst, a, b, w),
+        KOp::SubF32 { dst, a, b, w } => (C::F32, K::Sub, dst, a, b, w),
+        KOp::MulF32 { dst, a, b, w } => (C::F32, K::Mul, dst, a, b, w),
+        KOp::DivF32 { dst, a, b, w } => (C::F32, K::Div, dst, a, b, w),
+        KOp::AddF64 { dst, a, b, w } => (C::F64, K::Add, dst, a, b, w),
+        KOp::SubF64 { dst, a, b, w } => (C::F64, K::Sub, dst, a, b, w),
+        KOp::MulF64 { dst, a, b, w } => (C::F64, K::Mul, dst, a, b, w),
+        KOp::DivF64 { dst, a, b, w } => (C::F64, K::Div, dst, a, b, w),
+        KOp::AddI32 { dst, a, b, w } => (C::I32, K::Add, dst, a, b, w),
+        KOp::SubI32 { dst, a, b, w } => (C::I32, K::Sub, dst, a, b, w),
+        KOp::MulI32 { dst, a, b, w } => (C::I32, K::Mul, dst, a, b, w),
+        KOp::AddI64 { dst, a, b, w } => (C::I64, K::Add, dst, a, b, w),
+        KOp::SubI64 { dst, a, b, w } => (C::I64, K::Sub, dst, a, b, w),
+        KOp::MulI64 { dst, a, b, w } => (C::I64, K::Mul, dst, a, b, w),
+        KOp::AndI { dst, a, b, w } => (C::Bits, K::And, dst, a, b, w),
+        KOp::OrI { dst, a, b, w } => (C::Bits, K::Or, dst, a, b, w),
+        KOp::XorI { dst, a, b, w } => (C::Bits, K::Xor, dst, a, b, w),
+        _ => return None,
+    })
+}
+
+fn chain_class_merge(cur: ChainClass, next: ChainClass) -> Option<ChainClass> {
+    match (cur, next) {
+        (a, b) if a == b => Some(a),
+        (ChainClass::I64, ChainClass::Bits) | (ChainClass::Bits, ChainClass::I64) => {
+            Some(ChainClass::I64)
+        }
+        _ => None,
+    }
+}
+
+/// `kind` with its operands swapped — used when the accumulator enters a
+/// stage as the *right* operand of the original op.
+fn chain_kind_reversed(kind: ChainKind) -> ChainKind {
+    match kind {
+        ChainKind::Add | ChainKind::Mul | ChainKind::And | ChainKind::Or | ChainKind::Xor => kind,
+        ChainKind::Sub => ChainKind::RSub,
+        ChainKind::Div => ChainKind::RDiv,
+        ChainKind::RSub | ChainKind::RDiv => unreachable!("chain_parts emits base kinds only"),
+    }
+}
+
+/// Collapse producer→consumer runs of specialized arithmetic into
+/// [`KOp::Chain`]s (see module docs). Runs after the alias passes.
+///
+/// Legality, checked while growing a chain — all ranges have the common
+/// width `w`, so two ranges are either *identical* (same start) or they
+/// overlap/are disjoint:
+///
+/// - every stage consumes the previous stage's destination as *exactly
+///   one* operand (the accumulator);
+/// - every pair of ranges the chain touches (initial accumulator load,
+///   every stage's `other`, every destination) is identical-or-disjoint.
+///
+/// That invariant makes chunk-major execution (all stages on lanes
+/// `[k, k+L)` before moving to the next chunk) bit-identical to the
+/// original stage-major order: identical ranges are lane-aligned, and
+/// for each lane the chunk preserves the stage order of its loads and
+/// stores, while disjoint ranges never interact at all. The ping-pong
+/// accumulator idiom (`t = x*c; x = t+d; ...`) is legal under it even
+/// though a stage rewrites the range the accumulator was loaded from:
+/// lane `k` is always loaded before the chunk that stores lane `k`.
+///
+/// A stage's store is elided when the next stage touching its range is
+/// another *write* (or when chains never read it again — then only the
+/// range's last write may be elided… it may not: the final value must
+/// land). Concretely: keep the store if a later stage *reads* the range
+/// before it is rewritten, or if no later stage rewrites it; elide
+/// otherwise. Elided values still travel through the accumulator
+/// register, so nothing observable changes.
+fn form_chains(kops: Vec<KOp>) -> Vec<KOp> {
+    let mut out: Vec<KOp> = Vec::with_capacity(kops.len());
+    let mut i = 0usize;
+    while i < kops.len() {
+        let Some((class0, kind0, dst0, a0, b0, w)) = chain_parts(&kops[i]) else {
+            out.push(kops[i].clone());
+            i += 1;
+            continue;
+        };
+        // Grow greedily. `specializable` already proved each op's dst
+        // disjoint from its own sources, so only cross-stage aliasing
+        // needs checking here.
+        let ok = |x: u32, ys: &[u32]| ys.iter().all(|&y| x == y || disjoint(x, y, w));
+        let mut class = class0;
+        let mut stages: Vec<(ChainKind, u32, u32)> = vec![(kind0, b0, dst0)];
+        let mut ranges: Vec<u32> = vec![a0, b0, dst0];
+        let mut prev_dst = dst0;
+        let mut j = i + 1;
+        while let Some((c2, k2, d2, a2, b2, w2)) = kops.get(j).and_then(chain_parts) {
+            if w2 != w {
+                break;
+            }
+            let Some(merged) = chain_class_merge(class, c2) else {
+                break;
+            };
+            let (kind, other) = if a2 == prev_dst && b2 != prev_dst {
+                (k2, b2)
+            } else if b2 == prev_dst && a2 != prev_dst {
+                (chain_kind_reversed(k2), a2)
+            } else {
+                break;
+            };
+            if !ok(other, &ranges) || !ok(d2, &ranges) {
+                break;
+            }
+            class = merged;
+            stages.push((kind, other, d2));
+            for r in [other, d2] {
+                if !ranges.contains(&r) {
+                    ranges.push(r);
+                }
+            }
+            prev_dst = d2;
+            j += 1;
+        }
+        if stages.len() >= MIN_CHAIN {
+            let dom = match class {
+                ChainClass::F32 => ChainDom::F32,
+                ChainClass::F64 => ChainDom::F64,
+                ChainClass::I32 => ChainDom::I32,
+                ChainClass::I64 | ChainClass::Bits => ChainDom::I64,
+            };
+            let staged: Box<[ChainStage]> = stages
+                .iter()
+                .enumerate()
+                .map(|(s, &(kind, other, d))| {
+                    // Elide iff the next stage touching this range is
+                    // another write: a read in between must see this
+                    // store; the range's final value must always land.
+                    let mut store = Some(d);
+                    for &(_, lo, ld) in &stages[s + 1..] {
+                        if lo == d {
+                            break; // read first: keep the store
+                        }
+                        if ld == d {
+                            store = None; // rewritten unread: elide
+                            break;
+                        }
+                    }
+                    ChainStage { kind, other, store }
+                })
+                .collect();
+            out.push(KOp::Chain {
+                dom,
+                a: a0,
+                w,
+                stages: staged,
+            });
+            i = j;
+        } else {
+            out.push(kops[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Profitability
+// ---------------------------------------------------------------------
+
+/// Number of op-units a fused op contributes: chains carry one unit per
+/// stage (they replaced that many ops), everything else is one.
+fn op_units(op: &KOp) -> usize {
+    match op {
+        KOp::Chain { stages, .. } => stages.len(),
+        _ => 1,
+    }
+}
+
+/// Number of op-units `tier` executes with genuine vector code: the
+/// specialized slice paths every tier vectorizes, plus the ops only the
+/// intrinsic tiers cover (permutations, float compares, f32 rounding
+/// casts, `sqrt`/`abs`). Generic fallbacks and bookkeeping count 0.
+fn simd_units(op: &KOp, tier: KernelTier) -> usize {
+    let wide = |w: u32| w >= 2;
+    let intrinsic_tier = matches!(tier, KernelTier::Sse2 | KernelTier::Avx2);
     match *op {
         KOp::AddF32 { w, .. }
         | KOp::SubF32 { w, .. }
@@ -882,18 +1252,59 @@ fn vector_lanes(op: &KOp) -> u32 {
         | KOp::MulI64 { w, .. }
         | KOp::AndI { w, .. }
         | KOp::OrI { w, .. }
-        | KOp::XorI { w, .. } => w,
+        | KOp::XorI { w, .. } => wide(w) as usize,
+        KOp::Chain { w, ref stages, .. } if wide(w) => stages.len(),
+        KOp::Chain { .. } => 0,
+        KOp::PermI { w, .. } | KOp::PermF { w, .. } | KOp::CmpF { w, .. } => {
+            (intrinsic_tier && wide(w)) as usize
+        }
+        KOp::CastFF { w, .. } => (intrinsic_tier && wide(w)) as usize,
+        KOp::Call1F { i, w, .. } => {
+            (intrinsic_tier && wide(w) && matches!(i, Intrinsic::Sqrt | Intrinsic::Abs)) as usize
+        }
         _ => 0,
     }
 }
 
-/// Entering a kernel has a fixed cost (kernel lookup, backend dispatch,
-/// one non-inlined call), so short or purely scalar runs lose to the
-/// plain dispatch loop. Keep a run only when it has enough genuine
-/// vector work or is long enough for the saved dispatch to amortize it.
-fn profitable(kops: &[KOp]) -> bool {
-    let vec_ops = kops.iter().filter(|k| vector_lanes(k) >= 2).count();
-    vec_ops * 4 + kops.len() >= 32
+/// Default profitability threshold per tier. Entering a kernel has a
+/// fixed cost (kernel lookup, tier dispatch, one non-inlined call), so
+/// short or purely scalar runs lose to the plain dispatch loop; wider
+/// tiers amortize that entry cost over more lanes per op-unit, so they
+/// accept shorter runs.
+fn tier_threshold(tier: KernelTier) -> usize {
+    match tier {
+        KernelTier::Portable => 32,
+        KernelTier::Sse2 => 28,
+        KernelTier::Avx2 => 24,
+    }
+}
+
+/// Threshold for `tier` given a raw `MACROSS_KERNEL_FUSE_THRESHOLD`
+/// value — the pure core, testable without touching the process env.
+/// A parseable override wins for every tier; garbage is ignored.
+fn threshold_for(tier: KernelTier, env_val: Option<&str>) -> usize {
+    env_val
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| tier_threshold(tier))
+}
+
+/// Read the env-tunable profitability threshold (per compile, not in the
+/// firing hot path).
+fn fuse_threshold(tier: KernelTier) -> usize {
+    threshold_for(
+        tier,
+        std::env::var("MACROSS_KERNEL_FUSE_THRESHOLD")
+            .ok()
+            .as_deref(),
+    )
+}
+
+/// Keep a run only when it has enough genuine vector work for `tier` or
+/// is long enough for the saved dispatch to amortize the kernel entry.
+fn profitable(kops: &[KOp], tier: KernelTier, threshold: usize) -> bool {
+    let simd: usize = kops.iter().map(|k| simd_units(k, tier)).sum();
+    let units: usize = kops.iter().map(op_units).sum();
+    simd * 4 + units >= threshold
 }
 
 /// Basic-block leaders: every position a jump can land on. A fused run
@@ -920,9 +1331,21 @@ fn leaders(code: &[Op]) -> Vec<bool> {
 
 /// Fuse straight-line runs of pure register ops in `code`, appending the
 /// kernels to `kernels` (shared between `init` and `work`, indexed by
-/// [`Op::Kernel`]). Returns the number of kernels created.
-pub fn fuse(code: &mut [Op], kernels: &mut Vec<Kernel>, int_regs: u32, float_regs: u32) -> usize {
-    fuse_runs(code, kernels, int_regs, float_regs, profitable)
+/// [`Op::Kernel`]). The profitability gate is tier-aware (wider tiers
+/// accept shorter runs) and env-tunable via
+/// `MACROSS_KERNEL_FUSE_THRESHOLD`. Returns the number of kernels
+/// created.
+pub fn fuse(
+    code: &mut [Op],
+    kernels: &mut Vec<Kernel>,
+    int_regs: u32,
+    float_regs: u32,
+    tier: KernelTier,
+) -> usize {
+    let threshold = fuse_threshold(tier);
+    fuse_runs(code, kernels, int_regs, float_regs, |kops| {
+        profitable(kops, tier, threshold)
+    })
 }
 
 /// [`fuse`] with an explicit profitability gate (tests use `|_| true` to
@@ -932,7 +1355,7 @@ fn fuse_runs(
     kernels: &mut Vec<Kernel>,
     int_regs: u32,
     float_regs: u32,
-    gate: fn(&[KOp]) -> bool,
+    gate: impl Fn(&[KOp]) -> bool,
 ) -> usize {
     let leader = leaders(code);
     let before = kernels.len();
@@ -955,6 +1378,7 @@ fn fuse_runs(
             let mut kops = prune_idempotent(kops);
             propagate_copies(&mut kops);
             let kops = drop_dead_copies(kops);
+            let kops = form_chains(kops);
             if gate(&kops) {
                 let idx = kernels.len() as u32;
                 kernels.push(Kernel {
@@ -980,15 +1404,23 @@ fn fuse_runs(
 
 /// Execute one fused kernel against the register files.
 #[inline]
-pub fn exec(kernel: &Kernel, backend: KernelBackend, regs: &mut Regs) {
+pub fn exec(kernel: &Kernel, tier: KernelTier, regs: &mut Regs) {
     #[cfg(target_arch = "x86_64")]
-    if backend == KernelBackend::Avx2 {
-        // SAFETY: `KernelBackend::Avx2` is only ever selected after
-        // `is_x86_feature_detected!("avx2")` returned true.
-        unsafe { x86::exec_avx2(&kernel.kops, regs) };
-        return;
+    match tier {
+        // SAFETY: `Avx2` is only ever selected after
+        // `is_x86_feature_detected!("avx2")` returned true; SSE2 is part
+        // of the x86-64 baseline.
+        KernelTier::Avx2 => {
+            unsafe { x86::avx2::exec(&kernel.kops, regs) };
+            return;
+        }
+        KernelTier::Sse2 => {
+            unsafe { x86::sse2::exec(&kernel.kops, regs) };
+            return;
+        }
+        KernelTier::Portable => {}
     }
-    let _ = backend;
+    let _ = tier;
     for op in kernel.kops.iter() {
         exec_kop_portable(op, regs);
     }
@@ -1300,6 +1732,156 @@ pub(crate) fn exec_kop_portable(op: &KOp, regs: &mut Regs) {
                     call2_f(i, ty, regs.f[a as usize + k], regs.f[b as usize + k]);
             }
         }
+        KOp::Chain {
+            dom,
+            a,
+            w,
+            ref stages,
+        } => exec_chain_portable(dom, a, w, stages, regs),
+    }
+}
+
+// --- Portable chain execution ----------------------------------------
+
+#[inline(always)]
+fn chain_apply_f32(kind: ChainKind, acc: f32, o: f32) -> f32 {
+    match kind {
+        ChainKind::Add => acc + o,
+        ChainKind::Sub => acc - o,
+        ChainKind::Mul => acc * o,
+        ChainKind::Div => acc / o,
+        ChainKind::RSub => o - acc,
+        ChainKind::RDiv => o / acc,
+        _ => unreachable!("no bitwise stages in float chains"),
+    }
+}
+
+#[inline(always)]
+fn chain_apply_f64(kind: ChainKind, acc: f64, o: f64) -> f64 {
+    match kind {
+        ChainKind::Add => acc + o,
+        ChainKind::Sub => acc - o,
+        ChainKind::Mul => acc * o,
+        ChainKind::Div => acc / o,
+        ChainKind::RSub => o - acc,
+        ChainKind::RDiv => o / acc,
+        _ => unreachable!("no bitwise stages in float chains"),
+    }
+}
+
+#[inline(always)]
+fn chain_apply_i32(kind: ChainKind, acc: i32, o: i32) -> i32 {
+    match kind {
+        ChainKind::Add => acc.wrapping_add(o),
+        ChainKind::Sub => acc.wrapping_sub(o),
+        ChainKind::Mul => acc.wrapping_mul(o),
+        ChainKind::RSub => o.wrapping_sub(acc),
+        _ => unreachable!("no div/bitwise stages in i32 chains"),
+    }
+}
+
+#[inline(always)]
+fn chain_apply_i64(kind: ChainKind, acc: i64, o: i64) -> i64 {
+    match kind {
+        ChainKind::Add => acc.wrapping_add(o),
+        ChainKind::Sub => acc.wrapping_sub(o),
+        ChainKind::Mul => acc.wrapping_mul(o),
+        ChainKind::RSub => o.wrapping_sub(acc),
+        ChainKind::And => acc & o,
+        ChainKind::Or => acc | o,
+        ChainKind::Xor => acc ^ o,
+        _ => unreachable!("no div stages in integer chains"),
+    }
+}
+
+/// Portable chain body: full fixed-size chunks (so the per-stage lane
+/// loops autovectorize) plus a scalar remainder. `$ld`/`$st` are the
+/// exact domain conversions the specialized slice paths use, applied
+/// once at the accumulator load and once per surviving store.
+macro_rules! chain_lanes {
+    ($file:expr, $a:expr, $w:expr, $stages:expr, $acc_ty:ty, $ld:expr, $st:expr, $apply:expr) => {{
+        const CHUNK: usize = 8;
+        let file = $file;
+        let (a, w) = ($a as usize, $w as usize);
+        let mut k = 0usize;
+        while k + CHUNK <= w {
+            let mut acc: [$acc_ty; CHUNK] = Default::default();
+            for l in 0..CHUNK {
+                acc[l] = $ld(file[a + k + l]);
+            }
+            for stg in $stages.iter() {
+                let o = stg.other as usize;
+                for l in 0..CHUNK {
+                    acc[l] = $apply(stg.kind, acc[l], $ld(file[o + k + l]));
+                }
+                if let Some(d) = stg.store {
+                    let d = d as usize;
+                    for l in 0..CHUNK {
+                        file[d + k + l] = $st(acc[l]);
+                    }
+                }
+            }
+            k += CHUNK;
+        }
+        while k < w {
+            let mut acc = $ld(file[a + k]);
+            for stg in $stages.iter() {
+                acc = $apply(stg.kind, acc, $ld(file[stg.other as usize + k]));
+                if let Some(d) = stg.store {
+                    file[d as usize + k] = $st(acc);
+                }
+            }
+            k += 1;
+        }
+    }};
+}
+
+/// Execute a register-resident chain on the portable tier. Bit-identical
+/// to executing the original op sequence: per lane, the stage order is
+/// preserved and each stage applies the same narrowed/widened scalar
+/// semantics as the specialized slice paths it replaced.
+fn exec_chain_portable(dom: ChainDom, a: u32, w: u32, stages: &[ChainStage], regs: &mut Regs) {
+    match dom {
+        ChainDom::F32 => chain_lanes!(
+            &mut regs.f,
+            a,
+            w,
+            stages,
+            f32,
+            |x: f64| x as f32,
+            |x: f32| x as f64,
+            chain_apply_f32
+        ),
+        ChainDom::F64 => chain_lanes!(
+            &mut regs.f,
+            a,
+            w,
+            stages,
+            f64,
+            |x: f64| x,
+            |x: f64| x,
+            chain_apply_f64
+        ),
+        ChainDom::I32 => chain_lanes!(
+            &mut regs.i,
+            a,
+            w,
+            stages,
+            i32,
+            |x: i64| x as i32,
+            |x: i32| x as i64,
+            chain_apply_i32
+        ),
+        ChainDom::I64 => chain_lanes!(
+            &mut regs.i,
+            a,
+            w,
+            stages,
+            i64,
+            |x: i64| x,
+            |x: i64| x,
+            chain_apply_i64
+        ),
     }
 }
 
@@ -1330,14 +1912,14 @@ mod tests {
             work: code.to_vec(),
             charges: vec![],
             kernels: vec![],
-            backend: KernelBackend::Portable,
+            tier: KernelTier::Portable,
         };
         let mut kernels = Vec::new();
         fuse_runs(code, &mut kernels, int_regs, float_regs, |_| true);
         let fused = CompiledFilter {
             work: code.to_vec(),
             kernels,
-            backend: select_backend(),
+            tier: select_tier(),
             ..plain.clone()
         };
         let mut c = CycleCounters::default();
@@ -1562,29 +2144,471 @@ mod tests {
         // bar — no kernel may be created and the ops stay in place.
         let mut code = vec![Op::ConstI { dst: 0, v: 1 }, Op::ConstI { dst: 1, v: 2 }];
         let mut kernels = Vec::new();
-        assert_eq!(fuse(&mut code, &mut kernels, 4, 0), 0);
+        assert_eq!(fuse(&mut code, &mut kernels, 4, 0, KernelTier::Portable), 0);
         assert!(kernels.is_empty());
         assert!(matches!(code[0], Op::ConstI { .. }));
     }
 
     #[test]
-    fn backend_selection_honors_portable_override() {
+    fn tier_selection_honors_overrides() {
         // Pure-function test: mutating the process env here would race
-        // with concurrent tests in this module that call select_backend
+        // with concurrent tests in this module that call select_tier
         // via run_both. The env-var plumbing itself is exercised by
-        // tests/kernel_backends.rs, which owns the variable in a single
-        // #[test], and by the CI portable-backend test-matrix leg.
+        // tests/kernel_backends.rs and tests/kernel_tier_matrix.rs,
+        // which own their variables in single #[test]s, and by the CI
+        // kernel-matrix job.
         assert!(forces_portable(Some("1")));
         assert!(forces_portable(Some("yes")));
         assert!(!forces_portable(Some("0")));
         assert!(!forces_portable(Some("")));
         assert!(!forces_portable(None));
-        assert_eq!(backend_for(true), KernelBackend::Portable);
+        // Legacy portable override.
+        assert_eq!(tier_for(None, true), Ok(KernelTier::Portable));
+        // Explicit tier wins over the portable override.
+        assert_eq!(tier_for(Some("portable"), true), Ok(KernelTier::Portable));
+        // Unknown labels refuse loudly instead of degrading.
+        assert!(tier_for(Some("avx512"), false).is_err());
+        assert!(tier_for(Some("AVX2"), false).is_err());
+        // Empty counts as unset.
+        assert_eq!(tier_for(Some(""), true), Ok(KernelTier::Portable));
+        // Detection picks the widest available tier.
+        let detected = tier_for(None, false).unwrap();
+        assert!(detected.available());
+        for t in KernelTier::ALL {
+            if t.available() {
+                assert_eq!(detected, t, "detection must pick the widest tier");
+                break;
+            }
+        }
         #[cfg(target_arch = "x86_64")]
-        if std::is_x86_feature_detected!("avx2") {
-            assert_eq!(backend_for(false), KernelBackend::Avx2);
+        {
+            assert_eq!(tier_for(Some("sse2"), false), Ok(KernelTier::Sse2));
+            if std::is_x86_feature_detected!("avx2") {
+                assert_eq!(tier_for(None, false), Ok(KernelTier::Avx2));
+            } else {
+                assert!(tier_for(Some("avx2"), false).is_err());
+            }
         }
         #[cfg(not(target_arch = "x86_64"))]
-        assert_eq!(backend_for(false), KernelBackend::Portable);
+        {
+            assert_eq!(tier_for(None, false), Ok(KernelTier::Portable));
+            assert!(tier_for(Some("sse2"), false).is_err());
+        }
+    }
+
+    #[test]
+    fn tier_labels_round_trip() {
+        for t in KernelTier::ALL {
+            assert_eq!(KernelTier::from_label(t.label()), Some(t));
+        }
+        assert_eq!(KernelTier::from_label("neon"), None);
+        assert_eq!(KernelTier::Portable.width_bits(), 0);
+        assert_eq!(KernelTier::Sse2.width_bits(), 128);
+        assert_eq!(KernelTier::Avx2.width_bits(), 256);
+    }
+
+    #[test]
+    fn profitability_gate_is_tier_aware_and_tunable() {
+        // Wider tiers accept shorter runs by default.
+        assert!(threshold_for(KernelTier::Avx2, None) < threshold_for(KernelTier::Sse2, None));
+        assert!(threshold_for(KernelTier::Sse2, None) < threshold_for(KernelTier::Portable, None));
+        // The env override wins for every tier; garbage is ignored.
+        for t in KernelTier::ALL {
+            assert_eq!(threshold_for(t, Some("5")), 5);
+            assert_eq!(threshold_for(t, Some("nope")), tier_threshold(t));
+        }
+        // A permutation-heavy run counts as vector work only on the
+        // intrinsic tiers, so the same run can clear the bar on AVX2
+        // while staying on dispatch for portable.
+        let perm = KOp::PermF {
+            parity: 0,
+            dst: 16,
+            a: 0,
+            b: 8,
+            w: 8,
+        };
+        let kops: Vec<KOp> = (0..6).map(|_| perm.clone()).collect();
+        assert!(profitable(
+            &kops,
+            KernelTier::Avx2,
+            tier_threshold(KernelTier::Avx2)
+        ));
+        assert!(!profitable(
+            &kops,
+            KernelTier::Portable,
+            tier_threshold(KernelTier::Portable)
+        ));
+        // Chains count one unit per stage — they replaced that many ops.
+        let chain = KOp::Chain {
+            dom: ChainDom::F32,
+            a: 0,
+            w: 4,
+            stages: (0..8)
+                .map(|_| ChainStage {
+                    kind: ChainKind::Mul,
+                    other: 4,
+                    store: Some(8),
+                })
+                .collect(),
+        };
+        assert_eq!(op_units(&chain), 8);
+        assert_eq!(simd_units(&chain, KernelTier::Portable), 8);
+    }
+
+    #[test]
+    fn chains_form_with_store_elision() {
+        // vmix-shaped FMA ladder: Mul t1 <- x,c1; Add t2 <- t1,c2;
+        // Mul t1 <- t2,c1; Add t2 <- t1,c2 — alternating destinations,
+        // each op consuming the previous result. Only the *last* write
+        // of each destination range may store.
+        let kops = vec![
+            KOp::MulF32 {
+                dst: 8,
+                a: 0,
+                b: 4,
+                w: 4,
+            },
+            KOp::AddF32 {
+                dst: 12,
+                a: 8,
+                b: 16,
+                w: 4,
+            },
+            KOp::MulF32 {
+                dst: 8,
+                a: 12,
+                b: 4,
+                w: 4,
+            },
+            KOp::AddF32 {
+                dst: 12,
+                a: 8,
+                b: 16,
+                w: 4,
+            },
+        ];
+        let out = form_chains(kops);
+        assert_eq!(out.len(), 1);
+        let KOp::Chain {
+            dom,
+            a,
+            w,
+            ref stages,
+        } = out[0]
+        else {
+            panic!("expected a chain, got {:?}", out[0]);
+        };
+        assert_eq!((dom, a, w), (ChainDom::F32, 0, 4));
+        assert_eq!(stages.len(), 4);
+        // Stage 0 (dst 8) and stage 1 (dst 12) are rewritten later:
+        // stores elided. Stages 2 and 3 are the last writes: stored.
+        assert_eq!(
+            stages.iter().map(|s| s.store).collect::<Vec<_>>(),
+            vec![None, None, Some(8), Some(12)]
+        );
+        assert_eq!(
+            stages.iter().map(|s| s.kind).collect::<Vec<_>>(),
+            vec![
+                ChainKind::Mul,
+                ChainKind::Add,
+                ChainKind::Mul,
+                ChainKind::Add
+            ]
+        );
+    }
+
+    #[test]
+    fn chains_respect_aliasing_and_domains() {
+        // Second op reads range 2..6, overlapping the first op's write
+        // 4..8 at an offset — not the accumulator, so no chain.
+        let misaligned = vec![
+            KOp::AddI64 {
+                dst: 4,
+                a: 0,
+                b: 8,
+                w: 4,
+            },
+            KOp::AddI64 {
+                dst: 12,
+                a: 2,
+                b: 8,
+                w: 4,
+            },
+        ];
+        assert_eq!(form_chains(misaligned).len(), 2);
+        // An op consuming the previous result twice (acc op acc) cannot
+        // chain: the stage form has exactly one `other` operand.
+        let squared = vec![
+            KOp::MulF64 {
+                dst: 4,
+                a: 0,
+                b: 8,
+                w: 4,
+            },
+            KOp::MulF64 {
+                dst: 12,
+                a: 4,
+                b: 4,
+                w: 4,
+            },
+        ];
+        assert_eq!(form_chains(squared).len(), 2);
+        // Bitwise ops joining an i32-arith chain would store a
+        // sign-extension where the original stored full 64-bit lanes:
+        // the domains must not merge.
+        let mixed = vec![
+            KOp::AddI32 {
+                dst: 4,
+                a: 0,
+                b: 8,
+                w: 4,
+            },
+            KOp::XorI {
+                dst: 12,
+                a: 4,
+                b: 8,
+                w: 4,
+            },
+        ];
+        assert_eq!(form_chains(mixed).len(), 2);
+        // ...but bitwise joins an I64 chain fine, and a pure-bitwise
+        // chain resolves to the I64 domain.
+        let i64_mix = vec![
+            KOp::AddI64 {
+                dst: 4,
+                a: 0,
+                b: 8,
+                w: 4,
+            },
+            KOp::XorI {
+                dst: 12,
+                a: 4,
+                b: 8,
+                w: 4,
+            },
+        ];
+        let out = form_chains(i64_mix);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            out[0],
+            KOp::Chain {
+                dom: ChainDom::I64,
+                ..
+            }
+        ));
+        // Reversed operand position encodes as RSub: acc enters as the
+        // right operand of the subtraction.
+        let rsub = vec![
+            KOp::AddF64 {
+                dst: 4,
+                a: 0,
+                b: 8,
+                w: 4,
+            },
+            KOp::SubF64 {
+                dst: 12,
+                a: 8,
+                b: 4,
+                w: 4,
+            },
+        ];
+        let out = form_chains(rsub);
+        assert_eq!(out.len(), 1);
+        let KOp::Chain { ref stages, .. } = out[0] else {
+            panic!("expected chain");
+        };
+        assert_eq!(stages[1].kind, ChainKind::RSub);
+        assert_eq!(stages[1].other, 8);
+    }
+
+    #[test]
+    fn ping_pong_ladders_chain_through_the_acc_range() {
+        // The natural FMA accumulator idiom rewrites the very range the
+        // chain's accumulator was loaded from (t = x*c; x = t+d; ...).
+        // Identical ranges are lane-aligned, so this is legal: each lane
+        // is loaded before the chunk that stores it.
+        let pair = |_: u32| {
+            [
+                KOp::MulF32 {
+                    dst: 25,
+                    a: 34,
+                    b: 21,
+                    w: 4,
+                },
+                KOp::AddF32 {
+                    dst: 34,
+                    a: 25,
+                    b: 30,
+                    w: 4,
+                },
+            ]
+        };
+        let kops: Vec<KOp> = (0..3).flat_map(pair).collect();
+        let out = form_chains(kops);
+        assert_eq!(out.len(), 1, "ladder must form one chain: {out:?}");
+        let KOp::Chain {
+            dom, a, ref stages, ..
+        } = out[0]
+        else {
+            panic!("expected chain");
+        };
+        assert_eq!((dom, a), (ChainDom::F32, 34));
+        assert_eq!(stages.len(), 6);
+        // Only each range's last write survives elision.
+        assert_eq!(
+            stages.iter().map(|s| s.store).collect::<Vec<_>>(),
+            vec![None, None, None, None, Some(25), Some(34)]
+        );
+        // And end-to-end, the fused ladder stays bit-identical to
+        // dispatch across chunked widths and scalar remainders.
+        for w in [3u32, 4, 9] {
+            let mk = |dst: u32, a: u32, op: BinOp, b: u32| Op::VBinF {
+                op,
+                ty: ScalarTy::F32,
+                dst,
+                a,
+                b,
+                w,
+            };
+            for seed in [1u64, 13, 777] {
+                let mut code = vec![
+                    mk(30, 40, BinOp::Mul, 10),
+                    mk(40, 30, BinOp::Add, 20),
+                    mk(30, 40, BinOp::Mul, 10),
+                    mk(40, 30, BinOp::Add, 20),
+                    mk(30, 40, BinOp::Mul, 10),
+                    mk(40, 30, BinOp::Add, 20),
+                ];
+                let (r1, r2) = run_both(&mut code, 8, 64, seed);
+                assert_eq!(
+                    r1.f.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    r2.f.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "w {w} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stores_read_later_in_the_chain_survive_elision() {
+        // Stage 0 writes range 8; stage 3 rewrites it — but stage 2
+        // reads 8 as its `other` operand in between, so stage 0's store
+        // must survive (eliding it would feed stage 2 stale memory).
+        let kops = vec![
+            KOp::AddF64 {
+                dst: 8,
+                a: 0,
+                b: 4,
+                w: 4,
+            },
+            KOp::MulF64 {
+                dst: 12,
+                a: 8,
+                b: 16,
+                w: 4,
+            },
+            KOp::AddF64 {
+                dst: 20,
+                a: 12,
+                b: 8,
+                w: 4,
+            },
+            KOp::MulF64 {
+                dst: 8,
+                a: 20,
+                b: 16,
+                w: 4,
+            },
+        ];
+        let out = form_chains(kops);
+        assert_eq!(out.len(), 1);
+        let KOp::Chain { ref stages, .. } = out[0] else {
+            panic!("expected chain");
+        };
+        assert_eq!(
+            stages.iter().map(|s| s.store).collect::<Vec<_>>(),
+            vec![Some(8), Some(12), Some(20), Some(8)]
+        );
+        // End-to-end with spread-out ranges so every width stays
+        // identical-or-disjoint.
+        for w in [2u32, 4, 9] {
+            let mk = |dst: u32, a: u32, op: BinOp, b: u32| Op::VBinF {
+                op,
+                ty: ScalarTy::F64,
+                dst,
+                a,
+                b,
+                w,
+            };
+            for seed in [5u64, 99, 2024] {
+                let mut code = vec![
+                    mk(10, 0, BinOp::Add, 20),
+                    mk(30, 10, BinOp::Mul, 40),
+                    mk(50, 30, BinOp::Add, 10),
+                    mk(10, 50, BinOp::Mul, 40),
+                ];
+                let (r1, r2) = run_both(&mut code, 8, 64, seed);
+                assert_eq!(
+                    r1.f.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    r2.f.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "w {w} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chained_execution_matches_dispatch() {
+        // End-to-end: an FMA ladder long enough to clear MIN_RUN, fused
+        // with the always-true gate (forming chains), must stay
+        // bit-identical to plain dispatch on the selected tier. Widths 3
+        // and 9 exercise the intrinsic tiers' scalar remainders.
+        for w in [1u32, 3, 4, 8, 9] {
+            let mk = |dst: u32, a: u32, op: BinOp, b: u32| Op::VBinF {
+                op,
+                ty: ScalarTy::F32,
+                dst,
+                a,
+                b,
+                w,
+            };
+            for seed in [1u64, 7, 13, 9999] {
+                let mut code = vec![
+                    mk(20, 0, BinOp::Mul, 10),
+                    mk(30, 20, BinOp::Add, 40),
+                    mk(20, 30, BinOp::Mul, 10),
+                    mk(30, 20, BinOp::Add, 40),
+                    mk(20, 30, BinOp::Div, 10),
+                    mk(50, 10, BinOp::Sub, 20),
+                ];
+                let (r1, r2) = run_both(&mut code, 8, 64, seed);
+                assert_eq!(
+                    r1.f.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    r2.f.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "w {w} seed {seed}"
+                );
+            }
+        }
+        // Integer ladder, i32 domain (wrapping, sign-extended).
+        for w in [2u32, 4, 7] {
+            let mk = |dst: u32, a: u32, op: BinOp, b: u32| Op::VBinI {
+                op,
+                ty: ScalarTy::I32,
+                dst,
+                a,
+                b,
+                w,
+            };
+            for seed in [3u64, 11, 4242] {
+                let mut code = vec![
+                    mk(16, 0, BinOp::Mul, 8),
+                    mk(24, 16, BinOp::Add, 8),
+                    mk(16, 24, BinOp::Mul, 0),
+                    mk(32, 8, BinOp::Sub, 16),
+                ];
+                let (r1, r2) = run_both(&mut code, 48, 4, seed);
+                assert_eq!(r1.i, r2.i, "w {w} seed {seed}");
+            }
+        }
     }
 }

@@ -1,0 +1,286 @@
+//! Property suite for the width-parameterized kernel backend matrix:
+//! random vector programs — permutations, casts, comparisons,
+//! intrinsics, and multiply-add ladders that the chain pass collapses —
+//! must run bit-identically on every *available* tier
+//! (`MACROSS_KERNEL_TIER=portable|sse2|avx2`) versus the scalar dispatch
+//! loop (`ExecMode::BytecodeNoFuse`) and the tree-walk oracle.
+//!
+//! The whole suite is ONE `#[test]` because it owns two process-global
+//! environment variables (`MACROSS_KERNEL_TIER` to force tiers and
+//! `MACROSS_KERNEL_FUSE_THRESHOLD` to make the profitability gate accept
+//! small random kernels); parallel test threads in this binary would
+//! race on them.
+
+use macross_repro::benchsuite::util::source_f32;
+use macross_repro::sdf::Schedule;
+use macross_repro::streamir::builder::StreamSpec;
+use macross_repro::streamir::edsl::FilterBuilder;
+use macross_repro::streamir::expr::{BinOp, Expr, Intrinsic, LValue, VarId};
+use macross_repro::streamir::graph::{Graph, Node};
+use macross_repro::streamir::stmt::Stmt;
+use macross_repro::streamir::types::{ScalarTy, Ty, Value};
+use macross_repro::vm::{
+    compile_filter_opts, run_scheduled_mode, ExecMode, KernelTier, Machine, RunResult,
+};
+
+/// Deterministic 64-bit LCG (no external rand dependency).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Build a random vector filter: pops two `w`-lane f32 vectors, applies
+/// a random sequence of vector ops across f32/f64/i32 locals, pushes one
+/// vector back. Every construct it can emit is one the backend matrix
+/// handles natively on at least one tier (perms, compares, `CastFF`,
+/// `sqrt`/`abs`/`floor`, specialized binary arithmetic, chainable
+/// multiply-add ladders), so the differential actually exercises the
+/// intrinsic paths rather than the shared portable fallback.
+fn random_graph(rng: &mut Lcg, w: usize) -> Graph {
+    let mut fb = FilterBuilder::new("rnd", 2 * w, 2 * w, w, ScalarTy::F32);
+    let f: Vec<VarId> = (0..4)
+        .map(|i| fb.local(format!("f{i}"), Ty::Vector(ScalarTy::F32, w)))
+        .collect();
+    let d = fb.local("d0", Ty::Vector(ScalarTy::F64, w));
+    let n: Vec<VarId> = (0..2)
+        .map(|i| fb.local(format!("n{i}"), Ty::Vector(ScalarTy::I32, w)))
+        .collect();
+    let steps = 10 + rng.pick(16);
+    let plan: Vec<(usize, usize, usize, usize)> = (0..steps)
+        .map(|_| (rng.pick(7), rng.pick(4), rng.pick(4), rng.pick(4)))
+        .collect();
+    let out = f[rng.pick(4)];
+    fb.work(move |b| {
+        let var = |id: VarId| Box::new(Expr::Var(id));
+        b.stmt(Stmt::Assign(LValue::Var(f[0]), Expr::VPop { width: w }));
+        b.stmt(Stmt::Assign(LValue::Var(f[1]), Expr::VPop { width: w }));
+        // Center the inputs so negatives reach abs/floor/compares.
+        b.stmt(Stmt::Assign(
+            LValue::Var(f[1]),
+            Expr::bin(
+                BinOp::Sub,
+                Expr::Var(f[1]),
+                Expr::Splat(Box::new(Expr::Const(Value::F32(7.25))), w),
+            ),
+        ));
+        b.stmt(Stmt::Assign(LValue::Var(f[2]), Expr::Var(f[0])));
+        b.stmt(Stmt::Assign(LValue::Var(f[3]), Expr::Var(f[1])));
+        for &(kind, t, x, y) in &plan {
+            let (ft, fx, fy) = (f[t], f[x], f[y]);
+            match kind {
+                // Specialized binary arithmetic (chain fodder when runs
+                // form; Div exercises the IEEE-exact narrow path).
+                0 => {
+                    b.stmt(Stmt::Assign(
+                        LValue::Var(ft),
+                        Expr::Binary(
+                            [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div][x % 4],
+                            var(fx),
+                            var(fy),
+                        ),
+                    ));
+                }
+                // Permutation kernels (the paper's extract_even/odd).
+                1 => {
+                    b.stmt(Stmt::Assign(
+                        LValue::Var(ft),
+                        if y % 2 == 0 {
+                            Expr::PermuteEven(var(fx), var(fy))
+                        } else {
+                            Expr::PermuteOdd(var(fx), var(fy))
+                        },
+                    ));
+                }
+                // sqrt over abs (non-negative domain keeps NaNs out while
+                // still hitting the intrinsic path).
+                2 => {
+                    b.stmt(Stmt::Assign(
+                        LValue::Var(ft),
+                        Expr::Call(
+                            Intrinsic::Sqrt,
+                            vec![Expr::Call(Intrinsic::Abs, vec![Expr::Var(fx)])],
+                        ),
+                    ));
+                }
+                3 => {
+                    b.stmt(Stmt::Assign(
+                        LValue::Var(ft),
+                        Expr::Call(
+                            if y % 2 == 0 {
+                                Intrinsic::Floor
+                            } else {
+                                Intrinsic::Abs
+                            },
+                            vec![Expr::Var(fx)],
+                        ),
+                    ));
+                }
+                // Ordered compares lower to mask kernels; the result is
+                // an i32 0/1 vector in this IR, folded back via a cast.
+                4 => {
+                    b.stmt(Stmt::Assign(
+                        LValue::Var(n[0]),
+                        Expr::Binary(
+                            [
+                                BinOp::Lt,
+                                BinOp::Le,
+                                BinOp::Gt,
+                                BinOp::Ge,
+                                BinOp::Eq,
+                                BinOp::Ne,
+                            ][x % 6],
+                            var(fx),
+                            var(fy),
+                        ),
+                    ));
+                    b.stmt(Stmt::Assign(
+                        LValue::Var(ft),
+                        Expr::Cast(ScalarTy::F32, var(n[0])),
+                    ));
+                }
+                // f32 -> f64 -> f32 round trip (CastFF both ways).
+                5 => {
+                    b.stmt(Stmt::Assign(
+                        LValue::Var(d),
+                        Expr::Cast(ScalarTy::F64, var(fx)),
+                    ));
+                    b.stmt(Stmt::Assign(
+                        LValue::Var(ft),
+                        Expr::Cast(ScalarTy::F32, var(d)),
+                    ));
+                }
+                // Integer detour: f32 -> i32, bitwise/arithmetic, back.
+                _ => {
+                    b.stmt(Stmt::Assign(
+                        LValue::Var(n[0]),
+                        Expr::Cast(ScalarTy::I32, var(fx)),
+                    ));
+                    b.stmt(Stmt::Assign(
+                        LValue::Var(n[1]),
+                        Expr::Cast(ScalarTy::I32, var(fy)),
+                    ));
+                    b.stmt(Stmt::Assign(
+                        LValue::Var(n[0]),
+                        Expr::Binary(
+                            [BinOp::And, BinOp::Or, BinOp::Xor, BinOp::Add, BinOp::Mul][y % 5],
+                            var(n[0]),
+                            var(n[1]),
+                        ),
+                    ));
+                    b.stmt(Stmt::Assign(
+                        LValue::Var(ft),
+                        Expr::Cast(ScalarTy::F32, var(n[0])),
+                    ));
+                }
+            }
+        }
+        b.stmt(Stmt::VPush {
+            value: Expr::Var(out),
+            width: w,
+        });
+    });
+    StreamSpec::pipeline(vec![
+        source_f32("src", 2 * w, 4096, 0.375),
+        fb.build_spec(),
+        StreamSpec::Sink,
+    ])
+    .build()
+    .expect("random graph")
+}
+
+fn bits_eq(a: &RunResult, b: &RunResult) -> bool {
+    a.output.len() == b.output.len() && a.output.iter().zip(&b.output).all(|(x, y)| x.bits_eq(*y))
+}
+
+/// Count fused kernels in the random filter so the suite can prove it is
+/// not vacuously comparing unfused dispatch against itself.
+fn fused_kernels(g: &Graph, machine: &Machine) -> usize {
+    for (id, node) in g.nodes() {
+        let Node::Filter(fl) = node else { continue };
+        if fl.name != "rnd" {
+            continue;
+        }
+        let in_e = g.single_in_edge(id).map(|e| g.edge(e).elem);
+        let out_e = g.single_out_edge(id).map(|e| g.edge(e).elem);
+        return compile_filter_opts(fl, in_e, out_e, machine, true)
+            .map(|p| p.kernels.len())
+            .unwrap_or(0);
+    }
+    0
+}
+
+#[test]
+fn random_vector_programs_are_bit_identical_across_all_tiers() {
+    let machine = Machine::core_i7();
+    let inherited_tier = std::env::var("MACROSS_KERNEL_TIER").ok();
+    let inherited_threshold = std::env::var("MACROSS_KERNEL_FUSE_THRESHOLD").ok();
+    // Let small random kernels through the profitability gate; the point
+    // here is coverage, not speed.
+    std::env::set_var("MACROSS_KERNEL_FUSE_THRESHOLD", "1");
+
+    let tiers: Vec<KernelTier> = KernelTier::ALL
+        .iter()
+        .copied()
+        .filter(|t| t.available())
+        .collect();
+    assert!(
+        tiers.contains(&KernelTier::Portable),
+        "portable tier must always be available"
+    );
+
+    let mut total_kernels = 0usize;
+    for seed in 0..24u64 {
+        let mut rng = Lcg(0x9e3779b97f4a7c15 ^ (seed.wrapping_mul(0x2545f4914f6cdd1d) + 1));
+        let w = [4, 8][rng.pick(2)];
+        let g = random_graph(&mut rng, w);
+        let sched = Schedule::compute(&g).expect("schedule");
+        total_kernels += fused_kernels(&g, &machine);
+
+        std::env::remove_var("MACROSS_KERNEL_TIER");
+        let tw = run_scheduled_mode(&g, &sched, &machine, 12, ExecMode::TreeWalk).expect("tw");
+        let nf =
+            run_scheduled_mode(&g, &sched, &machine, 12, ExecMode::BytecodeNoFuse).expect("nf");
+        assert!(bits_eq(&tw, &nf), "seed {seed} w={w}: dispatch != treewalk");
+        assert_eq!(tw.counters, nf.counters, "seed {seed} w={w}: counters");
+
+        for &tier in &tiers {
+            std::env::set_var("MACROSS_KERNEL_TIER", tier.label());
+            let fused =
+                run_scheduled_mode(&g, &sched, &machine, 12, ExecMode::Bytecode).expect("fused");
+            assert!(
+                bits_eq(&tw, &fused),
+                "seed {seed} w={w}: tier {} diverges from the oracle",
+                tier.label()
+            );
+            assert_eq!(
+                tw.counters,
+                fused.counters,
+                "seed {seed} w={w}: tier {} counters diverge",
+                tier.label()
+            );
+        }
+    }
+    assert!(
+        total_kernels >= 12,
+        "suite is near-vacuous: only {total_kernels} fused kernels across all seeds"
+    );
+
+    match inherited_tier {
+        Some(v) => std::env::set_var("MACROSS_KERNEL_TIER", v),
+        None => std::env::remove_var("MACROSS_KERNEL_TIER"),
+    }
+    match inherited_threshold {
+        Some(v) => std::env::set_var("MACROSS_KERNEL_FUSE_THRESHOLD", v),
+        None => std::env::remove_var("MACROSS_KERNEL_FUSE_THRESHOLD"),
+    }
+}
