@@ -1,11 +1,19 @@
 //! Interpreter hot-path microbenchmark: ns per firing of the tree-walking
-//! interpreter vs. the register bytecode engine on six representative
+//! interpreter vs. the register bytecode engine on eight representative
 //! filter shapes — an arithmetic-heavy scalar loop, a macro-SIMDized
 //! FMA-chain kernel, a peeking FIR with an array-indexed loop, two
 //! permutation-heavy SIMDized pipelines (BitonicSort's compare-exchange
-//! network and MatrixMultBlock's transpose mesh), and a synthetic
+//! network and MatrixMultBlock's transpose mesh), a synthetic
 //! perm-dominated riffle network where the tier matrix's permutation
-//! kernels carry nearly all of the work.
+//! kernels carry nearly all of the work, and two *stateful* region
+//! workloads (the benchsuite's IIR bank and accumulator/normalizer)
+//! where the region transform vectorizes actors the classic passes
+//! refuse. For the region rows the baseline is the **scalar** graph on
+//! the dispatch engine (schedules aligned by steady-state output
+//! volume), so `region_vs_scalar_speedup_*` prices the whole transform
+//! — panel layout, cursor elision, and fused panel kernels — not just
+//! fusion; `region_vs_scalar_speedup_best` (the max over available
+//! tiers) is pinned by the zero-tolerance kernel gate.
 //!
 //! All engines run the *same* compiled graph and schedule inside one
 //! binary via `ExecMode`, so the comparison isolates the execution
@@ -27,6 +35,7 @@
 
 use macross::driver::{macro_simdize, SimdizeOptions};
 use macross_bench::{emit_report, render_table, safe_ratio, BenchReport, BenchRow};
+use macross_benchsuite::region::{region_acc_norm, region_iir_bank};
 use macross_benchsuite::util::{fir, source_f32, source_i32};
 use macross_sdf::Schedule;
 use macross_streamir::builder::StreamSpec;
@@ -381,6 +390,118 @@ fn main() {
         cells.push(if compiled { "yes" } else { "FALLBACK" }.to_string());
         rows.push(cells);
     }
+    // --- Region-state rows: stateful actors vectorized lane-per-region.
+    // Unlike the rows above (one graph, engines compared), these compare
+    // two *graphs*: the scalar original on the dispatch engine vs. the
+    // region-transformed one per kernel tier, schedules aligned by
+    // steady-state output volume so a time ratio is a fair speedup.
+    let mut region_rows = Vec::new();
+    for (label, build, needle) in [
+        (
+            "region_iir_bank",
+            region_iir_bank as fn() -> Graph,
+            "iir_bank",
+        ),
+        (
+            "region_acc_norm",
+            region_acc_norm as fn() -> Graph,
+            "acc_norm",
+        ),
+    ] {
+        let g = build();
+        let mut ss = Schedule::compute(&g).expect("schedule");
+        let simd = macro_simdize(&g, &machine, &SimdizeOptions::all()).expect("simdize");
+        let actors: Vec<String> = simd
+            .report
+            .region_actors
+            .iter()
+            .filter(|a| a.contains(needle))
+            .cloned()
+            .collect();
+        assert!(
+            !actors.is_empty(),
+            "{label}: region transform did not fire on *{needle}*: {:?}",
+            simd.report
+        );
+        report.push_pass("region", actors);
+        // Align the scalar schedule to the transformed one's steady-state
+        // output volume (Equation-1 scaling multiplies repetitions).
+        let s_out = run_scheduled_mode(&g, &ss, &machine, 4, ExecMode::TreeWalk).expect("tw");
+        let v_out =
+            run_scheduled_mode(&simd.graph, &simd.schedule, &machine, 4, ExecMode::TreeWalk)
+                .expect("tw");
+        assert_eq!(
+            v_out.output.len() % s_out.output.len(),
+            0,
+            "{label}: steady-state volumes do not align"
+        );
+        ss.scale((v_out.output.len() / s_out.output.len()) as u64);
+        // The transformed graph must match the scalar one bit-for-bit on
+        // every available tier before any timing counts.
+        let sc = run_scheduled_mode(&g, &ss, &machine, 16, ExecMode::BytecodeNoFuse).expect("sc");
+        for tier in &tiers {
+            set_tier_env(Some(tier.label()), &inherited);
+            let rg = run_scheduled_mode(
+                &simd.graph,
+                &simd.schedule,
+                &machine,
+                16,
+                ExecMode::Bytecode,
+            )
+            .expect("rg");
+            assert!(
+                outputs_bits_eq(&sc, &rg),
+                "{label}: region {} tier diverges from scalar",
+                tier.label()
+            );
+        }
+        set_tier_env(None, &inherited);
+
+        let (reps, compiled, kernels) = hot_filter(&simd.graph, &simd.schedule, &machine, needle);
+        let firings = reps * iters;
+        let sc_ns = time_run(&g, &ss, &machine, iters, ExecMode::BytecodeNoFuse, samples);
+        let sc_per = sc_ns as f64 / firings as f64;
+        let mut row = BenchRow::new(label);
+        let mut per_tier_cells: Vec<String> = Vec::new();
+        let mut best = 0.0f64;
+        for tier in &tiers {
+            set_tier_env(Some(tier.label()), &inherited);
+            let ns = time_run(
+                &simd.graph,
+                &simd.schedule,
+                &machine,
+                iters,
+                ExecMode::Bytecode,
+                samples,
+            );
+            let per = ns as f64 / firings as f64;
+            let ratio = safe_ratio(sc_per, per);
+            best = best.max(ratio);
+            row = row
+                .metric(format!("region_ns_per_firing_{}", tier.label()), per)
+                .metric(format!("region_vs_scalar_speedup_{}", tier.label()), ratio);
+            per_tier_cells.push(format!("{ratio:.2}x"));
+        }
+        set_tier_env(None, &inherited);
+        per_tier_cells.resize(KernelTier::ALL.len(), "-".to_string());
+        report.push_row(
+            row.metric("scalar_dispatch_ns_per_firing", sc_per)
+                .metric("region_vs_scalar_speedup_best", best)
+                .counter("firings", firings)
+                .counter("compiled", u64::from(compiled))
+                .counter("kernels", kernels),
+        );
+        let mut cells = vec![
+            label.to_string(),
+            format!("{sc_per:.1}"),
+            format!("{best:.2}x"),
+        ];
+        cells.extend(per_tier_cells);
+        cells.push(kernels.to_string());
+        cells.push(if compiled { "yes" } else { "FALLBACK" }.to_string());
+        region_rows.push(cells);
+    }
+
     let mut headers = vec![
         "filter".to_string(),
         "treewalk ns/firing".to_string(),
@@ -398,5 +519,22 @@ fn main() {
     headers.push("compiled".to_string());
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     println!("{}", render_table(&header_refs, &rows));
+
+    println!("== Region-state SIMDization: region-vectorized vs. scalar dispatch ==");
+    let mut region_headers = vec![
+        "benchmark".to_string(),
+        "scalar disp ns/firing".to_string(),
+        "best speedup".to_string(),
+    ];
+    for tier in KernelTier::ALL.iter().filter(|t| t.available()) {
+        region_headers.push(format!("region/scalar {}", tier.label()));
+    }
+    for tier in KernelTier::ALL.iter().filter(|t| !t.available()) {
+        region_headers.push(format!("region/scalar {}", tier.label()));
+    }
+    region_headers.push("kernels".to_string());
+    region_headers.push("compiled".to_string());
+    let region_header_refs: Vec<&str> = region_headers.iter().map(|s| s.as_str()).collect();
+    println!("{}", render_table(&region_header_refs, &region_rows));
     emit_report(&report);
 }

@@ -1,18 +1,19 @@
 //! # macross-benchsuite
 //!
 //! The StreamIt-style benchmark suite used by the MacroSS reproduction's
-//! experiments — fourteen applications re-implemented on the stream IR
+//! experiments — sixteen applications re-implemented on the stream IR
 //! with the same structural characters the paper relies on: split-joins
 //! of isomorphic (sometimes stateful) actors for horizontal SIMDization,
 //! deep stateless pipelines for vertical SIMDization, peeking filters,
-//! data-dependent table lookups that *block* SIMDization, and
-//! reordering-heavy kernels where the SAGU shines.
+//! data-dependent table lookups that *block* SIMDization, reordering-heavy
+//! kernels where the SAGU shines, and region-state actors (per-channel
+//! filter banks) that only the stateful region pass can vectorize.
 //!
 //! ```
 //! use macross_benchsuite::all;
 //!
 //! let suite = all();
-//! assert_eq!(suite.len(), 14);
+//! assert_eq!(suite.len(), 16);
 //! let g = (suite[0].build)();
 //! assert!(g.node_count() > 2);
 //! ```
@@ -22,6 +23,7 @@ pub mod dsp;
 pub mod dynamic;
 pub mod matrix;
 pub mod media;
+pub mod region;
 pub mod transforms;
 pub mod util;
 
@@ -111,6 +113,16 @@ pub fn all() -> Vec<Benchmark> {
             name: "TDE",
             build: transforms::tde,
             iters: 8,
+        },
+        Benchmark {
+            name: "RegionIIRBank",
+            build: region::region_iir_bank,
+            iters: 32,
+        },
+        Benchmark {
+            name: "RegionAccNorm",
+            build: region::region_acc_norm,
+            iters: 32,
         },
     ]
 }
@@ -237,6 +249,15 @@ mod tests {
             r.single_actors.iter().all(|n| !n.contains("sbox")),
             "DES sboxes vectorized: {r:?}"
         );
+        // Region benchmarks: the stateful banks vectorize only through
+        // the region pass, never through the classic transforms.
+        for name in ["RegionIIRBank", "RegionAccNorm"] {
+            let r = report_of(name);
+            assert!(
+                !r.region_actors.is_empty(),
+                "{name} should region-vectorize: {r:?}"
+            );
+        }
     }
 
     /// Macro-SIMDization speeds up the suite on the modelled machine

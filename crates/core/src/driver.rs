@@ -9,6 +9,7 @@ use crate::cost::{static_firing_cost, AddrCosts};
 use crate::error::SimdizeError;
 use crate::horizontal::{find_split_joins, horizontalize};
 use crate::permnet::{gather_applicable, scatter_applicable};
+use crate::region::{region_width, simdize_region_actor};
 use crate::single::{simdize_single_actor, uses_peek, SingleActorConfig, TapeMode};
 use crate::vertical::{fuse_chain, link_fusable, splice_fused};
 use macross_sdf::{compute_init_reps, lcm, Schedule};
@@ -38,6 +39,9 @@ pub struct SimdizeOptions {
     /// simplification, dead-store elimination) before SIMDizing
     /// (Algorithm 1's "Prepass-Optimizations"). Bit-exactness preserving.
     pub prepass: bool,
+    /// Region-based stateful SIMDization: vectorize actors whose state is
+    /// declared as independent regions (lane-per-region panels).
+    pub region: bool,
 }
 
 impl Default for SimdizeOptions {
@@ -50,6 +54,7 @@ impl Default for SimdizeOptions {
             reorder_opt: true,
             profitability: true,
             prepass: true,
+            region: true,
         }
     }
 }
@@ -71,6 +76,7 @@ impl SimdizeOptions {
             reorder_opt: false,
             profitability: true,
             prepass: true,
+            region: false,
         }
     }
 
@@ -108,6 +114,9 @@ pub struct SimdizeReport {
     pub horizontal_groups: Vec<Vec<String>>,
     /// Eligible actors skipped as unprofitable.
     pub skipped_unprofitable: Vec<String>,
+    /// Stateful actors vectorized by region-based SIMDization
+    /// (post-transform names).
+    pub region_actors: Vec<String>,
     /// Tape-access modes chosen per vectorized actor.
     pub tape_decisions: Vec<TapeDecision>,
     /// Compile-side trace: every transform decision in the order the
@@ -441,14 +450,84 @@ pub fn macro_simdize_colocated(
         plans.push((id, cfg));
     }
 
+    // --- Region-based stateful SIMDization: actors the passes above
+    // refuse (stateful), but whose state is declared as independent
+    // regions. The lane width is the machine width or the largest
+    // power-of-two divisor of the region count that fits.
+    let mut region_plans: Vec<(NodeId, SingleActorConfig)> = Vec::new();
+    if opts.region {
+        for id in g.node_ids() {
+            let Some(f) = g.node(id).as_filter() else {
+                continue;
+            };
+            let Some(spec) = &f.region else { continue };
+            let va = analyze_vectorizability(f);
+            if va.vectorized || !machine.supports_all(&va.intrinsics) {
+                continue;
+            }
+            if macross_streamir::analysis::check_region_spec(f).is_err() {
+                continue; // malformed annotation: stay scalar, bit-exactly
+            }
+            let Some(w) = region_width(spec.regions, sw) else {
+                continue;
+            };
+            let regions = spec.regions;
+            let f = f.clone();
+            let in_elem = g
+                .single_in_edge(id)
+                .map(|e| g.edge(e).elem)
+                .unwrap_or(ScalarTy::F32);
+            let out_elem = g
+                .single_out_edge(id)
+                .map(|e| g.edge(e).elem)
+                .unwrap_or(ScalarTy::F32);
+            let cfg = SingleActorConfig::strided(w, in_elem, out_elem);
+            let Ok(vf) = simdize_region_actor(&f, &cfg) else {
+                continue;
+            };
+            // Equation-1-style profitability with a region-permute term:
+            // when the cursor must rotate across several panels, the
+            // panel state cannot stay register-resident between firings,
+            // so each extra panel is charged one cross-panel permute.
+            let panels = regions / w;
+            let permute_term = (panels as u64 - 1) * machine.cost.permute;
+            let scost = static_firing_cost(&f, machine, AddrCosts::default());
+            let vcost = static_firing_cost(&vf, machine, AddrCosts::default()) + permute_term;
+            if opts.profitability && vcost >= (w as u64) * scost {
+                report.passes.push(
+                    PassEvent::new(Pass::Unprofitable, f.name.clone(), w as u64)
+                        .costs(scost, vcost)
+                        .note(format!(
+                            "region vector firing not cheaper than {w} scalar firings \
+                             (R={regions}, permute term {permute_term})"
+                        )),
+                );
+                report.skipped_unprofitable.push(f.name.clone());
+                continue;
+            }
+            report.passes.push(
+                PassEvent::new(Pass::Region, f.name.clone(), w as u64)
+                    .costs(scost, vcost)
+                    .note(format!(
+                        "R={regions} regions as {panels} panel(s), permute term {permute_term}"
+                    )),
+            );
+            region_plans.push((id, cfg));
+        }
+    }
+
     // --- Equation 1: scale the repetition vector so every selected actor's
-    // repetition number is a multiple of SW.
-    if !plans.is_empty() {
+    // repetition number is a multiple of its lane width (SW for the
+    // classic passes, the chosen divisor width for region actors — all
+    // powers of two <= SW, so one scale factor covers the mix).
+    if !plans.is_empty() || !region_plans.is_empty() {
         let m = plans
             .iter()
-            .map(|(id, _)| {
-                let r = schedule.rep(*id);
-                lcm(sw as u64, r) / r
+            .map(|(id, cfg)| (*id, cfg.sw))
+            .chain(region_plans.iter().map(|(id, cfg)| (*id, cfg.sw)))
+            .map(|(id, w)| {
+                let r = schedule.rep(id);
+                lcm(w as u64, r) / r
             })
             .max()
             .unwrap_or(1);
@@ -503,6 +582,27 @@ pub fn macro_simdize_colocated(
                 addr_gen,
             });
         }
+    }
+
+    // --- Transform the region actors and divide their repetition numbers
+    // by their lane widths. Strided tapes only: no reorder edges.
+    for (id, cfg) in &region_plans {
+        let f = g.node(*id).as_filter().expect("filter").clone();
+        let vf = simdize_region_actor(&f, cfg)?;
+        report.tape_decisions.push(TapeDecision {
+            actor: vf.name.clone(),
+            input: cfg.input,
+            output: cfg.output,
+        });
+        report.region_actors.push(vf.name.clone());
+        g.replace_node(*id, Node::Filter(vf));
+        let r = &mut schedule.reps[id.0 as usize];
+        debug_assert_eq!(
+            *r % cfg.sw as u64,
+            0,
+            "Equation 1 must make reps divisible by the region lane width"
+        );
+        *r /= cfg.sw as u64;
     }
 
     // --- Final validation and init-schedule refresh.
@@ -727,6 +827,12 @@ fn scalar_neighbor(g: &Graph, id: NodeId, input_side: bool, selected: &[NodeId])
     match g.node(other) {
         Node::Filter(f) => {
             if selected.contains(&other) {
+                return false;
+            }
+            // A region-annotated neighbour may later be region-vectorized
+            // into a strided (rpush-style) producer or consumer, so it
+            // cannot absorb reordered accesses.
+            if f.region.is_some() {
                 return false;
             }
             // The scalar side must access the tape with plain pops/pushes:
@@ -1068,6 +1174,122 @@ mod tests {
             assert!(a.bits_eq(*b), "threaded output diverged: {a:?} vs {b:?}");
         }
         assert_eq!(thr.report.cores, 2);
+    }
+
+    fn iir_bank_filter(name: &str, regions: usize) -> StreamSpec {
+        let mut fb = FilterBuilder::new(name, 1, 1, 1, ScalarTy::F32);
+        let cur = fb.region_cursor("cur", regions);
+        let y = fb.region_var("y", ScalarTy::F32);
+        let j = fb.local("j", Ty::Scalar(ScalarTy::I32));
+        fb.init(|b| {
+            b.for_(j, regions as i32, |b| {
+                b.set_idx(y, v(j), cast(ScalarTy::F32, v(j)) * 0.125f32);
+            });
+        });
+        fb.work(|b| {
+            b.set_idx(y, v(cur), idx(y, v(cur)) * 0.5f32 + pop() * 0.5f32);
+            b.push(idx(y, v(cur)));
+            b.set(cur, (v(cur) + 1i32) % c(regions as i32));
+        });
+        fb.build_spec()
+    }
+
+    #[test]
+    fn region_actor_vectorized_and_bit_exact() {
+        let g = StreamSpec::pipeline(vec![
+            f32_source("src"),
+            iir_bank_filter("bank", 8),
+            StreamSpec::Sink,
+        ])
+        .build()
+        .unwrap();
+        let machine = Machine::core_i7();
+        let (a, b, report) = differential(&g, &machine, &SimdizeOptions::all(), 8);
+        assert_eq!(report.region_actors, vec!["bank_r4"]);
+        assert!(report
+            .passes
+            .iter()
+            .any(|e| e.pass == Pass::Region && e.actor == "bank"));
+        assert!(
+            b.total_cycles() < a.total_cycles(),
+            "region simd {} should beat scalar {}",
+            b.total_cycles(),
+            a.total_cycles()
+        );
+    }
+
+    #[test]
+    fn region_disabled_leaves_actor_scalar() {
+        let g = StreamSpec::pipeline(vec![
+            f32_source("src"),
+            iir_bank_filter("bank", 8),
+            StreamSpec::Sink,
+        ])
+        .build()
+        .unwrap();
+        let machine = Machine::core_i7();
+        let opts = SimdizeOptions {
+            region: false,
+            ..SimdizeOptions::all()
+        };
+        let simd = macro_simdize(&g, &machine, &opts).unwrap();
+        assert!(simd.report.region_actors.is_empty());
+        assert!(
+            simd.graph.nodes().any(|(_, n)| n.name() == "bank"),
+            "bank must stay scalar"
+        );
+        // And the differential still holds (scalar == scalar).
+        differential(&g, &machine, &opts, 4);
+    }
+
+    #[test]
+    fn malformed_region_annotation_falls_back_scalar() {
+        // Cross-region write: annotation is a lie; driver must keep the
+        // actor scalar and stay bit-exact rather than vectorize it.
+        let mut fb = FilterBuilder::new("liar", 1, 1, 1, ScalarTy::F32);
+        let cur = fb.region_cursor("cur", 4);
+        let y = fb.region_var("y", ScalarTy::F32);
+        fb.work(|b| {
+            b.set_idx(y, (v(cur) + 1i32) % c(4i32), pop());
+            b.push(idx(y, v(cur)));
+            b.set(cur, (v(cur) + 1i32) % c(4i32));
+        });
+        let g = StreamSpec::pipeline(vec![
+            f32_source("src"),
+            StreamSpec::filter(fb.build(), ScalarTy::F32),
+            StreamSpec::Sink,
+        ])
+        .build()
+        .unwrap();
+        let machine = Machine::core_i7();
+        let (_, _, report) = differential(&g, &machine, &SimdizeOptions::all(), 6);
+        assert!(report.region_actors.is_empty());
+        assert!(!report.passes.iter().any(|e| e.pass == Pass::Region));
+    }
+
+    #[test]
+    fn region_width_divisor_schedules_mixed_widths() {
+        // R=2 on a 4-wide machine: lane width drops to 2; a stateless
+        // actor in the same pipeline still vectorizes at 4. Equation 1
+        // must cover both.
+        let g = StreamSpec::pipeline(vec![
+            f32_source("src"),
+            scale_filter("f", 2.0),
+            iir_bank_filter("bank2", 2),
+            StreamSpec::Sink,
+        ])
+        .build()
+        .unwrap();
+        let machine = Machine::core_i7();
+        let (_, _, report) = differential(&g, &machine, &SimdizeOptions::all(), 8);
+        assert_eq!(report.region_actors, vec!["bank2_r2"]);
+        let ev = report
+            .passes
+            .iter()
+            .find(|e| e.pass == Pass::Region)
+            .unwrap();
+        assert_eq!(ev.simd_width, 2);
+        assert!(!report.single_actors.is_empty());
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod horizontal;
 pub mod normalize;
 pub mod opt;
 pub mod permnet;
+pub mod region;
 pub mod single;
 pub mod vertical;
 
@@ -73,4 +74,5 @@ pub use driver::{
     Simdized, TapeDecision, ThreadedError,
 };
 pub use error::SimdizeError;
+pub use region::{region_width, simdize_region_actor};
 pub use single::{simdize_single_actor, SingleActorConfig, TapeMode};

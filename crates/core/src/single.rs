@@ -130,6 +130,19 @@ pub(crate) fn vectorize_filter(
     cfg: &SingleActorConfig,
     rewrite_init: bool,
 ) -> Result<(), SimdizeError> {
+    vectorize_filter_seeded(f, cfg, rewrite_init, &HashSet::new())
+}
+
+/// [`vectorize_filter`] with pre-seeded vector variables: `seeds` enter the
+/// def-use marking fixpoint as already-vector, forcing variables whose
+/// lanes must diverge even without tape data flowing into them (region
+/// state panels hold per-region values from `init`).
+pub(crate) fn vectorize_filter_seeded(
+    f: &mut Filter,
+    cfg: &SingleActorConfig,
+    rewrite_init: bool,
+    seeds: &HashSet<VarId>,
+) -> Result<(), SimdizeError> {
     let sw = cfg.sw;
     assert!(
         sw.is_power_of_two() && sw >= 2,
@@ -163,7 +176,7 @@ pub(crate) fn vectorize_filter(
     // Mark vector variables by def-use propagation from tape reads and
     // merged vector constants (Section 3.1 "identifying variables and
     // constants to be vectorized").
-    let vec_vars = mark_vector_vars(f);
+    let vec_vars = mark_vector_vars_seeded(f, seeds);
     for v in &vec_vars {
         let decl = &mut f.vars[v.0 as usize];
         decl.ty = decl.ty.vectorized(sw);
@@ -337,7 +350,11 @@ fn scale_offset(off: Expr, sw: usize) -> Expr {
 /// Def-use marking: variables whose values originate (transitively) from
 /// tape or channel reads become vectors.
 pub(crate) fn mark_vector_vars(f: &Filter) -> HashSet<VarId> {
-    let mut vec: HashSet<VarId> = HashSet::new();
+    mark_vector_vars_seeded(f, &HashSet::new())
+}
+
+pub(crate) fn mark_vector_vars_seeded(f: &Filter, seeds: &HashSet<VarId>) -> HashSet<VarId> {
+    let mut vec: HashSet<VarId> = seeds.clone();
     loop {
         let before = vec.len();
         mark_block(&f.init, &mut vec);

@@ -41,6 +41,7 @@ fn opts_bits(opts: &SimdizeOptions) -> u8 {
         | (opts.reorder_opt as u8) << 4
         | (opts.profitability as u8) << 5
         | (opts.prepass as u8) << 6
+        | (opts.region as u8) << 7
 }
 
 fn mode_tag(mode: ExecMode) -> u8 {

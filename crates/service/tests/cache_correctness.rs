@@ -107,7 +107,7 @@ fn cache_hit_sessions_match_cold_runs_on_all_benchmarks() {
         },
     );
     let suite = all();
-    assert_eq!(suite.len(), 14);
+    assert_eq!(suite.len(), 16);
     for bench in &suite {
         let graph = (bench.build)();
         let iters = bench.iters.min(4);
@@ -129,11 +129,11 @@ fn cache_hit_sessions_match_cold_runs_on_all_benchmarks() {
         }
     }
     let report = service.shutdown("benchsuite");
-    // 14 distinct shapes, 28 sessions: compilations count shapes, and the
+    // 16 distinct shapes, 32 sessions: compilations count shapes, and the
     // service never compiled what the hits could reuse.
-    assert_eq!(report.cache.distinct_graphs, 14);
-    assert_eq!(report.cache.compilations, 14);
-    assert_eq!(report.cache.hits, 14);
-    assert_eq!(report.admission.admitted, 28);
+    assert_eq!(report.cache.distinct_graphs, 16);
+    assert_eq!(report.cache.compilations, 16);
+    assert_eq!(report.cache.hits, 16);
+    assert_eq!(report.admission.admitted, 32);
     macross_telemetry::service::validate_str(&report.json_string()).unwrap();
 }

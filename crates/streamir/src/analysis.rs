@@ -2,10 +2,10 @@
 //! interpretation, statefulness, and the vectorizability conditions of
 //! Section 3.1 of the paper.
 
-use crate::expr::{Expr, Intrinsic, LValue, VarId};
-use crate::filter::Filter;
+use crate::expr::{BinOp, Expr, Intrinsic, LValue, VarId};
+use crate::filter::{Filter, VarKind};
 use crate::stmt::Stmt;
-use crate::types::Value;
+use crate::types::{ScalarTy, Ty, Value};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 
@@ -481,6 +481,212 @@ fn taint_block(stmts: &[Stmt], tainted: &mut HashSet<VarId>, out: &mut Vectoriza
     }
 }
 
+/// The canonical cursor-advance statement `cursor = (cursor + 1) % R`.
+///
+/// [`check_region_spec`] requires this exact shape as the last top-level
+/// `work` statement; the region SIMDizer strips it before vectorizing the
+/// body and re-appends the panelized form `cursor = (cursor + 1) % (R/W)`.
+pub fn region_cursor_update(cursor: VarId, regions: usize) -> Stmt {
+    Stmt::Assign(
+        LValue::Var(cursor),
+        Expr::bin(
+            BinOp::Rem,
+            Expr::bin(BinOp::Add, Expr::Var(cursor), Expr::Const(Value::I32(1))),
+            Expr::Const(Value::I32(regions as i32)),
+        ),
+    )
+}
+
+/// Validate a filter's region-based state annotation (the Timcheck &
+/// Buhler shape): the declared invariant is that firing `i` touches only
+/// region `i mod R`, which the body makes checkable by routing every
+/// region access through an explicit cursor.
+///
+/// The checked conditions:
+/// 1. the cursor is a scalar `i32` state variable, never written by `init`
+///    (so zero-initialization starts it at region 0) and distinct from the
+///    region arrays;
+/// 2. each region variable is a state array of exactly `R` elements;
+/// 3. inside `work`, every read and write of a region variable subscripts
+///    it with exactly `cursor` — any other subscript is a (potential)
+///    cross-region access and rejected;
+/// 4. the last top-level `work` statement is exactly
+///    `cursor = (cursor + 1) % R` and it is the only write to the cursor;
+/// 5. `work` writes no persistent state besides the region arrays and the
+///    cursor (other stateful behavior would not be lane-independent).
+///
+/// The SIMDizer re-checks this and silently falls back to scalar dispatch
+/// on `Err`, so a wrong annotation can cost performance but never
+/// correctness.
+pub fn check_region_spec(filter: &Filter) -> Result<(), String> {
+    let spec = filter
+        .region
+        .as_ref()
+        .ok_or_else(|| "filter has no region annotation".to_string())?;
+    if spec.regions < 2 {
+        return Err(format!("region count must be >= 2, got {}", spec.regions));
+    }
+    let nvars = filter.vars.len() as u32;
+    if spec.cursor.0 >= nvars || spec.vars.iter().any(|v| v.0 >= nvars) {
+        return Err("region spec names an undeclared variable".to_string());
+    }
+    if spec.vars.is_empty() {
+        return Err("region spec declares no region arrays".to_string());
+    }
+    if spec.vars.contains(&spec.cursor) {
+        return Err("cursor cannot itself be a region array".to_string());
+    }
+    let mut seen = HashSet::new();
+    if !spec.vars.iter().all(|v| seen.insert(*v)) {
+        return Err("duplicate region array in spec".to_string());
+    }
+
+    // 1. Cursor shape.
+    let cdecl = filter.var(spec.cursor);
+    if cdecl.kind != VarKind::State || cdecl.ty != Ty::Scalar(ScalarTy::I32) {
+        return Err(format!(
+            "cursor {} must be a scalar i32 state variable",
+            cdecl.name
+        ));
+    }
+    for s in &filter.init {
+        let mut bad = false;
+        s.walk(&mut |s| {
+            if let Stmt::Assign(lv, _) = s {
+                if lv.var() == spec.cursor {
+                    bad = true;
+                }
+            }
+        });
+        if bad {
+            return Err(format!(
+                "init writes cursor {}; it must start zero-initialized",
+                cdecl.name
+            ));
+        }
+    }
+
+    // 2. Region array shapes.
+    let regions: HashSet<VarId> = spec.vars.iter().copied().collect();
+    for &v in &spec.vars {
+        let d = filter.var(v);
+        match d.ty {
+            Ty::Array(_, n) if n == spec.regions && d.kind == VarKind::State => {}
+            _ => {
+                return Err(format!(
+                    "region variable {} must be a state array of {} elements, got {:?}",
+                    d.name, spec.regions, d.ty
+                ));
+            }
+        }
+    }
+
+    // 3. Every work access of a region variable is subscripted by exactly
+    // the cursor.
+    let cursor_expr = Expr::Var(spec.cursor);
+    let mut err: Option<String> = None;
+    let flag = |msg: String, err: &mut Option<String>| {
+        if err.is_none() {
+            *err = Some(msg);
+        }
+    };
+    for s in &filter.work {
+        s.walk_exprs(&mut |e| match e {
+            Expr::Index(v, i) if regions.contains(v) && **i != cursor_expr => {
+                flag(
+                    format!(
+                        "region array {} read with subscript {i}; only the \
+                         cursor may index it in work",
+                        filter.var(*v).name
+                    ),
+                    &mut err,
+                );
+            }
+            Expr::Var(v) | Expr::VIndex(v, _, _) if regions.contains(v) => {
+                flag(
+                    format!(
+                        "region array {} referenced without a cursor subscript",
+                        filter.var(*v).name
+                    ),
+                    &mut err,
+                );
+            }
+            _ => {}
+        });
+        s.walk(&mut |s| {
+            if let Stmt::Assign(lv, _) = s {
+                if regions.contains(&lv.var()) {
+                    match lv {
+                        LValue::Index(_, i) if *i == cursor_expr => {}
+                        _ => flag(
+                            format!(
+                                "region array {} written through {lv}; only \
+                                 [cursor] stores are region-local",
+                                filter.var(lv.var()).name
+                            ),
+                            &mut err,
+                        ),
+                    }
+                }
+            }
+        });
+    }
+    if let Some(e) = err {
+        return Err(e);
+    }
+
+    // 4. The cursor advances exactly once, as the last top-level statement.
+    let expected = region_cursor_update(spec.cursor, spec.regions);
+    match filter.work.last() {
+        Some(s) if *s == expected => {}
+        _ => {
+            return Err(format!(
+                "last work statement must be exactly `{} = ({0} + 1) % {}`",
+                cdecl.name, spec.regions
+            ));
+        }
+    }
+    let mut cursor_writes = 0usize;
+    for s in &filter.work {
+        s.walk(&mut |s| {
+            if let Stmt::Assign(lv, _) = s {
+                if lv.var() == spec.cursor {
+                    cursor_writes += 1;
+                }
+            }
+        });
+    }
+    if cursor_writes != 1 {
+        return Err(format!(
+            "cursor {} must be written exactly once in work, found {} writes",
+            cdecl.name, cursor_writes
+        ));
+    }
+
+    // 5. No other persistent state is written in work.
+    let state: HashSet<VarId> = filter.state_vars().collect();
+    for s in &filter.work {
+        let mut bad: Option<VarId> = None;
+        s.walk(&mut |s| {
+            if let Stmt::Assign(lv, _) = s {
+                let v = lv.var();
+                if state.contains(&v) && v != spec.cursor && !regions.contains(&v) && bad.is_none()
+                {
+                    bad = Some(v);
+                }
+            }
+        });
+        if let Some(v) = bad {
+            return Err(format!(
+                "work writes non-region state {}; region SIMDization requires \
+                 all firing-carried state to live in region arrays",
+                filter.var(v).name
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -717,5 +923,138 @@ mod tests {
         let va = analyze_vectorizability(&f);
         assert!(va.vectorized);
         assert!(!va.simdizable());
+    }
+
+    /// A canonical per-channel IIR bank with `regions` channels.
+    fn region_iir(regions: usize) -> Filter {
+        let mut fb = FilterBuilder::new("iir_bank", 1, 1, 1, ScalarTy::F32);
+        let cur = fb.region_cursor("cur", regions);
+        let y = fb.region_var("y", ScalarTy::F32);
+        fb.work(|b| {
+            b.set_idx(y, v(cur), idx(y, v(cur)) * 0.5f32 + pop() * 0.5f32);
+            b.push(idx(y, v(cur)));
+            b.set(cur, (v(cur) + 1i32) % c(regions as i32));
+        });
+        fb.build()
+    }
+
+    #[test]
+    fn well_formed_region_spec_accepted() {
+        let f = region_iir(8);
+        assert_eq!(check_region_spec(&f), Ok(()));
+        // The classic analyses still see a stateful actor, so the
+        // pre-existing passes keep refusing it.
+        let va = analyze_vectorizability(&f);
+        assert!(va.stateful);
+        assert!(!va.simdizable());
+    }
+
+    #[test]
+    fn region_cursor_update_matches_edsl_shape() {
+        let f = region_iir(4);
+        let spec = f.region.as_ref().unwrap();
+        assert_eq!(
+            f.work.last().unwrap(),
+            &region_cursor_update(spec.cursor, 4)
+        );
+    }
+
+    #[test]
+    fn cross_region_write_rejected() {
+        // Writes region (cursor + 1) % R: violates `i mod R` locality.
+        let mut fb = FilterBuilder::new("bad", 1, 1, 1, ScalarTy::F32);
+        let cur = fb.region_cursor("cur", 4);
+        let y = fb.region_var("y", ScalarTy::F32);
+        fb.work(|b| {
+            b.set_idx(y, (v(cur) + 1i32) % c(4i32), pop());
+            b.push(idx(y, v(cur)));
+            b.set(cur, (v(cur) + 1i32) % c(4i32));
+        });
+        let f = fb.build();
+        let err = check_region_spec(&f).unwrap_err();
+        assert!(err.contains("region-local"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn cross_region_read_rejected() {
+        let mut fb = FilterBuilder::new("bad", 1, 1, 1, ScalarTy::F32);
+        let cur = fb.region_cursor("cur", 4);
+        let y = fb.region_var("y", ScalarTy::F32);
+        fb.work(|b| {
+            b.set_idx(y, v(cur), pop());
+            b.push(idx(y, 0i32));
+            b.set(cur, (v(cur) + 1i32) % c(4i32));
+        });
+        let f = fb.build();
+        assert!(check_region_spec(&f).is_err());
+    }
+
+    #[test]
+    fn missing_cursor_update_rejected() {
+        let mut fb = FilterBuilder::new("bad", 1, 1, 1, ScalarTy::F32);
+        let cur = fb.region_cursor("cur", 4);
+        let y = fb.region_var("y", ScalarTy::F32);
+        fb.work(|b| {
+            b.set_idx(y, v(cur), pop());
+            b.push(idx(y, v(cur)));
+        });
+        let f = fb.build();
+        let err = check_region_spec(&f).unwrap_err();
+        assert!(err.contains("last work statement"), "got: {err}");
+    }
+
+    #[test]
+    fn extra_state_write_rejected() {
+        let mut fb = FilterBuilder::new("bad", 1, 1, 1, ScalarTy::F32);
+        let cur = fb.region_cursor("cur", 4);
+        let y = fb.region_var("y", ScalarTy::F32);
+        let total = fb.state("total", Ty::Scalar(ScalarTy::F32));
+        fb.work(|b| {
+            b.set_idx(y, v(cur), pop());
+            b.set(total, v(total) + idx(y, v(cur)));
+            b.push(idx(y, v(cur)));
+            b.set(cur, (v(cur) + 1i32) % c(4i32));
+        });
+        let f = fb.build();
+        let err = check_region_spec(&f).unwrap_err();
+        assert!(err.contains("non-region state"), "got: {err}");
+    }
+
+    #[test]
+    fn init_writing_cursor_rejected() {
+        let mut fb = FilterBuilder::new("bad", 1, 1, 1, ScalarTy::F32);
+        let cur = fb.region_cursor("cur", 4);
+        let y = fb.region_var("y", ScalarTy::F32);
+        fb.init(|b| {
+            b.set(cur, 2i32);
+        });
+        fb.work(|b| {
+            b.set_idx(y, v(cur), pop());
+            b.push(idx(y, v(cur)));
+            b.set(cur, (v(cur) + 1i32) % c(4i32));
+        });
+        let f = fb.build();
+        let err = check_region_spec(&f).unwrap_err();
+        assert!(err.contains("init writes cursor"), "got: {err}");
+    }
+
+    #[test]
+    fn region_spec_survives_structural_hash() {
+        use crate::graph::{Graph, Node};
+        use crate::shash::structural_hash;
+        let mut g1 = Graph::new();
+        let mut g2 = Graph::new();
+        let f = region_iir(8);
+        let mut f2 = f.clone();
+        f2.region.as_mut().unwrap().regions = 8; // identical
+        g1.add_node(Node::Filter(f));
+        g2.add_node(Node::Filter(f2));
+        assert_eq!(structural_hash(&g1), structural_hash(&g2));
+
+        let mut g3 = Graph::new();
+        let mut f3 = region_iir(8);
+        f3.region = None; // dropping the annotation must change the hash
+        g3.add_node(Node::Filter(f3));
+        assert_ne!(structural_hash(&g1), structural_hash(&g3));
     }
 }

@@ -19,7 +19,7 @@
 //! ```
 
 use crate::expr::{BinOp, ChanId, Expr, Intrinsic, LValue, UnOp, VarId};
-use crate::filter::{Filter, VarKind};
+use crate::filter::{Filter, RegionSpec, VarKind};
 use crate::stmt::Stmt;
 use crate::types::{ScalarTy, Ty, Value};
 
@@ -368,6 +368,46 @@ impl FilterBuilder {
     /// Declare a persistent state variable.
     pub fn state(&mut self, name: impl Into<String>, ty: Ty) -> VarId {
         self.filter.add_var(name, ty, VarKind::State)
+    }
+
+    /// Declare the region cursor: a scalar `i32` state variable cycling
+    /// through `0..regions`, and open the filter's [`RegionSpec`]. The
+    /// cursor-advance statement (`cursor = (cursor + 1) % regions`) must
+    /// still be written as the last top-level `work` statement — the
+    /// legality check verifies it is there.
+    pub fn region_cursor(&mut self, name: impl Into<String>, regions: usize) -> VarId {
+        assert!(regions >= 2, "a region spec needs at least 2 regions");
+        let cursor = self
+            .filter
+            .add_var(name, Ty::Scalar(ScalarTy::I32), VarKind::State);
+        let spec = self.filter.region.get_or_insert(RegionSpec {
+            regions,
+            vars: Vec::new(),
+            cursor,
+        });
+        assert_eq!(
+            spec.regions, regions,
+            "conflicting region counts on one filter"
+        );
+        spec.cursor = cursor;
+        cursor
+    }
+
+    /// Declare a per-region state array (`Ty::Array(elem, regions)`),
+    /// registered in the filter's [`RegionSpec`]. Requires
+    /// [`FilterBuilder::region_cursor`] to have been called first.
+    pub fn region_var(&mut self, name: impl Into<String>, elem: ScalarTy) -> VarId {
+        let regions = self
+            .filter
+            .region
+            .as_ref()
+            .expect("declare the region cursor before region vars")
+            .regions;
+        let id = self
+            .filter
+            .add_var(name, Ty::Array(elem, regions), VarKind::State);
+        self.filter.region.as_mut().unwrap().vars.push(id);
+        id
     }
 
     /// Define the `init` function.

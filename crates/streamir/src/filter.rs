@@ -41,6 +41,32 @@ pub struct LocalChan {
     pub ty: Ty,
 }
 
+/// Region-based state annotation (Timcheck & Buhler): the filter's state
+/// partitions into `regions` identical, independent regions, and firing
+/// `i` touches only region `i mod regions`. The filter makes the
+/// invariant explicit with a *cursor*: a scalar `i32` state variable that
+/// starts at 0, indexes every region array subscript in `work`, and is
+/// advanced exactly once per firing by `cursor = (cursor + 1) % regions`
+/// as the last top-level `work` statement.
+///
+/// The annotation is a *claim*, checked by
+/// `analysis::check_region_spec`; a filter whose body violates the shape
+/// is rejected (or simply left scalar by the SIMDizer, which re-checks).
+/// Region state variables stay ordinary [`VarKind::State`] — swap
+/// carryover, fault drains and zero-initialization treat them like any
+/// named state — the annotation only *adds* the independence fact the
+/// region SIMDization transform needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionSpec {
+    /// Number of independent regions `R` (>= 2).
+    pub regions: usize,
+    /// The per-region state arrays; each must be `Ty::Array(elem, R)`,
+    /// subscripted only by the cursor inside `work`.
+    pub vars: Vec<VarId>,
+    /// The cursor: a scalar `i32` state variable, `0 <= cursor < R`.
+    pub cursor: VarId,
+}
+
 /// An actor with a single (optional) input and output tape.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Filter {
@@ -60,6 +86,8 @@ pub struct Filter {
     pub init: Vec<Stmt>,
     /// Runs once per firing.
     pub work: Vec<Stmt>,
+    /// Optional region-based state declaration (see [`RegionSpec`]).
+    pub region: Option<RegionSpec>,
 }
 
 impl Filter {
@@ -78,6 +106,7 @@ impl Filter {
             chans: Vec::new(),
             init: Vec::new(),
             work: Vec::new(),
+            region: None,
         }
     }
 

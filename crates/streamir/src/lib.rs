@@ -57,7 +57,7 @@ pub mod stmt;
 pub mod types;
 
 pub use expr::{BinOp, ChanId, Expr, Intrinsic, LValue, UnOp, VarId};
-pub use filter::{Filter, LocalChan, VarDecl, VarKind};
+pub use filter::{Filter, LocalChan, RegionSpec, VarDecl, VarKind};
 pub use graph::{
     AddrGen, Edge, EdgeId, Graph, GraphError, Node, NodeId, Reorder, ReorderSide, SplitKind,
 };

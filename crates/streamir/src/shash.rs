@@ -235,6 +235,22 @@ fn filter_sig(f: &Filter) -> u128 {
     }
     h = hash_block(h, &f.init);
     h = hash_block(h, &f.work);
+    // The region annotation changes what the SIMDizer may do with the
+    // filter, so two filters differing only in it must not collide in
+    // the compile-once cache.
+    match &f.region {
+        None => h = h.word(0),
+        Some(r) => {
+            h = h
+                .word(0xbe10)
+                .word(r.regions as u64)
+                .word(r.cursor.0 as u64)
+                .word(r.vars.len() as u64);
+            for v in &r.vars {
+                h = h.word(v.0 as u64);
+            }
+        }
+    }
     h.finish()
 }
 

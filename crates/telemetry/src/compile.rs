@@ -22,6 +22,8 @@ pub enum Pass {
     Unprofitable,
     /// Equation-1 repetition-vector scaling.
     Equation1,
+    /// Region-based stateful SIMDization (lane-per-region panels).
+    Region,
 }
 
 impl fmt::Display for Pass {
@@ -33,6 +35,7 @@ impl fmt::Display for Pass {
             Pass::SingleActor => "single_actor",
             Pass::Unprofitable => "unprofitable",
             Pass::Equation1 => "equation1",
+            Pass::Region => "region",
         };
         f.write_str(s)
     }

@@ -80,6 +80,32 @@ impl BenchRow {
     }
 }
 
+/// One macro-SIMDization pass recorded alongside a report's rows: which
+/// transform fired while producing the benchmarked graphs and the actors
+/// it produced. Lets a consumer cross-check that a row claiming a
+/// transform's speedup (e.g. a `region_*` benchmark) was actually
+/// produced by that transform rather than by a silently skipped pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportPass {
+    /// Pass name as the compile trace spells it (`"region"`,
+    /// `"single_actor"`, ...).
+    pub pass: String,
+    /// Post-transform actor names the pass produced.
+    pub actors: Vec<String>,
+}
+
+/// Pass names the schema recognizes in [`ReportPass::pass`] — the
+/// `Display` spellings of the compile trace's pass enum.
+pub const KNOWN_PASSES: [&str; 7] = [
+    "prepass",
+    "horizontal",
+    "vertical",
+    "single_actor",
+    "unprofitable",
+    "equation1",
+    "region",
+];
+
 /// A machine-readable benchmark report, written as `BENCH_<name>.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -107,6 +133,9 @@ pub struct BenchReport {
     /// them. Top-level because the number is scheduling-dependent, not a
     /// deterministic event count.
     pub batched_firings: Option<u64>,
+    /// Compile passes that produced the benchmarked graphs; omitted from
+    /// the JSON when empty (reports on pre-built graphs have none).
+    pub passes: Vec<ReportPass>,
     /// One row per benchmark (or per benchmark x configuration).
     pub rows: Vec<BenchRow>,
 }
@@ -130,6 +159,7 @@ impl BenchReport {
             kernel_backend: None,
             kernel_tier: None,
             batched_firings: None,
+            passes: Vec::new(),
             rows: Vec::new(),
         }
     }
@@ -161,6 +191,14 @@ impl BenchReport {
     /// Append a row.
     pub fn push_row(&mut self, row: BenchRow) {
         self.rows.push(row);
+    }
+
+    /// Record a compile pass that produced the benchmarked graphs.
+    pub fn push_pass(&mut self, pass: impl Into<String>, actors: Vec<String>) {
+        self.passes.push(ReportPass {
+            pass: pass.into(),
+            actors,
+        });
     }
 
     /// The canonical file name: `BENCH_<name>.json`.
@@ -217,6 +255,22 @@ impl BenchReport {
         }
         if let Some(n) = self.batched_firings {
             fields.push(("batched_firings", Json::Num(n as f64)));
+        }
+        if !self.passes.is_empty() {
+            let passes = self
+                .passes
+                .iter()
+                .map(|p| {
+                    Json::obj(vec![
+                        ("pass", Json::Str(p.pass.clone())),
+                        (
+                            "actors",
+                            Json::Arr(p.actors.iter().map(|a| Json::Str(a.clone())).collect()),
+                        ),
+                    ])
+                })
+                .collect();
+            fields.push(("passes", Json::Arr(passes)));
         }
         fields.push(("rows", Json::Arr(rows)));
         Json::obj(fields)
@@ -366,12 +420,57 @@ pub fn check(doc: &Json) -> Vec<Violation> {
             c.push("batched_firings", "must be a non-negative integer");
         }
     }
+    if let Some(passes) = doc.get("passes") {
+        match passes.as_arr() {
+            None => c.push("passes", "must be an array"),
+            Some(entries) => {
+                for (i, entry) in entries.iter().enumerate() {
+                    check_pass(&mut c, entry, i);
+                }
+            }
+        }
+    }
     c.field(doc, "rows", "an array", Json::as_arr, |c, rows| {
         for (i, row) in rows.iter().enumerate() {
             check_row(c, row, i);
         }
     });
     c.0
+}
+
+fn check_pass(c: &mut Checker, entry: &Json, i: usize) {
+    let what = format!("passes[{i}]");
+    if entry.as_obj().is_none() {
+        c.push(what, "must be an object");
+        return;
+    }
+    c.field(
+        entry,
+        &format!("{what}.pass"),
+        "a string",
+        Json::as_str,
+        |c, s| {
+            if !KNOWN_PASSES.contains(&s) {
+                c.push(
+                    format!("{what}.pass"),
+                    format!("unknown pass {s:?} (expected one of {KNOWN_PASSES:?})"),
+                );
+            }
+        },
+    );
+    c.field(
+        entry,
+        &format!("{what}.actors"),
+        "an array",
+        Json::as_arr,
+        |c, actors| {
+            for (j, a) in actors.iter().enumerate() {
+                if !matches!(a.as_str(), Some(s) if !s.is_empty()) {
+                    c.push(format!("{what}.actors[{j}]"), "must be a non-empty string");
+                }
+            }
+        },
+    );
 }
 
 fn check_row(c: &mut Checker, row: &Json, i: usize) {
@@ -435,7 +534,7 @@ pub fn warnings(doc: &Json) -> Vec<Violation> {
     let Some(fields) = doc.as_obj() else {
         return out;
     };
-    const KNOWN: [&str; 10] = [
+    const KNOWN: [&str; 11] = [
         "schema_version",
         "name",
         "machine",
@@ -445,6 +544,7 @@ pub fn warnings(doc: &Json) -> Vec<Violation> {
         "kernel_backend",
         "kernel_tier",
         "batched_firings",
+        "passes",
         "rows",
     ];
     for (k, _) in fields {
@@ -472,6 +572,31 @@ pub fn warnings(doc: &Json) -> Vec<Violation> {
                 out.push(Violation {
                     path: format!("rows[{i}]"),
                     message: "row has no metrics and no counters".into(),
+                });
+            }
+        }
+        // Cross-check: a row claiming a region-transform measurement must
+        // be backed by a recorded region pass with at least one actor —
+        // otherwise the row timed a graph the transform silently skipped.
+        let region_backed = doc.get("passes").and_then(Json::as_arr).is_some_and(|ps| {
+            ps.iter().any(|p| {
+                p.get("pass").and_then(Json::as_str) == Some("region")
+                    && p.get("actors")
+                        .and_then(Json::as_arr)
+                        .is_some_and(|a| !a.is_empty())
+            })
+        });
+        for (i, row) in rows.iter().enumerate() {
+            let is_region = row
+                .get("benchmark")
+                .and_then(Json::as_str)
+                .is_some_and(|b| b.starts_with("region_"));
+            if is_region && !region_backed {
+                out.push(Violation {
+                    path: format!("rows[{i}]"),
+                    message: "region_* row without a \"region\" entry in passes \
+                              (did the region transform actually fire?)"
+                        .into(),
                 });
             }
         }
@@ -605,6 +730,60 @@ mod tests {
         // Non-boolean flag is rejected.
         let bad = r#"{"schema_version":1,"name":"x","machine":"m","simd_width":4,"created_unix_ms":0,"rows":[{"benchmark":"b","baseline":1,"metrics":{},"counters":{}}]}"#;
         assert!(validate_str(bad).unwrap_err().contains("baseline"));
+    }
+
+    #[test]
+    fn passes_round_trip_and_validate() {
+        let mut r = sample();
+        r.push_pass("region", vec!["iir_bank_r4".into(), "acc_norm_r4".into()]);
+        r.push_pass("single_actor", vec!["vmix_v4".into()]);
+        let s = r.json_string();
+        assert!(s.contains("\"pass\": \"region\""));
+        assert!(s.contains("\"iir_bank_r4\""));
+        validate_str(&s).unwrap();
+        let doc = json::parse(&s).unwrap();
+        assert!(warnings(&doc).iter().all(|w| w.path != "passes"));
+        // Absent: valid, not emitted.
+        let plain = sample().json_string();
+        assert!(!plain.contains("passes"));
+        validate_str(&plain).unwrap();
+        // Unknown pass name: rejected.
+        let bad = r#"{"schema_version":1,"name":"x","machine":"m","simd_width":4,"created_unix_ms":0,"passes":[{"pass":"mystery","actors":[]}],"rows":[]}"#;
+        assert!(validate_str(bad).unwrap_err().contains("unknown pass"));
+        // Malformed shapes: rejected with the offending path.
+        let bad = r#"{"schema_version":1,"name":"x","machine":"m","simd_width":4,"created_unix_ms":0,"passes":7,"rows":[]}"#;
+        assert!(validate_str(bad).unwrap_err().contains("passes"));
+        let bad = r#"{"schema_version":1,"name":"x","machine":"m","simd_width":4,"created_unix_ms":0,"passes":[{"pass":"region","actors":[""]}],"rows":[]}"#;
+        assert!(validate_str(bad).unwrap_err().contains("actors[0]"));
+    }
+
+    #[test]
+    fn region_row_requires_region_pass() {
+        // A region_* row with no recorded region pass warns; adding the
+        // pass entry clears it. Schema-valid either way (the cross-check
+        // is a warning so hand-pinned gate baselines stay loadable).
+        let mut r = BenchReport::new("hot", "m", 4);
+        r.push_row(BenchRow::new("region_iir_bank").metric("region_vs_scalar_speedup_best", 1.9));
+        let doc = json::parse(&r.json_string()).unwrap();
+        assert!(check(&doc).is_empty());
+        assert!(
+            warnings(&doc)
+                .iter()
+                .any(|w| w.message.contains("region_* row")),
+            "missing region pass should warn"
+        );
+        r.push_pass("region", vec!["iir_bank_r4".into()]);
+        let doc = json::parse(&r.json_string()).unwrap();
+        assert!(check(&doc).is_empty());
+        assert!(warnings(&doc).is_empty());
+        // An empty actors list does not count as backing.
+        let mut r2 = BenchReport::new("hot", "m", 4);
+        r2.push_row(BenchRow::new("region_iir_bank").metric("x", 1.0));
+        r2.push_pass("region", Vec::new());
+        let doc = json::parse(&r2.json_string()).unwrap();
+        assert!(warnings(&doc)
+            .iter()
+            .any(|w| w.message.contains("region_* row")));
     }
 
     #[test]

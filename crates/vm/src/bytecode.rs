@@ -810,6 +810,13 @@ pub(crate) fn bin_f(op: BinOp, ty: ScalarTy, a: f64, b: f64) -> f64 {
     }
 }
 
+/// Integer compare producing the portable 0/1 lane. Registers hold
+/// sign-extended values and sign extension preserves order, so the i64
+/// predicate is exact for both integer widths.
+pub(crate) fn cmp_i(op: BinOp, a: i64, b: i64) -> i64 {
+    cmp_ord(op, a < b, a == b) as i64
+}
+
 pub(crate) fn cmp_f(op: BinOp, a: f64, b: f64) -> i64 {
     // The tree-walker compares f32 operands after widening to f64; the
     // registers already hold the widened values.

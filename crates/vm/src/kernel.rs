@@ -79,7 +79,7 @@
 
 use crate::bytecode::{
     bin_f, bin_i, call1_f, call1_i, call2_f, call2_i, cast_ff, cast_fi, cast_if, cast_ii, cmp_f,
-    neg_i, not_i, Op, Regs,
+    cmp_i, neg_i, not_i, Op, Regs,
 };
 use macross_streamir::expr::{BinOp, Intrinsic};
 use macross_streamir::types::ScalarTy;
@@ -310,6 +310,45 @@ pub enum KOp {
         dst: u32,
         a: u32,
     },
+    /// Indexed vector-array element load, `Op::LoadVElemI` verbatim:
+    /// `i[dst..dst+w] = i[base + i[idx]*w ..]`. The element index is
+    /// dynamic (bounds-asserted at execution like the dispatch path), so
+    /// the footprint conservatively reads the whole `len * w` array —
+    /// these are the moves that let fused runs span an actor's panelized
+    /// region state instead of breaking at every state access.
+    LoadVElemI {
+        dst: u32,
+        base: u32,
+        len: u32,
+        idx: u32,
+        w: u32,
+    },
+    LoadVElemF {
+        dst: u32,
+        base: u32,
+        len: u32,
+        idx: u32,
+        w: u32,
+    },
+    /// Indexed vector-array element store, `Op::StoreVElemI` verbatim:
+    /// `i[base + i[idx]*w ..] = i[src..src+w]`. The footprint writes the
+    /// whole array conservatively *and* lists it as read (a may-write of
+    /// one panel preserves every other panel's bits), which keeps the
+    /// alias passes from treating the array as fully overwritten.
+    StoreVElemI {
+        base: u32,
+        len: u32,
+        idx: u32,
+        src: u32,
+        w: u32,
+    },
+    StoreVElemF {
+        base: u32,
+        len: u32,
+        idx: u32,
+        src: u32,
+        w: u32,
+    },
 
     // --- Backend-specialized arithmetic (dst disjoint from srcs, all
     // ranges in-bounds — verified at fusion time) ----------------------
@@ -438,6 +477,19 @@ pub enum KOp {
     },
     CmpF {
         op: BinOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+        w: u32,
+    },
+    /// Integer compare producing 0/1 lanes, specialized like the
+    /// arithmetic variants (dst disjoint from sources, verified at
+    /// fusion time). Sign extension preserves order, so the 64-bit
+    /// predicate is exact for both widths; `ty` only gates which tiers
+    /// have a native mask instruction for it.
+    CmpI {
+        op: BinOp,
+        ty: ScalarTy,
         dst: u32,
         a: u32,
         b: u32,
@@ -596,6 +648,16 @@ fn specializable(dst: u32, a: u32, b: u32, w: u32, file_len: u32) -> bool {
 /// and the operand layout permits; generic [`KOp::BinI`] otherwise.
 #[allow(clippy::too_many_arguments)]
 fn kop_bin_i(op: BinOp, ty: ScalarTy, dst: u32, a: u32, b: u32, w: u32, int_regs: u32) -> KOp {
+    if op.is_comparison() && specializable(dst, a, b, w, int_regs) {
+        return KOp::CmpI {
+            op,
+            ty,
+            dst,
+            a,
+            b,
+            w,
+        };
+    }
     if !op.is_comparison() && specializable(dst, a, b, w, int_regs) {
         match (op, ty) {
             (BinOp::Add, ScalarTy::I32) => return KOp::AddI32 { dst, a, b, w },
@@ -805,6 +867,61 @@ fn lower(op: &Op, int_regs: u32, float_regs: u32) -> Option<KOp> {
             a: counter,
             w: 1,
         },
+        // Panelized region state: indexed vector-array moves are pure
+        // register-file traffic, so runs may span them (the arithmetic
+        // between a panel load and its writeback then chains normally).
+        Op::LoadVElemI {
+            dst,
+            base,
+            len,
+            idx,
+            w,
+        } => KOp::LoadVElemI {
+            dst,
+            base,
+            len,
+            idx,
+            w,
+        },
+        Op::LoadVElemF {
+            dst,
+            base,
+            len,
+            idx,
+            w,
+        } => KOp::LoadVElemF {
+            dst,
+            base,
+            len,
+            idx,
+            w,
+        },
+        Op::StoreVElemI {
+            base,
+            len,
+            idx,
+            src,
+            w,
+        } => KOp::StoreVElemI {
+            base,
+            len,
+            idx,
+            src,
+            w,
+        },
+        Op::StoreVElemF {
+            base,
+            len,
+            idx,
+            src,
+            w,
+        } => KOp::StoreVElemF {
+            base,
+            len,
+            idx,
+            src,
+            w,
+        },
         _ => return None,
     })
 }
@@ -823,15 +940,16 @@ fn overlaps(a: RegRange, b: RegRange) -> bool {
     a.0 == b.0 && a.1 < b.1 + b.2 && b.1 < a.1 + a.2
 }
 
-/// The single range a fused op writes and the (up to two) ranges it
+/// The single range a fused op writes and the (up to three) ranges it
 /// reads — the alias footprint the redundancy pruner works over.
-fn footprint(op: &KOp) -> (RegRange, [Option<RegRange>; 2]) {
+fn footprint(op: &KOp) -> (RegRange, [Option<RegRange>; 3]) {
     use Space::{F, I};
-    let r1 = |r| [Some(r), None];
-    let r2 = |a, b| [Some(a), Some(b)];
+    let r1 = |r| [Some(r), None, None];
+    let r2 = |a, b| [Some(a), Some(b), None];
+    let r3 = |a, b, c| [Some(a), Some(b), Some(c)];
     match *op {
-        KOp::ConstVecI { dst, ref vals } => ((I, dst, vals.len() as u32), [None, None]),
-        KOp::ConstVecF { dst, ref vals } => ((F, dst, vals.len() as u32), [None, None]),
+        KOp::ConstVecI { dst, ref vals } => ((I, dst, vals.len() as u32), [None, None, None]),
+        KOp::ConstVecF { dst, ref vals } => ((F, dst, vals.len() as u32), [None, None, None]),
         KOp::MovNI { dst, src, w } => ((I, dst, w), r1((I, src, w))),
         KOp::MovNF { dst, src, w } => ((F, dst, w), r1((F, src, w))),
         KOp::SplatI { dst, a, w } => ((I, dst, w), r1((I, a, 1))),
@@ -839,6 +957,45 @@ fn footprint(op: &KOp) -> (RegRange, [Option<RegRange>; 2]) {
         KOp::PermI { dst, a, b, w, .. } => ((I, dst, w), r2((I, a, w), (I, b, w))),
         KOp::PermF { dst, a, b, w, .. } => ((F, dst, w), r2((F, a, w), (F, b, w))),
         KOp::FToI { dst, a } => ((I, dst, 1), r1((F, a, 1))),
+        KOp::LoadVElemI {
+            dst,
+            base,
+            len,
+            idx,
+            w,
+        } => ((I, dst, w), r2((I, base, len * w), (I, idx, 1))),
+        KOp::LoadVElemF {
+            dst,
+            base,
+            len,
+            idx,
+            w,
+        } => ((F, dst, w), r2((F, base, len * w), (I, idx, 1))),
+        // The array range is both the (conservative, may-write) write and
+        // a read: every lane the store does not dynamically hit keeps its
+        // prior bits. Listing it as read makes the write-covers check in
+        // [`drop_dead_copies`] unreachable for ops under it and keeps
+        // [`prune_idempotent`] from ever treating a store as idempotent.
+        KOp::StoreVElemI {
+            base,
+            len,
+            idx,
+            src,
+            w,
+        } => (
+            (I, base, len * w),
+            r3((I, src, w), (I, idx, 1), (I, base, len * w)),
+        ),
+        KOp::StoreVElemF {
+            base,
+            len,
+            idx,
+            src,
+            w,
+        } => (
+            (F, base, len * w),
+            r3((F, src, w), (I, idx, 1), (F, base, len * w)),
+        ),
         KOp::AddF32 { dst, a, b, w }
         | KOp::SubF32 { dst, a, b, w }
         | KOp::MulF32 { dst, a, b, w }
@@ -859,6 +1016,7 @@ fn footprint(op: &KOp) -> (RegRange, [Option<RegRange>; 2]) {
         | KOp::OrI { dst, a, b, w }
         | KOp::XorI { dst, a, b, w }
         | KOp::BinI { dst, a, b, w, .. }
+        | KOp::CmpI { dst, a, b, w, .. }
         | KOp::Call2I { dst, a, b, w, .. } => ((I, dst, w), r2((I, a, w), (I, b, w))),
         KOp::CmpF { dst, a, b, w, .. } => ((I, dst, w), r2((F, a, w), (F, b, w))),
         KOp::NegI { dst, a, w, .. }
@@ -893,6 +1051,106 @@ fn in_bounds(op: &KOp, int_regs: u32, float_regs: u32) -> bool {
     };
     let (w, reads) = footprint(op);
     fits(w) && reads.iter().flatten().all(|&r| fits(r))
+}
+
+/// Forward a panel store to a following reload. A `LoadVElem*` whose
+/// array, element-index register, and width match a still-live
+/// `StoreVElem*` — no intervening write to the array, the index
+/// register, or the stored source lanes — reads exactly the bits the
+/// store wrote (same dynamic element, same bounds outcome), so it
+/// becomes a register-to-register `MovN` from the store's source.
+/// Region actors emit this shape for every `x = s[cur]` of a cascade:
+/// writeback, then reload of the panel just written.
+fn forward_panel_loads(kops: &mut [KOp]) {
+    struct Live {
+        space: Space,
+        base: u32,
+        len: u32,
+        idx: u32,
+        src: u32,
+        w: u32,
+    }
+    let mut stores: Vec<Live> = Vec::new();
+    for op in kops.iter_mut() {
+        // Rewrite a matching reload first: invalidation below then uses
+        // the replacement's precise (dst, w) write, not the load's
+        // conservative whole-array read.
+        let replace = match *op {
+            KOp::LoadVElemI {
+                dst,
+                base,
+                len,
+                idx,
+                w,
+            } => stores
+                .iter()
+                .find(|s| {
+                    s.space == Space::I
+                        && s.base == base
+                        && s.len == len
+                        && s.idx == idx
+                        && s.w == w
+                })
+                .map(|s| KOp::MovNI { dst, src: s.src, w }),
+            KOp::LoadVElemF {
+                dst,
+                base,
+                len,
+                idx,
+                w,
+            } => stores
+                .iter()
+                .find(|s| {
+                    s.space == Space::F
+                        && s.base == base
+                        && s.len == len
+                        && s.idx == idx
+                        && s.w == w
+                })
+                .map(|s| KOp::MovNF { dst, src: s.src, w }),
+            _ => None,
+        };
+        if let Some(r) = replace {
+            *op = r;
+        }
+        let (wr, _) = footprint(op);
+        stores.retain(|s| {
+            !overlaps(wr, (s.space, s.base, s.len * s.w))
+                && !overlaps(wr, (Space::I, s.idx, 1))
+                && !overlaps(wr, (s.space, s.src, s.w))
+        });
+        match *op {
+            KOp::StoreVElemI {
+                base,
+                len,
+                idx,
+                src,
+                w,
+            } => stores.push(Live {
+                space: Space::I,
+                base,
+                len,
+                idx,
+                src,
+                w,
+            }),
+            KOp::StoreVElemF {
+                base,
+                len,
+                idx,
+                src,
+                w,
+            } => stores.push(Live {
+                space: Space::F,
+                base,
+                len,
+                idx,
+                src,
+                w,
+            }),
+            _ => {}
+        }
+    }
 }
 
 /// Drop idempotent re-executions: a fused op identical to an earlier one
@@ -951,7 +1209,8 @@ fn arith_operands_mut(op: &mut KOp) -> Option<(Space, &mut u32, &mut u32, u32, u
         | KOp::MulI64 { dst, a, b, w }
         | KOp::AndI { dst, a, b, w }
         | KOp::OrI { dst, a, b, w }
-        | KOp::XorI { dst, a, b, w } => Some((I, a, b, *dst, *w)),
+        | KOp::XorI { dst, a, b, w }
+        | KOp::CmpI { dst, a, b, w, .. } => Some((I, a, b, *dst, *w)),
         _ => None,
     }
 }
@@ -981,6 +1240,24 @@ fn propagate_copies(kops: &mut [KOp]) {
                         *r = moved;
                     }
                 }
+            }
+        }
+        // A copy's own source forwards through an earlier live copy too
+        // (`MovN` is alias-safe `copy_within`, so no disjointness
+        // constraint): this collapses forwarded-reload chains like
+        // `68 <- 90; 32 <- 68` into `32 <- 90`, leaving the middle copy
+        // for [`drop_dead_copies`].
+        let mov = match op {
+            KOp::MovNI { src, w, .. } => Some((Space::I, src, *w)),
+            KOp::MovNF { src, w, .. } => Some((Space::F, src, *w)),
+            _ => None,
+        };
+        if let Some((sp, r, w)) = mov {
+            if let Some(&((_, cd, _), cs)) = copies
+                .iter()
+                .find(|&&((csp, cd, cw), _)| csp == sp && *r >= cd && *r + w <= cd + cw)
+            {
+                *r = cs + (*r - cd);
             }
         }
         let (wr, _) = footprint(op);
@@ -1258,6 +1535,11 @@ fn simd_units(op: &KOp, tier: KernelTier) -> usize {
         KOp::PermI { w, .. } | KOp::PermF { w, .. } | KOp::CmpF { w, .. } => {
             (intrinsic_tier && wide(w)) as usize
         }
+        // SSE2 has dword compares only; 64-bit masks need AVX2.
+        KOp::CmpI { ty, w, .. } => {
+            (intrinsic_tier && wide(w) && (ty == ScalarTy::I32 || tier == KernelTier::Avx2))
+                as usize
+        }
         KOp::CastFF { w, .. } => (intrinsic_tier && wide(w)) as usize,
         KOp::Call1F { i, w, .. } => {
             (intrinsic_tier && wide(w) && matches!(i, Intrinsic::Sqrt | Intrinsic::Abs)) as usize
@@ -1375,6 +1657,7 @@ fn fuse_runs(
         }
         let span = kops.len();
         if span >= MIN_RUN {
+            forward_panel_loads(&mut kops);
             let mut kops = prune_idempotent(kops);
             propagate_copies(&mut kops);
             let kops = drop_dead_copies(kops);
@@ -1489,6 +1772,18 @@ macro_rules! lanes_bits {
 
 /// Execute one fused op on the portable backend. Public within the crate
 /// so the AVX2 dispatcher can fall through to it for generic variants.
+/// Dynamic element index of a fused indexed vector move, with the same
+/// guest-panic bounds contract as the dispatch path's `array_index` (the
+/// firing layer's `catch_unwind` maps it to `VmError::Panicked`).
+fn kernel_array_index(idx: i64, len: u32) -> usize {
+    let k = idx as usize;
+    assert!(
+        k < len as usize,
+        "array index {idx} out of bounds (len {len}) in fused kernel"
+    );
+    k
+}
+
 pub(crate) fn exec_kop_portable(op: &KOp, regs: &mut Regs) {
     match *op {
         KOp::ConstVecI { dst, ref vals } => {
@@ -1550,6 +1845,46 @@ pub(crate) fn exec_kop_portable(op: &KOp, regs: &mut Regs) {
             }
         }
         KOp::FToI { dst, a } => regs.i[dst as usize] = regs.f[a as usize] as i64,
+        KOp::LoadVElemI {
+            dst,
+            base,
+            len,
+            idx,
+            w,
+        } => {
+            let s = base as usize + kernel_array_index(regs.i[idx as usize], len) * w as usize;
+            regs.i.copy_within(s..s + w as usize, dst as usize);
+        }
+        KOp::LoadVElemF {
+            dst,
+            base,
+            len,
+            idx,
+            w,
+        } => {
+            let s = base as usize + kernel_array_index(regs.i[idx as usize], len) * w as usize;
+            regs.f.copy_within(s..s + w as usize, dst as usize);
+        }
+        KOp::StoreVElemI {
+            base,
+            len,
+            idx,
+            src,
+            w,
+        } => {
+            let d = base as usize + kernel_array_index(regs.i[idx as usize], len) * w as usize;
+            regs.i.copy_within(src as usize..(src + w) as usize, d);
+        }
+        KOp::StoreVElemF {
+            base,
+            len,
+            idx,
+            src,
+            w,
+        } => {
+            let d = base as usize + kernel_array_index(regs.i[idx as usize], len) * w as usize;
+            regs.f.copy_within(src as usize..(src + w) as usize, d);
+        }
 
         KOp::AddF32 { dst, a, b, w } => {
             let (d, x, y) = split3(&mut regs.f, dst, a, b, w);
@@ -1650,6 +1985,14 @@ pub(crate) fn exec_kop_portable(op: &KOp, regs: &mut Regs) {
             for k in 0..w as usize {
                 regs.i[dst as usize + k] =
                     cmp_f(op, regs.f[a as usize + k], regs.f[b as usize + k]);
+            }
+        }
+        KOp::CmpI {
+            op, dst, a, b, w, ..
+        } => {
+            let (d, x, y) = split3(&mut regs.i, dst, a, b, w);
+            for k in 0..w as usize {
+                d[k] = cmp_i(op, x[k], y[k]);
             }
         }
         KOp::NegI { ty, dst, a, w } => {

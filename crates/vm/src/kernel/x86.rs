@@ -41,14 +41,26 @@
 //!   uses `roundpd`. `f32`-typed results take the same
 //!   narrow-after-f64-op rounding as the scalar helper.
 //!
-//! Ops a tier has no exact instruction for — `MulI64` everywhere,
-//! `MulI32` on SSE2 (`pmulld` is SSE4.1), `floor` on SSE2 (`roundpd` is
+//! - **i64 multiply**: no tier has a qword `mullo`, so both decompose
+//!   into `pmuludq` 32x32 partial products — `lo*lo + ((lo*hi + hi*lo)
+//!   << 32)` is `i64::wrapping_mul` bit-exactly (the dropped `hi*hi`
+//!   term is `2^64`-scaled; the shift truncates the cross terms the
+//!   same way the scalar wrap does).
+//! - **integer compares**: sign extension preserves order, so the
+//!   full-width predicate (`vpcmpeqq`/`vpcmpgtq` + complements on AVX2)
+//!   is exact for both widths; SSE2 has only dword compares, so it
+//!   takes `i32` compares via the gathered-low-dword path and leaves
+//!   `i64` compares to the portable loop.
+//!
+//! Ops a tier has no exact instruction for — `MulI32` on SSE2 (`pmulld`
+//! is SSE4.1), `i64` compares on SSE2, `floor` on SSE2 (`roundpd` is
 //! SSE4.1), saturating `CastFI`, `CastIF`, `Min`/`Max` (±0.0/NaN
 //! tie-breaks differ), transcendentals — fall through to
 //! [`super::exec_kop_portable`], still inside the `target_feature`
 //! region, so the compiler may vectorize them too.
 
 use core::arch::x86_64::*;
+use macross_streamir::expr::BinOp;
 
 /// Raw destination/source pointers into one register file. Fusion
 /// verified for every specialized variant that `dst` is disjoint from
@@ -78,6 +90,24 @@ unsafe fn abs_ps128(v: __m128) -> __m128 {
     _mm_and_ps(v, _mm_castsi128_ps(_mm_set1_epi32(0x7fff_ffff)))
 }
 
+/// Signed dword compare mask from the SSE2 baseline (`pcmpeqd` /
+/// `pcmpgtd`); the remaining predicates are complements. Shared by both
+/// tiers — the operands are gathered low dwords, always 128-bit.
+#[inline]
+#[target_feature(enable = "sse2")]
+unsafe fn cmp_mask_epi32(op: BinOp, a: __m128i, b: __m128i) -> __m128i {
+    let ones = _mm_set1_epi32(-1);
+    match op {
+        BinOp::Eq => _mm_cmpeq_epi32(a, b),
+        BinOp::Ne => _mm_xor_si128(_mm_cmpeq_epi32(a, b), ones),
+        BinOp::Lt => _mm_cmpgt_epi32(b, a),
+        BinOp::Gt => _mm_cmpgt_epi32(a, b),
+        BinOp::Le => _mm_xor_si128(_mm_cmpgt_epi32(a, b), ones),
+        BinOp::Ge => _mm_xor_si128(_mm_cmpgt_epi32(b, a), ones),
+        _ => unreachable!("not a comparison: {op:?}"),
+    }
+}
+
 /// The shared tier body: everything below is identical for SSE2 and
 /// AVX2 up to the wrapper row the enclosing module defines (`load_pd`,
 /// `stride2_pd`, `cmp_mask`, ..., plus `LANES` and the capability
@@ -90,7 +120,7 @@ macro_rules! tier_exec_body {
             chain_apply_f32, chain_apply_f64, chain_apply_i32, chain_apply_i64, chain_parts,
             disjoint, exec_kop_portable, ChainClass, ChainDom, ChainKind, ChainStage, KOp,
         };
-        use crate::bytecode::{call1_f, cmp_f, Regs};
+        use crate::bytecode::{call1_f, cmp_f, cmp_i, Regs};
         use macross_streamir::expr::{BinOp, Intrinsic};
         use macross_streamir::types::ScalarTy;
 
@@ -168,7 +198,8 @@ macro_rules! tier_exec_body {
             }
         }
 
-        /// `i64`/bitwise binop walker on full-width lanes.
+        /// `i64`/bitwise binop walker on full-width lanes. `Mul` goes
+        /// through the tier's `pmuludq` partial-product decomposition.
         #[inline]
         #[target_feature(enable = $feat)]
         unsafe fn bin_i64(kind: ChainKind, d: *mut i64, x: *const i64, y: *const i64, n: usize) {
@@ -179,6 +210,7 @@ macro_rules! tier_exec_body {
                 let r = match kind {
                     ChainKind::Add => add_i64(a, b),
                     ChainKind::Sub => sub_i64(a, b),
+                    ChainKind::Mul => mul_i64(a, b),
                     ChainKind::And => and_si(a, b),
                     ChainKind::Or => or_si(a, b),
                     ChainKind::Xor => xor_si(a, b),
@@ -189,6 +221,33 @@ macro_rules! tier_exec_body {
             }
             while k < n {
                 *d.add(k) = chain_apply_i64(kind, *x.add(k), *y.add(k));
+                k += 1;
+            }
+        }
+
+        /// Integer-compare walker producing the portable 0/1 lanes. The
+        /// registers hold sign-extended values and sign extension
+        /// preserves order, so the full-width predicate is exact for
+        /// both integer widths; a tier without 64-bit compare masks
+        /// (`HAS_CMP_I64`) only ever sees `i32` operands (the dispatcher
+        /// guards) and compares their gathered low dwords instead.
+        #[inline]
+        #[target_feature(enable = $feat)]
+        unsafe fn cmp_i_slice(op: BinOp, d: *mut i64, x: *const i64, y: *const i64, n: usize) {
+            let mut k = 0;
+            while k + LANES <= n {
+                let a = load_si(x.add(k));
+                let b = load_si(y.add(k));
+                let m = if HAS_CMP_I64 {
+                    cmp_mask_i64(op, a, b)
+                } else {
+                    sext_lo32(super::cmp_mask_epi32(op, gather_lo32(a), gather_lo32(b)))
+                };
+                store_si(d.add(k), and_si(m, ones_epi64()));
+                k += LANES;
+            }
+            while k < n {
+                *d.add(k) = cmp_i(op, *x.add(k), *y.add(k));
                 k += 1;
             }
         }
@@ -310,8 +369,8 @@ macro_rules! tier_exec_body {
             }
         }
 
-        /// Register-resident `i64` chain (no `Mul` stages — the
-        /// dispatcher falls back to portable for those).
+        /// Register-resident `i64` chain (`Mul` stages through the
+        /// tier's `pmuludq` decomposition).
         #[inline]
         #[target_feature(enable = $feat)]
         unsafe fn chain_i64(a: u32, w: u32, stages: &[ChainStage], regs: &mut Regs) {
@@ -325,6 +384,7 @@ macro_rules! tier_exec_body {
                     acc = match st.kind {
                         ChainKind::Add => add_i64(acc, o),
                         ChainKind::Sub => sub_i64(acc, o),
+                        ChainKind::Mul => mul_i64(acc, o),
                         ChainKind::RSub => sub_i64(o, acc),
                         ChainKind::And => and_si(acc, o),
                         ChainKind::Or => or_si(acc, o),
@@ -499,11 +559,11 @@ macro_rules! tier_exec_body {
                             let (d, x, y) = super::ptrs3(&mut regs.i, dst, a, b);
                             bin_i32(kind, d, x, y, n);
                         }
-                        ChainClass::I64 | ChainClass::Bits if kind != ChainKind::Mul => {
+                        ChainClass::I64 | ChainClass::Bits => {
                             let (d, x, y) = super::ptrs3(&mut regs.i, dst, a, b);
                             bin_i64(kind, d, x, y, n);
                         }
-                        // MulI64 everywhere / MulI32 without pmulld.
+                        // MulI32 without pmulld.
                         _ => exec_kop_portable(op, regs),
                     }
                     continue;
@@ -522,7 +582,7 @@ macro_rules! tier_exec_body {
                             ChainDom::I32 if HAS_MULLO_I32 || !has_mul() => {
                                 chain_i32(a, w, stages, regs)
                             }
-                            ChainDom::I64 if !has_mul() => chain_i64(a, w, stages, regs),
+                            ChainDom::I64 => chain_i64(a, w, stages, regs),
                             _ => exec_kop_portable(op, regs),
                         }
                     }
@@ -556,6 +616,17 @@ macro_rules! tier_exec_body {
                         let x = regs.f.as_ptr().add(a as usize);
                         let y = regs.f.as_ptr().add(b as usize);
                         cmp_f_slice(cop, d, x, y, w as usize);
+                    }
+                    KOp::CmpI {
+                        op: cop,
+                        ty,
+                        dst,
+                        a,
+                        b,
+                        w,
+                    } if ty == ScalarTy::I32 || HAS_CMP_I64 => {
+                        let (d, x, y) = super::ptrs3(&mut regs.i, dst, a, b);
+                        cmp_i_slice(cop, d, x, y, w as usize);
                     }
                     KOp::CastFF {
                         to: ScalarTy::F32,
@@ -631,6 +702,7 @@ pub(crate) mod sse2 {
     const LANES: usize = 2;
     const HAS_MULLO_I32: bool = false;
     const HAS_FLOOR: bool = false;
+    const HAS_CMP_I64: bool = false;
 
     #[inline]
     #[target_feature(enable = "sse2")]
@@ -709,6 +781,20 @@ pub(crate) mod sse2 {
     unsafe fn sub_i64(a: __m128i, b: __m128i) -> __m128i {
         _mm_sub_epi64(a, b)
     }
+    /// Lane-wise wrapping 64-bit multiply from `pmuludq` 32x32 partial
+    /// products: `lo*lo + ((lo*hi + hi*lo) << 32)`. The dropped `hi*hi`
+    /// term is `2^64`-scaled, and the shift truncates the cross terms
+    /// exactly as the scalar wrap does — bit-exact `i64::wrapping_mul`.
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn mul_i64(a: __m128i, b: __m128i) -> __m128i {
+        let lo = _mm_mul_epu32(a, b);
+        let cross = _mm_add_epi64(
+            _mm_mul_epu32(_mm_srli_epi64::<32>(a), b),
+            _mm_mul_epu32(a, _mm_srli_epi64::<32>(b)),
+        );
+        _mm_add_epi64(lo, _mm_slli_epi64::<32>(cross))
+    }
     #[inline]
     #[target_feature(enable = "sse2")]
     unsafe fn and_si(a: __m128i, b: __m128i) -> __m128i {
@@ -759,6 +845,13 @@ pub(crate) mod sse2 {
     unsafe fn stride2_i64(v0: __m128i, v1: __m128i) -> __m128i {
         _mm_unpacklo_epi64(v0, v1)
     }
+    /// `pcmpeqq`/`pcmpgtq` are SSE4.1/4.2; `HAS_CMP_I64` keeps this
+    /// unreachable (the dispatcher only sends `i32` compares here).
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn cmp_mask_i64(_op: BinOp, _a: __m128i, _b: __m128i) -> __m128i {
+        unreachable!("64-bit compare has no SSE2 instruction")
+    }
     /// Quiet-predicate compare mask (matches Rust `PartialOrd` on NaN).
     #[inline]
     #[target_feature(enable = "sse2")]
@@ -787,6 +880,7 @@ pub(crate) mod avx2 {
     const LANES: usize = 4;
     const HAS_MULLO_I32: bool = true;
     const HAS_FLOOR: bool = true;
+    const HAS_CMP_I64: bool = true;
 
     #[inline]
     #[target_feature(enable = "avx2")]
@@ -867,6 +961,19 @@ pub(crate) mod avx2 {
     unsafe fn sub_i64(a: __m256i, b: __m256i) -> __m256i {
         _mm256_sub_epi64(a, b)
     }
+    /// Lane-wise wrapping 64-bit multiply from `vpmuludq` 32x32 partial
+    /// products: `lo*lo + ((lo*hi + hi*lo) << 32)` — see the SSE2 row
+    /// for the exactness argument.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_i64(a: __m256i, b: __m256i) -> __m256i {
+        let lo = _mm256_mul_epu32(a, b);
+        let cross = _mm256_add_epi64(
+            _mm256_mul_epu32(_mm256_srli_epi64::<32>(a), b),
+            _mm256_mul_epu32(a, _mm256_srli_epi64::<32>(b)),
+        );
+        _mm256_add_epi64(lo, _mm256_slli_epi64::<32>(cross))
+    }
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn and_si(a: __m256i, b: __m256i) -> __m256i {
@@ -916,6 +1023,22 @@ pub(crate) mod avx2 {
     #[target_feature(enable = "avx2")]
     unsafe fn stride2_i64(v0: __m256i, v1: __m256i) -> __m256i {
         _mm256_permute4x64_epi64::<0b11_01_10_00>(_mm256_unpacklo_epi64(v0, v1))
+    }
+    /// Signed qword compare mask: `vpcmpeqq`/`vpcmpgtq` for the base
+    /// predicates, complements for the rest.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn cmp_mask_i64(op: BinOp, a: __m256i, b: __m256i) -> __m256i {
+        let ones = _mm256_set1_epi64x(-1);
+        match op {
+            BinOp::Eq => _mm256_cmpeq_epi64(a, b),
+            BinOp::Ne => _mm256_xor_si256(_mm256_cmpeq_epi64(a, b), ones),
+            BinOp::Lt => _mm256_cmpgt_epi64(b, a),
+            BinOp::Gt => _mm256_cmpgt_epi64(a, b),
+            BinOp::Le => _mm256_xor_si256(_mm256_cmpgt_epi64(a, b), ones),
+            BinOp::Ge => _mm256_xor_si256(_mm256_cmpgt_epi64(b, a), ones),
+            _ => unreachable!("not a comparison: {op:?}"),
+        }
     }
     /// Quiet-predicate compare mask (matches Rust `PartialOrd` on NaN).
     #[inline]
@@ -1046,6 +1169,36 @@ mod tests {
                 b: 16,
                 w,
             },
+            KOp::MulI64 {
+                dst: 32,
+                a: 0,
+                b: 8,
+                w,
+            },
+            KOp::CmpI {
+                op: BinOp::Lt,
+                ty: ScalarTy::I32,
+                dst: 40,
+                a: 0,
+                b: 8,
+                w,
+            },
+            KOp::CmpI {
+                op: BinOp::Ge,
+                ty: ScalarTy::I64,
+                dst: 40,
+                a: 8,
+                b: 16,
+                w,
+            },
+            KOp::CmpI {
+                op: BinOp::Ne,
+                ty: ScalarTy::I64,
+                dst: 40,
+                a: 16,
+                b: 24,
+                w,
+            },
             KOp::CastFF {
                 to: ScalarTy::F32,
                 dst: 32,
@@ -1121,6 +1274,11 @@ mod tests {
                         kind: ChainKind::Xor,
                         other: 8,
                         store: None,
+                    },
+                    ChainStage {
+                        kind: ChainKind::Mul,
+                        other: 16,
+                        store: Some(24),
                     },
                     ChainStage {
                         kind: ChainKind::Sub,

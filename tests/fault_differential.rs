@@ -354,3 +354,75 @@ fn injected_faults_fail_clean_and_replay_identically() {
         }
     }
 }
+
+/// A faulted *region-vectorized* stage drains to a clean prefix. The
+/// region transform turns per-channel scalar state into register-file
+/// panels carried across firings, so a mid-run fault inside the
+/// vectorized work function is the worst case for the drain contract:
+/// the supervisor must record a typed failure at exactly the injected
+/// `(stage, firing)` address, keep every token already committed to the
+/// sink bit-identical to the clean run, and never emit past it — on a
+/// single core and with the region stage isolated on its own core.
+#[test]
+fn faulted_region_stage_drains_to_clean_prefix() {
+    use macross_repro::benchsuite::region::{region_acc_norm, region_iir_bank};
+    use macross_repro::macross::driver::{macro_simdize, SimdizeOptions};
+
+    for (build, needle) in [
+        (region_iir_bank as fn() -> Graph, "iir_bank_r"),
+        (region_acc_norm as fn() -> Graph, "acc_norm_r"),
+    ] {
+        let simd = macro_simdize(&build(), &Machine::core_i7(), &SimdizeOptions::all()).unwrap();
+        let (graph, schedule) = (simd.graph, simd.schedule);
+        let victim = graph
+            .nodes()
+            .find(|(_, n)| n.name().contains(needle))
+            .map(|(id, _)| id.0 as usize)
+            .unwrap_or_else(|| panic!("region transform did not produce a *{needle}* stage"));
+        for cores in [1u32, 2] {
+            // Two-core split: the region stage and everything downstream
+            // on core 1, so the faulted drain crosses a live ring.
+            let assignment: Vec<u32> = (0..graph.node_count())
+                .map(|i| u32::from(cores > 1 && i >= victim))
+                .collect();
+            let label = format!("{needle}@{cores}");
+            let iters = 6;
+            let clean = run_once(
+                &graph,
+                &schedule,
+                &assignment,
+                iters,
+                FaultPlan::none(),
+                None,
+            );
+            assert!(clean.completed, "{label}: clean run must complete");
+            let firings = clean.report.stages[victim].firings;
+            assert!(firings >= 2, "{label}: region stage fired only {firings}");
+            let firing = firings / 2;
+
+            for (kind, want_cause) in [(FaultKind::Panic, "panic"), (FaultKind::PoisonTape, "vm")] {
+                let plan = FaultPlan::single(victim, firing, kind);
+                let failed = run_once(&graph, &schedule, &assignment, iters, plan.clone(), None);
+                assert!(!failed.completed, "{label}: {kind:?} must fail the run");
+                let f = failed
+                    .report
+                    .root_failure()
+                    .unwrap_or_else(|| panic!("{label}: {kind:?} recorded no failure"));
+                assert_eq!((f.stage, f.firing), (victim, firing), "{label} {kind:?}");
+                assert_eq!(f.cause.label(), want_cause, "{label} {kind:?}: {f}");
+                assert_prefix(needle, cores as usize, &clean, &failed);
+                // The region stage committed exactly the pre-fault firings.
+                assert_eq!(
+                    failed.report.stages[victim].firings, firing,
+                    "{label} {kind:?}: firings past the fault were committed"
+                );
+                let again = run_once(&graph, &schedule, &assignment, iters, plan, None);
+                assert_eq!(
+                    failure_signature(&failed.report.failures),
+                    failure_signature(&again.report.failures),
+                    "{label}: {kind:?} failure signature must be deterministic"
+                );
+            }
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Property suite for the width-parameterized kernel backend matrix:
-//! random vector programs — permutations, casts, comparisons,
-//! intrinsics, and multiply-add ladders that the chain pass collapses —
+//! random vector programs — permutations, casts, float and integer
+//! comparisons (dword and qword), `i64` multiplies, intrinsics, and
+//! multiply-add ladders that the chain pass collapses —
 //! must run bit-identically on every *available* tier
 //! (`MACROSS_KERNEL_TIER=portable|sse2|avx2`) versus the scalar dispatch
 //! loop (`ExecMode::BytecodeNoFuse`) and the tree-walk oracle.
@@ -55,9 +56,12 @@ fn random_graph(rng: &mut Lcg, w: usize) -> Graph {
     let n: Vec<VarId> = (0..2)
         .map(|i| fb.local(format!("n{i}"), Ty::Vector(ScalarTy::I32, w)))
         .collect();
+    let q: Vec<VarId> = (0..2)
+        .map(|i| fb.local(format!("q{i}"), Ty::Vector(ScalarTy::I64, w)))
+        .collect();
     let steps = 10 + rng.pick(16);
     let plan: Vec<(usize, usize, usize, usize)> = (0..steps)
-        .map(|_| (rng.pick(7), rng.pick(4), rng.pick(4), rng.pick(4)))
+        .map(|_| (rng.pick(8), rng.pick(4), rng.pick(4), rng.pick(4)))
         .collect();
     let out = f[rng.pick(4)];
     fb.work(move |b| {
@@ -159,8 +163,9 @@ fn random_graph(rng: &mut Lcg, w: usize) -> Graph {
                         Expr::Cast(ScalarTy::F32, var(d)),
                     ));
                 }
-                // Integer detour: f32 -> i32, bitwise/arithmetic, back.
-                _ => {
+                // Integer detour: f32 -> i32, bitwise/arithmetic or a
+                // dword compare mask (`CmpI` i32 on every tier), back.
+                6 => {
                     b.stmt(Stmt::Assign(
                         LValue::Var(n[0]),
                         Expr::Cast(ScalarTy::I32, var(fx)),
@@ -172,9 +177,59 @@ fn random_graph(rng: &mut Lcg, w: usize) -> Graph {
                     b.stmt(Stmt::Assign(
                         LValue::Var(n[0]),
                         Expr::Binary(
-                            [BinOp::And, BinOp::Or, BinOp::Xor, BinOp::Add, BinOp::Mul][y % 5],
+                            [
+                                BinOp::And,
+                                BinOp::Or,
+                                BinOp::Xor,
+                                BinOp::Add,
+                                BinOp::Mul,
+                                BinOp::Lt,
+                                BinOp::Ge,
+                                BinOp::Eq,
+                            ][y % 8],
                             var(n[0]),
                             var(n[1]),
+                        ),
+                    ));
+                    b.stmt(Stmt::Assign(
+                        LValue::Var(ft),
+                        Expr::Cast(ScalarTy::F32, var(n[0])),
+                    ));
+                }
+                // 64-bit detour: qword multiply (the `pmuludq`
+                // decomposition on the x86 tiers) and qword compare
+                // masks (`vpcmpgtq` on AVX2, portable on SSE2), folded
+                // back through the saturating cast.
+                _ => {
+                    b.stmt(Stmt::Assign(
+                        LValue::Var(q[0]),
+                        Expr::Cast(ScalarTy::I64, var(fx)),
+                    ));
+                    b.stmt(Stmt::Assign(
+                        LValue::Var(q[1]),
+                        Expr::Cast(ScalarTy::I64, var(fy)),
+                    ));
+                    b.stmt(Stmt::Assign(
+                        LValue::Var(q[0]),
+                        Expr::Binary(
+                            [BinOp::Mul, BinOp::Mul, BinOp::Add, BinOp::Xor][x % 4],
+                            var(q[0]),
+                            var(q[1]),
+                        ),
+                    ));
+                    b.stmt(Stmt::Assign(
+                        LValue::Var(n[0]),
+                        Expr::Binary(
+                            [
+                                BinOp::Lt,
+                                BinOp::Le,
+                                BinOp::Gt,
+                                BinOp::Ge,
+                                BinOp::Eq,
+                                BinOp::Ne,
+                            ][y % 6],
+                            var(q[0]),
+                            var(q[1]),
                         ),
                     ));
                     b.stmt(Stmt::Assign(
